@@ -1,0 +1,209 @@
+// Package detcorr's root benchmark harness: one benchmark per experiment in
+// EXPERIMENTS.md (BenchmarkE1..BenchmarkE17, regenerating the paper's
+// figures and section constructions), plus micro-benchmarks for the checker
+// and runtime primitives. Run with:
+//
+//	go test -bench=. -benchmem
+package detcorr
+
+import (
+	"strings"
+	"testing"
+
+	"detcorr/internal/byzagree"
+	"detcorr/internal/core"
+	"detcorr/internal/dist"
+	"detcorr/internal/experiments"
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/gcl"
+	"detcorr/internal/memaccess"
+	"detcorr/internal/runtime"
+	"detcorr/internal/state"
+	"detcorr/internal/tokenring"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		for _, row := range table.Rows {
+			for _, cell := range row {
+				if strings.Contains(cell, "✗") {
+					b.Fatalf("%s: verdict diverges from the paper: %v", id, row)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE1Fig1FailSafeMemory(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2Fig2NonmaskingMemory(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3Fig3MaskingMemory(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4TMR(b *testing.B)                   { benchExperiment(b, "E4") }
+func BenchmarkE5ByzantineAgreement(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6DetectorTheorems(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7CorrectorTheorems(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8MaskingTheorems(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9TokenRing(b *testing.B)             { benchExperiment(b, "E9") }
+func BenchmarkE10Synthesis(b *testing.B)            { benchExperiment(b, "E10") }
+func BenchmarkE11StateMachine(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12Simulation(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkE13Ablation(b *testing.B)             { benchExperiment(b, "E13") }
+func BenchmarkE14TerminationDetection(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15MutualExclusion(b *testing.B)      { benchExperiment(b, "E15") }
+func BenchmarkE16Multitolerance(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17TreeMaintenance(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18LeaderElection(b *testing.B)       { benchExperiment(b, "E18") }
+
+// --- micro-benchmarks for the library primitives ---
+
+func BenchmarkSpanComputation(b *testing.B) {
+	sys := byzagree.MustNew()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		span, err := fault.ComputeSpan(sys.Masking, sys.Faults, sys.ST)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if span.Size == 0 {
+			b.Fatal("empty span")
+		}
+	}
+}
+
+func BenchmarkMaskingCheckByzantine(b *testing.B) {
+	sys := byzagree.MustNew()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := fault.CheckMasking(sys.Masking, sys.Faults, sys.Spec, sys.ST); !rep.OK() {
+			b.Fatal(rep.Err)
+		}
+	}
+}
+
+func BenchmarkDetectorCheck(b *testing.B) {
+	sys := memaccess.MustNew(2)
+	d := core.Detector{D: sys.FailSafe, Z: sys.Z1, X: sys.X1, U: sys.U1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrectorCheck(b *testing.B) {
+	sys := tokenring.MustNew(4, 4)
+	c := sys.AsCorrector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFairCycleDetection(b *testing.B) {
+	sys := tokenring.MustNew(5, 5)
+	g, err := explore.Build(sys.Ring, state.True, explore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ill := g.SetOf(state.Not(sys.Legitimate))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comp := g.FairCycle(ill); comp != nil {
+			b.Fatal("ring must not have a fair illegitimate cycle")
+		}
+	}
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	sys := tokenring.MustNew(5, 5) // 3125 states
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := explore.Build(sys.Ring, state.True, explore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumNodes() != 3125 {
+			b.Fatal("unexpected node count")
+		}
+	}
+}
+
+func BenchmarkSimulationRun(b *testing.B) {
+	sys := memaccess.MustNew(2)
+	initial, err := state.FromMap(sys.WitnessSchema, map[string]int{"present": 1, "val": 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := runtime.New(sys.Masking, runtime.Config{
+		Seed: 1, MaxSteps: 200, Faults: sys.PageFaultWitness, FaultBudget: 2,
+	}, runtime.NewSafetyMonitor(sys.Spec.Safety))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatal("masking run violated safety")
+		}
+	}
+}
+
+func BenchmarkGCLCompile(b *testing.B) {
+	const src = `
+program bench
+var present : bool
+var val     : 0..1
+var data    : enum(bot, v0, v1)
+var z1      : bool
+pred S :: present
+action restore :: !present      -> present := true
+action detect  :: present & !z1 -> z1 := true
+action read0   :: z1 & val == 0 -> data := v0
+action read1   :: z1 & val == 1 -> data := v1
+fault pageout  :: present & !z1 -> present := false
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gcl.ParseAndCompile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOMProtocol(b *testing.B) {
+	byz := map[int]bool{0: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dist.RunOM(7, 2, 1, byz, dist.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := res.HonestAgree(byz); !ok {
+			b.Fatal("agreement violated")
+		}
+	}
+}
+
+func BenchmarkWeakestDetectionPredicate(b *testing.B) {
+	sys := memaccess.MustNew(4)
+	sspec := sys.Spec.FailSafeSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf := core.WeakestDetectionPredicate(sys.Intolerant, 0, sspec)
+		if sf.Eval == nil {
+			b.Fatal("nil predicate")
+		}
+	}
+}

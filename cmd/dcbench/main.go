@@ -1,0 +1,52 @@
+// Command dcbench regenerates every experiment table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dcbench            # run all experiments (E1..E13)
+//	dcbench E4 E9      # run selected experiments
+//	dcbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"detcorr/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(table.Markdown())
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Command dctl checks and simulates guarded-command programs written in the
+// GCL language (see package detcorr/internal/gcl for the syntax).
+//
+// Usage:
+//
+//	dctl info <file.gcl>
+//	    Print the program's schema, actions, faults and predicates.
+//
+//	dctl check <file.gcl> -kind failsafe|nonmasking|masking -invariant S
+//	    [-recovery R] [-goal P] [-never P]
+//	    Decide F-tolerance of the program for the specification "never a
+//	    state satisfying P_never (safety), and from anywhere eventually
+//	    P_goal (liveness)", from invariant S. Predicates are named 'pred'
+//	    declarations in the file.
+//
+//	dctl detects <file.gcl> -z Z -x X -from U [-tolerant kind]
+//	    Check 'Z detects X' in the program from U, optionally as a
+//	    fail-safe/nonmasking/masking F-tolerant detector for the file's
+//	    fault class.
+//
+//	dctl corrects <file.gcl> -z Z -x X -from U [-tolerant kind]
+//	    Check 'Z corrects X' likewise.
+//
+//	dctl simulate <file.gcl> -init "a=1,b=2" [-steps N] [-seed S]
+//	    [-faults K] [-goal P] [-never P] [-trace]
+//	    Run one seeded simulation with fault injection and online monitors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dctl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/gcl"
+	"detcorr/internal/runtime"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: dctl <info|check|detects|corrects|simulate> <file.gcl> [flags]")
+	}
+	cmd := args[0]
+	switch cmd {
+	case "info":
+		return runInfo(args[1:], out)
+	case "check":
+		return runCheck(args[1:], out)
+	case "detects", "corrects":
+		return runComponent(cmd, args[1:], out)
+	case "simulate":
+		return runSimulate(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q (want info, check, detects, corrects, or simulate)", cmd)
+	}
+}
+
+// loadFile compiles the GCL source at the path given as the flag set's
+// first positional argument.
+func loadFile(fs *flag.FlagSet, args []string) (*gcl.File, error) {
+	if err := fs.Parse(argsAfterFile(args)); err != nil {
+		return nil, err
+	}
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return nil, errors.New("missing <file.gcl> argument")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return gcl.ParseAndCompile(string(src))
+}
+
+// argsAfterFile drops the leading positional file argument so flags can
+// follow it.
+func argsAfterFile(args []string) []string {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[1:]
+	}
+	return args
+}
+
+// predOf resolves a named predicate flag; empty means state.True.
+func predOf(f *gcl.File, name, flagName string) (state.Predicate, error) {
+	if name == "" {
+		return state.True, nil
+	}
+	p, ok := f.Pred(name)
+	if !ok {
+		return state.Predicate{}, fmt.Errorf("-%s: no predicate %q declared in the file", flagName, name)
+	}
+	return p, nil
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	f, err := loadFile(fs, args)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "program %s\n", f.Name)
+	n, _ := f.Schema.NumStates()
+	fmt.Fprintf(out, "  state space: %d states over %d variables %s\n", n, f.Schema.NumVars(), f.Schema)
+	fmt.Fprintf(out, "  actions (%d):\n", f.Program.NumActions())
+	for _, name := range f.Program.ActionNames() {
+		fmt.Fprintf(out, "    %s\n", name)
+	}
+	fmt.Fprintf(out, "  faults (%d):\n", len(f.Faults.Actions))
+	for _, a := range f.Faults.Actions {
+		fmt.Fprintf(out, "    %s\n", a.Name)
+	}
+	fmt.Fprintf(out, "  predicates (%d):\n", len(f.Preds))
+	names := make([]string, 0, len(f.Preds))
+	for name := range f.Preds {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		count, err := state.CountStates(f.Schema, f.Preds[name])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "    %s (%d states)\n", name, count)
+	}
+	return nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func parseKind(s string) (fault.Kind, error) {
+	switch s {
+	case "failsafe", "fail-safe":
+		return fault.FailSafe, nil
+	case "nonmasking":
+		return fault.Nonmasking, nil
+	case "masking":
+		return fault.Masking, nil
+	default:
+		return 0, fmt.Errorf("unknown tolerance kind %q (want failsafe, nonmasking, or masking)", s)
+	}
+}
+
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	kindFlag := fs.String("kind", "masking", "tolerance kind: failsafe, nonmasking, masking")
+	invFlag := fs.String("invariant", "", "invariant predicate S (required)")
+	recFlag := fs.String("recovery", "", "recovery predicate R for nonmasking (default: the invariant)")
+	goalFlag := fs.String("goal", "", "liveness goal predicate (eventually goal)")
+	neverFlag := fs.String("never", "", "safety predicate: states satisfying it are forbidden")
+	f, err := loadFile(fs, args)
+	if err != nil {
+		return err
+	}
+	kind, err := parseKind(*kindFlag)
+	if err != nil {
+		return err
+	}
+	if *invFlag == "" {
+		return errors.New("-invariant is required")
+	}
+	inv, err := predOf(f, *invFlag, "invariant")
+	if err != nil {
+		return err
+	}
+	rec := inv
+	if *recFlag != "" {
+		if rec, err = predOf(f, *recFlag, "recovery"); err != nil {
+			return err
+		}
+	}
+	prob, err := buildProblem(f, *goalFlag, *neverFlag)
+	if err != nil {
+		return err
+	}
+	rep := fault.Check(kind, f.Program, f.Faults, prob, inv, rec)
+	fmt.Fprintln(out, rep.String())
+	if !rep.OK() {
+		return errors.New("check failed")
+	}
+	return nil
+}
+
+func buildProblem(f *gcl.File, goal, never string) (spec.Problem, error) {
+	prob := spec.Problem{Name: f.Name + ".spec", Safety: spec.TrueSafety}
+	if never != "" {
+		bad, err := predOf(f, never, "never")
+		if err != nil {
+			return prob, err
+		}
+		prob.Safety = spec.NeverState("never "+never, bad)
+	}
+	if goal != "" {
+		g, err := predOf(f, goal, "goal")
+		if err != nil {
+			return prob, err
+		}
+		prob.Live = []spec.LeadsTo{{Name: "eventually " + goal, P: state.True, Q: g}}
+	}
+	return prob, nil
+}
+
+func runComponent(cmd string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	zFlag := fs.String("z", "", "witness predicate Z (required)")
+	xFlag := fs.String("x", "", "detection/correction predicate X (required)")
+	fromFlag := fs.String("from", "", "predicate U the relation is refined from (default true)")
+	tolFlag := fs.String("tolerant", "", "also check as an F-tolerant component: failsafe, nonmasking, or masking")
+	f, err := loadFile(fs, args)
+	if err != nil {
+		return err
+	}
+	if *zFlag == "" || *xFlag == "" {
+		return errors.New("-z and -x are required")
+	}
+	z, err := predOf(f, *zFlag, "z")
+	if err != nil {
+		return err
+	}
+	x, err := predOf(f, *xFlag, "x")
+	if err != nil {
+		return err
+	}
+	u, err := predOf(f, *fromFlag, "from")
+	if err != nil {
+		return err
+	}
+	var check func() error
+	var tolerant func(fault.Kind) error
+	var header string
+	if cmd == "detects" {
+		d := core.Detector{Name: f.Name, D: f.Program, Z: z, X: x, U: u}
+		header = d.String()
+		check = d.Check
+		tolerant = func(k fault.Kind) error { return d.CheckFTolerant(f.Faults, k) }
+	} else {
+		c := core.Corrector{Name: f.Name, C: f.Program, Z: z, X: x, U: u}
+		header = c.String()
+		check = c.Check
+		tolerant = func(k fault.Kind) error { return c.CheckFTolerant(f.Faults, k) }
+	}
+	if err := check(); err != nil {
+		fmt.Fprintf(out, "%s: FAILS\n  %v\n", header, err)
+		return errors.New("check failed")
+	}
+	fmt.Fprintf(out, "%s: HOLDS\n", header)
+	if *tolFlag != "" {
+		kind, err := parseKind(*tolFlag)
+		if err != nil {
+			return err
+		}
+		if err := tolerant(kind); err != nil {
+			fmt.Fprintf(out, "%s %s-tolerant: FAILS\n  %v\n", header, kind, err)
+			return errors.New("tolerant check failed")
+		}
+		fmt.Fprintf(out, "%s %s-tolerant: HOLDS\n", header, kind)
+	}
+	return nil
+}
+
+func runSimulate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	initFlag := fs.String("init", "", "initial state, e.g. \"present=1,val=0\" (missing variables are 0)")
+	stepsFlag := fs.Int("steps", 100, "maximum steps")
+	seedFlag := fs.Int64("seed", 1, "random seed")
+	faultsFlag := fs.Int("faults", 0, "fault occurrence budget")
+	goalFlag := fs.String("goal", "", "eventually-goal monitor predicate")
+	neverFlag := fs.String("never", "", "never-state monitor predicate")
+	traceFlag := fs.Bool("trace", false, "print the visited states")
+	f, err := loadFile(fs, args)
+	if err != nil {
+		return err
+	}
+	initial, err := parseInit(f.Schema, *initFlag)
+	if err != nil {
+		return err
+	}
+	var mons []runtime.Monitor
+	if *neverFlag != "" {
+		bad, err := predOf(f, *neverFlag, "never")
+		if err != nil {
+			return err
+		}
+		mons = append(mons, runtime.NewSafetyMonitor(spec.NeverState("never "+*neverFlag, bad)))
+	}
+	if *goalFlag != "" {
+		g, err := predOf(f, *goalFlag, "goal")
+		if err != nil {
+			return err
+		}
+		mons = append(mons, &runtime.EventuallyMonitor{Goal: g})
+	}
+	eng, err := runtime.New(f.Program, runtime.Config{
+		Seed:        *seedFlag,
+		MaxSteps:    *stepsFlag,
+		Faults:      f.Faults,
+		FaultBudget: *faultsFlag,
+		KeepTrace:   *traceFlag,
+	}, mons...)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(initial)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "steps=%d faults=%d deadlocked=%v final=%s\n",
+		res.Steps, res.FaultsInjected, res.Deadlocked, res.Final)
+	if *traceFlag {
+		for i, s := range res.Trace {
+			fmt.Fprintf(out, "  %3d %s\n", i, s)
+		}
+	}
+	for name, verr := range res.Violations {
+		fmt.Fprintf(out, "VIOLATION %s: %v\n", name, verr)
+	}
+	if len(res.Violations) > 0 {
+		return errors.New("monitor violations")
+	}
+	return nil
+}
+
+func parseInit(sch *state.Schema, s string) (state.State, error) {
+	values := map[string]int{}
+	if s != "" {
+		for _, part := range strings.Split(s, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				return state.State{}, fmt.Errorf("-init: bad assignment %q (want name=value)", part)
+			}
+			v, err := strconv.Atoi(kv[1])
+			if err != nil {
+				// Allow symbolic enum values.
+				if i, ok := sch.IndexOf(kv[0]); ok {
+					if ev, found := sch.Var(i).Domain.ValueOf(kv[1]); found {
+						values[kv[0]] = ev
+						continue
+					}
+				}
+				return state.State{}, fmt.Errorf("-init: bad value %q for %q", kv[1], kv[0])
+			}
+			values[kv[0]] = v
+		}
+	}
+	return state.FromMap(sch, values)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const file = "testdata/memaccess.gcl"
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("dctl %v: %v\noutput:\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+func runErr(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err == nil {
+		t.Fatalf("dctl %v should fail\noutput:\n%s", args, out.String())
+	}
+	return out.String()
+}
+
+func TestInfo(t *testing.T) {
+	out := runOK(t, "info", file)
+	for _, want := range []string{"program memaccess", "detect", "pageout", "DataCorrect", "24 states"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckMasking(t *testing.T) {
+	out := runOK(t, "check", file, "-kind", "masking", "-invariant", "S",
+		"-goal", "DataCorrect", "-never", "DataWrong")
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("masking check should hold:\n%s", out)
+	}
+}
+
+func TestCheckNonmaskingKinds(t *testing.T) {
+	for _, kind := range []string{"failsafe", "nonmasking"} {
+		out := runOK(t, "check", file, "-kind", kind, "-invariant", "S",
+			"-goal", "DataCorrect", "-never", "DataWrong")
+		if !strings.Contains(out, "HOLDS") {
+			t.Errorf("%s check should hold:\n%s", kind, out)
+		}
+	}
+}
+
+func TestCheckFailsWithoutInvariant(t *testing.T) {
+	runErr(t, "check", file, "-kind", "masking")
+}
+
+func TestCheckUnknownPredicate(t *testing.T) {
+	runErr(t, "check", file, "-kind", "masking", "-invariant", "Nope")
+}
+
+func TestDetects(t *testing.T) {
+	out := runOK(t, "detects", file, "-z", "Z1p", "-x", "X1", "-from", "U1",
+		"-tolerant", "failsafe")
+	if !strings.Contains(out, "HOLDS") || !strings.Contains(out, "fail-safe-tolerant") &&
+		!strings.Contains(out, "fail-safe") {
+		t.Errorf("detects output:\n%s", out)
+	}
+}
+
+func TestDetectsFailure(t *testing.T) {
+	// Z1 does not detect DataCorrect: Safeness fails.
+	out := runErr(t, "detects", file, "-z", "Z1p", "-x", "DataCorrect", "-from", "U1")
+	if !strings.Contains(out, "FAILS") {
+		t.Errorf("failing detects should print FAILS:\n%s", out)
+	}
+}
+
+func TestCorrects(t *testing.T) {
+	out := runOK(t, "corrects", file, "-z", "X1", "-x", "X1", "-from", "X1",
+		"-tolerant", "nonmasking")
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("corrects output:\n%s", out)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	out := runOK(t, "simulate", file,
+		"-init", "present=1,val=1,data=bot",
+		"-steps", "60", "-seed", "7", "-faults", "1",
+		"-goal", "DataCorrect", "-never", "DataWrong", "-trace")
+	if !strings.Contains(out, "steps=") {
+		t.Errorf("simulate output:\n%s", out)
+	}
+	if !strings.Contains(out, "0 (present=true") {
+		t.Errorf("trace should start at the initial state:\n%s", out)
+	}
+}
+
+func TestSimulateBadInit(t *testing.T) {
+	runErr(t, "simulate", file, "-init", "present")
+	runErr(t, "simulate", file, "-init", "present=zzz")
+}
+
+func TestTokenRingGCL(t *testing.T) {
+	const ring = "testdata/ring3.gcl"
+	out := runOK(t, "corrects", ring, "-z", "Legit", "-x", "Legit", "-tolerant", "nonmasking")
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("ring corrector should hold:\n%s", out)
+	}
+	out = runOK(t, "check", ring, "-kind", "nonmasking", "-invariant", "Legit", "-goal", "Legit")
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("ring nonmasking check should hold:\n%s", out)
+	}
+	// The ring is not masking tolerant: corruption transiently breaks the
+	// one-token property and the never-predicate flags it.
+	runErr(t, "check", ring, "-kind", "masking", "-invariant", "Legit", "-goal", "Legit", "-never", "Illegit")
+}
+
+func TestUsageErrors(t *testing.T) {
+	runErr(t)
+	runErr(t, "bogus", file)
+	runErr(t, "info")
+	runErr(t, "info", "testdata/does-not-exist.gcl")
+	runErr(t, "detects", file, "-z", "Z1p") // missing -x
+	runErr(t, "check", file, "-kind", "bogus", "-invariant", "S")
+}

@@ -1,0 +1,111 @@
+// Quickstart: define a tiny fault-intolerant program, a fault class and a
+// specification; synthesize detector and corrector components for it; check
+// each tolerance class; and run a seeded fault-injection simulation.
+//
+// The program is a climber that raises x to its maximum; faults knock x
+// down; the specification forbids ever moving *below* the recorded floor
+// (safety) and requires eventually reaching the top (liveness).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/runtime"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+const max = 6
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. The state space: a single counter x ∈ 0..max.
+	sch, err := state.NewSchema(state.IntVar("x", max+1))
+	if err != nil {
+		return err
+	}
+
+	// 2. The fault-intolerant program: blindly jump to the top.
+	jump := guarded.Det("jump",
+		state.Pred("x<max", func(s state.State) bool { return s.GetName("x") < max }),
+		func(s state.State) state.State { return s.WithName("x", max) },
+	)
+	p, err := guarded.NewProgram("climber", sch, jump)
+	if err != nil {
+		return err
+	}
+
+	// 3. The fault class: knock the counter down by one.
+	knock := fault.NewClass("knock-down", guarded.Det("down",
+		state.Pred("x>0", func(s state.State) bool { return s.GetName("x") > 0 }),
+		func(s state.State) state.State { return s.WithName("x", s.GetName("x")-1) },
+	))
+
+	// 4. The specification: never step from the top to anything but the
+	// top (safety), eventually at the top (liveness).
+	top := state.Pred("x=max", func(s state.State) bool { return s.GetName("x") == max })
+	prob := spec.Problem{
+		Name: "stay-high",
+		Safety: spec.NeverStep("no program step leaves the top", func(from, to state.State) bool {
+			return from.GetName("x") == max && to.GetName("x") < max
+		}),
+		Live: []spec.LeadsTo{{Name: "reach the top", P: state.True, Q: top}},
+	}
+
+	// 5. Check: the intolerant program is already masking tolerant here —
+	// faults are excluded from the safety obligation only when the spec
+	// says so; ours forbids *any* top-leaving step, so faults break it and
+	// the program is only nonmasking.
+	fmt.Println(fault.CheckFailSafe(p, knock, prob, top))
+	fmt.Println(fault.CheckNonmasking(p, knock, prob, top, top))
+
+	// 6. Components, explicitly: the climb is a corrector for the top
+	// predicate ('top corrects top' — closure and convergence).
+	c := core.Corrector{Name: "climb", C: p, Z: top, X: top, U: state.True}
+	if err := c.Check(); err != nil {
+		return fmt.Errorf("corrector check: %w", err)
+	}
+	fmt.Println("corrector 'top corrects top' in climber from true: HOLDS")
+	if err := c.CheckFTolerant(knock, fault.Nonmasking); err != nil {
+		return fmt.Errorf("tolerant corrector check: %w", err)
+	}
+	fmt.Println("corrector is nonmasking knock-down-tolerant: HOLDS")
+
+	// 7. Synthesis: derive the weakest detection predicate of the jump
+	// action for the safety specification (Theorem 3.3) and print it over
+	// the state space.
+	sf := core.WeakestDetectionPredicate(p, 0, prob.FailSafeSpec())
+	fmt.Print("weakest detection predicate of 'jump': safe at x = ")
+	for x := 0; x <= max; x++ {
+		if sf.Holds(state.MustState(sch, x)) {
+			fmt.Print(x, " ")
+		}
+	}
+	fmt.Println()
+
+	// 8. Simulate with fault injection and an online convergence monitor.
+	mon := &runtime.ConvergenceMonitor{Goal: top}
+	eng, err := runtime.New(p, runtime.Config{
+		Seed: 42, MaxSteps: 100, Faults: knock, FaultBudget: 5,
+	}, mon)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(state.MustState(sch, 0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: %d steps, %d faults injected, %d recoveries (max %d steps), violations: %d\n",
+		res.Steps, res.FaultsInjected, len(mon.RecoverySteps), mon.MaxRecovery(), len(res.Violations))
+	return nil
+}

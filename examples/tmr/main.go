@@ -1,0 +1,94 @@
+// Example tmr builds the Section 6.1 triple-modular-redundancy program by
+// composing the intolerant copier IR with the detector DR (fail-safe) and
+// the corrector CR (masking), then exercises it with seeded fault-injection
+// campaigns.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/runtime"
+	"detcorr/internal/state"
+	"detcorr/internal/tmr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tmr:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := tmr.New(2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Model checking (Section 6.1) ==")
+	fmt.Println(fault.CheckFailSafe(sys.Intolerant, sys.Faults, sys.Spec, sys.S))
+	fmt.Println(fault.CheckFailSafe(sys.FailSafe, sys.Faults, sys.Spec, sys.S))
+	fmt.Println(fault.CheckMasking(sys.FailSafe, sys.Faults, sys.Spec, sys.S))
+	fmt.Println(fault.CheckMasking(sys.Masking, sys.Faults, sys.Spec, sys.S))
+
+	fmt.Println("\n== Fault-injection campaigns (500 seeded runs each) ==")
+	initial := func(int) state.State {
+		s, _ := state.FromMap(sys.Schema, map[string]int{"x": 1, "y": 1, "z": 1, "uncor": 1})
+		return s
+	}
+	cfg := runtime.Config{Seed: 99, MaxSteps: 100, Faults: sys.Faults, FaultBudget: 1, FaultProbability: 0.5}
+
+	res, err := runtime.Campaign{
+		Program: sys.Masking,
+		Config:  cfg,
+		Initial: initial,
+		Monitors: func(int) []runtime.Monitor {
+			return []runtime.Monitor{
+				runtime.NewSafetyMonitor(sys.Spec.Safety),
+				&runtime.EventuallyMonitor{Goal: sys.OutCorrect},
+			}
+		},
+		Runs: 500,
+	}.Execute()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TMR (masking): %d runs, %d faults, %d violating runs, mean %.1f steps\n",
+		res.Runs, res.TotalFaults, res.ViolationRuns, res.MeanSteps())
+
+	blocked := 0
+	resFS, err := runtime.Campaign{
+		Program: sys.FailSafe,
+		Config:  cfg,
+		Initial: initial,
+		Monitors: func(int) []runtime.Monitor {
+			return []runtime.Monitor{runtime.NewSafetyMonitor(sys.Spec.Safety)}
+		},
+		Runs: 500,
+	}.Execute()
+	if err != nil {
+		return err
+	}
+	// Count runs blocked without producing output by replaying finals.
+	for seed := int64(0); seed < 500; seed++ {
+		c := cfg
+		c.Seed = cfg.Seed + seed
+		eng, err := runtime.New(sys.FailSafe, c)
+		if err != nil {
+			return err
+		}
+		out, err := eng.Run(initial(0))
+		if err != nil {
+			return err
+		}
+		if out.Final.GetName("out") == 0 {
+			blocked++
+		}
+	}
+	fmt.Printf("DR;IR (fail-safe): %d runs, %d faults, %d safety violations, %d runs blocked without output\n",
+		resFS.Runs, resFS.TotalFaults, resFS.ViolationRuns, blocked)
+	fmt.Println("\nThe fail-safe program never outputs a corrupted value but can block;")
+	fmt.Println("adding the corrector CR recovers liveness — exactly the paper's construction.")
+	return nil
+}

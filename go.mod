@@ -1,0 +1,3 @@
+module detcorr
+
+go 1.22

@@ -1,0 +1,367 @@
+// Package byzagree implements the paper's Byzantine agreement construction
+// (Section 6.2) for four processes (general g plus non-generals 1..3, so at
+// most f = 1 Byzantine process): the fault-intolerant program IB, the
+// detector DB whose witness gates each output action (DB.j ; IB2.j), and the
+// corrector CB that re-satisfies d.j = corrdecn via majority, yielding
+//
+//	BYZ.g ‖ ( ‖ j : IB1.j ‖ DB.j;IB2.j ‖ CB.j ‖ BYZ.j )
+//
+// the masking Byzantine-tolerant program.
+//
+// Byzantine behaviour is modeled exactly as in the paper: an auxiliary
+// variable b.j per process; the *fault* action flips b.j from false to true
+// (at most one process, per the 3f+1 bound with f = 1); the BYZ.j *program*
+// actions, enabled while b.j holds, change the process's decision (to any
+// binary value) or its output arbitrarily. Program actions are weakly fair,
+// which gives the standard synchrony surrogate: every process, Byzantine or
+// not, eventually publishes some binary decision — without it the majority
+// witness could block forever on a silent Byzantine peer.
+package byzagree
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// NumNonGenerals is the number of non-general processes (n = 4, f = 1).
+const NumNonGenerals = 3
+
+// System bundles the Byzantine agreement programs, specification,
+// predicates and fault class.
+type System struct {
+	Schema *state.Schema
+
+	Intolerant *guarded.Program // IB (+ BYZ behaviour)
+	FailSafe   *guarded.Program // IB1 ‖ DB;IB2 ‖ BYZ
+	Masking    *guarded.Program // IB1 ‖ DB;IB2 ‖ CB ‖ BYZ
+
+	Spec spec.Problem
+
+	// S: no process Byzantine, every decision and output consistent with
+	// d.g. ST strengthens S with the phase structure of the gated protocol:
+	// an output exists only once every non-general has decided — the
+	// invariant of the fail-safe and masking programs (without it, an
+	// "early" output state would be closed under the program yet
+	// indefensible once the general turns Byzantine and flips the eventual
+	// majority). Decided: every non-Byzantine non-general has output.
+	S, ST, Decided state.Predicate
+
+	Faults fault.Class // at most one process turns Byzantine
+}
+
+// d encoding: d.g ∈ {0,1}; d.j, out.j ∈ {0=⊥, 1=value0, 2=value1}.
+
+// New constructs the n = 4 Byzantine agreement system.
+func New() (*System, error) {
+	vars := []state.Var{
+		state.IntVar("d.g", 2),
+		state.BoolVar("b.g"),
+	}
+	for j := 1; j <= NumNonGenerals; j++ {
+		vars = append(vars,
+			state.Var{Name: fmt.Sprintf("d.%d", j), Domain: state.Enum("dec", "bot", "v0", "v1")},
+			state.Var{Name: fmt.Sprintf("out.%d", j), Domain: state.Enum("dec", "bot", "v0", "v1")},
+			state.BoolVar(fmt.Sprintf("b.%d", j)),
+		)
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Schema: sch}
+	sys.buildPredicates()
+	if err := sys.buildPrograms(); err != nil {
+		return nil, err
+	}
+	sys.buildSpec()
+	sys.buildFaults()
+	return sys, nil
+}
+
+// MustNew is New but panics on construction failure.
+func MustNew() *System {
+	sys, err := New()
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func dvar(j int) string   { return fmt.Sprintf("d.%d", j) }
+func outvar(j int) string { return fmt.Sprintf("out.%d", j) }
+func bvar(j int) string   { return fmt.Sprintf("b.%d", j) }
+
+// Majority returns the binary value (encoded 1 or 2) held by at least two of
+// the non-general decisions, and whether all decisions are non-⊥ so that the
+// majority is well defined.
+func Majority(s state.State) (int, bool) {
+	counts := map[int]int{}
+	for j := 1; j <= NumNonGenerals; j++ {
+		v := s.GetName(dvar(j))
+		if v == 0 {
+			return 0, false
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c >= 2 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Corrdecn returns the paper's correct decision (encoded 1 or 2): d.g when
+// the general is not Byzantine, the majority of the non-general decisions
+// otherwise. The second return is false when the value is undefined (g
+// Byzantine and no majority yet).
+func Corrdecn(s state.State) (int, bool) {
+	if s.GetName("b.g") == 0 {
+		return s.GetName("d.g") + 1, true
+	}
+	return Majority(s)
+}
+
+// WitnessOf returns DB.j's (and CB.j's) witness predicate:
+// (∀k : k≠g : d.k ≠ ⊥) ∧ d.j = (majority k : k≠g : d.k).
+func WitnessOf(j int) state.Predicate {
+	return state.Pred(fmt.Sprintf("W.%d: all decided ∧ d.%d=majority", j, j), func(s state.State) bool {
+		m, ok := Majority(s)
+		return ok && s.GetName(dvar(j)) == m
+	})
+}
+
+// DetectionOf returns DB.j's detection predicate d.j = corrdecn.
+func DetectionOf(j int) state.Predicate {
+	return state.Pred(fmt.Sprintf("X.%d: d.%d=corrdecn", j, j), func(s state.State) bool {
+		c, ok := Corrdecn(s)
+		return ok && s.GetName(dvar(j)) == c
+	})
+}
+
+func (sys *System) buildPredicates() {
+	sys.S = state.Pred("S: no Byzantine, all consistent with d.g", func(s state.State) bool {
+		if s.GetName("b.g") != 0 {
+			return false
+		}
+		dg := s.GetName("d.g") + 1
+		for j := 1; j <= NumNonGenerals; j++ {
+			if s.GetName(bvar(j)) != 0 {
+				return false
+			}
+			d, o := s.GetName(dvar(j)), s.GetName(outvar(j))
+			if d != 0 && d != dg {
+				return false
+			}
+			// A process outputs only after deciding, and the output equals
+			// both its decision and the general's value.
+			if o != 0 && (o != dg || d != dg) {
+				return false
+			}
+		}
+		return true
+	})
+	sys.ST = state.And(sys.S, state.Pred("outputs only after all decided", func(s state.State) bool {
+		anyOut := false
+		allDecided := true
+		for j := 1; j <= NumNonGenerals; j++ {
+			if s.GetName(outvar(j)) != 0 {
+				anyOut = true
+			}
+			if s.GetName(dvar(j)) == 0 {
+				allDecided = false
+			}
+		}
+		return !anyOut || allDecided
+	}))
+	sys.Decided = state.Pred("every non-Byzantine output set", func(s state.State) bool {
+		for j := 1; j <= NumNonGenerals; j++ {
+			if s.GetName(bvar(j)) == 0 && s.GetName(outvar(j)) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// byzBehaviour returns the BYZ.j program actions for process j (or the
+// general when j == 0): while b.j holds the process may set its decision to
+// any binary value and (non-generals) its output to any binary value.
+func (sys *System) byzBehaviour(j int) []guarded.Action {
+	if j == 0 {
+		bg := state.VarTrue(sys.Schema, "b.g")
+		return []guarded.Action{
+			guarded.Choice("BYZd.g", bg, func(s state.State) []state.State {
+				i := s.Schema().MustIndexOf("d.g")
+				return []state.State{s.With(i, 0), s.With(i, 1)}
+			}),
+		}
+	}
+	bj := state.VarTrue(sys.Schema, bvar(j))
+	dv, ov := dvar(j), outvar(j)
+	return []guarded.Action{
+		guarded.Choice(fmt.Sprintf("BYZd.%d", j), bj, func(s state.State) []state.State {
+			i := s.Schema().MustIndexOf(dv)
+			return []state.State{s.With(i, 1), s.With(i, 2)}
+		}),
+		guarded.Choice(fmt.Sprintf("BYZout.%d", j), bj, func(s state.State) []state.State {
+			i := s.Schema().MustIndexOf(ov)
+			return []state.State{s.With(i, 1), s.With(i, 2)}
+		}),
+	}
+}
+
+// ib1 is IB1.j :: d.j = ⊥ ∧ ¬b.j --> d.j := d.g.
+func (sys *System) ib1(j int) guarded.Action {
+	dv, bv := dvar(j), bvar(j)
+	guard := state.Pred(fmt.Sprintf("d.%d=⊥ ∧ ¬b.%d", j, j), func(s state.State) bool {
+		return s.GetName(dv) == 0 && s.GetName(bv) == 0
+	})
+	return guarded.Det(fmt.Sprintf("IB1.%d", j), guard, func(s state.State) state.State {
+		return s.WithName(dv, s.GetName("d.g")+1)
+	})
+}
+
+// ib2 is IB2.j :: d.j ≠ ⊥ ∧ out.j = ⊥ ∧ ¬b.j [∧ extra] --> out.j := d.j.
+func (sys *System) ib2(j int, extra state.Predicate) guarded.Action {
+	dv, ov, bv := dvar(j), outvar(j), bvar(j)
+	guard := state.And(
+		state.Pred(fmt.Sprintf("d.%d≠⊥ ∧ out.%d=⊥ ∧ ¬b.%d", j, j, j), func(s state.State) bool {
+			return s.GetName(dv) != 0 && s.GetName(ov) == 0 && s.GetName(bv) == 0
+		}),
+		extra,
+	)
+	return guarded.Det(fmt.Sprintf("IB2.%d", j), guard, func(s state.State) state.State {
+		return s.WithName(ov, s.GetName(dv))
+	})
+}
+
+// cb1 is CB1.j :: (∀k : d.k ≠ ⊥) ∧ d.j ≠ majority ∧ ¬b.j --> d.j := majority.
+func (sys *System) cb1(j int) guarded.Action {
+	dv, bv := dvar(j), bvar(j)
+	guard := state.Pred(fmt.Sprintf("all decided ∧ d.%d≠majority ∧ ¬b.%d", j, j), func(s state.State) bool {
+		if s.GetName(bv) != 0 {
+			return false
+		}
+		m, ok := Majority(s)
+		return ok && s.GetName(dv) != m
+	})
+	return guarded.Det(fmt.Sprintf("CB1.%d", j), guard, func(s state.State) state.State {
+		m, _ := Majority(s)
+		return s.WithName(dv, m)
+	})
+}
+
+func (sys *System) buildPrograms() error {
+	var intolerant, failsafe, masking []guarded.Action
+	for j := 1; j <= NumNonGenerals; j++ {
+		intolerant = append(intolerant, sys.ib1(j), sys.ib2(j, state.True))
+		failsafe = append(failsafe, sys.ib1(j), sys.ib2(j, WitnessOf(j)))
+		masking = append(masking, sys.ib1(j), sys.ib2(j, WitnessOf(j)), sys.cb1(j))
+	}
+	for j := 0; j <= NumNonGenerals; j++ {
+		beh := sys.byzBehaviour(j)
+		intolerant = append(intolerant, beh...)
+		failsafe = append(failsafe, beh...)
+		masking = append(masking, beh...)
+	}
+	var err error
+	if sys.Intolerant, err = guarded.NewProgram("IB", sys.Schema, intolerant...); err != nil {
+		return err
+	}
+	if sys.FailSafe, err = guarded.NewProgram("IB+DB", sys.Schema, failsafe...); err != nil {
+		return err
+	}
+	if sys.Masking, err = guarded.NewProgram("IB+DB+CB", sys.Schema, masking...); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sys *System) buildSpec() {
+	// Safety (agreement + validity over non-Byzantine outputs): a step that
+	// changes out.j of a non-Byzantine j is bad when the new value is ⊥,
+	// disagrees with d.g while the general is correct, or disagrees with
+	// another non-Byzantine process's existing output.
+	badStep := func(from, to state.State) bool {
+		for j := 1; j <= NumNonGenerals; j++ {
+			v := to.GetName(outvar(j))
+			if v == from.GetName(outvar(j)) {
+				continue
+			}
+			if from.GetName(bvar(j)) != 0 {
+				continue // Byzantine outputs are unconstrained
+			}
+			if v == 0 {
+				return true // a non-Byzantine process never retracts
+			}
+			if from.GetName("b.g") == 0 && v != from.GetName("d.g")+1 {
+				return true // validity
+			}
+			for k := 1; k <= NumNonGenerals; k++ {
+				if k == j || from.GetName(bvar(k)) != 0 {
+					continue
+				}
+				if w := from.GetName(outvar(k)); w != 0 && w != v {
+					return true // agreement
+				}
+			}
+		}
+		return false
+	}
+	sys.Spec = spec.Problem{
+		Name:   "SPEC_byz",
+		Safety: spec.NeverStep("agreement ∧ validity", badStep),
+		Live: []spec.LeadsTo{{
+			Name: "every non-Byzantine process eventually decides",
+			P:    state.True,
+			Q:    sys.Decided,
+		}},
+	}
+}
+
+func (sys *System) buildFaults() {
+	noByz := state.Pred("no process Byzantine", func(s state.State) bool {
+		if s.GetName("b.g") != 0 {
+			return false
+		}
+		for j := 1; j <= NumNonGenerals; j++ {
+			if s.GetName(bvar(j)) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	actions := []guarded.Action{
+		guarded.Det("BYZ.g", noByz, func(s state.State) state.State {
+			return s.WithName("b.g", 1)
+		}),
+	}
+	for j := 1; j <= NumNonGenerals; j++ {
+		bv := bvar(j)
+		actions = append(actions, guarded.Det(fmt.Sprintf("BYZ.%d", j), noByz,
+			func(s state.State) state.State { return s.WithName(bv, 1) }))
+	}
+	sys.Faults = fault.NewClass("byzantine(f=1)", actions...)
+}
+
+// FaultsExcluding returns the Byzantine fault class with process j never
+// turning Byzantine. Per-process component claims — "W.j corrects d.j =
+// corrdecn" for a *non-Byzantine* j — are checked against this class: the
+// paper's agreement conditions only constrain the decisions of non-Byzantine
+// processes, and no corrector can stabilize the decision of a process that
+// is itself Byzantine.
+func (sys *System) FaultsExcluding(j int) fault.Class {
+	skip := fmt.Sprintf("BYZ.%d", j)
+	var actions []guarded.Action
+	for _, a := range sys.Faults.Actions {
+		if a.Name != skip {
+			actions = append(actions, a)
+		}
+	}
+	return fault.NewClass(fmt.Sprintf("byzantine(f=1, not %d)", j), actions...)
+}

@@ -1,0 +1,179 @@
+package byzagree
+
+import (
+	"testing"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/state"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sys
+}
+
+func TestIntolerantRefinesSpecFromS(t *testing.T) {
+	sys := newSys(t)
+	if err := sys.Spec.CheckRefinesFrom(sys.Intolerant, sys.S); err != nil {
+		t.Errorf("IB should refine SPEC_byz from S: %v", err)
+	}
+}
+
+func TestIntolerantNotFailSafe(t *testing.T) {
+	sys := newSys(t)
+	if rep := fault.CheckFailSafe(sys.Intolerant, sys.Faults, sys.Spec, sys.S); rep.OK() {
+		t.Error("IB must not be fail-safe Byzantine-tolerant: a Byzantine general splits the outputs")
+	}
+}
+
+func TestFailSafeTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckFailSafe(sys.FailSafe, sys.Faults, sys.Spec, sys.ST)
+	if !rep.OK() {
+		t.Errorf("IB+DB should be fail-safe Byzantine-tolerant: %v", rep.Err)
+	}
+}
+
+func TestFailSafeNotMasking(t *testing.T) {
+	// The paper: "if g is Byzantine and sends different values, one
+	// non-general process will be blocked from being able to output".
+	sys := newSys(t)
+	if rep := fault.CheckMasking(sys.FailSafe, sys.Faults, sys.Spec, sys.ST); rep.OK() {
+		t.Error("IB+DB must not be masking tolerant (a process can be blocked)")
+	}
+}
+
+func TestMaskingTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckMasking(sys.Masking, sys.Faults, sys.Spec, sys.ST)
+	if !rep.OK() {
+		t.Errorf("IB+DB+CB should be masking Byzantine-tolerant: %v", rep.Err)
+	}
+}
+
+func TestDetectorDB(t *testing.T) {
+	// DB.j: W.j detects (d.j = corrdecn) in the masking program, from S;
+	// and it is a masking Byzantine-tolerant detector.
+	sys := newSys(t)
+	for j := 1; j <= NumNonGenerals; j++ {
+		d := core.Detector{
+			Name: "DB",
+			D:    sys.Masking,
+			Z:    WitnessOf(j),
+			X:    DetectionOf(j),
+			U:    sys.ST,
+		}
+		if err := d.Check(); err != nil {
+			t.Errorf("DB.%d detector check: %v", j, err)
+			continue
+		}
+		if err := d.CheckFTolerant(sys.Faults, fault.Masking); err != nil {
+			t.Errorf("DB.%d should be a masking Byzantine-tolerant detector: %v", j, err)
+		}
+	}
+}
+
+func TestCorrectorCB(t *testing.T) {
+	// CB.j: W.j corrects (d.j = corrdecn) in the masking program from S,
+	// and is a nonmasking Byzantine-tolerant corrector (Theorem 5.5 Part 4:
+	// Stability/Convergence may be violated by fault actions only).
+	sys := newSys(t)
+	for j := 1; j <= NumNonGenerals; j++ {
+		c := core.Corrector{
+			Name: "CB",
+			C:    sys.Masking,
+			Z:    WitnessOf(j),
+			X:    DetectionOf(j),
+			U:    sys.ST,
+		}
+		if err := c.Check(); err != nil {
+			t.Errorf("CB.%d corrector check: %v", j, err)
+			continue
+		}
+		// The per-process corrector claim is for a non-Byzantine j, so the
+		// fault class excludes BYZ.j (a Byzantine process's own decision
+		// cannot be stabilized by anyone).
+		if err := c.CheckFTolerant(sys.FaultsExcluding(j), fault.Nonmasking); err != nil {
+			t.Errorf("CB.%d should be a nonmasking Byzantine-tolerant corrector: %v", j, err)
+		}
+	}
+}
+
+func TestWitnessSoundWithinSpan(t *testing.T) {
+	// Safeness of DB concretely: wherever the witness holds on a span
+	// state, d.j equals corrdecn.
+	sys := newSys(t)
+	span, err := fault.ComputeSpan(sys.Masking, sys.Faults, sys.ST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	span.Reachable.ForEach(func(id int) bool {
+		s := span.Graph.State(id)
+		for j := 1; j <= NumNonGenerals; j++ {
+			if WitnessOf(j).Holds(s) && !DetectionOf(j).Holds(s) {
+				bad++
+			}
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Errorf("witness held without detection predicate on %d span states", bad)
+	}
+}
+
+func TestMajorityAndCorrdecn(t *testing.T) {
+	sys := newSys(t)
+	mk := func(vals map[string]int) state.State {
+		s, err := state.FromMap(sys.Schema, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := mk(map[string]int{"d.1": 1, "d.2": 1, "d.3": 2})
+	if m, ok := Majority(s); !ok || m != 1 {
+		t.Errorf("majority of (v0,v0,v1) = %d,%v; want 1,true", m, ok)
+	}
+	s = mk(map[string]int{"d.1": 1, "d.2": 0, "d.3": 2})
+	if _, ok := Majority(s); ok {
+		t.Error("majority must be undefined with a ⊥ decision")
+	}
+	s = mk(map[string]int{"d.g": 1, "d.1": 1, "d.2": 1, "d.3": 1})
+	if c, ok := Corrdecn(s); !ok || c != 2 {
+		t.Errorf("corrdecn with correct general d.g=v1: got %d,%v; want 2,true", c, ok)
+	}
+	s = mk(map[string]int{"b.g": 1, "d.1": 2, "d.2": 2, "d.3": 1})
+	if c, ok := Corrdecn(s); !ok || c != 2 {
+		t.Errorf("corrdecn with Byzantine general: got %d,%v; want majority 2,true", c, ok)
+	}
+}
+
+func TestSpanKeepsAtMostOneByzantine(t *testing.T) {
+	sys := newSys(t)
+	span, err := fault.ComputeSpan(sys.Masking, sys.Faults, sys.ST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := false
+	span.Reachable.ForEach(func(id int) bool {
+		s := span.Graph.State(id)
+		n := s.GetName("b.g")
+		for j := 1; j <= NumNonGenerals; j++ {
+			n += s.GetName(bvar(j))
+		}
+		if n > 1 {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		t.Error("the fault span must contain at most one Byzantine process")
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// Detector asserts "Z detects X in D from U" (Section 3.1): component D,
+// witness predicate Z, detection predicate X, and the predicate U the
+// detects relation is refined from. D may be the whole composed program —
+// per the paper's remark after Theorem 3.4, showing that a program contains
+// a detector is done by showing the program itself refines the detector
+// specification.
+type Detector struct {
+	Name    string
+	D       *guarded.Program
+	Z, X, U state.Predicate
+}
+
+// ConditionError reports which of the detector/corrector conditions failed.
+type ConditionError struct {
+	Component string
+	Condition string // "Safeness", "Progress", "Stability", "Convergence", or "Closure"
+	Cause     error
+}
+
+// Error implements the error interface.
+func (e *ConditionError) Error() string {
+	return fmt.Sprintf("%s: %s violated: %v", e.Component, e.Condition, e.Cause)
+}
+
+// Unwrap returns the underlying cause.
+func (e *ConditionError) Unwrap() error { return e.Cause }
+
+func (d Detector) String() string {
+	name := d.Name
+	if name == "" {
+		name = d.D.Name()
+	}
+	return fmt.Sprintf("detector %s: %s detects %s from %s", name, d.Z, d.X, d.U)
+}
+
+// Check decides whether D refines 'Z detects X' from U. Refinement from U
+// requires U closed in D; Safeness, Progress and Stability are then checked
+// over the states reachable from U.
+func (d Detector) Check() error {
+	if err := spec.CheckClosed(d.D, d.U); err != nil {
+		return &ConditionError{Component: d.String(), Condition: "Closure", Cause: err}
+	}
+	g, err := explore.Build(d.D, d.U, explore.Options{})
+	if err != nil {
+		return err
+	}
+	reach := g.Reach(g.SetOf(d.U), nil)
+	return d.checkOn(g, reach, true)
+}
+
+// checkOn verifies the detector conditions on a prebuilt graph restricted to
+// the given reachable set. When progress is false only the safety conditions
+// (Safeness, Stability) are checked — that is the fail-safe tolerance
+// specification of 'Z detects X'.
+func (d Detector) checkOn(g *explore.Graph, reach *explore.Bitset, progress bool) error {
+	// Safeness: Z ⇒ X at every reachable state.
+	var bad state.State
+	found := false
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		if d.Z.Holds(s) && !d.X.Holds(s) {
+			bad, found = s, true
+			return false
+		}
+		return true
+	})
+	if found {
+		return &ConditionError{Component: d.String(), Condition: "Safeness",
+			Cause: fmt.Errorf("Z ∧ ¬X at %s", bad)}
+	}
+	// Stability: every reachable step from a Z-state satisfies Z ∨ ¬X at
+	// the target.
+	var stabErr error
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		if !d.Z.Holds(s) {
+			return true
+		}
+		for _, e := range g.Out(id) {
+			t := g.State(e.To)
+			if !d.Z.Holds(t) && d.X.Holds(t) {
+				stabErr = fmt.Errorf("step %s -> %s (action %s) falsifies Z while X holds",
+					s, t, g.ActionName(e.Action))
+				return false
+			}
+		}
+		return true
+	})
+	if stabErr != nil {
+		return &ConditionError{Component: d.String(), Condition: "Stability", Cause: stabErr}
+	}
+	if !progress {
+		return nil
+	}
+	// Progress: from every reachable X ∧ ¬Z state, every fair maximal
+	// computation reaches Z ∨ ¬X.
+	start := explore.NewBitset(g.NumNodes())
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		if d.X.Holds(s) && !d.Z.Holds(s) {
+			start.Add(id)
+		}
+		return true
+	})
+	goal := g.SetOf(state.Or(d.Z, state.Not(d.X)))
+	if v := g.CheckEventually(start, goal); v != nil {
+		return &ConditionError{Component: d.String(), Condition: "Progress", Cause: v}
+	}
+	return nil
+}
+
+// CheckFTolerant decides whether D is a fail-safe (respectively masking)
+// F-tolerant detector: D refines 'Z detects X' from U, and D ‖ F refines the
+// corresponding tolerance specification of 'Z detects X' from the fault span
+// of U (Section 3.1, "tolerant detector", combined with Section 2.4).
+//
+//   - fault.FailSafe: under faults only Safeness and Stability must hold.
+//   - fault.Masking: under faults all three conditions must hold (Progress
+//     is checked with fault actions unfair — faults occur finitely often).
+//   - fault.Nonmasking: computations under faults must have a suffix
+//     satisfying the detector specification; under Assumption 2 this is
+//     checked as convergence of D alone from the span to a region where the
+//     fault-free conditions hold (see GoodRegion).
+func (d Detector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
+	if err := d.Check(); err != nil {
+		return err
+	}
+	span, err := fault.ComputeSpan(d.D, f, d.U)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case fault.FailSafe:
+		return d.checkOn(span.Graph, span.Reachable, false)
+	case fault.Masking:
+		return d.checkOn(span.Graph, span.Reachable, true)
+	case fault.Nonmasking:
+		return d.checkNonmaskingTolerant(span)
+	default:
+		return fmt.Errorf("core: unknown tolerance kind %d", int(kind))
+	}
+}
+
+func (d Detector) checkNonmaskingTolerant(span *fault.Span) error {
+	g, err := explore.Build(d.D, span.Predicate, explore.Options{})
+	if err != nil {
+		return err
+	}
+	good := d.GoodRegion(g)
+	from := g.SetOf(span.Predicate)
+	if v := g.CheckEventually(from, good); v != nil {
+		return &ConditionError{Component: d.String(), Condition: "Convergence",
+			Cause: fmt.Errorf("no suffix satisfying the detector specification: %w", v)}
+	}
+	return nil
+}
+
+// GoodRegion computes the largest set of nodes G such that every computation
+// of D confined to G satisfies Safeness and Stability, G is closed under
+// D's transitions, and Progress holds from every state of G. A computation
+// with a suffix entering G satisfies the detector specification from that
+// point on.
+func (d Detector) GoodRegion(g *explore.Graph) *explore.Bitset {
+	// Locally safe states: Safeness holds.
+	safe := explore.NewBitset(g.NumNodes())
+	for id := 0; id < g.NumNodes(); id++ {
+		s := g.State(id)
+		if !d.Z.Holds(s) || d.X.Holds(s) {
+			safe.Add(id)
+		}
+	}
+	// Remove sources of stability-violating steps, then close.
+	for id := 0; id < g.NumNodes(); id++ {
+		if !safe.Has(id) {
+			continue
+		}
+		s := g.State(id)
+		if !d.Z.Holds(s) {
+			continue
+		}
+		for _, e := range g.Out(id) {
+			t := g.State(e.To)
+			if !d.Z.Holds(t) && d.X.Holds(t) {
+				safe.Remove(id)
+				break
+			}
+		}
+	}
+	region := g.LargestClosedSubset(safe)
+	// Prune states where Progress fails, iterating to a fixpoint (removing
+	// a state can only shrink the closed region further).
+	for {
+		goal := explore.NewBitset(g.NumNodes())
+		region.ForEach(func(id int) bool {
+			s := g.State(id)
+			if d.Z.Holds(s) || !d.X.Holds(s) {
+				goal.Add(id)
+			}
+			return true
+		})
+		violating := -1
+		region.ForEach(func(id int) bool {
+			s := g.State(id)
+			if !d.X.Holds(s) || d.Z.Holds(s) {
+				return true
+			}
+			single := explore.NewBitset(g.NumNodes())
+			single.Add(id)
+			if v := g.CheckEventually(single, goal); v != nil {
+				violating = id
+				return false
+			}
+			return true
+		})
+		if violating < 0 {
+			return region
+		}
+		region.Remove(violating)
+		region = g.LargestClosedSubset(region)
+	}
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's primary contribution: the two
+// fault-tolerance components — detectors (Section 3) and correctors
+// (Section 4) — their tolerant variants, executable versions of every
+// theorem in the paper (Sections 3–5), and the constructive design method
+// the paper builds on (adding detectors and correctors to a fault-intolerant
+// program to obtain fail-safe, nonmasking, and masking tolerance, per
+// reference [4]).
+//
+// A detector for 'Z detects X' is a component d whose computations satisfy
+//
+//	Safeness:  Z ⇒ X at every state;
+//	Progress:  whenever X holds, eventually Z holds or X is falsified;
+//	Stability: once Z holds it remains true unless X is falsified.
+//
+// A corrector for 'Z corrects X' additionally satisfies
+//
+//	Convergence: eventually X holds and continues to hold.
+//
+// All four conditions are decided exactly over the finite transition graph:
+// Safeness and Stability are state/transition conditions; Progress and
+// Convergence reduce to "every fair maximal computation reaches a goal set",
+// decided by deadlock and fair-cycle analysis (package explore).
+package core

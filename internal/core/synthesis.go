@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// This file implements the constructive side of the theory: the paper's
+// introduction (and its reference [4], "Component based design of
+// multitolerance") describes methods that, given a fault-intolerant program,
+// calculate the detector and corrector components required for tolerance and
+// compose them with the program. Three transformations are provided:
+//
+//   - AddFailSafe: guard every action with its weakest detection predicate
+//     (Theorem 3.3) — composing a detector with each action.
+//   - SynthesizeCorrector / AddNonmasking: add corrector actions whose
+//     execution strictly decreases a BFS ranking toward the invariant, so
+//     convergence holds by construction.
+//   - AddMasking: fail-safe restriction on top of the nonmasking program —
+//     the detector-atop-corrector shape of the paper's pm (Section 5.1).
+
+// AddFailSafe returns the fail-safe transformation of p for the given safety
+// specification: every action g --> st becomes (g ∧ sf) --> st where sf is
+// the action's weakest detection predicate. The result never takes a step
+// that violates the specification; by Theorem 3.4 it contains a detector for
+// every action of p.
+func AddFailSafe(p *guarded.Program, sspec spec.Safety) *guarded.Program {
+	actions := make([]guarded.Action, p.NumActions())
+	for i := 0; i < p.NumActions(); i++ {
+		sf := spec.WeakestStepPredicate(p, i, sspec)
+		actions[i] = p.Action(i).Restrict(sf)
+		actions[i].Name = p.Action(i).Name // Restrict keeps the name; be explicit
+	}
+	return guarded.MustProgram("failsafe("+p.Name()+")", p.Schema(), actions...)
+}
+
+// Ranking is a BFS distance function from each state to a target predicate,
+// used to restrict recovery actions to strictly decreasing moves so that the
+// synthesized corrector converges by construction (no recovery cycles).
+type Ranking struct {
+	graph *explore.Graph
+	dist  []int
+}
+
+// rankUnreachable marks states from which the target is unreachable.
+const rankUnreachable = int(^uint(0) >> 1)
+
+// Rank returns the distance of a state to the target, and false when the
+// target is unreachable from it (or the state was not explored).
+func (r *Ranking) Rank(s state.State) (int, bool) {
+	id, ok := r.graph.NodeOf(s)
+	if !ok || r.dist[id] == rankUnreachable {
+		return 0, false
+	}
+	return r.dist[id], true
+}
+
+// ComputeRanking explores the recovery program from every state satisfying
+// `within` and computes, for each explored state, the length of the shortest
+// recovery-action path to a state satisfying target.
+func ComputeRanking(recovery *guarded.Program, within, target state.Predicate) (*Ranking, error) {
+	g, err := explore.Build(recovery, within, explore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = rankUnreachable
+	}
+	var queue []int
+	for id := 0; id < g.NumNodes(); id++ {
+		if target.Holds(g.State(id)) {
+			dist[id] = 0
+			queue = append(queue, id)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
+		for _, e := range g.In(id) {
+			if dist[e.To] == rankUnreachable {
+				dist[e.To] = dist[id] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return &Ranking{graph: g, dist: dist}, nil
+}
+
+// SynthesizeCorrector builds a corrector program from recovery action
+// templates: each template is restricted so that it executes only when it
+// can strictly decrease the BFS rank toward the target, and its
+// nondeterminism is narrowed to rank-decreasing successors. Every state
+// satisfying `within` must be able to reach the target via recovery actions;
+// otherwise an error reports how many states cannot recover.
+//
+// The returned program, composed in parallel with a program that preserves
+// the target, is a corrector for 'target corrects target' from within —
+// convergence is by construction (the rank strictly decreases), stability
+// and safeness because the corrector is disabled once the target holds.
+func SynthesizeCorrector(name string, sch *state.Schema, within, target state.Predicate, templates []guarded.Action) (*guarded.Program, *Ranking, error) {
+	recovery, err := guarded.NewProgram(name+".recovery", sch, templates...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rank, err := ComputeRanking(recovery, within, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	stuck := 0
+	err = sch.ForEachState(func(s state.State) bool {
+		if within.Holds(s) {
+			if _, ok := rank.Rank(s); !ok {
+				stuck++
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if stuck > 0 {
+		return nil, rank, fmt.Errorf("core: %d states in the fault span cannot reach the target via the recovery actions", stuck)
+	}
+	actions := make([]guarded.Action, len(templates))
+	for i, tpl := range templates {
+		t := tpl
+		actions[i] = guarded.Choice(
+			t.Name,
+			state.And(t.Guard, state.Pred("rank-decreasing", func(s state.State) bool {
+				d, ok := rank.Rank(s)
+				if !ok || d == 0 {
+					return false
+				}
+				for _, ns := range t.Next(s) {
+					if nd, ok := rank.Rank(ns); ok && nd < d {
+						return true
+					}
+				}
+				return false
+			})),
+			func(s state.State) []state.State {
+				d, _ := rank.Rank(s)
+				var out []state.State
+				for _, ns := range t.Next(s) {
+					if nd, ok := rank.Rank(ns); ok && nd < d {
+						out = append(out, ns)
+					}
+				}
+				return out
+			},
+		)
+	}
+	prog, err := guarded.NewProgram(name, sch, actions...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, rank, nil
+}
+
+// AddNonmasking returns the nonmasking transformation of p for fault class
+// f and invariant s: the fault span of s is computed, a corrector is
+// synthesized from the recovery templates to converge the span back to s,
+// and the corrector is composed in parallel with p. The result is the shape
+// of the paper's pn (Section 4.3): intolerant actions plus a corrector.
+func AddNonmasking(p *guarded.Program, f fault.Class, s state.Predicate, templates []guarded.Action) (*guarded.Program, error) {
+	span, err := fault.ComputeSpan(p, f, s)
+	if err != nil {
+		return nil, err
+	}
+	corrector, _, err := SynthesizeCorrector("corrector("+p.Name()+")", p.Schema(), span.Predicate, s, templates)
+	if err != nil {
+		return nil, err
+	}
+	return guarded.Parallel("nonmasking("+p.Name()+")", p, corrector)
+}
+
+// AddMasking returns the masking transformation of p: the original actions
+// are restricted by their weakest detection predicates for the problem's
+// safety specification (the detector layer), and the synthesized corrector
+// is composed in parallel (the corrector layer) — the detector-atop-
+// corrector composition of the paper's pm (Section 5.1). The caller should
+// verify the result with fault.CheckMasking; the transformation itself
+// cannot guarantee liveness if the detectors disable every path to the goal.
+func AddMasking(p *guarded.Program, f fault.Class, prob spec.Problem, s state.Predicate, templates []guarded.Action) (*guarded.Program, error) {
+	span, err := fault.ComputeSpan(p, f, s)
+	if err != nil {
+		return nil, err
+	}
+	failsafe := AddFailSafe(p, prob.FailSafeSpec())
+	corrector, _, err := SynthesizeCorrector("corrector("+p.Name()+")", p.Schema(), span.Predicate, s, templates)
+	if err != nil {
+		return nil, err
+	}
+	return guarded.Parallel("masking("+p.Name()+")", failsafe, corrector)
+}

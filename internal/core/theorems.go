@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// TheoremResult records the outcome of checking one theorem instance: the
+// hypotheses verified, the components (detectors/correctors) constructed by
+// the proof, and the first failure, if any.
+type TheoremResult struct {
+	Theorem    string
+	Hypotheses []string
+	Detectors  []Detector
+	Correctors []Corrector
+	Err        error
+}
+
+// OK reports whether every hypothesis and every conclusion held.
+func (r TheoremResult) OK() bool { return r.Err == nil }
+
+// String renders a one-line verdict.
+func (r TheoremResult) String() string {
+	if r.Err == nil {
+		return fmt.Sprintf("%s: verified (%d hypotheses, %d detectors, %d correctors)",
+			r.Theorem, len(r.Hypotheses), len(r.Detectors), len(r.Correctors))
+	}
+	return fmt.Sprintf("%s: FAILED: %v", r.Theorem, r.Err)
+}
+
+func (r *TheoremResult) hypothesis(name string, err error) bool {
+	if err != nil {
+		r.Err = fmt.Errorf("hypothesis %q: %w", name, err)
+		return false
+	}
+	r.Hypotheses = append(r.Hypotheses, name)
+	return true
+}
+
+// WeakestDetectionPredicate computes the weakest detection predicate of the
+// i-th action of p for the given safety specification (Theorem 3.3 and the
+// following definition): the set of states from which executing the action
+// maintains the specification. Every X implying it is also a detection
+// predicate; the disjunction of detection predicates is one; so the weakest
+// one exists and is returned.
+func WeakestDetectionPredicate(p *guarded.Program, action int, sspec spec.Safety) state.Predicate {
+	return spec.WeakestStepPredicate(p, action, sspec)
+}
+
+// refinesSafetyFrom checks that every computation of p from `from` satisfies
+// the safety specification, with the given fault class composed in (pass an
+// empty class for fault-free checks).
+func refinesSafetyFrom(p *guarded.Program, f fault.Class, sspec spec.Safety, from state.Predicate) error {
+	span, err := fault.ComputeSpan(p, f, from)
+	if err != nil {
+		return err
+	}
+	if v := spec.CheckSafety(span.Graph, span.Reachable, sspec); v != nil {
+		return v
+	}
+	return nil
+}
+
+// convergesFrom checks that every fair maximal computation of p from `from`
+// reaches `goal` ("p refines (true)*(p|goal) from `from`" when goal is
+// closed in p).
+func convergesFrom(p *guarded.Program, from, goal state.Predicate) error {
+	g, err := explore.Build(p, from, explore.Options{})
+	if err != nil {
+		return err
+	}
+	if v := g.CheckEventually(g.SetOf(from), g.SetOf(goal)); v != nil {
+		return v
+	}
+	return nil
+}
+
+// Theorem3_4 checks the instance "programs that refine a safety
+// specification contain detectors": given that pp refines p from S, pp
+// encapsulates p, and pp refines SSPEC from S, it constructs — for every
+// action of p — a witness predicate Z (the guard of the action) and a
+// detection predicate X (the weakest one consistent with the detector
+// conditions, see WitnessDetectionPredicate) and verifies that pp refines
+// 'Z detects X' from S.
+func Theorem3_4(p, pp *guarded.Program, sspec spec.Safety, s state.Predicate) TheoremResult {
+	res := TheoremResult{Theorem: "Theorem 3.4 (refining a safety spec ⇒ contains detectors)"}
+	if !res.hypothesis("p' refines p from S", spec.CheckRefines(pp, p, s)) {
+		return res
+	}
+	if !res.hypothesis("p' encapsulates p", guarded.CheckEncapsulation(pp, p, state.True)) {
+		return res
+	}
+	if !res.hypothesis("p' refines SSPEC from S", refinesSafetyFrom(pp, fault.Class{Name: "∅"}, sspec, s)) {
+		return res
+	}
+	res.Detectors, res.Err = buildActionDetectors(p, pp, sspec, s, nil, 0)
+	return res
+}
+
+// Theorem3_6 checks the instance "fail-safe F-tolerant programs contain
+// fail-safe F-tolerant detectors": under the hypotheses of the theorem it
+// verifies that pp is fail-safe F-tolerant for the problem specification
+// from R, and that for every action of p, pp is a fail-safe F-tolerant
+// detector of a detection predicate of that action.
+func Theorem3_6(p, pp *guarded.Program, prob spec.Problem, f fault.Class, s, r state.Predicate) TheoremResult {
+	res := TheoremResult{Theorem: "Theorem 3.6 (fail-safe tolerant programs contain fail-safe tolerant detectors)"}
+	if !res.hypothesis("p refines SPEC from S", prob.CheckRefinesFrom(p, s)) {
+		return res
+	}
+	if ok, w, err := state.ImpliesEverywhere(pp.Schema(), r, liftToRefined(pp, p, s)); err != nil || !ok {
+		if err == nil {
+			err = fmt.Errorf("R ⇒ S fails at %s", w)
+		}
+		res.hypothesis("R ⇒ S", err)
+		return res
+	}
+	res.Hypotheses = append(res.Hypotheses, "R ⇒ S")
+	if !res.hypothesis("p' refines p from R", spec.CheckRefines(pp, p, r)) {
+		return res
+	}
+	if !res.hypothesis("p' encapsulates p", guarded.CheckEncapsulation(pp, p, state.True)) {
+		return res
+	}
+	if !res.hypothesis("p'‖F refines SSPEC from T", refinesSafetyFrom(pp, f, prob.FailSafeSpec(), r)) {
+		return res
+	}
+	// Conclusion 1: fail-safe F-tolerance.
+	rep := fault.CheckFailSafe(pp, f, prob, r)
+	if rep.Err != nil {
+		res.Err = fmt.Errorf("conclusion (fail-safe F-tolerant): %w", rep.Err)
+		return res
+	}
+	// Conclusion 2: per-action fail-safe F-tolerant detectors.
+	res.Detectors, res.Err = buildActionDetectors(p, pp, prob.FailSafeSpec(), r, &f, fault.FailSafe)
+	return res
+}
+
+// buildActionDetectors constructs and verifies, for each action of the base
+// program p, a detector contained in pp: Z is the refined guard of the
+// action (the guard of pp's action bearing the same name, per the
+// encapsulation discipline), X the computed witness detection predicate.
+// When f is non-nil the detector is additionally checked to be
+// kind-F-tolerant.
+func buildActionDetectors(p, pp *guarded.Program, sspec spec.Safety, s state.Predicate, f *fault.Class, kind fault.Kind) ([]Detector, error) {
+	// The witness X must be defined over every state the F-tolerance check
+	// can visit, so when a fault class is given the construction graph
+	// covers the fault span of s (fault-free dynamics over span states);
+	// otherwise the states reachable from s suffice.
+	universe := s
+	if f != nil {
+		span, err := fault.ComputeSpan(pp, *f, s)
+		if err != nil {
+			return nil, err
+		}
+		universe = span.Predicate
+	}
+	g, err := explore.Build(pp, universe, explore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	reach := g.Reach(g.SetOf(universe), nil)
+	proj, err := state.NewProjection(pp.Schema(), p.Schema())
+	if err != nil {
+		return nil, err
+	}
+	detectors := make([]Detector, 0, p.NumActions())
+	for i := 0; i < p.NumActions(); i++ {
+		base := p.Action(i)
+		refined, ok := pp.ActionByName(base.Name)
+		if !ok {
+			return detectors, fmt.Errorf("core: no action named %q in %q (encapsulation must preserve action names)",
+				base.Name, pp.Name())
+		}
+		sf := spec.WeakestStepPredicate(p, i, sspec)
+		seed := state.And(proj.Lift(base.Guard), proj.Lift(sf))
+		z := refined.Guard
+		x := WitnessDetectionPredicate(g, reach, z, seed)
+		d := Detector{
+			Name: fmt.Sprintf("%s[%s]", pp.Name(), base.Name),
+			D:    pp, Z: z, X: x, U: s,
+		}
+		if err := d.Check(); err != nil {
+			return detectors, fmt.Errorf("core: constructed witness for action %q fails: %w", base.Name, err)
+		}
+		if f != nil {
+			if err := d.CheckFTolerant(*f, kind); err != nil {
+				return detectors, fmt.Errorf("core: constructed witness for action %q not %s-tolerant: %w",
+					base.Name, kind, err)
+			}
+		}
+		detectors = append(detectors, d)
+	}
+	return detectors, nil
+}
+
+// liftToRefined lifts a predicate over p's schema to pp's schema.
+func liftToRefined(pp, p *guarded.Program, pred state.Predicate) state.Predicate {
+	proj := state.MustProjection(pp.Schema(), p.Schema())
+	return proj.Lift(pred)
+}
+
+// Theorem4_1 checks the instance "programs that eventually refine a
+// specification contain correctors": given that p refines SPEC from S, pp
+// refines p from S, and pp refines (true)*(pp|S) from T, it constructs the
+// corrector of the proof — X = S, Z = S restricted to the states pp reaches
+// from T — and verifies that pp refines 'Z corrects X' from T.
+func Theorem4_1(p, pp *guarded.Program, prob spec.Problem, s, t state.Predicate) TheoremResult {
+	res := TheoremResult{Theorem: "Theorem 4.1 (eventually refining ⇒ contains correctors)"}
+	if !res.hypothesis("p refines SPEC from S", prob.CheckRefinesFrom(p, s)) {
+		return res
+	}
+	sOnPP := liftToRefined(pp, p, s)
+	if !res.hypothesis("p' refines p from S", spec.CheckRefines(pp, p, sOnPP)) {
+		return res
+	}
+	if !res.hypothesis("p' refines (true)*(p'|S) from T", convergesFrom(pp, t, sOnPP)) {
+		return res
+	}
+	g, err := explore.Build(pp, t, explore.Options{})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	reachT := g.Reach(g.SetOf(t), nil)
+	zSet := explore.NewBitset(g.NumNodes())
+	reachT.ForEach(func(id int) bool {
+		if sOnPP.Holds(g.State(id)) {
+			zSet.Add(id)
+		}
+		return true
+	})
+	z := ExtensionalPredicate(fmt.Sprintf("%s ∧ reach(%s)", s, t), g, zSet)
+	c := Corrector{
+		Name: pp.Name(),
+		C:    pp, Z: z, X: sOnPP, U: t,
+	}
+	if err := c.Check(); err != nil {
+		res.Err = fmt.Errorf("conclusion (corrector of an invariant of p): %w", err)
+		return res
+	}
+	res.Correctors = []Corrector{c}
+	return res
+}
+
+// Theorem4_3 checks the instance "nonmasking F-tolerant programs contain
+// nonmasking tolerant correctors": under the theorem's hypotheses it
+// verifies that pp is nonmasking F-tolerant for the problem specification
+// from R and that pp is a nonmasking F-tolerant corrector with witness
+// Z = R and correction predicate X = S (Lemma 4.2's construction).
+func Theorem4_3(p, pp *guarded.Program, prob spec.Problem, f fault.Class, s, r state.Predicate) TheoremResult {
+	res := TheoremResult{Theorem: "Theorem 4.3 (nonmasking tolerant programs contain nonmasking correctors)"}
+	if !res.hypothesis("p refines SPEC from S", prob.CheckRefinesFrom(p, s)) {
+		return res
+	}
+	sOnPP := liftToRefined(pp, p, s)
+	if !res.hypothesis("p' refines p from R", spec.CheckRefines(pp, p, r)) {
+		return res
+	}
+	span, err := fault.ComputeSpan(pp, f, r)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if !res.hypothesis("p'‖F refines (true)*(p'|R) from T", convergesFrom(pp, span.Predicate, r)) {
+		return res
+	}
+	rep := fault.CheckNonmasking(pp, f, prob, r, r)
+	if rep.Err != nil {
+		res.Err = fmt.Errorf("conclusion (nonmasking F-tolerant): %w", rep.Err)
+		return res
+	}
+	c := Corrector{
+		Name: pp.Name(),
+		C:    pp, Z: r, X: sOnPP, U: r,
+	}
+	if err := c.Check(); err != nil {
+		res.Err = fmt.Errorf("conclusion (corrector from R): %w", err)
+		return res
+	}
+	if err := c.CheckFTolerant(f, fault.Nonmasking); err != nil {
+		res.Err = fmt.Errorf("conclusion (nonmasking F-tolerant corrector): %w", err)
+		return res
+	}
+	res.Correctors = []Corrector{c}
+	return res
+}
+
+// Theorem5_2 checks "fail-safe + convergence = masking": if p refines SPEC
+// from S, p refines SSPEC from T, and p converges from T to S, then p
+// refines the masking tolerance specification of SPEC from T. The conclusion
+// is verified directly (safety and every liveness obligation from T).
+func Theorem5_2(p *guarded.Program, prob spec.Problem, s, t state.Predicate) TheoremResult {
+	res := TheoremResult{Theorem: "Theorem 5.2 (fail-safe ∧ convergence ⇒ masking)"}
+	if !res.hypothesis("p refines SPEC from S", prob.CheckRefinesFrom(p, s)) {
+		return res
+	}
+	if !res.hypothesis("p refines SSPEC from T", refinesSafetyFrom(p, fault.Class{Name: "∅"}, prob.FailSafeSpec(), t)) {
+		return res
+	}
+	if !res.hypothesis("p refines (true)*(p|S) from T", convergesFrom(p, t, s)) {
+		return res
+	}
+	// Conclusion: p refines SPEC itself from T.
+	g, err := explore.Build(p, t, explore.Options{})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	from := g.SetOf(t)
+	if v := spec.CheckSafety(g, from, prob.Safety); v != nil {
+		res.Err = fmt.Errorf("conclusion (masking: safety from T): %w", v)
+		return res
+	}
+	for _, lt := range prob.Live {
+		if err := spec.CheckLeadsTo(g, from, lt); err != nil {
+			res.Err = fmt.Errorf("conclusion (masking: liveness from T): %w", err)
+			return res
+		}
+	}
+	return res
+}
+
+// Theorem5_5 checks "masking F-tolerant programs contain masking tolerant
+// detectors and correctors": under the theorem's hypotheses it verifies
+// that pp is masking F-tolerant for the problem specification from R, that
+// for every action of p, pp is a masking F-tolerant detector of a detection
+// predicate of the action, that pp is a masking tolerant corrector of an
+// invariant predicate of p (fault-free, from the span T), and that pp is a
+// nonmasking F-tolerant corrector (Part 4 of the theorem: Stability and
+// Convergence may be violated by fault actions but not by program actions).
+func Theorem5_5(p, pp *guarded.Program, prob spec.Problem, f fault.Class, s, r state.Predicate) TheoremResult {
+	res := TheoremResult{Theorem: "Theorem 5.5 (masking tolerant programs contain masking detectors and correctors)"}
+	if !res.hypothesis("p refines SPEC from S", prob.CheckRefinesFrom(p, s)) {
+		return res
+	}
+	sOnPP := liftToRefined(pp, p, s)
+	if !res.hypothesis("p' refines p from R", spec.CheckRefines(pp, p, r)) {
+		return res
+	}
+	span, err := fault.ComputeSpan(pp, f, r)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if !res.hypothesis("p'‖F refines (true)*(p'|R) from T", convergesFrom(pp, span.Predicate, r)) {
+		return res
+	}
+	if !res.hypothesis("p' encapsulates p", guarded.CheckEncapsulation(pp, p, state.True)) {
+		return res
+	}
+	if !res.hypothesis("p'‖F refines SSPEC from T", refinesSafetyFrom(pp, f, prob.FailSafeSpec(), r)) {
+		return res
+	}
+	// Conclusion 1: masking F-tolerance.
+	rep := fault.CheckMasking(pp, f, prob, r)
+	if rep.Err != nil {
+		res.Err = fmt.Errorf("conclusion (masking F-tolerant): %w", rep.Err)
+		return res
+	}
+	// Conclusion 2: per-action masking F-tolerant detectors.
+	res.Detectors, err = buildActionDetectors(p, pp, prob.FailSafeSpec(), r, &f, fault.Masking)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	// Conclusion 3: masking tolerant corrector of S_p from the span
+	// (fault-free, per Lemma 5.4 Part 2), with X = S_p — the projection of
+	// S onto the variables of p.
+	c := Corrector{
+		Name: pp.Name(),
+		C:    pp, Z: r, X: sOnPP, U: span.Predicate,
+	}
+	if err := c.Check(); err != nil {
+		res.Err = fmt.Errorf("conclusion (masking tolerant corrector): %w", err)
+		return res
+	}
+	// Conclusion 4: nonmasking F-tolerant corrector.
+	if err := c.CheckFTolerant(f, fault.Nonmasking); err != nil {
+		res.Err = fmt.Errorf("conclusion (nonmasking F-tolerant corrector): %w", err)
+		return res
+	}
+	res.Correctors = []Corrector{c}
+	return res
+}

@@ -1,0 +1,127 @@
+// Package crosscheck validates the library against itself on randomly
+// generated programs: properties that must hold by the theory's
+// metatheorems — span soundness, synthesis safety, closure preservation —
+// and agreement between the model checker (package explore) and the
+// simulation runtime (package runtime). A divergence in either direction
+// would indicate a bug in the fairness semantics, the graph algorithms, or
+// the scheduler.
+package crosscheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// GenConfig bounds the random program generator.
+type GenConfig struct {
+	Vars      int // boolean variables (default 3)
+	Actions   int // deterministic actions (default 3)
+	MaxLits   int // guard literals per action (default 2)
+	MaxWrites int // variables written per action (default 2)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Vars == 0 {
+		c.Vars = 3
+	}
+	if c.Actions == 0 {
+		c.Actions = 3
+	}
+	if c.MaxLits == 0 {
+		c.MaxLits = 2
+	}
+	if c.MaxWrites == 0 {
+		c.MaxWrites = 2
+	}
+	return c
+}
+
+// Generate builds a random deterministic boolean program. The same seed
+// yields the same program.
+func Generate(seed int64, cfg GenConfig) (*guarded.Program, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	vars := make([]state.Var, cfg.Vars)
+	for i := range vars {
+		vars[i] = state.BoolVar(fmt.Sprintf("v%d", i))
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	actions := make([]guarded.Action, cfg.Actions)
+	for a := range actions {
+		// Guard: a conjunction of 1..MaxLits random literals.
+		nLits := 1 + rng.Intn(cfg.MaxLits)
+		type lit struct {
+			v   int
+			pos bool
+		}
+		lits := make([]lit, nLits)
+		for i := range lits {
+			lits[i] = lit{v: rng.Intn(cfg.Vars), pos: rng.Intn(2) == 0}
+		}
+		guardName := ""
+		for i, l := range lits {
+			if i > 0 {
+				guardName += " ∧ "
+			}
+			if !l.pos {
+				guardName += "¬"
+			}
+			guardName += fmt.Sprintf("v%d", l.v)
+		}
+		litsCopy := append([]lit(nil), lits...)
+		guard := state.Pred(guardName, func(s state.State) bool {
+			for _, l := range litsCopy {
+				if s.Bool(l.v) != l.pos {
+					return false
+				}
+			}
+			return true
+		})
+		// Effect: write 1..MaxWrites variables with constants or flips.
+		nw := 1 + rng.Intn(cfg.MaxWrites)
+		type write struct {
+			v    int
+			mode int // 0: set, 1: clear, 2: flip
+		}
+		writes := make([]write, nw)
+		for i := range writes {
+			writes[i] = write{v: rng.Intn(cfg.Vars), mode: rng.Intn(3)}
+		}
+		writesCopy := append([]write(nil), writes...)
+		actions[a] = guarded.Det(fmt.Sprintf("a%d", a), guard, func(s state.State) state.State {
+			for _, w := range writesCopy {
+				switch w.mode {
+				case 0:
+					s = s.WithBool(w.v, true)
+				case 1:
+					s = s.WithBool(w.v, false)
+				default:
+					s = s.WithBool(w.v, !s.Bool(w.v))
+				}
+			}
+			return s
+		})
+	}
+	return guarded.NewProgram(fmt.Sprintf("rand%d", seed), sch, actions...)
+}
+
+// RandomPredicate returns a seeded random predicate over the program's
+// schema: a disjunction of full-state minterms.
+func RandomPredicate(seed int64, sch *state.Schema) state.Predicate {
+	rng := rand.New(rand.NewSource(seed))
+	n, _ := sch.NumStates()
+	members := make(map[uint64]bool)
+	count := 1 + rng.Intn(int(n))
+	for i := 0; i < count; i++ {
+		members[uint64(rng.Intn(int(n)))] = true
+	}
+	return state.Pred(fmt.Sprintf("rand-pred-%d", seed), func(s state.State) bool {
+		return members[s.Index()]
+	})
+}

@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// echoNode replies to every ping once; used to test the network plumbing.
+type echoNode struct {
+	id       int
+	received []Message
+}
+
+func (e *echoNode) Init(ctx *Context) {
+	if e.id == 0 {
+		ctx.Broadcast("ping")
+	}
+}
+
+func (e *echoNode) Receive(ctx *Context, msg Message) {
+	e.received = append(e.received, msg)
+	if s, ok := msg.Payload.(string); ok && s == "ping" {
+		ctx.Send(msg.From, "pong")
+	}
+}
+
+func TestNetworkDeliversAndReplays(t *testing.T) {
+	run := func() (Stats, []Message) {
+		nodes := []*echoNode{{id: 0}, {id: 1}, {id: 2}}
+		handlers := make([]Handler, len(nodes))
+		for i, n := range nodes {
+			handlers[i] = n
+		}
+		net, err := NewNetwork(handlers, Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := net.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, nodes[0].received
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 {
+		t.Fatalf("same seed must give same stats: %+v vs %+v", s1, s2)
+	}
+	if len(r1) != 2 || len(r2) != 2 {
+		t.Fatalf("node 0 should receive 2 pongs, got %d and %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].From != r2[i].From {
+			t.Fatalf("delivery order must replay: %v vs %v", r1, r2)
+		}
+	}
+}
+
+func TestNetworkDrops(t *testing.T) {
+	nodes := []*echoNode{{id: 0}, {id: 1}, {id: 2}, {id: 3}}
+	handlers := make([]Handler, len(nodes))
+	for i, n := range nodes {
+		handlers[i] = n
+	}
+	net, err := NewNetwork(handlers, Options{Seed: 5, DropProbability: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 {
+		t.Error("expected drops at 0.9 drop probability")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, Options{}); err == nil {
+		t.Error("empty handler list must be rejected")
+	}
+	if _, err := NewNetwork([]Handler{&echoNode{}}, Options{DropProbability: 1}); err == nil {
+		t.Error("drop probability 1 must be rejected")
+	}
+}
+
+func TestOMValidation(t *testing.T) {
+	if _, err := RunOM(2, 1, 0, nil, Options{}); err == nil {
+		t.Error("n < f+2 must be rejected")
+	}
+	if _, err := RunOM(4, 1, 2, nil, Options{}); err == nil {
+		t.Error("non-binary commander value must be rejected")
+	}
+	if _, err := RunOM(4, 1, 0, map[int]bool{1: true, 2: true}, Options{}); err == nil {
+		t.Error("more Byzantine processes than f must be rejected")
+	}
+}
+
+func TestOMNoFaults(t *testing.T) {
+	for _, n := range []int{4, 5, 7} {
+		for _, v := range []int{0, 1} {
+			res, err := RunOM(n, 1, v, nil, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, d := range res.Decisions {
+				if d != v {
+					t.Errorf("n=%d: lieutenant %d decided %d, want %d", n, id, d, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOMInteractiveConsistency(t *testing.T) {
+	// n ≥ 3f+1: agreement among honest lieutenants always, and validity
+	// whenever the commander is honest — across seeds and Byzantine sets.
+	cases := []struct {
+		n, f int
+		byz  []map[int]bool
+	}{
+		{4, 1, []map[int]bool{{0: true}, {1: true}, {2: true}, {3: true}}},
+		{5, 1, []map[int]bool{{0: true}, {2: true}}},
+		{7, 2, []map[int]bool{{0: true, 3: true}, {1: true, 2: true}, {0: true, 6: true}}},
+	}
+	for _, tc := range cases {
+		for _, byz := range tc.byz {
+			for seed := int64(0); seed < 25; seed++ {
+				for _, v := range []int{0, 1} {
+					res, err := RunOM(tc.n, tc.f, v, byz, Options{Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					decided, agree := res.HonestAgree(byz)
+					if !agree {
+						t.Fatalf("n=%d f=%d byz=%v seed=%d: honest lieutenants disagree: %v",
+							tc.n, tc.f, byz, seed, res.Decisions)
+					}
+					if !byz[0] && decided != v {
+						t.Fatalf("n=%d f=%d byz=%v seed=%d: validity violated: decided %d, commander sent %d",
+							tc.n, tc.f, byz, seed, decided, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOMBoundIsTight(t *testing.T) {
+	// With n = 3 and f = 1 (< 3f+1) interactive consistency must fail for
+	// some seed: a Byzantine lieutenant can break validity.
+	byz := map[int]bool{2: true}
+	violated := false
+	for seed := int64(0); seed < 200 && !violated; seed++ {
+		res, err := RunOM(3, 1, 1, byz, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, agree := res.HonestAgree(byz); !agree || d != 1 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("n=3, f=1 should violate interactive consistency for some seed")
+	}
+}
+
+func TestOMMessageComplexityGrows(t *testing.T) {
+	// OM(f) sends O(n^(f+1)) messages; check the growth is visible.
+	r1, err := RunOM(7, 1, 1, nil, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunOM(7, 2, 1, nil, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Sent <= r1.Stats.Sent {
+		t.Errorf("OM(2) should send more messages than OM(1): %d vs %d", r2.Stats.Sent, r1.Stats.Sent)
+	}
+}
+
+func TestOMDeterministicReplay(t *testing.T) {
+	byz := map[int]bool{0: true}
+	a, err := RunOM(4, 1, 1, byz, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOM(4, 1, 1, byz, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Decisions) != fmt.Sprint(b.Decisions) || a.Stats != b.Stats {
+		t.Errorf("same seed must replay: %v/%v vs %v/%v", a.Decisions, a.Stats, b.Decisions, b.Stats)
+	}
+}

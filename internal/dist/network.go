@@ -1,0 +1,177 @@
+// Package dist provides a deterministic discrete-event simulation of
+// message-passing processes — the "distributed simulation" mode of the
+// paper's SIEFAST environment (Section 7). Nodes exchange messages through a
+// seeded network that can reorder, delay and drop; equal seeds give equal
+// executions, so distributed runs are replayable.
+//
+// The package also implements Lamport's oral-messages algorithm OM(f) on top
+// of the network (om.go), extending the paper's n = 4, f = 1 Byzantine
+// agreement construction (Section 6.2) to the general n ≥ 3f + 1 case the
+// paper defers to its reference [11].
+package dist
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// Handler is a simulated process. Implementations must be deterministic
+// given the same inputs; randomness should come from the *rand.Rand the
+// network hands out, so runs replay.
+type Handler interface {
+	// Init runs once before any delivery; the handler may send its first
+	// messages here.
+	Init(ctx *Context)
+	// Receive handles one delivered message and may send further messages.
+	Receive(ctx *Context, msg Message)
+}
+
+// Context gives a handler access to its identity and the network.
+type Context struct {
+	Self int
+	net  *Network
+	rng  *rand.Rand
+}
+
+// Send enqueues a message for delivery; the network assigns a delivery time
+// with seeded jitter, so sends may be reordered.
+func (c *Context) Send(to int, payload any) {
+	c.net.send(c.Self, to, payload)
+}
+
+// Broadcast sends to every node except the sender.
+func (c *Context) Broadcast(payload any) {
+	for id := range c.net.handlers {
+		if id != c.Self {
+			c.Send(id, payload)
+		}
+	}
+}
+
+// NumNodes returns the network size.
+func (c *Context) NumNodes() int { return len(c.net.handlers) }
+
+// Rand returns the handler's seeded randomness source (per-node, stable
+// across runs with the same network seed).
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Options configure a network.
+type Options struct {
+	// Seed drives delivery order, jitter, drops, and handler randomness.
+	Seed int64
+	// DropProbability drops each message independently (0 = reliable).
+	DropProbability float64
+	// MaxJitter bounds the extra delivery delay per message (default 8).
+	MaxJitter int
+	// MaxEvents bounds the simulation (default 1 << 20).
+	MaxEvents int
+}
+
+// Stats summarizes a completed simulation.
+type Stats struct {
+	Delivered int
+	Dropped   int
+	Sent      int
+}
+
+// Network is a deterministic event-driven message router.
+type Network struct {
+	handlers []Handler
+	opts     Options
+	rng      *rand.Rand
+	now      int64
+	seq      int64
+	queue    eventQueue
+	stats    Stats
+	ctxs     []*Context
+}
+
+type event struct {
+	at  int64
+	seq int64 // FIFO tie-break for equal times
+	msg Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)   { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)     { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any       { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peekTime() int64 { return q[0].at }
+func (q eventQueue) empty() bool     { return len(q) == 0 }
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+// NewNetwork builds a network over the given handlers (node id = index).
+func NewNetwork(handlers []Handler, opts Options) (*Network, error) {
+	if len(handlers) == 0 {
+		return nil, errors.New("dist: need at least one handler")
+	}
+	if opts.DropProbability < 0 || opts.DropProbability >= 1 {
+		return nil, fmt.Errorf("dist: drop probability %v out of [0,1)", opts.DropProbability)
+	}
+	if opts.MaxJitter == 0 {
+		opts.MaxJitter = 8
+	}
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = 1 << 20
+	}
+	n := &Network{handlers: handlers, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	n.ctxs = make([]*Context, len(handlers))
+	for id := range handlers {
+		n.ctxs[id] = &Context{
+			Self: id,
+			net:  n,
+			rng:  rand.New(rand.NewSource(opts.Seed ^ (int64(id+1) * 0x1e3779b97f4a7c15))),
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) send(from, to int, payload any) {
+	n.stats.Sent++
+	if to < 0 || to >= len(n.handlers) {
+		return
+	}
+	if n.opts.DropProbability > 0 && n.rng.Float64() < n.opts.DropProbability {
+		n.stats.Dropped++
+		return
+	}
+	delay := 1 + int64(n.rng.Intn(n.opts.MaxJitter))
+	n.seq++
+	heap.Push(&n.queue, event{at: n.now + delay, seq: n.seq, msg: Message{From: from, To: to, Payload: payload}})
+}
+
+// Run initializes every handler and delivers messages until the queue drains
+// or MaxEvents is hit. It returns the delivery statistics and an error when
+// the event bound was exceeded (a hint of a non-terminating protocol).
+func (n *Network) Run() (Stats, error) {
+	for id, h := range n.handlers {
+		h.Init(n.ctxs[id])
+	}
+	for !n.queue.empty() {
+		if n.stats.Delivered >= n.opts.MaxEvents {
+			return n.stats, fmt.Errorf("dist: exceeded %d delivered events", n.opts.MaxEvents)
+		}
+		n.now = n.queue.peekTime()
+		e := heap.Pop(&n.queue).(event)
+		n.stats.Delivered++
+		n.handlers[e.msg.To].Receive(n.ctxs[e.msg.To], e.msg)
+	}
+	return n.stats, nil
+}

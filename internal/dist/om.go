@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements Lamport, Shostak and Pease's oral-messages algorithm
+// OM(f) over the simulated network, generalizing the paper's Section 6.2
+// construction from n = 4, f = 1 to any n ≥ 3f + 1. In the theory's terms
+// each lieutenant's exchanged-information tree is a distributed detector
+// (its recursive majority witnesses "this path reports the correct value")
+// and the final majority resolution is the corrector that re-establishes
+// agreement among non-Byzantine processes.
+
+// omMsg carries a value along a path of distinct process ids; the path
+// starts at the commander (id 0) and records every relayer.
+type omMsg struct {
+	Path  []int
+	Value int
+}
+
+// omNode is one process running OM(f).
+type omNode struct {
+	id        int
+	n, f      int
+	byzantine bool
+	value     int // commander only: the value to distribute
+	tree      map[string]int
+	sendSkip  float64 // probability a Byzantine node omits a send
+}
+
+var _ Handler = (*omNode)(nil)
+
+func pathKey(path []int) string {
+	key := make([]byte, len(path))
+	for i, p := range path {
+		key[i] = byte(p)
+	}
+	return string(key)
+}
+
+func pathContains(path []int, id int) bool {
+	for _, p := range path {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Init implements Handler: the commander distributes its value.
+func (nd *omNode) Init(ctx *Context) {
+	if nd.id != 0 {
+		return
+	}
+	path := []int{0}
+	nd.tree[pathKey(path)] = nd.value
+	for j := 1; j < nd.n; j++ {
+		v := nd.value
+		if nd.byzantine {
+			if ctx.Rand().Float64() < nd.sendSkip {
+				continue // a Byzantine commander may stay silent
+			}
+			v = ctx.Rand().Intn(2)
+		}
+		ctx.Send(j, omMsg{Path: path, Value: v})
+	}
+}
+
+// Receive implements Handler: store the reported value and relay it one
+// level deeper while the path is short enough.
+func (nd *omNode) Receive(ctx *Context, msg Message) {
+	m, ok := msg.Payload.(omMsg)
+	if !ok || pathContains(m.Path, nd.id) {
+		return
+	}
+	key := pathKey(m.Path)
+	if _, seen := nd.tree[key]; seen {
+		return // first report along a path wins
+	}
+	nd.tree[key] = m.Value
+	if len(m.Path) >= nd.f+1 {
+		return // leaf level: no further relay
+	}
+	relayPath := append(append([]int(nil), m.Path...), nd.id)
+	for j := 1; j < nd.n; j++ {
+		if j == nd.id || pathContains(m.Path, j) {
+			continue
+		}
+		v := m.Value
+		if nd.byzantine {
+			if ctx.Rand().Float64() < nd.sendSkip {
+				continue
+			}
+			v = ctx.Rand().Intn(2)
+		}
+		ctx.Send(j, omMsg{Path: relayPath, Value: v})
+	}
+}
+
+// resolve computes the decision for the subtree rooted at path, following
+// Lamport's OM(m) recursion exactly: at a leaf the directly received value
+// is used (default 0 when the message never arrived); at an interior node
+// the resolver takes the strict majority of its own directly received value
+// for the path plus the recursive results for every other lieutenant's
+// relay, breaking ties toward the default. Relays never echo back to
+// processes already on the path, so the resolver itself is not among the
+// relay children — its vote is exactly its direct value.
+func (nd *omNode) resolve(path []int) int {
+	if len(path) >= nd.f+1 {
+		return nd.tree[pathKey(path)] // zero default
+	}
+	counts := [2]int{}
+	votes := 1
+	counts[nd.tree[pathKey(path)]]++ // own directly received value
+	for j := 1; j < nd.n; j++ {
+		if j == nd.id || pathContains(path, j) {
+			continue
+		}
+		child := append(append([]int(nil), path...), j)
+		counts[nd.resolve(child)]++
+		votes++
+	}
+	if counts[1] > votes/2 {
+		return 1
+	}
+	return 0
+}
+
+// Decision returns the lieutenant's final value.
+func (nd *omNode) Decision() int {
+	return nd.resolve([]int{0})
+}
+
+// OMResult reports one OM(f) execution.
+type OMResult struct {
+	// Decisions maps each lieutenant id (1..n-1) to its decision.
+	Decisions map[int]int
+	Stats     Stats
+}
+
+// HonestAgree reports whether all non-Byzantine lieutenants decided the same
+// value, and returns that value.
+func (r OMResult) HonestAgree(byzantine map[int]bool) (int, bool) {
+	decided := -1
+	for id, v := range r.Decisions {
+		if byzantine[id] {
+			continue
+		}
+		if decided == -1 {
+			decided = v
+		} else if decided != v {
+			return 0, false
+		}
+	}
+	return decided, true
+}
+
+// RunOM executes the oral-messages algorithm with n processes (process 0 is
+// the commander), at most f Byzantine failures as flagged in `byzantine`,
+// and the given commander input. The classical bound requires n ≥ 3f + 1 for
+// interactive consistency; RunOM itself accepts any n ≥ f + 2 so that the
+// bound's necessity can be demonstrated experimentally.
+func RunOM(n, f, commanderValue int, byzantine map[int]bool, opts Options) (OMResult, error) {
+	if f < 0 || n < f+2 {
+		return OMResult{}, fmt.Errorf("dist: OM needs n ≥ f+2 (n=%d, f=%d)", n, f)
+	}
+	if commanderValue != 0 && commanderValue != 1 {
+		return OMResult{}, fmt.Errorf("dist: commander value must be binary (got %d)", commanderValue)
+	}
+	if len(byzantine) > f {
+		return OMResult{}, fmt.Errorf("dist: %d Byzantine processes exceed f=%d", len(byzantine), f)
+	}
+	nodes := make([]*omNode, n)
+	handlers := make([]Handler, n)
+	for id := 0; id < n; id++ {
+		nodes[id] = &omNode{
+			id: id, n: n, f: f,
+			byzantine: byzantine[id],
+			value:     commanderValue,
+			tree:      map[string]int{},
+			sendSkip:  0.2,
+		}
+		handlers[id] = nodes[id]
+	}
+	net, err := NewNetwork(handlers, opts)
+	if err != nil {
+		return OMResult{}, err
+	}
+	stats, err := net.Run()
+	if err != nil {
+		return OMResult{}, err
+	}
+	res := OMResult{Decisions: map[int]int{}, Stats: stats}
+	ids := make([]int, 0, n-1)
+	for id := 1; id < n; id++ {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		res.Decisions[id] = nodes[id].Decision()
+	}
+	return res, nil
+}

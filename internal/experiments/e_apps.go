@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/leader"
+	"detcorr/internal/memaccess"
+	"detcorr/internal/mutex"
+	"detcorr/internal/reset"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+	"detcorr/internal/termdetect"
+)
+
+// E14TerminationDetection checks ring-based termination detection as a
+// detector component (one of the applications the paper lists in
+// Section 1): soundness and liveness of the announcement, masking tolerance
+// to token displacement, and the classical negative results — color
+// corruption breaks Safeness, and removing the blackening rule makes the
+// algorithm unsound even without faults.
+func E14TerminationDetection() (Table, error) {
+	t := Table{
+		ID:      "E14",
+		Caption: "Application — termination detection as a detector ('done' detects 'all idle')",
+		Header:  []string{"check", "result", "detail"},
+	}
+	for _, n := range []int{2, 3} {
+		sys, err := termdetect.New(n)
+		if err != nil {
+			return t, err
+		}
+		d := sys.AsDetector()
+		ok := d.Check() == nil
+		mk := d.CheckFTolerant(sys.TokenLoss, fault.Masking) == nil
+		fsBad := d.CheckFTolerant(sys.ColorCorruption, fault.FailSafe) == nil
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprintf("n=%d: done detects all-idle", n), expect(ok, true), "Safeness = soundness, Progress = liveness"},
+			[]string{fmt.Sprintf("n=%d: masking tolerant to token displacement", n), expect(mk, true), "dirty token forces a restart"},
+			[]string{fmt.Sprintf("n=%d: fail-safe tolerant to color corruption", n), expect(fsBad, false), "false announcement found"},
+		)
+	}
+	return t, nil
+}
+
+// E15MutualExclusion checks token-based mutual exclusion over the
+// self-stabilizing ring (another Section 1 application): exclusion and
+// circulation hold from the invariant, counter corruption is tolerated
+// nonmasking (a transient double-entry is possible but the system
+// converges), and fail-safe fails as expected.
+func E15MutualExclusion() (Table, error) {
+	t := Table{
+		ID:      "E15",
+		Caption: "Application — mutual exclusion over the self-stabilizing ring",
+		Header:  []string{"check", "result", "detail"},
+	}
+	for _, tc := range []struct{ n, k int }{{3, 3}, {3, 4}} {
+		sys, err := mutex.New(tc.n, tc.k)
+		if err != nil {
+			return t, err
+		}
+		refines := sys.Spec.CheckRefinesFrom(sys.Program, sys.Invariant) == nil
+		nm := fault.CheckNonmasking(sys.Program, sys.Corruption, sys.Spec, sys.Invariant, sys.Invariant)
+		fs := fault.CheckFailSafe(sys.Program, sys.Corruption, sys.Spec, sys.Invariant)
+		stab := spec.CheckConverges(sys.Program, state.True, sys.Invariant) == nil
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprintf("n=%d K=%d: refines SPEC_mutex from invariant", tc.n, tc.k), expect(refines, true), "exclusion + circulation"},
+			[]string{fmt.Sprintf("n=%d K=%d: nonmasking under counter corruption", tc.n, tc.k), expect(nm.OK(), true), fmt.Sprintf("span %d states", nm.SpanSize)},
+			[]string{fmt.Sprintf("n=%d K=%d: fail-safe under counter corruption", tc.n, tc.k), expect(fs.OK(), false), "transient double entry"},
+			[]string{fmt.Sprintf("n=%d K=%d: self-stabilizing (converges from true)", tc.n, tc.k), expect(stab, true), "layered corrector"},
+		)
+	}
+	return t, nil
+}
+
+// E16Multitolerance checks the multitolerance composition of the paper's
+// reference [4] on the masking memory-access program: masking tolerance to
+// page faults, nonmasking tolerance to data scribbles, and — for faults of
+// both classes in one computation — the meet of the two guarantees
+// (nonmasking).
+func E16Multitolerance() (Table, error) {
+	t := Table{
+		ID:      "E16",
+		Caption: "Reference [4] — multitolerance: per-class kinds and their meet",
+		Header:  []string{"check", "result", "detail"},
+	}
+	sys, err := memaccessForMulti()
+	if err != nil {
+		return t, err
+	}
+	m, err := fault.CheckMulti(sys.prog, sys.prob, sys.inv,
+		fault.Requirement{Faults: sys.pageFault, Kind: fault.Masking},
+		fault.Requirement{Faults: sys.scribble, Kind: fault.Nonmasking},
+	)
+	if err != nil {
+		return t, err
+	}
+	for _, r := range m.Individual {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s to %s", r.Kind, r.Faults), expect(r.OK(), true),
+			fmt.Sprintf("span %d states", r.SpanSize),
+		})
+	}
+	for _, r := range m.Combined {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("combined: %s to %s", r.Kind, r.Faults), expect(r.OK(), true),
+			"meet(masking, nonmasking) = nonmasking",
+		})
+	}
+	// Overclaiming masking for the scribble class must be refuted.
+	over, err := fault.CheckMulti(sys.prog, sys.prob, sys.inv,
+		fault.Requirement{Faults: sys.scribble, Kind: fault.Masking},
+	)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"overclaim: masking to data-scribble", expect(over.OK(), false), "the fault step itself violates safety",
+	})
+	return t, nil
+}
+
+// multiSystem is the masking memory-access program with a second fault
+// class that scribbles the data register.
+type multiSystem struct {
+	prog      *guarded.Program
+	prob      spec.Problem
+	inv       state.Predicate
+	pageFault fault.Class
+	scribble  fault.Class
+}
+
+func memaccessForMulti() (*multiSystem, error) {
+	sys, err := memaccess.New(2)
+	if err != nil {
+		return nil, err
+	}
+	// The scribble flips data to the wrong value; recovery: the gated read
+	// rewrites it once the detector has pinned the page.
+	scribble := fault.NewClass("data-scribble", guarded.Det("scribble",
+		state.True,
+		func(s state.State) state.State {
+			wrong := (1 - s.GetName("val")) + 1
+			return s.WithName("data", wrong)
+		}))
+	return &multiSystem{
+		prog:      sys.Masking,
+		prob:      sys.Spec,
+		inv:       sys.S,
+		pageFault: sys.PageFaultWitness,
+		scribble:  scribble,
+	}, nil
+}
+
+// E17TreeMaintenance checks spanning-tree maintenance (the substrate of
+// distributed reset, two more Section 1 applications) as a corrector: the
+// BFS-tree predicate corrects itself from any state, the repair actions are
+// silent in legitimate states, and pointer corruption is tolerated
+// nonmasking.
+func E17TreeMaintenance() (Table, error) {
+	t := Table{
+		ID:      "E17",
+		Caption: "Application — tree maintenance (distributed reset substrate) as a corrector",
+		Header:  []string{"topology", "corrector", "nonmasking under corruption", "states"},
+	}
+	type topo struct {
+		name string
+		sys  func() (*reset.System, error)
+	}
+	for _, tc := range []topo{
+		{"line n=3", func() (*reset.System, error) { return reset.NewLine(3) }},
+		{"line n=4", func() (*reset.System, error) { return reset.NewLine(4) }},
+		{"ring n=4", func() (*reset.System, error) {
+			return reset.New([][]int{{1, 3}, {0, 2}, {1, 3}, {2, 0}})
+		}},
+	} {
+		sys, err := tc.sys()
+		if err != nil {
+			return t, err
+		}
+		ok := sys.AsCorrector().Check() == nil
+		nm := fault.CheckNonmasking(sys.Program, sys.Corruption, sys.Spec, state.True, sys.Tree)
+		n, _ := sys.Schema.NumStates()
+		t.Rows = append(t.Rows, []string{
+			tc.name, expect(ok, true), expect(nm.OK(), true), fmt.Sprint(n),
+		})
+	}
+	return t, nil
+}
+
+// E18LeaderElection checks self-stabilizing leader election (another
+// Section 1 application) as a corrector: the elected predicate corrects
+// itself from any state, belief corruption is tolerated nonmasking (a
+// transient wrong leader is possible), and dropping the self-injection rule
+// breaks convergence — found by the checker.
+func E18LeaderElection() (Table, error) {
+	t := Table{
+		ID:      "E18",
+		Caption: "Application — self-stabilizing leader election as a corrector",
+		Header:  []string{"ring", "corrector", "nonmasking under corruption", "fail-safe (expected to fail)", "states"},
+	}
+	for _, n := range []int{3, 4} {
+		sys, err := leader.New(n)
+		if err != nil {
+			return t, err
+		}
+		ok := sys.AsCorrector().Check() == nil
+		nm := fault.CheckNonmasking(sys.Program, sys.Corruption, sys.Spec, state.True, sys.Elected)
+		fs := fault.CheckFailSafe(sys.Program, sys.Corruption, sys.Spec, sys.Elected)
+		states, _ := sys.Schema.NumStates()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("n=%d", n), expect(ok, true), expect(nm.OK(), true), expect(fs.OK(), false), fmt.Sprint(states),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/memaccess"
+	"detcorr/internal/runtime"
+	"detcorr/internal/smr"
+	"detcorr/internal/state"
+	"detcorr/internal/tmr"
+	"detcorr/internal/tokenring"
+)
+
+// E12Simulation runs SIEFAST-style fault-injection campaigns over every
+// case study. The measured statistics must match each program's tolerance
+// class: fail-safe programs never violate safety but may deadlock,
+// nonmasking programs recover within bounded steps, masking programs do
+// both, and intolerant programs violate safety in some runs.
+func E12Simulation() (Table, error) {
+	t := Table{
+		ID:      "E12",
+		Caption: "SIEFAST substitute — fault-injection campaigns (200 seeded runs each)",
+		Header:  []string{"program", "faults injected", "safety violations", "halted runs", "mean recovery (steps)"},
+	}
+	type campaign struct {
+		name     string
+		prog     *guarded.Program
+		faults   fault.Class
+		initial  func() state.State
+		safety   runtime.Monitor
+		goal     state.Predicate
+		wantViol bool
+		wantDead bool
+	}
+	mem, err := memaccess.New(2)
+	if err != nil {
+		return t, err
+	}
+	tm, err := tmr.New(2)
+	if err != nil {
+		return t, err
+	}
+	sm, err := smr.New()
+	if err != nil {
+		return t, err
+	}
+	ring, err := tokenring.New(3, 3)
+	if err != nil {
+		return t, err
+	}
+	memInitW := func() state.State {
+		s, _ := state.FromMap(mem.WitnessSchema, map[string]int{"present": 1, "val": 1})
+		return s
+	}
+	memInitB := func() state.State {
+		s, _ := state.FromMap(mem.BaseSchema, map[string]int{"present": 1, "val": 1})
+		return s
+	}
+	tmrInit := func() state.State {
+		s, _ := state.FromMap(tm.Schema, map[string]int{"x": 1, "y": 1, "z": 1, "uncor": 1})
+		return s
+	}
+	smrInit := func() state.State {
+		s, _ := state.FromMap(sm.Schema, nil)
+		return s
+	}
+	ringInit := func() state.State {
+		s, _ := state.FromMap(ring.Schema, nil) // all counters 0: legitimate
+		return s
+	}
+	campaigns := []campaign{
+		{"memaccess p (intolerant)", mem.Intolerant, mem.PageFaultBase, memInitB,
+			runtime.NewSafetyMonitor(mem.Spec.Safety), mem.DataCorrect, true, false},
+		{"memaccess pf (fail-safe)", mem.FailSafe, mem.PageFaultWitness, memInitW,
+			runtime.NewSafetyMonitor(mem.Spec.Safety), state.Predicate{}, false, true},
+		// pn may transiently set data incorrectly — that is the nonmasking
+		// contract — so its oracle is recovery, not safety.
+		{"memaccess pn (nonmasking)", mem.Nonmasking, mem.PageFaultBase, memInitB,
+			nil, mem.DataCorrect, false, false},
+		{"memaccess pm (masking)", mem.Masking, mem.PageFaultWitness, memInitW,
+			runtime.NewSafetyMonitor(mem.Spec.Safety), mem.DataCorrect, false, false},
+		// TMR and SMR are terminating programs: every run halts once the
+		// output is assigned, so halted runs are expected — the oracle is
+		// that the output, once assigned, is correct.
+		{"TMR (masking)", tm.Masking, tm.Faults, tmrInit,
+			runtime.NewSafetyMonitor(tm.Spec.Safety), tm.OutCorrect, false, true},
+		{"SMR (masking)", sm.Masking, sm.Faults, smrInit,
+			runtime.NewSafetyMonitor(sm.Spec.Safety), sm.AllCorrect, false, true},
+		{"token ring (nonmasking)", ring.Ring, ring.Corruption, ringInit,
+			nil, ring.Legitimate, false, false},
+	}
+	for _, c := range campaigns {
+		c := c
+		res, err := runtime.Campaign{
+			Program: c.prog,
+			Config:  runtime.Config{Seed: 23, MaxSteps: 400, Faults: c.faults, FaultBudget: 2},
+			Initial: func(int) state.State { return c.initial() },
+			Monitors: func(int) []runtime.Monitor {
+				var ms []runtime.Monitor
+				if c.safety != nil {
+					ms = append(ms, c.safety)
+				}
+				if !c.goal.IsTrivial() {
+					ms = append(ms, &runtime.ConvergenceMonitor{Goal: c.goal})
+				}
+				return ms
+			},
+			Runs: 200,
+		}.Execute()
+		if err != nil {
+			return t, err
+		}
+		violCount := 0
+		for name, n := range res.ViolationCounts {
+			if len(name) >= 7 && name[:7] == "safety:" {
+				violCount += n
+			}
+		}
+		viol := fmt.Sprint(violCount)
+		if (violCount > 0) == c.wantViol {
+			viol += " ✓"
+		} else {
+			viol += " ✗"
+		}
+		dead := fmt.Sprint(res.Deadlocks)
+		if (res.Deadlocks > 0) == c.wantDead {
+			dead += " ✓"
+		} else {
+			dead += " ✗"
+		}
+		rec := "—"
+		if len(res.RecoverySteps) > 0 {
+			rec = fmt.Sprintf("%.1f (max %d)", res.MeanRecovery(), res.MaxRecovery())
+		}
+		t.Rows = append(t.Rows, []string{c.name, fmt.Sprint(res.TotalFaults), viol, dead, rec})
+	}
+	return t, nil
+}

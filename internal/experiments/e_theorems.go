@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/memaccess"
+	"detcorr/internal/smr"
+	"detcorr/internal/state"
+	"detcorr/internal/tmr"
+	"detcorr/internal/tokenring"
+)
+
+// E6DetectorTheorems machine-checks the detector theorems (3.4 and 3.6) on
+// the whole corpus of refinements in the repository.
+func E6DetectorTheorems() (Table, error) {
+	t := Table{
+		ID:      "E6",
+		Caption: "Theorems 3.4 and 3.6 — programs refining safety specs contain detectors",
+		Header:  []string{"instance", "theorem", "result", "detectors"},
+	}
+	mem, err := memaccess.New(2)
+	if err != nil {
+		return t, err
+	}
+	tm, err := tmr.New(2)
+	if err != nil {
+		return t, err
+	}
+	sm, err := smr.New()
+	if err != nil {
+		return t, err
+	}
+	type inst struct {
+		name string
+		run  func() core.TheoremResult
+	}
+	for _, in := range []inst{
+		{"memaccess pf (fault-free)", func() core.TheoremResult {
+			return core.Theorem3_4(mem.Intolerant, mem.FailSafe, mem.Spec.FailSafeSpec(), mem.S)
+		}},
+		{"memaccess pf (page fault)", func() core.TheoremResult {
+			return core.Theorem3_6(mem.Intolerant, mem.FailSafe, mem.Spec, mem.PageFaultWitness, mem.S, mem.S)
+		}},
+		{"TMR DR;IR (input corruption)", func() core.TheoremResult {
+			return core.Theorem3_6(tm.Intolerant, tm.FailSafe, tm.Spec, tm.Faults, tm.S, tm.S)
+		}},
+		{"SMR vote (replica corruption)", func() core.TheoremResult {
+			return core.Theorem3_6(sm.Intolerant, sm.FailSafe, sm.Spec, sm.Faults, sm.S, sm.S)
+		}},
+	} {
+		res := in.run()
+		detail := fmt.Sprint(len(res.Detectors))
+		t.Rows = append(t.Rows, []string{in.name, res.Theorem, expect(res.OK(), true), detail})
+	}
+	return t, nil
+}
+
+// E7CorrectorTheorems machine-checks the corrector theorems (4.1 and 4.3)
+// plus the token-ring corrector.
+func E7CorrectorTheorems() (Table, error) {
+	t := Table{
+		ID:      "E7",
+		Caption: "Theorems 4.1 and 4.3 — eventually-refining programs contain correctors",
+		Header:  []string{"instance", "result", "detail"},
+	}
+	mem, err := memaccess.New(2)
+	if err != nil {
+		return t, err
+	}
+	r41 := core.Theorem4_1(mem.Intolerant, mem.Nonmasking, mem.Spec, mem.S, state.True)
+	r43 := core.Theorem4_3(mem.Intolerant, mem.Nonmasking, mem.Spec, mem.PageFaultBase, mem.S, mem.S)
+	t.Rows = append(t.Rows,
+		[]string{"memaccess pn — Theorem 4.1", expect(r41.OK(), true), fmt.Sprintf("%d correctors", len(r41.Correctors))},
+		[]string{"memaccess pn — Theorem 4.3", expect(r43.OK(), true), fmt.Sprintf("%d correctors", len(r43.Correctors))},
+	)
+	for _, tc := range []struct{ n, k int }{{3, 3}, {4, 4}} {
+		ring, err := tokenring.New(tc.n, tc.k)
+		if err != nil {
+			return t, err
+		}
+		ok := ring.AsCorrector().Check() == nil
+		nm := fault.CheckNonmasking(ring.Ring, ring.Corruption, ring.Spec, state.True, ring.Legitimate)
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprintf("token ring n=%d K=%d is a corrector", tc.n, tc.k), expect(ok, true), "Z = X = legitimate"},
+			[]string{fmt.Sprintf("token ring n=%d K=%d nonmasking tolerant", tc.n, tc.k), expect(nm.OK(), true),
+				fmt.Sprintf("span %d states", nm.SpanSize)},
+		)
+	}
+	return t, nil
+}
+
+// E8MaskingTheorems machine-checks Theorem 5.2 (fail-safe ∧ convergence ⇒
+// masking) and Theorem 5.5 (masking programs contain both components).
+func E8MaskingTheorems() (Table, error) {
+	t := Table{
+		ID:      "E8",
+		Caption: "Theorems 5.2 and 5.5 — masking programs contain detectors and correctors",
+		Header:  []string{"instance", "result", "detail"},
+	}
+	mem, err := memaccess.New(2)
+	if err != nil {
+		return t, err
+	}
+	tm, err := tmr.New(2)
+	if err != nil {
+		return t, err
+	}
+	r52 := core.Theorem5_2(tm.Masking, tm.Spec, state.And(tm.T, tm.OutCorrect), tm.T)
+	r55 := core.Theorem5_5(mem.Nonmasking, mem.Masking, mem.Spec, mem.PageFaultWitness, mem.S, mem.S)
+	// Negative control: the fail-safe pf lacks convergence, so Theorem 5.2's
+	// hypotheses must fail for it.
+	spanT := mem.U1
+	r52neg := core.Theorem5_2(mem.FailSafe, mem.Spec, mem.S, spanT)
+	t.Rows = append(t.Rows,
+		[]string{"TMR — Theorem 5.2", expect(r52.OK(), true), fmt.Sprintf("%d hypotheses", len(r52.Hypotheses))},
+		[]string{"memaccess pm — Theorem 5.5", expect(r55.OK(), true),
+			fmt.Sprintf("%d detectors, %d correctors", len(r55.Detectors), len(r55.Correctors))},
+		[]string{"memaccess pf — Theorem 5.2 (control)", expect(r52neg.OK(), false), "no convergence from U1"},
+	)
+	return t, nil
+}

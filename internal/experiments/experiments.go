@@ -1,0 +1,103 @@
+// Package experiments regenerates every artifact of the paper's
+// "evaluation": the three memory-access figures (E1–E3), the TMR and
+// Byzantine-agreement constructions of Section 6 (E4, E5), the theorem
+// corpus (E6–E8), the token-ring application (E9), the synthesis method of
+// reference [4] (E10), the state-machine miniature (E11), SIEFAST-style
+// fault-injection campaigns (E12), the design-choice ablations (E13), and
+// the remaining Section 1 applications — termination detection (E14),
+// mutual exclusion (E15), multitolerance (E16), tree maintenance /
+// distributed reset (E17) and leader election (E18). Each experiment
+// returns a table; cmd/dcbench prints them and EXPERIMENTS.md records them
+// against the paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output: a caption, a header row, and data rows.
+type Table struct {
+	ID      string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Caption)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Runner produces one experiment's table.
+type Runner func() (Table, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"E1":  E1FailSafeMemory,
+	"E2":  E2NonmaskingMemory,
+	"E3":  E3MaskingMemory,
+	"E4":  E4TMR,
+	"E5":  E5Byzantine,
+	"E6":  E6DetectorTheorems,
+	"E7":  E7CorrectorTheorems,
+	"E8":  E8MaskingTheorems,
+	"E9":  E9TokenRing,
+	"E10": E10Synthesis,
+	"E11": E11StateMachine,
+	"E12": E12Simulation,
+	"E13": E13Ablation,
+	"E14": E14TerminationDetection,
+	"E15": E15MutualExclusion,
+	"E16": E16Multitolerance,
+	"E17": E17TreeMaintenance,
+	"E18": E18LeaderElection,
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string) (Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r()
+}
+
+// verdict renders a boolean tolerance verdict the way the tables expect.
+func verdict(ok bool) string {
+	if ok {
+		return "holds"
+	}
+	return "fails"
+}
+
+// expect marks whether a verdict matches the paper's claim.
+func expect(got bool, want bool) string {
+	if got == want {
+		return verdict(got) + " ✓"
+	}
+	return verdict(got) + " ✗ (expected " + verdict(want) + ")"
+}

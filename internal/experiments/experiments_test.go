@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsMatchPaperClaims runs every experiment end-to-end and
+// asserts that no table cell reports a verdict diverging from the paper's
+// claim (every divergence is rendered with "✗").
+func TestAllExperimentsMatchPaperClaims(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table, err := Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			for _, row := range table.Rows {
+				for _, cell := range row {
+					if strings.Contains(cell, "✗") {
+						t.Errorf("%s: verdict diverges from the paper: %v", id, row)
+					}
+				}
+			}
+			md := table.Markdown()
+			if !strings.Contains(md, "| "+table.Header[0]) {
+				t.Errorf("%s: markdown rendering missing header", id)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown experiment id must fail")
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(ids))
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E18" {
+		t.Errorf("ids out of order: %v", ids)
+	}
+}

@@ -1,0 +1,145 @@
+// Package explore builds explicit-state transition systems from
+// guarded-command programs and answers the graph-theoretic questions that
+// the paper's definitions reduce to: reachability (fault spans, invariant
+// closure), deadlock detection (maximality of computations), and
+// fair-cycle detection (the liveness side of convergence, progress, and the
+// nonmasking tolerance specification).
+//
+// Computations in the paper (Section 2.1) are weakly fair with respect to
+// program actions and maximal. Over a finite transition graph a violation of
+// "every computation from A reaches G" is therefore either a reachable
+// deadlock outside G or a reachable cycle outside G that some weakly fair
+// computation can traverse forever. Fair-cycle existence is decided per
+// strongly connected component: a fair infinite run confined to an SCC C
+// exists iff every fair action that is enabled at all states of C has at
+// least one transition inside C (weak fairness of action a is the Streett
+// condition "infinitely often disabled or infinitely often taken"; a tour
+// visiting every state and every internal transition of C realizes it).
+package explore
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of node ids.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty set with capacity for n ids.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set.
+func (b *Bitset) Len() int { return b.n }
+
+// Add inserts id into the set.
+func (b *Bitset) Add(id int) { b.words[id>>6] |= 1 << (uint(id) & 63) }
+
+// Remove deletes id from the set.
+func (b *Bitset) Remove(id int) { b.words[id>>6] &^= 1 << (uint(id) & 63) }
+
+// Has reports whether id is in the set.
+func (b *Bitset) Has(id int) bool { return b.words[id>>6]&(1<<(uint(id)&63)) != 0 }
+
+// Count returns the number of ids in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (b *Bitset) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (b *Bitset) Clone() *Bitset {
+	return &Bitset{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// Union adds every element of other to b.
+func (b *Bitset) Union(other *Bitset) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// Intersect removes from b every element not in other.
+func (b *Bitset) Intersect(other *Bitset) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Subtract removes from b every element of other.
+func (b *Bitset) Subtract(other *Bitset) {
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Complement returns the set of ids in [0,n) not in b.
+func (b *Bitset) Complement() *Bitset {
+	out := NewBitset(b.n)
+	for i := range b.words {
+		out.words[i] = ^b.words[i]
+	}
+	// Clear bits beyond n.
+	if rem := b.n & 63; rem != 0 && len(out.words) > 0 {
+		out.words[len(out.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return out
+}
+
+// SubsetOf reports whether every element of b is in other.
+func (b *Bitset) SubsetOf(other *Bitset) bool {
+	for i := range b.words {
+		if b.words[i]&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every id in the set in increasing order, stopping
+// early if fn returns false.
+func (b *Bitset) ForEach(fn func(id int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Any returns an arbitrary element of the set, or -1 if empty.
+func (b *Bitset) Any() int {
+	for wi, w := range b.words {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Slice returns the elements in increasing order.
+func (b *Bitset) Slice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,47 @@
+package explore
+
+// FilterEdges returns a view of the graph with the same node set but keeping
+// only the edges for which keep returns true. The filtered graph shares the
+// underlying states; enabledness (and therefore deadlock and fairness
+// checks) still consult the original program's guards, which is what the
+// refinement and detector checks need: filtering restricts which transitions
+// may recur, not which actions exist.
+func (g *Graph) FilterEdges(keep func(from int, e Edge) bool) *Graph {
+	out := make([][]Edge, len(g.states))
+	for v, edges := range g.out {
+		for _, e := range edges {
+			if keep(v, e) {
+				out[v] = append(out[v], e)
+			}
+		}
+	}
+	f := &Graph{
+		prog:    g.prog,
+		states:  g.states,
+		ids:     g.ids,
+		out:     out,
+		fair:    g.fair,
+		numActs: g.numActs,
+	}
+	f.buildIn()
+	return f
+}
+
+// RestrictFair returns a view of the graph where only the actions accepted
+// by keep are treated as fair (subject to weak fairness and counted for
+// maximality). Edges are unchanged.
+func (g *Graph) RestrictFair(keep func(action int) bool) *Graph {
+	fair := make([]bool, g.numActs)
+	for a := range fair {
+		fair[a] = g.fair[a] && keep(a)
+	}
+	return &Graph{
+		prog:    g.prog,
+		states:  g.states,
+		ids:     g.ids,
+		out:     g.out,
+		in:      g.in,
+		fair:    fair,
+		numActs: g.numActs,
+	}
+}

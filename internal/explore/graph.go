@@ -1,0 +1,271 @@
+package explore
+
+import (
+	"fmt"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Edge is a transition to node To produced by the action with index Action
+// in the source program.
+type Edge struct {
+	Action int
+	To     int
+}
+
+// Graph is an explicit-state transition system for a program: the nodes are
+// the states reachable from an initial predicate (or the entire state
+// space), and the labeled edges are the program's transitions.
+type Graph struct {
+	prog    *guarded.Program
+	states  []state.State
+	ids     map[uint64]int
+	out     [][]Edge
+	in      [][]Edge
+	fair    []bool // fair[a]: action a is subject to weak fairness and counts for maximality
+	numActs int
+}
+
+// Options configure graph construction.
+type Options struct {
+	// Fair marks which actions are program actions (weakly fair, counted
+	// for maximality). nil means all actions are fair. Fault actions of a
+	// p ‖ F composition must be marked unfair: computations are only
+	// p-fair and p-maximal (Section 2.3).
+	Fair []bool
+	// MaxStates aborts construction when the explored state count exceeds
+	// this bound; 0 means no bound beyond the schema's own limit.
+	MaxStates int
+}
+
+// ErrStateBound is returned when exploration exceeds Options.MaxStates.
+var ErrStateBound = fmt.Errorf("explore: state bound exceeded")
+
+// Build explores the program from every state satisfying init and returns
+// the induced transition graph. With init == state.True the graph covers the
+// entire (finite) state space, which is what checks quantified over all
+// states — such as invariant closure — require.
+func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
+	if err := p.Schema().Indexable(); err != nil {
+		return nil, err
+	}
+	fair := opts.Fair
+	if fair == nil {
+		fair = make([]bool, p.NumActions())
+		for i := range fair {
+			fair[i] = true
+		}
+	}
+	if len(fair) != p.NumActions() {
+		return nil, fmt.Errorf("explore: fairness mask has %d entries for %d actions", len(fair), p.NumActions())
+	}
+	g := &Graph{
+		prog:    p,
+		ids:     make(map[uint64]int),
+		fair:    append([]bool(nil), fair...),
+		numActs: p.NumActions(),
+	}
+	var frontier []int
+	add := func(s state.State) int {
+		key := s.Index()
+		if id, ok := g.ids[key]; ok {
+			return id
+		}
+		id := len(g.states)
+		g.ids[key] = id
+		g.states = append(g.states, s)
+		g.out = append(g.out, nil)
+		frontier = append(frontier, id)
+		return id
+	}
+	err := p.Schema().ForEachState(func(s state.State) bool {
+		if init.Holds(s) {
+			add(s)
+		}
+		return opts.MaxStates == 0 || len(g.states) <= opts.MaxStates
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxStates > 0 && len(g.states) > opts.MaxStates {
+		return nil, fmt.Errorf("%w: more than %d initial states", ErrStateBound, opts.MaxStates)
+	}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		s := g.states[id]
+		for _, tr := range p.Successors(s) {
+			to := add(tr.To)
+			if opts.MaxStates > 0 && len(g.states) > opts.MaxStates {
+				return nil, fmt.Errorf("%w: more than %d states", ErrStateBound, opts.MaxStates)
+			}
+			g.out[id] = append(g.out[id], Edge{Action: tr.Action, To: to})
+		}
+	}
+	g.buildIn()
+	return g, nil
+}
+
+func (g *Graph) buildIn() {
+	g.in = make([][]Edge, len(g.states))
+	for from, edges := range g.out {
+		for _, e := range edges {
+			g.in[e.To] = append(g.in[e.To], Edge{Action: e.Action, To: from})
+		}
+	}
+}
+
+// Program returns the program the graph was built from.
+func (g *Graph) Program() *guarded.Program { return g.prog }
+
+// NumNodes returns the number of explored states.
+func (g *Graph) NumNodes() int { return len(g.states) }
+
+// NumEdges returns the number of transitions.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// State returns the state of node id.
+func (g *Graph) State(id int) state.State { return g.states[id] }
+
+// NodeOf returns the node id of a state, if it was explored.
+func (g *Graph) NodeOf(s state.State) (int, bool) {
+	id, ok := g.ids[s.Index()]
+	return id, ok
+}
+
+// Out returns the outgoing edges of node id. The returned slice must not be
+// modified.
+func (g *Graph) Out(id int) []Edge { return g.out[id] }
+
+// In returns the incoming edges of node id (Edge.To holds the source). The
+// returned slice must not be modified.
+func (g *Graph) In(id int) []Edge { return g.in[id] }
+
+// FairAction reports whether action a is subject to weak fairness.
+func (g *Graph) FairAction(a int) bool { return g.fair[a] }
+
+// ActionName returns the name of action a in the source program.
+func (g *Graph) ActionName(a int) string { return g.prog.Action(a).Name }
+
+// SetOf returns the node set satisfying the predicate.
+func (g *Graph) SetOf(p state.Predicate) *Bitset {
+	b := NewBitset(len(g.states))
+	for id, s := range g.states {
+		if p.Holds(s) {
+			b.Add(id)
+		}
+	}
+	return b
+}
+
+// All returns the set of all nodes.
+func (g *Graph) All() *Bitset {
+	b := NewBitset(len(g.states))
+	for id := range g.states {
+		b.Add(id)
+	}
+	return b
+}
+
+// Deadlocked reports whether node id has no enabled fair (program) action.
+// Unfair actions (faults) do not rescue a deadlock: maximality is
+// p-maximality (Section 2.3).
+func (g *Graph) Deadlocked(id int) bool {
+	s := g.states[id]
+	for a := 0; a < g.numActs; a++ {
+		if g.fair[a] && g.prog.Action(a).Enabled(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled reports whether action a is enabled at node id.
+func (g *Graph) Enabled(id, a int) bool {
+	return g.prog.Action(a).Enabled(g.states[id])
+}
+
+// Reach returns the set of nodes reachable from `from` (inclusive) along
+// edges whose source and target stay inside `within`; pass nil for within to
+// allow all nodes. Only edges from nodes inside within are followed.
+func (g *Graph) Reach(from *Bitset, within *Bitset) *Bitset {
+	seen := NewBitset(len(g.states))
+	var stack []int
+	from.ForEach(func(id int) bool {
+		if within == nil || within.Has(id) {
+			if !seen.Has(id) {
+				seen.Add(id)
+				stack = append(stack, id)
+			}
+		}
+		return true
+	})
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[id] {
+			if within != nil && !within.Has(e.To) {
+				continue
+			}
+			if !seen.Has(e.To) {
+				seen.Add(e.To)
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// PathBetween returns a state path (BFS, shortest) from any node in `from`
+// to any node in `goal`, moving only through `within` (nil = all). It
+// reports false when no such path exists.
+func (g *Graph) PathBetween(from, goal *Bitset, within *Bitset) ([]state.State, bool) {
+	parent := make([]int, len(g.states))
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	var queue []int
+	from.ForEach(func(id int) bool {
+		if within == nil || within.Has(id) {
+			parent[id] = -1
+			queue = append(queue, id)
+		}
+		return true
+	})
+	target := -1
+	for i := 0; i < len(queue) && target < 0; i++ {
+		id := queue[i]
+		if goal.Has(id) {
+			target = id
+			break
+		}
+		for _, e := range g.out[id] {
+			if within != nil && !within.Has(e.To) {
+				continue
+			}
+			if parent[e.To] == -2 {
+				parent[e.To] = id
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if target < 0 {
+		return nil, false
+	}
+	var rev []state.State
+	for id := target; id != -1; id = parent[id] {
+		rev = append(rev, g.states[id])
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}

@@ -1,0 +1,135 @@
+// Package fault implements the paper's fault model (Section 2.3) and
+// fault-tolerance specifications (Section 2.4).
+//
+// A fault-class F for a program p is a set of actions over the variables of
+// p; a computation of p in the presence of F interleaves p-actions and
+// finitely many F-actions and is p-fair and p-maximal. The package builds
+// the composition p ‖ F (fault actions marked unfair and excluded from
+// maximality), computes fault spans, and decides the three tolerance
+// classes:
+//
+//   - fail-safe: p ‖ F refines the smallest safety specification containing
+//     SPEC from the span T;
+//   - nonmasking: computations of p ‖ F from T have a suffix in SPEC, which
+//     under Assumption 2 (finitely many faults) reduces to p converging
+//     from T back to a predicate R from which p refines SPEC;
+//   - masking: computations of p ‖ F from T are in SPEC.
+package fault
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// Class is a fault-class for a program: a set of actions over the program's
+// variables (Section 2.3). The representation accommodates any fault type —
+// stuck-at, crash, omission, or Byzantine — since all are state
+// perturbations.
+type Class struct {
+	Name    string
+	Actions []guarded.Action
+}
+
+// NewClass builds a fault class.
+func NewClass(name string, actions ...guarded.Action) Class {
+	return Class{Name: name, Actions: append([]guarded.Action(nil), actions...)}
+}
+
+// Empty reports whether the class has no fault actions.
+func (c Class) Empty() bool { return len(c.Actions) == 0 }
+
+// String returns the class name.
+func (c Class) String() string {
+	if c.Name == "" {
+		return "<faults>"
+	}
+	return c.Name
+}
+
+// Compose returns the program p ‖ F (the union of p's actions and the fault
+// actions, Section 2.3 notation) together with the fairness mask marking
+// fault actions as unfair: computations of p ‖ F are only p-fair and
+// p-maximal.
+func Compose(p *guarded.Program, f Class) (*guarded.Program, []bool, error) {
+	actions := p.Actions()
+	mask := make([]bool, 0, len(actions)+len(f.Actions))
+	for range actions {
+		mask = append(mask, true)
+	}
+	for i, a := range f.Actions {
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s#%d", f.Name, i)
+		}
+		if _, clash := p.ActionByName(name); clash {
+			name = f.Name + "." + name
+		}
+		actions = append(actions, a.WithName(name))
+		mask = append(mask, false)
+	}
+	composed, err := guarded.NewProgram(fmt.Sprintf("%s ‖ %s", p.Name(), f.Name), p.Schema(), actions...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return composed, mask, nil
+}
+
+// Span holds a computed fault span: the set of states reachable from the
+// invariant S under p ‖ F. It is the smallest F-span of p from S
+// (Section 2.3, "Fault-span"): S ⇒ T, T closed in p, and T closed in F.
+type Span struct {
+	Graph     *explore.Graph  // graph of p ‖ F over the span states
+	Reachable *explore.Bitset // span as a node set of Graph
+	Predicate state.Predicate // span as a state predicate
+	Size      int             // number of states in the span
+}
+
+// ComputeSpan explores p ‖ F from every state satisfying s and returns the
+// span.
+func ComputeSpan(p *guarded.Program, f Class, s state.Predicate) (*Span, error) {
+	composed, mask, err := Compose(p, f)
+	if err != nil {
+		return nil, err
+	}
+	g, err := explore.Build(composed, s, explore.Options{Fair: mask})
+	if err != nil {
+		return nil, err
+	}
+	reach := g.Reach(g.SetOf(s), nil)
+	pred := state.Pred(
+		fmt.Sprintf("span(%s,%s,%s)", p.Name(), f, s),
+		func(st state.State) bool {
+			id, ok := g.NodeOf(st)
+			return ok && reach.Has(id)
+		},
+	)
+	return &Span{Graph: g, Reachable: reach, Predicate: pred, Size: reach.Count()}, nil
+}
+
+// CheckSpan verifies the definitional conditions for "T is an F-span of p
+// from S" (Section 2.3): S ⇒ T, T closed in p, and each action of F
+// preserves T.
+func CheckSpan(p *guarded.Program, f Class, s, t state.Predicate) error {
+	ok, w, err := state.ImpliesEverywhere(p.Schema(), s, t)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("fault: S ⇒ T fails at %s", w)
+	}
+	if err := spec.CheckClosed(p, t); err != nil {
+		return fmt.Errorf("fault: span not closed in program: %w", err)
+	}
+	fprog, err := guarded.NewProgram(f.Name, p.Schema(), f.Actions...)
+	if err != nil {
+		return err
+	}
+	if err := spec.CheckClosed(fprog, t); err != nil {
+		return fmt.Errorf("fault: span not preserved by faults: %w", err)
+	}
+	return nil
+}

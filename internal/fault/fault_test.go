@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// Test fixture: a counter over 0..n-1 that climbs to the top; faults knock
+// it down. The specification: never step below the start (safety stand-in)
+// and eventually reach the top (liveness).
+func fixture(t *testing.T, n int) (*guarded.Program, Class, spec.Problem, state.Predicate) {
+	t.Helper()
+	sch, err := state.NewSchema(state.IntVar("x", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := guarded.MustProgram("climb", sch, guarded.Det("inc",
+		state.Pred("x<max", func(s state.State) bool { return s.Get(0) < n-1 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)+1) }))
+	knock := NewClass("knock", guarded.Det("down",
+		state.Pred("x>0", func(s state.State) bool { return s.Get(0) > 0 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)-1) }))
+	top := state.Pred("x=max", func(s state.State) bool { return s.Get(0) == n-1 })
+	prob := spec.Problem{
+		Name:   "reach-top",
+		Safety: spec.TrueSafety,
+		Live:   []spec.LeadsTo{{Name: "top", P: state.True, Q: top}},
+	}
+	return p, knock, prob, top
+}
+
+func TestComposeMarksFaultsUnfair(t *testing.T) {
+	p, knock, _, _ := fixture(t, 4)
+	composed, mask, err := Compose(p, knock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.NumActions() != 2 {
+		t.Fatalf("composed actions = %d", composed.NumActions())
+	}
+	if !mask[0] || mask[1] {
+		t.Errorf("mask = %v; want [true false]", mask)
+	}
+	if !strings.Contains(composed.Name(), "‖") {
+		t.Errorf("composed name %q", composed.Name())
+	}
+}
+
+func TestComposeRenamesClashes(t *testing.T) {
+	p, _, _, _ := fixture(t, 4)
+	clash := NewClass("f", guarded.Skip("inc", state.True))
+	composed, _, err := Compose(p, clash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(composed.ActionNames(), ",")
+	if !strings.Contains(names, "f.inc") {
+		t.Errorf("clash should be renamed: %s", names)
+	}
+}
+
+func TestComputeSpan(t *testing.T) {
+	p, knock, _, top := fixture(t, 4)
+	span, err := ComputeSpan(p, knock, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the top, faults can knock down to any x; the span is everything.
+	if span.Size != 4 {
+		t.Errorf("span size %d, want 4", span.Size)
+	}
+	for x := 0; x < 4; x++ {
+		if !span.Predicate.Holds(state.MustState(p.Schema(), x)) {
+			t.Errorf("x=%d should be in the span", x)
+		}
+	}
+}
+
+func TestCheckSpanDefinition(t *testing.T) {
+	p, knock, _, top := fixture(t, 4)
+	if err := CheckSpan(p, knock, top, state.True); err != nil {
+		t.Errorf("true is always an F-span: %v", err)
+	}
+	// top itself is not an F-span: faults do not preserve it.
+	if err := CheckSpan(p, knock, top, top); err == nil {
+		t.Error("top is not preserved by knock-down faults")
+	}
+	// S ⇒ T must be checked.
+	bottom := state.Pred("x=0", func(s state.State) bool { return s.Get(0) == 0 })
+	if err := CheckSpan(p, knock, top, bottom); err == nil {
+		t.Error("S ⇒ T violation must be reported")
+	}
+}
+
+func TestNonmaskingHoldsForClimber(t *testing.T) {
+	p, knock, prob, top := fixture(t, 4)
+	rep := CheckNonmasking(p, knock, prob, top, top)
+	if !rep.OK() {
+		t.Errorf("the climber recovers to the top after faults: %v", rep.Err)
+	}
+	if rep.Kind != Nonmasking || rep.SpanSize != 4 {
+		t.Errorf("report fields: %+v", rep)
+	}
+}
+
+func TestMaskingHoldsBecauseLivenessSurvives(t *testing.T) {
+	// With TrueSafety, masking reduces to liveness under faults, which the
+	// climber satisfies (faults are finite).
+	p, knock, prob, top := fixture(t, 4)
+	rep := CheckMasking(p, knock, prob, top)
+	if !rep.OK() {
+		t.Errorf("masking should hold: %v", rep.Err)
+	}
+}
+
+func TestFailSafeSafetyViolationDetected(t *testing.T) {
+	p, knock, _, top := fixture(t, 4)
+	prob := spec.Problem{
+		Name:   "never-low",
+		Safety: spec.NeverState("x=0 forbidden", state.Pred("x=0", func(s state.State) bool { return s.Get(0) == 0 })),
+	}
+	rep := CheckFailSafe(p, knock, prob, top)
+	if rep.OK() {
+		t.Error("faults can knock x to 0, violating the safety spec")
+	}
+	if !strings.Contains(rep.Err.Error(), "presence of faults") {
+		t.Errorf("error should blame the faulty phase: %v", rep.Err)
+	}
+	if !strings.Contains(rep.String(), "FAILS") {
+		t.Errorf("report string: %s", rep.String())
+	}
+}
+
+func TestAbsenceOfFaultsFailureIsDistinguished(t *testing.T) {
+	p, knock, _, _ := fixture(t, 4)
+	prob := spec.Problem{
+		Name:   "never-top",
+		Safety: spec.NeverState("top forbidden", state.Pred("x=3", func(s state.State) bool { return s.Get(0) == 3 })),
+	}
+	rep := CheckFailSafe(p, knock, prob, state.Pred("x=1", func(s state.State) bool { return s.Get(0) == 1 }))
+	if rep.OK() {
+		t.Fatal("the climber reaches the forbidden top without any faults")
+	}
+	if !strings.Contains(rep.Err.Error(), "absence of faults") {
+		t.Errorf("error should blame the fault-free phase: %v", rep.Err)
+	}
+}
+
+func TestCheckDispatch(t *testing.T) {
+	p, knock, prob, top := fixture(t, 4)
+	for _, kind := range []Kind{FailSafe, Nonmasking, Masking} {
+		rep := Check(kind, p, knock, prob, top, top)
+		if rep.Kind != kind {
+			t.Errorf("dispatch set kind %v, want %v", rep.Kind, kind)
+		}
+	}
+	rep := Check(Kind(42), p, knock, prob, top, top)
+	if rep.OK() {
+		t.Error("unknown kind must fail")
+	}
+	if got := Kind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("Kind(42).String() = %q", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if FailSafe.String() != "fail-safe" || Nonmasking.String() != "nonmasking" || Masking.String() != "masking" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestEmptyClass(t *testing.T) {
+	if !(Class{}).Empty() {
+		t.Error("zero class is empty")
+	}
+	if (Class{}).String() != "<faults>" {
+		t.Error("zero class rendering")
+	}
+	p, _, prob, top := fixture(t, 4)
+	// With no faults, every tolerance class collapses to plain refinement.
+	for _, kind := range []Kind{FailSafe, Nonmasking, Masking} {
+		rep := Check(kind, p, NewClass("none"), prob, top, top)
+		if !rep.OK() {
+			t.Errorf("%v with no faults should hold: %v", kind, rep.Err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// This file implements multitolerance, the design goal of the paper's
+// reference [4] ("Component based design of multitolerance"): a program is
+// multitolerant when it provides a (possibly different) tolerance kind for
+// each of several fault classes, and, when faults from several classes
+// occur in the same computation, it provides the *meet* of their kinds —
+// masking ∧ fail-safe = fail-safe, masking ∧ nonmasking = nonmasking, and
+// fail-safe ∧ nonmasking have no common guarantee.
+
+// Requirement pairs a fault class with the tolerance kind the program must
+// provide for it. Recovery is the predicate the program must converge back
+// to for nonmasking requirements; leave it zero to use the invariant.
+type Requirement struct {
+	Faults   Class
+	Kind     Kind
+	Recovery state.Predicate
+}
+
+// Meet returns the strongest tolerance kind implied by both arguments, and
+// false when they have no common guarantee (fail-safe ∧ nonmasking).
+func Meet(a, b Kind) (Kind, bool) {
+	if a == b {
+		return a, true
+	}
+	if a == Masking {
+		return b, true
+	}
+	if b == Masking {
+		return a, true
+	}
+	return 0, false
+}
+
+// MultiReport aggregates a multitolerance check: one report per individual
+// requirement and one per checked combination.
+type MultiReport struct {
+	Individual []Report
+	Combined   []Report
+}
+
+// OK reports whether every individual and combined check holds.
+func (m MultiReport) OK() bool {
+	for _, r := range m.Individual {
+		if !r.OK() {
+			return false
+		}
+	}
+	for _, r := range m.Combined {
+		if !r.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns the first failure, if any.
+func (m MultiReport) Err() error {
+	for _, r := range m.Individual {
+		if !r.OK() {
+			return r.Err
+		}
+	}
+	for _, r := range m.Combined {
+		if !r.OK() {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// CheckMulti decides multitolerance of p from invariant s: each requirement
+// is checked individually, and every pair of requirements whose kinds have
+// a meet is checked against the union of their fault classes at the meet
+// kind (including, transitively, the union of all classes when a common
+// meet exists). Recovery predicates for a combined nonmasking check use the
+// first requirement's recovery predicate, falling back to s.
+func CheckMulti(p *guarded.Program, prob spec.Problem, s state.Predicate, reqs ...Requirement) (MultiReport, error) {
+	if len(reqs) == 0 {
+		return MultiReport{}, fmt.Errorf("fault: multitolerance needs at least one requirement")
+	}
+	var m MultiReport
+	for _, r := range reqs {
+		rec := r.Recovery
+		if rec.IsTrivial() && rec.Name == "" {
+			rec = s
+		}
+		m.Individual = append(m.Individual, Check(r.Kind, p, r.Faults, prob, s, rec))
+	}
+	// Pairwise (and, when it exists, global) combined checks.
+	for i := 0; i < len(reqs); i++ {
+		for j := i + 1; j < len(reqs); j++ {
+			kind, ok := Meet(reqs[i].Kind, reqs[j].Kind)
+			if !ok {
+				continue
+			}
+			union := unionClass(reqs[i].Faults, reqs[j].Faults)
+			rec := combinedRecovery(s, reqs[i], reqs[j])
+			m.Combined = append(m.Combined, Check(kind, p, union, prob, s, rec))
+		}
+	}
+	if len(reqs) > 2 {
+		kind := reqs[0].Kind
+		ok := true
+		for _, r := range reqs[1:] {
+			if kind, ok = Meet(kind, r.Kind); !ok {
+				break
+			}
+		}
+		if ok {
+			all := reqs[0].Faults
+			for _, r := range reqs[1:] {
+				all = unionClass(all, r.Faults)
+			}
+			m.Combined = append(m.Combined, Check(kind, p, all, prob, s, combinedRecovery(s, reqs...)))
+		}
+	}
+	return m, nil
+}
+
+func combinedRecovery(s state.Predicate, reqs ...Requirement) state.Predicate {
+	for _, r := range reqs {
+		if !r.Recovery.IsTrivial() || r.Recovery.Name != "" {
+			return r.Recovery
+		}
+	}
+	return s
+}
+
+func unionClass(a, b Class) Class {
+	name := a.Name + "+" + b.Name
+	actions := append([]guarded.Action(nil), a.Actions...)
+	seen := map[string]bool{}
+	for _, x := range actions {
+		seen[x.Name] = true
+	}
+	for _, x := range b.Actions {
+		if seen[x.Name] {
+			x = x.WithName(strings.TrimSuffix(b.Name, ".") + "." + x.Name)
+		}
+		seen[x.Name] = true
+		actions = append(actions, x)
+	}
+	return NewClass(name, actions...)
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"testing"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func TestMeet(t *testing.T) {
+	cases := []struct {
+		a, b Kind
+		want Kind
+		ok   bool
+	}{
+		{Masking, Masking, Masking, true},
+		{Masking, FailSafe, FailSafe, true},
+		{Masking, Nonmasking, Nonmasking, true},
+		{FailSafe, Masking, FailSafe, true},
+		{FailSafe, FailSafe, FailSafe, true},
+		{Nonmasking, Nonmasking, Nonmasking, true},
+		{FailSafe, Nonmasking, 0, false},
+		{Nonmasking, FailSafe, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := Meet(tc.a, tc.b)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Meet(%v,%v) = %v,%v; want %v,%v", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// multiFixture is a two-variable system with two fault classes of different
+// severity: "nudge" moves x off the top (recoverable, and never violates
+// safety because the safety spec only constrains y); "scribble" corrupts y
+// (y is what the safety spec watches, so only recovery can be promised).
+func multiFixture(t *testing.T) (*guarded.Program, spec.Problem, state.Predicate, Requirement, Requirement) {
+	t.Helper()
+	sch, err := state.NewSchema(state.IntVar("x", 3), state.BoolVar("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	climb := guarded.Det("climb",
+		state.Pred("x<2", func(s state.State) bool { return s.GetName("x") < 2 }),
+		func(s state.State) state.State { return s.WithName("x", s.GetName("x")+1) })
+	fixY := guarded.Det("fixY",
+		state.Pred("y", func(s state.State) bool { return s.GetName("y") != 0 }),
+		func(s state.State) state.State { return s.WithName("y", 0) })
+	p := guarded.MustProgram("multi", sch, climb, fixY)
+
+	inv := state.Pred("x=2 ∧ ¬y", func(s state.State) bool {
+		return s.GetName("x") == 2 && s.GetName("y") == 0
+	})
+	prob := spec.Problem{
+		Name: "SPEC_multi",
+		// Safety watches only y: a step that raises y is bad.
+		Safety: spec.NeverStep("y never raised", func(from, to state.State) bool {
+			return from.GetName("y") == 0 && to.GetName("y") != 0
+		}),
+		Live: []spec.LeadsTo{{Name: "top", P: state.True,
+			Q: state.Pred("x=2", func(s state.State) bool { return s.GetName("x") == 2 })}},
+	}
+	nudge := NewClass("nudge", guarded.Det("nudge",
+		state.Pred("x>0", func(s state.State) bool { return s.GetName("x") > 0 }),
+		func(s state.State) state.State { return s.WithName("x", s.GetName("x")-1) }))
+	scribble := NewClass("scribble", guarded.Det("scribble",
+		state.Pred("¬y", func(s state.State) bool { return s.GetName("y") == 0 }),
+		func(s state.State) state.State { return s.WithName("y", 1) }))
+	return p, prob, inv,
+		Requirement{Faults: nudge, Kind: Masking},
+		Requirement{Faults: scribble, Kind: Nonmasking}
+}
+
+func TestCheckMultiHolds(t *testing.T) {
+	p, prob, inv, rNudge, rScribble := multiFixture(t)
+	m, err := CheckMulti(p, prob, inv, rNudge, rScribble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.OK() {
+		t.Fatalf("multitolerance should hold: %v", m.Err())
+	}
+	if len(m.Individual) != 2 {
+		t.Errorf("want 2 individual reports, got %d", len(m.Individual))
+	}
+	if len(m.Combined) != 1 {
+		t.Fatalf("want 1 combined report (masking ∧ nonmasking), got %d", len(m.Combined))
+	}
+	if m.Combined[0].Kind != Nonmasking {
+		t.Errorf("combined kind %v, want nonmasking", m.Combined[0].Kind)
+	}
+}
+
+func TestCheckMultiDetectsOverclaim(t *testing.T) {
+	// Claiming masking for the scribble class must fail: the fault itself
+	// violates the safety specification.
+	p, prob, inv, rNudge, rScribble := multiFixture(t)
+	rScribble.Kind = Masking
+	m, err := CheckMulti(p, prob, inv, rNudge, rScribble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OK() {
+		t.Fatal("masking cannot hold for the scribble class")
+	}
+}
+
+func TestCheckMultiSkipsMeetlessPairs(t *testing.T) {
+	p, prob, inv, rNudge, rScribble := multiFixture(t)
+	rNudge.Kind = FailSafe
+	m, err := CheckMulti(p, prob, inv, rNudge, rScribble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Combined) != 0 {
+		t.Errorf("fail-safe ∧ nonmasking has no meet; combined reports: %d", len(m.Combined))
+	}
+}
+
+func TestCheckMultiThreeClasses(t *testing.T) {
+	p, prob, inv, rNudge, rScribble := multiFixture(t)
+	third := Requirement{Faults: NewClass("noop-faults"), Kind: Masking}
+	m, err := CheckMulti(p, prob, inv, rNudge, rScribble, third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.OK() {
+		t.Fatalf("three-way multitolerance should hold: %v", m.Err())
+	}
+	// Pairs with a meet: (nudge,scribble), (nudge,noop), (scribble,noop),
+	// plus the global union.
+	if len(m.Combined) != 4 {
+		t.Errorf("want 4 combined reports, got %d", len(m.Combined))
+	}
+}
+
+func TestCheckMultiNoRequirements(t *testing.T) {
+	p, prob, inv, _, _ := multiFixture(t)
+	if _, err := CheckMulti(p, prob, inv); err == nil {
+		t.Error("zero requirements must be rejected")
+	}
+}
+
+func TestUnionClassRenamesClashes(t *testing.T) {
+	a := NewClass("a", guarded.Skip("f", state.True))
+	b := NewClass("b", guarded.Skip("f", state.True))
+	u := unionClass(a, b)
+	if len(u.Actions) != 2 || u.Actions[0].Name == u.Actions[1].Name {
+		t.Errorf("union must keep distinct action names: %v, %v", u.Actions[0].Name, u.Actions[1].Name)
+	}
+}

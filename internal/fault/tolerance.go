@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// Kind enumerates the paper's tolerance classes (Section 2.4).
+type Kind int
+
+const (
+	// FailSafe: in the presence of F the program refines the smallest
+	// safety specification containing SPEC.
+	FailSafe Kind = iota + 1
+	// Nonmasking: in the presence of F every computation has a suffix in
+	// SPEC.
+	Nonmasking
+	// Masking: in the presence of F every computation is in SPEC.
+	Masking
+)
+
+// String renders the tolerance kind.
+func (k Kind) String() string {
+	switch k {
+	case FailSafe:
+		return "fail-safe"
+	case Nonmasking:
+		return "nonmasking"
+	case Masking:
+		return "masking"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Report summarizes a tolerance check.
+type Report struct {
+	Program   string
+	Faults    string
+	Kind      Kind
+	Invariant string
+	SpanSize  int
+	Err       error
+}
+
+// OK reports whether the tolerance property holds.
+func (r Report) OK() bool { return r.Err == nil }
+
+// String renders a one-line verdict.
+func (r Report) String() string {
+	verdict := "HOLDS"
+	if r.Err != nil {
+		verdict = "FAILS: " + r.Err.Error()
+	}
+	return fmt.Sprintf("%s %s-tolerant to %s from %s (span %d states): %s",
+		r.Program, r.Kind, r.Faults, r.Invariant, r.SpanSize, verdict)
+}
+
+// CheckFailSafe decides "p is fail-safe F-tolerant to SPEC from S"
+// (Section 2.4): p refines SPEC from S, and p ‖ F refines the fail-safe
+// tolerance specification of SPEC (its smallest containing safety
+// specification) from the fault span T of S.
+func CheckFailSafe(p *guarded.Program, f Class, prob spec.Problem, s state.Predicate) Report {
+	rep := Report{Program: p.Name(), Faults: f.Name, Kind: FailSafe, Invariant: s.String()}
+	if err := prob.CheckRefinesFrom(p, s); err != nil {
+		rep.Err = fmt.Errorf("in the absence of faults: %w", err)
+		return rep
+	}
+	span, err := ComputeSpan(p, f, s)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.SpanSize = span.Size
+	if v := spec.CheckSafety(span.Graph, span.Reachable, prob.FailSafeSpec()); v != nil {
+		rep.Err = fmt.Errorf("in the presence of faults: %w", v)
+	}
+	return rep
+}
+
+// CheckNonmasking decides "p is nonmasking F-tolerant to SPEC from S"
+// (Section 2.4): p refines SPEC from R (with R ⇒ S the recovery predicate;
+// pass R = S when they coincide), and every computation of p ‖ F from the
+// span has a suffix in SPEC. Under Assumption 2 (finitely many fault
+// occurrences) the latter holds iff, after faults stop, p alone converges
+// from the span back to R — exactly the proof obligation of Theorem 4.3.
+func CheckNonmasking(p *guarded.Program, f Class, prob spec.Problem, s, r state.Predicate) Report {
+	rep := Report{Program: p.Name(), Faults: f.Name, Kind: Nonmasking, Invariant: s.String()}
+	if err := prob.CheckRefinesFrom(p, r); err != nil {
+		rep.Err = fmt.Errorf("in the absence of faults (from %s): %w", r, err)
+		return rep
+	}
+	span, err := ComputeSpan(p, f, s)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.SpanSize = span.Size
+	if err := convergesWithin(p, span, r); err != nil {
+		rep.Err = fmt.Errorf("recovery after faults stop: %w", err)
+	}
+	return rep
+}
+
+// CheckMasking decides "p is masking F-tolerant to SPEC from S"
+// (Section 2.4): p refines SPEC from S, and p ‖ F refines SPEC itself from
+// the span — both the safety part (checked on all transitions, including
+// fault steps) and every liveness obligation (checked with fault actions
+// unfair, so recurrence uses program actions only).
+func CheckMasking(p *guarded.Program, f Class, prob spec.Problem, s state.Predicate) Report {
+	rep := Report{Program: p.Name(), Faults: f.Name, Kind: Masking, Invariant: s.String()}
+	if err := prob.CheckRefinesFrom(p, s); err != nil {
+		rep.Err = fmt.Errorf("in the absence of faults: %w", err)
+		return rep
+	}
+	span, err := ComputeSpan(p, f, s)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.SpanSize = span.Size
+	if v := spec.CheckSafety(span.Graph, span.Reachable, prob.Safety); v != nil {
+		rep.Err = fmt.Errorf("safety in the presence of faults: %w", v)
+		return rep
+	}
+	for _, lt := range prob.Live {
+		if err := spec.CheckLeadsTo(span.Graph, span.Reachable, lt); err != nil {
+			rep.Err = fmt.Errorf("liveness in the presence of faults: %w", err)
+			return rep
+		}
+	}
+	return rep
+}
+
+// convergesWithin checks that p alone (no fault steps), started anywhere in
+// the span, always reaches a state satisfying r, and that r is closed in p.
+func convergesWithin(p *guarded.Program, span *Span, r state.Predicate) error {
+	if err := spec.CheckClosed(p, r); err != nil {
+		return fmt.Errorf("recovery predicate not closed: %w", err)
+	}
+	g, err := explore.Build(p, span.Predicate, explore.Options{})
+	if err != nil {
+		return err
+	}
+	from := g.SetOf(span.Predicate)
+	goal := g.SetOf(r)
+	if v := g.CheckEventually(from, goal); v != nil {
+		return v
+	}
+	return nil
+}
+
+// Check dispatches on the tolerance kind.
+func Check(kind Kind, p *guarded.Program, f Class, prob spec.Problem, s, r state.Predicate) Report {
+	switch kind {
+	case FailSafe:
+		return CheckFailSafe(p, f, prob, s)
+	case Nonmasking:
+		return CheckNonmasking(p, f, prob, s, r)
+	case Masking:
+		return CheckMasking(p, f, prob, s)
+	default:
+		return Report{Program: p.Name(), Faults: f.Name, Kind: kind,
+			Err: fmt.Errorf("fault: unknown tolerance kind %d", int(kind))}
+	}
+}

@@ -1,0 +1,93 @@
+package gcl
+
+// AST node definitions for the guarded-command language.
+
+// FileAST is a parsed source file.
+type FileAST struct {
+	Name    string
+	Vars    []VarDecl
+	Preds   []PredDecl
+	Actions []ActionDecl // program actions
+	Faults  []ActionDecl // fault actions
+}
+
+// VarDecl declares a finite-domain variable.
+type VarDecl struct {
+	Name string
+	Type TypeExpr
+	Line int
+}
+
+// TypeKind enumerates the declared domain shapes.
+type TypeKind int
+
+// Declared domain shapes.
+const (
+	TypeBool TypeKind = iota + 1
+	TypeRange
+	TypeEnum
+)
+
+// TypeExpr is a domain declaration: bool, lo..hi, or enum(names...).
+type TypeExpr struct {
+	Kind   TypeKind
+	Lo, Hi int      // TypeRange
+	Names  []string // TypeEnum
+}
+
+// PredDecl names a boolean expression for use as invariant/specification
+// predicate.
+type PredDecl struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// ActionDecl is a guarded command: Name :: Guard -> Assignments.
+type ActionDecl struct {
+	Name    string
+	Guard   Expr
+	Assigns []Assign // empty means skip
+	Line    int
+}
+
+// Assign is one simultaneous assignment target.
+type Assign struct {
+	Var  string
+	Expr Expr // nil means '?': any value of the variable's domain
+	Line int
+}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// BoolLit is true/false.
+type BoolLit struct{ Value bool }
+
+// IntLit is a numeric literal.
+type IntLit struct{ Value int }
+
+// Ref names a variable or an enum value.
+type Ref struct {
+	Name      string
+	Line, Col int
+}
+
+// Unary applies !, or unary minus.
+type Unary struct {
+	Op Kind
+	X  Expr
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op        Kind
+	L, R      Expr
+	Line, Col int
+}
+
+func (*BoolLit) exprNode() {}
+func (*IntLit) exprNode()  {}
+func (*Ref) exprNode()     {}
+func (*Unary) exprNode()   {}
+func (*Binary) exprNode()  {}

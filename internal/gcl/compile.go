@@ -1,0 +1,441 @@
+package gcl
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// File is a compiled guarded-command source: the schema, the program, the
+// declared fault class, and the named predicates.
+type File struct {
+	Name    string
+	Schema  *state.Schema
+	Program *guarded.Program
+	Faults  fault.Class
+	Preds   map[string]state.Predicate
+}
+
+// Pred returns a declared predicate by name.
+func (f *File) Pred(name string) (state.Predicate, bool) {
+	p, ok := f.Preds[name]
+	return p, ok
+}
+
+type valueType int
+
+const (
+	boolType valueType = iota + 1
+	intType
+)
+
+func (t valueType) String() string {
+	if t == boolType {
+		return "bool"
+	}
+	return "int"
+}
+
+// compiled expression: evaluation closure plus its type. Booleans evaluate
+// to 0/1.
+type cexpr struct {
+	typ  valueType
+	eval func(state.State) int
+}
+
+type compiler struct {
+	schema *state.Schema
+	varIdx map[string]int
+	varOff map[string]int // range variables: domain offset (lo)
+	varTyp map[string]valueType
+	consts map[string]int // enum value names
+}
+
+// Compile type-checks a parsed file and produces the program, fault class
+// and predicates. Every enabled action is bounds-checked over the full state
+// space, so later exploration cannot fail on an out-of-domain write.
+func Compile(ast *FileAST) (*File, error) {
+	c := &compiler{
+		varIdx: map[string]int{},
+		varOff: map[string]int{},
+		varTyp: map[string]valueType{},
+		consts: map[string]int{},
+	}
+	vars := make([]state.Var, 0, len(ast.Vars))
+	for i, d := range ast.Vars {
+		if _, dup := c.varIdx[d.Name]; dup {
+			return nil, errAt(d.Line, 1, "duplicate variable %q", d.Name)
+		}
+		var v state.Var
+		switch d.Type.Kind {
+		case TypeBool:
+			v = state.BoolVar(d.Name)
+			c.varTyp[d.Name] = boolType
+		case TypeRange:
+			v = state.Var{Name: d.Name, Domain: state.Range(d.Name, d.Type.Hi-d.Type.Lo+1)}
+			c.varOff[d.Name] = d.Type.Lo
+			c.varTyp[d.Name] = intType
+		case TypeEnum:
+			v = state.EnumVar(d.Name, d.Type.Names...)
+			c.varTyp[d.Name] = intType
+			for idx, name := range d.Type.Names {
+				if old, dup := c.consts[name]; dup && old != idx {
+					return nil, errAt(d.Line, 1, "enum value %q redeclared with a different index", name)
+				}
+				c.consts[name] = idx
+			}
+		default:
+			return nil, errAt(d.Line, 1, "variable %q has unknown type", d.Name)
+		}
+		c.varIdx[d.Name] = i
+		vars = append(vars, v)
+	}
+	for name := range c.consts {
+		if _, clash := c.varIdx[name]; clash {
+			return nil, fmt.Errorf("gcl: name %q is both a variable and an enum value", name)
+		}
+	}
+	schema, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, fmt.Errorf("gcl: %w", err)
+	}
+	c.schema = schema
+
+	f := &File{Name: ast.Name, Schema: schema, Preds: map[string]state.Predicate{}}
+	for _, d := range ast.Preds {
+		ce, err := c.compileExpr(d.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if ce.typ != boolType {
+			return nil, errAt(d.Line, 1, "predicate %q is not boolean", d.Name)
+		}
+		eval := ce.eval
+		f.Preds[d.Name] = state.Pred(d.Name, func(s state.State) bool { return eval(s) != 0 })
+	}
+
+	progActs, err := c.compileActions(ast.Actions)
+	if err != nil {
+		return nil, err
+	}
+	faultActs, err := c.compileActions(ast.Faults)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := guarded.NewProgram(ast.Name, schema, progActs...)
+	if err != nil {
+		return nil, fmt.Errorf("gcl: %w", err)
+	}
+	f.Program = prog
+	f.Faults = fault.NewClass(ast.Name+".faults", faultActs...)
+	if err := c.validateBounds(ast, append(append([]ActionDecl(nil), ast.Actions...), ast.Faults...)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseAndCompile is the common entry point: source text to compiled file.
+func ParseAndCompile(src string) (*File, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(ast)
+}
+
+func (c *compiler) compileActions(decls []ActionDecl) ([]guarded.Action, error) {
+	out := make([]guarded.Action, 0, len(decls))
+	for _, d := range decls {
+		a, err := c.compileAction(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+type cassign struct {
+	varIdx int
+	offset int
+	size   int
+	eval   func(state.State) int // nil for '?'
+}
+
+func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
+	g, err := c.compileExpr(d.Guard)
+	if err != nil {
+		return guarded.Action{}, err
+	}
+	if g.typ != boolType {
+		return guarded.Action{}, errAt(d.Line, 1, "guard of action %q is not boolean", d.Name)
+	}
+	assigns := make([]cassign, 0, len(d.Assigns))
+	seen := map[string]bool{}
+	for _, a := range d.Assigns {
+		idx, ok := c.varIdx[a.Var]
+		if !ok {
+			return guarded.Action{}, errAt(a.Line, 1, "assignment to undeclared variable %q", a.Var)
+		}
+		if seen[a.Var] {
+			return guarded.Action{}, errAt(a.Line, 1, "variable %q assigned twice in action %q", a.Var, d.Name)
+		}
+		seen[a.Var] = true
+		ca := cassign{
+			varIdx: idx,
+			offset: c.varOff[a.Var],
+			size:   c.schema.Var(idx).Domain.Size,
+		}
+		if a.Expr != nil {
+			ce, err := c.compileExpr(a.Expr)
+			if err != nil {
+				return guarded.Action{}, err
+			}
+			if ce.typ != c.varTyp[a.Var] {
+				return guarded.Action{}, errAt(a.Line, 1, "assignment to %q: expected %s, got %s",
+					a.Var, c.varTyp[a.Var], ce.typ)
+			}
+			ca.eval = ce.eval
+		}
+		assigns = append(assigns, ca)
+	}
+	guardEval := g.eval
+	guard := state.Pred(d.Name+".guard", func(s state.State) bool { return guardEval(s) != 0 })
+	next := func(s state.State) []state.State {
+		// Evaluate all deterministic right-hand sides on the pre-state
+		// (simultaneous assignment), then expand '?' targets.
+		results := []state.State{s}
+		for _, a := range assigns {
+			if a.eval != nil {
+				v := a.eval(s) - a.offset
+				for i, r := range results {
+					results[i] = r.With(a.varIdx, v)
+				}
+				continue
+			}
+			expanded := make([]state.State, 0, len(results)*a.size)
+			for _, r := range results {
+				for v := 0; v < a.size; v++ {
+					expanded = append(expanded, r.With(a.varIdx, v))
+				}
+			}
+			results = expanded
+		}
+		return results
+	}
+	return guarded.Choice(d.Name, guard, next), nil
+}
+
+// validateBounds enumerates the state space and checks that every enabled
+// action writes only in-domain values, so exploration never panics.
+func (c *compiler) validateBounds(ast *FileAST, decls []ActionDecl) error {
+	type checked struct {
+		decl    ActionDecl
+		guard   cexpr
+		assigns []struct {
+			a    Assign
+			eval func(state.State) int
+			lo   int
+			hi   int
+		}
+	}
+	var items []checked
+	for _, d := range decls {
+		g, err := c.compileExpr(d.Guard)
+		if err != nil {
+			return err
+		}
+		item := checked{decl: d, guard: g}
+		for _, a := range d.Assigns {
+			if a.Expr == nil {
+				continue
+			}
+			ce, err := c.compileExpr(a.Expr)
+			if err != nil {
+				return err
+			}
+			idx := c.varIdx[a.Var]
+			lo := c.varOff[a.Var]
+			hi := lo + c.schema.Var(idx).Domain.Size - 1
+			item.assigns = append(item.assigns, struct {
+				a    Assign
+				eval func(state.State) int
+				lo   int
+				hi   int
+			}{a: a, eval: ce.eval, lo: lo, hi: hi})
+		}
+		items = append(items, item)
+	}
+	var verr error
+	err := c.schema.ForEachState(func(s state.State) bool {
+		for _, item := range items {
+			if item.guard.eval(s) == 0 {
+				continue
+			}
+			for _, as := range item.assigns {
+				v := as.eval(s)
+				if v < as.lo || v > as.hi {
+					verr = errAt(as.a.Line, 1,
+						"action %q assigns %d to %q, outside its domain %d..%d (at state %s)",
+						item.decl.Name, v, as.a.Var, as.lo, as.hi, s)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("gcl: bounds check: %w", err)
+	}
+	return verr
+}
+
+func (c *compiler) compileExpr(e Expr) (cexpr, error) {
+	switch n := e.(type) {
+	case *BoolLit:
+		v := 0
+		if n.Value {
+			v = 1
+		}
+		return cexpr{typ: boolType, eval: func(state.State) int { return v }}, nil
+	case *IntLit:
+		v := n.Value
+		return cexpr{typ: intType, eval: func(state.State) int { return v }}, nil
+	case *Ref:
+		if idx, ok := c.varIdx[n.Name]; ok {
+			off := c.varOff[n.Name]
+			typ := c.varTyp[n.Name]
+			return cexpr{typ: typ, eval: func(s state.State) int { return s.Get(idx) + off }}, nil
+		}
+		if v, ok := c.consts[n.Name]; ok {
+			return cexpr{typ: intType, eval: func(state.State) int { return v }}, nil
+		}
+		return cexpr{}, errAt(n.Line, n.Col, "undeclared identifier %q", n.Name)
+	case *Unary:
+		x, err := c.compileExpr(n.X)
+		if err != nil {
+			return cexpr{}, err
+		}
+		switch n.Op {
+		case NOT:
+			if x.typ != boolType {
+				return cexpr{}, fmt.Errorf("gcl: '!' applied to non-boolean")
+			}
+			f := x.eval
+			return cexpr{typ: boolType, eval: func(s state.State) int { return 1 - f(s) }}, nil
+		case MINUS:
+			if x.typ != intType {
+				return cexpr{}, fmt.Errorf("gcl: unary '-' applied to non-integer")
+			}
+			f := x.eval
+			return cexpr{typ: intType, eval: func(s state.State) int { return -f(s) }}, nil
+		default:
+			return cexpr{}, fmt.Errorf("gcl: unknown unary operator %s", n.Op)
+		}
+	case *Binary:
+		l, err := c.compileExpr(n.L)
+		if err != nil {
+			return cexpr{}, err
+		}
+		r, err := c.compileExpr(n.R)
+		if err != nil {
+			return cexpr{}, err
+		}
+		return c.binary(n, l, r)
+	default:
+		return cexpr{}, fmt.Errorf("gcl: unknown expression node %T", e)
+	}
+}
+
+func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
+	boolOp := func(f func(a, b int) int) cexpr {
+		le, re := l.eval, r.eval
+		return cexpr{typ: boolType, eval: func(s state.State) int { return f(le(s), re(s)) }}
+	}
+	intOp := func(f func(a, b int) int) cexpr {
+		le, re := l.eval, r.eval
+		return cexpr{typ: intType, eval: func(s state.State) int { return f(le(s), re(s)) }}
+	}
+	needBool := func() error {
+		if l.typ != boolType || r.typ != boolType {
+			return errAt(n.Line, n.Col, "%s requires boolean operands", n.Op)
+		}
+		return nil
+	}
+	needInt := func() error {
+		if l.typ != intType || r.typ != intType {
+			return errAt(n.Line, n.Col, "%s requires integer operands", n.Op)
+		}
+		return nil
+	}
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch n.Op {
+	case AND:
+		if err := needBool(); err != nil {
+			return cexpr{}, err
+		}
+		return boolOp(func(a, b int) int { return b2i(a != 0 && b != 0) }), nil
+	case OR:
+		if err := needBool(); err != nil {
+			return cexpr{}, err
+		}
+		return boolOp(func(a, b int) int { return b2i(a != 0 || b != 0) }), nil
+	case IMPLIES:
+		if err := needBool(); err != nil {
+			return cexpr{}, err
+		}
+		return boolOp(func(a, b int) int { return b2i(a == 0 || b != 0) }), nil
+	case EQ, NEQ:
+		if l.typ != r.typ {
+			return cexpr{}, errAt(n.Line, n.Col, "%s compares %s with %s", n.Op, l.typ, r.typ)
+		}
+		if n.Op == EQ {
+			return boolOp(func(a, b int) int { return b2i(a == b) }), nil
+		}
+		return boolOp(func(a, b int) int { return b2i(a != b) }), nil
+	case LT, LE, GT, GE:
+		if err := needInt(); err != nil {
+			return cexpr{}, err
+		}
+		switch n.Op {
+		case LT:
+			return boolOp(func(a, b int) int { return b2i(a < b) }), nil
+		case LE:
+			return boolOp(func(a, b int) int { return b2i(a <= b) }), nil
+		case GT:
+			return boolOp(func(a, b int) int { return b2i(a > b) }), nil
+		default:
+			return boolOp(func(a, b int) int { return b2i(a >= b) }), nil
+		}
+	case PLUS, MINUS, STAR, PERCENT:
+		if err := needInt(); err != nil {
+			return cexpr{}, err
+		}
+		switch n.Op {
+		case PLUS:
+			return intOp(func(a, b int) int { return a + b }), nil
+		case MINUS:
+			return intOp(func(a, b int) int { return a - b }), nil
+		case STAR:
+			return intOp(func(a, b int) int { return a * b }), nil
+		default:
+			le, re := l.eval, r.eval
+			return cexpr{typ: intType, eval: func(s state.State) int {
+				b := re(s)
+				if b == 0 {
+					return 0 // total semantics: x % 0 = 0
+				}
+				return ((le(s) % b) + b) % b
+			}}, nil
+		}
+	default:
+		return cexpr{}, errAt(n.Line, n.Col, "unknown binary operator %s", n.Op)
+	}
+}

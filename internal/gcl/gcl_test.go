@@ -1,0 +1,248 @@
+package gcl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+const memaccessSrc = `
+# The paper's running example (Figures 1-3) in GCL form.
+program memaccess
+
+var present : bool
+var val     : 0..1
+var data    : enum(bot, v0, v1)
+var z1      : bool
+
+pred X1 :: present
+pred U1 :: z1 => present
+pred S  :: present
+pred DataCorrect :: (val == 0 & data == v0) | (val == 1 & data == v1)
+
+action restore :: !present      -> present := true
+action detect  :: present & !z1 -> z1 := true
+action read0   :: z1 & val == 0 -> data := v0
+action read1   :: z1 & val == 1 -> data := v1
+
+fault pageout  :: present & !z1 -> present := false
+`
+
+func compileMem(t *testing.T) *File {
+	t.Helper()
+	f, err := ParseAndCompile(memaccessSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return f
+}
+
+func TestCompileMemaccess(t *testing.T) {
+	f := compileMem(t)
+	if f.Name != "memaccess" {
+		t.Errorf("name %q", f.Name)
+	}
+	if f.Schema.NumVars() != 4 {
+		t.Errorf("want 4 variables, got %d", f.Schema.NumVars())
+	}
+	if f.Program.NumActions() != 4 {
+		t.Errorf("want 4 actions, got %d", f.Program.NumActions())
+	}
+	if len(f.Faults.Actions) != 1 {
+		t.Errorf("want 1 fault action, got %d", len(f.Faults.Actions))
+	}
+	for _, p := range []string{"X1", "U1", "S", "DataCorrect"} {
+		if _, ok := f.Pred(p); !ok {
+			t.Errorf("missing predicate %q", p)
+		}
+	}
+}
+
+func TestCompiledProgramIsMaskingTolerant(t *testing.T) {
+	// The compiled GCL program is checked end-to-end with the theory: the
+	// masking structure of Figure 3 holds for the parsed program too.
+	f := compileMem(t)
+	s, _ := f.Pred("S")
+	dataCorrect, _ := f.Pred("DataCorrect")
+	prob := spec.Problem{
+		Name: "SPEC_mem",
+		Safety: spec.NeverStep("data never set incorrectly", func(from, to state.State) bool {
+			d0, d1 := from.GetName("data"), to.GetName("data")
+			if d0 == d1 || d1 == 0 {
+				return d0 != d1
+			}
+			return d1 != to.GetName("val")+1
+		}),
+		Live: []spec.LeadsTo{{Name: "data eventually correct", P: state.True, Q: dataCorrect}},
+	}
+	rep := fault.CheckMasking(f.Program, f.Faults, prob, s)
+	if !rep.OK() {
+		t.Errorf("compiled memaccess should be masking tolerant: %v", rep.Err)
+	}
+}
+
+func TestRangeOffsets(t *testing.T) {
+	f, err := ParseAndCompile(`
+program counter
+var x : 3..5
+pred AtTop :: x == 5
+action up :: x < 5 -> x := x + 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial encoded value 0 corresponds to 3.
+	st := f.Schema.StateAt(0)
+	atTop, _ := f.Pred("AtTop")
+	if atTop.Holds(st) {
+		t.Error("x=3 should not satisfy AtTop")
+	}
+	a := f.Program.Action(0)
+	for i := 0; i < 2; i++ {
+		st = a.Next(st)[0]
+	}
+	if !atTop.Holds(st) {
+		t.Errorf("after two increments x should be 5, state %s", st)
+	}
+	if a.Enabled(st) {
+		t.Error("up should be disabled at x=5")
+	}
+}
+
+func TestNondeterministicAssignment(t *testing.T) {
+	f, err := ParseAndCompile(`
+program nd
+var x : 0..2
+var y : bool
+action scramble :: true -> x := ?, y := ?
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Schema.StateAt(0)
+	succ := f.Program.Action(0).Next(st)
+	if len(succ) != 6 {
+		t.Errorf("want 3*2 = 6 successors, got %d", len(succ))
+	}
+}
+
+func TestSimultaneousAssignment(t *testing.T) {
+	f, err := ParseAndCompile(`
+program swap
+var a : 0..1
+var b : 0..1
+action swap :: a != b -> a := b, b := a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := state.FromMap(f.Schema, map[string]int{"a": 0, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := f.Program.Action(0).Next(st)[0]
+	if next.GetName("a") != 1 || next.GetName("b") != 0 {
+		t.Errorf("simultaneous swap failed: %s", next)
+	}
+}
+
+func TestModuloIsTotal(t *testing.T) {
+	f, err := ParseAndCompile(`
+program mod
+var x : 0..3
+action cycle :: true -> x := (x + 1) % 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := state.FromMap(f.Schema, map[string]int{"x": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f.Program.Action(0).Next(st)[0].GetName("x"); v != 0 {
+		t.Errorf("(3+1)%%4 = %d, want 0", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"lex", "program p\nvar x : bool\naction a :: x -> x := $", "unexpected character"},
+		{"no program", "var x : bool", "expected 'program'"},
+		{"dup var", "program p\nvar x : bool\nvar x : bool", "duplicate variable"},
+		{"undeclared", "program p\naction a :: y -> skip", "undeclared identifier"},
+		{"bad guard", "program p\nvar x : 0..1\naction a :: x -> skip", "not boolean"},
+		{"type clash", "program p\nvar x : 0..1\nvar b : bool\naction a :: b -> x := b", "expected int, got bool"},
+		{"empty range", "program p\nvar x : 5..3", "empty range"},
+		{"double assign", "program p\nvar x : bool\naction a :: true -> x := true, x := false", "assigned twice"},
+		{"bounds", "program p\nvar x : 0..1\naction a :: true -> x := x + 1", "outside its domain"},
+		{"enum clash", "program p\nvar a : enum(u, v)\nvar b : enum(v, u)", "redeclared with a different index"},
+		{"var/enum clash", "program p\nvar v : bool\nvar a : enum(u, v)", "both a variable and an enum value"},
+		{"cmp mismatch", "program p\nvar x : 0..1\nvar b : bool\npred q :: x == b", "compares int with bool"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAndCompile(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := ParseAndCompile("program p\nvar x : bool\naction a :: x -> x := $")
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *SyntaxError, got %T (%v)", err, err)
+	}
+	if serr.Line != 3 {
+		t.Errorf("error line %d, want 3", serr.Line)
+	}
+}
+
+func TestSkipAction(t *testing.T) {
+	f, err := ParseAndCompile(`
+program idle
+var x : bool
+action nothing :: x -> skip
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := state.FromMap(f.Schema, map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := f.Program.Action(0).Next(st)
+	if len(succ) != 1 || !succ[0].Equal(st) {
+		t.Errorf("skip should yield the unchanged state")
+	}
+}
+
+func TestCommentsAndOperators(t *testing.T) {
+	f, err := ParseAndCompile(`
+program ops  # trailing comment
+var x : 0..7
+# full-line comment
+pred p1 :: x * 2 >= 4 & x != 7 | x == 0
+pred p2 :: x - 1 < 3 => x <= 3
+action a :: x > 0 & x < 7 -> x := x - 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := f.Pred("p1")
+	st, _ := state.FromMap(f.Schema, map[string]int{"x": 3})
+	if !p1.Holds(st) {
+		t.Error("p1 should hold at x=3")
+	}
+}

@@ -1,0 +1,347 @@
+package gcl
+
+// Recursive-descent parser for the guarded-command language.
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a source file.
+func Parse(src string) (*FileAST, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errAt(t.Line, t.Col, "expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) file() (*FileAST, error) {
+	f := &FileAST{}
+	if _, err := p.expect(KWPROGRAM); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = name.Text
+	for p.cur().Kind != EOF {
+		switch t := p.cur(); t.Kind {
+		case KWVAR:
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, d)
+		case KWPRED:
+			d, err := p.predDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Preds = append(f.Preds, d)
+		case KWACTION:
+			d, err := p.actionDecl(KWACTION)
+			if err != nil {
+				return nil, err
+			}
+			f.Actions = append(f.Actions, d)
+		case KWFAULT:
+			d, err := p.actionDecl(KWFAULT)
+			if err != nil {
+				return nil, err
+			}
+			f.Faults = append(f.Faults, d)
+		default:
+			return nil, errAt(t.Line, t.Col, "expected declaration ('var', 'pred', 'action', or 'fault'), found %s %q", t.Kind, t.Text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) varDecl() (VarDecl, error) {
+	kw := p.next() // var
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return VarDecl{}, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return VarDecl{}, err
+	}
+	ty, err := p.typeExpr()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	return VarDecl{Name: name.Text, Type: ty, Line: kw.Line}, nil
+}
+
+func (p *parser) typeExpr() (TypeExpr, error) {
+	switch t := p.cur(); t.Kind {
+	case KWBOOL:
+		p.pos++
+		return TypeExpr{Kind: TypeBool}, nil
+	case NUMBER:
+		lo := p.next()
+		if _, err := p.expect(DOTDOT); err != nil {
+			return TypeExpr{}, err
+		}
+		hi, err := p.expect(NUMBER)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if hi.Num < lo.Num {
+			return TypeExpr{}, errAt(lo.Line, lo.Col, "empty range %d..%d", lo.Num, hi.Num)
+		}
+		return TypeExpr{Kind: TypeRange, Lo: lo.Num, Hi: hi.Num}, nil
+	case KWENUM:
+		p.pos++
+		if _, err := p.expect(LPAREN); err != nil {
+			return TypeExpr{}, err
+		}
+		var names []string
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return TypeExpr{}, err
+			}
+			names = append(names, id.Text)
+			if p.cur().Kind != COMMA {
+				break
+			}
+			p.pos++
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return TypeExpr{}, err
+		}
+		return TypeExpr{Kind: TypeEnum, Names: names}, nil
+	default:
+		return TypeExpr{}, errAt(t.Line, t.Col, "expected type ('bool', range, or 'enum'), found %s", t.Kind)
+	}
+}
+
+func (p *parser) predDecl() (PredDecl, error) {
+	kw := p.next() // pred
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return PredDecl{}, err
+	}
+	if _, err := p.expect(DCOLON); err != nil {
+		return PredDecl{}, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return PredDecl{}, err
+	}
+	return PredDecl{Name: name.Text, Expr: e, Line: kw.Line}, nil
+}
+
+func (p *parser) actionDecl(kind Kind) (ActionDecl, error) {
+	kw := p.next() // action | fault
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return ActionDecl{}, err
+	}
+	if _, err := p.expect(DCOLON); err != nil {
+		return ActionDecl{}, err
+	}
+	guard, err := p.expr()
+	if err != nil {
+		return ActionDecl{}, err
+	}
+	if _, err := p.expect(ARROW); err != nil {
+		return ActionDecl{}, err
+	}
+	d := ActionDecl{Name: name.Text, Guard: guard, Line: kw.Line}
+	if p.cur().Kind == KWSKIP {
+		p.pos++
+		return d, nil
+	}
+	for {
+		target, err := p.expect(IDENT)
+		if err != nil {
+			return ActionDecl{}, err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return ActionDecl{}, err
+		}
+		a := Assign{Var: target.Text, Line: target.Line}
+		if p.cur().Kind == QUESTION {
+			p.pos++ // '?' = any value
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return ActionDecl{}, err
+			}
+			a.Expr = e
+		}
+		d.Assigns = append(d.Assigns, a)
+		if p.cur().Kind != COMMA {
+			break
+		}
+		p.pos++
+	}
+	return d, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    := imp
+//	imp     := or ( '=>' imp )?              (right associative)
+//	or      := and ( '|' and )*
+//	and     := cmp ( '&' cmp )*
+//	cmp     := sum ( (==|!=|<|<=|>|>=) sum )?
+//	sum     := term ( (+|-) term )*
+//	term    := unary ( (*|%) unary )*
+//	unary   := (!|-) unary | atom
+//	atom    := literal | ident | '(' expr ')'
+func (p *parser) expr() (Expr, error) { return p.impExpr() }
+
+func (p *parser) impExpr() (Expr, error) {
+	l, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind == IMPLIES {
+		p.pos++
+		r, err := p.impExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: IMPLIES, L: l, R: r, Line: t.Line, Col: t.Col}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binaryChain(p.andExpr, OR)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binaryChain(p.cmpExpr, AND)
+}
+
+func (p *parser) binaryChain(sub func() (Expr, error), op Kind) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == op {
+		t := p.next()
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Line: t.Line, Col: t.Col}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.sumExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch t := p.cur(); t.Kind {
+	case EQ, NEQ, LT, LE, GT, GE:
+		p.pos++
+		r, err := p.sumExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: t.Kind, L: l, R: r, Line: t.Line, Col: t.Col}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) sumExpr() (Expr, error) {
+	l, err := p.termExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != PLUS && t.Kind != MINUS {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.termExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.Kind, L: l, R: r, Line: t.Line, Col: t.Col}
+	}
+}
+
+func (p *parser) termExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != STAR && t.Kind != PERCENT {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.Kind, L: l, R: r, Line: t.Line, Col: t.Col}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case NOT, MINUS:
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Kind, X: x}, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case KWTRUE:
+		p.pos++
+		return &BoolLit{Value: true}, nil
+	case KWFALSE:
+		p.pos++
+		return &BoolLit{Value: false}, nil
+	case NUMBER:
+		p.pos++
+		return &IntLit{Value: t.Num}, nil
+	case IDENT:
+		p.pos++
+		return &Ref{Name: t.Text, Line: t.Line, Col: t.Col}, nil
+	case LPAREN:
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "expected expression, found %s %q", t.Kind, t.Text)
+	}
+}

@@ -1,0 +1,239 @@
+// Package gcl implements a small guarded-command language so that programs,
+// fault classes and predicates can be written in (an ASCII rendering of) the
+// paper's own notation and checked with the dctl tool:
+//
+//	program memaccess
+//
+//	var present : bool
+//	var val     : 0..1
+//	var data    : enum(bot, v0, v1)
+//	var z1      : bool
+//
+//	pred X1 :: present
+//	pred U1 :: z1 => present
+//
+//	action detect  :: present & !z1 -> z1 := true
+//	action read    :: z1            -> data := val + 1
+//
+//	fault pageout  :: present & !z1 -> present := false
+//
+// The language has finite domains only (bool, integer ranges, enums),
+// boolean and integer expressions, simultaneous assignment, and the
+// nondeterministic value `?` (any value of the assigned variable's domain).
+package gcl
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota + 1
+	IDENT
+	NUMBER
+	KWPROGRAM // program
+	KWVAR     // var
+	KWACTION  // action
+	KWFAULT   // fault
+	KWPRED    // pred
+	KWBOOL    // bool
+	KWENUM    // enum
+	KWTRUE    // true
+	KWFALSE   // false
+	KWSKIP    // skip
+	DCOLON    // ::
+	COLON     // :
+	ARROW     // ->
+	ASSIGN    // :=
+	COMMA     // ,
+	LPAREN    // (
+	RPAREN    // )
+	DOTDOT    // ..
+	OR        // |
+	AND       // &
+	NOT       // !
+	IMPLIES   // =>
+	EQ        // ==
+	NEQ       // !=
+	LT        // <
+	LE        // <=
+	GT        // >
+	GE        // >=
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	PERCENT   // %
+	QUESTION  // ?
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	KWPROGRAM: "'program'", KWVAR: "'var'", KWACTION: "'action'",
+	KWFAULT: "'fault'", KWPRED: "'pred'", KWBOOL: "'bool'", KWENUM: "'enum'",
+	KWTRUE: "'true'", KWFALSE: "'false'", KWSKIP: "'skip'",
+	DCOLON: "'::'", COLON: "':'", ARROW: "'->'", ASSIGN: "':='",
+	COMMA: "','", LPAREN: "'('", RPAREN: "')'", DOTDOT: "'..'",
+	OR: "'|'", AND: "'&'", NOT: "'!'", IMPLIES: "'=>'",
+	EQ: "'=='", NEQ: "'!='", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	PLUS: "'+'", MINUS: "'-'", STAR: "'*'", PERCENT: "'%'", QUESTION: "'?'",
+}
+
+// String renders the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int
+	Line int
+	Col  int
+}
+
+var keywords = map[string]Kind{
+	"program": KWPROGRAM, "var": KWVAR, "action": KWACTION,
+	"fault": KWFAULT, "pred": KWPRED, "bool": KWBOOL, "enum": KWENUM,
+	"true": KWTRUE, "false": KWFALSE, "skip": KWSKIP,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("gcl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes the source. Comments run from '#' to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(k Kind, text string, num int, width int) {
+		toks = append(toks, Token{Kind: k, Text: text, Num: num, Line: line, Col: col})
+		col += width
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			i++
+			line++
+			col = 1
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if k, ok := keywords[word]; ok {
+				emit(k, word, 0, j-i)
+			} else {
+				emit(IDENT, word, 0, j-i)
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			num := 0
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				num = num*10 + int(src[j]-'0')
+				j++
+			}
+			emit(NUMBER, src[i:j], num, j-i)
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "::":
+				emit(DCOLON, two, 0, 2)
+				i += 2
+				continue
+			case ":=":
+				emit(ASSIGN, two, 0, 2)
+				i += 2
+				continue
+			case "->":
+				emit(ARROW, two, 0, 2)
+				i += 2
+				continue
+			case "..":
+				emit(DOTDOT, two, 0, 2)
+				i += 2
+				continue
+			case "=>":
+				emit(IMPLIES, two, 0, 2)
+				i += 2
+				continue
+			case "==":
+				emit(EQ, two, 0, 2)
+				i += 2
+				continue
+			case "!=":
+				emit(NEQ, two, 0, 2)
+				i += 2
+				continue
+			case "<=":
+				emit(LE, two, 0, 2)
+				i += 2
+				continue
+			case ">=":
+				emit(GE, two, 0, 2)
+				i += 2
+				continue
+			case "||":
+				emit(OR, two, 0, 2)
+				i += 2
+				continue
+			case "&&":
+				emit(AND, two, 0, 2)
+				i += 2
+				continue
+			}
+			single := map[byte]Kind{
+				':': COLON, ',': COMMA, '(': LPAREN, ')': RPAREN,
+				'|': OR, '&': AND, '!': NOT, '<': LT, '>': GT,
+				'+': PLUS, '-': MINUS, '*': STAR, '%': PERCENT, '?': QUESTION,
+			}
+			if k, ok := single[c]; ok {
+				emit(k, string(c), 0, 1)
+				i++
+				continue
+			}
+			return nil, errAt(line, col, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}

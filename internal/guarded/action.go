@@ -1,0 +1,90 @@
+// Package guarded implements the program model of Section 2.1: a program is
+// a finite set of guarded-command actions over finite-domain variables. Each
+// action has a unique name and the form
+//
+//	<name> :: <guard> --> <statement>
+//
+// where the guard is a boolean expression over the program variables and the
+// statement atomically updates zero or more variables. The package provides
+// the paper's three program compositions (Section 2.1.1): parallel
+// composition p ‖ q, restriction Z ∧ p, and sequential composition p ;_Z q,
+// along with encapsulation (construction and a semantic checker).
+package guarded
+
+import (
+	"fmt"
+
+	"detcorr/internal/state"
+)
+
+// Action is a named guarded command. Next returns the set of successor
+// states reached by executing the statement in the given state; it is
+// invoked only in states where the guard holds. Deterministic actions return
+// exactly one successor; nondeterministic actions (such as the paper's
+// Byzantine fault actions, Section 6.2) may return several. Next must be
+// pure: it must not retain or mutate its argument.
+type Action struct {
+	Name  string
+	Guard state.Predicate
+	Next  func(state.State) []state.State
+}
+
+// Det builds a deterministic action from a pure statement function.
+func Det(name string, guard state.Predicate, stmt func(state.State) state.State) Action {
+	return Action{
+		Name:  name,
+		Guard: guard,
+		Next: func(s state.State) []state.State {
+			return []state.State{stmt(s)}
+		},
+	}
+}
+
+// Choice builds a nondeterministic action whose statement may produce any of
+// the successors returned by stmt.
+func Choice(name string, guard state.Predicate, stmt func(state.State) []state.State) Action {
+	return Action{Name: name, Guard: guard, Next: stmt}
+}
+
+// Skip builds an action that is enabled by the guard but leaves the state
+// unchanged. Self-loops are occasionally useful to model busy components.
+func Skip(name string, guard state.Predicate) Action {
+	return Det(name, guard, func(s state.State) state.State { return s })
+}
+
+// Assign builds the common deterministic action "guard --> name := value".
+func Assign(sch *state.Schema, name string, guard state.Predicate, varName string, value int) Action {
+	i := sch.MustIndexOf(varName)
+	return Det(name, guard, func(s state.State) state.State { return s.With(i, value) })
+}
+
+// Enabled reports whether the action's guard holds in s (Section 2.1,
+// "Enabled").
+func (a Action) Enabled(s state.State) bool { return a.Guard.Holds(s) }
+
+// Restrict returns the action Z ∧ g --> st (the ∧ composition applied to a
+// single action, as in the paper's notation section).
+func (a Action) Restrict(z state.Predicate) Action {
+	return Action{
+		Name:  a.Name,
+		Guard: state.And(z, a.Guard),
+		Next:  a.Next,
+	}
+}
+
+// WithName returns a copy of the action renamed; composition operators use
+// it to keep action names unique.
+func (a Action) WithName(name string) Action {
+	a.Name = name
+	return a
+}
+
+func (a Action) validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("guarded: action with empty name")
+	}
+	if a.Next == nil {
+		return fmt.Errorf("guarded: action %q has nil statement", a.Name)
+	}
+	return nil
+}

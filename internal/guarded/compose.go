@@ -1,0 +1,145 @@
+package guarded
+
+import (
+	"fmt"
+
+	"detcorr/internal/state"
+)
+
+// Parallel returns the parallel composition p ‖ q (Section 2.1.1): a program
+// whose actions are the union of the actions of p and q. Both programs must
+// be over the same schema (lift one with Lift first if it is over a
+// sub-schema). Colliding action names are disambiguated with a program-name
+// prefix.
+func Parallel(name string, p, q *Program) (*Program, error) {
+	if p.schema != q.schema {
+		return nil, fmt.Errorf("guarded: parallel composition of %q and %q over different schemas (%s vs %s); lift to a common schema first",
+			p.name, q.name, p.schema, q.schema)
+	}
+	actions := make([]Action, 0, len(p.actions)+len(q.actions))
+	seen := make(map[string]bool, len(p.actions)+len(q.actions))
+	add := func(owner string, a Action) {
+		if seen[a.Name] {
+			a = a.WithName(owner + "." + a.Name)
+		}
+		seen[a.Name] = true
+		actions = append(actions, a)
+	}
+	for _, a := range p.actions {
+		add(p.name, a)
+	}
+	for _, a := range q.actions {
+		add(q.name, a)
+	}
+	return NewProgram(name, p.schema, actions...)
+}
+
+// MustParallel is Parallel but panics on schema mismatch.
+func MustParallel(name string, p, q *Program) *Program {
+	r, err := Parallel(name, p, q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParallelAll folds Parallel over the given programs.
+func ParallelAll(name string, progs ...*Program) (*Program, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("guarded: parallel composition of zero programs")
+	}
+	acc := progs[0]
+	var err error
+	for _, q := range progs[1:] {
+		acc, err = Parallel(name, acc, q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.Rename(name), nil
+}
+
+// Restrict returns the restriction Z ∧ p (Section 2.1.1): every action
+// g --> st of p becomes Z ∧ g --> st.
+func Restrict(z state.Predicate, p *Program) *Program {
+	actions := make([]Action, len(p.actions))
+	for i, a := range p.actions {
+		actions[i] = a.Restrict(z)
+	}
+	return MustProgram(fmt.Sprintf("%s ∧ %s", z, p.name), p.schema, actions...)
+}
+
+// Sequential returns the sequential composition p ;_Z q = p ‖ (Z ∧ q)
+// (Section 2.1.1). In the paper's designs, p is typically a detector that
+// truthifies the witness predicate Z, and q the component whose execution is
+// gated on it (for example DR ; IR in the TMR construction, Section 6.1).
+func Sequential(name string, p *Program, z state.Predicate, q *Program) (*Program, error) {
+	return Parallel(name, p, Restrict(z, q))
+}
+
+// MustSequential is Sequential but panics on schema mismatch.
+func MustSequential(name string, p *Program, z state.Predicate, q *Program) *Program {
+	r, err := Sequential(name, p, z, q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lift re-expresses a program over a larger schema that contains every
+// variable of the program's own schema. Guards are evaluated on, and
+// statements applied to, the projection; variables outside the base schema
+// are left untouched. Lifting is how the paper's refinement setting is
+// realized: the intolerant p keeps its meaning inside the extended state
+// space of the tolerant p'.
+func Lift(p *Program, target *state.Schema) (*Program, error) {
+	if p.schema == target {
+		return p, nil
+	}
+	proj, err := state.NewProjection(target, p.schema)
+	if err != nil {
+		return nil, fmt.Errorf("guarded: lift %q: %w", p.name, err)
+	}
+	// Pre-resolve where each base variable lives in the target schema.
+	baseIdx := make([]int, p.schema.NumVars())
+	for i := 0; i < p.schema.NumVars(); i++ {
+		j, ok := target.IndexOf(p.schema.Var(i).Name)
+		if !ok {
+			return nil, fmt.Errorf("guarded: lift %q: variable %q missing in target", p.name, p.schema.Var(i).Name)
+		}
+		baseIdx[i] = j
+	}
+	actions := make([]Action, len(p.actions))
+	for i, a := range p.actions {
+		base := a
+		actions[i] = Action{
+			Name:  base.Name,
+			Guard: proj.Lift(base.Guard),
+			Next: func(s state.State) []state.State {
+				small := proj.Apply(s)
+				nexts := base.Next(small)
+				out := make([]state.State, len(nexts))
+				for k, ns := range nexts {
+					full := s
+					for bi, ti := range baseIdx {
+						if ns.Get(bi) != small.Get(bi) {
+							full = full.With(ti, ns.Get(bi))
+						}
+					}
+					out[k] = full
+				}
+				return out
+			},
+		}
+	}
+	return NewProgram(p.name, target, actions...)
+}
+
+// MustLift is Lift but panics on schema mismatch.
+func MustLift(p *Program, target *state.Schema) *Program {
+	r, err := Lift(p, target)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,117 @@
+package guarded
+
+import (
+	"fmt"
+
+	"detcorr/internal/state"
+)
+
+// EncapsulateAction builds an action of the form
+//
+//	g ∧ g' --> st ‖ st'
+//
+// from a base action g --> st (Section 2.1, "Encapsulates"): the combined
+// action executes only when both guards hold; st and st' execute atomically;
+// and st' reads the variables of the *initial* state (the pre-state), as the
+// definition requires. extra must not update variables of the base program's
+// schema — that invariant is enforced by the semantic checker
+// CheckEncapsulation, and violating it makes the composed program fail it.
+//
+// The base action must already be expressed over the full schema (use Lift).
+// extra receives the pre-state and the post-state produced by st, and
+// returns the final state; it should only modify non-base variables of post.
+func EncapsulateAction(base Action, extraGuard state.Predicate, extra func(pre, post state.State) state.State) Action {
+	return Action{
+		Name:  base.Name,
+		Guard: state.And(base.Guard, extraGuard),
+		Next: func(s state.State) []state.State {
+			nexts := base.Next(s)
+			out := make([]state.State, len(nexts))
+			for i, ns := range nexts {
+				if extra != nil {
+					ns = extra(s, ns)
+				}
+				out[i] = ns
+			}
+			return out
+		},
+	}
+}
+
+// EncapsulationViolation describes a counterexample to "pp encapsulates p".
+type EncapsulationViolation struct {
+	ActionName string
+	Pre        state.State
+	Post       state.State
+	Reason     string
+}
+
+// Error implements the error interface.
+func (v *EncapsulationViolation) Error() string {
+	return fmt.Sprintf("guarded: encapsulation violated by action %q at %s -> %s: %s",
+		v.ActionName, v.Pre, v.Post, v.Reason)
+}
+
+// CheckEncapsulation verifies semantically that pp encapsulates p
+// (Section 2.1): every action of pp that updates variables of p behaves,
+// on those variables, exactly like some action of p that is enabled at the
+// projected state. The check enumerates all states of pp's schema satisfying
+// `within` (pass state.True to check the whole space).
+//
+// This is the semantic content of the syntactic definition: if the update of
+// p-variables by a pp-action at state s cannot be produced by any enabled
+// p-action at the projection of s, then the pp-action is not of the form
+// g ∧ g' --> st ‖ st' for any action g --> st of p.
+func CheckEncapsulation(pp, p *Program, within state.Predicate) error {
+	proj, err := state.NewProjection(pp.Schema(), p.Schema())
+	if err != nil {
+		return fmt.Errorf("guarded: encapsulation check: %w", err)
+	}
+	var viol error
+	err = pp.Schema().ForEachState(func(s state.State) bool {
+		if !within.Holds(s) {
+			return true
+		}
+		base := proj.Apply(s)
+		for _, a := range pp.actions {
+			if !a.Enabled(s) {
+				continue
+			}
+			for _, ns := range a.Next(s) {
+				nbase := proj.Apply(ns)
+				if nbase.Equal(base) {
+					continue // does not update variables of p
+				}
+				if !someActionProduces(p, base, nbase) {
+					viol = &EncapsulationViolation{
+						ActionName: a.Name,
+						Pre:        s,
+						Post:       ns,
+						Reason: fmt.Sprintf("projected step %s -> %s matches no enabled action of %q",
+							base, nbase, p.Name()),
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return viol
+}
+
+func someActionProduces(p *Program, from, to state.State) bool {
+	for _, a := range p.actions {
+		if !a.Enabled(from) {
+			continue
+		}
+		for _, ns := range a.Next(from) {
+			if ns.Equal(to) {
+				return true
+			}
+		}
+	}
+	return false
+}

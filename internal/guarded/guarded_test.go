@@ -1,0 +1,240 @@
+package guarded
+
+import (
+	"strings"
+	"testing"
+
+	"detcorr/internal/state"
+)
+
+func counterSchema(t *testing.T, n int) *state.Schema {
+	t.Helper()
+	s, err := state.NewSchema(state.IntVar("x", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func incAction(sch *state.Schema, n int) Action {
+	i := sch.MustIndexOf("x")
+	return Det("inc",
+		state.Pred("x<max", func(s state.State) bool { return s.Get(i) < n-1 }),
+		func(s state.State) state.State { return s.With(i, s.Get(i)+1) },
+	)
+}
+
+func decAction(sch *state.Schema) Action {
+	i := sch.MustIndexOf("x")
+	return Det("dec",
+		state.Pred("x>0", func(s state.State) bool { return s.Get(i) > 0 }),
+		func(s state.State) state.State { return s.With(i, s.Get(i)-1) },
+	)
+}
+
+func TestProgramValidation(t *testing.T) {
+	sch := counterSchema(t, 3)
+	if _, err := NewProgram("p", nil, incAction(sch, 3)); err == nil {
+		t.Error("nil schema must be rejected")
+	}
+	if _, err := NewProgram("p", sch, incAction(sch, 3), incAction(sch, 3)); err == nil {
+		t.Error("duplicate action names must be rejected")
+	}
+	if _, err := NewProgram("p", sch, Action{Name: "broken"}); err == nil {
+		t.Error("nil statement must be rejected")
+	}
+	if _, err := NewProgram("p", sch, Action{Next: func(s state.State) []state.State { return nil }}); err == nil {
+		t.Error("empty action name must be rejected")
+	}
+	empty, err := NewProgram("empty", sch)
+	if err != nil {
+		t.Fatalf("empty program must be legal: %v", err)
+	}
+	if !empty.Deadlocked(state.MustState(sch, 0)) {
+		t.Error("empty program is deadlocked everywhere")
+	}
+}
+
+func TestEnabledSuccessorsDeadlock(t *testing.T) {
+	sch := counterSchema(t, 3)
+	p := MustProgram("count", sch, incAction(sch, 3), decAction(sch))
+	mid := state.MustState(sch, 1)
+	if got := p.Enabled(mid); len(got) != 2 {
+		t.Errorf("Enabled(mid) = %v", got)
+	}
+	lo := state.MustState(sch, 0)
+	succ := p.Successors(lo)
+	if len(succ) != 1 || succ[0].To.Get(0) != 1 {
+		t.Errorf("Successors(0) = %v", succ)
+	}
+	if p.Deadlocked(mid) {
+		t.Error("mid must not be deadlocked")
+	}
+	oneAction := MustProgram("only-inc", sch, incAction(sch, 3))
+	if !oneAction.Deadlocked(state.MustState(sch, 2)) {
+		t.Error("x=2 deadlocks the pure counter")
+	}
+	if _, ok := p.ActionByName("inc"); !ok {
+		t.Error("ActionByName(inc) should succeed")
+	}
+	if _, ok := p.ActionByName("zzz"); ok {
+		t.Error("ActionByName(zzz) should fail")
+	}
+}
+
+func TestParallelUnionAndRenaming(t *testing.T) {
+	sch := counterSchema(t, 3)
+	p := MustProgram("p", sch, incAction(sch, 3))
+	q := MustProgram("q", sch, incAction(sch, 3), decAction(sch))
+	r, err := Parallel("r", p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumActions() != 3 {
+		t.Fatalf("parallel composition has %d actions, want 3", r.NumActions())
+	}
+	names := strings.Join(r.ActionNames(), ",")
+	if !strings.Contains(names, "q.inc") {
+		t.Errorf("colliding action should be renamed: %s", names)
+	}
+	other := counterSchema(t, 4)
+	if _, err := Parallel("bad", p, MustProgram("o", other, incAction(other, 4))); err == nil {
+		t.Error("cross-schema composition must be rejected")
+	}
+}
+
+func TestRestrictAndSequential(t *testing.T) {
+	sch := counterSchema(t, 4)
+	p := MustProgram("p", sch, incAction(sch, 4))
+	even := state.Pred("even", func(s state.State) bool { return s.Get(0)%2 == 0 })
+	rp := Restrict(even, p)
+	if rp.Action(0).Enabled(state.MustState(sch, 1)) {
+		t.Error("restricted action must be disabled at odd x")
+	}
+	if !rp.Action(0).Enabled(state.MustState(sch, 2)) {
+		t.Error("restricted action must be enabled at even x")
+	}
+	q := MustProgram("q", sch, decAction(sch))
+	seq, err := Sequential("p;q", p, even, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p ;_Z q = p ‖ (Z ∧ q): dec only fires at even states.
+	st := state.MustState(sch, 1)
+	for _, tr := range seq.Successors(st) {
+		if seq.Action(tr.Action).Name == "dec" {
+			t.Error("dec must be blocked at odd x")
+		}
+	}
+}
+
+func TestLift(t *testing.T) {
+	base := state.MustSchema(state.IntVar("x", 3))
+	ext := state.MustSchema(state.IntVar("x", 3), state.BoolVar("flag"))
+	p := MustProgram("p", base, incAction(base, 3))
+	lp, err := Lift(p, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := state.MustState(ext, 1, 1)
+	succ := lp.Successors(st)
+	if len(succ) != 1 {
+		t.Fatalf("lifted successors: %v", succ)
+	}
+	if succ[0].To.GetName("x") != 2 || succ[0].To.GetName("flag") != 1 {
+		t.Errorf("lifted step must only change base variables: %s", succ[0].To)
+	}
+	if got, _ := Lift(p, base); got != p {
+		t.Error("lifting to the same schema should be the identity")
+	}
+	missing := state.MustSchema(state.BoolVar("flag"))
+	if _, err := Lift(p, missing); err == nil {
+		t.Error("lifting to a schema missing base variables must fail")
+	}
+}
+
+func TestEncapsulationChecker(t *testing.T) {
+	base := state.MustSchema(state.IntVar("x", 3))
+	ext := state.MustSchema(state.IntVar("x", 3), state.BoolVar("ok"))
+	p := MustProgram("p", base, incAction(base, 3))
+	lifted := MustLift(p, ext)
+
+	// Legal: base action with an extra guard and an extra effect on ok.
+	okIdx := ext.MustIndexOf("ok")
+	enc := EncapsulateAction(lifted.Action(0), state.True, func(pre, post state.State) state.State {
+		return post.With(okIdx, 1)
+	})
+	good := MustProgram("good", ext, enc)
+	if err := CheckEncapsulation(good, p, state.True); err != nil {
+		t.Errorf("legal encapsulation rejected: %v", err)
+	}
+
+	// Illegal: an action that updates x in a way p cannot.
+	rogue := Det("rogue", state.True, func(s state.State) state.State {
+		return s.With(0, 0)
+	})
+	bad := MustProgram("bad", ext, rogue)
+	err := CheckEncapsulation(bad, p, state.True)
+	if err == nil {
+		t.Fatal("rogue update must violate encapsulation")
+	}
+	var viol *EncapsulationViolation
+	if !asViolation(err, &viol) {
+		t.Fatalf("want *EncapsulationViolation, got %T", err)
+	}
+	if viol.ActionName != "rogue" {
+		t.Errorf("violating action %q", viol.ActionName)
+	}
+
+	// The same rogue action is fine when restricted out of scope by the
+	// `within` predicate.
+	zero := state.Pred("x=0", func(s state.State) bool { return s.GetName("x") == 0 })
+	if err := CheckEncapsulation(bad, p, zero); err != nil {
+		t.Errorf("rogue is a no-op at x=0; within-restricted check should pass: %v", err)
+	}
+}
+
+func TestEncapsulateActionReadsPreState(t *testing.T) {
+	// st' must read the *initial* values (Section 2.1): the extra effect
+	// copies x's pre-value into y even though st changes x.
+	sch := state.MustSchema(state.IntVar("x", 3), state.IntVar("y", 3))
+	xi, yi := sch.MustIndexOf("x"), sch.MustIndexOf("y")
+	baseAct := Det("bump", state.True, func(s state.State) state.State {
+		return s.With(xi, (s.Get(xi)+1)%3)
+	})
+	enc := EncapsulateAction(baseAct, state.True, func(pre, post state.State) state.State {
+		return post.With(yi, pre.Get(xi))
+	})
+	st := state.MustState(sch, 2, 0)
+	next := enc.Next(st)[0]
+	if next.Get(xi) != 0 || next.Get(yi) != 2 {
+		t.Errorf("want x=0,y=2 (pre-value), got %s", next)
+	}
+}
+
+func TestChoiceAndSkip(t *testing.T) {
+	sch := counterSchema(t, 3)
+	c := Choice("any", state.True, func(s state.State) []state.State {
+		return []state.State{s.With(0, 0), s.With(0, 2)}
+	})
+	st := state.MustState(sch, 1)
+	if got := c.Next(st); len(got) != 2 {
+		t.Errorf("Choice successors: %d", len(got))
+	}
+	sk := Skip("idle", state.True)
+	if got := sk.Next(st); len(got) != 1 || !got[0].Equal(st) {
+		t.Error("Skip must not change the state")
+	}
+	asg := Assign(sch, "reset", state.True, "x", 0)
+	if got := asg.Next(st); got[0].Get(0) != 0 {
+		t.Error("Assign must set the value")
+	}
+}
+
+func asViolation(err error, target **EncapsulationViolation) bool {
+	v, ok := err.(*EncapsulationViolation)
+	if ok {
+		*target = v
+	}
+	return ok
+}

@@ -1,0 +1,144 @@
+package guarded
+
+import (
+	"fmt"
+	"strings"
+
+	"detcorr/internal/state"
+)
+
+// Program is a finite set of actions over a schema (Section 2.1). Programs
+// are immutable after construction; the composition operators return new
+// programs.
+type Program struct {
+	name    string
+	schema  *state.Schema
+	actions []Action
+}
+
+// NewProgram validates and builds a program. Action names must be unique
+// within the program, statements must be non-nil, and there must be at least
+// zero actions (an empty program is legal: it deadlocks everywhere, which is
+// how the paper's ';' composition can disable a component).
+func NewProgram(name string, sch *state.Schema, actions ...Action) (*Program, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("guarded: program %q has nil schema", name)
+	}
+	seen := make(map[string]bool, len(actions))
+	for _, a := range actions {
+		if err := a.validate(); err != nil {
+			return nil, fmt.Errorf("guarded: program %q: %w", name, err)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("guarded: program %q: duplicate action name %q", name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return &Program{
+		name:    name,
+		schema:  sch,
+		actions: append([]Action(nil), actions...),
+	}, nil
+}
+
+// MustProgram is NewProgram but panics on invalid input; for statically
+// known programs (the built-in case studies).
+func MustProgram(name string, sch *state.Schema, actions ...Action) *Program {
+	p, err := NewProgram(name, sch, actions...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the program's name.
+func (p *Program) Name() string { return p.name }
+
+// Schema returns the schema the program's variables are drawn from.
+func (p *Program) Schema() *state.Schema { return p.schema }
+
+// NumActions returns the number of actions.
+func (p *Program) NumActions() int { return len(p.actions) }
+
+// Action returns the i-th action.
+func (p *Program) Action(i int) Action { return p.actions[i] }
+
+// Actions returns a copy of the action list.
+func (p *Program) Actions() []Action {
+	return append([]Action(nil), p.actions...)
+}
+
+// ActionNames returns the action names in declaration order.
+func (p *Program) ActionNames() []string {
+	names := make([]string, len(p.actions))
+	for i, a := range p.actions {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ActionByName returns the named action and whether it exists.
+func (p *Program) ActionByName(name string) (Action, bool) {
+	for _, a := range p.actions {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Action{}, false
+}
+
+// Enabled returns the indices of the actions enabled in s.
+func (p *Program) Enabled(s state.State) []int {
+	var out []int
+	for i, a := range p.actions {
+		if a.Enabled(s) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Deadlocked reports whether no action of p is enabled in s; a maximal
+// computation may be finite only at such a state (Section 2.1,
+// "Computation": maximality).
+func (p *Program) Deadlocked(s state.State) bool {
+	for _, a := range p.actions {
+		if a.Enabled(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transition is a single step (s, To) produced by the action with the given
+// index in the program's action list.
+type Transition struct {
+	Action int
+	To     state.State
+}
+
+// Successors returns all transitions of p enabled in s.
+func (p *Program) Successors(s state.State) []Transition {
+	var out []Transition
+	for i, a := range p.actions {
+		if !a.Enabled(s) {
+			continue
+		}
+		for _, t := range a.Next(s) {
+			out = append(out, Transition{Action: i, To: t})
+		}
+	}
+	return out
+}
+
+// Rename returns a copy of the program with a new name.
+func (p *Program) Rename(name string) *Program {
+	q := *p
+	q.name = name
+	return &q
+}
+
+// String renders the program header and its action names.
+func (p *Program) String() string {
+	return fmt.Sprintf("program %s over %s [%s]", p.name, p.schema, strings.Join(p.ActionNames(), ", "))
+}

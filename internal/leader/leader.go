@@ -1,0 +1,152 @@
+// Package leader implements self-stabilizing leader election on a
+// unidirectional ring — another application the paper lists for the
+// component-based method (Section 1). Every process keeps a believed-leader
+// id; each process injects its own id and adopts any larger id from its
+// ring predecessor, so the maximum id floods the ring. The program is a
+// corrector in the paper's sense: "elected corrects elected", where the
+// legitimate states are those in which every process believes in the
+// true maximum id. Transient faults corrupt belief variables; the system is
+// nonmasking tolerant — a transient wrong leader is possible, then the ring
+// converges.
+package leader
+
+import (
+	"fmt"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// System is a leader-election instance over an n-process ring with process
+// ids 0..n-1 (so the rightful leader is n-1).
+type System struct {
+	N      int
+	Schema *state.Schema
+
+	Program *guarded.Program
+
+	// Elected holds when every process believes in the maximum id.
+	Elected state.Predicate
+
+	Spec spec.Problem
+
+	// Corruption rewrites one process's belief arbitrarily.
+	Corruption fault.Class
+}
+
+func ldrVar(i int) string { return fmt.Sprintf("ldr.%d", i) }
+
+// New builds an n-process ring, n ≥ 2.
+func New(n int) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("leader: need at least 2 processes (got %d)", n)
+	}
+	vars := make([]state.Var, n)
+	for i := 0; i < n; i++ {
+		vars[i] = state.IntVar(ldrVar(i), n)
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{N: n, Schema: sch}
+	if err := sys.build(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(n int) *System {
+	sys, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// Believes returns process i's believed leader in s.
+func (sys *System) Believes(s state.State, i int) int {
+	return s.GetName(ldrVar(i))
+}
+
+func (sys *System) build() error {
+	n := sys.N
+	sys.Elected = state.Pred(fmt.Sprintf("all believe in %d", n-1), func(s state.State) bool {
+		for i := 0; i < n; i++ {
+			if s.Get(i) != n-1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	var actions []guarded.Action
+	for i := 0; i < n; i++ {
+		i := i
+		pred := (i + n - 1) % n
+		actions = append(actions,
+			// adopt.i: take a larger belief from the ring predecessor.
+			guarded.Det(fmt.Sprintf("adopt.%d", i),
+				state.Pred(fmt.Sprintf("ldr.%d < ldr.%d", i, pred), func(s state.State) bool {
+					return s.Get(i) < s.Get(pred)
+				}),
+				func(s state.State) state.State { return s.With(i, s.Get(pred)) }),
+			// self.i: a process never believes in anyone smaller than
+			// itself — this is what flushes out stale small ids and makes
+			// the true maximum always re-enter the ring.
+			guarded.Det(fmt.Sprintf("self.%d", i),
+				state.Pred(fmt.Sprintf("ldr.%d < %d", i, i), func(s state.State) bool {
+					return s.Get(i) < i
+				}),
+				func(s state.State) state.State { return s.With(i, i) }),
+		)
+	}
+	prog, err := guarded.NewProgram(fmt.Sprintf("leader(n=%d)", n), sys.Schema, actions...)
+	if err != nil {
+		return err
+	}
+	sys.Program = prog
+
+	sys.Spec = spec.Problem{
+		Name: "SPEC_leader",
+		Safety: spec.NeverStep("an elected leader is never deposed", func(from, to state.State) bool {
+			return sys.Elected.Holds(from) && !sys.Elected.Holds(to)
+		}),
+		Live: []spec.LeadsTo{{
+			Name: "a leader is eventually elected everywhere",
+			P:    state.True,
+			Q:    sys.Elected,
+		}},
+	}
+
+	var faults []guarded.Action
+	for i := 0; i < n; i++ {
+		i := i
+		faults = append(faults, guarded.Choice(fmt.Sprintf("corrupt.%d", i), state.True,
+			func(s state.State) []state.State {
+				out := make([]state.State, 0, n)
+				for v := 0; v < n; v++ {
+					out = append(out, s.With(i, v))
+				}
+				return out
+			}))
+	}
+	sys.Corruption = fault.NewClass("belief-corruption", faults...)
+	return nil
+}
+
+// AsCorrector returns the system viewed as the paper's corrector: the
+// elected predicate corrects itself from any state.
+func (sys *System) AsCorrector() core.Corrector {
+	return core.Corrector{
+		Name: sys.Program.Name(),
+		C:    sys.Program,
+		Z:    sys.Elected,
+		X:    sys.Elected,
+		U:    state.True,
+	}
+}

@@ -1,0 +1,93 @@
+package leader
+
+import (
+	"testing"
+
+	"strings"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func TestElectionIsCorrector(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		sys, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AsCorrector().Check(); err != nil {
+			t.Errorf("n=%d: elected should correct itself from any state: %v", n, err)
+		}
+	}
+}
+
+func TestRefinesSpecFromElected(t *testing.T) {
+	sys := MustNew(3)
+	if err := sys.Spec.CheckRefinesFrom(sys.Program, sys.Elected); err != nil {
+		t.Errorf("election should refine its spec from the elected states: %v", err)
+	}
+}
+
+func TestNonmaskingUnderCorruption(t *testing.T) {
+	sys := MustNew(3)
+	rep := fault.CheckNonmasking(sys.Program, sys.Corruption, sys.Spec, state.True, sys.Elected)
+	if !rep.OK() {
+		t.Errorf("election should be nonmasking tolerant to belief corruption: %v", rep.Err)
+	}
+}
+
+func TestNotFailSafeUnderCorruption(t *testing.T) {
+	// Corruption can depose the elected leader transiently.
+	sys := MustNew(3)
+	if rep := fault.CheckFailSafe(sys.Program, sys.Corruption, sys.Spec, sys.Elected); rep.OK() {
+		t.Error("election must not be fail-safe tolerant to belief corruption")
+	}
+}
+
+func TestElectedStatesAreSilent(t *testing.T) {
+	sys := MustNew(4)
+	err := sys.Schema.ForEachState(func(s state.State) bool {
+		if sys.Elected.Holds(s) && !sys.Program.Deadlocked(s) {
+			t.Errorf("action enabled in elected state %s", s)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergesFromEveryState(t *testing.T) {
+	sys := MustNew(4)
+	if err := spec.CheckConverges(sys.Program, state.True, sys.Elected); err != nil {
+		t.Errorf("election should converge from any state: %v", err)
+	}
+}
+
+func TestSelfInjectionIsLoadBearing(t *testing.T) {
+	// Without the self.i actions, a corruption that erases all knowledge
+	// of the maximum id converges to a wrong stable leader: the corrector
+	// property must fail.
+	sys := MustNew(3)
+	var kept []guarded.Action
+	for _, a := range sys.Program.Actions() {
+		if strings.HasPrefix(a.Name, "adopt") {
+			kept = append(kept, a)
+		}
+	}
+	broken := guarded.MustProgram("adopt-only", sys.Schema, kept...)
+	c := sys.AsCorrector()
+	c.C = broken
+	if err := c.Check(); err == nil {
+		t.Error("without self-injection the election must fail to converge to the true maximum")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("n=1 must be rejected")
+	}
+}

@@ -1,0 +1,236 @@
+// Package memaccess implements the paper's running example (Sections 3.3,
+// 4.3, 5.1 — Figures 1, 2 and 3): a memory access program that obtains the
+// value stored at an address, subjected to a page fault that removes the
+// address from memory.
+//
+// The finite-state model:
+//
+//   - present — whether ⟨addr,·⟩ ∈ MEM;
+//   - val     — the ground-truth value stored at addr (constant; the value
+//     the disk would supply on a page-in);
+//   - data    — the program's output register, ⊥ or a value;
+//   - z1      — the detector's witness variable Z1 (programs pf and pm).
+//
+// The intolerant read returns an *arbitrary* value when the address is
+// absent, exactly as the paper's p does; SPEC_mem requires that data is
+// never set to an incorrect value (safety) and is eventually set to the
+// correct one (liveness).
+//
+// The page fault removes the address from memory. For the programs that
+// carry the witness Z1 the fault is guarded by ¬Z1, which models the paper's
+// "addr and its value are initially removed": the page can be faulted out
+// only before the detector has pinned it, and this is what makes the fault
+// preserve the span U1 = (Z1 ⇒ X1).
+package memaccess
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// System bundles the four programs of the example and everything needed to
+// check them: the specification, the predicates of Figures 1–3, and the
+// fault classes.
+type System struct {
+	// V is the number of distinct memory values; must be at least 2 so that
+	// an arbitrary read can actually be incorrect.
+	V int
+
+	// BaseSchema declares present, val, data; WitnessSchema additionally
+	// declares z1.
+	BaseSchema    *state.Schema
+	WitnessSchema *state.Schema
+
+	Intolerant *guarded.Program // p   (Section 3.3)
+	FailSafe   *guarded.Program // pf  (Figure 1)
+	Nonmasking *guarded.Program // pn  (Figure 2)
+	Masking    *guarded.Program // pm  (Figure 3)
+
+	Spec spec.Problem // SPEC_mem
+
+	// X1 is the detection predicate "addr is currently in the memory";
+	// U1 is "Z1 is truthified only when X1 is true" (Z1 ⇒ X1); S = U1 ∧ X1
+	// is the invariant and T = U1 the fault span, as in the paper.
+	X1, U1, S, T state.Predicate
+	Z1           state.Predicate
+	DataCorrect  state.Predicate
+
+	// PageFaultBase perturbs programs over BaseSchema (p, pn);
+	// PageFaultWitness perturbs programs over WitnessSchema (pf, pm).
+	PageFaultBase    fault.Class
+	PageFaultWitness fault.Class
+}
+
+// New constructs the memory access example with v distinct memory values.
+func New(v int) (*System, error) {
+	if v < 2 {
+		return nil, fmt.Errorf("memaccess: need at least 2 values for incorrect reads to exist (got %d)", v)
+	}
+	base, err := state.NewSchema(
+		state.BoolVar("present"),
+		state.IntVar("val", v),
+		state.IntVar("data", v+1), // 0 = ⊥, k+1 = value k
+	)
+	if err != nil {
+		return nil, err
+	}
+	witness, err := base.Extend(state.BoolVar("z1"))
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{V: v, BaseSchema: base, WitnessSchema: witness}
+	sys.buildPredicates()
+	if err := sys.buildPrograms(); err != nil {
+		return nil, err
+	}
+	sys.buildSpec()
+	sys.buildFaults()
+	return sys, nil
+}
+
+// MustNew is New but panics on invalid arguments.
+func MustNew(v int) *System {
+	sys, err := New(v)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func (sys *System) buildPredicates() {
+	sys.X1 = state.Pred("X1: addr ∈ MEM", func(s state.State) bool {
+		return s.GetName("present") != 0
+	})
+	sys.Z1 = state.Pred("Z1", func(s state.State) bool {
+		return s.GetName("z1") != 0
+	})
+	sys.U1 = state.Pred("U1: Z1 ⇒ X1", func(s state.State) bool {
+		return s.GetName("z1") == 0 || s.GetName("present") != 0
+	})
+	sys.S = state.Pred("S: U1 ∧ X1", func(s state.State) bool {
+		return s.GetName("present") != 0
+	})
+	sys.T = sys.U1
+	sys.DataCorrect = state.Pred("data=val", func(s state.State) bool {
+		return s.GetName("data") == s.GetName("val")+1
+	})
+}
+
+// readStatement is the paper's data := (val | ⟨addr,val⟩ ∈ MEM): the stored
+// value when the address is present, an arbitrary value otherwise.
+func (sys *System) readStatement(sch *state.Schema) func(state.State) []state.State {
+	presentIdx := sch.MustIndexOf("present")
+	valIdx := sch.MustIndexOf("val")
+	dataIdx := sch.MustIndexOf("data")
+	v := sys.V
+	return func(s state.State) []state.State {
+		if s.Bool(presentIdx) {
+			return []state.State{s.With(dataIdx, s.Get(valIdx)+1)}
+		}
+		out := make([]state.State, 0, v)
+		for k := 0; k < v; k++ {
+			out = append(out, s.With(dataIdx, k+1))
+		}
+		return out
+	}
+}
+
+func (sys *System) buildPrograms() error {
+	// p :: true --> data := (val | ⟨addr,val⟩ ∈ MEM)
+	read := guarded.Choice("read", state.True, sys.readStatement(sys.BaseSchema))
+	p, err := guarded.NewProgram("p", sys.BaseSchema, read)
+	if err != nil {
+		return err
+	}
+	sys.Intolerant = p
+
+	// pf (Figure 1):
+	//   pf1 :: (∃val :: ⟨addr,val⟩∈MEM) ∧ ¬Z1 --> Z1 := true
+	//   pf2 :: Z1 ∧ true                      --> data := (val | ...)
+	detect := guarded.Det("detect",
+		state.Pred("present ∧ ¬Z1", func(s state.State) bool {
+			return s.GetName("present") != 0 && s.GetName("z1") == 0
+		}),
+		func(s state.State) state.State { return s.WithName("z1", 1) },
+	)
+	readW := guarded.Choice("read", sys.Z1, sys.readStatement(sys.WitnessSchema))
+	pf, err := guarded.NewProgram("pf", sys.WitnessSchema, detect, readW)
+	if err != nil {
+		return err
+	}
+	sys.FailSafe = pf
+
+	// pn (Figure 2):
+	//   pn1 :: ¬(∃val :: ⟨addr,val⟩∈MEM) --> MEM := MEM ∪ {⟨addr,-⟩}
+	//   pn2 :: true                      --> data := (val | ...)
+	restore := guarded.Det("restore",
+		state.Pred("¬present", func(s state.State) bool { return s.GetName("present") == 0 }),
+		func(s state.State) state.State { return s.WithName("present", 1) },
+	)
+	readN := guarded.Choice("read", state.True, sys.readStatement(sys.BaseSchema))
+	pn, err := guarded.NewProgram("pn", sys.BaseSchema, restore, readN)
+	if err != nil {
+		return err
+	}
+	sys.Nonmasking = pn
+
+	// pm (Figure 3):
+	//   pm1 :: ¬present            --> present := true
+	//   pm2 :: present ∧ ¬Z1       --> Z1 := true
+	//   pm3 :: Z1 ∧ true           --> data := (val | ...)
+	restoreW := guarded.Det("restore",
+		state.Pred("¬present", func(s state.State) bool { return s.GetName("present") == 0 }),
+		func(s state.State) state.State { return s.WithName("present", 1) },
+	)
+	pm, err := guarded.NewProgram("pm", sys.WitnessSchema, restoreW, detect, readW)
+	if err != nil {
+		return err
+	}
+	sys.Masking = pm
+	return nil
+}
+
+func (sys *System) buildSpec() {
+	// SPEC_mem: data is never set to an incorrect value (safety) and is
+	// eventually set to the correct value (liveness). A "set" is a step
+	// that changes data; setting it to ⊥ never happens and changing it to
+	// anything other than the stored value is forbidden.
+	sys.Spec = spec.Problem{
+		Name: "SPEC_mem",
+		Safety: spec.NeverStep("data never set incorrectly", func(from, to state.State) bool {
+			d0, d1 := from.GetName("data"), to.GetName("data")
+			if d0 == d1 {
+				return false
+			}
+			return d1 != to.GetName("val")+1
+		}),
+		Live: []spec.LeadsTo{{
+			Name: "data eventually correct",
+			P:    state.True,
+			Q:    sys.DataCorrect,
+		}},
+	}
+}
+
+func (sys *System) buildFaults() {
+	// Page fault: ⟨addr, val⟩ is removed from the memory. On the witness
+	// schema the fault is guarded by ¬Z1 (see the package comment).
+	sys.PageFaultBase = fault.NewClass("page-fault",
+		guarded.Det("page-out",
+			state.Pred("present", func(s state.State) bool { return s.GetName("present") != 0 }),
+			func(s state.State) state.State { return s.WithName("present", 0) },
+		),
+	)
+	sys.PageFaultWitness = fault.NewClass("page-fault",
+		guarded.Det("page-out",
+			state.Pred("present ∧ ¬Z1", func(s state.State) bool {
+				return s.GetName("present") != 0 && s.GetName("z1") == 0
+			}),
+			func(s state.State) state.State { return s.WithName("present", 0) },
+		),
+	)
+}

@@ -1,0 +1,217 @@
+package memaccess
+
+import (
+	"testing"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sys
+}
+
+func TestIntolerantRefinesSpecFromS(t *testing.T) {
+	sys := newSys(t)
+	if err := sys.Spec.CheckRefinesFrom(sys.Intolerant, sys.S); err != nil {
+		t.Errorf("p should refine SPEC_mem from S: %v", err)
+	}
+}
+
+func TestIntolerantViolatesSpecFromTrue(t *testing.T) {
+	sys := newSys(t)
+	viol, err := sys.Spec.Violates(sys.Intolerant, state.True)
+	if !viol {
+		t.Errorf("p should violate SPEC_mem from true (arbitrary reads when absent), got err=%v", err)
+	}
+}
+
+func TestFailSafeTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckFailSafe(sys.FailSafe, sys.PageFaultWitness, sys.Spec, sys.S)
+	if !rep.OK() {
+		t.Errorf("pf should be fail-safe page-fault-tolerant: %v", rep.Err)
+	}
+	if rep.SpanSize == 0 {
+		t.Error("fault span should be nonempty")
+	}
+}
+
+func TestFailSafeIsNotMasking(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckMasking(sys.FailSafe, sys.PageFaultWitness, sys.Spec, sys.S)
+	if rep.OK() {
+		t.Error("pf must not be masking tolerant: it deadlocks after a page fault")
+	}
+}
+
+func TestNonmaskingTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckNonmasking(sys.Nonmasking, sys.PageFaultBase, sys.Spec, sys.S, sys.S)
+	if !rep.OK() {
+		t.Errorf("pn should be nonmasking page-fault-tolerant: %v", rep.Err)
+	}
+}
+
+func TestNonmaskingIsNotFailSafe(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckFailSafe(sys.Nonmasking, sys.PageFaultBase, sys.Spec, sys.S)
+	if rep.OK() {
+		t.Error("pn must not be fail-safe tolerant: it may read an arbitrary value after a fault")
+	}
+}
+
+func TestMaskingTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckMasking(sys.Masking, sys.PageFaultWitness, sys.Spec, sys.S)
+	if !rep.OK() {
+		t.Errorf("pm should be masking page-fault-tolerant: %v", rep.Err)
+	}
+}
+
+func TestIntolerantIsNotTolerant(t *testing.T) {
+	sys := newSys(t)
+	if rep := fault.CheckFailSafe(sys.Intolerant, sys.PageFaultBase, sys.Spec, sys.S); rep.OK() {
+		t.Error("p must not be fail-safe tolerant")
+	}
+	if rep := fault.CheckNonmasking(sys.Intolerant, sys.PageFaultBase, sys.Spec, sys.S, sys.S); rep.OK() {
+		t.Error("p must not be nonmasking tolerant")
+	}
+}
+
+func TestEncapsulation(t *testing.T) {
+	sys := newSys(t)
+	if err := guarded.CheckEncapsulation(sys.FailSafe, sys.Intolerant, state.True); err != nil {
+		t.Errorf("pf should encapsulate p: %v", err)
+	}
+	if err := guarded.CheckEncapsulation(sys.Masking, sys.Nonmasking, state.True); err != nil {
+		t.Errorf("pm should encapsulate pn: %v", err)
+	}
+}
+
+func TestRefinement(t *testing.T) {
+	sys := newSys(t)
+	present := sys.S
+	if err := spec.CheckRefines(sys.FailSafe, sys.Intolerant, present); err != nil {
+		t.Errorf("pf should refine p from S: %v", err)
+	}
+	if err := spec.CheckRefines(sys.Nonmasking, sys.Intolerant, present); err != nil {
+		t.Errorf("pn should refine p from S: %v", err)
+	}
+	if err := spec.CheckRefines(sys.Masking, sys.Nonmasking, present); err != nil {
+		t.Errorf("pm should refine pn from S: %v", err)
+	}
+}
+
+func TestTheorem3_6OnFigure1(t *testing.T) {
+	sys := newSys(t)
+	res := core.Theorem3_6(sys.Intolerant, sys.FailSafe, sys.Spec, sys.PageFaultWitness, sys.S, sys.S)
+	if !res.OK() {
+		t.Fatalf("Theorem 3.6 instance (pf): %v", res.Err)
+	}
+	if len(res.Detectors) != sys.Intolerant.NumActions() {
+		t.Errorf("expected %d detectors, got %d", sys.Intolerant.NumActions(), len(res.Detectors))
+	}
+	// The paper's detection predicate for pf is X1 ("addr ∈ MEM"); the
+	// constructed witness must agree with X1 on every state reachable from
+	// S where the witness Z1 holds (Safeness: Z ⇒ X ⇒ sf).
+	d := res.Detectors[0]
+	err := sys.WitnessSchema.ForEachState(func(s state.State) bool {
+		if d.Z.Holds(s) && d.X.Holds(s) && !sys.X1.Holds(s) {
+			t.Errorf("witness X holds with Z at %s but paper's X1 does not", s)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem4_3OnFigure2(t *testing.T) {
+	sys := newSys(t)
+	res := core.Theorem4_3(sys.Intolerant, sys.Nonmasking, sys.Spec, sys.PageFaultBase, sys.S, sys.S)
+	if !res.OK() {
+		t.Fatalf("Theorem 4.3 instance (pn): %v", res.Err)
+	}
+	if len(res.Correctors) != 1 {
+		t.Fatalf("expected one corrector, got %d", len(res.Correctors))
+	}
+}
+
+func TestTheorem5_5OnFigure3(t *testing.T) {
+	sys := newSys(t)
+	res := core.Theorem5_5(sys.Nonmasking, sys.Masking, sys.Spec, sys.PageFaultWitness, sys.S, sys.S)
+	if !res.OK() {
+		t.Fatalf("Theorem 5.5 instance (pm): %v", res.Err)
+	}
+	if len(res.Detectors) != sys.Nonmasking.NumActions() {
+		t.Errorf("expected %d detectors, got %d", sys.Nonmasking.NumActions(), len(res.Detectors))
+	}
+	if len(res.Correctors) != 1 {
+		t.Errorf("expected one corrector, got %d", len(res.Correctors))
+	}
+}
+
+func TestDetectorOfFigure1Directly(t *testing.T) {
+	sys := newSys(t)
+	d := core.Detector{
+		Name: "pf1",
+		D:    sys.FailSafe,
+		Z:    sys.Z1,
+		X:    sys.X1,
+		U:    sys.U1,
+	}
+	if err := d.Check(); err != nil {
+		t.Errorf("Z1 detects X1 in pf from U1 should hold: %v", err)
+	}
+	if err := d.CheckFTolerant(sys.PageFaultWitness, fault.FailSafe); err != nil {
+		t.Errorf("pf should be a fail-safe page-fault-tolerant detector: %v", err)
+	}
+}
+
+func TestCorrectorOfFigure2Directly(t *testing.T) {
+	sys := newSys(t)
+	c := core.Corrector{
+		Name: "pn1",
+		C:    sys.Nonmasking,
+		Z:    sys.X1,
+		X:    sys.X1,
+		U:    sys.X1,
+	}
+	if err := c.Check(); err != nil {
+		t.Errorf("X1 corrects X1 in pn from X1 should hold: %v", err)
+	}
+	if err := c.CheckFTolerant(sys.PageFaultBase, fault.Nonmasking); err != nil {
+		t.Errorf("pn should be a nonmasking page-fault-tolerant corrector: %v", err)
+	}
+}
+
+func TestLargerValueDomains(t *testing.T) {
+	for _, v := range []int{3, 4} {
+		sys, err := New(v)
+		if err != nil {
+			t.Fatalf("New(%d): %v", v, err)
+		}
+		if rep := fault.CheckMasking(sys.Masking, sys.PageFaultWitness, sys.Spec, sys.S); !rep.OK() {
+			t.Errorf("V=%d: pm should be masking tolerant: %v", v, rep.Err)
+		}
+		if rep := fault.CheckFailSafe(sys.FailSafe, sys.PageFaultWitness, sys.Spec, sys.S); !rep.OK() {
+			t.Errorf("V=%d: pf should be fail-safe tolerant: %v", v, rep.Err)
+		}
+	}
+}
+
+func TestNewRejectsTrivialDomain(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("New(1) should fail: incorrect reads cannot exist")
+	}
+}

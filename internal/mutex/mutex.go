@@ -1,0 +1,198 @@
+// Package mutex implements token-based mutual exclusion layered over
+// Dijkstra's self-stabilizing ring — one of the applications the paper
+// lists for the component-based method (Section 1). The ring is the
+// corrector ("exactly one token" corrects itself); the critical-section
+// guard "I hold the token" is the detector that gates entry; together they
+// make the exclusion nonmasking tolerant to counter corruption: a transient
+// fault may briefly admit two processes, but the system converges back to
+// the invariant.
+package mutex
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+	"detcorr/internal/tokenring"
+)
+
+// System is a mutual-exclusion instance over an n-process, K-state ring.
+type System struct {
+	N, K   int
+	Schema *state.Schema
+	Ring   *tokenring.System
+
+	Program *guarded.Program
+
+	// Invariant: the ring is legitimate, at most one process is in its
+	// critical section, and a process in the critical section holds the
+	// token.
+	Invariant state.Predicate
+
+	// MutualExclusion is the safety predicate "at most one process in the
+	// critical section".
+	MutualExclusion state.Predicate
+
+	Spec spec.Problem
+
+	// Corruption perturbs ring counters (the ring's own fault class lifted
+	// to the extended schema).
+	Corruption fault.Class
+}
+
+func csVar(i int) string     { return fmt.Sprintf("cs.%d", i) }
+func servedVar(i int) string { return fmt.Sprintf("served.%d", i) }
+
+// New builds the system; K ≥ n per Dijkstra's bound.
+func New(n, k int) (*System, error) {
+	ring, err := tokenring.New(n, k)
+	if err != nil {
+		return nil, err
+	}
+	csVars := make([]state.Var, 0, 2*n)
+	for i := 0; i < n; i++ {
+		// served.i enforces one critical-section entry per privilege:
+		// without it a privileged process could re-enter forever and the
+		// token would never circulate (weak fairness does not force the
+		// move while enter and exit alternate).
+		csVars = append(csVars, state.BoolVar(csVar(i)), state.BoolVar(servedVar(i)))
+	}
+	sch, err := ring.Schema.Extend(csVars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{N: n, K: k, Schema: sch, Ring: ring}
+	if err := sys.build(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(n, k int) *System {
+	sys, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// InCS reports whether process i is in its critical section.
+func (sys *System) InCS(s state.State, i int) bool {
+	return s.GetName(csVar(i)) != 0
+}
+
+// CSCount returns how many processes are in their critical sections.
+func (sys *System) CSCount(s state.State) int {
+	n := 0
+	for i := 0; i < sys.N; i++ {
+		if sys.InCS(s, i) {
+			n++
+		}
+	}
+	return n
+}
+
+func (sys *System) build() error {
+	ringLifted, err := guarded.Lift(sys.Ring.Ring, sys.Schema)
+	if err != nil {
+		return err
+	}
+	var actions []guarded.Action
+	// The ring move of process i passes the privilege; it may fire only
+	// while i is outside its critical section (the token is pinned while
+	// the section is held). Passing the privilege resets served.i.
+	for idx, a := range ringLifted.Actions() {
+		i := idx
+		sv := servedVar(i)
+		restricted := a.Restrict(state.Pred(
+			fmt.Sprintf("¬cs.%d", i),
+			func(s state.State) bool { return !sys.InCS(s, i) },
+		))
+		base := restricted
+		actions = append(actions, guarded.Action{
+			Name:  fmt.Sprintf("move.%d", i),
+			Guard: base.Guard,
+			Next: func(s state.State) []state.State {
+				nexts := base.Next(s)
+				out := make([]state.State, len(nexts))
+				for k, ns := range nexts {
+					out[k] = ns.WithName(sv, 0)
+				}
+				return out
+			},
+		})
+	}
+	for i := 0; i < sys.N; i++ {
+		i := i
+		cv, sv := csVar(i), servedVar(i)
+		actions = append(actions,
+			guarded.Det(fmt.Sprintf("enter.%d", i),
+				state.Pred(fmt.Sprintf("token at %d ∧ ¬cs.%d ∧ ¬served.%d", i, i, i), func(s state.State) bool {
+					return sys.Ring.HasToken(s, i) && !sys.InCS(s, i) && s.GetName(sv) == 0
+				}),
+				func(s state.State) state.State { return s.WithName(cv, 1) }),
+			guarded.Det(fmt.Sprintf("exit.%d", i),
+				state.Pred(fmt.Sprintf("cs.%d", i), func(s state.State) bool { return sys.InCS(s, i) }),
+				func(s state.State) state.State { return s.WithName(cv, 0).WithName(sv, 1) }),
+		)
+	}
+	prog, err := guarded.NewProgram(fmt.Sprintf("mutex(n=%d,K=%d)", sys.N, sys.K), sys.Schema, actions...)
+	if err != nil {
+		return err
+	}
+	sys.Program = prog
+
+	sys.MutualExclusion = state.Pred("≤1 in critical section", func(s state.State) bool {
+		return sys.CSCount(s) <= 1
+	})
+	sys.Invariant = state.Pred("legitimate ∧ CS holder has the token", func(s state.State) bool {
+		if !sys.Ring.Legitimate.Holds(s) || sys.CSCount(s) > 1 {
+			return false
+		}
+		for i := 0; i < sys.N; i++ {
+			if sys.InCS(s, i) && !sys.Ring.HasToken(s, i) {
+				return false
+			}
+		}
+		return true
+	})
+
+	live := make([]spec.LeadsTo, 0, 2*sys.N)
+	for i := 0; i < sys.N; i++ {
+		i := i
+		live = append(live,
+			spec.LeadsTo{
+				Name: fmt.Sprintf("process %d eventually privileged", i),
+				P:    state.True,
+				Q: state.Pred(fmt.Sprintf("token at %d", i), func(s state.State) bool {
+					return sys.Ring.HasToken(s, i)
+				}),
+			},
+			spec.LeadsTo{
+				Name: fmt.Sprintf("process %d eventually leaves its critical section", i),
+				P:    state.Pred(fmt.Sprintf("cs.%d", i), func(s state.State) bool { return sys.InCS(s, i) }),
+				Q:    state.Pred(fmt.Sprintf("¬cs.%d", i), func(s state.State) bool { return !sys.InCS(s, i) }),
+			},
+		)
+	}
+	sys.Spec = spec.Problem{
+		Name:   "SPEC_mutex",
+		Safety: spec.NeverState("two processes in critical sections", state.Not(sys.MutualExclusion)),
+		Live:   live,
+	}
+
+	// Lift the ring's counter-corruption faults to the extended schema.
+	faultProg, err := guarded.NewProgram("corruption", sys.Ring.Schema, sys.Ring.Corruption.Actions...)
+	if err != nil {
+		return err
+	}
+	lifted, err := guarded.Lift(faultProg, sys.Schema)
+	if err != nil {
+		return err
+	}
+	sys.Corruption = fault.NewClass(sys.Ring.Corruption.Name, lifted.Actions()...)
+	return nil
+}

@@ -1,0 +1,106 @@
+package mutex
+
+import (
+	"testing"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func TestRefinesSpecFromInvariant(t *testing.T) {
+	sys := MustNew(3, 3)
+	if err := sys.Spec.CheckRefinesFrom(sys.Program, sys.Invariant); err != nil {
+		t.Errorf("mutex should refine SPEC_mutex from its invariant: %v", err)
+	}
+}
+
+func TestMutualExclusionHoldsFaultFree(t *testing.T) {
+	sys := MustNew(3, 3)
+	g, err := explore.Build(sys.Program, sys.Invariant, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reach(g.SetOf(sys.Invariant), nil)
+	bad := 0
+	reach.ForEach(func(id int) bool {
+		if sys.CSCount(g.State(id)) > 1 {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Errorf("%d reachable states have two processes in critical sections", bad)
+	}
+}
+
+func TestNonmaskingUnderCorruption(t *testing.T) {
+	sys := MustNew(3, 3)
+	rep := fault.CheckNonmasking(sys.Program, sys.Corruption, sys.Spec, sys.Invariant, sys.Invariant)
+	if !rep.OK() {
+		t.Errorf("mutex should be nonmasking tolerant to counter corruption: %v", rep.Err)
+	}
+}
+
+func TestNotFailSafeUnderCorruption(t *testing.T) {
+	// Corruption can forge a second token, transiently admitting two
+	// processes: mutual exclusion is violated, so only nonmasking holds.
+	sys := MustNew(3, 3)
+	if rep := fault.CheckFailSafe(sys.Program, sys.Corruption, sys.Spec, sys.Invariant); rep.OK() {
+		t.Error("mutex must not be fail-safe tolerant to counter corruption")
+	}
+}
+
+func TestInvariantClosed(t *testing.T) {
+	sys := MustNew(3, 3)
+	if err := spec.CheckClosed(sys.Program, sys.Invariant); err != nil {
+		t.Errorf("invariant should be closed: %v", err)
+	}
+}
+
+func TestTokenPinnedDuringCS(t *testing.T) {
+	// While process i is in its critical section, no reachable program
+	// step takes the token away from it.
+	sys := MustNew(3, 3)
+	g, err := explore.Build(sys.Program, sys.Invariant, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reach(g.SetOf(sys.Invariant), nil)
+	violated := false
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		for i := 0; i < sys.N; i++ {
+			if !sys.InCS(s, i) {
+				continue
+			}
+			for _, e := range g.Out(id) {
+				ns := g.State(e.To)
+				if sys.InCS(ns, i) && !sys.Ring.HasToken(ns, i) {
+					violated = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if violated {
+		t.Error("the token must be pinned while a critical section is held")
+	}
+}
+
+func TestConvergenceFromArbitraryState(t *testing.T) {
+	// Self-stabilization of the layered system: from any state at all the
+	// program converges back to its invariant.
+	sys := MustNew(3, 3)
+	if err := spec.CheckConverges(sys.Program, state.True, sys.Invariant); err != nil {
+		t.Errorf("mutex should converge to its invariant from any state: %v", err)
+	}
+}
+
+func TestKBoundPropagates(t *testing.T) {
+	if _, err := New(4, 3); err == nil {
+		t.Error("K < n must be rejected (inherited from the ring)")
+	}
+}

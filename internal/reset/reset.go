@@ -1,0 +1,236 @@
+// Package reset implements spanning-tree maintenance, the substrate of
+// distributed reset — two more of the applications the paper lists for the
+// component-based method (Section 1). Each non-root process keeps a parent
+// pointer and a distance estimate over a fixed communication graph; the
+// legitimate states are those where the pointers form a BFS tree rooted at
+// process 0. Transient faults corrupt pointers and distances; the repair
+// actions are a corrector in the paper's sense: "tree corrects tree", with
+// convergence by a decreasing-distance argument. A distributed reset wave
+// can then be diffused down the repaired tree.
+package reset
+
+import (
+	"fmt"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// System is a tree-maintenance instance over a fixed undirected graph.
+type System struct {
+	N      int
+	Adj    [][]int // adjacency lists; must be connected, node 0 is the root
+	Schema *state.Schema
+
+	Program *guarded.Program
+
+	// Tree holds in states where the parent pointers and distance
+	// estimates form a correct BFS tree rooted at 0.
+	Tree state.Predicate
+
+	Spec spec.Problem
+
+	// Corruption arbitrarily rewrites one process's parent pointer and
+	// distance estimate.
+	Corruption fault.Class
+
+	bfs []int // true BFS distance per node
+}
+
+func parentVar(i int) string { return fmt.Sprintf("p.%d", i) }
+func distVar(i int) string   { return fmt.Sprintf("d.%d", i) }
+
+// NewLine builds the system over a line topology 0–1–…–n-1 (the smallest
+// interesting graph; rings and meshes work the same way via New).
+func NewLine(n int) (*System, error) {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	return New(adj)
+}
+
+// New builds the system over the given adjacency structure; node 0 is the
+// root and the graph must be connected.
+func New(adj [][]int) (*System, error) {
+	n := len(adj)
+	if n < 2 {
+		return nil, fmt.Errorf("reset: need at least 2 nodes (got %d)", n)
+	}
+	bfs, err := bfsDistances(adj)
+	if err != nil {
+		return nil, err
+	}
+	maxDist := 0
+	for _, d := range bfs {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	vars := make([]state.Var, 0, 2*(n-1))
+	for i := 1; i < n; i++ {
+		// The parent pointer indexes into i's adjacency list; the distance
+		// estimate ranges over 0..n-1 (any corruption stays in-domain).
+		vars = append(vars,
+			state.IntVar(parentVar(i), len(adj[i])),
+			state.IntVar(distVar(i), n),
+		)
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{N: n, Adj: adj, Schema: sch, bfs: bfs}
+	if err := sys.build(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// MustNewLine is NewLine but panics on invalid parameters.
+func MustNewLine(n int) *System {
+	sys, err := NewLine(n)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func bfsDistances(adj [][]int) ([]int, error) {
+	n := len(adj)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("reset: adjacency out of range: %d", w)
+			}
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for i, d := range dist {
+		if d < 0 {
+			return nil, fmt.Errorf("reset: graph not connected (node %d unreachable)", i)
+		}
+	}
+	return dist, nil
+}
+
+// Parent returns node i's current parent in s.
+func (sys *System) Parent(s state.State, i int) int {
+	return sys.Adj[i][s.GetName(parentVar(i))]
+}
+
+// Dist returns node i's current distance estimate (node 0 is always 0).
+func (sys *System) Dist(s state.State, i int) int {
+	if i == 0 {
+		return 0
+	}
+	return s.GetName(distVar(i))
+}
+
+func (sys *System) build() error {
+	sys.Tree = state.Pred("BFS tree rooted at 0", func(s state.State) bool {
+		for i := 1; i < sys.N; i++ {
+			if sys.Dist(s, i) != sys.bfs[i] {
+				return false
+			}
+			if sys.Dist(s, sys.Parent(s, i)) != sys.bfs[i]-1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// repair.i: node i adopts the neighbor with the smallest distance
+	// estimate, when doing so strictly improves its own estimate toward
+	// the consistent value neighborMin+1, or fixes a dangling parent.
+	var actions []guarded.Action
+	for i := 1; i < sys.N; i++ {
+		i := i
+		pv, dv := parentVar(i), distVar(i)
+		best := func(s state.State) (idx, d int) {
+			idx, d = 0, sys.N
+			for k, w := range sys.Adj[i] {
+				if wd := sys.Dist(s, w); wd < d {
+					idx, d = k, wd
+				}
+			}
+			return idx, d
+		}
+		guard := state.Pred(fmt.Sprintf("node %d inconsistent", i), func(s state.State) bool {
+			_, nd := best(s)
+			want := nd + 1
+			return want < sys.N &&
+				(sys.Dist(s, i) != want || sys.Dist(s, sys.Parent(s, i)) != nd)
+		})
+		actions = append(actions, guarded.Det(fmt.Sprintf("repair.%d", i), guard,
+			func(s state.State) state.State {
+				k, nd := best(s)
+				return s.WithName(pv, k).WithName(dv, nd+1)
+			}))
+	}
+	prog, err := guarded.NewProgram(fmt.Sprintf("tree-maintenance(n=%d)", sys.N), sys.Schema, actions...)
+	if err != nil {
+		return err
+	}
+	sys.Program = prog
+
+	sys.Spec = spec.Problem{
+		Name:   "SPEC_tree",
+		Safety: spec.TrueSafety, // tree maintenance is a pure corrector: the contract is convergence
+		Live: []spec.LeadsTo{{
+			Name: "the tree is eventually re-established",
+			P:    state.True,
+			Q:    sys.Tree,
+		}},
+	}
+
+	var faults []guarded.Action
+	for i := 1; i < sys.N; i++ {
+		i := i
+		pv, dv := parentVar(i), distVar(i)
+		deg := len(sys.Adj[i])
+		faults = append(faults, guarded.Choice(fmt.Sprintf("corrupt.%d", i), state.True,
+			func(s state.State) []state.State {
+				var out []state.State
+				for p := 0; p < deg; p++ {
+					for d := 0; d < sys.N; d++ {
+						out = append(out, s.WithName(pv, p).WithName(dv, d))
+					}
+				}
+				return out
+			}))
+	}
+	sys.Corruption = fault.NewClass("pointer-corruption", faults...)
+	return nil
+}
+
+// AsCorrector returns the system viewed as the paper's corrector: the tree
+// predicate corrects itself from any state.
+func (sys *System) AsCorrector() core.Corrector {
+	return core.Corrector{
+		Name: sys.Program.Name(),
+		C:    sys.Program,
+		Z:    sys.Tree,
+		X:    sys.Tree,
+		U:    state.True,
+	}
+}

@@ -1,0 +1,94 @@
+package reset
+
+import (
+	"testing"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func TestLineIsCorrector(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		sys, err := NewLine(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AsCorrector().Check(); err != nil {
+			t.Errorf("line(n=%d): tree should correct itself from any state: %v", n, err)
+		}
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	// A 4-cycle: 0-1-2-3-0.
+	adj := [][]int{{1, 3}, {0, 2}, {1, 3}, {2, 0}}
+	sys, err := New(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AsCorrector().Check(); err != nil {
+		t.Errorf("ring: tree should correct itself from any state: %v", err)
+	}
+}
+
+func TestTreeClosedAndConverges(t *testing.T) {
+	sys := MustNewLine(3)
+	if err := spec.CheckClosed(sys.Program, sys.Tree); err != nil {
+		t.Errorf("tree states should be closed: %v", err)
+	}
+	if err := spec.CheckConverges(sys.Program, state.True, sys.Tree); err != nil {
+		t.Errorf("repair should converge to the tree: %v", err)
+	}
+}
+
+func TestNonmaskingUnderCorruption(t *testing.T) {
+	sys := MustNewLine(3)
+	rep := fault.CheckNonmasking(sys.Program, sys.Corruption, sys.Spec, state.True, sys.Tree)
+	if !rep.OK() {
+		t.Errorf("tree maintenance should be nonmasking tolerant to pointer corruption: %v", rep.Err)
+	}
+}
+
+func TestTreeStatesAreFixpoints(t *testing.T) {
+	// In a legitimate state no repair action is enabled: the corrector is
+	// silent once the structure is correct.
+	sys := MustNewLine(4)
+	err := sys.Schema.ForEachState(func(s state.State) bool {
+		if sys.Tree.Holds(s) && !sys.Program.Deadlocked(s) {
+			t.Errorf("repair enabled in legitimate state %s", s)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentAndDistHelpers(t *testing.T) {
+	sys := MustNewLine(3)
+	// Node 1's neighbors are [0, 2]; parent index 0 means node 0.
+	s, err := state.FromMap(sys.Schema, map[string]int{"p.1": 0, "d.1": 1, "p.2": 0, "d.2": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Parent(s, 1) != 0 || sys.Dist(s, 1) != 1 || sys.Dist(s, 0) != 0 {
+		t.Error("helper accessors wrong")
+	}
+	if !sys.Tree.Holds(s) {
+		t.Errorf("state %s should be a legitimate tree", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewLine(1); err == nil {
+		t.Error("n=1 must be rejected")
+	}
+	if _, err := New([][]int{{1}, {0}, {}}); err == nil {
+		t.Error("disconnected graph must be rejected")
+	}
+	if _, err := New([][]int{{5}, {0}}); err == nil {
+		t.Error("out-of-range adjacency must be rejected")
+	}
+}

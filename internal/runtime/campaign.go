@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"fmt"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Campaign runs many seeded simulations of the same program and aggregates
+// fault-injection statistics — the hybrid-simulation workflow the paper's
+// SIEFAST section describes, reduced to a library call.
+type Campaign struct {
+	Program *guarded.Program
+	Config  Config
+	// Initial produces the initial state for a given run index.
+	Initial func(run int) state.State
+	// Monitors produces a fresh monitor set per run (monitors are
+	// stateful).
+	Monitors func(run int) []Monitor
+	// Runs is the number of seeded runs (seed = Config.Seed + run index).
+	Runs int
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Runs            int
+	TotalSteps      int
+	TotalFaults     int
+	Deadlocks       int
+	ViolationRuns   int            // runs with at least one monitor violation
+	ViolationCounts map[string]int // per-monitor violation counts
+	FirstViolation  error
+	// RecoverySteps aggregates every ConvergenceMonitor's observations.
+	RecoverySteps []int
+}
+
+// MeanSteps returns the mean run length.
+func (r CampaignResult) MeanSteps() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.TotalSteps) / float64(r.Runs)
+}
+
+// MaxRecovery returns the worst observed recovery length across all runs.
+func (r CampaignResult) MaxRecovery() int {
+	max := 0
+	for _, n := range r.RecoverySteps {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MeanRecovery returns the mean recovery length (0 when no recoveries).
+func (r CampaignResult) MeanRecovery() float64 {
+	if len(r.RecoverySteps) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, n := range r.RecoverySteps {
+		sum += n
+	}
+	return float64(sum) / float64(len(r.RecoverySteps))
+}
+
+// Execute runs the campaign.
+func (c Campaign) Execute() (CampaignResult, error) {
+	if c.Runs <= 0 {
+		return CampaignResult{}, fmt.Errorf("runtime: campaign needs a positive run count (got %d)", c.Runs)
+	}
+	if c.Initial == nil {
+		return CampaignResult{}, fmt.Errorf("runtime: campaign needs an Initial function")
+	}
+	res := CampaignResult{ViolationCounts: map[string]int{}}
+	for run := 0; run < c.Runs; run++ {
+		cfg := c.Config
+		cfg.Seed = c.Config.Seed + int64(run)
+		var mons []Monitor
+		if c.Monitors != nil {
+			mons = c.Monitors(run)
+		}
+		eng, err := New(c.Program, cfg, mons...)
+		if err != nil {
+			return res, err
+		}
+		out, err := eng.Run(c.Initial(run))
+		if err != nil {
+			return res, fmt.Errorf("run %d: %w", run, err)
+		}
+		res.Runs++
+		res.TotalSteps += out.Steps
+		res.TotalFaults += out.FaultsInjected
+		if out.Deadlocked {
+			res.Deadlocks++
+		}
+		if len(out.Violations) > 0 {
+			res.ViolationRuns++
+			for name, err := range out.Violations {
+				res.ViolationCounts[name]++
+				if res.FirstViolation == nil {
+					res.FirstViolation = fmt.Errorf("run %d: %s: %w", run, name, err)
+				}
+			}
+		}
+		for _, m := range mons {
+			if cm, ok := m.(*ConvergenceMonitor); ok {
+				res.RecoverySteps = append(res.RecoverySteps, cm.RecoverySteps...)
+			}
+		}
+	}
+	return res, nil
+}

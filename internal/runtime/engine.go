@@ -1,0 +1,222 @@
+// Package runtime is the paper's SIEFAST substitute (Section 7): an
+// execution environment for component-based fault-tolerant programs that
+// supports seeded interleaving simulation, fault injection with a finite
+// budget (Assumption 2), and online monitors — detectors used as runtime
+// oracles. Where the model checker (package explore) decides properties over
+// all computations, the runtime produces individual computations, recovery
+// statistics and fault-injection campaigns.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Policy selects how the scheduler picks among enabled actions.
+type Policy int
+
+const (
+	// RandomPolicy picks uniformly among enabled transitions.
+	RandomPolicy Policy = iota + 1
+	// RoundRobinPolicy cycles through the action list, executing the next
+	// enabled action — a simple strongly fair scheduler.
+	RoundRobinPolicy
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives every random choice; equal seeds give equal runs.
+	Seed int64
+	// MaxSteps bounds the run (0 means DefaultMaxSteps).
+	MaxSteps int
+	// Policy selects the scheduler; the zero value means RandomPolicy.
+	Policy Policy
+	// Faults, if nonempty, is injected during the run.
+	Faults fault.Class
+	// FaultBudget caps the number of injected fault occurrences
+	// (Assumption 2: finitely many). Zero disables injection.
+	FaultBudget int
+	// FaultProbability is the per-step chance of attempting a fault
+	// occurrence while budget remains (default 0.1 when budget > 0).
+	FaultProbability float64
+	// KeepTrace retains the visited states in the result.
+	KeepTrace bool
+}
+
+// DefaultMaxSteps bounds runs when Config.MaxSteps is zero.
+const DefaultMaxSteps = 10_000
+
+// Result summarizes a run.
+type Result struct {
+	Steps          int
+	FaultsInjected int
+	Deadlocked     bool
+	Final          state.State
+	Trace          []state.State // nil unless Config.KeepTrace
+	// Violations maps monitor names to the first violation each reported.
+	Violations map[string]error
+}
+
+// OK reports whether no monitor flagged a violation.
+func (r Result) OK() bool { return len(r.Violations) == 0 }
+
+// Monitor observes every step of a run. Monitors are the runtime face of
+// detectors: they witness whether a state predicate — or a step predicate —
+// holds along the computation.
+type Monitor interface {
+	// Name identifies the monitor in Result.Violations.
+	Name() string
+	// Reset is called once with the initial state before the run.
+	Reset(initial state.State)
+	// Step is called after every transition with the executing action's
+	// name and whether it was a fault occurrence. A non-nil error records a
+	// violation; the run continues so that later monitors still observe.
+	Step(from state.State, action string, isFault bool, to state.State) error
+	// Finish is called once with the final state; it may report a
+	// violation visible only at the end of the run (for example an unmet
+	// eventuality within the step bound).
+	Finish(final state.State, deadlocked bool) error
+}
+
+// Engine executes a program under a configuration.
+type Engine struct {
+	prog *guarded.Program
+	cfg  Config
+	mons []Monitor
+}
+
+// New validates the configuration and builds an engine.
+func New(prog *guarded.Program, cfg Config, monitors ...Monitor) (*Engine, error) {
+	if prog == nil {
+		return nil, errors.New("runtime: nil program")
+	}
+	if cfg.MaxSteps < 0 {
+		return nil, fmt.Errorf("runtime: negative MaxSteps %d", cfg.MaxSteps)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = RandomPolicy
+	}
+	if cfg.FaultProbability == 0 && cfg.FaultBudget > 0 {
+		cfg.FaultProbability = 0.1
+	}
+	if cfg.FaultProbability < 0 || cfg.FaultProbability > 1 {
+		return nil, fmt.Errorf("runtime: fault probability %v out of [0,1]", cfg.FaultProbability)
+	}
+	return &Engine{prog: prog, cfg: cfg, mons: monitors}, nil
+}
+
+// Run executes one computation from the given initial state.
+func (e *Engine) Run(initial state.State) (Result, error) {
+	if initial.Schema() != e.prog.Schema() {
+		return Result{}, errors.New("runtime: initial state schema does not match program")
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	res := Result{Violations: map[string]error{}}
+	cur := initial
+	if e.cfg.KeepTrace {
+		res.Trace = append(res.Trace, cur)
+	}
+	for _, m := range e.mons {
+		m.Reset(cur)
+	}
+	rrNext := 0
+	for res.Steps < e.cfg.MaxSteps {
+		next, action, isFault, ok := e.pick(rng, cur, &rrNext, &res)
+		if !ok {
+			res.Deadlocked = true
+			break
+		}
+		for _, m := range e.mons {
+			if _, seen := res.Violations[m.Name()]; seen {
+				continue
+			}
+			if err := m.Step(cur, action, isFault, next); err != nil {
+				res.Violations[m.Name()] = err
+			}
+		}
+		cur = next
+		res.Steps++
+		if e.cfg.KeepTrace {
+			res.Trace = append(res.Trace, cur)
+		}
+	}
+	res.Final = cur
+	for _, m := range e.mons {
+		if _, seen := res.Violations[m.Name()]; seen {
+			continue
+		}
+		if err := m.Finish(cur, res.Deadlocked); err != nil {
+			res.Violations[m.Name()] = err
+		}
+	}
+	return res, nil
+}
+
+// pick chooses the next transition: possibly a fault occurrence, otherwise a
+// program step according to the policy.
+func (e *Engine) pick(rng *rand.Rand, cur state.State, rrNext *int, res *Result) (state.State, string, bool, bool) {
+	if res.FaultsInjected < e.cfg.FaultBudget && rng.Float64() < e.cfg.FaultProbability {
+		if next, name, ok := pickAction(rng, e.cfg.Faults.Actions, cur); ok {
+			res.FaultsInjected++
+			return next, name, true, true
+		}
+	}
+	switch e.cfg.Policy {
+	case RoundRobinPolicy:
+		n := e.prog.NumActions()
+		for k := 0; k < n; k++ {
+			a := e.prog.Action((*rrNext + k) % n)
+			if !a.Enabled(cur) {
+				continue
+			}
+			*rrNext = (*rrNext + k + 1) % n
+			succ := a.Next(cur)
+			return succ[rng.Intn(len(succ))], a.Name, false, true
+		}
+	default:
+		if next, name, ok := pickAction(rng, e.prog.Actions(), cur); ok {
+			return next, name, false, true
+		}
+	}
+	// The program is deadlocked. A computation of p ‖ F is only p-maximal
+	// (Section 2.3): fault occurrences may still extend it while budget
+	// remains, so spend the remaining budget before ending the run.
+	if res.FaultsInjected < e.cfg.FaultBudget {
+		if next, name, ok := pickAction(rng, e.cfg.Faults.Actions, cur); ok {
+			res.FaultsInjected++
+			return next, name, true, true
+		}
+	}
+	return state.State{}, "", false, false
+}
+
+// pickAction selects uniformly among the enabled transitions of the action
+// list.
+func pickAction(rng *rand.Rand, actions []guarded.Action, cur state.State) (state.State, string, bool) {
+	type cand struct {
+		to   state.State
+		name string
+	}
+	var cands []cand
+	for _, a := range actions {
+		if !a.Enabled(cur) {
+			continue
+		}
+		for _, t := range a.Next(cur) {
+			cands = append(cands, cand{to: t, name: a.Name})
+		}
+	}
+	if len(cands) == 0 {
+		return state.State{}, "", false
+	}
+	c := cands[rng.Intn(len(cands))]
+	return c.to, c.name, true
+}

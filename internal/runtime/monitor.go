@@ -1,0 +1,168 @@
+package runtime
+
+import (
+	"fmt"
+
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// SafetyMonitor flags the first step or state violating a safety
+// specification — an online detector for "something bad happened".
+type SafetyMonitor struct {
+	Spec spec.Safety
+	name string
+}
+
+var _ Monitor = (*SafetyMonitor)(nil)
+
+// NewSafetyMonitor builds a monitor for the given safety specification.
+func NewSafetyMonitor(sp spec.Safety) *SafetyMonitor {
+	return &SafetyMonitor{Spec: sp, name: "safety:" + sp.Name}
+}
+
+// Name implements Monitor.
+func (m *SafetyMonitor) Name() string { return m.name }
+
+// Reset implements Monitor.
+func (m *SafetyMonitor) Reset(state.State) {}
+
+// Step implements Monitor.
+func (m *SafetyMonitor) Step(from state.State, action string, isFault bool, to state.State) error {
+	if !m.Spec.StateOK(to) {
+		return fmt.Errorf("bad state %s after action %s", to, action)
+	}
+	if !m.Spec.StepOK(from, to) {
+		return fmt.Errorf("bad step %s -> %s (action %s)", from, to, action)
+	}
+	return nil
+}
+
+// Finish implements Monitor.
+func (m *SafetyMonitor) Finish(state.State, bool) error { return nil }
+
+// DetectorMonitor checks the Safeness and Stability conditions of a
+// 'Z detects X' component online: Z must never witness X incorrectly, and Z
+// must stay true until X is falsified (fault steps are exempt from
+// Stability, matching the tolerant-detector definitions).
+type DetectorMonitor struct {
+	ComponentName string
+	Z, X          state.Predicate
+}
+
+var _ Monitor = (*DetectorMonitor)(nil)
+
+// Name implements Monitor.
+func (m *DetectorMonitor) Name() string { return "detector:" + m.ComponentName }
+
+// Reset implements Monitor.
+func (m *DetectorMonitor) Reset(state.State) {}
+
+// Step implements Monitor.
+func (m *DetectorMonitor) Step(from state.State, action string, isFault bool, to state.State) error {
+	if m.Z.Holds(to) && !m.X.Holds(to) {
+		return fmt.Errorf("Safeness: Z ∧ ¬X at %s after action %s", to, action)
+	}
+	if !isFault && m.Z.Holds(from) && !m.Z.Holds(to) && m.X.Holds(to) {
+		return fmt.Errorf("Stability: program action %s falsified Z while X holds (%s -> %s)", action, from, to)
+	}
+	return nil
+}
+
+// Finish implements Monitor.
+func (m *DetectorMonitor) Finish(state.State, bool) error { return nil }
+
+// ConvergenceMonitor measures recovery: it records, after each fault
+// occurrence, how many program steps pass before the goal predicate holds
+// again. At Finish it fails if the goal was never re-established.
+type ConvergenceMonitor struct {
+	Goal state.Predicate
+
+	// RecoverySteps collects one entry per completed recovery: the number
+	// of steps from a goal-falsifying fault until the goal held again.
+	RecoverySteps []int
+
+	pending  bool
+	sinceBad int
+}
+
+var _ Monitor = (*ConvergenceMonitor)(nil)
+
+// Name implements Monitor.
+func (m *ConvergenceMonitor) Name() string { return "convergence:" + m.Goal.String() }
+
+// Reset implements Monitor.
+func (m *ConvergenceMonitor) Reset(initial state.State) {
+	m.RecoverySteps = nil
+	m.pending = !m.Goal.Holds(initial)
+	m.sinceBad = 0
+}
+
+// Step implements Monitor.
+func (m *ConvergenceMonitor) Step(from state.State, action string, isFault bool, to state.State) error {
+	if m.pending {
+		m.sinceBad++
+		if m.Goal.Holds(to) {
+			m.RecoverySteps = append(m.RecoverySteps, m.sinceBad)
+			m.pending = false
+			m.sinceBad = 0
+		}
+		return nil
+	}
+	if !m.Goal.Holds(to) {
+		m.pending = true
+		m.sinceBad = 0
+	}
+	return nil
+}
+
+// Finish implements Monitor.
+func (m *ConvergenceMonitor) Finish(final state.State, deadlocked bool) error {
+	if m.pending {
+		return fmt.Errorf("goal %s not re-established by end of run (final %s, deadlocked=%v)",
+			m.Goal, final, deadlocked)
+	}
+	return nil
+}
+
+// MaxRecovery returns the worst observed recovery length (0 when none).
+func (m *ConvergenceMonitor) MaxRecovery() int {
+	max := 0
+	for _, n := range m.RecoverySteps {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// EventuallyMonitor fails at Finish unless the goal predicate held at some
+// point during the run — a bounded liveness oracle.
+type EventuallyMonitor struct {
+	Goal state.Predicate
+	seen bool
+}
+
+var _ Monitor = (*EventuallyMonitor)(nil)
+
+// Name implements Monitor.
+func (m *EventuallyMonitor) Name() string { return "eventually:" + m.Goal.String() }
+
+// Reset implements Monitor.
+func (m *EventuallyMonitor) Reset(initial state.State) { m.seen = m.Goal.Holds(initial) }
+
+// Step implements Monitor.
+func (m *EventuallyMonitor) Step(_ state.State, _ string, _ bool, to state.State) error {
+	if m.Goal.Holds(to) {
+		m.seen = true
+	}
+	return nil
+}
+
+// Finish implements Monitor.
+func (m *EventuallyMonitor) Finish(final state.State, deadlocked bool) error {
+	if !m.seen {
+		return fmt.Errorf("goal %s never held (final %s, deadlocked=%v)", m.Goal, final, deadlocked)
+	}
+	return nil
+}

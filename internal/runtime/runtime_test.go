@@ -1,0 +1,184 @@
+package runtime
+
+import (
+	"testing"
+
+	"detcorr/internal/memaccess"
+	"detcorr/internal/state"
+)
+
+func initMasking(sys *memaccess.System) state.State {
+	s, err := state.FromMap(sys.WitnessSchema, map[string]int{"present": 1, "val": 1, "data": 0, "z1": 0})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func initBase(sys *memaccess.System) state.State {
+	s, err := state.FromMap(sys.BaseSchema, map[string]int{"present": 1, "val": 1, "data": 0})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	cfg := Config{Seed: 42, MaxSteps: 50, Faults: sys.PageFaultWitness, FaultBudget: 1, KeepTrace: true}
+	eng, err := New(sys.Masking, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := eng.Run(initMasking(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Run(initMasking(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Steps != r2.Steps || len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("same seed must replay identically: %d/%d steps", r1.Steps, r2.Steps)
+	}
+	for i := range r1.Trace {
+		if !r1.Trace[i].Equal(r2.Trace[i]) {
+			t.Fatalf("traces diverge at step %d: %s vs %s", i, r1.Trace[i], r2.Trace[i])
+		}
+	}
+}
+
+func TestMaskingProgramNeverViolatesSafety(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	res, err := Campaign{
+		Program: sys.Masking,
+		Config:  Config{Seed: 1, MaxSteps: 200, Faults: sys.PageFaultWitness, FaultBudget: 2},
+		Initial: func(int) state.State { return initMasking(sys) },
+		Monitors: func(int) []Monitor {
+			return []Monitor{
+				NewSafetyMonitor(sys.Spec.Safety),
+				&EventuallyMonitor{Goal: sys.DataCorrect},
+				&DetectorMonitor{ComponentName: "pf1", Z: sys.Z1, X: sys.X1},
+			}
+		},
+		Runs: 200,
+	}.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationRuns != 0 {
+		t.Errorf("masking program must never violate its monitors: %d violating runs; first: %v",
+			res.ViolationRuns, res.FirstViolation)
+	}
+	if res.TotalFaults == 0 {
+		t.Error("campaign should have injected faults")
+	}
+}
+
+func TestNonmaskingProgramRecovers(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	res, err := Campaign{
+		Program: sys.Nonmasking,
+		Config:  Config{Seed: 7, MaxSteps: 300, Faults: sys.PageFaultBase, FaultBudget: 3},
+		Initial: func(int) state.State { return initBase(sys) },
+		Monitors: func(int) []Monitor {
+			return []Monitor{&ConvergenceMonitor{Goal: sys.DataCorrect}}
+		},
+		Runs: 100,
+	}.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationRuns != 0 {
+		t.Errorf("nonmasking program must always recover: first violation %v", res.FirstViolation)
+	}
+	if len(res.RecoverySteps) == 0 {
+		t.Error("expected some observed recoveries")
+	}
+}
+
+func TestIntolerantProgramViolatesSafetyUnderFaults(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	res, err := Campaign{
+		Program: sys.Intolerant,
+		Config:  Config{Seed: 3, MaxSteps: 100, Faults: sys.PageFaultBase, FaultBudget: 1, FaultProbability: 0.5},
+		Initial: func(int) state.State { return initBase(sys) },
+		Monitors: func(int) []Monitor {
+			return []Monitor{NewSafetyMonitor(sys.Spec.Safety)}
+		},
+		Runs: 200,
+	}.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationRuns == 0 {
+		t.Error("the intolerant program should violate safety in some faulty runs")
+	}
+}
+
+func TestFailSafeProgramDeadlocksButStaysSafe(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	res, err := Campaign{
+		Program: sys.FailSafe,
+		Config:  Config{Seed: 9, MaxSteps: 100, Faults: sys.PageFaultWitness, FaultBudget: 1, FaultProbability: 0.9},
+		Initial: func(int) state.State { return initMasking(sys) },
+		Monitors: func(int) []Monitor {
+			return []Monitor{NewSafetyMonitor(sys.Spec.Safety)}
+		},
+		Runs: 200,
+	}.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationRuns != 0 {
+		t.Errorf("fail-safe program must stay safe: %v", res.FirstViolation)
+	}
+	if res.Deadlocks == 0 {
+		t.Error("fail-safe program should deadlock in some faulty runs (fault before detection)")
+	}
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	eng, err := New(sys.Masking, Config{Seed: 5, MaxSteps: 20, Policy: RoundRobinPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(initMasking(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.DataCorrect.Holds(res.Final) {
+		t.Errorf("round-robin run should reach the correct data: final %s", res.Final)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil program must be rejected")
+	}
+	if _, err := New(sys.Masking, Config{MaxSteps: -1}); err == nil {
+		t.Error("negative MaxSteps must be rejected")
+	}
+	if _, err := New(sys.Masking, Config{FaultProbability: 2}); err == nil {
+		t.Error("probability > 1 must be rejected")
+	}
+	eng, err := New(sys.Masking, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(initBase(sys)); err == nil {
+		t.Error("mismatched initial-state schema must be rejected")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	if _, err := (Campaign{Program: sys.Masking, Runs: 0}).Execute(); err == nil {
+		t.Error("zero runs must be rejected")
+	}
+	if _, err := (Campaign{Program: sys.Masking, Runs: 1}).Execute(); err == nil {
+		t.Error("missing Initial must be rejected")
+	}
+}

@@ -1,0 +1,250 @@
+// Package smr implements a miniature of Schneider's state-machine approach
+// (paper Section 6, reference [14]) to exhibit the paper's claim that
+// replication-based designs contain detectors and correctors: three replicas
+// of a deterministic state machine apply the same operation, a client reads
+// through a majority vote, and a state-transfer action repairs a diverging
+// replica.
+//
+// In component terms:
+//
+//   - the *detector* is the vote witness "all replicas have applied the
+//     operation and replica 1 agrees with another replica", which gates the
+//     client read (the analogue of DR in Section 6.1);
+//   - the *corrector* is majority state transfer, which converges the
+//     replicated state back to "every replica holds the correct value";
+//   - the fault corrupts the state of at most one replica at a time.
+//
+// The state machine is a one-operation counter: each replica holds a bit,
+// initially 0, and the replicated operation increments it once; the correct
+// value of replica i is therefore determined by whether i has applied.
+package smr
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// NumReplicas is the replication degree (tolerates one corrupted replica).
+const NumReplicas = 3
+
+// System bundles the replicated-state-machine programs, specification,
+// predicates and fault class.
+type System struct {
+	Schema *state.Schema
+
+	Intolerant *guarded.Program // replicas + read from replica 1
+	FailSafe   *guarded.Program // read gated by the vote witness
+	Masking    *guarded.Program // + votes from replicas 2,3 + state transfer
+
+	Spec spec.Problem
+
+	// S: every replica holds its correct value and the output is either
+	// unset or correct. AllCorrect is the corrector's correction predicate.
+	S, AllCorrect state.Predicate
+
+	// VoteWitness is the detector's witness: all replicas applied and
+	// replica 1 agrees with another replica.
+	VoteWitness state.Predicate
+
+	Faults fault.Class
+}
+
+func vvar(i int) string { return fmt.Sprintf("v.%d", i) }
+func avar(i int) string { return fmt.Sprintf("a.%d", i) }
+
+// correctValue returns the value replica i should hold in s: 1 once it has
+// applied the operation, 0 before.
+func correctValue(s state.State, i int) int {
+	return s.GetName(avar(i))
+}
+
+// New constructs the replicated state machine.
+func New() (*System, error) {
+	vars := make([]state.Var, 0, 2*NumReplicas+1)
+	for i := 1; i <= NumReplicas; i++ {
+		vars = append(vars, state.BoolVar(vvar(i)), state.BoolVar(avar(i)))
+	}
+	vars = append(vars, state.Var{Name: "out", Domain: state.Enum("out", "bot", "v0", "v1")})
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Schema: sch}
+	sys.buildPredicates()
+	if err := sys.buildPrograms(); err != nil {
+		return nil, err
+	}
+	sys.buildSpec()
+	sys.buildFaults()
+	return sys, nil
+}
+
+// MustNew is New but panics on construction failure.
+func MustNew() *System {
+	sys, err := New()
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func allApplied(s state.State) bool {
+	for i := 1; i <= NumReplicas; i++ {
+		if s.GetName(avar(i)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (sys *System) buildPredicates() {
+	sys.AllCorrect = state.Pred("every replica correct", func(s state.State) bool {
+		for i := 1; i <= NumReplicas; i++ {
+			if s.GetName(vvar(i)) != correctValue(s, i) {
+				return false
+			}
+		}
+		return true
+	})
+	sys.S = state.And(sys.AllCorrect, state.Pred("out unset or correct", func(s state.State) bool {
+		o := s.GetName("out")
+		return o == 0 || (allApplied(s) && o == 2)
+	}))
+	sys.VoteWitness = state.Pred("all applied ∧ v.1 has a peer", func(s state.State) bool {
+		if !allApplied(s) {
+			return false
+		}
+		v1 := s.GetName(vvar(1))
+		return v1 == s.GetName(vvar(2)) || v1 == s.GetName(vvar(3))
+	})
+}
+
+// apply is the replicated operation at replica i: increment the bit once.
+func (sys *System) apply(i int) guarded.Action {
+	vv, av := vvar(i), avar(i)
+	return guarded.Det(fmt.Sprintf("apply.%d", i),
+		state.Pred(fmt.Sprintf("¬a.%d", i), func(s state.State) bool { return s.GetName(av) == 0 }),
+		func(s state.State) state.State {
+			return s.WithName(vv, 1-s.GetName(vv)).WithName(av, 1)
+		},
+	)
+}
+
+// read builds the client read from replica i, gated by extra.
+func (sys *System) read(i int, extra state.Predicate) guarded.Action {
+	vv := vvar(i)
+	guard := state.And(
+		state.Pred("out=⊥ ∧ all applied", func(s state.State) bool {
+			return s.GetName("out") == 0 && allApplied(s)
+		}),
+		extra,
+	)
+	return guarded.Det(fmt.Sprintf("read.%d", i), guard, func(s state.State) state.State {
+		return s.WithName("out", s.GetName(vv)+1)
+	})
+}
+
+// peerAgrees is the vote witness for replica i: it matches one of the other
+// replicas.
+func (sys *System) peerAgrees(i int) state.Predicate {
+	return state.Pred(fmt.Sprintf("v.%d has a peer", i), func(s state.State) bool {
+		vi := s.GetName(vvar(i))
+		for j := 1; j <= NumReplicas; j++ {
+			if j != i && s.GetName(vvar(j)) == vi {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// transfer is the corrector action at replica i: adopt the value the other
+// two replicas agree on.
+func (sys *System) transfer(i int) guarded.Action {
+	others := make([]int, 0, 2)
+	for j := 1; j <= NumReplicas; j++ {
+		if j != i {
+			others = append(others, j)
+		}
+	}
+	guard := state.Pred(fmt.Sprintf("peers agree ≠ v.%d (all applied)", i), func(s state.State) bool {
+		if !allApplied(s) {
+			return false
+		}
+		a, b := s.GetName(vvar(others[0])), s.GetName(vvar(others[1]))
+		return a == b && s.GetName(vvar(i)) != a
+	})
+	return guarded.Det(fmt.Sprintf("transfer.%d", i), guard, func(s state.State) state.State {
+		return s.WithName(vvar(i), s.GetName(vvar(others[0])))
+	})
+}
+
+func (sys *System) buildPrograms() error {
+	var base, failsafe, masking []guarded.Action
+	for i := 1; i <= NumReplicas; i++ {
+		a := sys.apply(i)
+		base = append(base, a)
+		failsafe = append(failsafe, a)
+		masking = append(masking, a)
+	}
+	base = append(base, sys.read(1, state.True))
+	failsafe = append(failsafe, sys.read(1, sys.peerAgrees(1)))
+	masking = append(masking, sys.read(1, sys.peerAgrees(1)))
+	for i := 2; i <= NumReplicas; i++ {
+		masking = append(masking, sys.read(i, sys.peerAgrees(i)))
+	}
+	for i := 1; i <= NumReplicas; i++ {
+		masking = append(masking, sys.transfer(i))
+	}
+	var err error
+	if sys.Intolerant, err = guarded.NewProgram("SMR", sys.Schema, base...); err != nil {
+		return err
+	}
+	if sys.FailSafe, err = guarded.NewProgram("SMR+vote", sys.Schema, failsafe...); err != nil {
+		return err
+	}
+	if sys.Masking, err = guarded.NewProgram("SMR+vote+transfer", sys.Schema, masking...); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sys *System) buildSpec() {
+	sys.Spec = spec.Problem{
+		Name: "SPEC_smr",
+		Safety: spec.NeverStep("output only the post-operation value", func(from, to state.State) bool {
+			o0, o1 := from.GetName("out"), to.GetName("out")
+			return o0 != o1 && o1 != 2
+		}),
+		Live: []spec.LeadsTo{{
+			Name: "the client eventually reads the correct value",
+			P:    state.True,
+			Q:    state.VarEquals(sys.Schema, "out", 2),
+		}},
+	}
+}
+
+func (sys *System) buildFaults() {
+	actions := make([]guarded.Action, 0, NumReplicas)
+	for i := 1; i <= NumReplicas; i++ {
+		i := i
+		guard := state.Pred(fmt.Sprintf("peers of %d correct", i), func(s state.State) bool {
+			for j := 1; j <= NumReplicas; j++ {
+				if j != i && s.GetName(vvar(j)) != correctValue(s, j) {
+					return false
+				}
+			}
+			return true
+		})
+		actions = append(actions, guarded.Det(fmt.Sprintf("corrupt.%d", i), guard,
+			func(s state.State) state.State {
+				return s.WithName(vvar(i), 1-s.GetName(vvar(i)))
+			},
+		))
+	}
+	sys.Faults = fault.NewClass("one-replica-corruption", actions...)
+}

@@ -1,0 +1,133 @@
+package smr
+
+import (
+	"testing"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/state"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sys
+}
+
+func TestIntolerantRefinesSpecFromS(t *testing.T) {
+	sys := newSys(t)
+	if err := sys.Spec.CheckRefinesFrom(sys.Intolerant, sys.S); err != nil {
+		t.Errorf("SMR should refine SPEC_smr from S: %v", err)
+	}
+}
+
+func TestIntolerantNotFailSafe(t *testing.T) {
+	sys := newSys(t)
+	if rep := fault.CheckFailSafe(sys.Intolerant, sys.Faults, sys.Spec, sys.S); rep.OK() {
+		t.Error("reading a single replica must not be fail-safe tolerant")
+	}
+}
+
+func TestVoteIsFailSafe(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckFailSafe(sys.FailSafe, sys.Faults, sys.Spec, sys.S)
+	if !rep.OK() {
+		t.Errorf("the vote-gated read should be fail-safe tolerant: %v", rep.Err)
+	}
+}
+
+func TestVoteAloneIsNotMasking(t *testing.T) {
+	sys := newSys(t)
+	if rep := fault.CheckMasking(sys.FailSafe, sys.Faults, sys.Spec, sys.S); rep.OK() {
+		t.Error("the vote-gated read alone must not be masking (it blocks when replica 1 is corrupted)")
+	}
+}
+
+func TestFullReplicationIsMasking(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckMasking(sys.Masking, sys.Faults, sys.Spec, sys.S)
+	if !rep.OK() {
+		t.Errorf("votes + state transfer should be masking tolerant: %v", rep.Err)
+	}
+}
+
+func TestVoteWitnessDetector(t *testing.T) {
+	// The vote witness detects "replica 1 holds the post-operation value":
+	// the SMR analogue of Section 6.1's DR.
+	sys := newSys(t)
+	x := state.Pred("v.1 correct and applied", func(s state.State) bool {
+		return allApplied(s) && s.GetName("v.1") == 1
+	})
+	d := core.Detector{
+		Name: "vote",
+		D:    sys.Masking,
+		Z:    sys.VoteWitness,
+		X:    x,
+		U:    sys.S,
+	}
+	if err := d.Check(); err != nil {
+		t.Errorf("vote witness should be a detector: %v", err)
+	}
+	if err := d.CheckFTolerant(sys.Faults, fault.Masking); err != nil {
+		t.Errorf("vote witness should be a masking-tolerant detector: %v", err)
+	}
+}
+
+func TestStateTransferCorrector(t *testing.T) {
+	// State transfer corrects "every replica holds its correct value" —
+	// the replication analogue of Section 6.1's CR.
+	sys := newSys(t)
+	c := core.Corrector{
+		Name: "transfer",
+		C:    sys.Masking,
+		Z:    sys.AllCorrect,
+		X:    sys.AllCorrect,
+		U:    sys.S,
+	}
+	if err := c.Check(); err != nil {
+		t.Errorf("state transfer should be a corrector: %v", err)
+	}
+	if err := c.CheckFTolerant(sys.Faults, fault.Nonmasking); err != nil {
+		t.Errorf("state transfer should be a nonmasking-tolerant corrector: %v", err)
+	}
+}
+
+func TestSpanAtMostOneCorrupted(t *testing.T) {
+	sys := newSys(t)
+	span, err := fault.ComputeSpan(sys.Masking, sys.Faults, sys.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := false
+	span.Reachable.ForEach(func(id int) bool {
+		s := span.Graph.State(id)
+		n := 0
+		for i := 1; i <= NumReplicas; i++ {
+			if s.GetName(vvar(i)) != correctValue(s, i) {
+				n++
+			}
+		}
+		if n > 1 {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		t.Error("the fault span must never contain two corrupted replicas")
+	}
+}
+
+func TestTheorem3_6OnVote(t *testing.T) {
+	sys := newSys(t)
+	res := core.Theorem3_6(sys.Intolerant, sys.FailSafe, sys.Spec, sys.Faults, sys.S, sys.S)
+	if !res.OK() {
+		t.Fatalf("Theorem 3.6 instance (SMR vote): %v", res.Err)
+	}
+	if len(res.Detectors) != sys.Intolerant.NumActions() {
+		t.Errorf("expected %d detectors, got %d", sys.Intolerant.NumActions(), len(res.Detectors))
+	}
+}

@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// ClosureViolation witnesses that a predicate is not closed in a program: an
+// action leads from a state satisfying the predicate to one that does not.
+type ClosureViolation struct {
+	Predicate string
+	Action    string
+	From, To  state.State
+}
+
+// Error implements the error interface.
+func (v *ClosureViolation) Error() string {
+	return fmt.Sprintf("closure of %q violated by action %q: %s -> %s",
+		v.Predicate, v.Action, v.From, v.To)
+}
+
+// CheckClosed verifies "S is closed in p" (Section 2.2.1): p refines cl(S)
+// from true, i.e. every transition of p from a state satisfying S lands in a
+// state satisfying S. The check enumerates the entire state space, as the
+// definition quantifies over all computations.
+func CheckClosed(p *guarded.Program, s state.Predicate) error {
+	var viol error
+	err := p.Schema().ForEachState(func(st state.State) bool {
+		if !s.Holds(st) {
+			return true
+		}
+		for _, tr := range p.Successors(st) {
+			if !s.Holds(tr.To) {
+				viol = &ClosureViolation{
+					Predicate: s.String(),
+					Action:    p.Action(tr.Action).Name,
+					From:      st,
+					To:        tr.To,
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return viol
+}
+
+// CheckPair verifies the generalized Hoare-triple {S} p {R} (Section 2.2.1):
+// p refines the generalized pair ({S},{R}) from true — every transition of p
+// from a state satisfying S lands in a state satisfying R.
+func CheckPair(p *guarded.Program, s, r state.Predicate) error {
+	var viol error
+	err := p.Schema().ForEachState(func(st state.State) bool {
+		if !s.Holds(st) {
+			return true
+		}
+		for _, tr := range p.Successors(st) {
+			if !r.Holds(tr.To) {
+				viol = &ClosureViolation{
+					Predicate: fmt.Sprintf("{%s} %s {%s}", s, p.Name(), r),
+					Action:    p.Action(tr.Action).Name,
+					From:      st,
+					To:        tr.To,
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return viol
+}
+
+// CheckConverges verifies "S converges to R in p" (Section 2.2.1): p refines
+// 'S converges to R' from true. Per the definition this requires cl(S),
+// cl(R), and that every (fair, maximal) computation passing through S
+// eventually passes through R.
+func CheckConverges(p *guarded.Program, s, r state.Predicate) error {
+	if err := CheckClosed(p, s); err != nil {
+		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
+	}
+	if err := CheckClosed(p, r); err != nil {
+		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
+	}
+	g, err := explore.Build(p, s, explore.Options{})
+	if err != nil {
+		return err
+	}
+	if v := g.CheckEventually(g.SetOf(s), g.SetOf(r)); v != nil {
+		return fmt.Errorf("converges(%s -> %s): %w", s, r, v)
+	}
+	return nil
+}
+
+// LeadsTo is the liveness obligation "whenever P holds, eventually Q holds"
+// over every fair maximal computation. The paper's example specification
+// SPEC_mem ("data is eventually set to the correct value", Section 3.3) is
+// of this shape.
+type LeadsTo struct {
+	Name string
+	P, Q state.Predicate
+}
+
+// CheckLeadsTo verifies the obligation for computations of p starting in
+// `from` (the graph must have been built from those states).
+func CheckLeadsTo(g *explore.Graph, from *explore.Bitset, lt LeadsTo) error {
+	reach := g.Reach(from, nil)
+	pSet := g.SetOf(lt.P)
+	pSet.Intersect(reach)
+	qSet := g.SetOf(lt.Q)
+	if v := g.CheckEventually(pSet, qSet); v != nil {
+		return fmt.Errorf("leads-to %q (%s ~> %s): %w", lt.Name, lt.P, lt.Q, v)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package spec
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// RefinementViolation witnesses that p' does not refine p from S.
+type RefinementViolation struct {
+	Refined string
+	Base    string
+	Reason  string
+	At      state.State
+	To      state.State
+}
+
+// Error implements the error interface.
+func (v *RefinementViolation) Error() string {
+	msg := fmt.Sprintf("%q does not refine %q: %s at %s", v.Refined, v.Base, v.Reason, v.At)
+	if !v.To.IsZero() {
+		msg += fmt.Sprintf(" -> %s", v.To)
+	}
+	return msg
+}
+
+// CheckRefines verifies "p' refines p from S" (Section 2.2.1): S is closed
+// in p', and the projection on p of every computation of p' from S is a
+// computation of p. Over the finite transition graph this is checked as:
+//
+//  1. S is closed in p'.
+//  2. Every transition of p' from a state reachable from S projects to a
+//     transition of p, or stutters (leaves p's variables unchanged).
+//  3. Maximality is preserved: if p' deadlocks at a reachable state, p is
+//     deadlocked at its projection (otherwise the projected sequence would
+//     be finite but not maximal for p).
+//  4. Fairness is preserved: no fair computation of p' stutters forever at
+//     states where p still has enabled actions (otherwise the projection is
+//     not a maximal computation of p). This is a fair-cycle check over
+//     stuttering transitions.
+//
+// Conditions 2–4 are sound and complete for transition-level (fusion-closed)
+// behaviour, which is the setting of the paper's theory; see DESIGN.md §3.
+func CheckRefines(pp, p *guarded.Program, s state.Predicate) error {
+	proj, err := state.NewProjection(pp.Schema(), p.Schema())
+	if err != nil {
+		return fmt.Errorf("refines: %w", err)
+	}
+	if err := CheckClosed(pp, s); err != nil {
+		return fmt.Errorf("refines: invariant not closed in %q: %w", pp.Name(), err)
+	}
+	g, err := explore.Build(pp, s, explore.Options{})
+	if err != nil {
+		return err
+	}
+	reach := g.Reach(g.SetOf(s), nil)
+	var viol error
+	reach.ForEach(func(id int) bool {
+		st := g.State(id)
+		base := proj.Apply(st)
+		edges := g.Out(id)
+		if len(edges) == 0 && !p.Deadlocked(base) {
+			viol = &RefinementViolation{
+				Refined: pp.Name(), Base: p.Name(),
+				Reason: "p' deadlocks while p has enabled actions (projected computation not maximal)",
+				At:     st,
+			}
+			return false
+		}
+		for _, e := range edges {
+			nst := g.State(e.To)
+			nbase := proj.Apply(nst)
+			if nbase.Equal(base) {
+				continue // stutter
+			}
+			if !baseHasTransition(p, base, nbase) {
+				viol = &RefinementViolation{
+					Refined: pp.Name(), Base: p.Name(),
+					Reason: fmt.Sprintf("step by action %q projects to a non-transition of %q (%s -> %s)",
+						g.ActionName(e.Action), p.Name(), base, nbase),
+					At: st, To: nst,
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if viol != nil {
+		return viol
+	}
+	// Condition 4: no fair infinite stuttering where p must move. A state is
+	// "busy" when p is neither deadlocked nor able to stutter (self-loop) at
+	// the projection; infinite stuttering there cannot be the projection of
+	// any computation of p. Build the stutter-only subgraph restricted to
+	// busy states and look for a fair cycle.
+	busy := explore.NewBitset(g.NumNodes())
+	reach.ForEach(func(id int) bool {
+		base := proj.Apply(g.State(id))
+		if !p.Deadlocked(base) && !baseHasTransition(p, base, base) {
+			busy.Add(id)
+		}
+		return true
+	})
+	sub := stutterSubgraph(g, proj, reach)
+	if comp := sub.FairCycle(busy); comp != nil {
+		return &RefinementViolation{
+			Refined: pp.Name(), Base: p.Name(),
+			Reason: fmt.Sprintf("fair computation of p' stutters forever (cycle of %d states) while p has enabled actions", len(comp)),
+			At:     g.State(comp[0]),
+		}
+	}
+	return nil
+}
+
+func baseHasTransition(p *guarded.Program, from, to state.State) bool {
+	for _, tr := range p.Successors(from) {
+		if tr.To.Equal(to) {
+			return true
+		}
+	}
+	return false
+}
+
+// stutterSubgraph returns a view of g keeping only edges whose projection
+// stutters.
+func stutterSubgraph(g *explore.Graph, proj *state.Projection, within *explore.Bitset) *explore.Graph {
+	return g.FilterEdges(func(from int, e explore.Edge) bool {
+		if !within.Has(from) || !within.Has(e.To) {
+			return false
+		}
+		return proj.SameProjection(g.State(from), g.State(e.To))
+	})
+}

@@ -1,0 +1,205 @@
+// Package spec implements problem specifications and their checking
+// (Sections 2.2 and 2.4 of the paper). Problem specifications are suffix
+// closed and fusion closed; over a finite state space such a specification
+// decomposes into a safety part characterized purely by forbidden states and
+// forbidden transitions, and a liveness part, which this package represents
+// by leads-to obligations. The package also provides the paper's derived
+// specifications — closure cl(S), "S converges to R", generalized
+// Hoare-triples {S} p {R} — and the refinement relation "p' refines p from
+// S" (Section 2.2.1).
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Safety is a suffix- and fusion-closed safety specification. Over a finite
+// state space every such specification is exactly the set of sequences that
+// avoid a set of bad states and a set of bad transitions, so Safety stores
+// those two characteristic functions. A sequence σ is in the specification
+// iff no state of σ satisfies BadState and no adjacent pair satisfies
+// BadStep.
+type Safety struct {
+	Name     string
+	BadState func(state.State) bool
+	BadStep  func(from, to state.State) bool
+}
+
+// NeverState builds the safety specification "no state satisfying bad ever
+// occurs".
+func NeverState(name string, bad state.Predicate) Safety {
+	return Safety{
+		Name:     name,
+		BadState: func(s state.State) bool { return bad.Holds(s) },
+	}
+}
+
+// NeverStep builds the safety specification "no transition satisfying bad
+// ever occurs".
+func NeverStep(name string, bad func(from, to state.State) bool) Safety {
+	return Safety{Name: name, BadStep: bad}
+}
+
+// TrueSafety is the safety specification containing every sequence.
+var TrueSafety = Safety{Name: "true"}
+
+// IntersectSafety returns the intersection of the given safety
+// specifications (a sequence is allowed iff allowed by all).
+func IntersectSafety(name string, specs ...Safety) Safety {
+	ss := append([]Safety(nil), specs...)
+	return Safety{
+		Name: name,
+		BadState: func(s state.State) bool {
+			for _, sp := range ss {
+				if sp.BadState != nil && sp.BadState(s) {
+					return true
+				}
+			}
+			return false
+		},
+		BadStep: func(from, to state.State) bool {
+			for _, sp := range ss {
+				if sp.BadStep != nil && sp.BadStep(from, to) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// StateOK reports whether the state is allowed by the specification.
+func (sp Safety) StateOK(s state.State) bool {
+	return sp.BadState == nil || !sp.BadState(s)
+}
+
+// StepOK reports whether the transition is allowed by the specification.
+func (sp Safety) StepOK(from, to state.State) bool {
+	return sp.BadStep == nil || !sp.BadStep(from, to)
+}
+
+// String returns the specification name.
+func (sp Safety) String() string {
+	if sp.Name == "" {
+		return "<safety>"
+	}
+	return sp.Name
+}
+
+// Maintains reports whether the finite prefix maintains the specification
+// (Section 2.2.1, "Maintains"): for a transition-characterized safety
+// specification, a prefix maintains it iff the prefix itself contains no bad
+// state and no bad step — any such prefix extends to a sequence in the
+// specification.
+func (sp Safety) Maintains(prefix []state.State) bool {
+	for i, s := range prefix {
+		if !sp.StateOK(s) {
+			return false
+		}
+		if i > 0 && !sp.StepOK(prefix[i-1], s) {
+			return false
+		}
+	}
+	return true
+}
+
+// SafetyViolation is a counterexample to a safety obligation: a trace from
+// an initial state whose final state or final step is forbidden.
+type SafetyViolation struct {
+	Spec   string
+	Trace  []state.State
+	IsStep bool // true: the last step is bad; false: the last state is bad
+	Action string
+}
+
+// Error implements the error interface.
+func (v *SafetyViolation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "safety %q violated", v.Spec)
+	if len(v.Trace) > 0 {
+		last := v.Trace[len(v.Trace)-1]
+		if v.IsStep && len(v.Trace) >= 2 {
+			fmt.Fprintf(&b, ": bad step %s -> %s", v.Trace[len(v.Trace)-2], last)
+			if v.Action != "" {
+				fmt.Fprintf(&b, " (action %s)", v.Action)
+			}
+		} else {
+			fmt.Fprintf(&b, ": bad state %s", last)
+		}
+		fmt.Fprintf(&b, " reached in %d steps from %s", len(v.Trace)-1, v.Trace[0])
+	}
+	return b.String()
+}
+
+// CheckSafety verifies that every computation of p starting from a state in
+// `from` satisfies the safety specification: no reachable bad state, no
+// reachable bad transition. It returns nil on success or a counterexample
+// trace. The graph must have been built from (at least) the `from` states.
+func CheckSafety(g *explore.Graph, from *explore.Bitset, sp Safety) *SafetyViolation {
+	reach := g.Reach(from, nil)
+	var bad *explore.Bitset
+	var viol *SafetyViolation
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		if !sp.StateOK(s) {
+			if bad == nil {
+				bad = explore.NewBitset(g.NumNodes())
+			}
+			bad.Add(id)
+		}
+		return true
+	})
+	if bad != nil {
+		stem, _ := g.PathBetween(from, bad, nil)
+		return &SafetyViolation{Spec: sp.Name, Trace: stem}
+	}
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		for _, e := range g.Out(id) {
+			t := g.State(e.To)
+			if !sp.StepOK(s, t) {
+				single := explore.NewBitset(g.NumNodes())
+				single.Add(id)
+				stem, _ := g.PathBetween(from, single, nil)
+				stem = append(stem, t)
+				viol = &SafetyViolation{Spec: sp.Name, Trace: stem, IsStep: true, Action: g.ActionName(e.Action)}
+				return false
+			}
+		}
+		return true
+	})
+	return viol
+}
+
+// WeakestStepPredicate returns, for a single action of p, the set of states
+// from which executing the action cannot violate the safety specification:
+// the state itself is good, every successor is good, and every produced step
+// is allowed. This is the weakest detection predicate of Theorem 3.3,
+// computed extensionally.
+func WeakestStepPredicate(p *guarded.Program, actionIdx int, sp Safety) state.Predicate {
+	a := p.Action(actionIdx)
+	return state.Pred(
+		fmt.Sprintf("wsp(%s,%s)", a.Name, sp),
+		func(s state.State) bool {
+			if !sp.StateOK(s) {
+				return false
+			}
+			if !a.Enabled(s) {
+				// Executing a disabled action is vacuous; the predicate is
+				// about execution, so treat non-enabled states as safe.
+				return true
+			}
+			for _, t := range a.Next(s) {
+				if !sp.StateOK(t) || !sp.StepOK(s, t) {
+					return false
+				}
+			}
+			return true
+		},
+	)
+}

@@ -1,0 +1,265 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+func counter(t *testing.T, n int, actions ...guarded.Action) *guarded.Program {
+	t.Helper()
+	sch, err := state.NewSchema(state.IntVar("x", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return guarded.MustProgram("counter", sch, actions...)
+}
+
+func inc(n int) guarded.Action {
+	return guarded.Det("inc",
+		state.Pred("x<max", func(s state.State) bool { return s.Get(0) < n-1 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)+1) })
+}
+
+func dec() guarded.Action {
+	return guarded.Det("dec",
+		state.Pred("x>0", func(s state.State) bool { return s.Get(0) > 0 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)-1) })
+}
+
+func atLeast(k int) state.Predicate {
+	return state.Pred("x≥k", func(s state.State) bool { return s.Get(0) >= k })
+}
+
+func TestCheckClosed(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	if err := CheckClosed(p, atLeast(2)); err != nil {
+		t.Errorf("x≥2 is closed under inc: %v", err)
+	}
+	err := CheckClosed(counter(t, 5, dec()), atLeast(2))
+	if err == nil {
+		t.Fatal("x≥2 is not closed under dec")
+	}
+	var cv *ClosureViolation
+	if !errors.As(err, &cv) || cv.Action != "dec" {
+		t.Errorf("violation should name dec: %v", err)
+	}
+	// true and false are trivially closed (noted in Section 2.2.1).
+	if err := CheckClosed(p, state.True); err != nil {
+		t.Error(err)
+	}
+	if err := CheckClosed(p, state.False); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckPair(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	// {x=2} inc {x=3} — the generalized Hoare-triple of Section 2.2.1.
+	at2 := state.Pred("x=2", func(s state.State) bool { return s.Get(0) == 2 })
+	at3 := state.Pred("x=3", func(s state.State) bool { return s.Get(0) == 3 })
+	if err := CheckPair(p, at2, at3); err != nil {
+		t.Errorf("{x=2} inc {x=3}: %v", err)
+	}
+	if err := CheckPair(p, at2, at2); err == nil {
+		t.Error("{x=2} inc {x=2} must fail")
+	}
+}
+
+func TestCheckConverges(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	if err := CheckConverges(p, state.True, atLeast(4)); err != nil {
+		t.Errorf("counter converges to the top: %v", err)
+	}
+	// Not closed: x≥1 → x=0 is not closed under dec, so converges fails on
+	// the closure obligation.
+	if err := CheckConverges(counter(t, 5, dec()), atLeast(1), atLeast(4)); err == nil {
+		t.Error("converges must require cl(S)")
+	}
+}
+
+func TestMaintains(t *testing.T) {
+	sch := state.MustSchema(state.IntVar("x", 3))
+	sp := NeverStep("no-skip", func(from, to state.State) bool {
+		return to.Get(0)-from.Get(0) > 1
+	})
+	s0 := state.MustState(sch, 0)
+	s1 := state.MustState(sch, 1)
+	s2 := state.MustState(sch, 2)
+	if !sp.Maintains([]state.State{s0, s1, s2}) {
+		t.Error("stepwise prefix maintains the spec")
+	}
+	if sp.Maintains([]state.State{s0, s2}) {
+		t.Error("skipping prefix must not maintain the spec")
+	}
+	bad := NeverState("no-two", state.Pred("x=2", func(s state.State) bool { return s.Get(0) == 2 }))
+	if bad.Maintains([]state.State{s0, s1, s2}) {
+		t.Error("prefix through a bad state must not maintain")
+	}
+	if !TrueSafety.Maintains([]state.State{s0, s2}) {
+		t.Error("the true safety spec allows everything")
+	}
+}
+
+func TestIntersectSafety(t *testing.T) {
+	sch := state.MustSchema(state.IntVar("x", 3))
+	a := NeverState("no-0", state.Pred("x=0", func(s state.State) bool { return s.Get(0) == 0 }))
+	b := NeverStep("no-up", func(from, to state.State) bool { return to.Get(0) > from.Get(0) })
+	both := IntersectSafety("both", a, b)
+	if both.StateOK(state.MustState(sch, 0)) {
+		t.Error("intersection must inherit bad states")
+	}
+	if both.StepOK(state.MustState(sch, 1), state.MustState(sch, 2)) {
+		t.Error("intersection must inherit bad steps")
+	}
+	if !both.StateOK(state.MustState(sch, 1)) {
+		t.Error("intersection must allow good states")
+	}
+}
+
+func TestCheckSafetyTrace(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	g, err := explore.Build(p, state.True, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := g.SetOf(state.Pred("x=0", func(s state.State) bool { return s.Get(0) == 0 }))
+	sp := NeverState("no-3", state.Pred("x=3", func(s state.State) bool { return s.Get(0) == 3 }))
+	v := CheckSafety(g, from, sp)
+	if v == nil {
+		t.Fatal("x=3 is reachable from x=0")
+	}
+	if len(v.Trace) != 4 {
+		t.Errorf("shortest trace to x=3 has 4 states, got %d", len(v.Trace))
+	}
+	if !strings.Contains(v.Error(), "no-3") {
+		t.Errorf("violation should name the spec: %v", v)
+	}
+	stepSpec := NeverStep("no-2to3", func(from, to state.State) bool {
+		return from.Get(0) == 2 && to.Get(0) == 3
+	})
+	v = CheckSafety(g, from, stepSpec)
+	if v == nil || !v.IsStep || v.Action != "inc" {
+		t.Errorf("want step violation by inc, got %+v", v)
+	}
+	if v := CheckSafety(g, from, TrueSafety); v != nil {
+		t.Errorf("true safety must hold: %v", v)
+	}
+}
+
+func TestWeakestStepPredicate(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	sp := NeverState("no-3", state.Pred("x=3", func(s state.State) bool { return s.Get(0) == 3 }))
+	sf := WeakestStepPredicate(p, 0, sp)
+	sch := p.Schema()
+	// Executing inc is unsafe exactly at x=2 (lands on 3) and at x=3 (the
+	// state itself is bad).
+	for x, want := range map[int]bool{0: true, 1: true, 2: false, 3: false, 4: true} {
+		if got := sf.Holds(state.MustState(sch, x)); got != want {
+			t.Errorf("sf(x=%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestProblemRefinesAndViolates(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	prob := Problem{
+		Name:   "reach-top",
+		Safety: TrueSafety,
+		Live:   []LeadsTo{{Name: "top", P: state.True, Q: atLeast(4)}},
+	}
+	if err := prob.CheckRefinesFrom(p, state.True); err != nil {
+		t.Errorf("counter refines reach-top: %v", err)
+	}
+	if !prob.InvariantOK(p, state.True) {
+		t.Error("true should be an invariant")
+	}
+	stuck := counter(t, 5, guarded.Det("inc2",
+		state.Pred("x<2", func(s state.State) bool { return s.Get(0) < 2 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)+1) }))
+	viol, err := prob.Violates(stuck, state.True)
+	if !viol {
+		t.Errorf("stuck counter must violate reach-top (err=%v)", err)
+	}
+}
+
+func TestCheckRefines(t *testing.T) {
+	base := state.MustSchema(state.IntVar("x", 4))
+	ext := state.MustSchema(state.IntVar("x", 4), state.BoolVar("log"))
+	p := guarded.MustProgram("p", base, inc(4))
+	pIncLifted := guarded.MustLift(p, ext)
+
+	// A refinement that adds a logging variable via encapsulation.
+	logIdx := ext.MustIndexOf("log")
+	enc := guarded.EncapsulateAction(pIncLifted.Action(0), state.True,
+		func(pre, post state.State) state.State { return post.With(logIdx, 1) })
+	good := guarded.MustProgram("good", ext, enc)
+	if err := CheckRefines(good, p, state.True); err != nil {
+		t.Errorf("encapsulated refinement should hold: %v", err)
+	}
+
+	// A program with an extra x-decrementing action does not refine p.
+	rogue := guarded.MustProgram("rogue", ext, enc, guarded.Det("down",
+		state.Pred("x>0", func(s state.State) bool { return s.Get(0) > 0 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)-1) }))
+	if err := CheckRefines(rogue, p, state.True); err == nil {
+		t.Error("rogue decrement must break refinement")
+	}
+
+	// A program that deadlocks early does not refine p (maximality).
+	early := guarded.MustProgram("early", ext, guarded.Det("inc",
+		state.Pred("x<1", func(s state.State) bool { return s.Get(0) < 1 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)+1) }))
+	err := CheckRefines(early, p, state.True)
+	if err == nil {
+		t.Fatal("early deadlock must break refinement")
+	}
+	var rv *RefinementViolation
+	if !errors.As(err, &rv) || !strings.Contains(rv.Reason, "deadlock") {
+		t.Errorf("want deadlock reason, got %v", err)
+	}
+
+	// A program that stutters forever while p must move: fairness broken.
+	spin := guarded.MustProgram("spin", ext, guarded.Det("toggle", state.True,
+		func(s state.State) state.State { return s.WithBool(logIdx, !s.Bool(logIdx)) }))
+	err = CheckRefines(spin, p, state.True)
+	if err == nil {
+		t.Fatal("infinite stuttering must break refinement when p has no self-loop")
+	}
+	if !errors.As(err, &rv) || !strings.Contains(rv.Reason, "stutters forever") {
+		t.Errorf("want stuttering reason, got %v", err)
+	}
+}
+
+func TestCheckRefinesAllowsStutterWithSelfLoop(t *testing.T) {
+	// If p itself has a self-loop at the projected state, infinite
+	// stuttering in p' is the projection of a legal computation of p.
+	base := state.MustSchema(state.IntVar("x", 2))
+	ext := state.MustSchema(state.IntVar("x", 2), state.BoolVar("log"))
+	loop := guarded.Det("loop", state.True, func(s state.State) state.State { return s })
+	p := guarded.MustProgram("p", base, loop)
+	spin := guarded.MustProgram("spin", ext, guarded.Det("toggle", state.True,
+		func(s state.State) state.State { return s.WithBool(1, !s.Bool(1)) }))
+	if err := CheckRefines(spin, p, state.True); err != nil {
+		t.Errorf("stuttering against a self-looping p should refine: %v", err)
+	}
+}
+
+func TestCheckLeadsTo(t *testing.T) {
+	p := counter(t, 5, inc(5))
+	g, err := explore.Build(p, state.True, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := g.All()
+	if err := CheckLeadsTo(g, from, LeadsTo{Name: "t", P: atLeast(1), Q: atLeast(3)}); err != nil {
+		t.Errorf("x≥1 ~> x≥3 holds: %v", err)
+	}
+	if err := CheckLeadsTo(g, from, LeadsTo{Name: "t", P: atLeast(1), Q: state.False}); err == nil {
+		t.Error("x≥1 ~> false must fail")
+	}
+}

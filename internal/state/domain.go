@@ -1,0 +1,97 @@
+// Package state implements the state model of Arora & Kulkarni's theory of
+// detectors and correctors (ICDCS 1998, Section 2.1): programs are defined
+// over a finite set of variables, each with a predefined nonempty finite
+// domain; a state assigns each variable a value from its domain; a state
+// predicate is (semantically) a set of states.
+//
+// The package provides schemas (ordered variable declarations), immutable
+// states with O(1) canonical indices, predicates with combinators, and
+// projections between schemas (Section 2.2.1, "Projection"). All model
+// checking in sibling packages is built on the mixed-radix state index
+// defined here.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrDomainTooLarge is returned when a schema's state space exceeds the
+// capacity of the 64-bit mixed-radix index used by the explicit-state
+// checkers.
+var ErrDomainTooLarge = errors.New("state: schema state space exceeds 2^62 states")
+
+// Domain is a predefined nonempty finite domain for a variable. Values are
+// the integers 0..Size-1; Names optionally gives them symbolic names (for
+// example {"false","true"} for a boolean, or {"bot","0","1"} for a decision
+// variable with an "unassigned" value as in the paper's Byzantine agreement
+// example, Section 6.2).
+type Domain struct {
+	Name  string
+	Size  int
+	Names []string
+}
+
+// Bool is the two-valued boolean domain with 0 = false and 1 = true.
+var Bool = Domain{Name: "bool", Size: 2, Names: []string{"false", "true"}}
+
+// Range returns a domain of the integers 0..n-1.
+func Range(name string, n int) Domain {
+	return Domain{Name: name, Size: n}
+}
+
+// Enum returns a domain whose values carry the given symbolic names.
+func Enum(name string, values ...string) Domain {
+	return Domain{Name: name, Size: len(values), Names: append([]string(nil), values...)}
+}
+
+// Validate reports whether the domain is well formed.
+func (d Domain) Validate() error {
+	if d.Size <= 0 {
+		return fmt.Errorf("state: domain %q must be nonempty (size %d)", d.Name, d.Size)
+	}
+	if d.Names != nil && len(d.Names) != d.Size {
+		return fmt.Errorf("state: domain %q has %d names for %d values", d.Name, len(d.Names), d.Size)
+	}
+	return nil
+}
+
+// ValueName renders value v of the domain, using its symbolic name if one
+// was declared.
+func (d Domain) ValueName(v int) string {
+	if v >= 0 && v < len(d.Names) {
+		return d.Names[v]
+	}
+	return strconv.Itoa(v)
+}
+
+// ValueOf resolves a symbolic name to its value. It reports false when the
+// name is not declared in the domain.
+func (d Domain) ValueOf(name string) (int, bool) {
+	for i, n := range d.Names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Var declares a program variable: a name bound to a domain.
+type Var struct {
+	Name   string
+	Domain Domain
+}
+
+// BoolVar declares a boolean variable.
+func BoolVar(name string) Var { return Var{Name: name, Domain: Bool} }
+
+// IntVar declares a variable ranging over 0..n-1.
+func IntVar(name string, n int) Var {
+	return Var{Name: name, Domain: Range(name, n)}
+}
+
+// EnumVar declares a variable over named values.
+func EnumVar(name string, values ...string) Var {
+	return Var{Name: name, Domain: Enum(name, values...)}
+}

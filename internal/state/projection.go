@@ -1,0 +1,94 @@
+package state
+
+import "fmt"
+
+// Projection maps states of a "refined" schema (the tolerant program p')
+// onto states of a "base" schema (the intolerant program p or the
+// specification SPEC), following Section 2.2.1: the projection of a state of
+// p' on p is obtained by considering only the variables of p.
+//
+// A projection is valid when every base variable exists in the refined
+// schema with an identical domain size.
+type Projection struct {
+	from *Schema
+	to   *Schema
+	idx  []int // idx[i] = index in `from` of the i-th variable of `to`
+}
+
+// NewProjection builds the projection from schema `from` onto schema `to`.
+func NewProjection(from, to *Schema) (*Projection, error) {
+	idx := make([]int, to.NumVars())
+	for i := 0; i < to.NumVars(); i++ {
+		v := to.Var(i)
+		j, ok := from.IndexOf(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("state: projection target variable %q missing from source schema %s", v.Name, from)
+		}
+		if from.Var(j).Domain.Size != v.Domain.Size {
+			return nil, fmt.Errorf("state: variable %q has domain size %d in source but %d in target",
+				v.Name, from.Var(j).Domain.Size, v.Domain.Size)
+		}
+		idx[i] = j
+	}
+	return &Projection{from: from, to: to, idx: idx}, nil
+}
+
+// MustProjection is NewProjection but panics on mismatch; for statically
+// known refinements.
+func MustProjection(from, to *Schema) *Projection {
+	p, err := NewProjection(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// From returns the source (refined) schema.
+func (p *Projection) From() *Schema { return p.from }
+
+// To returns the target (base) schema.
+func (p *Projection) To() *Schema { return p.to }
+
+// Apply projects a state of the source schema onto the target schema.
+func (p *Projection) Apply(s State) State {
+	vals := make([]int32, len(p.idx))
+	for i, j := range p.idx {
+		vals[i] = s.vals[j]
+	}
+	return State{schema: p.to, vals: vals}
+}
+
+// Identity reports whether the projection is the identity on the source
+// schema (same variables, same order).
+func (p *Projection) Identity() bool {
+	if p.from != p.to && p.from.NumVars() != p.to.NumVars() {
+		return false
+	}
+	for i, j := range p.idx {
+		if i != j {
+			return false
+		}
+	}
+	return p.from.NumVars() == p.to.NumVars()
+}
+
+// Lift turns a predicate over the target schema into a predicate over the
+// source schema by composing with the projection. Lifting lets a
+// specification predicate of p be evaluated on states of p'.
+func (p *Projection) Lift(pred Predicate) Predicate {
+	return Predicate{
+		Name: pred.Name,
+		Eval: func(s State) bool { return pred.Holds(p.Apply(s)) },
+	}
+}
+
+// PreservesIndex reports whether two source states project to the same
+// target state.
+func (p *Projection) SameProjection(a, b State) bool {
+	for _, j := range p.idx {
+		if a.vals[j] != b.vals[j] {
+			return false
+		}
+	}
+	return true
+}

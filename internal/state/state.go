@@ -1,0 +1,150 @@
+package state
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is an immutable assignment of a value to each variable of a schema
+// (Section 2.1, "State"). States are value types; With returns a modified
+// copy, leaving the receiver untouched, so transition functions stay pure.
+type State struct {
+	schema *Schema
+	vals   []int32
+}
+
+// NewState builds a state from explicit values in schema order. Values are
+// validated against the variable domains.
+func NewState(s *Schema, values ...int) (State, error) {
+	if len(values) != s.NumVars() {
+		return State{}, fmt.Errorf("state: got %d values for %d variables", len(values), s.NumVars())
+	}
+	vals := make([]int32, len(values))
+	for i, v := range values {
+		if v < 0 || v >= s.vars[i].Domain.Size {
+			return State{}, fmt.Errorf("state: value %d out of domain %q (size %d) for variable %q",
+				v, s.vars[i].Domain.Name, s.vars[i].Domain.Size, s.vars[i].Name)
+		}
+		vals[i] = int32(v)
+	}
+	return State{schema: s, vals: vals}, nil
+}
+
+// MustState is NewState but panics on invalid values; for statically known
+// states in the built-in case studies and tests.
+func MustState(s *Schema, values ...int) State {
+	st, err := NewState(s, values...)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// FromMap builds a state from a name→value map; unnamed variables default
+// to 0.
+func FromMap(s *Schema, values map[string]int) (State, error) {
+	vals := make([]int, s.NumVars())
+	for name, v := range values {
+		i, ok := s.IndexOf(name)
+		if !ok {
+			return State{}, fmt.Errorf("state: undeclared variable %q", name)
+		}
+		vals[i] = v
+	}
+	return NewState(s, vals...)
+}
+
+// Schema returns the schema the state is defined over.
+func (st State) Schema() *Schema { return st.schema }
+
+// IsZero reports whether the state is the zero value (no schema attached).
+func (st State) IsZero() bool { return st.schema == nil }
+
+// Get returns the value of the i-th variable.
+func (st State) Get(i int) int { return int(st.vals[i]) }
+
+// GetName returns the value of the named variable, panicking on undeclared
+// names (a programming error in statically known programs).
+func (st State) GetName(name string) int {
+	return int(st.vals[st.schema.MustIndexOf(name)])
+}
+
+// Bool returns the i-th variable interpreted as a boolean.
+func (st State) Bool(i int) bool { return st.vals[i] != 0 }
+
+// With returns a copy of the state with variable i set to v. The value is
+// clamped-checked against the domain; out-of-domain writes panic because
+// they indicate a broken action statement, which must not be silently
+// truncated during model checking.
+func (st State) With(i, v int) State {
+	if v < 0 || v >= st.schema.vars[i].Domain.Size {
+		panic(fmt.Sprintf("state: write of %d out of domain for variable %q (size %d)",
+			v, st.schema.vars[i].Name, st.schema.vars[i].Domain.Size))
+	}
+	vals := append([]int32(nil), st.vals...)
+	vals[i] = int32(v)
+	return State{schema: st.schema, vals: vals}
+}
+
+// WithName is With addressing the variable by name.
+func (st State) WithName(name string, v int) State {
+	return st.With(st.schema.MustIndexOf(name), v)
+}
+
+// WithBool sets a boolean variable.
+func (st State) WithBool(i int, v bool) State {
+	if v {
+		return st.With(i, 1)
+	}
+	return st.With(i, 0)
+}
+
+// Index returns the canonical mixed-radix index of the state. The schema
+// must be indexable (see Schema.Indexable).
+func (st State) Index() uint64 {
+	var idx uint64
+	for i, v := range st.vals {
+		idx += uint64(v) * st.schema.radix[i]
+	}
+	return idx
+}
+
+// Equal reports whether two states over the same schema assign identical
+// values. States over different schemas are never equal.
+func (st State) Equal(other State) bool {
+	if st.schema != other.schema {
+		return false
+	}
+	for i := range st.vals {
+		if st.vals[i] != other.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state as "(x=v, y=w)" using symbolic value names.
+func (st State) String() string {
+	if st.schema == nil {
+		return "(zero state)"
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range st.schema.vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", v.Name, v.Domain.ValueName(int(st.vals[i])))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Values returns a copy of the raw value vector.
+func (st State) Values() []int {
+	out := make([]int, len(st.vals))
+	for i, v := range st.vals {
+		out[i] = int(v)
+	}
+	return out
+}

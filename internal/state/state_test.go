@@ -1,0 +1,284 @@
+package state
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		BoolVar("a"),
+		IntVar("b", 3),
+		EnumVar("c", "red", "green", "blue", "black"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", s.NumVars())
+	}
+	if n, ok := s.NumStates(); !ok || n != 2*3*4 {
+		t.Fatalf("NumStates = %d,%v; want 24,true", n, ok)
+	}
+	if i, ok := s.IndexOf("b"); !ok || i != 1 {
+		t.Errorf("IndexOf(b) = %d,%v", i, ok)
+	}
+	if _, ok := s.IndexOf("nope"); ok {
+		t.Error("IndexOf(nope) should fail")
+	}
+	if got := s.String(); !strings.Contains(got, "a:2") || !strings.Contains(got, "c:4") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(BoolVar("x"), BoolVar("x")); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+	if _, err := NewSchema(Var{Name: "", Domain: Bool}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if _, err := NewSchema(Var{Name: "x", Domain: Domain{Name: "empty", Size: 0}}); err == nil {
+		t.Error("empty domain must be rejected")
+	}
+	if _, err := NewSchema(Var{Name: "x", Domain: Domain{Name: "bad", Size: 2, Names: []string{"one"}}}); err == nil {
+		t.Error("name/size mismatch must be rejected")
+	}
+}
+
+func TestHugeSchemaNotIndexable(t *testing.T) {
+	vars := make([]Var, 70)
+	for i := range vars {
+		vars[i] = IntVar(strings.Repeat("x", i+1), 4) // 4^70 >> 2^62
+	}
+	s, err := NewSchema(vars...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Indexable(); err == nil {
+		t.Error("4^70 states should not be indexable")
+	}
+	if err := s.ForEachState(func(State) bool { return true }); err == nil {
+		t.Error("enumeration of a huge schema must fail")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		vals := []int{rng.Intn(2), rng.Intn(3), rng.Intn(4)}
+		st, err := NewState(s, vals...)
+		if err != nil {
+			return false
+		}
+		back := s.StateAt(st.Index())
+		return back.Equal(st) && back.Index() == st.Index()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachStateCoversAllOnce(t *testing.T) {
+	s := testSchema(t)
+	seen := map[uint64]bool{}
+	err := s.ForEachState(func(st State) bool {
+		idx := st.Index()
+		if seen[idx] {
+			t.Fatalf("index %d visited twice", idx)
+		}
+		seen[idx] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 24 {
+		t.Errorf("visited %d states, want 24", len(seen))
+	}
+}
+
+func TestStateImmutability(t *testing.T) {
+	s := testSchema(t)
+	st := MustState(s, 0, 1, 2)
+	st2 := st.With(1, 2)
+	if st.Get(1) != 1 {
+		t.Error("With must not mutate the receiver")
+	}
+	if st2.Get(1) != 2 {
+		t.Error("With must set the new value")
+	}
+	if st.Equal(st2) {
+		t.Error("distinct states must not be Equal")
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewState(s, 0, 1); err == nil {
+		t.Error("wrong arity must be rejected")
+	}
+	if _, err := NewState(s, 0, 5, 0); err == nil {
+		t.Error("out-of-domain value must be rejected")
+	}
+	if _, err := FromMap(s, map[string]int{"zz": 1}); err == nil {
+		t.Error("unknown variable must be rejected")
+	}
+	st, err := FromMap(s, map[string]int{"b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GetName("b") != 2 || st.GetName("a") != 0 {
+		t.Errorf("FromMap defaults wrong: %s", st)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	s := testSchema(t)
+	st := MustState(s, 1, 2, 3)
+	got := st.String()
+	for _, want := range []string{"a=true", "b=2", "c=black"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	s := testSchema(t)
+	a := VarTrue(s, "a")
+	b2 := VarEquals(s, "b", 2)
+	cases := []struct {
+		pred Predicate
+		vals []int
+		want bool
+	}{
+		{And(a, b2), []int{1, 2, 0}, true},
+		{And(a, b2), []int{1, 1, 0}, false},
+		{Or(a, b2), []int{0, 2, 0}, true},
+		{Or(a, b2), []int{0, 0, 0}, false},
+		{Not(a), []int{0, 0, 0}, true},
+		{Implies(a, b2), []int{0, 0, 0}, true},
+		{Implies(a, b2), []int{1, 0, 0}, false},
+		{True, []int{0, 0, 0}, true},
+		{False, []int{0, 0, 0}, false},
+		{And(), []int{0, 0, 0}, true},
+		{Or(), []int{0, 0, 0}, false},
+	}
+	for i, tc := range cases {
+		st := MustState(s, tc.vals...)
+		if got := tc.pred.Holds(st); got != tc.want {
+			t.Errorf("case %d (%s at %s): got %v want %v", i, tc.pred, st, got, tc.want)
+		}
+	}
+}
+
+func TestZeroPredicateIsTrue(t *testing.T) {
+	var p Predicate
+	if !p.Holds(State{}) || !p.IsTrivial() || p.String() != "true" {
+		t.Error("zero Predicate must behave as true")
+	}
+}
+
+func TestPredicateLogicLaws(t *testing.T) {
+	// De Morgan and double negation over the whole space, via quick-picked
+	// random predicates of the schema.
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(7))
+	randPred := func() Predicate {
+		v := rng.Intn(s.NumVars())
+		val := rng.Intn(s.Var(v).Domain.Size)
+		return VarEquals(s, s.Var(v).Name, val)
+	}
+	for trial := 0; trial < 50; trial++ {
+		p, q := randPred(), randPred()
+		err := s.ForEachState(func(st State) bool {
+			if Not(And(p, q)).Holds(st) != Or(Not(p), Not(q)).Holds(st) {
+				t.Fatalf("De Morgan fails at %s for %s, %s", st, p, q)
+			}
+			if Not(Not(p)).Holds(st) != p.Holds(st) {
+				t.Fatalf("double negation fails at %s for %s", st, p)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestImpliesEverywhereAndCount(t *testing.T) {
+	s := testSchema(t)
+	ok, _, err := ImpliesEverywhere(s, VarEquals(s, "b", 2), Not(VarEquals(s, "b", 1)))
+	if err != nil || !ok {
+		t.Errorf("b=2 ⇒ b≠1 should hold everywhere: %v %v", ok, err)
+	}
+	ok, w, err := ImpliesEverywhere(s, VarTrue(s, "a"), VarEquals(s, "b", 0))
+	if err != nil || ok {
+		t.Errorf("a ⇒ b=0 should fail, witness %s", w)
+	}
+	n, err := CountStates(s, VarTrue(s, "a"))
+	if err != nil || n != 12 {
+		t.Errorf("CountStates(a) = %d, want 12", n)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	base := MustSchema(BoolVar("p"), IntVar("v", 3))
+	ext, err := base.Extend(BoolVar("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewProjection(ext, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := MustState(ext, 1, 2, 1)
+	got := proj.Apply(st)
+	if got.GetName("p") != 1 || got.GetName("v") != 2 {
+		t.Errorf("projection wrong: %s", got)
+	}
+	if !proj.SameProjection(st, st.WithName("z", 0)) {
+		t.Error("states differing only in z must project identically")
+	}
+	if proj.SameProjection(st, st.WithName("v", 0)) {
+		t.Error("states differing in v must project differently")
+	}
+	lifted := proj.Lift(VarEquals(base, "v", 2))
+	if !lifted.Holds(st) {
+		t.Error("lifted predicate should hold")
+	}
+	if _, err := NewProjection(base, ext); err == nil {
+		t.Error("projection onto a larger schema must fail")
+	}
+	mismatched := MustSchema(BoolVar("p"), IntVar("v", 4))
+	if _, err := NewProjection(ext, mismatched); err == nil {
+		t.Error("domain-size mismatch must be rejected")
+	}
+	id := MustProjection(base, base)
+	if !id.Identity() {
+		t.Error("self-projection should be the identity")
+	}
+}
+
+func TestDomainHelpers(t *testing.T) {
+	d := Enum("color", "red", "green")
+	if d.ValueName(1) != "green" || d.ValueName(5) != "5" {
+		t.Error("ValueName wrong")
+	}
+	if v, ok := d.ValueOf("red"); !ok || v != 0 {
+		t.Error("ValueOf(red) wrong")
+	}
+	if _, ok := d.ValueOf("mauve"); ok {
+		t.Error("ValueOf(mauve) should fail")
+	}
+}

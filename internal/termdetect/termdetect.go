@@ -1,0 +1,228 @@
+// Package termdetect implements ring-based distributed termination
+// detection (Dijkstra, Feijen and van Gasteren's token/color algorithm) as
+// an instance of the paper's detector component: the conclusion flag `done`
+// is the witness predicate Z, "every worker is idle" is the detection
+// predicate X, and the algorithm refines 'Z detects X' — Safeness is the
+// classical soundness of the detector (no false termination announcements),
+// Progress its liveness, and Stability is immediate because termination is
+// stable. Termination detection is one of the applications the paper lists
+// for the component-based method (Section 1).
+//
+// The model: N workers; an active worker may finish or activate another
+// worker (blackening itself); a probe token circulates from N-1 down to 0,
+// collecting colors; machine 0 concludes termination from a white token and
+// a white own color, and otherwise restarts the probe.
+//
+// Two fault classes show both sides of the theory:
+//
+//   - token displacement (the token is thrown back to machine 0 and
+//     dirtied): the detector is masking tolerant — a dirty token never
+//     concludes, and the probe restarts;
+//   - color corruption (a machine's black flag is spuriously cleared): the
+//     detector is *not even fail-safe* tolerant — the checker finds a false
+//     announcement, reproducing the classical counterexample that motivates
+//     the blackening rule.
+package termdetect
+
+import (
+	"fmt"
+
+	"detcorr/internal/core"
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// System is a termination-detection instance over n workers.
+type System struct {
+	N      int
+	Schema *state.Schema
+
+	// Program contains the workers (finish/activate) and the detector
+	// (pass/conclude/restart).
+	Program *guarded.Program
+
+	// Done is the witness predicate Z; AllIdle the detection predicate X;
+	// Init the initial condition (no conclusion yet, probe at machine 0,
+	// token dirty so the first round cannot conclude); U the closure of
+	// Init under the program — the predicate the detects relation is
+	// refined from.
+	Done, AllIdle, Init, U state.Predicate
+
+	// TokenLoss displaces and dirties the token; ColorCorruption clears a
+	// machine's black flag.
+	TokenLoss, ColorCorruption fault.Class
+}
+
+func activeVar(i int) string { return fmt.Sprintf("active.%d", i) }
+func blackVar(i int) string  { return fmt.Sprintf("black.%d", i) }
+
+// New builds the system with n ≥ 2 workers.
+func New(n int) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("termdetect: need at least 2 workers (got %d)", n)
+	}
+	vars := make([]state.Var, 0, 2*n+3)
+	for i := 0; i < n; i++ {
+		vars = append(vars, state.BoolVar(activeVar(i)), state.BoolVar(blackVar(i)))
+	}
+	vars = append(vars,
+		state.IntVar("token", n),
+		state.BoolVar("tokenBlack"),
+		state.BoolVar("done"),
+	)
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{N: n, Schema: sch}
+	sys.buildPredicates()
+	if err := sys.buildProgram(); err != nil {
+		return nil, err
+	}
+	if err := sys.computeU(); err != nil {
+		return nil, err
+	}
+	sys.buildFaults()
+	return sys, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(n int) *System {
+	sys, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func (sys *System) buildPredicates() {
+	sys.Done = state.VarTrue(sys.Schema, "done")
+	sys.AllIdle = state.Pred("all workers idle", func(s state.State) bool {
+		for i := 0; i < sys.N; i++ {
+			if s.GetName(activeVar(i)) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	sys.Init = state.Pred("init: ¬done ∧ token at 0, dirty", func(s state.State) bool {
+		return s.GetName("done") == 0 && s.GetName("token") == 0 && s.GetName("tokenBlack") != 0
+	})
+}
+
+func (sys *System) buildProgram() error {
+	n := sys.N
+	var actions []guarded.Action
+	for i := 0; i < n; i++ {
+		i := i
+		av := activeVar(i)
+		actions = append(actions, guarded.Det(fmt.Sprintf("finish.%d", i),
+			state.VarTrue(sys.Schema, av),
+			func(s state.State) state.State { return s.WithName(av, 0) }))
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			j := j
+			actions = append(actions, guarded.Det(fmt.Sprintf("activate.%d.%d", i, j),
+				state.Pred(fmt.Sprintf("active.%d ∧ ¬active.%d", i, j), func(s state.State) bool {
+					return s.GetName(av) != 0 && s.GetName(activeVar(j)) == 0
+				}),
+				// Sending work blackens the sender — the classical rule
+				// that makes the probe sound.
+				func(s state.State) state.State {
+					return s.WithName(activeVar(j), 1).WithName(blackVar(i), 1)
+				}))
+		}
+	}
+	// pass.i: an idle machine i > 0 holding the token forwards it to i-1,
+	// staining it with its own color and whitening itself.
+	for i := 1; i < n; i++ {
+		i := i
+		actions = append(actions, guarded.Det(fmt.Sprintf("pass.%d", i),
+			state.Pred(fmt.Sprintf("token at %d ∧ idle", i), func(s state.State) bool {
+				return s.GetName("token") == i && s.GetName(activeVar(i)) == 0 && s.GetName("done") == 0
+			}),
+			func(s state.State) state.State {
+				if s.GetName(blackVar(i)) != 0 {
+					s = s.WithName("tokenBlack", 1)
+				}
+				return s.WithName("token", i-1).WithName(blackVar(i), 0)
+			}))
+	}
+	// conclude: machine 0, idle, white, holding a white token announces
+	// termination.
+	actions = append(actions, guarded.Det("conclude",
+		state.Pred("white probe completed at 0", func(s state.State) bool {
+			return s.GetName("token") == 0 && s.GetName("done") == 0 &&
+				s.GetName(activeVar(0)) == 0 && s.GetName(blackVar(0)) == 0 &&
+				s.GetName("tokenBlack") == 0
+		}),
+		func(s state.State) state.State { return s.WithName("done", 1) }))
+	// restart: machine 0 relaunches a clean probe when the last one failed
+	// (black token or own blackness) — it whitens itself and emits a white
+	// token at machine n-1.
+	actions = append(actions, guarded.Det("restart",
+		state.Pred("probe failed at 0", func(s state.State) bool {
+			if s.GetName("token") != 0 || s.GetName("done") != 0 || s.GetName(activeVar(0)) != 0 {
+				return false
+			}
+			return s.GetName(blackVar(0)) != 0 || s.GetName("tokenBlack") != 0
+		}),
+		func(s state.State) state.State {
+			return s.WithName("token", sys.N-1).WithName("tokenBlack", 0).WithName(blackVar(0), 0)
+		}))
+	prog, err := guarded.NewProgram(fmt.Sprintf("termdetect(n=%d)", sys.N), sys.Schema, actions...)
+	if err != nil {
+		return err
+	}
+	sys.Program = prog
+	return nil
+}
+
+// computeU closes Init under the program so the detects relation has a
+// closed "from" predicate, as refinement requires.
+func (sys *System) computeU() error {
+	g, err := explore.Build(sys.Program, sys.Init, explore.Options{})
+	if err != nil {
+		return err
+	}
+	reach := g.Reach(g.SetOf(sys.Init), nil)
+	sys.U = core.ExtensionalPredicate("reach(init)", g, reach)
+	return nil
+}
+
+func (sys *System) buildFaults() {
+	displace := guarded.Det("displace-token",
+		state.Pred("¬done", func(s state.State) bool { return s.GetName("done") == 0 }),
+		func(s state.State) state.State {
+			return s.WithName("token", 0).WithName("tokenBlack", 1)
+		})
+	sys.TokenLoss = fault.NewClass("token-displacement", displace)
+
+	var whiten []guarded.Action
+	for i := 0; i < sys.N; i++ {
+		i := i
+		whiten = append(whiten, guarded.Det(fmt.Sprintf("whiten.%d", i),
+			state.Pred(fmt.Sprintf("black.%d", i), func(s state.State) bool {
+				return s.GetName(blackVar(i)) != 0
+			}),
+			func(s state.State) state.State { return s.WithName(blackVar(i), 0) }))
+	}
+	sys.ColorCorruption = fault.NewClass("color-corruption", whiten...)
+}
+
+// AsDetector returns the system viewed as the paper's detector component:
+// done detects "all workers idle" from the reachable closure of the
+// initial condition.
+func (sys *System) AsDetector() core.Detector {
+	return core.Detector{
+		Name: sys.Program.Name(),
+		D:    sys.Program,
+		Z:    sys.Done,
+		X:    sys.AllIdle,
+		U:    sys.U,
+	}
+}

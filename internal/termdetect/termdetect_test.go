@@ -1,0 +1,132 @@
+package termdetect
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fmt"
+
+	"detcorr/internal/core"
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+func TestDetectorHolds(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		sys, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AsDetector().Check(); err != nil {
+			t.Errorf("n=%d: done should detect all-idle: %v", n, err)
+		}
+	}
+}
+
+func TestSafenessConcretely(t *testing.T) {
+	// No reachable state announces termination while a worker is active.
+	sys := MustNew(3)
+	g, err := explore.Build(sys.Program, sys.Init, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reach(g.SetOf(sys.Init), nil)
+	bad := 0
+	reach.ForEach(func(id int) bool {
+		s := g.State(id)
+		if sys.Done.Holds(s) && !sys.AllIdle.Holds(s) {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Errorf("%d reachable states announce termination spuriously", bad)
+	}
+}
+
+func TestMaskingTolerantToTokenDisplacement(t *testing.T) {
+	sys := MustNew(3)
+	if err := sys.AsDetector().CheckFTolerant(sys.TokenLoss, fault.Masking); err != nil {
+		t.Errorf("detector should be masking tolerant to token displacement: %v", err)
+	}
+}
+
+func TestNotFailSafeUnderColorCorruption(t *testing.T) {
+	// Clearing a machine's black flag lets a stale white probe conclude
+	// while work is still in flight: the classical counterexample.
+	sys := MustNew(3)
+	err := sys.AsDetector().CheckFTolerant(sys.ColorCorruption, fault.FailSafe)
+	if err == nil {
+		t.Fatal("color corruption must break fail-safe tolerance of the detector")
+	}
+	var cerr *core.ConditionError
+	if !errors.As(err, &cerr) || cerr.Condition != "Safeness" {
+		t.Errorf("expected a Safeness violation (false announcement), got %v", err)
+	}
+}
+
+func TestBlackeningRuleIsLoadBearing(t *testing.T) {
+	// Remove the blackening from the activate actions (the classical bug)
+	// and the checker must find a false announcement even without faults.
+	sys := MustNew(3)
+	broken := buildWithoutBlackening(t, sys)
+	g, err := explore.Build(broken, sys.Init, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := core.ExtensionalPredicate("reach(init)", g, g.Reach(g.SetOf(sys.Init), nil))
+	d := core.Detector{D: broken, Z: sys.Done, X: sys.AllIdle, U: u}
+	err = d.Check()
+	if err == nil {
+		t.Fatal("without the blackening rule the detector must be unsound")
+	}
+	if !strings.Contains(err.Error(), "Safeness") {
+		t.Errorf("expected Safeness violation, got %v", err)
+	}
+}
+
+func TestProgressWithinBound(t *testing.T) {
+	// From any reachable all-idle state, done is eventually announced —
+	// implied by Check, but assert it directly for documentation value.
+	sys := MustNew(3)
+	g, err := explore.Build(sys.Program, sys.U, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := g.SetOf(state.And(sys.AllIdle, state.Not(sys.Done)))
+	idle.Intersect(g.Reach(g.SetOf(sys.U), nil))
+	goal := g.SetOf(sys.Done)
+	if v := g.CheckEventually(idle, goal); v != nil {
+		t.Errorf("idle states must lead to announcement: %v", v)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("n=1 must be rejected")
+	}
+}
+
+// buildWithoutBlackening clones the system's program, replacing each
+// activate action with a variant that does not blacken the sender.
+func buildWithoutBlackening(t *testing.T, sys *System) *guarded.Program {
+	t.Helper()
+	actions := make([]guarded.Action, 0, sys.Program.NumActions())
+	for _, a := range sys.Program.Actions() {
+		if !strings.HasPrefix(a.Name, "activate.") {
+			actions = append(actions, a)
+			continue
+		}
+		var i, j int
+		if _, err := fmt.Sscanf(a.Name, "activate.%d.%d", &i, &j); err != nil {
+			t.Fatal(err)
+		}
+		target := activeVar(j)
+		actions = append(actions, guarded.Det(a.Name, a.Guard,
+			func(s state.State) state.State { return s.WithName(target, 1) }))
+	}
+	return guarded.MustProgram("broken", sys.Schema, actions...)
+}

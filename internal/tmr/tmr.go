@@ -1,0 +1,211 @@
+// Package tmr implements the paper's triple-modular-redundancy construction
+// (Section 6.1): a fault-intolerant input-output program IR, a detector DR
+// whose witness predicate gates IR (the sequential composition DR ; IR), and
+// a corrector CR, such that DR;IR is fail-safe tolerant to one input
+// corruption and DR;IR ‖ CR is the masking-tolerant TMR program.
+//
+// The model has three inputs x, y, z, an output out (⊥ until assigned), and
+// a ground-truth variable uncor holding the value of an uncorrupted input.
+// In the absence of faults all inputs equal uncor; the fault class corrupts
+// at most one input with an arbitrary value.
+package tmr
+
+import (
+	"fmt"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// System bundles the TMR programs, specification, predicates and fault
+// class.
+type System struct {
+	// V is the input value domain size (at least 2 so corruption can
+	// actually change a value).
+	V int
+
+	Schema *state.Schema
+
+	Intolerant *guarded.Program // IR
+	FailSafe   *guarded.Program // DR ; IR
+	Corrector  *guarded.Program // CR
+	Masking    *guarded.Program // DR;IR ‖ CR  — the TMR program
+
+	Spec spec.Problem // SPEC_io
+
+	// Witness is DR's witness predicate (x=y ∨ x=z); Detection is its
+	// detection predicate (x = uncor). OutCorrect is CR's correction and
+	// witness predicate (out = uncor).
+	Witness    state.Predicate
+	Detection  state.Predicate
+	OutCorrect state.Predicate
+
+	// S: no input corrupted; T: at most one input corrupted. Both also
+	// constrain out to ⊥ or the uncorrupted value (out is part of the
+	// program state the specification protects).
+	S, T state.Predicate
+
+	Faults fault.Class // corrupts at most one input
+}
+
+// New constructs the TMR system with v input values.
+func New(v int) (*System, error) {
+	if v < 2 {
+		return nil, fmt.Errorf("tmr: need at least 2 values for corruption to exist (got %d)", v)
+	}
+	sch, err := state.NewSchema(
+		state.IntVar("x", v),
+		state.IntVar("y", v),
+		state.IntVar("z", v),
+		state.IntVar("out", v+1), // 0 = ⊥, k+1 = value k
+		state.IntVar("uncor", v),
+	)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{V: v, Schema: sch}
+	sys.buildPredicates()
+	if err := sys.buildPrograms(); err != nil {
+		return nil, err
+	}
+	sys.buildSpec()
+	sys.buildFaults()
+	return sys, nil
+}
+
+// MustNew is New but panics on invalid arguments.
+func MustNew(v int) *System {
+	sys, err := New(v)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func corrupted(s state.State, in string) bool {
+	return s.GetName(in) != s.GetName("uncor")
+}
+
+func (sys *System) buildPredicates() {
+	sys.Witness = state.Pred("x=y ∨ x=z", func(s state.State) bool {
+		return s.GetName("x") == s.GetName("y") || s.GetName("x") == s.GetName("z")
+	})
+	sys.Detection = state.Pred("x=uncor", func(s state.State) bool {
+		return !corrupted(s, "x")
+	})
+	sys.OutCorrect = state.Pred("out=uncor", func(s state.State) bool {
+		return s.GetName("out") == s.GetName("uncor")+1
+	})
+	outOK := func(s state.State) bool {
+		o := s.GetName("out")
+		return o == 0 || o == s.GetName("uncor")+1
+	}
+	sys.S = state.Pred("S: no input corrupted", func(s state.State) bool {
+		return !corrupted(s, "x") && !corrupted(s, "y") && !corrupted(s, "z") && outOK(s)
+	})
+	sys.T = state.Pred("T: ≤1 input corrupted", func(s state.State) bool {
+		n := 0
+		for _, in := range []string{"x", "y", "z"} {
+			if corrupted(s, in) {
+				n++
+			}
+		}
+		return n <= 1 && outOK(s)
+	})
+}
+
+func (sys *System) buildPrograms() error {
+	outBot := state.Pred("out=⊥", func(s state.State) bool { return s.GetName("out") == 0 })
+	copyInput := func(name, in string, extra state.Predicate) guarded.Action {
+		return guarded.Det(name, state.And(outBot, extra), func(s state.State) state.State {
+			return s.WithName("out", s.GetName(in)+1)
+		})
+	}
+
+	// IR :: out = ⊥ --> out := x
+	ir, err := guarded.NewProgram("IR", sys.Schema, copyInput("IR1", "x", state.True))
+	if err != nil {
+		return err
+	}
+	sys.Intolerant = ir
+
+	// DR ; IR — IR restricted to execute only when DR's witness predicate
+	// (x=y ∨ x=z) holds.
+	drir, err := guarded.NewProgram("DR;IR", sys.Schema, copyInput("IR1", "x", sys.Witness))
+	if err != nil {
+		return err
+	}
+	sys.FailSafe = drir
+
+	// CR1 :: out=⊥ ∧ (y=z ∨ y=x) --> out := y
+	// CR2 :: out=⊥ ∧ (z=x ∨ z=y) --> out := z
+	yMaj := state.Pred("y=z ∨ y=x", func(s state.State) bool {
+		return s.GetName("y") == s.GetName("z") || s.GetName("y") == s.GetName("x")
+	})
+	zMaj := state.Pred("z=x ∨ z=y", func(s state.State) bool {
+		return s.GetName("z") == s.GetName("x") || s.GetName("z") == s.GetName("y")
+	})
+	cr, err := guarded.NewProgram("CR", sys.Schema,
+		copyInput("CR1", "y", yMaj),
+		copyInput("CR2", "z", zMaj),
+	)
+	if err != nil {
+		return err
+	}
+	sys.Corrector = cr
+
+	masking, err := guarded.Parallel("TMR", drir, cr)
+	if err != nil {
+		return err
+	}
+	sys.Masking = masking
+	return nil
+}
+
+func (sys *System) buildSpec() {
+	// SPEC_io: the output is only ever assigned the value of an
+	// uncorrupted input (safety), and is eventually assigned (liveness).
+	sys.Spec = spec.Problem{
+		Name: "SPEC_io",
+		Safety: spec.NeverStep("out never set to a corrupted value", func(from, to state.State) bool {
+			o0, o1 := from.GetName("out"), to.GetName("out")
+			if o0 == o1 {
+				return false
+			}
+			return o1 != to.GetName("uncor")+1
+		}),
+		Live: []spec.LeadsTo{{
+			Name: "out eventually assigned correctly",
+			P:    state.True,
+			Q:    sys.OutCorrect,
+		}},
+	}
+}
+
+func (sys *System) buildFaults() {
+	// One fault action per input: it may fire only while the other two
+	// inputs are uncorrupted, so at most one input is ever corrupted, and
+	// it sets the input to an arbitrary value.
+	mk := func(in string, others [2]string) guarded.Action {
+		return guarded.Choice("corrupt-"+in,
+			state.Pred(others[0]+","+others[1]+" uncorrupted", func(s state.State) bool {
+				return !corrupted(s, others[0]) && !corrupted(s, others[1])
+			}),
+			func(s state.State) []state.State {
+				i := s.Schema().MustIndexOf(in)
+				out := make([]state.State, 0, sys.V)
+				for k := 0; k < sys.V; k++ {
+					out = append(out, s.With(i, k))
+				}
+				return out
+			},
+		)
+	}
+	sys.Faults = fault.NewClass("one-input-corruption",
+		mk("x", [2]string{"y", "z"}),
+		mk("y", [2]string{"x", "z"}),
+		mk("z", [2]string{"x", "y"}),
+	)
+}

@@ -1,0 +1,181 @@
+package tmr
+
+import (
+	"testing"
+
+	"detcorr/internal/core"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sys
+}
+
+func TestIntolerantRefinesSpecFromS(t *testing.T) {
+	sys := newSys(t)
+	if err := sys.Spec.CheckRefinesFrom(sys.Intolerant, sys.S); err != nil {
+		t.Errorf("IR should refine SPEC_io from S: %v", err)
+	}
+}
+
+func TestIntolerantNotFailSafe(t *testing.T) {
+	sys := newSys(t)
+	if rep := fault.CheckFailSafe(sys.Intolerant, sys.Faults, sys.Spec, sys.S); rep.OK() {
+		t.Error("IR must not be fail-safe tolerant: it copies a corrupted x")
+	}
+}
+
+func TestFailSafeTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckFailSafe(sys.FailSafe, sys.Faults, sys.Spec, sys.S)
+	if !rep.OK() {
+		t.Errorf("DR;IR should be fail-safe one-input-corruption-tolerant: %v", rep.Err)
+	}
+}
+
+func TestFailSafeDeadlocksUnderXCorruption(t *testing.T) {
+	// The paper: "Program DR;IR deadlocks when the value of x gets
+	// corrupted" — so it is not masking tolerant.
+	sys := newSys(t)
+	if rep := fault.CheckMasking(sys.FailSafe, sys.Faults, sys.Spec, sys.S); rep.OK() {
+		t.Error("DR;IR must not be masking tolerant")
+	}
+}
+
+func TestMaskingTolerance(t *testing.T) {
+	sys := newSys(t)
+	rep := fault.CheckMasking(sys.Masking, sys.Faults, sys.Spec, sys.S)
+	if !rep.OK() {
+		t.Errorf("DR;IR ‖ CR should be masking one-input-corruption-tolerant: %v", rep.Err)
+	}
+}
+
+func TestStaticDetectorDR(t *testing.T) {
+	// The paper: "(x=y ∨ x=z) detects (x=uncor) in the program that merely
+	// evaluates the state predicate (x=y ∨ x=z) upon starting from the
+	// states where at most one input value is corrupted."
+	sys := newSys(t)
+	evalOnly := guarded.MustProgram("DR", sys.Schema) // no actions: pure evaluation
+	d := core.Detector{
+		Name: "DR",
+		D:    evalOnly,
+		Z:    sys.Witness,
+		X:    sys.Detection,
+		U:    sys.T,
+	}
+	if err := d.Check(); err != nil {
+		t.Errorf("(x=y ∨ x=z) detects (x=uncor) from T should hold: %v", err)
+	}
+}
+
+func TestWitnessUnsoundOutsideT(t *testing.T) {
+	// With two corrupted inputs the witness can hold while x is corrupted:
+	// Safeness fails from true — the detector is sound only within T.
+	sys := newSys(t)
+	evalOnly := guarded.MustProgram("DR", sys.Schema)
+	d := core.Detector{D: evalOnly, Z: sys.Witness, X: sys.Detection, U: state.True}
+	if err := d.Check(); err == nil {
+		t.Error("the DR witness must be unsound when two inputs can be corrupted")
+	}
+}
+
+func TestCorrectorCR(t *testing.T) {
+	// CR's correction and witness predicate are both out=uncor; within the
+	// full TMR program, out=uncor corrects out=uncor from T.
+	sys := newSys(t)
+	c := core.Corrector{
+		Name: "CR",
+		C:    sys.Masking,
+		Z:    sys.OutCorrect,
+		X:    sys.OutCorrect,
+		U:    sys.T,
+	}
+	if err := c.Check(); err != nil {
+		t.Errorf("out=uncor corrects out=uncor in TMR from T should hold: %v", err)
+	}
+}
+
+func TestTheorem3_6OnDRIR(t *testing.T) {
+	sys := newSys(t)
+	res := core.Theorem3_6(sys.Intolerant, sys.FailSafe, sys.Spec, sys.Faults, sys.S, sys.S)
+	if !res.OK() {
+		t.Fatalf("Theorem 3.6 instance (DR;IR): %v", res.Err)
+	}
+	if len(res.Detectors) != 1 {
+		t.Fatalf("expected one detector (one IR action), got %d", len(res.Detectors))
+	}
+	// The constructed witness Z is the refined guard out=⊥ ∧ (x=y ∨ x=z);
+	// wherever it holds with the witness X, the paper's detection predicate
+	// x=uncor must hold too on span states (Z ⇒ X ⇒ sf ⇒ safe copy).
+	d := res.Detectors[0]
+	err := sys.Schema.ForEachState(func(s state.State) bool {
+		if sys.T.Holds(s) && d.Z.Holds(s) && !sys.Detection.Holds(s) {
+			t.Errorf("refined guard holds at %s where x is corrupted", s)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem5_2OnTMR(t *testing.T) {
+	// Masking tolerance of TMR decomposes per Theorem 5.2: TMR refines
+	// SPEC_io from S, refines its safety part from T, and converges from T
+	// to the goal region; hence it refines SPEC_io from T.
+	sys := newSys(t)
+	goal := state.And(sys.T, sys.OutCorrect)
+	res := core.Theorem5_2(sys.Masking, sys.Spec, goal, sys.T)
+	if !res.OK() {
+		t.Fatalf("Theorem 5.2 instance (TMR): %v", res.Err)
+	}
+}
+
+func TestMaskingWithThreeValues(t *testing.T) {
+	sys, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := fault.CheckMasking(sys.Masking, sys.Faults, sys.Spec, sys.S); !rep.OK() {
+		t.Errorf("V=3: TMR should be masking tolerant: %v", rep.Err)
+	}
+	if rep := fault.CheckFailSafe(sys.FailSafe, sys.Faults, sys.Spec, sys.S); !rep.OK() {
+		t.Errorf("V=3: DR;IR should be fail-safe tolerant: %v", rep.Err)
+	}
+}
+
+func TestSpanIsWithinT(t *testing.T) {
+	sys := newSys(t)
+	span, err := fault.ComputeSpan(sys.Masking, sys.Faults, sys.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := false
+	span.Reachable.ForEach(func(id int) bool {
+		if !sys.T.Holds(span.Graph.State(id)) {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		t.Error("the fault span of S must stay within T (at most one corrupted input)")
+	}
+	if err := fault.CheckSpan(sys.Masking, sys.Faults, sys.S, sys.T); err != nil {
+		t.Errorf("T should be a valid F-span of TMR from S: %v", err)
+	}
+}
+
+func TestNewRejectsTrivialDomain(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+}

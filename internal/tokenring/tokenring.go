@@ -1,0 +1,250 @@
+// Package tokenring implements Dijkstra's K-state self-stabilizing token
+// ring (CACM 1974), the example whose compositional correctness proof the
+// paper reports mechanizing in PVS (Section 7). In the theory's terms the
+// ring is the canonical *nonmasking* design: transient faults may corrupt
+// the counters arbitrarily, and the program itself is a corrector for the
+// legitimacy predicate "exactly one process holds the token" — the paper's
+// 'Z corrects X' with Z = X = the legitimate-states predicate.
+//
+// The ring has n processes with counters x.0..x.(n-1) over 0..K-1, K ≥ n:
+//
+//	bottom (process 0):  x.0 = x.(n-1)      --> x.0 := x.0 + 1 mod K
+//	other  (process i):  x.i ≠ x.(i-1)      --> x.i := x.(i-1)
+//
+// Process 0 holds a token iff x.0 = x.(n-1); process i > 0 holds one iff
+// x.i ≠ x.(i-1).
+package tokenring
+
+import (
+	"fmt"
+
+	"detcorr/internal/core"
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// System is a K-state token ring over n processes.
+type System struct {
+	N, K   int
+	Schema *state.Schema
+
+	Ring *guarded.Program
+
+	// Legitimate is the predicate "exactly one process holds a token";
+	// it is both the correction predicate and the witness of the ring seen
+	// as a corrector.
+	Legitimate state.Predicate
+
+	// Spec: safety — in legitimate states, a step never creates a second
+	// token; liveness — the token circulates (every process is eventually
+	// privileged). Problem is stated for computations within Legitimate.
+	Spec spec.Problem
+
+	// Corruption is the transient fault class: any single counter is set to
+	// an arbitrary value.
+	Corruption fault.Class
+}
+
+// New constructs a ring of n processes with K counter states. Dijkstra's
+// theorem requires K ≥ n for stabilization.
+func New(n, k int) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("tokenring: need at least 2 processes (got %d)", n)
+	}
+	if k < n {
+		return nil, fmt.Errorf("tokenring: need K ≥ n for stabilization (K=%d, n=%d)", k, n)
+	}
+	vars := make([]state.Var, n)
+	for i := 0; i < n; i++ {
+		vars[i] = state.IntVar(xvar(i), k)
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{N: n, K: k, Schema: sch}
+	sys.build()
+	return sys, nil
+}
+
+// NewUnchecked builds a ring without the K ≥ n stabilization guard, so the
+// necessity of the bound can be demonstrated (experiment E9 probes K = n-2,
+// which admits a non-converging execution).
+func NewUnchecked(n, k int) (*System, error) {
+	if n < 2 || k < 2 {
+		return nil, fmt.Errorf("tokenring: need n ≥ 2 and K ≥ 2 (n=%d, K=%d)", n, k)
+	}
+	vars := make([]state.Var, n)
+	for i := 0; i < n; i++ {
+		vars[i] = state.IntVar(xvar(i), k)
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{N: n, K: k, Schema: sch}
+	sys.build()
+	return sys, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(n, k int) *System {
+	sys, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+func xvar(i int) string { return fmt.Sprintf("x.%d", i) }
+
+// HasToken reports whether process i is privileged in state s.
+func (sys *System) HasToken(s state.State, i int) bool {
+	if i == 0 {
+		return s.Get(0) == s.Get(sys.N-1)
+	}
+	return s.Get(i) != s.Get(i-1)
+}
+
+// TokenCount returns the number of privileged processes in state s.
+func (sys *System) TokenCount(s state.State) int {
+	n := 0
+	for i := 0; i < sys.N; i++ {
+		if sys.HasToken(s, i) {
+			n++
+		}
+	}
+	return n
+}
+
+func (sys *System) build() {
+	n, k := sys.N, sys.K
+	actions := make([]guarded.Action, n)
+	actions[0] = guarded.Det("move.0",
+		state.Pred("x.0=x.last", func(s state.State) bool { return s.Get(0) == s.Get(n-1) }),
+		func(s state.State) state.State { return s.With(0, (s.Get(0)+1)%k) },
+	)
+	for i := 1; i < n; i++ {
+		i := i
+		actions[i] = guarded.Det(fmt.Sprintf("move.%d", i),
+			state.Pred(fmt.Sprintf("x.%d≠x.%d", i, i-1), func(s state.State) bool {
+				return s.Get(i) != s.Get(i-1)
+			}),
+			func(s state.State) state.State { return s.With(i, s.Get(i-1)) },
+		)
+	}
+	sys.Ring = guarded.MustProgram(fmt.Sprintf("ring(n=%d,K=%d)", n, k), sys.Schema, actions...)
+
+	sys.Legitimate = state.Pred("exactly one token", func(s state.State) bool {
+		return sys.TokenCount(s) == 1
+	})
+
+	live := make([]spec.LeadsTo, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		live = append(live, spec.LeadsTo{
+			Name: fmt.Sprintf("process %d eventually privileged", i),
+			P:    state.True,
+			Q:    state.Pred(fmt.Sprintf("token at %d", i), func(s state.State) bool { return sys.HasToken(s, i) }),
+		})
+	}
+	sys.Spec = spec.Problem{
+		Name: "SPEC_ring",
+		Safety: spec.NeverStep("never more than one token (from legitimate states)", func(from, to state.State) bool {
+			return sys.TokenCount(from) == 1 && sys.TokenCount(to) != 1
+		}),
+		Live: live,
+	}
+
+	faults := make([]guarded.Action, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		faults = append(faults, guarded.Choice(fmt.Sprintf("corrupt.%d", i), state.True,
+			func(s state.State) []state.State {
+				out := make([]state.State, 0, k)
+				for v := 0; v < k; v++ {
+					out = append(out, s.With(i, v))
+				}
+				return out
+			},
+		))
+	}
+	sys.Corruption = fault.NewClass("counter-corruption", faults...)
+}
+
+// AsCorrector returns the ring viewed as the theory's corrector component:
+// Legitimate corrects Legitimate from any state (U = true) — the special
+// case Z = X of 'Z corrects X' that the paper notes reduces to Arora &
+// Gouda's closure-and-convergence. Checking it validates Dijkstra's
+// stabilization theorem via the corrector conditions: Convergence is
+// exactly self-stabilization.
+func (sys *System) AsCorrector() core.Corrector {
+	return core.Corrector{
+		Name: sys.Ring.Name(),
+		C:    sys.Ring,
+		Z:    sys.Legitimate,
+		X:    sys.Legitimate,
+		U:    state.True,
+	}
+}
+
+// ConvergenceSteps returns, for every state of the ring, the worst-case
+// number of steps (over demonic scheduling among enabled moves) needed to
+// reach a legitimate state, as a histogram indexed by distance; index 0
+// counts the legitimate states themselves. It quantifies the recovery time
+// the nonmasking design pays.
+func (sys *System) ConvergenceSteps() ([]int, error) {
+	g, err := explore.Build(sys.Ring, state.True, explore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Worst-case distance: value iteration of d(s) = 1 + max over enabled
+	// transitions of d(s'), with d = 0 on legitimate states. Because the
+	// ring converges, the iteration reaches a fixpoint.
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NumNodes())
+	for id := range dist {
+		if sys.Legitimate.Holds(g.State(id)) {
+			dist[id] = 0
+		} else {
+			dist[id] = inf
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for id := 0; id < g.NumNodes(); id++ {
+			if dist[id] == 0 {
+				continue
+			}
+			worst := 0
+			ok := true
+			for _, e := range g.Out(id) {
+				if dist[e.To] == inf {
+					ok = false
+					break
+				}
+				if dist[e.To] > worst {
+					worst = dist[e.To]
+				}
+			}
+			if ok && len(g.Out(id)) > 0 && worst+1 < dist[id] {
+				dist[id] = worst + 1
+				changed = true
+			}
+		}
+	}
+	var hist []int
+	for _, d := range dist {
+		if d == inf {
+			return nil, fmt.Errorf("tokenring: some state does not converge")
+		}
+		for len(hist) <= d {
+			hist = append(hist, 0)
+		}
+		hist[d]++
+	}
+	return hist, nil
+}

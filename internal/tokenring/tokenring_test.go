@@ -1,0 +1,184 @@
+package tokenring
+
+import (
+	"testing"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+func TestRingIsCorrector(t *testing.T) {
+	// Dijkstra's theorem as a corrector check: for K ≥ n the ring refines
+	// 'Legitimate corrects Legitimate' from true.
+	for _, tc := range []struct{ n, k int }{{2, 2}, {3, 3}, {3, 4}, {4, 4}, {4, 5}} {
+		sys, err := New(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AsCorrector().Check(); err != nil {
+			t.Errorf("ring(n=%d,K=%d) should be a corrector: %v", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestLegitimateClosedAndConverges(t *testing.T) {
+	sys := MustNew(3, 3)
+	if err := spec.CheckClosed(sys.Ring, sys.Legitimate); err != nil {
+		t.Errorf("legitimate states should be closed: %v", err)
+	}
+	if err := spec.CheckConverges(sys.Ring, state.True, sys.Legitimate); err != nil {
+		t.Errorf("ring should converge to legitimate states: %v", err)
+	}
+}
+
+func TestRingRefinesSpecFromLegitimate(t *testing.T) {
+	sys := MustNew(3, 3)
+	if err := sys.Spec.CheckRefinesFrom(sys.Ring, sys.Legitimate); err != nil {
+		t.Errorf("ring should refine SPEC_ring from legitimate states: %v", err)
+	}
+}
+
+func TestNonmaskingUnderCorruption(t *testing.T) {
+	sys := MustNew(3, 3)
+	rep := fault.CheckNonmasking(sys.Ring, sys.Corruption, sys.Spec, state.True, sys.Legitimate)
+	if !rep.OK() {
+		t.Errorf("ring should be nonmasking tolerant to counter corruption: %v", rep.Err)
+	}
+}
+
+func TestRingIsNotFailSafe(t *testing.T) {
+	// Corruption can create a second token, which a later step removes —
+	// transiently violating the one-token safety property, so the ring is
+	// only nonmasking, not fail-safe (nor masking), tolerant.
+	sys := MustNew(3, 3)
+	if rep := fault.CheckFailSafe(sys.Ring, sys.Corruption, sys.Spec, sys.Legitimate); rep.OK() {
+		t.Error("ring must not be fail-safe tolerant to corruption")
+	}
+}
+
+func TestTokenCountInvariants(t *testing.T) {
+	// In any state there is at least one token (the classic pigeonhole
+	// argument: if every i > 0 has x.i = x.(i-1) then x.(n-1) = x.0, so
+	// process 0 is privileged).
+	sys := MustNew(3, 4)
+	err := sys.Schema.ForEachState(func(s state.State) bool {
+		if sys.TokenCount(s) == 0 {
+			t.Errorf("state %s has no token", s)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceHistogram(t *testing.T) {
+	sys := MustNew(3, 3)
+	hist, err := sys.ConvergenceSteps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if want := 3 * 3 * 3; total != want {
+		t.Errorf("histogram covers %d states; want %d", total, want)
+	}
+	legit := 0
+	err = sys.Schema.ForEachState(func(s state.State) bool {
+		if sys.Legitimate.Holds(s) {
+			legit++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[0] != legit {
+		t.Errorf("distance-0 count %d; want %d legitimate states", hist[0], legit)
+	}
+	if len(hist) < 2 {
+		t.Error("expected some states at positive convergence distance")
+	}
+}
+
+func TestKBelowNRejected(t *testing.T) {
+	if _, err := New(4, 3); err == nil {
+		t.Error("K < n must be rejected")
+	}
+	if _, err := New(1, 3); err == nil {
+		t.Error("n < 2 must be rejected")
+	}
+}
+
+func TestStabilizationBound(t *testing.T) {
+	// Dijkstra proved K ≥ n sufficient; the tight bound is K ≥ n-1. The
+	// checker reproduces it: with n=4, K=2 (= n-2) there is a
+	// non-converging execution — a cycle among illegitimate states — while
+	// K = n-1 eliminates every illegitimate cycle.
+	low := mustRawRing(t, 4, 2)
+	g, err := explore.Build(low.Ring, state.True, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegit := g.SetOf(state.Not(low.Legitimate))
+	found := false
+	for _, comp := range g.SCCs(illegit) {
+		member := explore.NewBitset(g.NumNodes())
+		for _, v := range comp {
+			member.Add(v)
+		}
+		for _, v := range comp {
+			for _, e := range g.Out(v) {
+				if member.Has(e.To) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("ring(n=4,K=2) should admit a non-converging cycle")
+	}
+	// With K = n-1 no illegitimate cycle exists at all: convergence holds
+	// even for the unfair demon.
+	good := mustRawRing(t, 4, 3)
+	gg, err := explore.Build(good.Ring, state.True, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := gg.SetOf(state.Not(good.Legitimate))
+	for _, comp := range gg.SCCs(bad) {
+		member := explore.NewBitset(gg.NumNodes())
+		for _, v := range comp {
+			member.Add(v)
+		}
+		for _, v := range comp {
+			for _, e := range gg.Out(v) {
+				if member.Has(e.To) {
+					t.Fatalf("ring(n=4,K=3) has an illegitimate cycle at %s", gg.State(v))
+				}
+			}
+		}
+	}
+}
+
+// mustRawRing builds a ring without the K ≥ n validation, for negative
+// tests.
+func mustRawRing(t *testing.T, n, k int) *System {
+	t.Helper()
+	vars := make([]state.Var, n)
+	for i := 0; i < n; i++ {
+		vars[i] = state.IntVar(xvar(i), k)
+	}
+	sch, err := state.NewSchema(vars...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &System{N: n, K: k, Schema: sch}
+	sys.build()
+	return sys
+}
