@@ -1,0 +1,29 @@
+GO ?= go
+GCL_FILES := $(wildcard cmd/dctl/testdata/*.gcl)
+
+.PHONY: check build vet test race lint bench clean
+
+# The full local gate: everything CI would run.
+check: build vet test race lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# dclint over every shipped GCL program; fails on error-severity findings.
+lint:
+	$(GO) run ./cmd/dctl lint $(GCL_FILES)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	rm -f dctl dcbench

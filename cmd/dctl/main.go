@@ -6,6 +6,13 @@
 //	dctl info <file.gcl>
 //	    Print the program's schema, actions, faults and predicates.
 //
+//	dctl lint [-json] <file.gcl>...
+//	    Run the dclint static analyzers (dead guards, domain overflow,
+//	    unused declarations, write-write conflicts, vacuous predicates,
+//	    fault hygiene) without exploring the state space. Exits non-zero
+//	    only on error-severity findings. The analyzers also run
+//	    automatically before every other command that loads a file.
+//
 //	dctl check <file.gcl> -kind failsafe|nonmasking|masking -invariant S
 //	    [-recovery R] [-goal P] [-never P]
 //	    Decide F-tolerance of the program for the specification "never a
@@ -24,16 +31,71 @@
 //	dctl simulate <file.gcl> -init "a=1,b=2" [-steps N] [-seed S]
 //	    [-faults K] [-goal P] [-never P] [-trace]
 //	    Run one seeded simulation with fault injection and online monitors.
+//
+// Diagnostics go to stderr; results go to stdout. Exit codes distinguish
+// failure classes: 0 success; 1 a check, monitor, or lint run found a
+// violation; 2 usage error; 3 the GCL source failed to parse or compile.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
+
+	"detcorr/internal/gcl"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dctl:", err)
-		os.Exit(1)
+// Process exit codes.
+const (
+	exitOK    = 0
+	exitFail  = 1 // a check, simulation monitor, or lint run found a violation
+	exitUsage = 2 // bad command line
+	exitParse = 3 // the GCL source failed to parse or compile
+)
+
+// exitError carries a specific process exit code through the error chain.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+// withCode tags err with an exit code; nil stays nil.
+func withCode(code int, err error) error {
+	if err == nil {
+		return nil
 	}
+	return &exitError{code: code, err: err}
+}
+
+func usageErrorf(format string, args ...any) error {
+	return withCode(exitUsage, fmt.Errorf(format, args...))
+}
+
+// exitCode classifies an error from run into a process exit code: tagged
+// errors keep their code, untagged GCL syntax errors are parse failures,
+// and everything else is a failed check.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	var se *gcl.SyntaxError
+	if errors.As(err, &se) {
+		return exitParse
+	}
+	return exitFail
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dctl:", err)
+	}
+	os.Exit(exitCode(err))
 }

@@ -17,39 +17,54 @@ import (
 	"detcorr/internal/state"
 )
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: dctl <info|check|detects|corrects|simulate> <file.gcl> [flags]")
+		return usageErrorf("usage: dctl <info|lint|check|detects|corrects|simulate> <file.gcl> [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
 	case "info":
-		return runInfo(args[1:], out)
+		return runInfo(args[1:], out, errOut)
+	case "lint":
+		return runLint(args[1:], out)
 	case "check":
-		return runCheck(args[1:], out)
+		return runCheck(args[1:], out, errOut)
 	case "detects", "corrects":
-		return runComponent(cmd, args[1:], out)
+		return runComponent(cmd, args[1:], out, errOut)
 	case "simulate":
-		return runSimulate(args[1:], out)
+		return runSimulate(args[1:], out, errOut)
 	default:
-		return fmt.Errorf("unknown command %q (want info, check, detects, corrects, or simulate)", cmd)
+		return usageErrorf("unknown command %q (want info, lint, check, detects, corrects, or simulate)", cmd)
 	}
 }
 
 // loadFile compiles the GCL source at the path given as the flag set's
-// first positional argument.
-func loadFile(fs *flag.FlagSet, args []string) (*gcl.File, error) {
+// first positional argument. The dclint analyzers run on every loaded
+// file before it is compiled: warnings go to errOut, error-severity
+// findings abort the command.
+func loadFile(fs *flag.FlagSet, args []string, errOut io.Writer) (*gcl.File, error) {
 	if err := fs.Parse(argsAfterFile(args)); err != nil {
-		return nil, err
+		return nil, withCode(exitUsage, err)
 	}
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return nil, errors.New("missing <file.gcl> argument")
+		return nil, usageErrorf("missing <file.gcl> argument")
 	}
 	src, err := os.ReadFile(args[0])
 	if err != nil {
+		return nil, usageErrorf("%v", err)
+	}
+	ast, err := gcl.Parse(string(src))
+	if err != nil {
+		return nil, withCode(exitParse, err)
+	}
+	if err := lintBeforeRun(args[0], string(src), ast, errOut); err != nil {
 		return nil, err
 	}
-	return gcl.ParseAndCompile(string(src))
+	f, err := gcl.Compile(ast)
+	if err != nil {
+		return nil, withCode(exitParse, err)
+	}
+	return f, nil
 }
 
 // argsAfterFile drops the leading positional file argument so flags can
@@ -68,14 +83,14 @@ func predOf(f *gcl.File, name, flagName string) (state.Predicate, error) {
 	}
 	p, ok := f.Pred(name)
 	if !ok {
-		return state.Predicate{}, fmt.Errorf("-%s: no predicate %q declared in the file", flagName, name)
+		return state.Predicate{}, usageErrorf("-%s: no predicate %q declared in the file", flagName, name)
 	}
 	return p, nil
 }
 
-func runInfo(args []string, out io.Writer) error {
+func runInfo(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
-	f, err := loadFile(fs, args)
+	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
@@ -123,18 +138,18 @@ func parseKind(s string) (fault.Kind, error) {
 	case "masking":
 		return fault.Masking, nil
 	default:
-		return 0, fmt.Errorf("unknown tolerance kind %q (want failsafe, nonmasking, or masking)", s)
+		return 0, usageErrorf("unknown tolerance kind %q (want failsafe, nonmasking, or masking)", s)
 	}
 }
 
-func runCheck(args []string, out io.Writer) error {
+func runCheck(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	kindFlag := fs.String("kind", "masking", "tolerance kind: failsafe, nonmasking, masking")
 	invFlag := fs.String("invariant", "", "invariant predicate S (required)")
 	recFlag := fs.String("recovery", "", "recovery predicate R for nonmasking (default: the invariant)")
 	goalFlag := fs.String("goal", "", "liveness goal predicate (eventually goal)")
 	neverFlag := fs.String("never", "", "safety predicate: states satisfying it are forbidden")
-	f, err := loadFile(fs, args)
+	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
@@ -143,7 +158,7 @@ func runCheck(args []string, out io.Writer) error {
 		return err
 	}
 	if *invFlag == "" {
-		return errors.New("-invariant is required")
+		return usageErrorf("-invariant is required")
 	}
 	inv, err := predOf(f, *invFlag, "invariant")
 	if err != nil {
@@ -186,18 +201,18 @@ func buildProblem(f *gcl.File, goal, never string) (spec.Problem, error) {
 	return prob, nil
 }
 
-func runComponent(cmd string, args []string, out io.Writer) error {
+func runComponent(cmd string, args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	zFlag := fs.String("z", "", "witness predicate Z (required)")
 	xFlag := fs.String("x", "", "detection/correction predicate X (required)")
 	fromFlag := fs.String("from", "", "predicate U the relation is refined from (default true)")
 	tolFlag := fs.String("tolerant", "", "also check as an F-tolerant component: failsafe, nonmasking, or masking")
-	f, err := loadFile(fs, args)
+	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
 	if *zFlag == "" || *xFlag == "" {
-		return errors.New("-z and -x are required")
+		return usageErrorf("-z and -x are required")
 	}
 	z, err := predOf(f, *zFlag, "z")
 	if err != nil {
@@ -244,7 +259,7 @@ func runComponent(cmd string, args []string, out io.Writer) error {
 	return nil
 }
 
-func runSimulate(args []string, out io.Writer) error {
+func runSimulate(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	initFlag := fs.String("init", "", "initial state, e.g. \"present=1,val=0\" (missing variables are 0)")
 	stepsFlag := fs.Int("steps", 100, "maximum steps")
@@ -253,7 +268,7 @@ func runSimulate(args []string, out io.Writer) error {
 	goalFlag := fs.String("goal", "", "eventually-goal monitor predicate")
 	neverFlag := fs.String("never", "", "never-state monitor predicate")
 	traceFlag := fs.Bool("trace", false, "print the visited states")
-	f, err := loadFile(fs, args)
+	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}

@@ -1,28 +1,43 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"detcorr/internal/lint"
 )
 
 const file = "testdata/memaccess.gcl"
 
 func runOK(t *testing.T, args ...string) string {
 	t.Helper()
-	var out strings.Builder
-	if err := run(args, &out); err != nil {
-		t.Fatalf("dctl %v: %v\noutput:\n%s", args, err, out.String())
+	var out, errOut strings.Builder
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("dctl %v: %v\noutput:\n%s%s", args, err, out.String(), errOut.String())
 	}
 	return out.String()
 }
 
 func runErr(t *testing.T, args ...string) string {
 	t.Helper()
-	var out strings.Builder
-	if err := run(args, &out); err == nil {
-		t.Fatalf("dctl %v should fail\noutput:\n%s", args, out.String())
+	var out, errOut strings.Builder
+	if err := run(args, &out, &errOut); err == nil {
+		t.Fatalf("dctl %v should fail\noutput:\n%s%s", args, out.String(), errOut.String())
 	}
 	return out.String()
+}
+
+// runCode runs dctl and returns the process exit code it would produce,
+// plus stdout and stderr.
+func runCode(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	err := run(args, &out, &errOut)
+	return exitCode(err), out.String(), errOut.String()
 }
 
 func TestInfo(t *testing.T) {
@@ -125,4 +140,156 @@ func TestUsageErrors(t *testing.T) {
 	runErr(t, "info", "testdata/does-not-exist.gcl")
 	runErr(t, "detects", file, "-z", "Z1p") // missing -x
 	runErr(t, "check", file, "-kind", "bogus", "-invariant", "S")
+}
+
+// writeGCL drops src into a temp file and returns its path.
+func writeGCL(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.gcl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExitCodes(t *testing.T) {
+	bad := writeGCL(t, "program p\nvar x : 0..2\naction a :: x < ; -> x := 0\n")
+	overflow := writeGCL(t, "program p\nvar x : 0..2\naction a :: true -> x := 9\n")
+
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{"info", file}, exitOK},
+		{"check failure", []string{"detects", file, "-z", "Z1p", "-x", "DataCorrect", "-from", "U1"}, exitFail},
+		{"lint error finding", []string{"info", overflow}, exitFail},
+		{"usage no args", nil, exitUsage},
+		{"usage unknown command", []string{"bogus", file}, exitUsage},
+		{"usage missing file", []string{"info"}, exitUsage},
+		{"usage missing flags", []string{"detects", file, "-z", "Z1p"}, exitUsage},
+		{"usage bad kind", []string{"check", file, "-kind", "bogus", "-invariant", "S"}, exitUsage},
+		{"usage unknown predicate", []string{"check", file, "-kind", "masking", "-invariant", "Nope"}, exitUsage},
+		{"usage missing file on disk", []string{"info", "testdata/does-not-exist.gcl"}, exitUsage},
+		{"parse error", []string{"info", bad}, exitParse},
+		{"lint parse error", []string{"lint", bad}, exitFail},
+	}
+	for _, tt := range tests {
+		code, _, _ := runCode(t, tt.args...)
+		if code != tt.want {
+			t.Errorf("%s: dctl %v: exit code = %d, want %d", tt.name, tt.args, code, tt.want)
+		}
+	}
+}
+
+func TestExitCodeClassifier(t *testing.T) {
+	if got := exitCode(nil); got != exitOK {
+		t.Errorf("exitCode(nil) = %d", got)
+	}
+	if got := exitCode(errors.New("check failed")); got != exitFail {
+		t.Errorf("exitCode(plain) = %d, want %d", got, exitFail)
+	}
+	if got := exitCode(withCode(exitParse, errors.New("x"))); got != exitParse {
+		t.Errorf("exitCode(withCode) = %d, want %d", got, exitParse)
+	}
+}
+
+func TestLintCommand(t *testing.T) {
+	// Shipped examples must be lint-clean at warning severity and above.
+	code, out, _ := runCode(t, "lint", file, "testdata/ring3.gcl")
+	if code != exitOK {
+		t.Fatalf("lint over shipped testdata: exit %d\n%s", code, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.Contains(line, "info:") {
+			t.Errorf("shipped testdata should only have info findings, got: %s", line)
+		}
+	}
+
+	dead := writeGCL(t, "program p\nvar x : 0..3\npred P :: x > 0\naction a :: x > 5 -> x := 0\naction b :: P -> x := 1\n")
+	code, out, _ = runCode(t, "lint", dead)
+	if code != exitOK {
+		t.Fatalf("warnings alone must not fail lint: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "DC001") {
+		t.Errorf("lint should report the dead guard:\n%s", out)
+	}
+
+	overflow := writeGCL(t, "program p\nvar x : 0..2\naction a :: true -> x := 9\n")
+	code, out, _ = runCode(t, "lint", overflow)
+	if code != exitFail {
+		t.Fatalf("error findings must fail lint: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "DC002") {
+		t.Errorf("lint should report the overflow:\n%s", out)
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	dead := writeGCL(t, "program p\nvar x : 0..3\npred P :: x > 0\naction a :: x > 5 -> x := 0\naction b :: P -> x := 1\n")
+	code, out, _ := runCode(t, "lint", "-json", dead)
+	if code != exitOK {
+		t.Fatalf("lint -json: exit %d\n%s", code, out)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("lint -json output is not valid JSON: %v\n%s", err, out)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == lint.CodeDeadGuard && d.Severity == lint.Warning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint -json should include a DC001 warning: %v", diags)
+	}
+
+	// A clean file must still emit a JSON array, not null.
+	clean := writeGCL(t, "program p\nvar x : 0..2\npred All :: x >= 0 & x <= 2\naction a :: x < 2 -> x := x + 1\nfault f :: true -> x := ?\n")
+	_, out, _ = runCode(t, "lint", "-json", clean)
+	if strings.TrimSpace(out) == "null" {
+		t.Errorf("lint -json on a clean file should print [], got null")
+	}
+}
+
+func TestLintUsage(t *testing.T) {
+	code, _, _ := runCode(t, "lint")
+	if code != exitUsage {
+		t.Errorf("lint with no files: exit %d, want %d", code, exitUsage)
+	}
+	code, _, _ = runCode(t, "lint", "testdata/does-not-exist.gcl")
+	if code != exitUsage {
+		t.Errorf("lint on a missing file: exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestAutoLintBeforeRun(t *testing.T) {
+	// Warnings from the pre-run lint pass land on stderr and do not fail the
+	// command; stdout stays reserved for results.
+	src := "program p\nvar x : 0..3\nvar ghost : bool\npred Inv :: x >= 0\naction a :: x > 5 -> x := 0\naction b :: x < 3 -> x := x + 1\n"
+	path := writeGCL(t, src)
+	code, out, errOut := runCode(t, "check", path, "-kind", "nonmasking", "-invariant", "Inv", "-goal", "Inv")
+	if code != exitOK {
+		t.Fatalf("check with lint warnings should still run: exit %d\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "DC001") || !strings.Contains(errOut, "DC003") {
+		t.Errorf("lint warnings should appear on stderr:\n%s", errOut)
+	}
+	if strings.Contains(out, "DC001") {
+		t.Errorf("lint warnings must not pollute stdout:\n%s", out)
+	}
+
+	// Error-severity findings abort before any state exploration.
+	bad := writeGCL(t, "program p\nvar x : 0..2\npred Inv :: x >= 0\naction a :: true -> x := 9\n")
+	code, _, errOut = runCode(t, "check", bad, "-kind", "nonmasking", "-invariant", "Inv", "-goal", "Inv")
+	if code != exitFail {
+		t.Errorf("check on a file with lint errors: exit %d, want %d", code, exitFail)
+	}
+	if !strings.Contains(errOut, "DC002") {
+		t.Errorf("the aborting finding should be on stderr:\n%s", errOut)
+	}
 }

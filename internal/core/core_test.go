@@ -267,3 +267,25 @@ func asCondition(err error, target **core.ConditionError) bool {
 	}
 	return ok
 }
+
+func TestPrevalidateRejectsBadWrites(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	bad := guarded.Action{
+		Name:   "miswired",
+		Guard:  state.True,
+		Next:   func(s state.State) []state.State { return []state.State{s} },
+		Writes: []string{"no-such-var"},
+	}
+	prog, err := guarded.NewProgram("bad", sys.BaseSchema, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.AddNonmasking(prog, sys.PageFaultBase, sys.S, nil); err == nil {
+		t.Fatal("AddNonmasking should reject an action declaring a write to an unknown variable")
+	} else if !strings.Contains(err.Error(), "no-such-var") {
+		t.Errorf("error should name the unknown variable: %v", err)
+	}
+	if _, _, err := core.SynthesizeCorrector("c", sys.BaseSchema, state.True, sys.S, []guarded.Action{bad}); err == nil {
+		t.Fatal("SynthesizeCorrector should reject a miswired recovery template")
+	}
+}

@@ -6,9 +6,22 @@ import (
 	"detcorr/internal/explore"
 	"detcorr/internal/fault"
 	"detcorr/internal/guarded"
+	"detcorr/internal/lint"
 	"detcorr/internal/spec"
 	"detcorr/internal/state"
 )
+
+// prevalidate runs the dclint structural checks on a program before a
+// synthesis step commits to exploring it; error-severity findings (e.g. a
+// recovery template declaring a write to a variable missing from the
+// schema) abort early with a precise message instead of a downstream
+// panic or a silently vacuous result.
+func prevalidate(what string, p *guarded.Program) error {
+	if err := lint.Errors(lint.Check(p)); err != nil {
+		return fmt.Errorf("core: %s: %w", what, err)
+	}
+	return nil
+}
 
 // This file implements the constructive side of the theory: the paper's
 // introduction (and its reference [4], "Component based design of
@@ -107,6 +120,9 @@ func SynthesizeCorrector(name string, sch *state.Schema, within, target state.Pr
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := prevalidate("recovery program", recovery); err != nil {
+		return nil, nil, err
+	}
 	rank, err := ComputeRanking(recovery, within, target)
 	if err != nil {
 		return nil, nil, err
@@ -168,6 +184,9 @@ func SynthesizeCorrector(name string, sch *state.Schema, within, target state.Pr
 // and the corrector is composed in parallel with p. The result is the shape
 // of the paper's pn (Section 4.3): intolerant actions plus a corrector.
 func AddNonmasking(p *guarded.Program, f fault.Class, s state.Predicate, templates []guarded.Action) (*guarded.Program, error) {
+	if err := prevalidate("intolerant program", p); err != nil {
+		return nil, err
+	}
 	span, err := fault.ComputeSpan(p, f, s)
 	if err != nil {
 		return nil, err
@@ -187,6 +206,9 @@ func AddNonmasking(p *guarded.Program, f fault.Class, s state.Predicate, templat
 // verify the result with fault.CheckMasking; the transformation itself
 // cannot guarantee liveness if the detectors disable every path to the goal.
 func AddMasking(p *guarded.Program, f fault.Class, prob spec.Problem, s state.Predicate, templates []guarded.Action) (*guarded.Program, error) {
+	if err := prevalidate("intolerant program", p); err != nil {
+		return nil, err
+	}
 	span, err := fault.ComputeSpan(p, f, s)
 	if err != nil {
 		return nil, err

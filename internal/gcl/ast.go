@@ -2,6 +2,15 @@ package gcl
 
 // AST node definitions for the guarded-command language.
 
+// Pos is a 1-based line/column source position. The zero Pos means the
+// position is unknown (hand-built AST nodes).
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position was set by the parser.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
 // FileAST is a parsed source file.
 type FileAST struct {
 	Name    string
@@ -15,7 +24,7 @@ type FileAST struct {
 type VarDecl struct {
 	Name string
 	Type TypeExpr
-	Line int
+	At   Pos
 }
 
 // TypeKind enumerates the declared domain shapes.
@@ -33,14 +42,15 @@ type TypeExpr struct {
 	Kind   TypeKind
 	Lo, Hi int      // TypeRange
 	Names  []string // TypeEnum
+	At     Pos
 }
 
 // PredDecl names a boolean expression for use as invariant/specification
-// predicate.
+// predicate. Predicates may reference previously declared predicates.
 type PredDecl struct {
 	Name string
 	Expr Expr
-	Line int
+	At   Pos
 }
 
 // ActionDecl is a guarded command: Name :: Guard -> Assignments.
@@ -48,42 +58,53 @@ type ActionDecl struct {
 	Name    string
 	Guard   Expr
 	Assigns []Assign // empty means skip
-	Line    int
+	At      Pos
 }
 
 // Assign is one simultaneous assignment target.
 type Assign struct {
 	Var  string
 	Expr Expr // nil means '?': any value of the variable's domain
-	Line int
+	At   Pos
 }
 
-// Expr is an expression node.
-type Expr interface{ exprNode() }
+// Expr is an expression node. Every node records the position of its
+// principal token so diagnostics can point at exact source locations.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
 
 // BoolLit is true/false.
-type BoolLit struct{ Value bool }
+type BoolLit struct {
+	Value bool
+	At    Pos
+}
 
 // IntLit is a numeric literal.
-type IntLit struct{ Value int }
+type IntLit struct {
+	Value int
+	At    Pos
+}
 
-// Ref names a variable or an enum value.
+// Ref names a variable, an enum value, or a previously declared predicate.
 type Ref struct {
-	Name      string
-	Line, Col int
+	Name string
+	At   Pos
 }
 
 // Unary applies !, or unary minus.
 type Unary struct {
 	Op Kind
 	X  Expr
+	At Pos
 }
 
-// Binary applies a binary operator.
+// Binary applies a binary operator; At is the operator's position.
 type Binary struct {
-	Op        Kind
-	L, R      Expr
-	Line, Col int
+	Op   Kind
+	L, R Expr
+	At   Pos
 }
 
 func (*BoolLit) exprNode() {}
@@ -91,3 +112,18 @@ func (*IntLit) exprNode()  {}
 func (*Ref) exprNode()     {}
 func (*Unary) exprNode()   {}
 func (*Binary) exprNode()  {}
+
+// Position returns the node's source position.
+func (n *BoolLit) Position() Pos { return n.At }
+
+// Position returns the node's source position.
+func (n *IntLit) Position() Pos { return n.At }
+
+// Position returns the node's source position.
+func (n *Ref) Position() Pos { return n.At }
+
+// Position returns the node's source position.
+func (n *Unary) Position() Pos { return n.At }
+
+// Position returns the operator's source position.
+func (n *Binary) Position() Pos { return n.At }

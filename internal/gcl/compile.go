@@ -50,7 +50,8 @@ type compiler struct {
 	varIdx map[string]int
 	varOff map[string]int // range variables: domain offset (lo)
 	varTyp map[string]valueType
-	consts map[string]int // enum value names
+	consts map[string]int   // enum value names
+	preds  map[string]cexpr // previously compiled predicates, referenceable by name
 }
 
 // Compile type-checks a parsed file and produces the program, fault class
@@ -62,11 +63,12 @@ func Compile(ast *FileAST) (*File, error) {
 		varOff: map[string]int{},
 		varTyp: map[string]valueType{},
 		consts: map[string]int{},
+		preds:  map[string]cexpr{},
 	}
 	vars := make([]state.Var, 0, len(ast.Vars))
 	for i, d := range ast.Vars {
 		if _, dup := c.varIdx[d.Name]; dup {
-			return nil, errAt(d.Line, 1, "duplicate variable %q", d.Name)
+			return nil, errAt(d.At.Line, d.At.Col, "duplicate variable %q", d.Name)
 		}
 		var v state.Var
 		switch d.Type.Kind {
@@ -82,12 +84,12 @@ func Compile(ast *FileAST) (*File, error) {
 			c.varTyp[d.Name] = intType
 			for idx, name := range d.Type.Names {
 				if old, dup := c.consts[name]; dup && old != idx {
-					return nil, errAt(d.Line, 1, "enum value %q redeclared with a different index", name)
+					return nil, errAt(d.At.Line, d.At.Col, "enum value %q redeclared with a different index", name)
 				}
 				c.consts[name] = idx
 			}
 		default:
-			return nil, errAt(d.Line, 1, "variable %q has unknown type", d.Name)
+			return nil, errAt(d.At.Line, d.At.Col, "variable %q has unknown type", d.Name)
 		}
 		c.varIdx[d.Name] = i
 		vars = append(vars, v)
@@ -105,13 +107,23 @@ func Compile(ast *FileAST) (*File, error) {
 
 	f := &File{Name: ast.Name, Schema: schema, Preds: map[string]state.Predicate{}}
 	for _, d := range ast.Preds {
+		if _, dup := c.preds[d.Name]; dup {
+			return nil, errAt(d.At.Line, d.At.Col, "duplicate predicate %q", d.Name)
+		}
+		if _, clash := c.varIdx[d.Name]; clash {
+			return nil, errAt(d.At.Line, d.At.Col, "predicate %q has the same name as a variable", d.Name)
+		}
+		if _, clash := c.consts[d.Name]; clash {
+			return nil, errAt(d.At.Line, d.At.Col, "predicate %q has the same name as an enum value", d.Name)
+		}
 		ce, err := c.compileExpr(d.Expr)
 		if err != nil {
 			return nil, err
 		}
 		if ce.typ != boolType {
-			return nil, errAt(d.Line, 1, "predicate %q is not boolean", d.Name)
+			return nil, errAt(d.At.Line, d.At.Col, "predicate %q is not boolean", d.Name)
 		}
+		c.preds[d.Name] = ce
 		eval := ce.eval
 		f.Preds[d.Name] = state.Pred(d.Name, func(s state.State) bool { return eval(s) != 0 })
 	}
@@ -170,17 +182,17 @@ func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
 		return guarded.Action{}, err
 	}
 	if g.typ != boolType {
-		return guarded.Action{}, errAt(d.Line, 1, "guard of action %q is not boolean", d.Name)
+		return guarded.Action{}, errAt(d.At.Line, d.At.Col, "guard of action %q is not boolean", d.Name)
 	}
 	assigns := make([]cassign, 0, len(d.Assigns))
 	seen := map[string]bool{}
 	for _, a := range d.Assigns {
 		idx, ok := c.varIdx[a.Var]
 		if !ok {
-			return guarded.Action{}, errAt(a.Line, 1, "assignment to undeclared variable %q", a.Var)
+			return guarded.Action{}, errAt(a.At.Line, a.At.Col, "assignment to undeclared variable %q", a.Var)
 		}
 		if seen[a.Var] {
-			return guarded.Action{}, errAt(a.Line, 1, "variable %q assigned twice in action %q", a.Var, d.Name)
+			return guarded.Action{}, errAt(a.At.Line, a.At.Col, "variable %q assigned twice in action %q", a.Var, d.Name)
 		}
 		seen[a.Var] = true
 		ca := cassign{
@@ -194,7 +206,7 @@ func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
 				return guarded.Action{}, err
 			}
 			if ce.typ != c.varTyp[a.Var] {
-				return guarded.Action{}, errAt(a.Line, 1, "assignment to %q: expected %s, got %s",
+				return guarded.Action{}, errAt(a.At.Line, a.At.Col, "assignment to %q: expected %s, got %s",
 					a.Var, c.varTyp[a.Var], ce.typ)
 			}
 			ca.eval = ce.eval
@@ -225,7 +237,12 @@ func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
 		}
 		return results
 	}
-	return guarded.Choice(d.Name, guard, next), nil
+	act := guarded.Choice(d.Name, guard, next)
+	act.Writes = make([]string, 0, len(d.Assigns))
+	for _, a := range d.Assigns {
+		act.Writes = append(act.Writes, a.Var)
+	}
+	return act, nil
 }
 
 // validateBounds enumerates the state space and checks that every enabled
@@ -277,7 +294,7 @@ func (c *compiler) validateBounds(ast *FileAST, decls []ActionDecl) error {
 			for _, as := range item.assigns {
 				v := as.eval(s)
 				if v < as.lo || v > as.hi {
-					verr = errAt(as.a.Line, 1,
+					verr = errAt(as.a.At.Line, as.a.At.Col,
 						"action %q assigns %d to %q, outside its domain %d..%d (at state %s)",
 						item.decl.Name, v, as.a.Var, as.lo, as.hi, s)
 					return false
@@ -312,7 +329,10 @@ func (c *compiler) compileExpr(e Expr) (cexpr, error) {
 		if v, ok := c.consts[n.Name]; ok {
 			return cexpr{typ: intType, eval: func(state.State) int { return v }}, nil
 		}
-		return cexpr{}, errAt(n.Line, n.Col, "undeclared identifier %q", n.Name)
+		if ce, ok := c.preds[n.Name]; ok {
+			return ce, nil
+		}
+		return cexpr{}, errAt(n.At.Line, n.At.Col, "undeclared identifier %q", n.Name)
 	case *Unary:
 		x, err := c.compileExpr(n.X)
 		if err != nil {
@@ -360,13 +380,13 @@ func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
 	}
 	needBool := func() error {
 		if l.typ != boolType || r.typ != boolType {
-			return errAt(n.Line, n.Col, "%s requires boolean operands", n.Op)
+			return errAt(n.At.Line, n.At.Col, "%s requires boolean operands", n.Op)
 		}
 		return nil
 	}
 	needInt := func() error {
 		if l.typ != intType || r.typ != intType {
-			return errAt(n.Line, n.Col, "%s requires integer operands", n.Op)
+			return errAt(n.At.Line, n.At.Col, "%s requires integer operands", n.Op)
 		}
 		return nil
 	}
@@ -394,7 +414,7 @@ func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
 		return boolOp(func(a, b int) int { return b2i(a == 0 || b != 0) }), nil
 	case EQ, NEQ:
 		if l.typ != r.typ {
-			return cexpr{}, errAt(n.Line, n.Col, "%s compares %s with %s", n.Op, l.typ, r.typ)
+			return cexpr{}, errAt(n.At.Line, n.At.Col, "%s compares %s with %s", n.Op, l.typ, r.typ)
 		}
 		if n.Op == EQ {
 			return boolOp(func(a, b int) int { return b2i(a == b) }), nil
@@ -436,6 +456,6 @@ func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
 			}}, nil
 		}
 	default:
-		return cexpr{}, errAt(n.Line, n.Col, "unknown binary operator %s", n.Op)
+		return cexpr{}, errAt(n.At.Line, n.At.Col, "unknown binary operator %s", n.Op)
 	}
 }

@@ -1,0 +1,150 @@
+package gcl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEmptyGuardIsSyntaxError(t *testing.T) {
+	_, err := ParseAndCompile("program p\nvar x : 0..1\naction a :: -> x := 1")
+	if err == nil {
+		t.Fatal("an action with an empty guard should not parse")
+	}
+	if !strings.Contains(err.Error(), "expected expression") {
+		t.Errorf("error %q should mention the missing expression", err)
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T should be a *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error should point at line 3, got line %d", se.Line)
+	}
+}
+
+func TestNondeterministicAssignToEnum(t *testing.T) {
+	f, err := ParseAndCompile(`
+program p
+var c : enum(red, green, blue)
+action repaint :: c == red -> c := ?
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Schema.StateAt(0) // c = red (index 0)
+	succ := f.Program.Action(0).Next(st)
+	if len(succ) != 3 {
+		t.Fatalf("c := ? over a 3-value enum should yield 3 successors, got %d", len(succ))
+	}
+	seen := map[int]bool{}
+	for _, s := range succ {
+		seen[s.Get(0)] = true
+	}
+	for v := 0; v < 3; v++ {
+		if !seen[v] {
+			t.Errorf("successor with c=%d missing", v)
+		}
+	}
+}
+
+func TestDuplicateEnumValuesAcrossTypes(t *testing.T) {
+	// The same value names at the same indices are one shared constant set.
+	f, err := ParseAndCompile(`
+program p
+var a : enum(u, v)
+var b : enum(u, v)
+action sync :: a == u & b == v -> b := u
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Schema.NumVars(); got != 2 {
+		t.Errorf("schema should have 2 variables, got %d", got)
+	}
+
+	// The same value name at a different index is ambiguous and rejected.
+	_, err = ParseAndCompile(`
+program p
+var a : enum(u, v)
+var b : enum(w, u)
+`)
+	if err == nil || !strings.Contains(err.Error(), "different index") {
+		t.Errorf("conflicting enum index should be rejected, got %v", err)
+	}
+}
+
+func TestPredicateReference(t *testing.T) {
+	f, err := ParseAndCompile(`
+program p
+var x : 0..2
+pred Low  :: x == 0
+pred High :: x == 2
+pred Edge :: Low | High
+action up :: !High -> x := x + 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, ok := f.Pred("Edge")
+	if !ok {
+		t.Fatal("Edge predicate missing")
+	}
+	for v := 0; v <= 2; v++ {
+		st := f.Schema.StateAt(uint64(v))
+		if want := v == 0 || v == 2; edge.Holds(st) != want {
+			t.Errorf("Edge at x=%d: got %v, want %v", v, edge.Holds(st), want)
+		}
+	}
+	up := f.Program.Action(0)
+	if up.Enabled(f.Schema.StateAt(2)) {
+		t.Error("up should be disabled where High holds")
+	}
+	if !up.Enabled(f.Schema.StateAt(0)) {
+		t.Error("up should be enabled at x=0")
+	}
+}
+
+func TestPredicateReferenceErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"forward ref", "program p\nvar x : 0..1\npred A :: B\npred B :: x == 0", "undeclared identifier"},
+		{"self ref", "program p\nvar x : 0..1\npred A :: A | x == 0", "undeclared identifier"},
+		{"dup pred", "program p\nvar x : 0..1\npred A :: x == 0\npred A :: x == 1", "duplicate predicate"},
+		{"pred/var clash", "program p\nvar A : bool\npred A :: A", "same name as a variable"},
+		{"pred as assign target", "program p\nvar x : 0..1\npred A :: x == 0\naction a :: true -> A := 1", "undeclared variable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAndCompile(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompiledActionWrites(t *testing.T) {
+	f, err := ParseAndCompile(`
+program p
+var x : 0..1
+var y : bool
+action both :: true -> x := ?, y := !y
+action nop  :: true -> skip
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := f.Program.Action(0)
+	if len(both.Writes) != 2 || both.Writes[0] != "x" || both.Writes[1] != "y" {
+		t.Errorf("both.Writes = %v, want [x y]", both.Writes)
+	}
+	nop := f.Program.Action(1)
+	if nop.Writes == nil || len(nop.Writes) != 0 {
+		t.Errorf("nop.Writes = %v, want an empty non-nil slice", nop.Writes)
+	}
+}

@@ -20,6 +20,9 @@ func Parse(src string) (*FileAST, error) {
 func (p *parser) cur() Token  { return p.toks[p.pos] }
 func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
 
+// at converts a token's position into an AST Pos.
+func at(t Token) Pos { return Pos{Line: t.Line, Col: t.Col} }
+
 func (p *parser) expect(k Kind) (Token, error) {
 	t := p.cur()
 	if t.Kind != k {
@@ -85,14 +88,14 @@ func (p *parser) varDecl() (VarDecl, error) {
 	if err != nil {
 		return VarDecl{}, err
 	}
-	return VarDecl{Name: name.Text, Type: ty, Line: kw.Line}, nil
+	return VarDecl{Name: name.Text, Type: ty, At: at(kw)}, nil
 }
 
 func (p *parser) typeExpr() (TypeExpr, error) {
 	switch t := p.cur(); t.Kind {
 	case KWBOOL:
 		p.pos++
-		return TypeExpr{Kind: TypeBool}, nil
+		return TypeExpr{Kind: TypeBool, At: at(t)}, nil
 	case NUMBER:
 		lo := p.next()
 		if _, err := p.expect(DOTDOT); err != nil {
@@ -105,7 +108,7 @@ func (p *parser) typeExpr() (TypeExpr, error) {
 		if hi.Num < lo.Num {
 			return TypeExpr{}, errAt(lo.Line, lo.Col, "empty range %d..%d", lo.Num, hi.Num)
 		}
-		return TypeExpr{Kind: TypeRange, Lo: lo.Num, Hi: hi.Num}, nil
+		return TypeExpr{Kind: TypeRange, Lo: lo.Num, Hi: hi.Num, At: at(lo)}, nil
 	case KWENUM:
 		p.pos++
 		if _, err := p.expect(LPAREN); err != nil {
@@ -126,7 +129,7 @@ func (p *parser) typeExpr() (TypeExpr, error) {
 		if _, err := p.expect(RPAREN); err != nil {
 			return TypeExpr{}, err
 		}
-		return TypeExpr{Kind: TypeEnum, Names: names}, nil
+		return TypeExpr{Kind: TypeEnum, Names: names, At: at(t)}, nil
 	default:
 		return TypeExpr{}, errAt(t.Line, t.Col, "expected type ('bool', range, or 'enum'), found %s", t.Kind)
 	}
@@ -145,7 +148,7 @@ func (p *parser) predDecl() (PredDecl, error) {
 	if err != nil {
 		return PredDecl{}, err
 	}
-	return PredDecl{Name: name.Text, Expr: e, Line: kw.Line}, nil
+	return PredDecl{Name: name.Text, Expr: e, At: at(kw)}, nil
 }
 
 func (p *parser) actionDecl(kind Kind) (ActionDecl, error) {
@@ -164,7 +167,7 @@ func (p *parser) actionDecl(kind Kind) (ActionDecl, error) {
 	if _, err := p.expect(ARROW); err != nil {
 		return ActionDecl{}, err
 	}
-	d := ActionDecl{Name: name.Text, Guard: guard, Line: kw.Line}
+	d := ActionDecl{Name: name.Text, Guard: guard, At: at(kw)}
 	if p.cur().Kind == KWSKIP {
 		p.pos++
 		return d, nil
@@ -177,7 +180,7 @@ func (p *parser) actionDecl(kind Kind) (ActionDecl, error) {
 		if _, err := p.expect(ASSIGN); err != nil {
 			return ActionDecl{}, err
 		}
-		a := Assign{Var: target.Text, Line: target.Line}
+		a := Assign{Var: target.Text, At: at(target)}
 		if p.cur().Kind == QUESTION {
 			p.pos++ // '?' = any value
 		} else {
@@ -220,7 +223,7 @@ func (p *parser) impExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Binary{Op: IMPLIES, L: l, R: r, Line: t.Line, Col: t.Col}, nil
+		return &Binary{Op: IMPLIES, L: l, R: r, At: at(t)}, nil
 	}
 	return l, nil
 }
@@ -244,7 +247,7 @@ func (p *parser) binaryChain(sub func() (Expr, error), op Kind) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: op, L: l, R: r, Line: t.Line, Col: t.Col}
+		l = &Binary{Op: op, L: l, R: r, At: at(t)}
 	}
 	return l, nil
 }
@@ -261,7 +264,7 @@ func (p *parser) cmpExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Binary{Op: t.Kind, L: l, R: r, Line: t.Line, Col: t.Col}, nil
+		return &Binary{Op: t.Kind, L: l, R: r, At: at(t)}, nil
 	}
 	return l, nil
 }
@@ -281,7 +284,7 @@ func (p *parser) sumExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: t.Kind, L: l, R: r, Line: t.Line, Col: t.Col}
+		l = &Binary{Op: t.Kind, L: l, R: r, At: at(t)}
 	}
 }
 
@@ -300,7 +303,7 @@ func (p *parser) termExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: t.Kind, L: l, R: r, Line: t.Line, Col: t.Col}
+		l = &Binary{Op: t.Kind, L: l, R: r, At: at(t)}
 	}
 }
 
@@ -312,7 +315,7 @@ func (p *parser) unaryExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Unary{Op: t.Kind, X: x}, nil
+		return &Unary{Op: t.Kind, X: x, At: at(t)}, nil
 	}
 	return p.atom()
 }
@@ -321,16 +324,16 @@ func (p *parser) atom() (Expr, error) {
 	switch t := p.cur(); t.Kind {
 	case KWTRUE:
 		p.pos++
-		return &BoolLit{Value: true}, nil
+		return &BoolLit{Value: true, At: at(t)}, nil
 	case KWFALSE:
 		p.pos++
-		return &BoolLit{Value: false}, nil
+		return &BoolLit{Value: false, At: at(t)}, nil
 	case NUMBER:
 		p.pos++
-		return &IntLit{Value: t.Num}, nil
+		return &IntLit{Value: t.Num, At: at(t)}, nil
 	case IDENT:
 		p.pos++
-		return &Ref{Name: t.Text, Line: t.Line, Col: t.Col}, nil
+		return &Ref{Name: t.Text, At: at(t)}, nil
 	case LPAREN:
 		p.pos++
 		e, err := p.expr()

@@ -27,6 +27,15 @@ type Action struct {
 	Name  string
 	Guard state.Predicate
 	Next  func(state.State) []state.State
+
+	// Writes optionally declares the variables the statement may assign.
+	// nil means unknown (the statement is an opaque closure); an empty
+	// non-nil slice declares that the statement writes nothing. The GCL
+	// compiler fills it in, and internal/lint.Check uses it to flag
+	// potential write-write interference in compositions without
+	// exploring the state space. It is advisory metadata: the semantics
+	// of Next are authoritative.
+	Writes []string
 }
 
 // Det builds a deterministic action from a pure statement function.
@@ -49,13 +58,17 @@ func Choice(name string, guard state.Predicate, stmt func(state.State) []state.S
 // Skip builds an action that is enabled by the guard but leaves the state
 // unchanged. Self-loops are occasionally useful to model busy components.
 func Skip(name string, guard state.Predicate) Action {
-	return Det(name, guard, func(s state.State) state.State { return s })
+	a := Det(name, guard, func(s state.State) state.State { return s })
+	a.Writes = []string{}
+	return a
 }
 
 // Assign builds the common deterministic action "guard --> name := value".
 func Assign(sch *state.Schema, name string, guard state.Predicate, varName string, value int) Action {
 	i := sch.MustIndexOf(varName)
-	return Det(name, guard, func(s state.State) state.State { return s.With(i, value) })
+	a := Det(name, guard, func(s state.State) state.State { return s.With(i, value) })
+	a.Writes = []string{varName}
+	return a
 }
 
 // Enabled reports whether the action's guard holds in s (Section 2.1,
@@ -66,9 +79,10 @@ func (a Action) Enabled(s state.State) bool { return a.Guard.Holds(s) }
 // single action, as in the paper's notation section).
 func (a Action) Restrict(z state.Predicate) Action {
 	return Action{
-		Name:  a.Name,
-		Guard: state.And(z, a.Guard),
-		Next:  a.Next,
+		Name:   a.Name,
+		Guard:  state.And(z, a.Guard),
+		Next:   a.Next,
+		Writes: a.Writes,
 	}
 }
 

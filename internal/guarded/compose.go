@@ -113,8 +113,9 @@ func Lift(p *Program, target *state.Schema) (*Program, error) {
 	for i, a := range p.actions {
 		base := a
 		actions[i] = Action{
-			Name:  base.Name,
-			Guard: proj.Lift(base.Guard),
+			Name:   base.Name,
+			Writes: base.Writes,
+			Guard:  proj.Lift(base.Guard),
 			Next: func(s state.State) []state.State {
 				small := proj.Apply(s)
 				nexts := base.Next(small)

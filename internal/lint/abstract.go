@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"detcorr/internal/gcl"
+)
+
+// evalBudget caps the number of variable assignments enumerated when
+// deciding a property exactly over the variables an expression references.
+// It bounds per-expression work, not the program's state space: an
+// expression over three 0..2 variables costs 27 evaluations no matter how
+// many other variables the program declares.
+const evalBudget = 1 << 16
+
+// interval is an inclusive integer range.
+type interval struct{ lo, hi int }
+
+func (i interval) within(o interval) bool { return i.lo >= o.lo && i.hi <= o.hi }
+
+// truth is the abstract value of a boolean expression: which truth values
+// it may take. canT==false means "definitely never true" (and dually for
+// canF); both true means "unknown". The abstraction is a sound
+// over-approximation: it ignores correlations between subexpressions, so
+// e.g. x & !x still reports {canT, canF} and needs the exact fallback.
+type truth struct{ canT, canF bool }
+
+// aval is the abstract value of an expression: a truth for booleans, an
+// interval for integers.
+type aval struct {
+	isBool bool
+	t      truth
+	iv     interval
+}
+
+func boolVal(canT, canF bool) aval { return aval{isBool: true, t: truth{canT, canF}} }
+func intVal(lo, hi int) aval       { return aval{iv: interval{lo, hi}} }
+
+// absEval computes the abstract value of a resolved expression.
+func (p *Pass) absEval(e gcl.Expr) aval {
+	switch n := e.(type) {
+	case *gcl.BoolLit:
+		return boolVal(n.Value, !n.Value)
+	case *gcl.IntLit:
+		return intVal(n.Value, n.Value)
+	case *gcl.Ref:
+		if v, ok := p.vars[n.Name]; ok {
+			if v.typ == typBool {
+				return boolVal(true, true)
+			}
+			return intVal(v.lo, v.hi)
+		}
+		if c, ok := p.consts[n.Name]; ok {
+			return intVal(c, c)
+		}
+		if pi, ok := p.preds[n.Name]; ok && pi.ok {
+			if pi.abs == nil {
+				a := p.absEval(pi.decl.Expr)
+				pi.abs = &a
+			}
+			return *pi.abs
+		}
+		return boolVal(true, true) // unresolved; analyzers gate on exprOK
+	case *gcl.Unary:
+		x := p.absEval(n.X)
+		if n.Op == gcl.NOT {
+			return boolVal(x.t.canF, x.t.canT)
+		}
+		return intVal(-x.iv.hi, -x.iv.lo)
+	case *gcl.Binary:
+		l, r := p.absEval(n.L), p.absEval(n.R)
+		return absBinary(n.Op, l, r)
+	}
+	return boolVal(true, true)
+}
+
+func absBinary(op gcl.Kind, l, r aval) aval {
+	switch op {
+	case gcl.AND:
+		return boolVal(l.t.canT && r.t.canT, l.t.canF || r.t.canF)
+	case gcl.OR:
+		return boolVal(l.t.canT || r.t.canT, l.t.canF && r.t.canF)
+	case gcl.IMPLIES:
+		return boolVal(l.t.canF || r.t.canT, l.t.canT && r.t.canF)
+	case gcl.EQ, gcl.NEQ:
+		var eq truth
+		if l.isBool {
+			eq = truth{
+				canT: (l.t.canT && r.t.canT) || (l.t.canF && r.t.canF),
+				canF: (l.t.canT && r.t.canF) || (l.t.canF && r.t.canT),
+			}
+		} else {
+			overlap := l.iv.lo <= r.iv.hi && r.iv.lo <= l.iv.hi
+			single := l.iv.lo == l.iv.hi && r.iv.lo == r.iv.hi && l.iv.lo == r.iv.lo
+			eq = truth{canT: overlap, canF: !single}
+		}
+		if op == gcl.EQ {
+			return aval{isBool: true, t: eq}
+		}
+		return boolVal(eq.canF, eq.canT)
+	case gcl.LT:
+		return boolVal(l.iv.lo < r.iv.hi, l.iv.hi >= r.iv.lo)
+	case gcl.LE:
+		return boolVal(l.iv.lo <= r.iv.hi, l.iv.hi > r.iv.lo)
+	case gcl.GT:
+		return boolVal(l.iv.hi > r.iv.lo, l.iv.lo <= r.iv.hi)
+	case gcl.GE:
+		return boolVal(l.iv.hi >= r.iv.lo, l.iv.lo < r.iv.hi)
+	case gcl.PLUS:
+		return intVal(l.iv.lo+r.iv.lo, l.iv.hi+r.iv.hi)
+	case gcl.MINUS:
+		return intVal(l.iv.lo-r.iv.hi, l.iv.hi-r.iv.lo)
+	case gcl.STAR:
+		a, b, c, d := l.iv.lo*r.iv.lo, l.iv.lo*r.iv.hi, l.iv.hi*r.iv.lo, l.iv.hi*r.iv.hi
+		return intVal(min4(a, b, c, d), max4(a, b, c, d))
+	case gcl.PERCENT:
+		// Total semantics ((a%b)+b)%b with b==0 -> 0: the result lies in
+		// [b+1, 0] for negative b, [0, b-1] for positive b, and is 0 at b==0.
+		lo := 0
+		if r.iv.lo+1 < 0 {
+			lo = r.iv.lo + 1
+		}
+		hi := 0
+		if r.iv.hi-1 > 0 {
+			hi = r.iv.hi - 1
+		}
+		return intVal(lo, hi)
+	}
+	return boolVal(true, true)
+}
+
+func min4(a, b, c, d int) int { return min(min(a, b), min(c, d)) }
+func max4(a, b, c, d int) int { return max(max(a, b), max(c, d)) }
+
+// eval evaluates a resolved expression under a total assignment env
+// (variable name -> source-level value: range variables hold lo..hi,
+// booleans 0/1, enums their declaration index). Booleans evaluate to 0/1.
+func (p *Pass) eval(env map[string]int, e gcl.Expr) int {
+	switch n := e.(type) {
+	case *gcl.BoolLit:
+		if n.Value {
+			return 1
+		}
+		return 0
+	case *gcl.IntLit:
+		return n.Value
+	case *gcl.Ref:
+		if _, ok := p.vars[n.Name]; ok {
+			return env[n.Name]
+		}
+		if c, ok := p.consts[n.Name]; ok {
+			return c
+		}
+		if pi, ok := p.preds[n.Name]; ok {
+			return p.eval(env, pi.decl.Expr)
+		}
+		return 0
+	case *gcl.Unary:
+		x := p.eval(env, n.X)
+		if n.Op == gcl.NOT {
+			return 1 - x
+		}
+		return -x
+	case *gcl.Binary:
+		l, r := p.eval(env, n.L), p.eval(env, n.R)
+		return evalBinary(n.Op, l, r)
+	}
+	return 0
+}
+
+func evalBinary(op gcl.Kind, a, b int) int {
+	b2i := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case gcl.AND:
+		return b2i(a != 0 && b != 0)
+	case gcl.OR:
+		return b2i(a != 0 || b != 0)
+	case gcl.IMPLIES:
+		return b2i(a == 0 || b != 0)
+	case gcl.EQ:
+		return b2i(a == b)
+	case gcl.NEQ:
+		return b2i(a != b)
+	case gcl.LT:
+		return b2i(a < b)
+	case gcl.LE:
+		return b2i(a <= b)
+	case gcl.GT:
+		return b2i(a > b)
+	case gcl.GE:
+		return b2i(a >= b)
+	case gcl.PLUS:
+		return a + b
+	case gcl.MINUS:
+		return a - b
+	case gcl.STAR:
+		return a * b
+	case gcl.PERCENT:
+		if b == 0 {
+			return 0 // total semantics, mirroring the compiler
+		}
+		return ((a % b) + b) % b
+	}
+	return 0
+}
+
+// refVars returns the sorted variable names the expressions depend on,
+// following predicate references.
+func (p *Pass) refVars(exprs ...gcl.Expr) []string {
+	set := map[string]bool{}
+	for _, e := range exprs {
+		p.collectVars(e, set)
+	}
+	return sortedKeys(set)
+}
+
+func (p *Pass) collectVars(e gcl.Expr, set map[string]bool) {
+	switch n := e.(type) {
+	case *gcl.Ref:
+		if _, ok := p.vars[n.Name]; ok {
+			set[n.Name] = true
+			return
+		}
+		if _, ok := p.consts[n.Name]; ok {
+			return
+		}
+		if pi, ok := p.preds[n.Name]; ok {
+			for _, v := range p.predVars(pi) {
+				set[v] = true
+			}
+		}
+	case *gcl.Unary:
+		p.collectVars(n.X, set)
+	case *gcl.Binary:
+		p.collectVars(n.L, set)
+		p.collectVars(n.R, set)
+	}
+}
+
+// predVars memoizes the variables a predicate's expression depends on.
+func (p *Pass) predVars(pi *predInfo) []string {
+	if pi.vars == nil {
+		set := map[string]bool{}
+		p.collectVars(pi.decl.Expr, set)
+		pi.vars = sortedKeys(set)
+		if pi.vars == nil {
+			pi.vars = []string{} // memoize the empty result too
+		}
+	}
+	return pi.vars
+}
+
+// refPreds collects the predicate names the expressions reference,
+// directly or through other predicates.
+func (p *Pass) refPreds(exprs ...gcl.Expr) map[string]bool {
+	set := map[string]bool{}
+	var walk func(e gcl.Expr)
+	walk = func(e gcl.Expr) {
+		switch n := e.(type) {
+		case *gcl.Ref:
+			if pi, ok := p.preds[n.Name]; ok {
+				if _, isVar := p.vars[n.Name]; isVar {
+					return
+				}
+				if _, isConst := p.consts[n.Name]; isConst {
+					return
+				}
+				if !set[n.Name] {
+					set[n.Name] = true
+					walk(pi.decl.Expr)
+				}
+			}
+		case *gcl.Unary:
+			walk(n.X)
+		case *gcl.Binary:
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return set
+}
+
+// forEachEnv enumerates all assignments to vars, calling fn with a shared
+// env map; fn returns false to stop early. It reports false (without
+// calling fn) when the assignment space exceeds evalBudget.
+func (p *Pass) forEachEnv(vars []string, fn func(env map[string]int) bool) bool {
+	infos := make([]*varInfo, len(vars))
+	total := 1
+	for i, name := range vars {
+		v := p.vars[name]
+		if v == nil {
+			return false
+		}
+		infos[i] = v
+		if total > evalBudget/v.size() {
+			return false
+		}
+		total *= v.size()
+	}
+	env := make(map[string]int, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(infos) {
+			return fn(env)
+		}
+		for val := infos[i].lo; val <= infos[i].hi; val++ {
+			env[vars[i]] = val
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return true
+}
+
+// decideTruth classifies a boolean expression: which truth values it can
+// take over the declared domains. definite reports whether the answer is
+// exact — an abstract impossibility is already definite; otherwise the
+// expression is enumerated over its referenced variables when that fits
+// the budget.
+func (p *Pass) decideTruth(e gcl.Expr) (t truth, definite bool) {
+	a := p.absEval(e)
+	if !a.t.canT || !a.t.canF {
+		return a.t, true
+	}
+	var canT, canF bool
+	ok := p.forEachEnv(p.refVars(e), func(env map[string]int) bool {
+		if p.eval(env, e) != 0 {
+			canT = true
+		} else {
+			canF = true
+		}
+		return !(canT && canF)
+	})
+	if !ok {
+		return a.t, false
+	}
+	return truth{canT, canF}, true
+}
+
+// findEnv searches for an assignment satisfying pred. found is nil when
+// none exists; ok is false when the search exceeded the budget.
+func (p *Pass) findEnv(vars []string, pred func(env map[string]int) bool) (found map[string]int, ok bool) {
+	ok = p.forEachEnv(vars, func(env map[string]int) bool {
+		if pred(env) {
+			found = make(map[string]int, len(env))
+			for k, v := range env {
+				found[k] = v
+			}
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// envString renders an assignment deterministically, using enum value
+// names and true/false for booleans ("val=0, data=v0, z1=true").
+func (p *Pass) envString(env map[string]int, vars []string) string {
+	parts := make([]string, 0, len(vars))
+	for _, name := range vars {
+		v := p.vars[name]
+		val, bound := env[name]
+		if v == nil || !bound {
+			continue
+		}
+		switch {
+		case v.typ == typBool:
+			parts = append(parts, fmt.Sprintf("%s=%v", name, val != 0))
+		case v.enum != nil:
+			parts = append(parts, fmt.Sprintf("%s=%s", name, v.enum[val]))
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%d", name, val))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unionVars merges sorted name lists, keeping the result sorted and
+// deduplicated.
+func unionVars(lists ...[]string) []string {
+	set := map[string]bool{}
+	for _, l := range lists {
+		for _, v := range l {
+			set[v] = true
+		}
+	}
+	return sortedKeys(set)
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"detcorr/internal/guarded"
+)
+
+// Check statically validates a compiled program — typically a '||' or ';'
+// composition assembled by internal/core — without exploring its state
+// space. Compiled actions are opaque closures, so Check works from the
+// program's structure and the actions' optional Writes metadata (filled in
+// by the GCL compiler and the guarded.Assign/Skip helpers):
+//
+//   - an empty program deadlocks in every state (warning);
+//   - a schema too large to enumerate defeats every exploration-based
+//     check downstream (warning);
+//   - a declared write to a variable missing from the schema is a wiring
+//     bug in the composition (error);
+//   - two actions declaring writes to the same variable are a potential
+//     interference-freedom violation (info; guard overlap cannot be
+//     decided without exploration).
+//
+// Diagnostics carry no source position: compiled programs have none.
+func Check(prog *guarded.Program) []Diagnostic {
+	rep := func(sev Severity, code, format string, args ...any) Diagnostic {
+		return Diagnostic{Severity: sev, Code: code, Message: fmt.Sprintf(format, args...)}
+	}
+	if prog == nil {
+		return []Diagnostic{rep(Error, CodeStructure, "nil program")}
+	}
+	var diags []Diagnostic
+	if prog.NumActions() == 0 {
+		diags = append(diags, rep(Warning, CodeStructure,
+			"program %q has no actions; it deadlocks in every state", prog.Name()))
+	}
+	sch := prog.Schema()
+	if err := sch.Indexable(); err != nil {
+		diags = append(diags, rep(Warning, CodeStructure,
+			"program %q: state space exceeds the enumerable bound; exploration-based checks will fail", prog.Name()))
+	}
+	writers := map[string][]string{}
+	for i := 0; i < prog.NumActions(); i++ {
+		a := prog.Action(i)
+		seen := map[string]bool{}
+		for _, w := range a.Writes {
+			if _, ok := sch.IndexOf(w); !ok {
+				diags = append(diags, rep(Error, CodeStructure,
+					"action %q declares a write to %q, which is not in schema %s", a.Name, w, sch))
+				continue
+			}
+			if seen[w] {
+				diags = append(diags, rep(Warning, CodeStructure,
+					"action %q declares duplicate writes to %q", a.Name, w))
+				continue
+			}
+			seen[w] = true
+			writers[w] = append(writers[w], a.Name)
+		}
+	}
+	for _, v := range sch.VarNames() {
+		if ws := writers[v]; len(ws) > 1 {
+			diags = append(diags, rep(Info, CodeConflict,
+				"actions %s all write %q; verify interference-freedom of the composition", quoteList(ws), v))
+		}
+	}
+	return diags
+}
+
+func quoteList(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = fmt.Sprintf("%q", n)
+	}
+	return strings.Join(quoted, ", ")
+}

@@ -1,0 +1,167 @@
+package lint
+
+import "detcorr/internal/gcl"
+
+// writeConflict (DC004) reports pairs of program actions that can be
+// enabled in the same state and assign the same variable different values.
+// The actions of a file are implicitly '||'-composed, and the paper's
+// component compositions assume interference-freedom: two simultaneously
+// enabled writers of one variable make the composed behavior depend on the
+// scheduler in a way the detector/corrector proofs do not account for.
+//
+// A pair is reported only when a concrete witness state is found, so a
+// finding is always definite: guards that are provably disjoint (read0's
+// val == 0 vs read1's val == 1) never fire, and syntactically different
+// right-hand sides that agree on every overlap state (x := val vs x := 0
+// under guard val == 0) do not either. Fault actions are exempt — faults
+// intentionally clobber program variables.
+var writeConflict = &Analyzer{
+	Name: "conflict",
+	Code: CodeConflict,
+	Doc:  "detect ||-interference: simultaneously enabled actions writing the same variable different values",
+	Run: func(p *Pass) {
+		acts := p.AST.Actions
+		for i := range acts {
+			for j := i + 1; j < len(acts); j++ {
+				p.checkConflict(&acts[i], &acts[j])
+			}
+		}
+	},
+}
+
+// clash is a variable both actions write, with their (possibly nil = '?')
+// right-hand sides.
+type clash struct {
+	name   string
+	ea, eb gcl.Expr
+}
+
+func (p *Pass) checkConflict(a, b *gcl.ActionDecl) {
+	if !p.exprOK[a.Guard] || !p.exprOK[b.Guard] {
+		return
+	}
+	var clashes []clash
+	for _, aa := range a.Assigns {
+		for _, ba := range b.Assigns {
+			if aa.Var != ba.Var {
+				continue
+			}
+			if _, declared := p.vars[aa.Var]; !declared {
+				continue
+			}
+			if aa.Expr != nil && !p.exprOK[aa.Expr] {
+				continue
+			}
+			if ba.Expr != nil && !p.exprOK[ba.Expr] {
+				continue
+			}
+			if exprEqual(aa.Expr, ba.Expr) {
+				continue
+			}
+			clashes = append(clashes, clash{aa.Var, aa.Expr, ba.Expr})
+		}
+	}
+	if len(clashes) == 0 {
+		return
+	}
+	vars := p.refVars(a.Guard, b.Guard)
+	for _, cl := range clashes {
+		if cl.ea != nil {
+			vars = unionVars(vars, p.refVars(cl.ea))
+		}
+		if cl.eb != nil {
+			vars = unionVars(vars, p.refVars(cl.eb))
+		}
+	}
+	conflictVar := ""
+	witness, ok := p.findEnv(vars, func(env map[string]int) bool {
+		if p.eval(env, a.Guard) == 0 || p.eval(env, b.Guard) == 0 {
+			return false
+		}
+		for _, cl := range clashes {
+			if p.conflictsAt(env, cl) {
+				conflictVar = cl.name
+				return true
+			}
+		}
+		return false
+	})
+	if !ok || witness == nil {
+		return
+	}
+	p.Reportf(b.At, Warning, CodeConflict,
+		"actions %q and %q are enabled together (e.g. when %s) and assign different values to %q; the '||' composition is not interference-free",
+		a.Name, b.Name, p.envString(witness, vars), conflictVar)
+}
+
+// conflictsAt reports whether the two right-hand sides can produce
+// different values for the variable in the given state. A '?' conflicts
+// with any deterministic assignment when the domain has more than one
+// value; two '?' assignments have the same effect.
+func (p *Pass) conflictsAt(env map[string]int, cl clash) bool {
+	if cl.ea == nil || cl.eb == nil {
+		if cl.ea == nil && cl.eb == nil {
+			return false
+		}
+		return p.vars[cl.name].size() > 1
+	}
+	return p.eval(env, cl.ea) != p.eval(env, cl.eb)
+}
+
+// exprEqual reports structural equality of two expressions; nil (the '?'
+// statement) equals only nil.
+func exprEqual(a, b gcl.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case *gcl.BoolLit:
+		y, ok := b.(*gcl.BoolLit)
+		return ok && x.Value == y.Value
+	case *gcl.IntLit:
+		y, ok := b.(*gcl.IntLit)
+		return ok && x.Value == y.Value
+	case *gcl.Ref:
+		y, ok := b.(*gcl.Ref)
+		return ok && x.Name == y.Name
+	case *gcl.Unary:
+		y, ok := b.(*gcl.Unary)
+		return ok && x.Op == y.Op && exprEqual(x.X, y.X)
+	case *gcl.Binary:
+		y, ok := b.(*gcl.Binary)
+		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	}
+	return false
+}
+
+// vacuousSpec (DC005) reports predicates that are constantly true or
+// constantly false over the declared domains. Checking an invariant that
+// is constantly true, or a detection predicate that is constantly false,
+// succeeds (or fails) vacuously — the specification does not say what its
+// author thinks it says.
+var vacuousSpec = &Analyzer{
+	Name: "vacuous",
+	Code: CodeVacuous,
+	Doc:  "detect predicates that are constantly true or constantly false",
+	Run: func(p *Pass) {
+		for i := range p.AST.Preds {
+			d := &p.AST.Preds[i]
+			pi := p.preds[d.Name]
+			if pi == nil || pi.index != i || !pi.ok {
+				continue
+			}
+			t, definite := p.decideTruth(d.Expr)
+			if !definite {
+				continue
+			}
+			switch {
+			case !t.canF:
+				p.Reportf(d.At, Warning, CodeVacuous,
+					"predicate %q is constantly true over the declared domains; checks against it are vacuous", d.Name)
+			case !t.canT:
+				p.Reportf(d.At, Warning, CodeVacuous,
+					"predicate %q is constantly false over the declared domains; checks against it are vacuous", d.Name)
+			}
+		}
+	},
+}

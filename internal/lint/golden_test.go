@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGolden lints every testdata/*.gcl file and compares the rendered
+// diagnostics against the matching *.golden file. Run with -update to
+// regenerate the goldens after an intentional analyzer change.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.gcl files")
+	}
+	for _, path := range files {
+		name := strings.TrimSuffix(filepath.Base(path), ".gcl")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, d := range Lint(path, string(src)) {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			goldenPath := strings.TrimSuffix(path, ".gcl") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run 'go test ./internal/lint -update'): %v", err)
+			}
+			if want := string(wantBytes); got != want {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoverage pins each analyzer to a testdata file that must
+// trigger its code, so a silently disabled analyzer fails the suite even
+// if its golden file is regenerated.
+func TestGoldenCoverage(t *testing.T) {
+	wants := map[string]string{
+		"parseerror.gcl":   CodeResolve,
+		"resolve.gcl":      CodeResolve,
+		"deadguard.gcl":    CodeDeadGuard,
+		"overflow.gcl":     CodeOverflow,
+		"unused.gcl":       CodeUnused,
+		"conflict.gcl":     CodeConflict,
+		"vacuous.gcl":      CodeVacuous,
+		"faulthygiene.gcl": CodeFaultHygiene,
+	}
+	for file, code := range wants {
+		path := filepath.Join("testdata", file)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range Lint(path, string(src)) {
+			if d.Code == code {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected at least one %s diagnostic", file, code)
+		}
+	}
+
+	src, err := os.ReadFile(filepath.Join("testdata", "clean.gcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Lint("clean.gcl", string(src)); len(diags) != 0 {
+		t.Errorf("clean.gcl should produce no diagnostics, got %v", diags)
+	}
+}

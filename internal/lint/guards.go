@@ -1,0 +1,99 @@
+package lint
+
+import "detcorr/internal/gcl"
+
+// deadGuard (DC001) reports actions and faults whose guard is
+// unsatisfiable over the declared domains: the command can never execute,
+// which almost always means a typo in the guard or a domain declared too
+// small. Constant folding and interval analysis decide the easy cases
+// (x > 5 over 0..3); correlated guards (b & !b) are decided by exact
+// enumeration over the guard's variables.
+var deadGuard = &Analyzer{
+	Name: "deadguard",
+	Code: CodeDeadGuard,
+	Doc:  "detect actions whose guard can never be true",
+	Run: func(p *Pass) {
+		check := func(kind string, d *gcl.ActionDecl) {
+			if !p.exprOK[d.Guard] {
+				return
+			}
+			t, definite := p.decideTruth(d.Guard)
+			if definite && !t.canT {
+				p.Reportf(d.At, Warning, CodeDeadGuard,
+					"guard of %s %q is unsatisfiable; it can never execute", kind, d.Name)
+			}
+		}
+		for i := range p.AST.Actions {
+			check("action", &p.AST.Actions[i])
+		}
+		for i := range p.AST.Faults {
+			check("fault", &p.AST.Faults[i])
+		}
+	},
+}
+
+// domainOverflow (DC002) reports assignments whose right-hand side can
+// evaluate outside the target variable's declared domain in a state where
+// the guard holds. The compiler rejects such programs too, but only by
+// enumerating the full state space; the lint pass decides it from the
+// RHS interval, refined by enumeration over just the guard and RHS
+// variables, and reports a concrete witness assignment.
+var domainOverflow = &Analyzer{
+	Name: "overflow",
+	Code: CodeOverflow,
+	Doc:  "detect assignments whose value can leave the target variable's domain",
+	Run: func(p *Pass) {
+		check := func(kind string, d *gcl.ActionDecl) {
+			if !p.exprOK[d.Guard] {
+				return
+			}
+			for i := range d.Assigns {
+				a := &d.Assigns[i]
+				if a.Expr == nil || !p.exprOK[a.Expr] {
+					continue
+				}
+				v := p.vars[a.Var]
+				if v == nil || v.typ != typInt {
+					continue
+				}
+				dom := interval{v.lo, v.hi}
+				r := p.absEval(a.Expr)
+				if r.iv.within(dom) {
+					continue
+				}
+				if r.iv.hi < dom.lo || r.iv.lo > dom.hi {
+					p.Reportf(a.At, Error, CodeOverflow,
+						"%s %q assigns %q values in %d..%d, entirely outside its domain %d..%d",
+						kind, d.Name, a.Var, r.iv.lo, r.iv.hi, dom.lo, dom.hi)
+					continue
+				}
+				vars := unionVars(p.refVars(d.Guard), p.refVars(a.Expr))
+				witness, ok := p.findEnv(vars, func(env map[string]int) bool {
+					if p.eval(env, d.Guard) == 0 {
+						return false
+					}
+					val := p.eval(env, a.Expr)
+					return val < dom.lo || val > dom.hi
+				})
+				if !ok {
+					p.Reportf(a.At, Warning, CodeOverflow,
+						"%s %q may assign %q values in %d..%d, outside its domain %d..%d (too many states to verify exactly)",
+						kind, d.Name, a.Var, r.iv.lo, r.iv.hi, dom.lo, dom.hi)
+					continue
+				}
+				if witness != nil {
+					p.Reportf(a.At, Error, CodeOverflow,
+						"%s %q assigns %d to %q, outside its domain %d..%d (e.g. when %s)",
+						kind, d.Name, p.eval(witness, a.Expr), a.Var, dom.lo, dom.hi,
+						p.envString(witness, vars))
+				}
+			}
+		}
+		for i := range p.AST.Actions {
+			check("action", &p.AST.Actions[i])
+		}
+		for i := range p.AST.Faults {
+			check("fault", &p.AST.Faults[i])
+		}
+	},
+}

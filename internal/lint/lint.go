@@ -1,0 +1,229 @@
+// Package lint implements dclint, a multi-pass static analyzer for
+// guarded-command (GCL) programs. The analyzers run on the parsed AST —
+// before compilation and without exploring the program's state space — and
+// report authoring mistakes that would otherwise surface only as exploded
+// model-checking runs or silently vacuous results:
+//
+//	DC000  parse/resolve error (syntax, undeclared name, type mismatch)
+//	DC001  dead guard: an action whose guard can never be true
+//	DC002  domain overflow: an assignment that can leave the target's domain
+//	DC003  unused declaration: unused/unread/unwritten variable, unreferenced predicate
+//	DC004  write-write conflict: '||'-interference between program actions
+//	DC005  vacuous predicate: constantly true/false over the declared domains
+//	DC006  fault hygiene: a fault writing a variable no program action reads
+//	DC007  program structure (lint.Check on compiled compositions)
+//
+// The analyzers decide properties with constant folding and interval
+// analysis over the declared finite domains, falling back to exact
+// enumeration over only the variables an expression references (bounded by
+// evalBudget), so results are definite whenever a finding is reported.
+//
+// Findings can be suppressed inline with a comment on the finding's line or
+// the line directly above it:
+//
+//	# lint:ignore DC003 the memory value is an input, fixed per run
+//
+// Check validates compiled guarded.Program values (typically '||'/';'
+// compositions assembled by internal/core) using the actions' declared
+// write-sets, again without state exploration.
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"detcorr/internal/gcl"
+)
+
+// Severity grades a finding. Only Error findings make dctl lint exit
+// non-zero; Warning findings are likely bugs, Info findings are advisory.
+type Severity int
+
+// Severities, in increasing order.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+// String renders the severity in lowercase, as printed in diagnostics.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity from its string form.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic is one finding, anchored at a source position. Line and Col
+// are zero for findings about compiled programs (Check), which have no
+// source text.
+type Diagnostic struct {
+	File     string   `json:"file,omitempty"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Severity Severity `json:"severity"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", d.File, d.Line, d.Col, d.Severity, d.Message, d.Code)
+}
+
+// Diagnostic codes. DC000 and DC007 are infrastructure codes; DC001-DC006
+// each belong to one analyzer.
+const (
+	CodeResolve      = "DC000"
+	CodeDeadGuard    = "DC001"
+	CodeOverflow     = "DC002"
+	CodeUnused       = "DC003"
+	CodeConflict     = "DC004"
+	CodeVacuous      = "DC005"
+	CodeFaultHygiene = "DC006"
+	CodeStructure    = "DC007"
+)
+
+// Analyzer is one named analysis pass, modeled on go/analysis: Run inspects
+// the Pass and reports diagnostics through it.
+type Analyzer struct {
+	Name string
+	Code string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the passes in the order they run.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{deadGuard, domainOverflow, unusedDecl, writeConflict, vacuousSpec, faultHygiene}
+}
+
+// Lint parses and analyzes GCL source. A parse failure yields a single
+// DC000 error diagnostic instead of an error, so multi-file lint runs keep
+// going.
+func Lint(filename, src string) []Diagnostic {
+	ast, err := gcl.Parse(src)
+	if err != nil {
+		d := Diagnostic{File: filename, Line: 1, Col: 1, Severity: Error, Code: CodeResolve, Message: err.Error()}
+		var serr *gcl.SyntaxError
+		if errors.As(err, &serr) {
+			d.Line, d.Col, d.Message = serr.Line, serr.Col, serr.Msg
+		}
+		return []Diagnostic{d}
+	}
+	return Analyze(filename, ast, src)
+}
+
+// Analyze runs every analyzer over a parsed file and returns the findings
+// sorted by position. src, when non-empty, is scanned for '# lint:ignore'
+// suppression directives; pass "" to disable suppression.
+func Analyze(filename string, ast *gcl.FileAST, src string) []Diagnostic {
+	p := newPass(filename, ast)
+	for _, a := range Analyzers() {
+		a.Run(p)
+	}
+	diags := p.diags
+	if src != "" {
+		diags = suppress(diags, src)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+	return diags
+}
+
+// Errors condenses the error-severity findings into a single error, or nil
+// when there are none.
+func Errors(diags []Diagnostic) error {
+	var msgs []string
+	for _, d := range diags {
+		if d.Severity == Error {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("lint: %s", strings.Join(msgs, "; "))
+}
+
+// suppress drops diagnostics covered by '# lint:ignore CODE[,CODE] reason'
+// directives. A directive suppresses matching codes on its own line and on
+// the line directly below, so it can share the offending line or sit in a
+// comment above it. The code list may be 'all'.
+func suppress(diags []Diagnostic, src string) []Diagnostic {
+	byLine := map[int]map[string]bool{}
+	for i, line := range strings.Split(src, "\n") {
+		hash := strings.Index(line, "#")
+		if hash < 0 {
+			continue
+		}
+		directive := strings.TrimSpace(line[hash+1:])
+		if !strings.HasPrefix(directive, "lint:ignore") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(directive, "lint:ignore"))
+		if len(fields) == 0 {
+			continue
+		}
+		for _, target := range []int{i + 1, i + 2} { // 1-based: this line and the next
+			if byLine[target] == nil {
+				byLine[target] = map[string]bool{}
+			}
+			for _, code := range strings.Split(fields[0], ",") {
+				byLine[target][strings.TrimSpace(code)] = true
+			}
+		}
+	}
+	if len(byLine) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if codes := byLine[d.Line]; codes != nil && (codes[d.Code] || codes["all"]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{Info, Warning, Error} {
+		b, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Severity
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != sev {
+			t.Errorf("round trip %v -> %s -> %v", sev, b, got)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("unmarshal of an unknown severity should fail")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "f.gcl", Line: 3, Col: 7, Severity: Warning, Code: CodeDeadGuard, Message: "m"}
+	if got, want := d.String(), "f.gcl:3:7: warning: m [DC001]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := Errors(nil); err != nil {
+		t.Errorf("Errors(nil) = %v", err)
+	}
+	warnOnly := []Diagnostic{{Severity: Warning, Code: CodeDeadGuard, Message: "w"}}
+	if err := Errors(warnOnly); err != nil {
+		t.Errorf("warnings alone should not produce an error: %v", err)
+	}
+	mixed := []Diagnostic{
+		{Severity: Warning, Code: CodeDeadGuard, Message: "w"},
+		{Severity: Error, Code: CodeOverflow, Message: "boom"},
+	}
+	err := Errors(mixed)
+	if err == nil {
+		t.Fatal("error findings should produce an error")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Errors should carry the finding message: %v", err)
+	}
+}
+
+func TestSuppressDirective(t *testing.T) {
+	src := `program p
+
+var x : 0..3
+
+# lint:ignore DC001 reason one
+action a :: x > 5 -> x := 0
+action b :: x > 6 -> x := 1
+# lint:ignore all sweeping
+action c :: x > 7 -> x := 2
+`
+	diags := Lint("p.gcl", src)
+	var codesAt []string
+	for _, d := range diags {
+		codesAt = append(codesAt, d.Code)
+		if d.Line == 6 || d.Line == 9 {
+			t.Errorf("finding on a suppressed line survived: %v", d)
+		}
+	}
+	// Only action b's dead guard should remain.
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeDeadGuard && d.Line == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unsuppressed dead guard on line 7 missing; got codes %v", codesAt)
+	}
+}
+
+func TestAnalyzersRegistry(t *testing.T) {
+	as := Analyzers()
+	if len(as) != 6 {
+		t.Fatalf("expected 6 analyzers, got %d", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Code == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func mustSchema(t *testing.T) *state.Schema {
+	t.Helper()
+	sch, err := state.NewSchema(
+		state.IntVar("x", 3),
+		state.IntVar("y", 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestCheckCompiledProgram(t *testing.T) {
+	sch := mustSchema(t)
+
+	if diags := Check(nil); len(diags) != 1 || diags[0].Severity != Error {
+		t.Errorf("Check(nil) = %v, want one error", diags)
+	}
+
+	empty, err := guarded.NewProgram("empty", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(empty)
+	if len(diags) != 1 || diags[0].Severity != Warning || diags[0].Code != CodeStructure {
+		t.Errorf("Check(empty) = %v, want one DC007 warning", diags)
+	}
+
+	ok, err := guarded.NewProgram("ok", sch,
+		guarded.Assign(sch, "inc", state.True, "x", 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Check(ok); len(diags) != 0 {
+		t.Errorf("Check(ok) = %v, want none", diags)
+	}
+
+	bogus := guarded.Action{
+		Name:   "bogus",
+		Guard:  state.True,
+		Next:   func(s state.State) []state.State { return []state.State{s} },
+		Writes: []string{"nope", "x", "x"},
+	}
+	writer := func(name string) guarded.Action {
+		return guarded.Assign(sch, name, state.True, "x", 0)
+	}
+	prog, err := guarded.NewProgram("bad", sch, bogus, writer("w1"), writer("w2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = Check(prog)
+	var haveUnknown, haveDup, haveShared bool
+	for _, d := range diags {
+		switch {
+		case d.Severity == Error && strings.Contains(d.Message, `"nope"`):
+			haveUnknown = true
+		case d.Severity == Warning && strings.Contains(d.Message, "duplicate writes"):
+			haveDup = true
+		case d.Severity == Info && d.Code == CodeConflict:
+			haveShared = true
+		}
+	}
+	if !haveUnknown || !haveDup || !haveShared {
+		t.Errorf("Check(bad) missing findings (unknown=%v dup=%v shared=%v): %v",
+			haveUnknown, haveDup, haveShared, diags)
+	}
+	if err := Errors(diags); err == nil {
+		t.Error("Errors over Check(bad) should report the unknown-variable write")
+	}
+}

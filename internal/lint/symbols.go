@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"fmt"
+
+	"detcorr/internal/gcl"
+)
+
+// valType is the type of an expression: boolean or integer. Enum values
+// are integers (their declaration index), mirroring the compiler.
+type valType int
+
+const (
+	typInvalid valType = iota
+	typBool
+	typInt
+)
+
+func (t valType) String() string {
+	switch t {
+	case typBool:
+		return "bool"
+	case typInt:
+		return "int"
+	}
+	return "invalid"
+}
+
+// varInfo is a declared variable with its source-level value bounds:
+// bool 0..1, range lo..hi, enum 0..len(names)-1.
+type varInfo struct {
+	decl   gcl.VarDecl
+	typ    valType
+	lo, hi int
+	enum   []string // enum value names, nil otherwise
+}
+
+// size returns the number of values in the variable's domain.
+func (v *varInfo) size() int { return v.hi - v.lo + 1 }
+
+// predInfo is a declared predicate. ok reports that its expression
+// resolved and is boolean; abs and vars memoize derived facts.
+type predInfo struct {
+	decl  gcl.PredDecl
+	index int
+	ok    bool
+	abs   *aval
+	vars  []string
+}
+
+// Pass is the shared context the analyzers run over: the parsed file, its
+// resolved symbol table, and the diagnostics collected so far. Resolution
+// and type errors are reported as DC000 diagnostics during construction;
+// analyzers consult exprOK/predInfo.ok and skip what did not resolve.
+type Pass struct {
+	File string
+	AST  *gcl.FileAST
+
+	vars   map[string]*varInfo
+	consts map[string]int
+	preds  map[string]*predInfo
+	exprOK map[gcl.Expr]bool // top-level guards and assignment RHS that type-checked
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at a source position.
+func (p *Pass) Reportf(at gcl.Pos, sev Severity, code, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		File: p.File, Line: at.Line, Col: at.Col,
+		Severity: sev, Code: code, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func newPass(filename string, ast *gcl.FileAST) *Pass {
+	p := &Pass{
+		File:   filename,
+		AST:    ast,
+		vars:   map[string]*varInfo{},
+		consts: map[string]int{},
+		preds:  map[string]*predInfo{},
+		exprOK: map[gcl.Expr]bool{},
+	}
+	p.buildSymbols()
+	p.checkTypes()
+	return p
+}
+
+// buildSymbols mirrors the compiler's declaration rules, reporting DC000
+// diagnostics instead of failing on the first violation.
+func (p *Pass) buildSymbols() {
+	for i := range p.AST.Vars {
+		d := &p.AST.Vars[i]
+		if _, dup := p.vars[d.Name]; dup {
+			p.Reportf(d.At, Error, CodeResolve, "duplicate variable %q", d.Name)
+			continue
+		}
+		vi := &varInfo{decl: *d}
+		switch d.Type.Kind {
+		case gcl.TypeBool:
+			vi.typ, vi.lo, vi.hi = typBool, 0, 1
+		case gcl.TypeRange:
+			vi.typ, vi.lo, vi.hi = typInt, d.Type.Lo, d.Type.Hi
+		case gcl.TypeEnum:
+			vi.typ, vi.lo, vi.hi = typInt, 0, len(d.Type.Names)-1
+			vi.enum = d.Type.Names
+			for idx, name := range d.Type.Names {
+				if old, dup := p.consts[name]; dup && old != idx {
+					p.Reportf(d.At, Error, CodeResolve, "enum value %q redeclared with a different index", name)
+					continue
+				}
+				p.consts[name] = idx
+			}
+		default:
+			p.Reportf(d.At, Error, CodeResolve, "variable %q has unknown type", d.Name)
+			continue
+		}
+		p.vars[d.Name] = vi
+	}
+	for i := range p.AST.Vars {
+		d := &p.AST.Vars[i]
+		if _, clash := p.consts[d.Name]; clash {
+			p.Reportf(d.At, Error, CodeResolve, "name %q is both a variable and an enum value", d.Name)
+		}
+	}
+	for i := range p.AST.Preds {
+		d := &p.AST.Preds[i]
+		if _, dup := p.preds[d.Name]; dup {
+			p.Reportf(d.At, Error, CodeResolve, "duplicate predicate %q", d.Name)
+			continue
+		}
+		if _, clash := p.vars[d.Name]; clash {
+			p.Reportf(d.At, Error, CodeResolve, "predicate %q has the same name as a variable", d.Name)
+			continue
+		}
+		if _, clash := p.consts[d.Name]; clash {
+			p.Reportf(d.At, Error, CodeResolve, "predicate %q has the same name as an enum value", d.Name)
+			continue
+		}
+		p.preds[d.Name] = &predInfo{decl: *d, index: i}
+	}
+}
+
+// checkTypes resolves and type-checks every expression in the file:
+// predicates in declaration order (a predicate may reference only earlier
+// ones, as in the compiler), then action and fault guards and assignments.
+func (p *Pass) checkTypes() {
+	avail := map[string]*predInfo{}
+	for i := range p.AST.Preds {
+		d := &p.AST.Preds[i]
+		pi := p.preds[d.Name]
+		if pi == nil || pi.index != i {
+			continue // duplicate or clashing declaration, already reported
+		}
+		switch p.typeOf(d.Expr, avail) {
+		case typBool:
+			pi.ok = true
+		case typInt:
+			p.Reportf(d.At, Error, CodeResolve, "predicate %q is not boolean", d.Name)
+		}
+		avail[d.Name] = pi
+	}
+	check := func(d *gcl.ActionDecl, kind string) {
+		switch p.typeOf(d.Guard, avail) {
+		case typBool:
+			p.exprOK[d.Guard] = true
+		case typInt:
+			p.Reportf(d.At, Error, CodeResolve, "guard of %s %q is not boolean", kind, d.Name)
+		}
+		seen := map[string]bool{}
+		for j := range d.Assigns {
+			a := &d.Assigns[j]
+			v, declared := p.vars[a.Var]
+			if !declared {
+				p.Reportf(a.At, Error, CodeResolve, "assignment to undeclared variable %q", a.Var)
+				continue
+			}
+			if seen[a.Var] {
+				p.Reportf(a.At, Error, CodeResolve, "variable %q assigned twice in %s %q", a.Var, kind, d.Name)
+				continue
+			}
+			seen[a.Var] = true
+			if a.Expr == nil {
+				continue // '?': always well-typed
+			}
+			t := p.typeOf(a.Expr, avail)
+			if t == typInvalid {
+				continue
+			}
+			if t != v.typ {
+				p.Reportf(a.At, Error, CodeResolve, "assignment to %q: expected %s, got %s", a.Var, v.typ, t)
+				continue
+			}
+			p.exprOK[a.Expr] = true
+		}
+	}
+	for i := range p.AST.Actions {
+		check(&p.AST.Actions[i], "action")
+	}
+	for i := range p.AST.Faults {
+		check(&p.AST.Faults[i], "fault")
+	}
+}
+
+// typeOf type-checks an expression, reporting DC000 diagnostics for
+// unresolved names and operand mismatches. avail limits which predicates
+// may be referenced. An invalid subexpression propagates typInvalid
+// without cascading reports.
+func (p *Pass) typeOf(e gcl.Expr, avail map[string]*predInfo) valType {
+	switch n := e.(type) {
+	case *gcl.BoolLit:
+		return typBool
+	case *gcl.IntLit:
+		return typInt
+	case *gcl.Ref:
+		if v, ok := p.vars[n.Name]; ok {
+			return v.typ
+		}
+		if _, ok := p.consts[n.Name]; ok {
+			return typInt
+		}
+		if pi, ok := avail[n.Name]; ok {
+			if !pi.ok {
+				return typInvalid
+			}
+			return typBool
+		}
+		if _, later := p.preds[n.Name]; later {
+			p.Reportf(n.At, Error, CodeResolve, "predicate %q referenced before its declaration", n.Name)
+			return typInvalid
+		}
+		p.Reportf(n.At, Error, CodeResolve, "undeclared identifier %q", n.Name)
+		return typInvalid
+	case *gcl.Unary:
+		t := p.typeOf(n.X, avail)
+		if t == typInvalid {
+			return typInvalid
+		}
+		switch n.Op {
+		case gcl.NOT:
+			if t != typBool {
+				p.Reportf(n.At, Error, CodeResolve, "'!' applied to non-boolean")
+				return typInvalid
+			}
+			return typBool
+		case gcl.MINUS:
+			if t != typInt {
+				p.Reportf(n.At, Error, CodeResolve, "unary '-' applied to non-integer")
+				return typInvalid
+			}
+			return typInt
+		}
+		return typInvalid
+	case *gcl.Binary:
+		l := p.typeOf(n.L, avail)
+		r := p.typeOf(n.R, avail)
+		if l == typInvalid || r == typInvalid {
+			return typInvalid
+		}
+		switch n.Op {
+		case gcl.AND, gcl.OR, gcl.IMPLIES:
+			if l != typBool || r != typBool {
+				p.Reportf(n.At, Error, CodeResolve, "%s requires boolean operands", n.Op)
+				return typInvalid
+			}
+			return typBool
+		case gcl.EQ, gcl.NEQ:
+			if l != r {
+				p.Reportf(n.At, Error, CodeResolve, "%s compares %s with %s", n.Op, l, r)
+				return typInvalid
+			}
+			return typBool
+		case gcl.LT, gcl.LE, gcl.GT, gcl.GE:
+			if l != typInt || r != typInt {
+				p.Reportf(n.At, Error, CodeResolve, "%s requires integer operands", n.Op)
+				return typInvalid
+			}
+			return typBool
+		case gcl.PLUS, gcl.MINUS, gcl.STAR, gcl.PERCENT:
+			if l != typInt || r != typInt {
+				p.Reportf(n.At, Error, CodeResolve, "%s requires integer operands", n.Op)
+				return typInvalid
+			}
+			return typInt
+		}
+		return typInvalid
+	}
+	return typInvalid
+}

@@ -1,0 +1,126 @@
+package lint
+
+import "detcorr/internal/gcl"
+
+// unusedDecl (DC003) reports declaration-usage mismatches:
+//
+//   - a variable neither read nor written anywhere (warning): dead weight
+//     that still multiplies the state space;
+//   - a variable written by some command but never read by any guard,
+//     right-hand side, or predicate (warning): state that cannot influence
+//     anything;
+//   - a variable read but never written by any action or fault (info): it
+//     is a constant input, which is legal but worth knowing;
+//   - a predicate never referenced by another expression (info):
+//     predicates remain reachable from dctl flags, so this is advisory.
+var unusedDecl = &Analyzer{
+	Name: "unused",
+	Code: CodeUnused,
+	Doc:  "detect unused or write-only variables and unreferenced predicates",
+	Run: func(p *Pass) {
+		reads := map[string]bool{}
+		written := map[string]bool{}
+		predRefs := map[string]bool{}
+		collect := func(e gcl.Expr) {
+			for _, v := range p.refVars(e) {
+				reads[v] = true
+			}
+			for q := range p.refPreds(e) {
+				predRefs[q] = true
+			}
+		}
+		for i := range p.AST.Preds {
+			collect(p.AST.Preds[i].Expr)
+		}
+		for _, decls := range [][]gcl.ActionDecl{p.AST.Actions, p.AST.Faults} {
+			for i := range decls {
+				d := &decls[i]
+				collect(d.Guard)
+				for _, a := range d.Assigns {
+					written[a.Var] = true
+					if a.Expr != nil {
+						collect(a.Expr)
+					}
+				}
+			}
+		}
+		for i := range p.AST.Vars {
+			d := &p.AST.Vars[i]
+			v := p.vars[d.Name]
+			if v == nil || v.decl.At != d.At {
+				continue // duplicate declaration, already reported
+			}
+			switch {
+			case !reads[d.Name] && !written[d.Name]:
+				p.Reportf(d.At, Warning, CodeUnused, "variable %q is never used", d.Name)
+			case !reads[d.Name]:
+				p.Reportf(d.At, Warning, CodeUnused, "variable %q is written but never read", d.Name)
+			case !written[d.Name]:
+				p.Reportf(d.At, Info, CodeUnused,
+					"variable %q is never written; it is constant in every run", d.Name)
+			}
+		}
+		for i := range p.AST.Preds {
+			d := &p.AST.Preds[i]
+			pi := p.preds[d.Name]
+			if pi == nil || pi.index != i {
+				continue
+			}
+			if !predRefs[d.Name] {
+				p.Reportf(d.At, Info, CodeUnused,
+					"predicate %q is not referenced in the file (predicates remain reachable from dctl flags)", d.Name)
+			}
+		}
+	},
+}
+
+// faultHygiene (DC006) reports a fault action that writes a variable no
+// program action reads: such a fault cannot perturb the program's
+// behavior, so checking tolerance against it is meaningless — usually the
+// fault targets the wrong variable, or a detector guard is missing.
+var faultHygiene = &Analyzer{
+	Name: "faulthygiene",
+	Code: CodeFaultHygiene,
+	Doc:  "detect fault actions that write variables no program action reads",
+	Run: func(p *Pass) {
+		actionReads := map[string]bool{}
+		for i := range p.AST.Actions {
+			d := &p.AST.Actions[i]
+			for _, v := range p.refVars(d.Guard) {
+				actionReads[v] = true
+			}
+			for _, a := range d.Assigns {
+				if a.Expr != nil {
+					for _, v := range p.refVars(a.Expr) {
+						actionReads[v] = true
+					}
+				}
+			}
+		}
+		predReads := map[string]bool{}
+		for i := range p.AST.Preds {
+			for _, v := range p.refVars(p.AST.Preds[i].Expr) {
+				predReads[v] = true
+			}
+		}
+		for i := range p.AST.Faults {
+			d := &p.AST.Faults[i]
+			for j := range d.Assigns {
+				a := &d.Assigns[j]
+				if _, declared := p.vars[a.Var]; !declared {
+					continue
+				}
+				if actionReads[a.Var] {
+					continue
+				}
+				if predReads[a.Var] {
+					p.Reportf(a.At, Warning, CodeFaultHygiene,
+						"fault %q writes %q, which no program action reads (only predicates observe it)", d.Name, a.Var)
+				} else {
+					p.Reportf(a.At, Warning, CodeFaultHygiene,
+						"fault %q writes %q, which no program action reads; the fault cannot affect the program", d.Name, a.Var)
+				}
+			}
+		}
+	},
+}
