@@ -1,10 +1,10 @@
 GO ?= go
 GCL_FILES := $(wildcard cmd/dctl/testdata/*.gcl)
 
-.PHONY: check build vet test race lint bench clean
+.PHONY: check build vet test race lint fuzz bench clean
 
 # The full local gate: everything CI would run.
-check: build vet test race lint
+check: build vet test race lint fuzz
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # dclint over every shipped GCL program; fails on error-severity findings.
 lint:
 	$(GO) run ./cmd/dctl lint $(GCL_FILES)
+
+# Short fuzz smoke over the GCL front end ('go test -fuzz' accepts only one
+# target per invocation, hence two runs).
+fuzz:
+	$(GO) test ./internal/gcl -run='^$$' -fuzz=FuzzParse -fuzztime=10s
+	$(GO) test ./internal/gcl -run='^$$' -fuzz=FuzzCompile -fuzztime=10s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -17,6 +17,7 @@ import (
 	"detcorr/internal/explore"
 	"detcorr/internal/fault"
 	"detcorr/internal/gcl"
+	"detcorr/internal/guarded"
 	"detcorr/internal/memaccess"
 	"detcorr/internal/runtime"
 	"detcorr/internal/state"
@@ -135,6 +136,76 @@ func BenchmarkGraphBuild(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel exploration benchmarks ---
+//
+// Seq/Par pairs measure the same Build at Parallelism 1 and at all CPUs;
+// the graphs are identical by the engine's determinism contract, so the
+// pairs differ only in wall-clock. EXPERIMENTS.md records measured ratios.
+
+// parWorkers is the worker count the Par benchmarks use: every CPU, but at
+// least two so the parallel engine is actually exercised (and its overhead
+// measured) even on a single-core machine.
+func parWorkers() int {
+	if n := explore.AutoParallelism(); n > 2 {
+		return n
+	}
+	return 2
+}
+
+func benchBuild(b *testing.B, prog *guarded.Program, workers, wantNodes int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		g, err := explore.Build(prog, state.True, explore.Options{Parallelism: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumNodes() != wantNodes {
+			b.Fatalf("unexpected node count %d (want %d)", g.NumNodes(), wantNodes)
+		}
+	}
+}
+
+func BenchmarkBuildRing7Seq(b *testing.B) {
+	benchBuild(b, tokenring.MustNew(7, 7).Ring, 1, 823543)
+}
+
+func BenchmarkBuildRing7Par(b *testing.B) {
+	benchBuild(b, tokenring.MustNew(7, 7).Ring, parWorkers(), 823543)
+}
+
+func BenchmarkBuildByzMaskingSeq(b *testing.B) {
+	sys := byzagree.MustNew()
+	g, err := explore.Build(sys.Masking, state.True, explore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchBuild(b, sys.Masking, 1, g.NumNodes())
+}
+
+func BenchmarkBuildByzMaskingPar(b *testing.B) {
+	sys := byzagree.MustNew()
+	g, err := explore.Build(sys.Masking, state.True, explore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchBuild(b, sys.Masking, parWorkers(), g.NumNodes())
+}
+
+// benchExperimentParallel reruns a whole experiment with the process-wide
+// exploration default raised, the way dcbench -j does.
+func benchExperimentParallel(b *testing.B, id string) {
+	b.Helper()
+	prev := explore.SetDefaultParallelism(parWorkers())
+	defer explore.SetDefaultParallelism(prev)
+	benchExperiment(b, id)
+}
+
+func BenchmarkE5ByzantineAgreementPar(b *testing.B) { benchExperimentParallel(b, "E5") }
+func BenchmarkE9TokenRingPar(b *testing.B)          { benchExperimentParallel(b, "E9") }
+func BenchmarkE13AblationPar(b *testing.B)          { benchExperimentParallel(b, "E13") }
 
 func BenchmarkSimulationRun(b *testing.B) {
 	sys := memaccess.MustNew(2)

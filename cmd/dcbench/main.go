@@ -4,7 +4,12 @@
 //
 //	dcbench            # run all experiments (E1..E13)
 //	dcbench E4 E9      # run selected experiments
+//	dcbench -j 0       # explore state spaces with all CPUs
 //	dcbench -list      # list experiment ids
+//
+// -j N sets the worker count for state-space exploration and simulation
+// campaigns (0 = all CPUs, default 1 = sequential); the tables are
+// identical at any setting.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"time"
 
 	"detcorr/internal/experiments"
+	"detcorr/internal/explore"
 )
 
 func main() {
@@ -26,9 +32,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dcbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	jobs := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *jobs == 0 {
+		*jobs = explore.AutoParallelism()
+	}
+	explore.SetDefaultParallelism(*jobs)
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

@@ -14,18 +14,20 @@
 //	    automatically before every other command that loads a file.
 //
 //	dctl check <file.gcl> -kind failsafe|nonmasking|masking -invariant S
-//	    [-recovery R] [-goal P] [-never P]
+//	    [-recovery R] [-goal P] [-never P] [-j N]
 //	    Decide F-tolerance of the program for the specification "never a
 //	    state satisfying P_never (safety), and from anywhere eventually
 //	    P_goal (liveness)", from invariant S. Predicates are named 'pred'
-//	    declarations in the file.
+//	    declarations in the file. -j N explores the state space with N
+//	    worker goroutines (0 = all CPUs); the result is identical at any
+//	    worker count.
 //
-//	dctl detects <file.gcl> -z Z -x X -from U [-tolerant kind]
+//	dctl detects <file.gcl> -z Z -x X -from U [-tolerant kind] [-j N]
 //	    Check 'Z detects X' in the program from U, optionally as a
 //	    fail-safe/nonmasking/masking F-tolerant detector for the file's
 //	    fault class.
 //
-//	dctl corrects <file.gcl> -z Z -x X -from U [-tolerant kind]
+//	dctl corrects <file.gcl> -z Z -x X -from U [-tolerant kind] [-j N]
 //	    Check 'Z corrects X' likewise.
 //
 //	dctl simulate <file.gcl> -init "a=1,b=2" [-steps N] [-seed S]

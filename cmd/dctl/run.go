@@ -10,12 +10,24 @@ import (
 	"strings"
 
 	"detcorr/internal/core"
+	"detcorr/internal/explore"
 	"detcorr/internal/fault"
 	"detcorr/internal/gcl"
 	"detcorr/internal/runtime"
 	"detcorr/internal/spec"
 	"detcorr/internal/state"
 )
+
+// setParallelism applies the -j flag: it sets the process-wide default
+// worker count for state-space exploration, which every Build reached
+// through the check/detects/corrects call chains inherits. 0 means all
+// CPUs, mirroring make -j.
+func setParallelism(j int) {
+	if j == 0 {
+		j = explore.AutoParallelism()
+	}
+	explore.SetDefaultParallelism(j)
+}
 
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
@@ -149,10 +161,12 @@ func runCheck(args []string, out, errOut io.Writer) error {
 	recFlag := fs.String("recovery", "", "recovery predicate R for nonmasking (default: the invariant)")
 	goalFlag := fs.String("goal", "", "liveness goal predicate (eventually goal)")
 	neverFlag := fs.String("never", "", "safety predicate: states satisfying it are forbidden")
+	jFlag := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
 	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
+	setParallelism(*jFlag)
 	kind, err := parseKind(*kindFlag)
 	if err != nil {
 		return err
@@ -207,10 +221,12 @@ func runComponent(cmd string, args []string, out, errOut io.Writer) error {
 	xFlag := fs.String("x", "", "detection/correction predicate X (required)")
 	fromFlag := fs.String("from", "", "predicate U the relation is refined from (default true)")
 	tolFlag := fs.String("tolerant", "", "also check as an F-tolerant component: failsafe, nonmasking, or masking")
+	jFlag := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
 	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
+	setParallelism(*jFlag)
 	if *zFlag == "" || *xFlag == "" {
 		return usageErrorf("-z and -x are required")
 	}

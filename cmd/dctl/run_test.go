@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"detcorr/internal/explore"
 	"detcorr/internal/lint"
 )
 
@@ -54,6 +55,25 @@ func TestCheckMasking(t *testing.T) {
 		"-goal", "DataCorrect", "-never", "DataWrong")
 	if !strings.Contains(out, "HOLDS") {
 		t.Errorf("masking check should hold:\n%s", out)
+	}
+}
+
+func TestCheckParallelFlag(t *testing.T) {
+	// -j is process-wide; restore the default so other tests keep the
+	// engine they expect.
+	defer explore.SetDefaultParallelism(explore.DefaultParallelism())
+	want := runOK(t, "check", file, "-kind", "masking", "-invariant", "S",
+		"-goal", "DataCorrect", "-never", "DataWrong")
+	for _, j := range []string{"0", "4"} {
+		out := runOK(t, "check", file, "-j", j, "-kind", "masking", "-invariant", "S",
+			"-goal", "DataCorrect", "-never", "DataWrong")
+		if out != want {
+			t.Errorf("-j %s changes the check output:\nseq:\n%s\npar:\n%s", j, want, out)
+		}
+	}
+	out := runOK(t, "detects", file, "-j", "4", "-z", "Z1p", "-x", "X1", "-from", "U1")
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("parallel detects output:\n%s", out)
 	}
 }
 

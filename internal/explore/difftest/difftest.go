@@ -1,0 +1,84 @@
+// Package difftest checks that the sequential and parallel exploration
+// engines are interchangeable: Build with Parallelism 1 and Build with any
+// worker count must produce identical graphs — same states, node ids,
+// out-edges, in-lists, and fairness — for the same program and options.
+// The determinism contract (node ids canonically renumbered by state index)
+// is what makes this an exact equality rather than an isomorphism check,
+// and it is what keeps goldens and cross-engine comparisons byte-stable.
+package difftest
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Diff reports the first structural difference between two graphs, or nil
+// when they are identical. The comparison is exact: node order, edge order,
+// and in-list order all count.
+func Diff(a, b *explore.Graph) error {
+	if a.NumNodes() != b.NumNodes() {
+		return fmt.Errorf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		return fmt.Errorf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for id := 0; id < a.NumNodes(); id++ {
+		if !a.State(id).Equal(b.State(id)) {
+			return fmt.Errorf("node %d: states differ: %s vs %s", id, a.State(id), b.State(id))
+		}
+		if err := diffEdges(a.Out(id), b.Out(id)); err != nil {
+			return fmt.Errorf("node %d out-edges: %w", id, err)
+		}
+		if err := diffEdges(a.In(id), b.In(id)); err != nil {
+			return fmt.Errorf("node %d in-list: %w", id, err)
+		}
+	}
+	na := a.Program().NumActions()
+	if nb := b.Program().NumActions(); na != nb {
+		return fmt.Errorf("action counts differ: %d vs %d", na, nb)
+	}
+	for act := 0; act < na; act++ {
+		if a.FairAction(act) != b.FairAction(act) {
+			return fmt.Errorf("action %d (%s): fairness differs", act, a.ActionName(act))
+		}
+	}
+	return nil
+}
+
+func diffEdges(ea, eb []explore.Edge) error {
+	if len(ea) != len(eb) {
+		return fmt.Errorf("lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return fmt.Errorf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	return nil
+}
+
+// Check builds the program with the sequential engine and with each of the
+// given worker counts, and returns an error describing the first
+// divergence. It is the engine-equivalence assertion the differential test
+// suite runs over every example system.
+func Check(p *guarded.Program, init state.Predicate, opts explore.Options, workerCounts ...int) error {
+	opts.Parallelism = 1
+	ref, err := explore.Build(p, init, opts)
+	if err != nil {
+		return fmt.Errorf("sequential build: %w", err)
+	}
+	for _, w := range workerCounts {
+		opts.Parallelism = w
+		g, err := explore.Build(p, init, opts)
+		if err != nil {
+			return fmt.Errorf("parallel build (%d workers): %w", w, err)
+		}
+		if err := Diff(ref, g); err != nil {
+			return fmt.Errorf("parallel build (%d workers) diverges: %w", w, err)
+		}
+	}
+	return nil
+}

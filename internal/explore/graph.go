@@ -34,9 +34,19 @@ type Options struct {
 	// p ‖ F composition must be marked unfair: computations are only
 	// p-fair and p-maximal (Section 2.3).
 	Fair []bool
-	// MaxStates aborts construction when the explored state count exceeds
-	// this bound; 0 means no bound beyond the schema's own limit.
+	// MaxStates bounds the number of explored states; 0 means no bound
+	// beyond the schema's own limit. The bound is exact: Build fails with
+	// ErrStateBound if and only if the number of distinct reachable states
+	// exceeds MaxStates, and a failed Build records nothing.
 	MaxStates int
+	// Parallelism selects the exploration engine: 1 (or any negative
+	// value) runs the sequential engine, N > 1 expands the frontier with
+	// an N-worker pool, and 0 defers to the process-wide default (see
+	// SetDefaultParallelism; sequential unless raised). Both engines
+	// produce identical graphs: node ids are canonically renumbered by
+	// state index, so the result does not depend on worker count or
+	// schedule.
+	Parallelism int
 }
 
 // ErrStateBound is returned when exploration exceeds Options.MaxStates.
@@ -46,6 +56,11 @@ var ErrStateBound = fmt.Errorf("explore: state bound exceeded")
 // the induced transition graph. With init == state.True the graph covers the
 // entire (finite) state space, which is what checks quantified over all
 // states — such as invariant closure — require.
+//
+// Node ids are canonical: they ascend with the states' mixed-radix indices
+// (state.State.Index), so the graph is identical — same states, ids, edges,
+// and in-lists — whichever engine built it and however its workers were
+// scheduled. See Options.Parallelism.
 func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
 	if err := p.Schema().Indexable(); err != nil {
 		return nil, err
@@ -60,51 +75,19 @@ func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, erro
 	if len(fair) != p.NumActions() {
 		return nil, fmt.Errorf("explore: fairness mask has %d entries for %d actions", len(fair), p.NumActions())
 	}
-	g := &Graph{
-		prog:    p,
-		ids:     make(map[uint64]int),
-		fair:    append([]bool(nil), fair...),
-		numActs: p.NumActions(),
+	var (
+		nodes []rawNode
+		err   error
+	)
+	if w := opts.workers(); w > 1 {
+		nodes, err = exploreParallel(p, init, opts.MaxStates, w)
+	} else {
+		nodes, err = exploreSeq(p, init, opts.MaxStates)
 	}
-	var frontier []int
-	add := func(s state.State) int {
-		key := s.Index()
-		if id, ok := g.ids[key]; ok {
-			return id
-		}
-		id := len(g.states)
-		g.ids[key] = id
-		g.states = append(g.states, s)
-		g.out = append(g.out, nil)
-		frontier = append(frontier, id)
-		return id
-	}
-	err := p.Schema().ForEachState(func(s state.State) bool {
-		if init.Holds(s) {
-			add(s)
-		}
-		return opts.MaxStates == 0 || len(g.states) <= opts.MaxStates
-	})
 	if err != nil {
 		return nil, err
 	}
-	if opts.MaxStates > 0 && len(g.states) > opts.MaxStates {
-		return nil, fmt.Errorf("%w: more than %d initial states", ErrStateBound, opts.MaxStates)
-	}
-	for len(frontier) > 0 {
-		id := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		s := g.states[id]
-		for _, tr := range p.Successors(s) {
-			to := add(tr.To)
-			if opts.MaxStates > 0 && len(g.states) > opts.MaxStates {
-				return nil, fmt.Errorf("%w: more than %d states", ErrStateBound, opts.MaxStates)
-			}
-			g.out[id] = append(g.out[id], Edge{Action: tr.Action, To: to})
-		}
-	}
-	g.buildIn()
-	return g, nil
+	return assemble(p, append([]bool(nil), fair...), nodes), nil
 }
 
 func (g *Graph) buildIn() {

@@ -1,0 +1,359 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// defaultParallelism is the worker count Build uses when Options.Parallelism
+// is zero. Zero (the initial value) means sequential; dctl -j, dcbench -j,
+// and the benchmarks raise it process-wide so that every graph construction
+// in core, fault, spec, and experiments inherits it without threading a
+// parameter through each call site.
+var defaultParallelism atomic.Int32
+
+// SetDefaultParallelism sets the worker count used by Build calls whose
+// Options.Parallelism is zero, returning the previous value (so callers can
+// restore it). Values below 1 reset the default to sequential exploration.
+func SetDefaultParallelism(n int) int {
+	if n < 1 {
+		n = 0
+	}
+	return int(defaultParallelism.Swap(int32(n)))
+}
+
+// DefaultParallelism returns the current process-wide default worker count;
+// 0 means sequential.
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// AutoParallelism is the worker count "use every core" CLI flags resolve to.
+func AutoParallelism() int { return runtime.NumCPU() }
+
+// workers resolves the effective worker count for a Build call.
+func (o Options) workers() int {
+	n := o.Parallelism
+	if n == 0 {
+		n = DefaultParallelism()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// rawNode is one discovered state before canonical renumbering: its
+// mixed-radix index, the state itself, and its outgoing transitions with
+// targets addressed by state index rather than node id. Both engines produce
+// []rawNode; assemble sorts by index and resolves ids, which is what makes
+// the result independent of discovery order.
+type rawNode struct {
+	idx uint64
+	st  state.State
+	out []rawEdge
+}
+
+// rawEdge is a transition to the state with index `to`, produced by the
+// action with the given index.
+type rawEdge struct {
+	action int
+	to     uint64
+}
+
+// denseVisitedLimit bounds the dense visited-set mode: state spaces with at
+// most this many states are deduplicated with a flat atomic bitset (32 MiB
+// at the limit); larger spaces fall back to sharded hash maps. A variable so
+// tests can force the sparse path on small schemas.
+var denseVisitedLimit = uint64(1) << 28
+
+// visitedSet deduplicates states by mixed-radix index. claim is safe for
+// concurrent use and returns true exactly once per index, handing the caller
+// ownership of the state's expansion.
+type visitedSet interface {
+	claim(idx uint64) bool
+}
+
+// denseVisited marks indices in a flat bitset; claim is a lock-free
+// compare-and-swap on the containing word.
+type denseVisited struct {
+	words []uint64
+}
+
+func (d *denseVisited) claim(idx uint64) bool {
+	w := &d.words[idx>>6]
+	bit := uint64(1) << (idx & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			return true
+		}
+	}
+}
+
+// visitedShards is the shard count of the sparse fallback. Shards are padded
+// to separate cache lines so claims on different shards do not false-share.
+const visitedShards = 64
+
+type sparseVisited struct {
+	shards [visitedShards]visitedShard
+}
+
+type visitedShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+	_  [40]byte
+}
+
+func (s *sparseVisited) claim(idx uint64) bool {
+	// Fibonacci hashing spreads consecutive indices across shards.
+	sh := &s.shards[(idx*0x9e3779b97f4a7c15)>>58]
+	sh.mu.Lock()
+	_, seen := sh.m[idx]
+	if !seen {
+		sh.m[idx] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !seen
+}
+
+func newVisitedSet(total uint64) visitedSet {
+	if total <= denseVisitedLimit {
+		return &denseVisited{words: make([]uint64, (total+63)/64)}
+	}
+	s := &sparseVisited{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+func boundError(maxStates int) error {
+	return fmt.Errorf("%w: more than %d states", ErrStateBound, maxStates)
+}
+
+// exploreSeq is the sequential engine: a scan of the state space for initial
+// states followed by a depth-first expansion. The MaxStates bound is exact:
+// it fails if and only if the number of distinct discovered states would
+// exceed the bound, before any extra state or edge is recorded.
+func exploreSeq(p *guarded.Program, init state.Predicate, maxStates int) ([]rawNode, error) {
+	total, _ := p.Schema().NumStates()
+	visited := newVisitedSet(total)
+	var (
+		nodes []rawNode
+		stack []int
+	)
+	// claim records a newly discovered state, reporting false when doing so
+	// would exceed the bound.
+	claim := func(idx uint64, s state.State) bool {
+		if !visited.claim(idx) {
+			return true
+		}
+		if maxStates > 0 && len(nodes) >= maxStates {
+			return false
+		}
+		nodes = append(nodes, rawNode{idx: idx, st: s})
+		stack = append(stack, len(nodes)-1)
+		return true
+	}
+	exceeded := false
+	err := p.Schema().ForEachState(func(s state.State) bool {
+		if init.Holds(s) && !claim(s.Index(), s) {
+			exceeded = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if exceeded {
+		return nil, boundError(maxStates)
+	}
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		trs := p.Successors(nodes[ni].st)
+		out := make([]rawEdge, 0, len(trs))
+		for _, tr := range trs {
+			idx := tr.To.Index()
+			if !claim(idx, tr.To) {
+				return nil, boundError(maxStates)
+			}
+			out = append(out, rawEdge{action: tr.Action, to: idx})
+		}
+		nodes[ni].out = out
+	}
+	return nodes, nil
+}
+
+// exploreParallel is the worker-pool engine. Phase 1 scans disjoint chunks
+// of the index space for initial states; phase 2 runs a level-synchronous
+// BFS where workers expand frontier chunks concurrently and deduplicate
+// through the shared visited set. Discovery order varies with the schedule,
+// but every state is expanded exactly once (by whichever worker claims it)
+// and Successors is a pure function of the state, so the rawNode set — and
+// after canonical renumbering, the Graph — is schedule-independent.
+func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, workers int) ([]rawNode, error) {
+	sch := p.Schema()
+	total, _ := sch.NumStates()
+	visited := newVisitedSet(total)
+	var (
+		count    atomic.Int64
+		exceeded atomic.Bool
+	)
+	// claim reports whether idx is newly discovered, flipping the abort flag
+	// when the discovery count passes the bound; all workers poll the flag
+	// and wind down, so the bound aborts the whole pool.
+	claim := func(idx uint64) bool {
+		if !visited.claim(idx) {
+			return false
+		}
+		if maxStates > 0 && count.Add(1) > int64(maxStates) {
+			exceeded.Store(true)
+		}
+		return true
+	}
+
+	type item struct {
+		idx uint64
+		st  state.State
+	}
+
+	// Phase 1: scan the index space for initial states.
+	var frontier []item
+	{
+		chunks := uint64(workers * 8)
+		if chunks > total {
+			chunks = total
+		}
+		if chunks < 1 {
+			chunks = 1
+		}
+		chunkSize := (total + chunks - 1) / chunks
+		var next atomic.Int64
+		local := make([][]item, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := uint64(next.Add(1)-1) * chunkSize
+					if lo >= total {
+						return
+					}
+					hi := lo + chunkSize
+					if hi > total {
+						hi = total
+					}
+					for idx := lo; idx < hi; idx++ {
+						if exceeded.Load() {
+							return
+						}
+						s := sch.StateAt(idx)
+						if init.Holds(s) && claim(idx) {
+							local[w] = append(local[w], item{idx, s})
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, l := range local {
+			frontier = append(frontier, l...)
+		}
+	}
+
+	// Phase 2: level-synchronous frontier expansion.
+	perWorker := make([][]rawNode, workers)
+	for len(frontier) > 0 && !exceeded.Load() {
+		chunkSize := len(frontier)/(workers*4) + 1
+		numChunks := (len(frontier) + chunkSize - 1) / chunkSize
+		var next atomic.Int64
+		local := make([][]item, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1) - 1)
+					if c >= numChunks {
+						return
+					}
+					hi := (c + 1) * chunkSize
+					if hi > len(frontier) {
+						hi = len(frontier)
+					}
+					for _, it := range frontier[c*chunkSize : hi] {
+						if exceeded.Load() {
+							return
+						}
+						trs := p.Successors(it.st)
+						out := make([]rawEdge, 0, len(trs))
+						for _, tr := range trs {
+							idx := tr.To.Index()
+							if claim(idx) {
+								local[w] = append(local[w], item{idx, tr.To})
+							}
+							out = append(out, rawEdge{action: tr.Action, to: idx})
+						}
+						perWorker[w] = append(perWorker[w], rawNode{idx: it.idx, st: it.st, out: out})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, l := range local {
+			frontier = append(frontier, l...)
+		}
+	}
+	if exceeded.Load() {
+		return nil, boundError(maxStates)
+	}
+	var nodes []rawNode
+	for _, l := range perWorker {
+		nodes = append(nodes, l...)
+	}
+	return nodes, nil
+}
+
+// assemble renumbers the discovered states canonically — node ids ascend
+// with the states' mixed-radix indices — and resolves edge targets, making
+// the resulting graph byte-for-byte identical for any engine and schedule.
+func assemble(p *guarded.Program, fair []bool, nodes []rawNode) *Graph {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].idx < nodes[j].idx })
+	g := &Graph{
+		prog:    p,
+		ids:     make(map[uint64]int, len(nodes)),
+		states:  make([]state.State, len(nodes)),
+		out:     make([][]Edge, len(nodes)),
+		fair:    fair,
+		numActs: p.NumActions(),
+	}
+	for i := range nodes {
+		g.ids[nodes[i].idx] = i
+		g.states[i] = nodes[i].st
+	}
+	for i := range nodes {
+		if len(nodes[i].out) == 0 {
+			continue
+		}
+		es := make([]Edge, len(nodes[i].out))
+		for k, re := range nodes[i].out {
+			es[k] = Edge{Action: re.action, To: g.ids[re.to]}
+		}
+		g.out[i] = es
+	}
+	g.buildIn()
+	return g
+}

@@ -1,0 +1,220 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"detcorr/internal/crosscheck"
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// graphsIdentical compares two graphs field by field: same states in the
+// same node order, same out-edge lists, same in-lists, same fairness.
+func graphsIdentical(a, b *Graph) error {
+	if len(a.states) != len(b.states) {
+		return fmt.Errorf("node counts differ: %d vs %d", len(a.states), len(b.states))
+	}
+	for i := range a.states {
+		if !a.states[i].Equal(b.states[i]) {
+			return fmt.Errorf("node %d: states differ: %s vs %s", i, a.states[i], b.states[i])
+		}
+		if len(a.out[i]) != len(b.out[i]) {
+			return fmt.Errorf("node %d: out degree %d vs %d", i, len(a.out[i]), len(b.out[i]))
+		}
+		for k := range a.out[i] {
+			if a.out[i][k] != b.out[i][k] {
+				return fmt.Errorf("node %d edge %d: %+v vs %+v", i, k, a.out[i][k], b.out[i][k])
+			}
+		}
+		if len(a.in[i]) != len(b.in[i]) {
+			return fmt.Errorf("node %d: in degree %d vs %d", i, len(a.in[i]), len(b.in[i]))
+		}
+		for k := range a.in[i] {
+			if a.in[i][k] != b.in[i][k] {
+				return fmt.Errorf("node %d in-edge %d: %+v vs %+v", i, k, a.in[i][k], b.in[i][k])
+			}
+		}
+	}
+	for a2 := range a.fair {
+		if a.fair[a2] != b.fair[a2] {
+			return fmt.Errorf("action %d: fairness differs", a2)
+		}
+	}
+	return nil
+}
+
+// requireSameGraph builds the program with the sequential engine and with
+// several worker counts and requires identical results.
+func requireSameGraph(t *testing.T, p *guarded.Program, init state.Predicate, opts Options) *Graph {
+	t.Helper()
+	opts.Parallelism = 1
+	seq, err := Build(p, init, opts)
+	if err != nil {
+		t.Fatalf("sequential build: %v", err)
+	}
+	for _, w := range []int{2, 3, runtime.NumCPU()} {
+		opts.Parallelism = w
+		par, err := Build(p, init, opts)
+		if err != nil {
+			t.Fatalf("parallel build (%d workers): %v", w, err)
+		}
+		if err := graphsIdentical(seq, par); err != nil {
+			t.Fatalf("parallel build (%d workers) diverges: %v", w, err)
+		}
+	}
+	return seq
+}
+
+func TestParallelMatchesSequentialOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p, err := crosscheck.Generate(seed, crosscheck.GenConfig{Vars: 4, Actions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, p, state.True, Options{})
+	}
+}
+
+func TestParallelPartialInit(t *testing.T) {
+	p := counter(t, 64, inc(64))
+	from := state.Pred("x=17", func(s state.State) bool { return s.Get(0) == 17 })
+	g := requireSameGraph(t, p, from, Options{})
+	if g.NumNodes() != 47 { // 17..63
+		t.Errorf("nodes = %d, want 47", g.NumNodes())
+	}
+}
+
+func TestParallelNondeterministicActions(t *testing.T) {
+	sch := state.MustSchema(state.IntVar("x", 8), state.IntVar("y", 8))
+	scatter := guarded.Choice("scatter", state.True, func(s state.State) []state.State {
+		// Several successors per state, in a fixed order.
+		return []state.State{
+			s.With(0, (s.Get(0)+1)%8),
+			s.With(1, (s.Get(1)+3)%8),
+			s.With(0, (s.Get(0)+s.Get(1))%8),
+		}
+	})
+	p := guarded.MustProgram("scatter", sch, scatter)
+	g := requireSameGraph(t, p, state.True, Options{})
+	if g.NumNodes() != 64 {
+		t.Errorf("nodes = %d, want 64", g.NumNodes())
+	}
+}
+
+func TestParallelFairMask(t *testing.T) {
+	p := counter(t, 16, inc(16), cycle(16))
+	requireSameGraph(t, p, state.True, Options{Fair: []bool{true, false}})
+}
+
+// TestCanonicalNumbering pins the determinism contract: node ids ascend with
+// the states' mixed-radix indices in both engines.
+func TestCanonicalNumbering(t *testing.T) {
+	p := counter(t, 32, cycle(32))
+	from := state.Pred("x=5", func(s state.State) bool { return s.Get(0) == 5 })
+	for _, par := range []int{1, 4} {
+		g, err := Build(p, from, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < g.NumNodes(); i++ {
+			if g.State(i-1).Index() >= g.State(i).Index() {
+				t.Fatalf("parallelism %d: node ids not in state-index order at %d", par, i)
+			}
+		}
+	}
+}
+
+func TestSparseVisitedFallback(t *testing.T) {
+	old := denseVisitedLimit
+	denseVisitedLimit = 1 // force the sharded-map path for any real schema
+	defer func() { denseVisitedLimit = old }()
+	for seed := int64(0); seed < 5; seed++ {
+		p, err := crosscheck.Generate(seed, crosscheck.GenConfig{Vars: 5, Actions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, p, state.True, Options{})
+	}
+}
+
+// TestMaxStatesExact verifies the bound is exact in both engines: a build
+// whose reachable set fits the bound succeeds, one state over fails.
+func TestMaxStatesExact(t *testing.T) {
+	const n = 100
+	p := counter(t, n, inc(n))
+	for _, par := range []int{1, 4} {
+		g, err := Build(p, state.True, Options{MaxStates: n, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: bound == reachable must succeed: %v", par, err)
+		}
+		if g.NumNodes() != n {
+			t.Fatalf("parallelism %d: nodes = %d, want %d", par, g.NumNodes(), n)
+		}
+		if _, err := Build(p, state.True, Options{MaxStates: n - 1, Parallelism: par}); !errors.Is(err, ErrStateBound) {
+			t.Fatalf("parallelism %d: bound = reachable-1 must fail with ErrStateBound, got %v", par, err)
+		}
+	}
+}
+
+// TestMaxStatesExactFromInit exercises the bound during frontier expansion
+// rather than the initial scan: a single initial state reaching n states.
+func TestMaxStatesExactFromInit(t *testing.T) {
+	const n = 64
+	p := counter(t, n, inc(n))
+	from := state.Pred("x=0", func(s state.State) bool { return s.Get(0) == 0 })
+	for _, par := range []int{1, 4} {
+		if g, err := Build(p, from, Options{MaxStates: n, Parallelism: par}); err != nil || g.NumNodes() != n {
+			t.Fatalf("parallelism %d: exact bound from init: nodes=%v err=%v", par, g, err)
+		}
+		if _, err := Build(p, from, Options{MaxStates: n / 2, Parallelism: par}); !errors.Is(err, ErrStateBound) {
+			t.Fatalf("parallelism %d: want ErrStateBound, got %v", par, err)
+		}
+	}
+}
+
+// TestParallelBoundAbortsWorkers checks that a large exploration under a
+// small bound aborts promptly with ErrStateBound instead of exploring the
+// whole space.
+func TestParallelBoundAbortsWorkers(t *testing.T) {
+	sch := state.MustSchema(state.IntVar("x", 200000))
+	cyc := guarded.Det("cycle", state.True, func(s state.State) state.State {
+		return s.With(0, (s.Get(0)+1)%200000)
+	})
+	p := guarded.MustProgram("big", sch, cyc)
+	_, err := Build(p, state.True, Options{MaxStates: 500, Parallelism: 4})
+	if !errors.Is(err, ErrStateBound) {
+		t.Fatalf("want ErrStateBound, got %v", err)
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	prev := SetDefaultParallelism(4)
+	defer SetDefaultParallelism(prev)
+	if DefaultParallelism() != 4 {
+		t.Fatalf("DefaultParallelism = %d, want 4", DefaultParallelism())
+	}
+	p := counter(t, 20, inc(20))
+	// Parallelism 0 defers to the default (now 4 workers)…
+	viaDefault, err := Build(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …and an explicit 1 still forces the sequential engine.
+	seq, err := Build(p, state.True, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphsIdentical(seq, viaDefault); err != nil {
+		t.Fatal(err)
+	}
+	if SetDefaultParallelism(0) != 4 {
+		t.Error("SetDefaultParallelism must return the previous value")
+	}
+	if DefaultParallelism() != 0 {
+		t.Error("SetDefaultParallelism(0) must reset to sequential")
+	}
+	SetDefaultParallelism(4) // restored by the deferred call
+}

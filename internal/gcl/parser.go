@@ -3,9 +3,28 @@ package gcl
 // Recursive-descent parser for the guarded-command language.
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// maxExprDepth bounds expression nesting. The recursive-descent parser (and
+// the expression compiler walking its output) recurse once per nesting
+// level, so without a bound an adversarial input — kilobytes of '(' or '!' —
+// exhausts the stack instead of failing with a syntax error.
+const maxExprDepth = 512
+
+// descend enters one nesting level, failing when the bound is exceeded.
+// Every call must be paired with ascend on the non-error path.
+func (p *parser) descend(t Token) error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return errAt(t.Line, t.Col, "expression nests deeper than %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *parser) ascend() { p.depth-- }
 
 // Parse lexes and parses a source file.
 func Parse(src string) (*FileAST, error) {
@@ -219,10 +238,14 @@ func (p *parser) impExpr() (Expr, error) {
 	}
 	if t := p.cur(); t.Kind == IMPLIES {
 		p.pos++
+		if err := p.descend(t); err != nil {
+			return nil, err
+		}
 		r, err := p.impExpr()
 		if err != nil {
 			return nil, err
 		}
+		p.ascend()
 		return &Binary{Op: IMPLIES, L: l, R: r, At: at(t)}, nil
 	}
 	return l, nil
@@ -311,10 +334,14 @@ func (p *parser) unaryExpr() (Expr, error) {
 	switch t := p.cur(); t.Kind {
 	case NOT, MINUS:
 		p.pos++
+		if err := p.descend(t); err != nil {
+			return nil, err
+		}
 		x, err := p.unaryExpr()
 		if err != nil {
 			return nil, err
 		}
+		p.ascend()
 		return &Unary{Op: t.Kind, X: x, At: at(t)}, nil
 	}
 	return p.atom()
@@ -336,10 +363,14 @@ func (p *parser) atom() (Expr, error) {
 		return &Ref{Name: t.Text, At: at(t)}, nil
 	case LPAREN:
 		p.pos++
+		if err := p.descend(t); err != nil {
+			return nil, err
+		}
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
+		p.ascend()
 		if _, err := p.expect(RPAREN); err != nil {
 			return nil, err
 		}

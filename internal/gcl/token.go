@@ -160,6 +160,11 @@ func Lex(src string) ([]Token, error) {
 				num = num*10 + int(src[j]-'0')
 				j++
 			}
+			// 18 digits always fit in an int64; longer literals would
+			// silently overflow num above.
+			if j-i > 18 {
+				return nil, errAt(line, col, "number literal %q too large", src[i:j])
+			}
 			emit(NUMBER, src[i:j], num, j-i)
 			i = j
 		default:

@@ -153,7 +153,11 @@ func (p *Pass) eval(env map[string]int, e gcl.Expr) int {
 		if c, ok := p.consts[n.Name]; ok {
 			return c
 		}
-		if pi, ok := p.preds[n.Name]; ok {
+		// pi.ok matters for termination, not just precision: only resolved
+		// predicates are guaranteed to reference earlier ones (a DAG), so
+		// following an unresolved self-referential predicate would recurse
+		// forever.
+		if pi, ok := p.preds[n.Name]; ok && pi.ok {
 			return p.eval(env, pi.decl.Expr)
 		}
 		return 0
@@ -231,7 +235,9 @@ func (p *Pass) collectVars(e gcl.Expr, set map[string]bool) {
 		if _, ok := p.consts[n.Name]; ok {
 			return
 		}
-		if pi, ok := p.preds[n.Name]; ok {
+		// Follow only resolved predicates: they form a DAG by declaration
+		// order, while an unresolved one may reference itself.
+		if pi, ok := p.preds[n.Name]; ok && pi.ok {
 			for _, v := range p.predVars(pi) {
 				set[v] = true
 			}

@@ -2,7 +2,10 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"detcorr/internal/explore"
 	"detcorr/internal/guarded"
 	"detcorr/internal/state"
 )
@@ -20,6 +23,13 @@ type Campaign struct {
 	Monitors func(run int) []Monitor
 	// Runs is the number of seeded runs (seed = Config.Seed + run index).
 	Runs int
+	// Parallelism bounds how many runs execute concurrently: 1 (or any
+	// negative value) runs the campaign sequentially, N > 1 uses N worker
+	// goroutines, and 0 defers to the process-wide exploration default
+	// (explore.DefaultParallelism), so a tool's -j flag covers campaigns
+	// too. Runs are seeded individually and results are aggregated in run
+	// order, so the result is identical at every setting.
+	Parallelism int
 }
 
 // CampaignResult aggregates a campaign.
@@ -66,6 +76,46 @@ func (r CampaignResult) MeanRecovery() float64 {
 	return float64(sum) / float64(len(r.RecoverySteps))
 }
 
+// absorb folds one completed run into the aggregate. Runs must be absorbed
+// in run order for FirstViolation to be deterministic.
+func (r *CampaignResult) absorb(run int, out Result, mons []Monitor) {
+	r.Runs++
+	r.TotalSteps += out.Steps
+	r.TotalFaults += out.FaultsInjected
+	if out.Deadlocked {
+		r.Deadlocks++
+	}
+	if len(out.Violations) > 0 {
+		r.ViolationRuns++
+		for name, err := range out.Violations {
+			r.ViolationCounts[name]++
+			if r.FirstViolation == nil {
+				r.FirstViolation = fmt.Errorf("run %d: %s: %w", run, name, err)
+			}
+		}
+	}
+	for _, m := range mons {
+		if cm, ok := m.(*ConvergenceMonitor); ok {
+			r.RecoverySteps = append(r.RecoverySteps, cm.RecoverySteps...)
+		}
+	}
+}
+
+// workers resolves the Parallelism field to a worker count.
+func (c Campaign) workers() int {
+	n := c.Parallelism
+	if n == 0 {
+		n = explore.DefaultParallelism()
+	}
+	if n < 1 {
+		return 1
+	}
+	if n > c.Runs {
+		return c.Runs
+	}
+	return n
+}
+
 // Execute runs the campaign.
 func (c Campaign) Execute() (CampaignResult, error) {
 	if c.Runs <= 0 {
@@ -73,6 +123,9 @@ func (c Campaign) Execute() (CampaignResult, error) {
 	}
 	if c.Initial == nil {
 		return CampaignResult{}, fmt.Errorf("runtime: campaign needs an Initial function")
+	}
+	if w := c.workers(); w > 1 {
+		return c.executeParallel(w)
 	}
 	res := CampaignResult{ViolationCounts: map[string]int{}}
 	for run := 0; run < c.Runs; run++ {
@@ -90,26 +143,70 @@ func (c Campaign) Execute() (CampaignResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("run %d: %w", run, err)
 		}
-		res.Runs++
-		res.TotalSteps += out.Steps
-		res.TotalFaults += out.FaultsInjected
-		if out.Deadlocked {
-			res.Deadlocks++
+		res.absorb(run, out, mons)
+	}
+	return res, nil
+}
+
+// executeParallel fans the runs out over a worker pool. Each run is fully
+// independent (own seed, own engine, own monitor set), so the only shared
+// state is the run counter and the per-run output slots; aggregation then
+// replays the outputs in run order, which makes the result — including
+// which run's error surfaces — identical to the sequential path.
+func (c Campaign) executeParallel(workers int) (CampaignResult, error) {
+	type runOut struct {
+		out    Result
+		mons   []Monitor
+		newErr error // engine construction failure (reported unwrapped)
+		runErr error // run failure (reported with the run index)
+	}
+	// Initial and Monitors are caller callbacks with no thread-safety
+	// contract, so invoke them serially up front; only engines run
+	// concurrently.
+	initials := make([]state.State, c.Runs)
+	monSets := make([][]Monitor, c.Runs)
+	for run := 0; run < c.Runs; run++ {
+		initials[run] = c.Initial(run)
+		if c.Monitors != nil {
+			monSets[run] = c.Monitors(run)
 		}
-		if len(out.Violations) > 0 {
-			res.ViolationRuns++
-			for name, err := range out.Violations {
-				res.ViolationCounts[name]++
-				if res.FirstViolation == nil {
-					res.FirstViolation = fmt.Errorf("run %d: %s: %w", run, name, err)
+	}
+	outs := make([]runOut, c.Runs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				run := int(next.Add(1)) - 1
+				if run >= c.Runs {
+					return
 				}
+				cfg := c.Config
+				cfg.Seed = c.Config.Seed + int64(run)
+				mons := monSets[run]
+				eng, err := New(c.Program, cfg, mons...)
+				if err != nil {
+					outs[run] = runOut{newErr: err}
+					continue
+				}
+				out, err := eng.Run(initials[run])
+				outs[run] = runOut{out: out, mons: mons, runErr: err}
 			}
+		}()
+	}
+	wg.Wait()
+	res := CampaignResult{ViolationCounts: map[string]int{}}
+	for run := 0; run < c.Runs; run++ {
+		o := outs[run]
+		if o.newErr != nil {
+			return res, o.newErr
 		}
-		for _, m := range mons {
-			if cm, ok := m.(*ConvergenceMonitor); ok {
-				res.RecoverySteps = append(res.RecoverySteps, cm.RecoverySteps...)
-			}
+		if o.runErr != nil {
+			return res, fmt.Errorf("run %d: %w", run, o.runErr)
 		}
+		res.absorb(run, o.out, o.mons)
 	}
 	return res, nil
 }

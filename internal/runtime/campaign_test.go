@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/memaccess"
+	"detcorr/internal/state"
+)
+
+// campaignFingerprint flattens a result into a comparable form. The
+// RecoverySteps slice is order-sensitive in run order, which the parallel
+// path preserves by aggregating in run order.
+func campaignFingerprint(r CampaignResult) string {
+	counts := make([]string, 0, len(r.ViolationCounts))
+	for name, n := range r.ViolationCounts {
+		counts = append(counts, fmt.Sprintf("%s=%d", name, n))
+	}
+	sort.Strings(counts)
+	first := "<nil>"
+	if r.FirstViolation != nil {
+		first = r.FirstViolation.Error()
+	}
+	return fmt.Sprintf("runs=%d steps=%d faults=%d deadlocks=%d vruns=%d counts=%v first=%s recovery=%v",
+		r.Runs, r.TotalSteps, r.TotalFaults, r.Deadlocks, r.ViolationRuns, counts, first, r.RecoverySteps)
+}
+
+// TestCampaignParallelMatchesSequential runs the same seeded campaign at
+// several parallelism settings and requires identical aggregates, including
+// violation attribution and recovery-step order.
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	campaign := func(par int) Campaign {
+		return Campaign{
+			Program: sys.Nonmasking,
+			Config:  Config{Seed: 11, MaxSteps: 200, Faults: sys.PageFaultBase, FaultBudget: 3, FaultProbability: 0.4},
+			Initial: func(int) state.State { return initBase(sys) },
+			Monitors: func(int) []Monitor {
+				return []Monitor{
+					NewSafetyMonitor(sys.Spec.Safety),
+					&ConvergenceMonitor{Goal: sys.DataCorrect},
+				}
+			},
+			Runs:        120,
+			Parallelism: par,
+		}
+	}
+	ref, err := campaign(1).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := campaignFingerprint(ref)
+	for _, par := range []int{2, 3, runtime.NumCPU()} {
+		got, err := campaign(par).Execute()
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if g := campaignFingerprint(got); g != want {
+			t.Errorf("parallelism %d diverges:\n  seq: %s\n  par: %s", par, want, g)
+		}
+	}
+}
+
+// TestCampaignParallelSurfacesViolations checks the violating-campaign
+// shape too: the intolerant program under faults must report the same
+// first violation at any parallelism.
+func TestCampaignParallelSurfacesViolations(t *testing.T) {
+	sys := memaccess.MustNew(2)
+	campaign := func(par int) Campaign {
+		return Campaign{
+			Program: sys.Intolerant,
+			Config:  Config{Seed: 3, MaxSteps: 100, Faults: sys.PageFaultBase, FaultBudget: 1, FaultProbability: 0.5},
+			Initial: func(int) state.State { return initBase(sys) },
+			Monitors: func(int) []Monitor {
+				return []Monitor{NewSafetyMonitor(sys.Spec.Safety)}
+			},
+			Runs:        80,
+			Parallelism: par,
+		}
+	}
+	ref, err := campaign(1).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ViolationRuns == 0 {
+		t.Fatal("test needs a campaign that violates safety")
+	}
+	got, err := campaign(4).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaignFingerprint(got) != campaignFingerprint(ref) {
+		t.Errorf("violating campaign diverges:\n  seq: %s\n  par: %s",
+			campaignFingerprint(ref), campaignFingerprint(got))
+	}
+}
+
+// TestCampaignDefersToProcessDefault checks the -j wiring: Parallelism 0
+// picks up the process-wide exploration default.
+func TestCampaignDefersToProcessDefault(t *testing.T) {
+	prev := explore.SetDefaultParallelism(4)
+	defer explore.SetDefaultParallelism(prev)
+	sys := memaccess.MustNew(2)
+	c := Campaign{
+		Program:     sys.Masking,
+		Config:      Config{Seed: 5, MaxSteps: 100, Faults: sys.PageFaultWitness, FaultBudget: 1},
+		Initial:     func(int) state.State { return initMasking(sys) },
+		Runs:        16,
+		Parallelism: 0,
+	}
+	if w := c.workers(); w != 4 {
+		t.Fatalf("Parallelism 0 should defer to the process default: got %d workers", w)
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 16 {
+		t.Fatalf("campaign completed %d of 16 runs", res.Runs)
+	}
+}
