@@ -1,7 +1,7 @@
 GO ?= go
 GCL_FILES := $(wildcard cmd/dctl/testdata/*.gcl)
 
-.PHONY: check build vet test race lint fuzz bench clean
+.PHONY: check build vet test race lint fuzz bench bench-diff profile clean
 
 # The full local gate: everything CI would run.
 check: build vet test race lint fuzz
@@ -31,5 +31,20 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-diff runs the exploration-heavy benchmarks (the E-series graph
+# builds and the kernel step microbenchmarks) with allocation counting and
+# records the result in BENCH_kernel.json, so perf changes land with
+# before/after evidence (compare with `go run golang.org/x/perf/cmd/benchstat`
+# if available, or by eye — the file is plain `go test -json` output).
+bench-diff:
+	$(GO) test -json -run='^$$' -bench='Build|Kernel' -benchmem . > BENCH_kernel.json
+	@grep -o '"Output":"[^"]*"' BENCH_kernel.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# profile regenerates the heaviest experiment with pprof instrumentation and
+# drops cpu.pprof/mem.pprof in the working tree for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/dcbench -cpuprofile cpu.pprof -memprofile mem.pprof E4 E9 > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
+
 clean:
-	rm -f dctl dcbench
+	rm -f dctl dcbench cpu.pprof mem.pprof BENCH_kernel.json

@@ -15,6 +15,7 @@ import (
 	"detcorr/internal/dist"
 	"detcorr/internal/experiments"
 	"detcorr/internal/explore"
+	"detcorr/internal/explore/difftest"
 	"detcorr/internal/fault"
 	"detcorr/internal/gcl"
 	"detcorr/internal/guarded"
@@ -277,4 +278,39 @@ func BenchmarkWeakestDetectionPredicate(b *testing.B) {
 			b.Fatal("nil predicate")
 		}
 	}
+}
+
+// --- kernel microbenchmarks ---
+//
+// Step is the exploration hot loop: one call expands one state into its
+// successor indices on a reusable scratch. The native variant runs compiled
+// bytecode (zero allocations steady-state); the adapter variant strips the
+// bytecode and routes through the guard/statement closures, measuring what
+// the fallback path costs.
+
+func benchKernelStep(b *testing.B, prog *guarded.Program) {
+	b.Helper()
+	k := guarded.Compile(prog)
+	sc := k.NewScratch()
+	n, ok := prog.Schema().NumStates()
+	if !ok {
+		b.Fatal("schema not indexable")
+	}
+	buf := make([]uint64, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sc.Step(uint64(i)%n, buf[:0])
+	}
+}
+
+func BenchmarkKernelStepRing7Native(b *testing.B) {
+	benchKernelStep(b, tokenring.MustNew(7, 7).Ring)
+}
+
+func BenchmarkKernelStepRing7Adapter(b *testing.B) {
+	benchKernelStep(b, difftest.StripCompiled(tokenring.MustNew(7, 7).Ring))
+}
+
+func BenchmarkKernelStepByzMasking(b *testing.B) {
+	benchKernelStep(b, byzagree.MustNew().Masking)
 }

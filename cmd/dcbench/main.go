@@ -10,12 +10,19 @@
 // -j N sets the worker count for state-space exploration and simulation
 // campaigns (0 = all CPUs, default 1 = sequential); the tables are
 // identical at any setting.
+//
+// -cpuprofile f and -memprofile f write pprof profiles of the run, so the
+// exploration hot path can be inspected with `go tool pprof` (see
+// `make profile`). The CPU profile covers the whole run; the heap profile is
+// written after all experiments complete.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"detcorr/internal/experiments"
@@ -33,8 +40,35 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dcbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	jobs := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dcbench: memprofile:", err)
+			}
+		}()
 	}
 	if *jobs == 0 {
 		*jobs = explore.AutoParallelism()

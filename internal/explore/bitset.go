@@ -36,6 +36,16 @@ func (b *Bitset) Len() int { return b.n }
 // Add inserts id into the set.
 func (b *Bitset) Add(id int) { b.words[id>>6] |= 1 << (uint(id) & 63) }
 
+// Fill inserts every id in [0,n), one word at a time.
+func (b *Bitset) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << uint(rem)) - 1
+	}
+}
+
 // Remove deletes id from the set.
 func (b *Bitset) Remove(id int) { b.words[id>>6] &^= 1 << (uint(id) & 63) }
 
@@ -80,12 +90,17 @@ func (b *Bitset) Intersect(other *Bitset) {
 	}
 }
 
-// Subtract removes from b every element of other.
-func (b *Bitset) Subtract(other *Bitset) {
+// IntersectNot intersects b with the complement of other (b ← b ∩ ¬other),
+// in place and one word at a time, without materializing the complement.
+func (b *Bitset) IntersectNot(other *Bitset) {
 	for i := range b.words {
 		b.words[i] &^= other.words[i]
 	}
 }
+
+// Subtract removes from b every element of other. It is IntersectNot under
+// its set-difference name.
+func (b *Bitset) Subtract(other *Bitset) { b.IntersectNot(other) }
 
 // Complement returns the set of ids in [0,n) not in b.
 func (b *Bitset) Complement() *Bitset {
@@ -121,6 +136,34 @@ func (b *Bitset) ForEach(fn func(id int) bool) {
 			}
 			w &= w - 1
 		}
+	}
+}
+
+// NextAfter returns the smallest member strictly greater than id, or -1 if
+// none exists. Pass -1 to start an iteration; the idiom
+//
+//	for id := b.NextAfter(-1); id >= 0; id = b.NextAfter(id) { ... }
+//
+// visits the set in increasing order without the closure ForEach needs.
+func (b *Bitset) NextAfter(id int) int {
+	next := id + 1
+	if next < 0 {
+		next = 0
+	}
+	wi := next >> 6
+	if wi >= len(b.words) {
+		return -1
+	}
+	w := b.words[wi] &^ ((1 << (uint(next) & 63)) - 1)
+	for {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(b.words) {
+			return -1
+		}
+		w = b.words[wi]
 	}
 }
 

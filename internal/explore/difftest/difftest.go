@@ -45,6 +45,20 @@ func Diff(a, b *explore.Graph) error {
 			return fmt.Errorf("action %d (%s): fairness differs", act, a.ActionName(act))
 		}
 	}
+	// Enabledness and deadlock are precomputed during assembly — on the
+	// kernel path from compiled guard bytecode, on the fallback path from
+	// the guard closures — so comparing them node by node is what pins
+	// "compiled guards ≡ closure guards" at the graph level.
+	for id := 0; id < a.NumNodes(); id++ {
+		if a.Deadlocked(id) != b.Deadlocked(id) {
+			return fmt.Errorf("node %d: deadlock flags differ: %v vs %v", id, a.Deadlocked(id), b.Deadlocked(id))
+		}
+		for act := 0; act < na; act++ {
+			if a.Enabled(id, act) != b.Enabled(id, act) {
+				return fmt.Errorf("node %d action %d (%s): enabledness differs", id, act, a.ActionName(act))
+			}
+		}
+	}
 	return nil
 }
 
@@ -60,15 +74,39 @@ func diffEdges(ea, eb []explore.Edge) error {
 	return nil
 }
 
+// StripCompiled returns a copy of the program whose actions carry neither
+// kernel bytecode (Compiled) nor the deterministic fast path (Stmt), forcing
+// every engine onto the kernel's generic closure adapter. It is the
+// reference variant for kernel-vs-closure differential checks; programs
+// without bytecode pass through unchanged in behavior.
+func StripCompiled(p *guarded.Program) *guarded.Program {
+	acts := p.Actions()
+	for i := range acts {
+		acts[i].Compiled = nil
+		acts[i].Stmt = nil
+	}
+	return guarded.MustProgram(p.Name(), p.Schema(), acts...)
+}
+
 // Check builds the program with the sequential engine and with each of the
-// given worker counts, and returns an error describing the first
-// divergence. It is the engine-equivalence assertion the differential test
-// suite runs over every example system.
+// given worker counts — and each of those both as-is (compiled kernel
+// bytecode, if the program carries any) and with the bytecode stripped
+// (pure closure adapter) — and returns an error describing the first
+// divergence. It is the engine- and kernel-equivalence assertion the
+// differential test suite runs over every example system.
 func Check(p *guarded.Program, init state.Predicate, opts explore.Options, workerCounts ...int) error {
+	stripped := StripCompiled(p)
 	opts.Parallelism = 1
 	ref, err := explore.Build(p, init, opts)
 	if err != nil {
 		return fmt.Errorf("sequential build: %w", err)
+	}
+	sg, err := explore.Build(stripped, init, opts)
+	if err != nil {
+		return fmt.Errorf("sequential closure-only build: %w", err)
+	}
+	if err := Diff(ref, sg); err != nil {
+		return fmt.Errorf("sequential closure-only build diverges: %w", err)
 	}
 	for _, w := range workerCounts {
 		opts.Parallelism = w
@@ -79,6 +117,14 @@ func Check(p *guarded.Program, init state.Predicate, opts explore.Options, worke
 		if err := Diff(ref, g); err != nil {
 			return fmt.Errorf("parallel build (%d workers) diverges: %w", w, err)
 		}
+		sg, err := explore.Build(stripped, init, opts)
+		if err != nil {
+			return fmt.Errorf("parallel closure-only build (%d workers): %w", w, err)
+		}
+		if err := Diff(ref, sg); err != nil {
+			return fmt.Errorf("parallel closure-only build (%d workers) diverges: %w", w, err)
+		}
 	}
 	return nil
 }
+

@@ -1,11 +1,14 @@
 package difftest
 
 import (
+	"errors"
 	"runtime"
 	"testing"
 
 	"detcorr/internal/byzagree"
 	"detcorr/internal/explore"
+	"detcorr/internal/fault"
+	"detcorr/internal/gcl"
 	"detcorr/internal/guarded"
 	"detcorr/internal/leader"
 	"detcorr/internal/memaccess"
@@ -75,15 +78,91 @@ func TestEnginesAgreeUnderFairMask(t *testing.T) {
 }
 
 // TestEnginesAgreeOnBoundError checks the engines also agree on the error
-// side of the MaxStates contract.
+// side of the MaxStates contract, with and without kernel bytecode.
 func TestEnginesAgreeOnBoundError(t *testing.T) {
 	ring := tokenring.MustNew(4, 4)
-	opts := explore.Options{MaxStates: 17, Parallelism: 1}
-	if _, err := explore.Build(ring.Ring, state.True, opts); err == nil {
-		t.Fatal("sequential engine must enforce the bound")
+	for _, prog := range []*guarded.Program{ring.Ring, StripCompiled(ring.Ring)} {
+		opts := explore.Options{MaxStates: 17, Parallelism: 1}
+		if _, err := explore.Build(prog, state.True, opts); !errors.Is(err, explore.ErrStateBound) {
+			t.Fatalf("sequential engine must enforce the bound, got %v", err)
+		}
+		opts.Parallelism = runtime.NumCPU()
+		if _, err := explore.Build(prog, state.True, opts); !errors.Is(err, explore.ErrStateBound) {
+			t.Fatalf("parallel engine must enforce the bound, got %v", err)
+		}
 	}
-	opts.Parallelism = runtime.NumCPU()
-	if _, err := explore.Build(ring.Ring, state.True, opts); err == nil {
-		t.Fatal("parallel engine must enforce the bound")
+}
+
+// gclSrcs are small GCL systems whose actions carry compiler-emitted kernel
+// bytecode, so Check exercises the native bytecode path (not just the
+// hand-lowered example programs): offsets with total mod, wildcards, and
+// multi-variable simultaneous assignment.
+var gclSrcs = map[string]string{
+	"counter": `program counter
+var c : 0..6
+var dir : bool
+pred atend :: c == 0 | c == 6
+action up   :: dir & c < 6   -> c := c + 1
+action down :: !dir & c > 0  -> c := c - 1
+action flip :: c == 0 | c == 6 -> dir := !dir
+fault wob :: true -> c := ?
+`,
+	"modring": `program modring
+var a : 2..5
+var b : 1..3
+action step :: a < 5  -> a := a + 1
+action wrap :: a == 5 -> a := 2, b := (a + b) % 3 + 1
+fault jolt :: b != 2 -> b := ?
+`,
+	"pair": `program pair
+var x : 0..3
+var y : 0..3
+pred diag :: x == y
+action swap :: x != y -> x := y, y := x
+action bump :: x == y & x < 3 -> x := x + 1
+fault scramble :: true -> x := ?, y := ?
+`,
+}
+
+// TestEnginesAgreeOnGCL runs the full Check matrix — engines × kernel vs
+// closure adapter — over GCL-compiled programs, plain and fault-composed
+// (with the composition's fair mask marking faults unfair), and checks
+// MaxStates parity between the compiled and stripped variants.
+func TestEnginesAgreeOnGCL(t *testing.T) {
+	workers := []int{2, runtime.NumCPU()}
+	for name, src := range gclSrcs {
+		f, err := gcl.ParseAndCompile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		composed, fair, err := fault.Compose(f.Program, f.Faults)
+		if err != nil {
+			t.Fatalf("%s: compose: %v", name, err)
+		}
+		init := state.True
+		if p, ok := f.Pred("diag"); ok {
+			init = p
+		}
+		t.Run(name+"/plain", func(t *testing.T) {
+			t.Parallel()
+			if err := Check(f.Program, init, explore.Options{}, workers...); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(name+"/composed", func(t *testing.T) {
+			t.Parallel()
+			if err := Check(composed, state.True, explore.Options{Fair: fair}, workers...); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(name+"/bound", func(t *testing.T) {
+			t.Parallel()
+			for _, prog := range []*guarded.Program{composed, StripCompiled(composed)} {
+				opts := explore.Options{MaxStates: 3, Parallelism: 1}
+				if _, err := explore.Build(prog, state.True, opts); !errors.Is(err, explore.ErrStateBound) {
+					t.Fatalf("want ErrStateBound, got %v", err)
+				}
+			}
+		})
 	}
 }

@@ -328,3 +328,43 @@ func TestBitsetBasics(t *testing.T) {
 		t.Errorf("complement of empty has %d elements, want 70", comp.Count())
 	}
 }
+
+// TestPathBetweenEdgeCases pins the corner cases of the BFS: an empty (or
+// fully out-of-within) source set must report no path without touching the
+// parent arrays, and a goal node already inside `from` must yield the
+// single-state path.
+func TestPathBetweenEdgeCases(t *testing.T) {
+	p := counter(t, 6, inc(6))
+	g, err := Build(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := NewBitset(g.NumNodes())
+	goal.Add(mustNode(t, g, 4))
+
+	empty := NewBitset(g.NumNodes())
+	if path, ok := g.PathBetween(empty, goal, nil); ok || path != nil {
+		t.Errorf("empty from: got path %v ok=%v, want nil,false", path, ok)
+	}
+
+	// from nonempty but entirely outside within — same early exit.
+	from := NewBitset(g.NumNodes())
+	from.Add(mustNode(t, g, 1))
+	within := NewBitset(g.NumNodes())
+	within.Add(mustNode(t, g, 4))
+	if path, ok := g.PathBetween(from, goal, within); ok || path != nil {
+		t.Errorf("from outside within: got path %v ok=%v, want nil,false", path, ok)
+	}
+
+	// goal ⊆ from: the path is the goal state itself, length 1, no steps.
+	both := NewBitset(g.NumNodes())
+	both.Add(mustNode(t, g, 2))
+	both.Add(mustNode(t, g, 4))
+	path, ok := g.PathBetween(both, goal, nil)
+	if !ok || len(path) != 1 {
+		t.Fatalf("goal inside from: path len %d ok=%v, want 1,true", len(path), ok)
+	}
+	if path[0].Get(0) != 4 {
+		t.Errorf("goal inside from: path ends at x=%d, want 4", path[0].Get(0))
+	}
+}

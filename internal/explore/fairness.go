@@ -66,7 +66,7 @@ func (v *LivenessViolation) Error() string {
 func (g *Graph) FairCycle(within *Bitset) []int {
 	comps := g.fairSCCs(within)
 	for _, comp := range comps {
-		member := NewBitset(len(g.states))
+		member := NewBitset(g.n)
 		for _, v := range comp {
 			member.Add(v)
 		}
@@ -80,36 +80,18 @@ func (g *Graph) FairCycle(within *Bitset) []int {
 	return nil
 }
 
-// fairSCCs computes SCCs of the subgraph with only fair-action edges.
+// fairSCCs computes SCCs of the subgraph with only fair-action edges,
+// running Tarjan over a filtered CSR view (no in-lists needed).
 func (g *Graph) fairSCCs(within *Bitset) [][]int {
-	// Reuse the general Tarjan by temporarily filtering edges: simplest is
-	// to run a dedicated traversal here. To avoid duplicating Tarjan, build
-	// a filtered adjacency once.
-	n := len(g.states)
-	filtered := &Graph{
-		prog:    g.prog,
-		states:  g.states,
-		ids:     g.ids,
-		fair:    g.fair,
-		numActs: g.numActs,
-		out:     make([][]Edge, n),
-	}
-	for v := 0; v < n; v++ {
-		if within != nil && !within.Has(v) {
-			continue
-		}
-		for _, e := range g.out[v] {
-			if g.fair[e.Action] {
-				filtered.out[v] = append(filtered.out[v], e)
-			}
-		}
-	}
+	filtered := g.filterEdges(func(from int, e Edge) bool {
+		return (within == nil || within.Has(from)) && g.fair[e.Action]
+	}, false)
 	return filtered.SCCs(within)
 }
 
 func (g *Graph) hasInternalFairEdge(member *Bitset, comp []int) bool {
 	for _, v := range comp {
-		for _, e := range g.out[v] {
+		for _, e := range g.Out(v) {
 			if g.fair[e.Action] && member.Has(e.To) {
 				return true
 			}
@@ -135,7 +117,7 @@ func (g *Graph) sccAdmitsFairRun(member *Bitset, comp []int) bool {
 			continue
 		}
 		for _, v := range comp {
-			for _, e := range g.out[v] {
+			for _, e := range g.Out(v) {
 				if e.Action == a && member.Has(e.To) {
 					hasInternal = true
 					break
@@ -168,31 +150,24 @@ func (g *Graph) CheckEventually(from, goal *Bitset) *LivenessViolation {
 	}
 	nonGoal := avoid.Complement()
 	reach := g.Reach(start, nonGoal)
-	// Deadlocks outside the goal.
-	var dead *Bitset
-	reach.ForEach(func(id int) bool {
-		if g.Deadlocked(id) {
-			if dead == nil {
-				dead = NewBitset(len(g.states))
-			}
-			dead.Add(id)
-		}
-		return true
-	})
-	if dead != nil {
+	// Deadlocks outside the goal: one word-level intersection with the
+	// precomputed deadlock set.
+	dead := reach.Clone()
+	dead.Intersect(g.dead)
+	if !dead.Empty() {
 		stem, _ := g.PathBetween(start, dead, nonGoal)
 		return &LivenessViolation{Kind: ViolationDeadlock, Stem: stem}
 	}
 	// Fair cycles outside the goal.
 	if comp := g.FairCycle(reach); comp != nil {
-		member := NewBitset(len(g.states))
+		member := NewBitset(g.n)
 		for _, v := range comp {
 			member.Add(v)
 		}
 		stem, _ := g.PathBetween(start, member, nonGoal)
 		cycle := make([]state.State, 0, len(comp))
 		for _, v := range comp {
-			cycle = append(cycle, g.states[v])
+			cycle = append(cycle, g.State(v))
 		}
 		return &LivenessViolation{Kind: ViolationLivelock, Stem: stem, Cycle: cycle}
 	}
@@ -220,7 +195,7 @@ func (g *Graph) LargestClosedSubset(set *Bitset) *Bitset {
 	c := set.Clone()
 	var queue []int
 	c.ForEach(func(id int) bool {
-		for _, e := range g.out[id] {
+		for _, e := range g.Out(id) {
 			if !c.Has(e.To) {
 				queue = append(queue, id)
 				break
@@ -236,7 +211,7 @@ func (g *Graph) LargestClosedSubset(set *Bitset) *Bitset {
 		}
 		c.Remove(id)
 		// Predecessors of id inside c may now escape.
-		for _, e := range g.in[id] {
+		for _, e := range g.In(id) {
 			if c.Has(e.To) {
 				queue = append(queue, e.To)
 			}

@@ -1,47 +1,59 @@
 package explore
 
-// FilterEdges returns a view of the graph with the same node set but keeping
-// only the edges for which keep returns true. The filtered graph shares the
-// underlying states; enabledness (and therefore deadlock and fairness
-// checks) still consult the original program's guards, which is what the
-// refinement and detector checks need: filtering restricts which transitions
-// may recur, not which actions exist.
-func (g *Graph) FilterEdges(keep func(from int, e Edge) bool) *Graph {
-	out := make([][]Edge, len(g.states))
-	for v, edges := range g.out {
-		for _, e := range edges {
+// filterEdges builds a view of the graph keeping only the out-edges for
+// which keep returns true, sharing the state arena, enabledness bitsets, and
+// fairness mask. The in-edge CSR is rebuilt only when withIn is set; callers
+// that never consult In (the fairness SCC pass) skip it.
+func (g *Graph) filterEdges(keep func(from int, e Edge) bool, withIn bool) *Graph {
+	ng := *g
+	off := make([]uint32, g.n+1)
+	total := uint32(0)
+	for v := 0; v < g.n; v++ {
+		for _, e := range g.Out(v) {
 			if keep(v, e) {
-				out[v] = append(out[v], e)
+				total++
+			}
+		}
+		off[v+1] = total
+	}
+	edges := make([]Edge, 0, total)
+	for v := 0; v < g.n; v++ {
+		for _, e := range g.Out(v) {
+			if keep(v, e) {
+				edges = append(edges, e)
 			}
 		}
 	}
-	f := &Graph{
-		prog:    g.prog,
-		states:  g.states,
-		ids:     g.ids,
-		out:     out,
-		fair:    g.fair,
-		numActs: g.numActs,
+	ng.outOff, ng.outEdges = off, edges
+	if withIn {
+		ng.buildIn()
+	} else {
+		ng.inOff, ng.inEdges = nil, nil
 	}
-	f.buildIn()
-	return f
+	return &ng
+}
+
+// FilterEdges returns a view of the graph with the same node set but keeping
+// only the edges for which keep returns true. The filtered graph shares the
+// underlying state arena and the precomputed enabledness/deadlock bitsets:
+// filtering restricts which transitions may recur, not which actions exist,
+// which is what the refinement and detector checks need.
+func (g *Graph) FilterEdges(keep func(from int, e Edge) bool) *Graph {
+	return g.filterEdges(keep, true)
 }
 
 // RestrictFair returns a view of the graph where only the actions accepted
 // by keep are treated as fair (subject to weak fairness and counted for
-// maximality). Edges are unchanged.
+// maximality). Edges are unchanged; the deadlock set is recomputed from the
+// shared per-action enabledness bitsets, since deadlock means "no enabled
+// fair action" and the fair set just changed.
 func (g *Graph) RestrictFair(keep func(action int) bool) *Graph {
+	ng := *g
 	fair := make([]bool, g.numActs)
 	for a := range fair {
 		fair[a] = g.fair[a] && keep(a)
 	}
-	return &Graph{
-		prog:    g.prog,
-		states:  g.states,
-		ids:     g.ids,
-		out:     g.out,
-		in:      g.in,
-		fair:    fair,
-		numActs: g.numActs,
-	}
+	ng.fair = fair
+	ng.dead = ng.computeDead(fair)
+	return &ng
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"sync"
 
 	"detcorr/internal/guarded"
 	"detcorr/internal/state"
@@ -17,14 +18,32 @@ type Edge struct {
 // Graph is an explicit-state transition system for a program: the nodes are
 // the states reachable from an initial predicate (or the entire state
 // space), and the labeled edges are the program's transitions.
+//
+// The representation is compressed sparse row (CSR) throughout. States live
+// in one flat arena of n×nv int32 values decoded lazily into state.State
+// views; out- and in-edges are flat slices indexed by per-node offset
+// arrays; and per-action enabledness is precomputed into bitsets during
+// assembly, so Deadlocked, the fairness engine, and the SCC passes never
+// re-evaluate guards.
 type Graph struct {
-	prog    *guarded.Program
-	states  []state.State
-	ids     map[uint64]int
-	out     [][]Edge
-	in      [][]Edge
+	prog   *guarded.Program
+	schema *state.Schema
+	nv     int // variables per state
+	n      int // number of nodes
+
+	vals []int32  // state arena: node id i occupies vals[i*nv : (i+1)*nv]
+	idxs []uint64 // mixed-radix index per node, ascending (the id order)
+
+	outOff   []uint32 // n+1 offsets into outEdges
+	outEdges []Edge
+	inOff    []uint32 // n+1 offsets into inEdges
+	inEdges  []Edge
+
 	fair    []bool // fair[a]: action a is subject to weak fairness and counts for maximality
 	numActs int
+
+	enabled []*Bitset // enabled[a]: nodes where action a's guard holds
+	dead    *Bitset   // nodes with no enabled fair action
 }
 
 // Options configure graph construction.
@@ -61,6 +80,11 @@ var ErrStateBound = fmt.Errorf("explore: state bound exceeded")
 // (state.State.Index), so the graph is identical — same states, ids, edges,
 // and in-lists — whichever engine built it and however its workers were
 // scheduled. See Options.Parallelism.
+//
+// Successor generation runs on the compiled transition kernel
+// (guarded.Compile): GCL-compiled actions execute native bytecode, all
+// others go through the kernel's closure adapter. Both produce exactly the
+// transitions Program.Successors would.
 func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
 	if err := p.Schema().Indexable(); err != nil {
 		return nil, err
@@ -75,26 +99,42 @@ func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, erro
 	if len(fair) != p.NumActions() {
 		return nil, fmt.Errorf("explore: fairness mask has %d entries for %d actions", len(fair), p.NumActions())
 	}
+	k := guarded.Compile(p)
 	var (
-		nodes []rawNode
-		err   error
+		exps []expansion
+		err  error
 	)
 	if w := opts.workers(); w > 1 {
-		nodes, err = exploreParallel(p, init, opts.MaxStates, w)
+		exps, err = exploreParallel(k, init, opts.MaxStates, w)
 	} else {
-		nodes, err = exploreSeq(p, init, opts.MaxStates)
+		exps, err = exploreSeq(k, init, opts.MaxStates)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return assemble(p, append([]bool(nil), fair...), nodes), nil
+	return assemble(k, append([]bool(nil), fair...), exps), nil
 }
 
+// buildIn constructs the in-edge CSR with a counting pass. Iterating sources
+// in ascending id order makes each in-list ordered by source id (and, within
+// one source, by out-edge position), exactly as the previous per-edge append
+// construction did — the determinism contract covers in-lists too.
 func (g *Graph) buildIn() {
-	g.in = make([][]Edge, len(g.states))
-	for from, edges := range g.out {
-		for _, e := range edges {
-			g.in[e.To] = append(g.in[e.To], Edge{Action: e.Action, To: from})
+	counts := make([]uint32, g.n+1)
+	for i := range g.outEdges {
+		counts[g.outEdges[i].To+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		counts[i+1] += counts[i]
+	}
+	g.inOff = counts
+	g.inEdges = make([]Edge, len(g.outEdges))
+	cursor := make([]uint32, g.n)
+	copy(cursor, g.inOff[:g.n])
+	for v := 0; v < g.n; v++ {
+		for _, e := range g.Out(v) {
+			g.inEdges[cursor[e.To]] = Edge{Action: e.Action, To: v}
+			cursor[e.To]++
 		}
 	}
 }
@@ -103,33 +143,49 @@ func (g *Graph) buildIn() {
 func (g *Graph) Program() *guarded.Program { return g.prog }
 
 // NumNodes returns the number of explored states.
-func (g *Graph) NumNodes() int { return len(g.states) }
+func (g *Graph) NumNodes() int { return g.n }
 
 // NumEdges returns the number of transitions.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, es := range g.out {
-		n += len(es)
-	}
-	return n
+func (g *Graph) NumEdges() int { return len(g.outEdges) }
+
+// State returns the state of node id as a view into the graph's state arena
+// (no copy). The view is immutable through the state API; callers must not
+// write to slices derived from it.
+func (g *Graph) State(id int) state.State {
+	row := g.vals[id*g.nv : (id+1)*g.nv : (id+1)*g.nv]
+	return g.schema.ViewState(row)
 }
 
-// State returns the state of node id.
-func (g *Graph) State(id int) state.State { return g.states[id] }
+// idOf resolves a mixed-radix state index to its node id by binary search
+// over the ascending idxs array.
+func (g *Graph) idOf(idx uint64) (int, bool) {
+	lo, hi := 0, g.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.idxs[mid] < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < g.n && g.idxs[lo] == idx {
+		return lo, true
+	}
+	return 0, false
+}
 
 // NodeOf returns the node id of a state, if it was explored.
 func (g *Graph) NodeOf(s state.State) (int, bool) {
-	id, ok := g.ids[s.Index()]
-	return id, ok
+	return g.idOf(s.Index())
 }
 
 // Out returns the outgoing edges of node id. The returned slice must not be
 // modified.
-func (g *Graph) Out(id int) []Edge { return g.out[id] }
+func (g *Graph) Out(id int) []Edge { return g.outEdges[g.outOff[id]:g.outOff[id+1]] }
 
 // In returns the incoming edges of node id (Edge.To holds the source). The
 // returned slice must not be modified.
-func (g *Graph) In(id int) []Edge { return g.in[id] }
+func (g *Graph) In(id int) []Edge { return g.inEdges[g.inOff[id]:g.inOff[id+1]] }
 
 // FairAction reports whether action a is subject to weak fairness.
 func (g *Graph) FairAction(a int) bool { return g.fair[a] }
@@ -139,9 +195,9 @@ func (g *Graph) ActionName(a int) string { return g.prog.Action(a).Name }
 
 // SetOf returns the node set satisfying the predicate.
 func (g *Graph) SetOf(p state.Predicate) *Bitset {
-	b := NewBitset(len(g.states))
-	for id, s := range g.states {
-		if p.Holds(s) {
+	b := NewBitset(g.n)
+	for id := 0; id < g.n; id++ {
+		if p.Holds(g.State(id)) {
 			b.Add(id)
 		}
 	}
@@ -150,36 +206,34 @@ func (g *Graph) SetOf(p state.Predicate) *Bitset {
 
 // All returns the set of all nodes.
 func (g *Graph) All() *Bitset {
-	b := NewBitset(len(g.states))
-	for id := range g.states {
-		b.Add(id)
-	}
+	b := NewBitset(g.n)
+	b.Fill()
 	return b
 }
 
 // Deadlocked reports whether node id has no enabled fair (program) action.
 // Unfair actions (faults) do not rescue a deadlock: maximality is
-// p-maximality (Section 2.3).
-func (g *Graph) Deadlocked(id int) bool {
-	s := g.states[id]
-	for a := 0; a < g.numActs; a++ {
-		if g.fair[a] && g.prog.Action(a).Enabled(s) {
-			return false
-		}
-	}
-	return true
-}
+// p-maximality (Section 2.3). The answer comes from the deadlock bitset
+// precomputed during assembly.
+func (g *Graph) Deadlocked(id int) bool { return g.dead.Has(id) }
 
-// Enabled reports whether action a is enabled at node id.
-func (g *Graph) Enabled(id, a int) bool {
-	return g.prog.Action(a).Enabled(g.states[id])
-}
+// DeadlockSet returns the set of deadlocked nodes. The returned set is the
+// graph's own precomputed bitset; callers must not modify it.
+func (g *Graph) DeadlockSet() *Bitset { return g.dead }
+
+// Enabled reports whether action a is enabled at node id (precomputed).
+func (g *Graph) Enabled(id, a int) bool { return g.enabled[a].Has(id) }
+
+// EnabledSet returns the set of nodes where action a is enabled. The
+// returned set is the graph's own precomputed bitset; callers must not
+// modify it.
+func (g *Graph) EnabledSet(a int) *Bitset { return g.enabled[a] }
 
 // Reach returns the set of nodes reachable from `from` (inclusive) along
 // edges whose source and target stay inside `within`; pass nil for within to
 // allow all nodes. Only edges from nodes inside within are followed.
 func (g *Graph) Reach(from *Bitset, within *Bitset) *Bitset {
-	seen := NewBitset(len(g.states))
+	seen := NewBitset(g.n)
 	var stack []int
 	from.ForEach(func(id int) bool {
 		if within == nil || within.Has(id) {
@@ -193,7 +247,7 @@ func (g *Graph) Reach(from *Bitset, within *Bitset) *Bitset {
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.out[id] {
+		for _, e := range g.Out(id) {
 			if within != nil && !within.Has(e.To) {
 				continue
 			}
@@ -206,22 +260,39 @@ func (g *Graph) Reach(from *Bitset, within *Bitset) *Bitset {
 	return seen
 }
 
+// parentPool recycles the BFS parent arrays of PathBetween: counterexample
+// extraction is called repeatedly during checks, and the array is sized to
+// the whole graph regardless of how small the searched region is.
+var parentPool = sync.Pool{New: func() any { return new([]int) }}
+
 // PathBetween returns a state path (BFS, shortest) from any node in `from`
 // to any node in `goal`, moving only through `within` (nil = all). It
-// reports false when no such path exists.
+// reports false when no such path exists. An empty (or fully out-of-within)
+// `from` returns early without allocating; a goal node inside `from` yields
+// a single-state path.
 func (g *Graph) PathBetween(from, goal *Bitset, within *Bitset) ([]state.State, bool) {
-	parent := make([]int, len(g.states))
-	for i := range parent {
-		parent[i] = -2 // unvisited
-	}
 	var queue []int
 	from.ForEach(func(id int) bool {
 		if within == nil || within.Has(id) {
-			parent[id] = -1
 			queue = append(queue, id)
 		}
 		return true
 	})
+	if len(queue) == 0 {
+		return nil, false
+	}
+	pp := parentPool.Get().(*[]int)
+	defer parentPool.Put(pp)
+	if cap(*pp) < g.n {
+		*pp = make([]int, g.n)
+	}
+	parent := (*pp)[:g.n]
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	for _, id := range queue {
+		parent[id] = -1
+	}
 	target := -1
 	for i := 0; i < len(queue) && target < 0; i++ {
 		id := queue[i]
@@ -229,7 +300,7 @@ func (g *Graph) PathBetween(from, goal *Bitset, within *Bitset) ([]state.State, 
 			target = id
 			break
 		}
-		for _, e := range g.out[id] {
+		for _, e := range g.Out(id) {
 			if within != nil && !within.Has(e.To) {
 				continue
 			}
@@ -244,11 +315,46 @@ func (g *Graph) PathBetween(from, goal *Bitset, within *Bitset) ([]state.State, 
 	}
 	var rev []state.State
 	for id := target; id != -1; id = parent[id] {
-		rev = append(rev, g.states[id])
+		rev = append(rev, g.State(id))
 	}
 	// Reverse into forward order.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev, true
+}
+
+// csrFromLists converts adjacency lists into CSR offset/edge arrays. Tests
+// and edge filters use it; Build assembles its CSR directly from the
+// engines' flat arenas.
+func csrFromLists(out [][]Edge) ([]uint32, []Edge) {
+	n := len(out)
+	off := make([]uint32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(out[v])
+		off[v+1] = uint32(total)
+	}
+	edges := make([]Edge, 0, total)
+	for v := 0; v < n; v++ {
+		edges = append(edges, out[v]...)
+	}
+	return off, edges
+}
+
+// newAdjacencyGraph builds a bare structural graph (no program, schema, or
+// states) from explicit adjacency lists; property tests use it to exercise
+// the graph algorithms on arbitrary shapes. Every action is enabled
+// everywhere and nothing is deadlocked.
+func newAdjacencyGraph(out [][]Edge, fair []bool) *Graph {
+	g := &Graph{n: len(out), fair: fair, numActs: len(fair)}
+	g.outOff, g.outEdges = csrFromLists(out)
+	g.buildIn()
+	g.enabled = make([]*Bitset, g.numActs)
+	for a := range g.enabled {
+		g.enabled[a] = NewBitset(g.n)
+		g.enabled[a].Fill()
+	}
+	g.dead = NewBitset(g.n)
+	return g
 }

@@ -48,21 +48,23 @@ func (o Options) workers() int {
 }
 
 // rawNode is one discovered state before canonical renumbering: its
-// mixed-radix index, the state itself, and its outgoing transitions with
-// targets addressed by state index rather than node id. Both engines produce
-// []rawNode; assemble sorts by index and resolves ids, which is what makes
-// the result independent of discovery order.
+// mixed-radix index and the span of its outgoing transitions inside the
+// owning expansion's flat edge arena. States are not materialized during
+// exploration at all — the kernel works on indices, and assemble decodes the
+// final sorted arena once.
 type rawNode struct {
 	idx uint64
-	st  state.State
-	out []rawEdge
+	off int   // first out-edge in the owning expansion's edges
+	n   int32 // out-degree
 }
 
-// rawEdge is a transition to the state with index `to`, produced by the
-// action with the given index.
-type rawEdge struct {
-	action int
-	to     uint64
+// expansion is one engine's (or one worker's) discovery arena: nodes plus
+// one flat successor slice that the kernel appends into. Using flat arenas
+// instead of a per-node []rawEdge removes the per-expanded-state allocation
+// the previous engines paid.
+type expansion struct {
+	nodes []rawNode
+	edges []guarded.Succ
 }
 
 // denseVisitedLimit bounds the dense visited-set mode: state spaces with at
@@ -139,70 +141,89 @@ func boundError(maxStates int) error {
 	return fmt.Errorf("%w: more than %d states", ErrStateBound, maxStates)
 }
 
+// scanInit calls fn(idx) for every index in [lo, hi) whose state satisfies
+// init, walking the mixed-radix odometer incrementally over a reusable row
+// (no per-state allocation). It stops early, reporting false, when fn does.
+func scanInit(sch *state.Schema, init state.Predicate, lo, hi uint64, row []int32, fn func(idx uint64) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	sch.DecodeInto(row, lo)
+	view := sch.ViewState(row)
+	nv := len(row)
+	for idx := lo; ; {
+		if init.Holds(view) && !fn(idx) {
+			return false
+		}
+		idx++
+		if idx >= hi {
+			return true
+		}
+		for i := nv - 1; i >= 0; i-- {
+			row[i]++
+			if int(row[i]) < sch.Var(i).Domain.Size {
+				break
+			}
+			row[i] = 0
+		}
+	}
+}
+
 // exploreSeq is the sequential engine: a scan of the state space for initial
-// states followed by a depth-first expansion. The MaxStates bound is exact:
-// it fails if and only if the number of distinct discovered states would
-// exceed the bound, before any extra state or edge is recorded.
-func exploreSeq(p *guarded.Program, init state.Predicate, maxStates int) ([]rawNode, error) {
-	total, _ := p.Schema().NumStates()
+// states followed by a depth-first expansion on the compiled kernel. The
+// MaxStates bound is exact: it fails if and only if the number of distinct
+// discovered states would exceed the bound, before any extra state or edge
+// is recorded.
+func exploreSeq(k *guarded.Kernel, init state.Predicate, maxStates int) ([]expansion, error) {
+	sch := k.Schema()
+	total, _ := sch.NumStates()
 	visited := newVisitedSet(total)
-	var (
-		nodes []rawNode
-		stack []int
-	)
+	ex := &expansion{}
+	var stack []int
 	// claim records a newly discovered state, reporting false when doing so
 	// would exceed the bound.
-	claim := func(idx uint64, s state.State) bool {
+	claim := func(idx uint64) bool {
 		if !visited.claim(idx) {
 			return true
 		}
-		if maxStates > 0 && len(nodes) >= maxStates {
+		if maxStates > 0 && len(ex.nodes) >= maxStates {
 			return false
 		}
-		nodes = append(nodes, rawNode{idx: idx, st: s})
-		stack = append(stack, len(nodes)-1)
+		ex.nodes = append(ex.nodes, rawNode{idx: idx, off: -1})
+		stack = append(stack, len(ex.nodes)-1)
 		return true
 	}
-	exceeded := false
-	err := p.Schema().ForEachState(func(s state.State) bool {
-		if init.Holds(s) && !claim(s.Index(), s) {
-			exceeded = true
-			return false
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	if exceeded {
+	row := make([]int32, sch.NumVars())
+	if !scanInit(sch, init, 0, total, row, claim) {
 		return nil, boundError(maxStates)
 	}
+	sc := k.NewScratch()
 	for len(stack) > 0 {
 		ni := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		trs := p.Successors(nodes[ni].st)
-		out := make([]rawEdge, 0, len(trs))
-		for _, tr := range trs {
-			idx := tr.To.Index()
-			if !claim(idx, tr.To) {
+		off := len(ex.edges)
+		ex.edges = sc.Transitions(ex.nodes[ni].idx, ex.edges)
+		for _, tr := range ex.edges[off:] {
+			if !claim(tr.To) {
 				return nil, boundError(maxStates)
 			}
-			out = append(out, rawEdge{action: tr.Action, to: idx})
 		}
-		nodes[ni].out = out
+		ex.nodes[ni].off = off
+		ex.nodes[ni].n = int32(len(ex.edges) - off)
 	}
-	return nodes, nil
+	return []expansion{*ex}, nil
 }
 
 // exploreParallel is the worker-pool engine. Phase 1 scans disjoint chunks
 // of the index space for initial states; phase 2 runs a level-synchronous
-// BFS where workers expand frontier chunks concurrently and deduplicate
-// through the shared visited set. Discovery order varies with the schedule,
-// but every state is expanded exactly once (by whichever worker claims it)
-// and Successors is a pure function of the state, so the rawNode set — and
-// after canonical renumbering, the Graph — is schedule-independent.
-func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, workers int) ([]rawNode, error) {
-	sch := p.Schema()
+// BFS where workers expand frontier chunks concurrently on per-worker kernel
+// scratches and deduplicate through the shared visited set. Discovery order
+// varies with the schedule, but every state is expanded exactly once (by
+// whichever worker claims it) and the kernel is a pure function of the
+// index, so the rawNode set — and after canonical renumbering, the Graph —
+// is schedule-independent.
+func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers int) ([]expansion, error) {
+	sch := k.Schema()
 	total, _ := sch.NumStates()
 	visited := newVisitedSet(total)
 	var (
@@ -222,13 +243,8 @@ func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, worker
 		return true
 	}
 
-	type item struct {
-		idx uint64
-		st  state.State
-	}
-
 	// Phase 1: scan the index space for initial states.
-	var frontier []item
+	var frontier []uint64
 	{
 		chunks := uint64(workers * 8)
 		if chunks > total {
@@ -239,12 +255,13 @@ func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, worker
 		}
 		chunkSize := (total + chunks - 1) / chunks
 		var next atomic.Int64
-		local := make([][]item, workers)
+		local := make([][]uint64, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				row := make([]int32, sch.NumVars())
 				for {
 					lo := uint64(next.Add(1)-1) * chunkSize
 					if lo >= total {
@@ -254,14 +271,17 @@ func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, worker
 					if hi > total {
 						hi = total
 					}
-					for idx := lo; idx < hi; idx++ {
+					scanInit(sch, init, lo, hi, row, func(idx uint64) bool {
 						if exceeded.Load() {
-							return
+							return false
 						}
-						s := sch.StateAt(idx)
-						if init.Holds(s) && claim(idx) {
-							local[w] = append(local[w], item{idx, s})
+						if claim(idx) {
+							local[w] = append(local[w], idx)
 						}
+						return true
+					})
+					if exceeded.Load() {
+						return
 					}
 				}
 			}(w)
@@ -273,17 +293,23 @@ func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, worker
 	}
 
 	// Phase 2: level-synchronous frontier expansion.
-	perWorker := make([][]rawNode, workers)
+	perWorker := make([]expansion, workers)
+	scratches := make([]*guarded.Scratch, workers)
+	for w := range scratches {
+		scratches[w] = k.NewScratch()
+	}
 	for len(frontier) > 0 && !exceeded.Load() {
 		chunkSize := len(frontier)/(workers*4) + 1
 		numChunks := (len(frontier) + chunkSize - 1) / chunkSize
 		var next atomic.Int64
-		local := make([][]item, workers)
+		local := make([][]uint64, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				ex := &perWorker[w]
+				sc := scratches[w]
 				for {
 					c := int(next.Add(1) - 1)
 					if c >= numChunks {
@@ -293,20 +319,18 @@ func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, worker
 					if hi > len(frontier) {
 						hi = len(frontier)
 					}
-					for _, it := range frontier[c*chunkSize : hi] {
+					for _, idx := range frontier[c*chunkSize : hi] {
 						if exceeded.Load() {
 							return
 						}
-						trs := p.Successors(it.st)
-						out := make([]rawEdge, 0, len(trs))
-						for _, tr := range trs {
-							idx := tr.To.Index()
-							if claim(idx) {
-								local[w] = append(local[w], item{idx, tr.To})
+						off := len(ex.edges)
+						ex.edges = sc.Transitions(idx, ex.edges)
+						for _, tr := range ex.edges[off:] {
+							if claim(tr.To) {
+								local[w] = append(local[w], tr.To)
 							}
-							out = append(out, rawEdge{action: tr.Action, to: idx})
 						}
-						perWorker[w] = append(perWorker[w], rawNode{idx: it.idx, st: it.st, out: out})
+						ex.nodes = append(ex.nodes, rawNode{idx: idx, off: off, n: int32(len(ex.edges) - off)})
 					}
 				}
 			}(w)
@@ -320,40 +344,117 @@ func exploreParallel(p *guarded.Program, init state.Predicate, maxStates, worker
 	if exceeded.Load() {
 		return nil, boundError(maxStates)
 	}
-	var nodes []rawNode
-	for _, l := range perWorker {
-		nodes = append(nodes, l...)
-	}
-	return nodes, nil
+	return perWorker, nil
+}
+
+// nodeRef locates one discovered node inside the engines' expansions during
+// canonical renumbering.
+type nodeRef struct {
+	idx uint64
+	ch  uint32 // expansion
+	pos uint32 // position inside the expansion's node list
 }
 
 // assemble renumbers the discovered states canonically — node ids ascend
-// with the states' mixed-radix indices — and resolves edge targets, making
-// the resulting graph byte-for-byte identical for any engine and schedule.
-func assemble(p *guarded.Program, fair []bool, nodes []rawNode) *Graph {
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].idx < nodes[j].idx })
+// with the states' mixed-radix indices — decodes the state arena, resolves
+// edge targets by binary search over the sorted index array, and precomputes
+// the per-action enabled bitsets and the deadlock set. The result is
+// byte-for-byte identical for any engine and schedule.
+func assemble(k *guarded.Kernel, fair []bool, exps []expansion) *Graph {
+	sch := k.Schema()
+	n, totalE := 0, 0
+	for i := range exps {
+		n += len(exps[i].nodes)
+		totalE += len(exps[i].edges)
+	}
+	refs := make([]nodeRef, 0, n)
+	for ci := range exps {
+		for pi := range exps[ci].nodes {
+			refs = append(refs, nodeRef{idx: exps[ci].nodes[pi].idx, ch: uint32(ci), pos: uint32(pi)})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].idx < refs[j].idx })
+
+	nv := sch.NumVars()
 	g := &Graph{
-		prog:    p,
-		ids:     make(map[uint64]int, len(nodes)),
-		states:  make([]state.State, len(nodes)),
-		out:     make([][]Edge, len(nodes)),
+		prog:    k.Program(),
+		schema:  sch,
+		nv:      nv,
+		n:       n,
+		vals:    make([]int32, n*nv),
+		idxs:    make([]uint64, n),
 		fair:    fair,
-		numActs: p.NumActions(),
+		numActs: k.NumActions(),
 	}
-	for i := range nodes {
-		g.ids[nodes[i].idx] = i
-		g.states[i] = nodes[i].st
+	for i := range refs {
+		g.idxs[i] = refs[i].idx
+		sch.DecodeInto(g.vals[i*nv:(i+1)*nv], refs[i].idx)
 	}
-	for i := range nodes {
-		if len(nodes[i].out) == 0 {
-			continue
+	// Edge targets resolve index→id once per edge. When the state space is
+	// not much larger than the explored graph, a direct lookup table (4
+	// bytes per schema state) beats the per-edge binary search.
+	total, _ := sch.NumStates()
+	var lut []uint32
+	if total <= 16*uint64(n)+(1<<16) {
+		lut = make([]uint32, total)
+		for i, idx := range g.idxs {
+			lut[idx] = uint32(i)
 		}
-		es := make([]Edge, len(nodes[i].out))
-		for k, re := range nodes[i].out {
-			es[k] = Edge{Action: re.action, To: g.ids[re.to]}
+	}
+	resolve := func(idx uint64) int {
+		if lut != nil {
+			if id := int(lut[idx]); g.idxs[id] == idx {
+				return id
+			}
+		} else if id, ok := g.idOf(idx); ok {
+			return id
 		}
-		g.out[i] = es
+		panic(fmt.Sprintf("explore: edge target %d not among discovered states", idx))
+	}
+	// Out-edge CSR: degree prefix sums, then resolve targets id-by-id.
+	g.outOff = make([]uint32, n+1)
+	for i := range refs {
+		node := &exps[refs[i].ch].nodes[refs[i].pos]
+		g.outOff[i+1] = g.outOff[i] + uint32(node.n)
+	}
+	g.outEdges = make([]Edge, totalE)
+	for i := range refs {
+		node := &exps[refs[i].ch].nodes[refs[i].pos]
+		succ := exps[refs[i].ch].edges[node.off : node.off+int(node.n)]
+		base := g.outOff[i]
+		for j, tr := range succ {
+			g.outEdges[int(base)+j] = Edge{Action: int(tr.Action), To: resolve(tr.To)}
+		}
 	}
 	g.buildIn()
+	// Per-action enabledness and the deadlock set, straight off the arena.
+	sc := k.NewScratch()
+	g.enabled = make([]*Bitset, g.numActs)
+	for a := 0; a < g.numActs; a++ {
+		g.enabled[a] = NewBitset(n)
+	}
+	for i := 0; i < n; i++ {
+		row := g.vals[i*nv : (i+1)*nv]
+		for a := 0; a < g.numActs; a++ {
+			if sc.EnabledOnRow(row, a) {
+				g.enabled[a].Add(i)
+			}
+		}
+	}
+	g.dead = g.computeDead(fair)
 	return g
+}
+
+// computeDead derives the deadlock set from the per-action enabled bitsets
+// under the given fairness mask: a node is deadlocked iff no fair action is
+// enabled there.
+func (g *Graph) computeDead(fair []bool) *Bitset {
+	dead := NewBitset(g.n)
+	dead.Fill()
+	for a, f := range fair {
+		if f {
+			dead.IntersectNot(g.enabled[a])
+		}
+	}
+	return dead
 }

@@ -11,30 +11,32 @@ import (
 	"detcorr/internal/state"
 )
 
-// graphsIdentical compares two graphs field by field: same states in the
-// same node order, same out-edge lists, same in-lists, same fairness.
+// graphsIdentical compares two graphs node by node: same states in the same
+// node order, same out-edge lists, same in-lists, same fairness.
 func graphsIdentical(a, b *Graph) error {
-	if len(a.states) != len(b.states) {
-		return fmt.Errorf("node counts differ: %d vs %d", len(a.states), len(b.states))
+	if a.NumNodes() != b.NumNodes() {
+		return fmt.Errorf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
 	}
-	for i := range a.states {
-		if !a.states[i].Equal(b.states[i]) {
-			return fmt.Errorf("node %d: states differ: %s vs %s", i, a.states[i], b.states[i])
+	for i := 0; i < a.NumNodes(); i++ {
+		if !a.State(i).Equal(b.State(i)) {
+			return fmt.Errorf("node %d: states differ: %s vs %s", i, a.State(i), b.State(i))
 		}
-		if len(a.out[i]) != len(b.out[i]) {
-			return fmt.Errorf("node %d: out degree %d vs %d", i, len(a.out[i]), len(b.out[i]))
+		ao, bo := a.Out(i), b.Out(i)
+		if len(ao) != len(bo) {
+			return fmt.Errorf("node %d: out degree %d vs %d", i, len(ao), len(bo))
 		}
-		for k := range a.out[i] {
-			if a.out[i][k] != b.out[i][k] {
-				return fmt.Errorf("node %d edge %d: %+v vs %+v", i, k, a.out[i][k], b.out[i][k])
+		for k := range ao {
+			if ao[k] != bo[k] {
+				return fmt.Errorf("node %d edge %d: %+v vs %+v", i, k, ao[k], bo[k])
 			}
 		}
-		if len(a.in[i]) != len(b.in[i]) {
-			return fmt.Errorf("node %d: in degree %d vs %d", i, len(a.in[i]), len(b.in[i]))
+		ai, bi := a.In(i), b.In(i)
+		if len(ai) != len(bi) {
+			return fmt.Errorf("node %d: in degree %d vs %d", i, len(ai), len(bi))
 		}
-		for k := range a.in[i] {
-			if a.in[i][k] != b.in[i][k] {
-				return fmt.Errorf("node %d in-edge %d: %+v vs %+v", i, k, a.in[i][k], b.in[i][k])
+		for k := range ai {
+			if ai[k] != bi[k] {
+				return fmt.Errorf("node %d in-edge %d: %+v vs %+v", i, k, ai[k], bi[k])
 			}
 		}
 	}

@@ -3,8 +3,6 @@ package explore
 import (
 	"math/rand"
 	"testing"
-
-	"detcorr/internal/state"
 )
 
 // randBitset draws a random subset of [0,n) and its map oracle.
@@ -136,24 +134,18 @@ func TestBitsetAgainstMapOracle(t *testing.T) {
 	}
 }
 
-// randGraph builds a Graph with n placeholder nodes and random edges; only
-// the adjacency structure matters for SCC and reachability.
+// randGraph builds a structural Graph with n placeholder nodes and random
+// edges; only the adjacency structure matters for SCC and reachability.
 func randGraph(rng *rand.Rand, n int, edgeProb float64) *Graph {
-	g := &Graph{
-		states:  make([]state.State, n),
-		out:     make([][]Edge, n),
-		fair:    []bool{true},
-		numActs: 1,
-	}
+	out := make([][]Edge, n)
 	for v := 0; v < n; v++ {
 		for w := 0; w < n; w++ {
 			if rng.Float64() < edgeProb {
-				g.out[v] = append(g.out[v], Edge{Action: 0, To: w})
+				out[v] = append(out[v], Edge{Action: 0, To: w})
 			}
 		}
 	}
-	g.buildIn()
-	return g
+	return newAdjacencyGraph(out, []bool{true})
 }
 
 // TestSCCsAgainstReachOracle cross-checks Tarjan against the definitional
@@ -201,7 +193,7 @@ func TestSCCsAgainstReachOracle(t *testing.T) {
 			for len(queue) > 0 {
 				u := queue[0]
 				queue = queue[1:]
-				for _, e := range g.out[u] {
+				for _, e := range g.Out(u) {
 					if !seen[e.To] {
 						seen[e.To] = true
 						queue = append(queue, e.To)
@@ -225,11 +217,86 @@ func TestSCCsAgainstReachOracle(t *testing.T) {
 		// Reverse topological order: every edge leaving a component lands in
 		// a component emitted earlier.
 		for v := 0; v < n; v++ {
-			for _, e := range g.out[v] {
+			for _, e := range g.Out(v) {
 				if compOf[e.To] != compOf[v] && compOf[e.To] > compOf[v] {
 					t.Fatalf("seed %d: SCC order not reverse-topological (%d→%d)", seed, v, e.To)
 				}
 			}
 		}
 	}
+}
+
+// TestBitsetFillIntersectNotNextAfter property-tests the three operations
+// the CSR assembly path leans on — Fill, IntersectNot, and the closure-free
+// iterator NextAfter — against the same map oracle, on random seeded inputs
+// including word-boundary sizes.
+func TestBitsetFillIntersectNotNextAfter(t *testing.T) {
+	sizes := []int{1, 63, 64, 65, 127, 128, 129}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := sizes[rng.Intn(len(sizes))] + rng.Intn(200)
+
+		full := NewBitset(n)
+		full.Fill()
+		if full.Count() != n {
+			t.Fatalf("seed %d: Fill over n=%d has Count %d", seed, n, full.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !full.Has(i) {
+				t.Fatalf("seed %d: Fill missing id %d of %d", seed, i, n)
+			}
+		}
+		if c := full.Complement(); !c.Empty() {
+			t.Fatalf("seed %d: complement of Fill not empty (tail bits leaked)", seed)
+		}
+
+		a, oa := randBitset(rng, n)
+		b, ob := randBitset(rng, n)
+		diff := a.Clone()
+		diff.IntersectNot(b)
+		od := map[int]bool{}
+		for id := range oa {
+			if !ob[id] {
+				od[id] = true
+			}
+		}
+		if !sameSet(diff, od) {
+			t.Fatalf("seed %d: IntersectNot diverges from oracle", seed)
+		}
+		// Fill then IntersectNot is exactly Complement — the deadlock-set
+		// computation's shape.
+		dead := NewBitset(n)
+		dead.Fill()
+		dead.IntersectNot(a)
+		if !sameSet(dead, mapComplement(oa, n)) {
+			t.Fatalf("seed %d: Fill∘IntersectNot diverges from complement oracle", seed)
+		}
+
+		var got []int
+		for id := a.NextAfter(-1); id >= 0; id = a.NextAfter(id) {
+			got = append(got, id)
+		}
+		want := a.Slice()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: NextAfter visited %d ids, Slice has %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: NextAfter order diverges at %d: %d vs %d", seed, i, got[i], want[i])
+			}
+		}
+		if a.NextAfter(n) != -1 || a.NextAfter(n+100) != -1 {
+			t.Fatalf("seed %d: NextAfter past capacity must return -1", seed)
+		}
+	}
+}
+
+func mapComplement(m map[int]bool, n int) map[int]bool {
+	out := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if !m[i] {
+			out[i] = true
+		}
+	}
+	return out
 }

@@ -5,7 +5,7 @@ package explore
 // graphs do not overflow the goroutine stack. Components are returned in
 // reverse topological order (Tarjan's natural output order).
 func (g *Graph) SCCs(within *Bitset) [][]int {
-	n := len(g.states)
+	n := g.n
 	const unvisited = -1
 	index := make([]int, n)
 	low := make([]int, n)
@@ -40,8 +40,9 @@ func (g *Graph) SCCs(within *Bitset) [][]int {
 				onStack[v] = true
 			}
 			advanced := false
-			for f.edge < len(g.out[v]) {
-				e := g.out[v][f.edge]
+			out := g.Out(v)
+			for f.edge < len(out) {
+				e := out[f.edge]
 				f.edge++
 				w := e.To
 				if !inSub(w) {
@@ -90,7 +91,7 @@ func (g *Graph) SCCs(within *Bitset) [][]int {
 // without self-loops admit no infinite run.
 func (g *Graph) hasInternalEdge(member *Bitset, comp []int) bool {
 	for _, v := range comp {
-		for _, e := range g.out[v] {
+		for _, e := range g.Out(v) {
 			if member.Has(e.To) {
 				return true
 			}

@@ -2,6 +2,7 @@ package gcl
 
 import (
 	"fmt"
+	"math"
 
 	"detcorr/internal/fault"
 	"detcorr/internal/guarded"
@@ -39,10 +40,45 @@ func (t valueType) String() string {
 }
 
 // compiled expression: evaluation closure plus its type. Booleans evaluate
-// to 0/1.
+// to 0/1. ops is the same expression lowered to kernel bytecode
+// (guarded.Op); nil means the expression cannot be lowered (e.g. a literal
+// outside int32 range) and only the closure form is available. The two forms
+// must agree exactly — the difftest suite checks kernel-built graphs against
+// closure-built ones.
 type cexpr struct {
 	typ  valueType
 	eval func(state.State) int
+	ops  []guarded.Op
+}
+
+// opsConst lowers an integer constant, refusing values outside int32.
+func opsConst(v int) []guarded.Op {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return nil
+	}
+	return []guarded.Op{{Code: guarded.OpConst, A: int32(v)}}
+}
+
+// opsUnary appends a unary opcode to x's bytecode (nil-propagating).
+func opsUnary(code guarded.OpCode, x []guarded.Op) []guarded.Op {
+	if x == nil {
+		return nil
+	}
+	ops := make([]guarded.Op, 0, len(x)+1)
+	ops = append(ops, x...)
+	return append(ops, guarded.Op{Code: code})
+}
+
+// opsBinary concatenates both operands' bytecode and appends the opcode
+// (nil-propagating).
+func opsBinary(code guarded.OpCode, l, r []guarded.Op) []guarded.Op {
+	if l == nil || r == nil {
+		return nil
+	}
+	ops := make([]guarded.Op, 0, len(l)+len(r)+1)
+	ops = append(ops, l...)
+	ops = append(ops, r...)
+	return append(ops, guarded.Op{Code: code})
 }
 
 type compiler struct {
@@ -185,6 +221,8 @@ func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
 		return guarded.Action{}, errAt(d.At.Line, d.At.Col, "guard of action %q is not boolean", d.Name)
 	}
 	assigns := make([]cassign, 0, len(d.Assigns))
+	lowered := make([]guarded.CompiledAssign, 0, len(d.Assigns))
+	canLower := true
 	seen := map[string]bool{}
 	for _, a := range d.Assigns {
 		idx, ok := c.varIdx[a.Var]
@@ -210,6 +248,12 @@ func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
 					a.Var, c.varTyp[a.Var], ce.typ)
 			}
 			ca.eval = ce.eval
+			if ce.ops == nil {
+				canLower = false
+			}
+			lowered = append(lowered, guarded.CompiledAssign{Var: idx, Off: ca.offset, Expr: ce.ops})
+		} else {
+			lowered = append(lowered, guarded.CompiledAssign{Var: idx, Off: ca.offset, Wild: true})
 		}
 		assigns = append(assigns, ca)
 	}
@@ -241,6 +285,12 @@ func (c *compiler) compileAction(d ActionDecl) (guarded.Action, error) {
 	act.Writes = make([]string, 0, len(d.Assigns))
 	for _, a := range d.Assigns {
 		act.Writes = append(act.Writes, a.Var)
+	}
+	// Attach the kernel bytecode form when every right-hand side lowered.
+	// The guard may still be nil (not lowerable): the kernel then evaluates
+	// the closure guard but executes the statement natively.
+	if canLower {
+		act.Compiled = &guarded.CompiledAction{Guard: g.ops, Assigns: lowered}
 	}
 	return act, nil
 }
@@ -316,18 +366,22 @@ func (c *compiler) compileExpr(e Expr) (cexpr, error) {
 		if n.Value {
 			v = 1
 		}
-		return cexpr{typ: boolType, eval: func(state.State) int { return v }}, nil
+		return cexpr{typ: boolType, eval: func(state.State) int { return v }, ops: opsConst(v)}, nil
 	case *IntLit:
 		v := n.Value
-		return cexpr{typ: intType, eval: func(state.State) int { return v }}, nil
+		return cexpr{typ: intType, eval: func(state.State) int { return v }, ops: opsConst(v)}, nil
 	case *Ref:
 		if idx, ok := c.varIdx[n.Name]; ok {
 			off := c.varOff[n.Name]
 			typ := c.varTyp[n.Name]
-			return cexpr{typ: typ, eval: func(s state.State) int { return s.Get(idx) + off }}, nil
+			return cexpr{
+				typ:  typ,
+				eval: func(s state.State) int { return s.Get(idx) + off },
+				ops:  []guarded.Op{{Code: guarded.OpVar, A: int32(idx), B: int32(off)}},
+			}, nil
 		}
 		if v, ok := c.consts[n.Name]; ok {
-			return cexpr{typ: intType, eval: func(state.State) int { return v }}, nil
+			return cexpr{typ: intType, eval: func(state.State) int { return v }, ops: opsConst(v)}, nil
 		}
 		if ce, ok := c.preds[n.Name]; ok {
 			return ce, nil
@@ -344,13 +398,13 @@ func (c *compiler) compileExpr(e Expr) (cexpr, error) {
 				return cexpr{}, fmt.Errorf("gcl: '!' applied to non-boolean")
 			}
 			f := x.eval
-			return cexpr{typ: boolType, eval: func(s state.State) int { return 1 - f(s) }}, nil
+			return cexpr{typ: boolType, eval: func(s state.State) int { return 1 - f(s) }, ops: opsUnary(guarded.OpNot, x.ops)}, nil
 		case MINUS:
 			if x.typ != intType {
 				return cexpr{}, fmt.Errorf("gcl: unary '-' applied to non-integer")
 			}
 			f := x.eval
-			return cexpr{typ: intType, eval: func(s state.State) int { return -f(s) }}, nil
+			return cexpr{typ: intType, eval: func(s state.State) int { return -f(s) }, ops: opsUnary(guarded.OpNeg, x.ops)}, nil
 		default:
 			return cexpr{}, fmt.Errorf("gcl: unknown unary operator %s", n.Op)
 		}
@@ -370,13 +424,13 @@ func (c *compiler) compileExpr(e Expr) (cexpr, error) {
 }
 
 func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
-	boolOp := func(f func(a, b int) int) cexpr {
+	boolOp := func(code guarded.OpCode, f func(a, b int) int) cexpr {
 		le, re := l.eval, r.eval
-		return cexpr{typ: boolType, eval: func(s state.State) int { return f(le(s), re(s)) }}
+		return cexpr{typ: boolType, eval: func(s state.State) int { return f(le(s), re(s)) }, ops: opsBinary(code, l.ops, r.ops)}
 	}
-	intOp := func(f func(a, b int) int) cexpr {
+	intOp := func(code guarded.OpCode, f func(a, b int) int) cexpr {
 		le, re := l.eval, r.eval
-		return cexpr{typ: intType, eval: func(s state.State) int { return f(le(s), re(s)) }}
+		return cexpr{typ: intType, eval: func(s state.State) int { return f(le(s), re(s)) }, ops: opsBinary(code, l.ops, r.ops)}
 	}
 	needBool := func() error {
 		if l.typ != boolType || r.typ != boolType {
@@ -401,38 +455,38 @@ func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
 		if err := needBool(); err != nil {
 			return cexpr{}, err
 		}
-		return boolOp(func(a, b int) int { return b2i(a != 0 && b != 0) }), nil
+		return boolOp(guarded.OpAnd, func(a, b int) int { return b2i(a != 0 && b != 0) }), nil
 	case OR:
 		if err := needBool(); err != nil {
 			return cexpr{}, err
 		}
-		return boolOp(func(a, b int) int { return b2i(a != 0 || b != 0) }), nil
+		return boolOp(guarded.OpOr, func(a, b int) int { return b2i(a != 0 || b != 0) }), nil
 	case IMPLIES:
 		if err := needBool(); err != nil {
 			return cexpr{}, err
 		}
-		return boolOp(func(a, b int) int { return b2i(a == 0 || b != 0) }), nil
+		return boolOp(guarded.OpImplies, func(a, b int) int { return b2i(a == 0 || b != 0) }), nil
 	case EQ, NEQ:
 		if l.typ != r.typ {
 			return cexpr{}, errAt(n.At.Line, n.At.Col, "%s compares %s with %s", n.Op, l.typ, r.typ)
 		}
 		if n.Op == EQ {
-			return boolOp(func(a, b int) int { return b2i(a == b) }), nil
+			return boolOp(guarded.OpEq, func(a, b int) int { return b2i(a == b) }), nil
 		}
-		return boolOp(func(a, b int) int { return b2i(a != b) }), nil
+		return boolOp(guarded.OpNeq, func(a, b int) int { return b2i(a != b) }), nil
 	case LT, LE, GT, GE:
 		if err := needInt(); err != nil {
 			return cexpr{}, err
 		}
 		switch n.Op {
 		case LT:
-			return boolOp(func(a, b int) int { return b2i(a < b) }), nil
+			return boolOp(guarded.OpLt, func(a, b int) int { return b2i(a < b) }), nil
 		case LE:
-			return boolOp(func(a, b int) int { return b2i(a <= b) }), nil
+			return boolOp(guarded.OpLe, func(a, b int) int { return b2i(a <= b) }), nil
 		case GT:
-			return boolOp(func(a, b int) int { return b2i(a > b) }), nil
+			return boolOp(guarded.OpGt, func(a, b int) int { return b2i(a > b) }), nil
 		default:
-			return boolOp(func(a, b int) int { return b2i(a >= b) }), nil
+			return boolOp(guarded.OpGe, func(a, b int) int { return b2i(a >= b) }), nil
 		}
 	case PLUS, MINUS, STAR, PERCENT:
 		if err := needInt(); err != nil {
@@ -440,11 +494,11 @@ func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
 		}
 		switch n.Op {
 		case PLUS:
-			return intOp(func(a, b int) int { return a + b }), nil
+			return intOp(guarded.OpAdd, func(a, b int) int { return a + b }), nil
 		case MINUS:
-			return intOp(func(a, b int) int { return a - b }), nil
+			return intOp(guarded.OpSub, func(a, b int) int { return a - b }), nil
 		case STAR:
-			return intOp(func(a, b int) int { return a * b }), nil
+			return intOp(guarded.OpMul, func(a, b int) int { return a * b }), nil
 		default:
 			le, re := l.eval, r.eval
 			return cexpr{typ: intType, eval: func(s state.State) int {
@@ -453,7 +507,7 @@ func (c *compiler) binary(n *Binary, l, r cexpr) (cexpr, error) {
 					return 0 // total semantics: x % 0 = 0
 				}
 				return ((le(s) % b) + b) % b
-			}}, nil
+			}, ops: opsBinary(guarded.OpMod, l.ops, r.ops)}, nil
 		}
 	default:
 		return cexpr{}, errAt(n.At.Line, n.At.Col, "unknown binary operator %s", n.Op)

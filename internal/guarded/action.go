@@ -36,6 +36,21 @@ type Action struct {
 	// exploring the state space. It is advisory metadata: the semantics
 	// of Next are authoritative.
 	Writes []string
+
+	// Stmt optionally exposes the deterministic statement directly: when
+	// non-nil, Next must be equivalent to returning the single state
+	// Stmt(s). Det, Assign, and Skip set it; the compiled transition
+	// kernel uses it to emit the one successor without allocating the
+	// []state.State wrapper Next has to return.
+	Stmt func(state.State) state.State
+
+	// Compiled optionally carries the action's guard and statement
+	// lowered to kernel bytecode (see Kernel). The GCL compiler fills it
+	// in; it must describe exactly the same guard and statement as
+	// Guard/Next, which remain authoritative. Transformations that change
+	// the guard or statement must drop or adjust it (see
+	// Action.Restrict).
+	Compiled *CompiledAction
 }
 
 // Det builds a deterministic action from a pure statement function.
@@ -46,6 +61,7 @@ func Det(name string, guard state.Predicate, stmt func(state.State) state.State)
 		Next: func(s state.State) []state.State {
 			return []state.State{stmt(s)}
 		},
+		Stmt: stmt,
 	}
 }
 
@@ -76,13 +92,23 @@ func Assign(sch *state.Schema, name string, guard state.Predicate, varName strin
 func (a Action) Enabled(s state.State) bool { return a.Guard.Holds(s) }
 
 // Restrict returns the action Z ∧ g --> st (the ∧ composition applied to a
-// single action, as in the paper's notation section).
+// single action, as in the paper's notation section). The statement is
+// unchanged, so any compiled statement bytecode is kept; the compiled guard
+// is dropped (Z is an opaque predicate), which makes the kernel evaluate the
+// restricted guard through the closure while still executing the statement
+// natively.
 func (a Action) Restrict(z state.Predicate) Action {
+	var comp *CompiledAction
+	if a.Compiled != nil {
+		comp = &CompiledAction{Assigns: a.Compiled.Assigns}
+	}
 	return Action{
-		Name:   a.Name,
-		Guard:  state.And(z, a.Guard),
-		Next:   a.Next,
-		Writes: a.Writes,
+		Name:     a.Name,
+		Guard:    state.And(z, a.Guard),
+		Next:     a.Next,
+		Writes:   a.Writes,
+		Stmt:     a.Stmt,
+		Compiled: comp,
 	}
 }
 

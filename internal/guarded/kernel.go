@@ -1,0 +1,447 @@
+package guarded
+
+import (
+	"fmt"
+
+	"detcorr/internal/state"
+)
+
+// This file implements the compiled transition kernel: a per-program
+// successor generator that works on raw mixed-radix state indices and
+// reusable scratch rows instead of immutable state.State values, so that the
+// explicit-state engines in internal/explore pay zero heap allocations per
+// transition in the steady state.
+//
+// Guards and statements come in two forms:
+//
+//   - native: GCL-compiled actions carry CompiledAction bytecode (a small
+//     stack machine over the scratch row, lowered by internal/gcl), which the
+//     kernel evaluates directly on []int32 rows;
+//   - closure: hand-written Go actions fall back to a generic adapter that
+//     decodes the index into a pooled scratch state.State view (one backing
+//     array per Scratch) and calls Guard/Stmt/Next. The adapter allocates
+//     only what the closures themselves allocate.
+//
+// Both forms emit successors in exactly the order Program.Successors does
+// (actions in declaration order, each action's nondeterminism in statement
+// order), which is what keeps kernel-built graphs byte-identical to
+// closure-built ones under the canonical-renumbering contract.
+
+// OpCode is a kernel bytecode instruction. The expression machine is a pure
+// stack machine over int operands: leaves push, unary ops rewrite the top of
+// the stack, binary ops pop two and push one. Booleans are 0/1. The
+// operators mirror the GCL expression language exactly, including total
+// modulo (x % 0 = 0, result sign-normalized to [0,b)).
+type OpCode uint8
+
+const (
+	// OpConst pushes the constant A.
+	OpConst OpCode = iota + 1
+	// OpVar pushes row[A] + B (B is the domain offset of range variables).
+	OpVar
+	// OpNot rewrites the boolean top t to 1-t.
+	OpNot
+	// OpNeg negates the integer top.
+	OpNeg
+	// Binary boolean connectives (operands are 0/1).
+	OpAnd
+	OpOr
+	OpImplies
+	// Comparisons (push 0/1).
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Integer arithmetic. OpMod is total: a % 0 = 0, otherwise the result
+	// is normalized into [0, b).
+	OpAdd
+	OpSub
+	OpMul
+	OpMod
+)
+
+// Op is one kernel bytecode instruction with its immediates.
+type Op struct {
+	Code OpCode
+	A    int32
+	B    int32
+}
+
+// CompiledAssign is one lowered assignment of an action statement: variable
+// Var receives the value of Expr minus the domain offset Off, evaluated on
+// the pre-state row (assignments are simultaneous). Wild marks the GCL '?'
+// form: the variable nondeterministically receives every domain value, and
+// Expr is nil.
+type CompiledAssign struct {
+	Var  int
+	Off  int
+	Expr []Op
+	Wild bool
+}
+
+// CompiledAction is an action lowered to kernel bytecode. A nil Guard means
+// the guard is not compiled (for example after Action.Restrict conjoins an
+// opaque predicate) and the kernel must consult the closure Guard; the
+// assignments can still execute natively. Assigns are in declaration order;
+// wild assignments enumerate their values lexicographically in that order
+// (earlier '?' varies slowest), matching the GCL closure semantics.
+type CompiledAction struct {
+	Guard   []Op
+	Assigns []CompiledAssign
+}
+
+// evalOps runs the expression machine on a row. stack must have capacity for
+// the expression's maximal depth (Kernel sizes it at Compile time).
+func evalOps(ops []Op, row []int32, stack []int) int {
+	sp := 0
+	for i := range ops {
+		op := &ops[i]
+		switch op.Code {
+		case OpConst:
+			stack[sp] = int(op.A)
+			sp++
+		case OpVar:
+			stack[sp] = int(row[op.A]) + int(op.B)
+			sp++
+		case OpNot:
+			stack[sp-1] = 1 - stack[sp-1]
+		case OpNeg:
+			stack[sp-1] = -stack[sp-1]
+		default:
+			sp--
+			a, b := stack[sp-1], stack[sp]
+			var v int
+			switch op.Code {
+			case OpAnd:
+				v = b2i(a != 0 && b != 0)
+			case OpOr:
+				v = b2i(a != 0 || b != 0)
+			case OpImplies:
+				v = b2i(a == 0 || b != 0)
+			case OpEq:
+				v = b2i(a == b)
+			case OpNeq:
+				v = b2i(a != b)
+			case OpLt:
+				v = b2i(a < b)
+			case OpLe:
+				v = b2i(a <= b)
+			case OpGt:
+				v = b2i(a > b)
+			case OpGe:
+				v = b2i(a >= b)
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpMod:
+				if b == 0 {
+					v = 0
+				} else {
+					v = ((a % b) + b) % b
+				}
+			default:
+				panic(fmt.Sprintf("guarded: unknown opcode %d", op.Code))
+			}
+			stack[sp-1] = v
+		}
+	}
+	return stack[0]
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// opsStackDepth returns the maximal stack depth evalOps needs for ops.
+func opsStackDepth(ops []Op) int {
+	depth, max := 0, 0
+	for _, op := range ops {
+		switch op.Code {
+		case OpConst, OpVar:
+			depth++
+			if depth > max {
+				max = depth
+			}
+		case OpNot, OpNeg:
+			// top rewrite
+		default:
+			depth--
+		}
+	}
+	return max
+}
+
+// Succ is one successor emitted by the kernel: the index of the action that
+// produced it and the mixed-radix index of the target state.
+type Succ struct {
+	Action int32
+	To     uint64
+}
+
+// kact is one action prepared for kernel execution.
+type kact struct {
+	comp  *CompiledAction // nil: fully closure-evaluated
+	guard state.Predicate
+	next  func(state.State) []state.State
+	stmt  func(state.State) state.State
+}
+
+// Kernel is a compiled, immutable successor generator for a program, built
+// once per Program with Compile. The kernel itself holds no mutable state
+// and may be shared across goroutines; each worker obtains its own Scratch
+// (NewScratch) carrying the reusable row, stack, and view buffers, and all
+// stepping goes through the scratch. The schema must be indexable for the
+// index-addressed methods to be meaningful (internal/explore checks this
+// before compiling).
+type Kernel struct {
+	prog     *Program
+	schema   *state.Schema
+	nv       int
+	sizes    []int32
+	acts     []kact
+	maxStack int
+	maxWild  int
+}
+
+// Compile builds the transition kernel for p. GCL-compiled actions execute
+// natively from their CompiledAction bytecode; all other actions go through
+// the closure adapter. Compile is cheap (no state enumeration).
+func Compile(p *Program) *Kernel {
+	sch := p.Schema()
+	nv := sch.NumVars()
+	k := &Kernel{
+		prog:     p,
+		schema:   sch,
+		nv:       nv,
+		sizes:    make([]int32, nv),
+		acts:     make([]kact, p.NumActions()),
+		maxStack: 1,
+		maxWild:  1,
+	}
+	for i := 0; i < nv; i++ {
+		k.sizes[i] = int32(sch.Var(i).Domain.Size)
+	}
+	for i := range k.acts {
+		a := p.Action(i)
+		k.acts[i] = kact{comp: a.Compiled, guard: a.Guard, next: a.Next, stmt: a.Stmt}
+		if c := a.Compiled; c != nil {
+			if d := opsStackDepth(c.Guard); d > k.maxStack {
+				k.maxStack = d
+			}
+			wild := 0
+			for _, as := range c.Assigns {
+				if as.Wild {
+					wild++
+				} else if d := opsStackDepth(as.Expr); d > k.maxStack {
+					k.maxStack = d
+				}
+			}
+			if wild > k.maxWild {
+				k.maxWild = wild
+			}
+		}
+	}
+	return k
+}
+
+// Program returns the program the kernel was compiled from.
+func (k *Kernel) Program() *Program { return k.prog }
+
+// Schema returns the program's schema.
+func (k *Kernel) Schema() *state.Schema { return k.schema }
+
+// NumActions returns the number of actions.
+func (k *Kernel) NumActions() int { return len(k.acts) }
+
+// Native reports whether action a executes from compiled bytecode (guard and
+// statement both lowered) rather than through the closure adapter.
+func (k *Kernel) Native(a int) bool {
+	c := k.acts[a].comp
+	return c != nil && c.Guard != nil
+}
+
+// Scratch is the per-worker mutable state of a kernel: the decoded pre-state
+// row, the successor row, the expression stack, and the pooled state.State
+// view over the row for closure actions. A Scratch must not be shared
+// between goroutines; stepping through it performs no heap allocations on
+// the native path (and only the closures' own allocations on the adapter
+// path) once the caller-provided buffers have warmed up.
+type Scratch struct {
+	k       *Kernel
+	row     []int32 // decoded pre-state
+	post    []int32 // successor row, rebuilt per firing
+	stack   []int   // expression machine stack
+	view    state.State
+	wildVar []int32 // '?' variables of the current firing
+	wildVal []int32 // odometer over their values
+	succBuf []Succ  // reused by Step for compiled emissions
+	loaded  uint64
+	hasRow  bool
+}
+
+// NewScratch returns a fresh per-worker scratch for the kernel.
+func (k *Kernel) NewScratch() *Scratch {
+	row := make([]int32, k.nv)
+	return &Scratch{
+		k:       k,
+		row:     row,
+		post:    make([]int32, k.nv),
+		stack:   make([]int, k.maxStack),
+		view:    k.schema.ViewState(row),
+		wildVar: make([]int32, k.maxWild),
+		wildVal: make([]int32, k.maxWild),
+	}
+}
+
+// Load decodes the state with the given mixed-radix index into the scratch
+// row. Subsequent Enabled calls evaluate against that row.
+func (sc *Scratch) Load(idx uint64) {
+	if sc.hasRow && sc.loaded == idx {
+		return
+	}
+	sc.k.schema.DecodeInto(sc.row, idx)
+	sc.loaded = idx
+	sc.hasRow = true
+}
+
+// View decodes the index and returns the pooled view state over the scratch
+// row. The view is invalidated by the next Load/Transitions/Step call.
+func (sc *Scratch) View(idx uint64) state.State {
+	sc.Load(idx)
+	return sc.view
+}
+
+// Enabled reports whether action a's guard holds at the loaded row.
+func (sc *Scratch) Enabled(a int) bool {
+	return sc.guardHolds(&sc.k.acts[a], sc.row, sc.view)
+}
+
+// EnabledOnRow evaluates action a's guard directly on a caller-owned row
+// (for example a graph arena row) without copying it into the scratch.
+func (sc *Scratch) EnabledOnRow(row []int32, a int) bool {
+	return sc.guardHolds(&sc.k.acts[a], row, sc.k.schema.ViewState(row))
+}
+
+func (sc *Scratch) guardHolds(a *kact, row []int32, view state.State) bool {
+	if a.comp != nil && a.comp.Guard != nil {
+		return evalOps(a.comp.Guard, row, sc.stack) != 0
+	}
+	return a.guard.Holds(view)
+}
+
+// Transitions appends every transition enabled at the state with the given
+// index to buf and returns it, in exactly the order Program.Successors
+// enumerates them. With a buffer of sufficient capacity the native path
+// performs no heap allocations.
+func (sc *Scratch) Transitions(idx uint64, buf []Succ) []Succ {
+	sc.Load(idx)
+	for ai := range sc.k.acts {
+		a := &sc.k.acts[ai]
+		if !sc.guardHolds(a, sc.row, sc.view) {
+			continue
+		}
+		if a.comp != nil {
+			buf = sc.compiledSucc(int32(ai), a.comp, buf)
+			continue
+		}
+		if a.stmt != nil {
+			buf = append(buf, Succ{Action: int32(ai), To: a.stmt(sc.view).Index()})
+			continue
+		}
+		for _, ns := range a.next(sc.view) {
+			buf = append(buf, Succ{Action: int32(ai), To: ns.Index()})
+		}
+	}
+	return buf
+}
+
+// Step appends the mixed-radix indices of all successors of idx to buf and
+// returns it: Transitions stripped of the action labels. It is the
+// allocation-free reachability primitive.
+func (sc *Scratch) Step(idx uint64, buf []uint64) []uint64 {
+	sc.Load(idx)
+	for ai := range sc.k.acts {
+		a := &sc.k.acts[ai]
+		if !sc.guardHolds(a, sc.row, sc.view) {
+			continue
+		}
+		if a.comp != nil {
+			sc.succBuf = sc.succBuf[:0]
+			sc.succBuf = sc.compiledSucc(int32(ai), a.comp, sc.succBuf)
+			for _, s := range sc.succBuf {
+				buf = append(buf, s.To)
+			}
+			continue
+		}
+		if a.stmt != nil {
+			buf = append(buf, a.stmt(sc.view).Index())
+			continue
+		}
+		for _, ns := range a.next(sc.view) {
+			buf = append(buf, ns.Index())
+		}
+	}
+	return buf
+}
+
+// compiledSucc executes a lowered statement at the loaded row: deterministic
+// right-hand sides are evaluated on the pre-state (simultaneous assignment)
+// into the post row, then wild ('?') variables enumerate their domains
+// lexicographically in declaration order. The emitted index is maintained
+// incrementally over the wild odometer, so each successor costs O(#wild).
+func (sc *Scratch) compiledSucc(ai int32, c *CompiledAction, buf []Succ) []Succ {
+	k := sc.k
+	copy(sc.post, sc.row)
+	nw := 0
+	for i := range c.Assigns {
+		as := &c.Assigns[i]
+		if as.Wild {
+			sc.wildVar[nw] = int32(as.Var)
+			nw++
+			continue
+		}
+		v := evalOps(as.Expr, sc.row, sc.stack) - as.Off
+		if v < 0 || v >= int(k.sizes[as.Var]) {
+			panic(fmt.Sprintf("guarded: kernel write of %d out of domain for variable %q (size %d)",
+				v, k.schema.Var(as.Var).Name, k.sizes[as.Var]))
+		}
+		sc.post[as.Var] = int32(v)
+	}
+	base := k.schema.IndexOfVals(sc.post)
+	if nw == 0 {
+		return append(buf, Succ{Action: ai, To: base})
+	}
+	// Zero the wild variables' contribution, then run the odometer with the
+	// last declared '?' varying fastest (matching the closure expansion).
+	for j := 0; j < nw; j++ {
+		w := sc.wildVar[j]
+		base -= uint64(sc.post[w]) * k.schema.Radix(int(w))
+		sc.wildVal[j] = 0
+	}
+	idx := base
+	for {
+		buf = append(buf, Succ{Action: ai, To: idx})
+		j := nw - 1
+		for ; j >= 0; j-- {
+			w := sc.wildVar[j]
+			sc.wildVal[j]++
+			if sc.wildVal[j] < k.sizes[w] {
+				idx += k.schema.Radix(int(w))
+				break
+			}
+			idx -= uint64(sc.wildVal[j]-1) * k.schema.Radix(int(w))
+			sc.wildVal[j] = 0
+		}
+		if j < 0 {
+			return buf
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package guarded
+
+import (
+	"testing"
+
+	"detcorr/internal/state"
+)
+
+// closureProgram is a small program whose actions carry only closures — no
+// Stmt fast path beyond what Det provides and no Compiled bytecode — so the
+// kernel must route every transition through the generic adapter.
+func closureProgram(t *testing.T) *Program {
+	t.Helper()
+	sch, err := state.NewSchema(state.IntVar("x", 4), state.IntVar("y", 3), state.BoolVar("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := []Action{
+		Det("step",
+			state.Pred("x<3", func(s state.State) bool { return s.Get(0) < 3 }),
+			func(s state.State) state.State { return s.With(0, s.Get(0)+1) },
+		),
+		Det("wrap",
+			state.Pred("x=3", func(s state.State) bool { return s.Get(0) == 3 }),
+			func(s state.State) state.State { return s.With(0, 0).With(2, 1) },
+		),
+		Choice("branch", state.Pred("f", func(s state.State) bool { return s.Bool(2) }),
+			func(s state.State) []state.State {
+				out := make([]state.State, 0, 3)
+				for v := 0; v < 3; v++ {
+					out = append(out, s.With(1, v).With(2, 0))
+				}
+				return out
+			},
+		),
+	}
+	return MustProgram("closures", sch, acts...)
+}
+
+// TestKernelAdapterMatchesSuccessors pins the generic closure adapter to the
+// Program.Successors contract over the full state space: same targets, same
+// action attribution, same order.
+func TestKernelAdapterMatchesSuccessors(t *testing.T) {
+	p := closureProgram(t)
+	k := Compile(p)
+	for a := 0; a < k.NumActions(); a++ {
+		if k.Native(a) {
+			t.Fatalf("action %d unexpectedly native — this test wants the adapter path", a)
+		}
+	}
+	sc := k.NewScratch()
+	n, _ := p.Schema().NumStates()
+	var succ []Succ
+	for idx := uint64(0); idx < n; idx++ {
+		succ = sc.Transitions(idx, succ[:0])
+		s := p.Schema().StateAt(idx)
+		want := p.Successors(s)
+		if len(succ) != len(want) {
+			t.Fatalf("state %d: %d kernel transitions, %d closure successors", idx, len(succ), len(want))
+		}
+		for i, tr := range want {
+			if int(succ[i].Action) != tr.Action || succ[i].To != tr.To.Index() {
+				t.Fatalf("state %d transition %d: kernel (%d,%d) vs closure (%d,%d)",
+					idx, i, succ[i].Action, succ[i].To, tr.Action, tr.To.Index())
+			}
+		}
+	}
+}
+
+// TestKernelAdapterAllocCeiling is the companion regression gate to the GCL
+// zero-alloc test: the closure adapter cannot be allocation-free (each
+// closure call builds fresh State values), but its per-batch allocation count
+// must stay bounded by a small constant — if a change makes it scale with
+// anything other than the emitted successors, this trips.
+func TestKernelAdapterAllocCeiling(t *testing.T) {
+	p := closureProgram(t)
+	k := Compile(p)
+	sc := k.NewScratch()
+	n, _ := p.Schema().NumStates()
+	idxBuf := make([]uint64, 0, 16)
+	for idx := uint64(0); idx < n; idx++ { // warm internal buffers
+		idxBuf = sc.Step(idx, idxBuf[:0])
+	}
+	var idx uint64
+	allocs := testing.AllocsPerRun(500, func() {
+		idxBuf = sc.Step(idx%n, idxBuf[:0])
+		idx++
+	})
+	// The worst state has 1 Det successor (2 allocs via With) plus 3 Choice
+	// successors (slice + 6 With copies + adapter view). 32 is a generous
+	// ceiling — the point is catching accidental O(states)·large regressions,
+	// not pinning the exact constant.
+	if allocs > 32 {
+		t.Errorf("closure adapter: %v allocs per step batch, ceiling 32", allocs)
+	}
+}

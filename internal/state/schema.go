@@ -121,10 +121,50 @@ func (s *Schema) Indexable() error {
 // be in [0, NumStates()).
 func (s *Schema) StateAt(idx uint64) State {
 	vals := make([]int32, len(s.vars))
+	s.DecodeInto(vals, idx)
+	return State{schema: s, vals: vals}
+}
+
+// DecodeInto writes the value vector of the state with the given mixed-radix
+// index into vals, which must have exactly NumVars entries. It is the
+// allocation-free form of StateAt: the compiled transition kernel and the
+// graph's state arena decode into reusable rows with it. The schema must be
+// indexable.
+func (s *Schema) DecodeInto(vals []int32, idx uint64) {
+	if len(vals) != len(s.vars) {
+		panic(fmt.Sprintf("state: DecodeInto %d slots for %d variables", len(vals), len(s.vars)))
+	}
 	for i := range s.vars {
 		r := s.radix[i]
 		vals[i] = int32(idx / r)
 		idx %= r
+	}
+}
+
+// IndexOfVals returns the canonical mixed-radix index of the raw value
+// vector, the inverse of DecodeInto. Values are not domain-checked; callers
+// (the kernel) guarantee in-domain rows.
+func (s *Schema) IndexOfVals(vals []int32) uint64 {
+	var idx uint64
+	for i, v := range vals {
+		idx += uint64(v) * s.radix[i]
+	}
+	return idx
+}
+
+// Radix returns the mixed-radix weight of variable i: the contribution of
+// one unit of vals[i] to the state index (the product of the domain sizes of
+// the variables after i). Zero when the schema is not indexable.
+func (s *Schema) Radix(i int) uint64 { return s.radix[i] }
+
+// ViewState wraps a caller-owned value vector as a State without copying.
+// The caller must not mutate vals while the view (or anything derived from
+// it through Equal/Index/Get) is in use; mutating methods such as With still
+// copy, so views respect the package's immutability contract as long as the
+// backing row is stable. Values are not domain-checked.
+func (s *Schema) ViewState(vals []int32) State {
+	if len(vals) != len(s.vars) {
+		panic(fmt.Sprintf("state: ViewState over %d values for %d variables", len(vals), len(s.vars)))
 	}
 	return State{schema: s, vals: vals}
 }

@@ -140,6 +140,35 @@ func (st State) String() string {
 	return b.String()
 }
 
+// CopyVals copies the raw value vector into dst, which must have exactly
+// NumVars entries. It is the allocation-free counterpart of Values for
+// callers that own a reusable buffer (the compiled transition kernel and the
+// graph arena).
+func (st State) CopyVals(dst []int32) {
+	if len(dst) != len(st.vals) {
+		panic(fmt.Sprintf("state: CopyVals into %d slots for %d variables", len(dst), len(st.vals)))
+	}
+	copy(dst, st.vals)
+}
+
+// WithBuf is With writing the modified copy into the caller-owned buffer buf
+// instead of allocating: buf receives all values with variable i set to v,
+// and the returned state is a view over buf. The caller must own buf and
+// must not mutate it while the returned view is live; the receiver is left
+// untouched. Like With, out-of-domain writes panic.
+func (st State) WithBuf(buf []int32, i, v int) State {
+	if v < 0 || v >= st.schema.vars[i].Domain.Size {
+		panic(fmt.Sprintf("state: write of %d out of domain for variable %q (size %d)",
+			v, st.schema.vars[i].Name, st.schema.vars[i].Domain.Size))
+	}
+	if len(buf) != len(st.vals) {
+		panic(fmt.Sprintf("state: WithBuf into %d slots for %d variables", len(buf), len(st.vals)))
+	}
+	copy(buf, st.vals)
+	buf[i] = int32(v)
+	return State{schema: st.schema, vals: buf}
+}
+
 // Values returns a copy of the raw value vector.
 func (st State) Values() []int {
 	out := make([]int, len(st.vals))

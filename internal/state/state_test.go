@@ -282,3 +282,75 @@ func TestDomainHelpers(t *testing.T) {
 		t.Error("ValueOf(mauve) should fail")
 	}
 }
+
+func TestCopyValsAndViewState(t *testing.T) {
+	s := testSchema(t)
+	st := MustState(s, 1, 2, 3)
+	buf := make([]int32, s.NumVars())
+	st.CopyVals(buf)
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatalf("CopyVals = %v", buf)
+	}
+	view := s.ViewState(buf)
+	if !view.Equal(st) || view.Index() != st.Index() {
+		t.Fatalf("ViewState over copied values must equal the source state")
+	}
+	// A view aliases its buffer: mutating the buffer is visible through it.
+	buf[1] = 0
+	if view.Get(1) != 0 {
+		t.Error("ViewState must alias the caller's buffer")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyVals into a short buffer must panic")
+		}
+	}()
+	st.CopyVals(make([]int32, s.NumVars()-1))
+}
+
+func TestWithBuf(t *testing.T) {
+	s := testSchema(t)
+	st := MustState(s, 0, 1, 2)
+	buf := make([]int32, s.NumVars())
+	st2 := st.WithBuf(buf, 2, 3)
+	if st.Get(2) != 2 {
+		t.Error("WithBuf must not mutate the receiver")
+	}
+	if st2.Get(0) != 0 || st2.Get(1) != 1 || st2.Get(2) != 3 {
+		t.Fatalf("WithBuf result = %v", st2)
+	}
+	if !st2.Equal(st.With(2, 3)) {
+		t.Error("WithBuf must agree with With")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WithBuf into a short buffer must panic")
+		}
+	}()
+	st.WithBuf(make([]int32, s.NumVars()-1), 0, 1)
+}
+
+func TestDecodeIntoIndexOfValsRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	total, _ := s.NumStates()
+	vals := make([]int32, s.NumVars())
+	for idx := uint64(0); idx < total; idx++ {
+		s.DecodeInto(vals, idx)
+		if back := s.IndexOfVals(vals); back != idx {
+			t.Fatalf("IndexOfVals(DecodeInto(%d)) = %d", idx, back)
+		}
+		if ref := s.StateAt(idx); !s.ViewState(vals).Equal(ref) {
+			t.Fatalf("DecodeInto(%d) = %v, want %v", idx, vals, ref)
+		}
+	}
+}
+
+func TestRadixMatchesIndex(t *testing.T) {
+	s := testSchema(t)
+	// Index is by definition the radix-weighted sum of the values.
+	st := MustState(s, 1, 2, 3)
+	want := 1*s.Radix(0) + 2*s.Radix(1) + 3*s.Radix(2)
+	if st.Index() != want {
+		t.Fatalf("Index = %d, want %d", st.Index(), want)
+	}
+}

@@ -127,6 +127,18 @@ func (sys *System) build() {
 		state.Pred("x.0=x.last", func(s state.State) bool { return s.Get(0) == s.Get(n-1) }),
 		func(s state.State) state.State { return s.With(0, (s.Get(0)+1)%k) },
 	)
+	// Kernel bytecode for "x.0 == x.(n-1) --> x.0 := (x.0+1) mod K". The
+	// difftest suite builds the ring with and without the bytecode and
+	// asserts graph identity, so the two forms cannot drift apart.
+	actions[0].Compiled = &guarded.CompiledAction{
+		Guard: []guarded.Op{
+			{Code: guarded.OpVar, A: 0}, {Code: guarded.OpVar, A: int32(n - 1)}, {Code: guarded.OpEq},
+		},
+		Assigns: []guarded.CompiledAssign{{Var: 0, Expr: []guarded.Op{
+			{Code: guarded.OpVar, A: 0}, {Code: guarded.OpConst, A: 1}, {Code: guarded.OpAdd},
+			{Code: guarded.OpConst, A: int32(k)}, {Code: guarded.OpMod},
+		}}},
+	}
 	for i := 1; i < n; i++ {
 		i := i
 		actions[i] = guarded.Det(fmt.Sprintf("move.%d", i),
@@ -135,6 +147,13 @@ func (sys *System) build() {
 			}),
 			func(s state.State) state.State { return s.With(i, s.Get(i-1)) },
 		)
+		// "x.i != x.(i-1) --> x.i := x.(i-1)" in bytecode.
+		actions[i].Compiled = &guarded.CompiledAction{
+			Guard: []guarded.Op{
+				{Code: guarded.OpVar, A: int32(i)}, {Code: guarded.OpVar, A: int32(i - 1)}, {Code: guarded.OpNeq},
+			},
+			Assigns: []guarded.CompiledAssign{{Var: i, Expr: []guarded.Op{{Code: guarded.OpVar, A: int32(i - 1)}}}},
+		}
 	}
 	sys.Ring = guarded.MustProgram(fmt.Sprintf("ring(n=%d,K=%d)", n, k), sys.Schema, actions...)
 
@@ -162,7 +181,7 @@ func (sys *System) build() {
 	faults := make([]guarded.Action, 0, n)
 	for i := 0; i < n; i++ {
 		i := i
-		faults = append(faults, guarded.Choice(fmt.Sprintf("corrupt.%d", i), state.True,
+		corrupt := guarded.Choice(fmt.Sprintf("corrupt.%d", i), state.True,
 			func(s state.State) []state.State {
 				out := make([]state.State, 0, k)
 				for v := 0; v < k; v++ {
@@ -170,7 +189,14 @@ func (sys *System) build() {
 				}
 				return out
 			},
-		))
+		)
+		// "true --> x.i := ?" in bytecode: the wildcard enumerates the
+		// domain in ascending order, exactly as the closure does.
+		corrupt.Compiled = &guarded.CompiledAction{
+			Guard:   []guarded.Op{{Code: guarded.OpConst, A: 1}},
+			Assigns: []guarded.CompiledAssign{{Var: i, Wild: true}},
+		}
+		faults = append(faults, corrupt)
 	}
 	sys.Corruption = fault.NewClass("counter-corruption", faults...)
 }
