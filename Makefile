@@ -1,10 +1,10 @@
 GO ?= go
 GCL_FILES := $(wildcard cmd/dctl/testdata/*.gcl)
 
-.PHONY: check build vet test race lint fuzz bench bench-diff profile clean
+.PHONY: check build vet dccodes test race lint prove fuzz bench bench-diff profile clean
 
 # The full local gate: everything CI would run.
-check: build vet test race lint fuzz
+check: build vet dccodes test race lint prove fuzz
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,21 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
+# Repo-specific vet pass: the DC-code constants in internal/lint and
+# internal/prove must agree with their package doc-header tables.
+dccodes:
+	$(GO) run ./cmd/dccodes
+
 # dclint over every shipped GCL program; fails on error-severity findings.
 lint:
 	$(GO) run ./cmd/dctl lint $(GCL_FILES)
+
+# dcprove over the shipped examples: the paper's closure, safeness, and
+# convergence claims must all discharge without exploration (exit 0).
+prove:
+	$(GO) run ./cmd/dctl prove cmd/dctl/testdata/ring3.gcl -invariant Legit -span auto
+	$(GO) run ./cmd/dctl prove cmd/dctl/testdata/memaccess.gcl -invariant S -span U1 \
+		-z Z1p -x X1 -from U1 -converge X1
 
 # Short fuzz smoke over the GCL front end ('go test -fuzz' accepts only one
 # target per invocation, hence two runs).

@@ -1,0 +1,37 @@
+// Command dccodes runs the repo's DC-code vet pass (see
+// internal/analyzers/dccodes): in every listed package directory, exported
+// Code* constants and the package doc header's DC-code table must agree in
+// both directions. With no arguments it checks the two packages that
+// declare codes, internal/lint and internal/prove.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or parse failure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"detcorr/internal/analyzers/dccodes"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/lint", "internal/prove"}
+	}
+	found := false
+	for _, dir := range dirs {
+		findings, err := dccodes.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dccodes: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			found = true
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

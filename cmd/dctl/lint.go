@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"detcorr/internal/gcl"
+	"detcorr/internal/lint"
+)
+
+// runLint implements 'dctl lint [-json] <file.gcl>...': run the dclint
+// static analyzers over each file and print every finding. Only
+// error-severity findings make the command fail.
+func runLint(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return withCode(exitUsage, err)
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return usageErrorf("usage: dctl lint [-json] <file.gcl>...")
+	}
+	diags := []lint.Diagnostic{}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return usageErrorf("%v", err)
+		}
+		diags = append(diags, lint.Lint(path, string(src))...)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+	errCount := 0
+	for _, d := range diags {
+		if d.Severity == lint.Error {
+			errCount++
+		}
+	}
+	if errCount > 0 {
+		return withCode(exitFail, fmt.Errorf("lint: %d error finding(s)", errCount))
+	}
+	return nil
+}
+
+// lintBeforeRun runs the analyzers on an already-parsed file before a
+// command consumes it: warnings and errors are printed to errOut, and
+// error-severity findings abort the command.
+func lintBeforeRun(path, src string, ast *gcl.FileAST, errOut io.Writer) error {
+	diags := lint.Analyze(path, ast, src)
+	errCount := 0
+	for _, d := range diags {
+		if d.Severity >= lint.Warning {
+			fmt.Fprintln(errOut, d)
+		}
+		if d.Severity == lint.Error {
+			errCount++
+		}
+	}
+	if errCount > 0 {
+		return withCode(exitFail, fmt.Errorf("lint: %d error finding(s) in %s", errCount, path))
+	}
+	return nil
+}

@@ -13,6 +13,16 @@
 //	    only on error-severity findings. The analyzers also run
 //	    automatically before every other command that loads a file.
 //
+//	dctl prove <file.gcl> [-invariant S [-span T|auto]] [-z Z -x X] [-from U]
+//	    [-converge G [-rank "e1,e2"]] [-json]
+//	    Discharge the per-action Hoare obligations of the paper's component
+//	    conditions by abstract interpretation, without exploring the state
+//	    space: DC100 invariant closure, DC101 fault-span closure, DC102
+//	    detector safeness/stability, DC103 convergence via a lexicographic
+//	    ranking function (supplied with -rank or synthesized). Verdicts are
+//	    three-valued; exit code 4 means inconclusive — fall back to the
+//	    exploration-based commands below, which decide everything.
+//
 //	dctl check <file.gcl> -kind failsafe|nonmasking|masking -invariant S
 //	    [-recovery R] [-goal P] [-never P] [-j N]
 //	    Decide F-tolerance of the program for the specification "never a
@@ -36,7 +46,8 @@
 //
 // Diagnostics go to stderr; results go to stdout. Exit codes distinguish
 // failure classes: 0 success; 1 a check, monitor, or lint run found a
-// violation; 2 usage error; 3 the GCL source failed to parse or compile.
+// violation; 2 usage error; 3 the GCL source failed to parse or compile;
+// 4 a proof attempt was inconclusive (dctl prove only).
 package main
 
 import (
@@ -49,10 +60,11 @@ import (
 
 // Process exit codes.
 const (
-	exitOK    = 0
-	exitFail  = 1 // a check, simulation monitor, or lint run found a violation
-	exitUsage = 2 // bad command line
-	exitParse = 3 // the GCL source failed to parse or compile
+	exitOK      = 0
+	exitFail    = 1 // a check, simulation monitor, or lint run found a violation
+	exitUsage   = 2 // bad command line
+	exitParse   = 3 // the GCL source failed to parse or compile
+	exitUnknown = 4 // a proof attempt was inconclusive (dctl prove)
 )
 
 // exitError carries a specific process exit code through the error chain.

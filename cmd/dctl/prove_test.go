@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"detcorr/internal/prove"
+)
+
+func TestProveRingClosure(t *testing.T) {
+	out := runOK(t, "prove", "testdata/ring3.gcl", "-invariant", "Legit", "-span", "auto")
+	for _, want := range []string{"[DC100]", "[DC101]", "PROVED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prove output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DISPROVED") || strings.Contains(out, "UNKNOWN") {
+		t.Errorf("ring closure should be fully proved:\n%s", out)
+	}
+}
+
+func TestProveMemaccessAllConditions(t *testing.T) {
+	out := runOK(t, "prove", file, "-invariant", "S", "-span", "U1",
+		"-z", "Z1p", "-x", "X1", "-from", "U1", "-converge", "X1")
+	for _, want := range []string{"[DC100]", "[DC101]", "[DC102]", "[DC103]", "ranking function"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prove output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DISPROVED") || strings.Contains(out, "UNKNOWN") {
+		t.Errorf("all four conditions should be proved:\n%s", out)
+	}
+}
+
+func TestProveUserRank(t *testing.T) {
+	out := runOK(t, "prove", file, "-from", "U1", "-converge", "X1",
+		"-rank", "data != bot, present")
+	if !strings.Contains(out, "[DC103]") || !strings.Contains(out, "PROVED") {
+		t.Errorf("user-supplied rank should prove convergence:\n%s", out)
+	}
+}
+
+func TestProveDisproved(t *testing.T) {
+	// Without -from, U defaults to true; safeness of Z1p => X1 fails on
+	// states outside U1 and the prover must exhibit one.
+	code, out, _ := runCode(t, "prove", file, "-z", "Z1p", "-x", "X1")
+	if code != exitFail {
+		t.Fatalf("disproof should exit %d, got %d:\n%s", exitFail, code, out)
+	}
+	if !strings.Contains(out, "DISPROVED") || !strings.Contains(out, "e.g. when") {
+		t.Errorf("disproof should print a counterexample:\n%s", out)
+	}
+}
+
+func TestProveUnknown(t *testing.T) {
+	// Domains far past the enumeration budget with an opaque arithmetic
+	// predicate: the prover must come back inconclusive, never wrong.
+	wide := writeGCL(t, `program wide
+var a : 0..300
+var b : 0..300
+var c : 0..300
+pred Odd :: (a * b + c) % 97 != 5
+action spin :: a < 300 -> a := a + 1
+`)
+	code, out, _ := runCode(t, "prove", wide, "-invariant", "Odd")
+	if code != exitUnknown {
+		t.Fatalf("inconclusive proof should exit %d, got %d:\n%s", exitUnknown, code, out)
+	}
+	if !strings.Contains(out, "UNKNOWN") {
+		t.Errorf("inconclusive proof should print UNKNOWN:\n%s", out)
+	}
+}
+
+func TestProveJSON(t *testing.T) {
+	out := runOK(t, "prove", file, "-invariant", "S", "-json")
+	var reports []*prove.Report
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("prove -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("want 1 report, got %d:\n%s", len(reports), out)
+	}
+	rep := reports[0]
+	if rep.Code != "DC100" || rep.Subject == "" || rep.Verdict != prove.Proved {
+		t.Errorf("unexpected report fields: %+v", rep)
+	}
+	if len(rep.Actions) == 0 {
+		t.Errorf("report should carry per-action results: %+v", rep)
+	}
+}
+
+func TestProveJSONDisproved(t *testing.T) {
+	code, out, _ := runCode(t, "prove", file, "-z", "Z1p", "-x", "X1", "-json")
+	if code != exitFail {
+		t.Fatalf("exit = %d, want %d:\n%s", code, exitFail, out)
+	}
+	var reports []*prove.Report
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	found := false
+	for _, rep := range reports {
+		for _, a := range rep.Actions {
+			if a.Verdict == prove.Disproved && a.Counterexample != "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("JSON disproof should include a counterexample: %s", out)
+	}
+}
+
+func TestProveUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"missing file", []string{"prove"}},
+		{"missing file with flags", []string{"prove", "-invariant", "S"}},
+		{"file not on disk", []string{"prove", "testdata/does-not-exist.gcl", "-invariant", "S"}},
+		{"span without invariant", []string{"prove", file, "-span", "U1"}},
+		{"z without x", []string{"prove", file, "-z", "Z1p"}},
+		{"x without z", []string{"prove", file, "-x", "X1"}},
+		{"nothing to prove", []string{"prove", file}},
+		{"unknown predicate", []string{"prove", file, "-invariant", "Nope"}},
+		{"bad rank expression", []string{"prove", file, "-converge", "X1", "-rank", "5 +"}},
+	}
+	for _, tt := range tests {
+		code, out, errOut := runCode(t, tt.args...)
+		if code != exitUsage {
+			t.Errorf("%s: dctl %v: exit = %d, want %d\n%s%s",
+				tt.name, tt.args, code, exitUsage, out, errOut)
+		}
+	}
+}
+
+func TestProveParseError(t *testing.T) {
+	bad := writeGCL(t, "program p\nvar x : 0..2\naction a :: x < ; -> x := 0\n")
+	code, _, _ := runCode(t, "prove", bad, "-invariant", "S")
+	if code != exitParse {
+		t.Errorf("parse error should exit %d, got %d", exitParse, code)
+	}
+}
+
+func TestProveSkipsCompilation(t *testing.T) {
+	// The prove subcommand must stay usable on programs whose state space
+	// is far too large to compile or explore: 10 variables of 0..1000 is
+	// ~10^30 states. Closure of the box predicate is still a per-action
+	// proof over representatives.
+	var b strings.Builder
+	b.WriteString("program huge\n")
+	for _, v := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		b.WriteString("var " + v + " : 0..1000\n")
+	}
+	b.WriteString("pred Box :: a <= 500\n")
+	b.WriteString("action step :: a < 500 -> a := a + 1\n")
+	path := writeGCL(t, b.String())
+	out := runOK(t, "prove", path, "-invariant", "Box")
+	if !strings.Contains(out, "PROVED") {
+		t.Errorf("closure over the huge space should be proved without exploration:\n%s", out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"detcorr/internal/explore"
 	"detcorr/internal/fault"
 	"detcorr/internal/gcl"
+	"detcorr/internal/prove"
 	"detcorr/internal/runtime"
 	"detcorr/internal/spec"
 	"detcorr/internal/state"
@@ -31,7 +32,7 @@ func setParallelism(j int) {
 
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
-		return usageErrorf("usage: dctl <info|lint|check|detects|corrects|simulate> <file.gcl> [flags]")
+		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|simulate> <file.gcl> [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
@@ -39,6 +40,8 @@ func run(args []string, out, errOut io.Writer) error {
 		return runInfo(args[1:], out, errOut)
 	case "lint":
 		return runLint(args[1:], out)
+	case "prove":
+		return runProve(args[1:], out, errOut)
 	case "check":
 		return runCheck(args[1:], out, errOut)
 	case "detects", "corrects":
@@ -46,7 +49,7 @@ func run(args []string, out, errOut io.Writer) error {
 	case "simulate":
 		return runSimulate(args[1:], out, errOut)
 	default:
-		return usageErrorf("unknown command %q (want info, lint, check, detects, corrects, or simulate)", cmd)
+		return usageErrorf("unknown command %q (want info, lint, prove, check, detects, corrects, or simulate)", cmd)
 	}
 }
 
@@ -75,6 +78,12 @@ func loadFile(fs *flag.FlagSet, args []string, errOut io.Writer) (*gcl.File, err
 	f, err := gcl.Compile(ast)
 	if err != nil {
 		return nil, withCode(exitParse, err)
+	}
+	// Certification is best-effort: when the prover can re-derive the
+	// system from the AST, the closure and component checks consult it
+	// before exploring; otherwise they explore as before.
+	if err := prove.Certify(f); err != nil {
+		fmt.Fprintf(errOut, "dctl: prover certification skipped: %v\n", err)
 	}
 	return f, nil
 }

@@ -1,0 +1,164 @@
+// Package absdom implements the finite-domain abstract domains shared by
+// the dclint analyzers (internal/lint) and the dcprove proof engine
+// (internal/prove):
+//
+//   - Interval: inclusive integer ranges, the numeric lattice;
+//   - Truth: the four-point boolean lattice (which truth values an
+//     expression may take);
+//   - Val: the abstract value of an expression — a Truth for booleans, an
+//     Interval for integers — with sound transfer functions for every GCL
+//     operator;
+//   - Set: per-variable finite value sets, exact up to 64-value domains and
+//     degrading to an interval over-approximation beyond;
+//   - Store: a relational constraint store — per-variable Sets plus
+//     equalities (union-find) and disequalities between variables — refined
+//     by constraint propagation from guards (=, !=, <, range tests).
+//
+// All transfer functions are sound over-approximations: they ignore
+// correlations the domain cannot express, so "definitely true/false"
+// answers are exact while "unknown" answers require a fallback (exact
+// bounded enumeration in the clients).
+package absdom
+
+import "detcorr/internal/gcl"
+
+// Interval is an inclusive integer range.
+type Interval struct{ Lo, Hi int }
+
+// Within reports whether i is contained in o.
+func (i Interval) Within(o Interval) bool { return i.Lo >= o.Lo && i.Hi <= o.Hi }
+
+// Truth is the abstract value of a boolean expression: which truth values
+// it may take. CanT==false means "definitely never true" (and dually for
+// CanF); both true means "unknown"; both false means the expression is
+// evaluated under an infeasible environment.
+type Truth struct{ CanT, CanF bool }
+
+// True reports "definitely true" and False "definitely false".
+func (t Truth) True() bool  { return t.CanT && !t.CanF }
+func (t Truth) False() bool { return !t.CanT && t.CanF }
+
+// Unknown reports whether both truth values remain possible.
+func (t Truth) Unknown() bool { return t.CanT && t.CanF }
+
+// Val is the abstract value of an expression: a Truth for booleans, an
+// Interval for integers.
+type Val struct {
+	IsBool bool
+	T      Truth
+	IV     Interval
+}
+
+// BoolVal abstracts a boolean expression by its possible truth values.
+func BoolVal(canT, canF bool) Val { return Val{IsBool: true, T: Truth{canT, canF}} }
+
+// IntVal abstracts an integer expression by an inclusive range.
+func IntVal(lo, hi int) Val { return Val{IV: Interval{lo, hi}} }
+
+// Unknown is the boolean top element.
+func Unknown() Val { return BoolVal(true, true) }
+
+// Binary is the abstract transfer function for a binary GCL operator. The
+// abstraction ignores correlations between the operands, so e.g. x & !x
+// still reports {CanT, CanF} and needs an exact fallback.
+func Binary(op gcl.Kind, l, r Val) Val {
+	switch op {
+	case gcl.AND:
+		return BoolVal(l.T.CanT && r.T.CanT, l.T.CanF || r.T.CanF)
+	case gcl.OR:
+		return BoolVal(l.T.CanT || r.T.CanT, l.T.CanF && r.T.CanF)
+	case gcl.IMPLIES:
+		return BoolVal(l.T.CanF || r.T.CanT, l.T.CanT && r.T.CanF)
+	case gcl.EQ, gcl.NEQ:
+		var eq Truth
+		if l.IsBool {
+			eq = Truth{
+				CanT: (l.T.CanT && r.T.CanT) || (l.T.CanF && r.T.CanF),
+				CanF: (l.T.CanT && r.T.CanF) || (l.T.CanF && r.T.CanT),
+			}
+		} else {
+			overlap := l.IV.Lo <= r.IV.Hi && r.IV.Lo <= l.IV.Hi
+			single := l.IV.Lo == l.IV.Hi && r.IV.Lo == r.IV.Hi && l.IV.Lo == r.IV.Lo
+			eq = Truth{CanT: overlap, CanF: !single}
+		}
+		if op == gcl.EQ {
+			return Val{IsBool: true, T: eq}
+		}
+		return BoolVal(eq.CanF, eq.CanT)
+	case gcl.LT:
+		return BoolVal(l.IV.Lo < r.IV.Hi, l.IV.Hi >= r.IV.Lo)
+	case gcl.LE:
+		return BoolVal(l.IV.Lo <= r.IV.Hi, l.IV.Hi > r.IV.Lo)
+	case gcl.GT:
+		return BoolVal(l.IV.Hi > r.IV.Lo, l.IV.Lo <= r.IV.Hi)
+	case gcl.GE:
+		return BoolVal(l.IV.Hi >= r.IV.Lo, l.IV.Lo < r.IV.Hi)
+	case gcl.PLUS:
+		return IntVal(l.IV.Lo+r.IV.Lo, l.IV.Hi+r.IV.Hi)
+	case gcl.MINUS:
+		return IntVal(l.IV.Lo-r.IV.Hi, l.IV.Hi-r.IV.Lo)
+	case gcl.STAR:
+		a, b, c, d := l.IV.Lo*r.IV.Lo, l.IV.Lo*r.IV.Hi, l.IV.Hi*r.IV.Lo, l.IV.Hi*r.IV.Hi
+		return IntVal(min4(a, b, c, d), max4(a, b, c, d))
+	case gcl.PERCENT:
+		// Total semantics ((a%b)+b)%b with b==0 -> 0: the result lies in
+		// [b+1, 0] for negative b, [0, b-1] for positive b, and is 0 at b==0.
+		lo := 0
+		if r.IV.Lo+1 < 0 {
+			lo = r.IV.Lo + 1
+		}
+		hi := 0
+		if r.IV.Hi-1 > 0 {
+			hi = r.IV.Hi - 1
+		}
+		return IntVal(lo, hi)
+	}
+	return Unknown()
+}
+
+func min4(a, b, c, d int) int { return min(min(a, b), min(c, d)) }
+func max4(a, b, c, d int) int { return max(max(a, b), max(c, d)) }
+
+// EvalBinary is the concrete semantics of a binary GCL operator over
+// source-level integer values (booleans are 0/1), mirroring the compiler:
+// '%' is total, ((a%b)+b)%b with b==0 -> 0.
+func EvalBinary(op gcl.Kind, a, b int) int {
+	b2i := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case gcl.AND:
+		return b2i(a != 0 && b != 0)
+	case gcl.OR:
+		return b2i(a != 0 || b != 0)
+	case gcl.IMPLIES:
+		return b2i(a == 0 || b != 0)
+	case gcl.EQ:
+		return b2i(a == b)
+	case gcl.NEQ:
+		return b2i(a != b)
+	case gcl.LT:
+		return b2i(a < b)
+	case gcl.LE:
+		return b2i(a <= b)
+	case gcl.GT:
+		return b2i(a > b)
+	case gcl.GE:
+		return b2i(a >= b)
+	case gcl.PLUS:
+		return a + b
+	case gcl.MINUS:
+		return a - b
+	case gcl.STAR:
+		return a * b
+	case gcl.PERCENT:
+		if b == 0 {
+			return 0 // total semantics, mirroring the compiler
+		}
+		return ((a % b) + b) % b
+	}
+	return 0
+}

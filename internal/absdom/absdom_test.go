@@ -1,0 +1,272 @@
+package absdom
+
+import (
+	"testing"
+
+	"detcorr/internal/gcl"
+)
+
+// TestBinaryAgainstConcrete cross-checks every abstract operator against
+// exhaustive concrete evaluation over small operand intervals: whenever the
+// abstraction says "definitely", the concrete semantics must agree.
+func TestBinaryAgainstConcrete(t *testing.T) {
+	intOps := []gcl.Kind{gcl.PLUS, gcl.MINUS, gcl.STAR, gcl.PERCENT}
+	cmpOps := []gcl.Kind{gcl.EQ, gcl.NEQ, gcl.LT, gcl.LE, gcl.GT, gcl.GE}
+	ivs := []Interval{{0, 0}, {-2, 1}, {1, 3}, {-3, -1}, {2, 2}}
+	for _, li := range ivs {
+		for _, ri := range ivs {
+			l, r := IntVal(li.Lo, li.Hi), IntVal(ri.Lo, ri.Hi)
+			for _, op := range intOps {
+				got := Binary(op, l, r)
+				for a := li.Lo; a <= li.Hi; a++ {
+					for b := ri.Lo; b <= ri.Hi; b++ {
+						v := EvalBinary(op, a, b)
+						if v < got.IV.Lo || v > got.IV.Hi {
+							t.Errorf("%v(%v,%v): concrete %d escapes abstract [%d,%d]",
+								op, li, ri, v, got.IV.Lo, got.IV.Hi)
+						}
+					}
+				}
+			}
+			for _, op := range cmpOps {
+				got := Binary(op, l, r)
+				for a := li.Lo; a <= li.Hi; a++ {
+					for b := ri.Lo; b <= ri.Hi; b++ {
+						v := EvalBinary(op, a, b) != 0
+						if v && !got.T.CanT || !v && !got.T.CanF {
+							t.Errorf("%v(%v,%v): concrete %v outside abstract %+v", op, li, ri, v, got.T)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBinaryBool checks the boolean connectives on all definite/unknown
+// operand combinations.
+func TestBinaryBool(t *testing.T) {
+	tt, ff, uu := BoolVal(true, false), BoolVal(false, true), BoolVal(true, true)
+	cases := []struct {
+		op   gcl.Kind
+		l, r Val
+		want Truth
+	}{
+		{gcl.AND, tt, tt, Truth{true, false}},
+		{gcl.AND, tt, ff, Truth{false, true}},
+		{gcl.AND, uu, ff, Truth{false, true}},
+		{gcl.AND, uu, tt, Truth{true, true}},
+		{gcl.OR, ff, ff, Truth{false, true}},
+		{gcl.OR, uu, tt, Truth{true, false}},
+		{gcl.IMPLIES, ff, uu, Truth{true, false}},
+		{gcl.IMPLIES, tt, ff, Truth{false, true}},
+		{gcl.IMPLIES, tt, uu, Truth{true, true}},
+		{gcl.EQ, tt, tt, Truth{true, false}},
+		{gcl.EQ, tt, ff, Truth{false, true}},
+		{gcl.NEQ, tt, ff, Truth{true, false}},
+		{gcl.NEQ, uu, ff, Truth{true, true}},
+	}
+	for _, tc := range cases {
+		if got := Binary(tc.op, tc.l, tc.r); got.T != tc.want {
+			t.Errorf("%v(%+v,%+v) = %+v, want %+v", tc.op, tc.l.T, tc.r.T, got.T, tc.want)
+		}
+	}
+}
+
+func TestTruthPredicates(t *testing.T) {
+	if !(Truth{true, false}).True() || (Truth{true, true}).True() {
+		t.Error("True() wrong")
+	}
+	if !(Truth{false, true}).False() || (Truth{true, true}).False() {
+		t.Error("False() wrong")
+	}
+	if !(Truth{true, true}).Unknown() || (Truth{true, false}).Unknown() {
+		t.Error("Unknown() wrong")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := FullSet(0, 6)
+	if !s.Exact() || s.Count() != 7 || !s.Contains(0) || !s.Contains(6) || s.Contains(7) {
+		t.Fatalf("FullSet(0,6) malformed: %v", s)
+	}
+	s = s.Remove(0).Remove(6).Remove(3)
+	if s.Count() != 4 || s.IV != (Interval{1, 5}) || s.Contains(3) {
+		t.Fatalf("after removals: %v", s)
+	}
+	if v, ok := SingleSet(-4).Singleton(); !ok || v != -4 {
+		t.Fatalf("SingleSet(-4).Singleton() = %d, %v", v, ok)
+	}
+	if !EmptySet().IsEmpty() || EmptySet().Count() != 0 {
+		t.Fatal("EmptySet not empty")
+	}
+	if got := FullSet(3, 2); !got.IsEmpty() {
+		t.Fatalf("FullSet(3,2) should be empty, got %v", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FullSet(0, 4).Remove(2) // {0,1,3,4}
+	b := FullSet(2, 6)           // {2..6}
+	inter := Intersect(a, b)
+	if inter.String() != "{3,4}" {
+		t.Fatalf("Intersect = %v", inter)
+	}
+	uni := Union(a, b)
+	if uni.Count() != 7 || uni.Contains(7) || !uni.Contains(2) {
+		t.Fatalf("Union = %v", uni)
+	}
+	if got := a.ClampMin(1).ClampMax(3); got.String() != "{1,3}" {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if !Intersect(SingleSet(1), SingleSet(2)).IsEmpty() {
+		t.Fatal("disjoint singletons must intersect empty")
+	}
+	// Wide domain degrades to an interval but stays sound.
+	wide := FullSet(0, 1000)
+	if wide.Exact() {
+		t.Fatal("1001-value domain should be inexact")
+	}
+	if got := Intersect(wide, FullSet(5, 8)); !got.Exact() || got.Count() != 4 {
+		t.Fatalf("inexact∩exact should recover exactness: %v", got)
+	}
+	if got := wide.Remove(500); !got.Contains(500) {
+		t.Fatal("interior removal from an interval must keep the value (over-approximation)")
+	}
+	if got := wide.Remove(0); got.IV.Lo != 1 {
+		t.Fatal("end removal from an interval must shrink it")
+	}
+}
+
+func TestSetForEach(t *testing.T) {
+	s := FullSet(10, 13).Remove(12)
+	var got []int
+	s.ForEach(func(v int) bool { got = append(got, v); return true })
+	want := []int{10, 11, 13}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", got, want)
+		}
+	}
+	n := 0
+	if s.ForEach(func(int) bool { n++; return false }) {
+		t.Fatal("early stop must report false")
+	}
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestStoreEqualityPropagation: equating variables intersects their sets
+// and narrowing one narrows the class.
+func TestStoreEqualityPropagation(t *testing.T) {
+	s := NewStore()
+	s.Define("x", FullSet(0, 5))
+	s.Define("y", FullSet(3, 9))
+	s.Equate("x", "y")
+	set, ok := s.SetOf("x")
+	if !ok || set.Count() != 3 || !set.Contains(3) || !set.Contains(5) {
+		t.Fatalf("x after equate: %v", set)
+	}
+	s.Narrow("y", SingleSet(4))
+	if set, _ = s.SetOf("x"); set.String() != "{4}" {
+		t.Fatalf("x after narrowing y: %v", set)
+	}
+	if s.Contradictory() {
+		t.Fatal("consistent store flagged contradictory")
+	}
+}
+
+// TestStoreDisequality: singleton classes prune disequal partners, and a
+// chain of prunings can empty a set, flagging contradiction.
+func TestStoreDisequality(t *testing.T) {
+	s := NewStore()
+	s.Define("a", FullSet(0, 1))
+	s.Define("b", FullSet(0, 1))
+	s.Define("c", FullSet(0, 1))
+	s.Disequate("a", "b")
+	s.Disequate("b", "c")
+	s.Narrow("a", SingleSet(0))
+	if set, _ := s.SetOf("b"); set.String() != "{1}" {
+		t.Fatalf("b should be pruned to {1}: %v", set)
+	}
+	if set, _ := s.SetOf("c"); set.String() != "{0}" {
+		t.Fatalf("c should be pruned transitively to {0}: %v", set)
+	}
+	// a != b is now derivable from the disjoint singleton sets alone.
+	if !s.Disequal("a", "b") {
+		t.Fatal("a and b have disjoint singletons; Disequal should report true")
+	}
+	s.Disequate("a", "c") // both singletons {0}: contradiction
+	if !s.Contradictory() {
+		t.Fatal("a={0}, c={0}, a!=c must contradict")
+	}
+}
+
+// TestStoreEquateDisequalContradicts: x != y then x == y is inconsistent.
+func TestStoreEquateDisequalContradicts(t *testing.T) {
+	s := NewStore()
+	s.Define("x", FullSet(0, 3))
+	s.Define("y", FullSet(0, 3))
+	s.Disequate("x", "y")
+	s.Equate("x", "y")
+	if !s.Contradictory() {
+		t.Fatal("equate after disequate must contradict")
+	}
+
+	s2 := NewStore()
+	s2.Define("x", FullSet(0, 3))
+	s2.Equate("x", "y")
+	s2.Disequate("y", "x")
+	if !s2.Contradictory() {
+		t.Fatal("disequate within one class must contradict")
+	}
+}
+
+// TestStoreClone: branch assertions must not leak into the parent.
+func TestStoreClone(t *testing.T) {
+	s := NewStore()
+	s.Define("x", FullSet(0, 5))
+	s.Define("y", FullSet(0, 5))
+	c := s.Clone()
+	c.Equate("x", "y")
+	c.Narrow("x", SingleSet(2))
+	if set, _ := s.SetOf("x"); set.Count() != 6 {
+		t.Fatalf("clone narrowed the parent: %v", set)
+	}
+	if s.Rep("y") == s.Rep("x") {
+		t.Fatal("clone equate leaked into parent")
+	}
+	if set, _ := c.SetOf("y"); set.String() != "{2}" {
+		t.Fatalf("clone lost its own narrowing: %v", set)
+	}
+}
+
+// TestStoreDiseqMergeCarriesOver: disequalities re-point at the surviving
+// representative after a merge.
+func TestStoreDiseqMergeCarriesOver(t *testing.T) {
+	s := NewStore()
+	for _, v := range []string{"x", "y", "z"} {
+		s.Define(v, FullSet(0, 2))
+	}
+	s.Disequate("y", "z")
+	s.Equate("x", "y") // y's diseq with z must follow the class
+	s.Narrow("x", SingleSet(1))
+	if set, _ := s.SetOf("z"); set.Contains(1) {
+		t.Fatalf("z should have lost value 1 via the merged class: %v", set)
+	}
+}
+
+// TestStoreEmptyNarrowContradicts: narrowing to an empty set flags the
+// store, the refutation signal.
+func TestStoreEmptyNarrowContradicts(t *testing.T) {
+	s := NewStore()
+	s.Define("x", FullSet(0, 3))
+	s.Narrow("x", FullSet(7, 9))
+	if !s.Contradictory() {
+		t.Fatal("empty narrowing must contradict")
+	}
+}

@@ -1,0 +1,244 @@
+package absdom
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a finite set of integer values from a variable's declared domain.
+// Domains up to 64 values wide are represented exactly as a bitmask; wider
+// domains degrade to an interval over-approximation (sound: the interval
+// always contains every value the exact set would).
+//
+// Invariant: for a non-empty exact set, IV is the tight hull of the bits.
+type Set struct {
+	exact bool
+	base  int    // value of bit 0 when exact
+	bits  uint64 // membership mask when exact
+	IV    Interval
+}
+
+// EmptySet returns the bottom element.
+func EmptySet() Set { return Set{exact: true, IV: Interval{1, 0}} }
+
+// FullSet returns the set of all values in [lo, hi], exact when the domain
+// fits in 64 bits.
+func FullSet(lo, hi int) Set {
+	if lo > hi {
+		return EmptySet()
+	}
+	if w := hi - lo + 1; w <= 64 {
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = (uint64(1) << uint(w)) - 1
+		}
+		return Set{exact: true, base: lo, bits: mask, IV: Interval{lo, hi}}
+	}
+	return Set{IV: Interval{lo, hi}}
+}
+
+// SingleSet returns the singleton {v}.
+func SingleSet(v int) Set {
+	return Set{exact: true, base: v, bits: 1, IV: Interval{v, v}}
+}
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool {
+	if s.exact {
+		return s.bits == 0
+	}
+	return s.IV.Lo > s.IV.Hi
+}
+
+// Contains reports membership. For inexact sets it is the interval test, so
+// it may report true for values the concrete set lacks (sound for
+// over-approximation).
+func (s Set) Contains(v int) bool {
+	if s.exact {
+		if v < s.base || v > s.base+63 {
+			return false
+		}
+		return s.bits&(uint64(1)<<uint(v-s.base)) != 0
+	}
+	return v >= s.IV.Lo && v <= s.IV.Hi
+}
+
+// Count returns the number of values (the interval width for inexact sets).
+func (s Set) Count() int {
+	if s.exact {
+		return bits.OnesCount64(s.bits)
+	}
+	if s.IV.Lo > s.IV.Hi {
+		return 0
+	}
+	return s.IV.Hi - s.IV.Lo + 1
+}
+
+// Singleton reports the unique member, if the set has exactly one.
+func (s Set) Singleton() (int, bool) {
+	if s.Count() != 1 {
+		return 0, false
+	}
+	return s.IV.Lo, true
+}
+
+// Exact reports whether the set tracks exact membership (vs an interval
+// over-approximation).
+func (s Set) Exact() bool { return s.exact }
+
+// normalize re-tightens the hull of an exact set after bit mutation.
+func (s Set) normalize() Set {
+	if !s.exact {
+		return s
+	}
+	if s.bits == 0 {
+		return EmptySet()
+	}
+	s.IV.Lo = s.base + bits.TrailingZeros64(s.bits)
+	s.IV.Hi = s.base + 63 - bits.LeadingZeros64(s.bits)
+	return s
+}
+
+// rebase returns s's bits relative to newBase; s must fit in
+// [newBase, newBase+63].
+func (s Set) rebase(newBase int) uint64 {
+	d := s.base - newBase
+	if d >= 0 {
+		return s.bits << uint(d)
+	}
+	return s.bits >> uint(-d)
+}
+
+// Intersect returns the meet of a and b.
+func Intersect(a, b Set) Set {
+	if a.IsEmpty() || b.IsEmpty() {
+		return EmptySet()
+	}
+	lo := max(a.IV.Lo, b.IV.Lo)
+	hi := min(a.IV.Hi, b.IV.Hi)
+	if lo > hi {
+		return EmptySet()
+	}
+	switch {
+	case a.exact && b.exact:
+		out := Set{exact: true, base: lo, bits: a.rebase(lo) & b.rebase(lo)}
+		return out.clampWidth(hi - lo + 1).normalize()
+	case a.exact:
+		return Set{exact: true, base: lo, bits: a.rebase(lo)}.clampWidth(hi - lo + 1).normalize()
+	case b.exact:
+		return Set{exact: true, base: lo, bits: b.rebase(lo)}.clampWidth(hi - lo + 1).normalize()
+	}
+	return Set{IV: Interval{lo, hi}}
+}
+
+// clampWidth masks off bits above the given width.
+func (s Set) clampWidth(w int) Set {
+	if w >= 64 {
+		return s
+	}
+	if w <= 0 {
+		s.bits = 0
+		return s
+	}
+	s.bits &= (uint64(1) << uint(w)) - 1
+	return s
+}
+
+// Union returns the join of a and b: exact when both are exact and the
+// combined hull fits in 64 bits, otherwise the interval hull.
+func Union(a, b Set) Set {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	lo := min(a.IV.Lo, b.IV.Lo)
+	hi := max(a.IV.Hi, b.IV.Hi)
+	if a.exact && b.exact && hi-lo+1 <= 64 {
+		return Set{exact: true, base: lo, bits: a.rebase(lo) | b.rebase(lo)}.normalize()
+	}
+	return Set{IV: Interval{lo, hi}}
+}
+
+// Remove returns s without v. Inexact sets can only shrink at the ends.
+func (s Set) Remove(v int) Set {
+	if s.exact {
+		if v >= s.base && v <= s.base+63 {
+			s.bits &^= uint64(1) << uint(v-s.base)
+		}
+		return s.normalize()
+	}
+	switch v {
+	case s.IV.Lo:
+		s.IV.Lo++
+	case s.IV.Hi:
+		s.IV.Hi--
+	}
+	return s
+}
+
+// ClampMin returns s restricted to values >= v.
+func (s Set) ClampMin(v int) Set {
+	return Intersect(s, Set{IV: Interval{v, maxInt}})
+}
+
+// ClampMax returns s restricted to values <= v.
+func (s Set) ClampMax(v int) Set {
+	return Intersect(s, Set{IV: Interval{minInt, v}})
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
+// Equal reports whether a and b denote the same set with the same
+// representation precision.
+func Equal(a, b Set) bool {
+	if a.IsEmpty() && b.IsEmpty() {
+		return true
+	}
+	if a.exact != b.exact {
+		return false
+	}
+	if !a.exact {
+		return a.IV == b.IV
+	}
+	return a.rebase(a.IV.Lo) == b.rebase(a.IV.Lo) && a.IV == b.IV
+}
+
+// ForEach calls fn for each member in ascending order until fn returns
+// false. It reports whether iteration ran to completion.
+func (s Set) ForEach(fn func(v int) bool) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	for v := s.IV.Lo; v <= s.IV.Hi; v++ {
+		if !s.Contains(v) {
+			continue
+		}
+		if !fn(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set for diagnostics: "{}" when empty, "{1,3,5}" when
+// exact and small, "[lo..hi]" otherwise.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	if s.exact && s.Count() <= 8 {
+		var parts []string
+		s.ForEach(func(v int) bool {
+			parts = append(parts, fmt.Sprintf("%d", v))
+			return true
+		})
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return fmt.Sprintf("[%d..%d]", s.IV.Lo, s.IV.Hi)
+}

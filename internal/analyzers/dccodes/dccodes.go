@@ -1,0 +1,142 @@
+// Package dccodes is a repo-specific vet pass: every exported Code*
+// constant holding a DC diagnostic code must be documented in its
+// package's doc header, and every DC code the doc header names must be
+// backed by a constant. The DC-code tables in internal/lint and
+// internal/prove are the user-facing contract (`dctl lint`/`dctl prove`
+// print the codes, lint:ignore directives name them), so an undocumented
+// or stale code is a real interface bug, not a style nit.
+//
+// The pass is built on the standard library's go/ast only, so it runs in
+// hermetic environments without golang.org/x/tools.
+package dccodes
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one violation, formatted as file:line: message.
+type Finding struct {
+	Pos     string
+	Message string
+}
+
+func (f Finding) String() string { return f.Pos + ": " + f.Message }
+
+var codeRE = regexp.MustCompile(`^DC[0-9]{3}$`)
+var docCodeRE = regexp.MustCompile(`\bDC[0-9]{3}\b`)
+
+// CheckDir analyzes the non-test Go package in dir and returns its
+// violations sorted by position.
+func CheckDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, checkPackage(fset, pkg)...)
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
+}
+
+func checkPackage(fset *token.FileSet, pkg *ast.Package) []Finding {
+	var findings []Finding
+
+	// The package doc header: the doc comment of every file's package
+	// clause (conventionally exactly one file carries it).
+	var doc strings.Builder
+	docPos := ""
+	var fileNames []string
+	for name := range pkg.Files {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		f := pkg.Files[name]
+		if f.Doc != nil {
+			doc.WriteString(f.Doc.Text())
+			doc.WriteString("\n")
+			if docPos == "" {
+				docPos = fset.Position(f.Doc.Pos()).String()
+			}
+		}
+	}
+	docText := doc.String()
+
+	// Every exported Code* string constant with a DCnnn value.
+	declared := map[string]token.Pos{}
+	for _, name := range fileNames {
+		ast.Inspect(pkg.Files[name], func(n ast.Node) bool {
+			decl, ok := n.(*ast.GenDecl)
+			if !ok || decl.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range decl.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if !id.IsExported() || !strings.HasPrefix(id.Name, "Code") || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					val, err := strconv.Unquote(lit.Value)
+					if err != nil || !codeRE.MatchString(val) {
+						continue
+					}
+					if prev, dup := declared[val]; dup {
+						findings = append(findings, Finding{
+							Pos: fset.Position(id.Pos()).String(),
+							Message: fmt.Sprintf("diagnostic code %s already declared at %s",
+								val, fset.Position(prev)),
+						})
+						continue
+					}
+					declared[val] = id.Pos()
+					if !strings.Contains(docText, val) {
+						findings = append(findings, Finding{
+							Pos: fset.Position(id.Pos()).String(),
+							Message: fmt.Sprintf("constant %s = %q is not documented in the package doc header of %s",
+								id.Name, val, pkg.Name),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// The reverse direction: a DC code in the doc header with no backing
+	// constant is a stale table entry.
+	seen := map[string]bool{}
+	for _, code := range docCodeRE.FindAllString(docText, -1) {
+		if seen[code] {
+			continue
+		}
+		seen[code] = true
+		if _, ok := declared[code]; !ok {
+			findings = append(findings, Finding{
+				Pos: docPos,
+				Message: fmt.Sprintf("package doc of %s documents %s but no exported Code* constant declares it",
+					pkg.Name, code),
+			})
+		}
+	}
+	return findings
+}

@@ -1,0 +1,114 @@
+package dccodes
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoPackagesAreClean is the live gate: the two packages that declare
+// DC codes must keep their doc-header tables in sync with the constants.
+func TestRepoPackagesAreClean(t *testing.T) {
+	for _, dir := range []string{"../../lint", "../../prove"} {
+		findings, err := CheckDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestUndocumentedConstant(t *testing.T) {
+	dir := writePkg(t, `// Package p documents only one code:
+//
+//	DC500  the documented one
+package p
+
+const (
+	CodeDocumented   = "DC500"
+	CodeUndocumented = "DC501"
+)
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].Message, "CodeUndocumented") ||
+		!strings.Contains(findings[0].Message, "DC501") {
+		t.Errorf("finding should name the constant and its code: %v", findings[0])
+	}
+}
+
+func TestStaleDocEntry(t *testing.T) {
+	dir := writePkg(t, `// Package p documents a code that no longer exists:
+//
+//	DC600  real
+//	DC601  removed long ago
+package p
+
+const CodeReal = "DC600"
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "DC601") {
+		t.Fatalf("want one stale-doc finding for DC601, got %v", findings)
+	}
+}
+
+func TestDuplicateCode(t *testing.T) {
+	dir := writePkg(t, `// Package p declares DC700 twice.
+//
+//	DC700  doubled
+package p
+
+const (
+	CodeOne = "DC700"
+	CodeTwo = "DC700"
+)
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "already declared") {
+		t.Fatalf("want one duplicate finding, got %v", findings)
+	}
+}
+
+// TestIgnoresNonCodeConstants: unexported constants, non-string constants,
+// and Code* constants whose value is not a DC code are out of scope.
+func TestIgnoresNonCodeConstants(t *testing.T) {
+	dir := writePkg(t, `// Package p has nothing to check.
+package p
+
+const (
+	codeInternal = "DC900"
+	CodeNumeric  = 7
+	CodePrefix   = "prefix-"
+)
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("want no findings, got %v", findings)
+	}
+}

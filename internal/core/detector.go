@@ -45,10 +45,29 @@ func (d Detector) String() string {
 	return fmt.Sprintf("detector %s: %s detects %s from %s", name, d.Z, d.X, d.U)
 }
 
+// ComponentProver is an optional exploration-free fast path for the
+// detector and corrector checks: it reports true only when it has proved
+// every condition of the component specification (kind is "detector" or
+// "corrector") for all U-states — a superset of the reachable states the
+// graph check inspects, so a proof soundly implies the graph verdict.
+// Anything short of a proof returns false and Check falls back to
+// exploration; registering a prover never changes a verdict.
+// internal/prove registers one via Certify.
+type ComponentProver func(kind string, p *guarded.Program, z, x, u state.Predicate) bool
+
+var componentProver ComponentProver
+
+// RegisterComponentProver installs the fast path. Passing nil removes it.
+func RegisterComponentProver(f ComponentProver) { componentProver = f }
+
 // Check decides whether D refines 'Z detects X' from U. Refinement from U
 // requires U closed in D; Safeness, Progress and Stability are then checked
-// over the states reachable from U.
+// over the states reachable from U. A registered prover that discharges
+// the obligations for all U-states short-circuits the graph construction.
 func (d Detector) Check() error {
+	if componentProver != nil && componentProver("detector", d.D, d.Z, d.X, d.U) {
+		return nil
+	}
 	if err := spec.CheckClosed(d.D, d.U); err != nil {
 		return &ConditionError{Component: d.String(), Condition: "Closure", Cause: err}
 	}

@@ -1,0 +1,66 @@
+package difftest
+
+import (
+	"testing"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/gcl"
+	"detcorr/internal/prove"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// The Ring7 pair quantifies the tentpole claim: proving closure of Legit
+// for Dijkstra's ring with 7 machines and 8 counter values is a per-action
+// obligation over equality-class representatives, while the graph route
+// must visit all 8^7 = 2,097,152 states. The prove benchmark includes the
+// full pipeline (parse, system construction, proof); the enumerate
+// benchmark is given the compiled program for free outside the timer.
+
+func BenchmarkRing7ProveClosure(b *testing.B) {
+	src := RingSource(7, 8)
+	for i := 0; i < b.N; i++ {
+		ast, err := gcl.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := prove.NewSystem(ast)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := prove.ProveClosure(sys, "Legit")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Verdict != prove.Proved {
+			b.Fatalf("verdict = %v", rep.Verdict)
+		}
+	}
+}
+
+func BenchmarkRing7EnumerateClosure(b *testing.B) {
+	f, err := gcl.ParseAndCompile(RingSource(7, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	legit, _ := f.Pred("Legit")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := spec.CheckClosed(f.Program, legit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRing7BuildGraph(b *testing.B) {
+	f, err := gcl.ParseAndCompile(RingSource(7, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := explore.Build(f.Program, state.True, explore.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -127,4 +127,3 @@ func Check(p *guarded.Program, init state.Predicate, opts explore.Options, worke
 	}
 	return nil
 }
-

@@ -1,0 +1,172 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GCL renditions of the repo's example systems, shared by the
+// prover/graph agreement suite and the benchmarks. The hand-lowered Go
+// programs in internal/memaccess, internal/tmr etc. have no source AST,
+// so the exploration-free prover cannot see them; these sources give both
+// sides — internal/prove works on the parsed AST, the graph checks on the
+// compiled program — one common ground truth to agree on.
+
+// RingSource generates Dijkstra's K-state token ring with n machines and
+// counters in 0..k-1: machine 0 is the bottom machine, privileged when
+// x0 == x_{n-1}; machine i>0 is privileged when x_i != x_{i-1}. Legit
+// holds when exactly one machine is privileged, and the fault class
+// corrupts any single counter.
+func RingSource(n, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program ring%d\n\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "var x%d : 0..%d\n", i, k-1)
+	}
+	priv := func(i int) string {
+		if i == 0 {
+			return fmt.Sprintf("(x0 == x%d)", n-1)
+		}
+		return fmt.Sprintf("(x%d != x%d)", i, i-1)
+	}
+	b.WriteString("\npred Legit ::\n")
+	for i := 0; i < n; i++ {
+		var terms []string
+		for j := 0; j < n; j++ {
+			if j == i {
+				terms = append(terms, priv(j))
+			} else {
+				terms = append(terms, "!"+priv(j))
+			}
+		}
+		sep := "|"
+		if i == n-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  ( %s ) %s\n", strings.Join(terms, " & "), sep)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "action move0 :: x0 == x%d -> x0 := (x0 + 1) %% %d\n", n-1, k)
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "action move%d :: x%d != x%d -> x%d := x%d\n", i, i, i-1, i, i-1)
+	}
+	b.WriteString("\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "fault corrupt%d :: true -> x%d := ?\n", i, i)
+	}
+	return b.String()
+}
+
+// MemaccessPM is the paper's running example pm (Figures 1-3): the masking
+// memory access with both the detector (detect/z1) and the corrector
+// (restore) installed.
+const MemaccessPM = `program memaccess_pm
+var present : bool
+var val     : 0..1
+var data    : enum(bot, v0, v1)
+var z1      : bool
+
+pred X1          :: present
+pred U1          :: z1 => present
+pred S           :: present & !((val == 0 & data == v1) | (val == 1 & data == v0))
+pred Z1p         :: z1
+pred NotZ1       :: !z1
+pred DataCorrect :: (val == 0 & data == v0) | (val == 1 & data == v1)
+
+action restore :: !present      -> present := true
+action detect  :: present & !z1 -> z1 := true
+action read0   :: z1 & val == 0 -> data := v0
+action read1   :: z1 & val == 1 -> data := v1
+
+fault pageout  :: present & !z1 -> present := false
+`
+
+// MemaccessPF is the fail-safe variant pf: the detector alone, with no
+// restore action. Once the page faults out, the reads stop (safety is
+// preserved, liveness is not).
+const MemaccessPF = `program memaccess_pf
+var present : bool
+var val     : 0..1
+var data    : enum(bot, v0, v1)
+var z1      : bool
+
+pred X1  :: present
+pred U1  :: z1 => present
+pred S   :: present & !((val == 0 & data == v1) | (val == 1 & data == v0))
+pred Z1p :: z1
+
+action detect :: present & !z1 -> z1 := true
+action read0  :: z1 & val == 0 -> data := v0
+action read1  :: z1 & val == 1 -> data := v1
+
+fault pageout :: present & !z1 -> present := false
+`
+
+// MemaccessPN is the nonmasking variant pn: the corrector alone, with
+// unguarded reads. Faults can transiently corrupt data, but restore keeps
+// re-establishing X1.
+const MemaccessPN = `program memaccess_pn
+var present : bool
+var val     : 0..1
+var data    : enum(bot, v0, v1)
+
+pred X1          :: present
+pred DataCorrect :: (val == 0 & data == v0) | (val == 1 & data == v1)
+pred S           :: present & !((val == 0 & data == v1) | (val == 1 & data == v0))
+
+action restore :: !present           -> present := true
+action read0   :: present & val == 0 -> data := v0
+action read1   :: present & val == 1 -> data := v1
+
+fault pageout  :: present -> present := false
+`
+
+// TMRSource is the triple-modular-redundancy construction of Section 6.1
+// in GCL: out = 0 encodes ⊥ and out = k+1 encodes value k; uncor holds
+// the ground-truth uncorrupted value; each fault may corrupt one input
+// only while the other two are uncorrupted.
+const TMRSource = `program tmr
+var x     : 0..2
+var y     : 0..2
+var z     : 0..2
+var out   : 0..3
+var uncor : 0..2
+
+pred Wit        :: x == y | x == z
+pred OutCorrect :: out == uncor + 1
+pred S :: x == uncor & y == uncor & z == uncor & (out == 0 | out == uncor + 1)
+pred T :: (out == 0 | out == uncor + 1) &
+          ((x == uncor & y == uncor) | (x == uncor & z == uncor) | (y == uncor & z == uncor))
+
+action IR1 :: out == 0 & (x == y | x == z) -> out := x + 1
+action CR1 :: out == 0 & (y == z | y == x) -> out := y + 1
+action CR2 :: out == 0 & (z == x | z == y) -> out := z + 1
+
+fault fx :: y == uncor & z == uncor -> x := ?
+fault fy :: x == uncor & z == uncor -> y := ?
+fault fz :: x == uncor & y == uncor -> z := ?
+`
+
+// ByzAgreeSource is a Byzantine-agreement system in GCL: a general g with
+// decision dg and three lieutenants copying it (dj = 2 encodes
+// "undecided"). The fault turns the general Byzantine, after which dg is
+// arbitrary.
+const ByzAgreeSource = `program byzagree
+var dg : 0..1
+var d0 : 0..2
+var d1 : 0..2
+var d2 : 0..2
+var bg : bool
+
+pred S    :: !bg & (d0 == dg | d0 == 2) & (d1 == dg | d1 == 2) & (d2 == dg | d2 == 2)
+pred Done :: d0 != 2 & d1 != 2 & d2 != 2
+pred P0   :: d0 == 2
+pred P1   :: d1 == 2
+pred P2   :: d2 == 2
+
+action copy0 :: d0 == 2 -> d0 := dg
+action copy1 :: d1 == 2 -> d1 := dg
+action copy2 :: d2 == 2 -> d2 := dg
+
+fault byz :: !bg -> bg := true, dg := ?
+`

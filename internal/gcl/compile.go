@@ -10,13 +10,16 @@ import (
 )
 
 // File is a compiled guarded-command source: the schema, the program, the
-// declared fault class, and the named predicates.
+// declared fault class, and the named predicates. AST retains the parsed
+// source so exploration-free analyses (internal/prove) can re-derive the
+// program text from a compiled file.
 type File struct {
 	Name    string
 	Schema  *state.Schema
 	Program *guarded.Program
 	Faults  fault.Class
 	Preds   map[string]state.Predicate
+	AST     *FileAST
 }
 
 // Pred returns a declared predicate by name.
@@ -141,7 +144,7 @@ func Compile(ast *FileAST) (*File, error) {
 	}
 	c.schema = schema
 
-	f := &File{Name: ast.Name, Schema: schema, Preds: map[string]state.Predicate{}}
+	f := &File{Name: ast.Name, Schema: schema, Preds: map[string]state.Predicate{}, AST: ast}
 	for _, d := range ast.Preds {
 		if _, dup := c.preds[d.Name]; dup {
 			return nil, errAt(d.At.Line, d.At.Col, "duplicate predicate %q", d.Name)

@@ -36,6 +36,25 @@ func Parse(src string) (*FileAST, error) {
 	return p.file()
 }
 
+// ParseExpr lexes and parses a single expression — e.g. a ranking-function
+// component supplied on the dctl prove command line. The whole input must
+// be consumed.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind != EOF {
+		return nil, errAt(t.Line, t.Col, "unexpected %s %q after expression", t.Kind, t.Text)
+	}
+	return e, nil
+}
+
 func (p *parser) cur() Token  { return p.toks[p.pos] }
 func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"detcorr/internal/absdom"
 	"detcorr/internal/gcl"
 )
 
@@ -15,28 +16,16 @@ import (
 // many other variables the program declares.
 const evalBudget = 1 << 16
 
-// interval is an inclusive integer range.
-type interval struct{ lo, hi int }
+// The abstract lattice lives in internal/absdom, shared with the dcprove
+// proof engine; the local names keep the analyzers readable.
+type (
+	interval = absdom.Interval
+	truth    = absdom.Truth
+	aval     = absdom.Val
+)
 
-func (i interval) within(o interval) bool { return i.lo >= o.lo && i.hi <= o.hi }
-
-// truth is the abstract value of a boolean expression: which truth values
-// it may take. canT==false means "definitely never true" (and dually for
-// canF); both true means "unknown". The abstraction is a sound
-// over-approximation: it ignores correlations between subexpressions, so
-// e.g. x & !x still reports {canT, canF} and needs the exact fallback.
-type truth struct{ canT, canF bool }
-
-// aval is the abstract value of an expression: a truth for booleans, an
-// interval for integers.
-type aval struct {
-	isBool bool
-	t      truth
-	iv     interval
-}
-
-func boolVal(canT, canF bool) aval { return aval{isBool: true, t: truth{canT, canF}} }
-func intVal(lo, hi int) aval       { return aval{iv: interval{lo, hi}} }
+func boolVal(canT, canF bool) aval { return absdom.BoolVal(canT, canF) }
+func intVal(lo, hi int) aval       { return absdom.IntVal(lo, hi) }
 
 // absEval computes the abstract value of a resolved expression.
 func (p *Pass) absEval(e gcl.Expr) aval {
@@ -66,73 +55,15 @@ func (p *Pass) absEval(e gcl.Expr) aval {
 	case *gcl.Unary:
 		x := p.absEval(n.X)
 		if n.Op == gcl.NOT {
-			return boolVal(x.t.canF, x.t.canT)
+			return boolVal(x.T.CanF, x.T.CanT)
 		}
-		return intVal(-x.iv.hi, -x.iv.lo)
+		return intVal(-x.IV.Hi, -x.IV.Lo)
 	case *gcl.Binary:
 		l, r := p.absEval(n.L), p.absEval(n.R)
-		return absBinary(n.Op, l, r)
+		return absdom.Binary(n.Op, l, r)
 	}
 	return boolVal(true, true)
 }
-
-func absBinary(op gcl.Kind, l, r aval) aval {
-	switch op {
-	case gcl.AND:
-		return boolVal(l.t.canT && r.t.canT, l.t.canF || r.t.canF)
-	case gcl.OR:
-		return boolVal(l.t.canT || r.t.canT, l.t.canF && r.t.canF)
-	case gcl.IMPLIES:
-		return boolVal(l.t.canF || r.t.canT, l.t.canT && r.t.canF)
-	case gcl.EQ, gcl.NEQ:
-		var eq truth
-		if l.isBool {
-			eq = truth{
-				canT: (l.t.canT && r.t.canT) || (l.t.canF && r.t.canF),
-				canF: (l.t.canT && r.t.canF) || (l.t.canF && r.t.canT),
-			}
-		} else {
-			overlap := l.iv.lo <= r.iv.hi && r.iv.lo <= l.iv.hi
-			single := l.iv.lo == l.iv.hi && r.iv.lo == r.iv.hi && l.iv.lo == r.iv.lo
-			eq = truth{canT: overlap, canF: !single}
-		}
-		if op == gcl.EQ {
-			return aval{isBool: true, t: eq}
-		}
-		return boolVal(eq.canF, eq.canT)
-	case gcl.LT:
-		return boolVal(l.iv.lo < r.iv.hi, l.iv.hi >= r.iv.lo)
-	case gcl.LE:
-		return boolVal(l.iv.lo <= r.iv.hi, l.iv.hi > r.iv.lo)
-	case gcl.GT:
-		return boolVal(l.iv.hi > r.iv.lo, l.iv.lo <= r.iv.hi)
-	case gcl.GE:
-		return boolVal(l.iv.hi >= r.iv.lo, l.iv.lo < r.iv.hi)
-	case gcl.PLUS:
-		return intVal(l.iv.lo+r.iv.lo, l.iv.hi+r.iv.hi)
-	case gcl.MINUS:
-		return intVal(l.iv.lo-r.iv.hi, l.iv.hi-r.iv.lo)
-	case gcl.STAR:
-		a, b, c, d := l.iv.lo*r.iv.lo, l.iv.lo*r.iv.hi, l.iv.hi*r.iv.lo, l.iv.hi*r.iv.hi
-		return intVal(min4(a, b, c, d), max4(a, b, c, d))
-	case gcl.PERCENT:
-		// Total semantics ((a%b)+b)%b with b==0 -> 0: the result lies in
-		// [b+1, 0] for negative b, [0, b-1] for positive b, and is 0 at b==0.
-		lo := 0
-		if r.iv.lo+1 < 0 {
-			lo = r.iv.lo + 1
-		}
-		hi := 0
-		if r.iv.hi-1 > 0 {
-			hi = r.iv.hi - 1
-		}
-		return intVal(lo, hi)
-	}
-	return boolVal(true, true)
-}
-
-func min4(a, b, c, d int) int { return min(min(a, b), min(c, d)) }
-func max4(a, b, c, d int) int { return max(max(a, b), max(c, d)) }
 
 // eval evaluates a resolved expression under a total assignment env
 // (variable name -> source-level value: range variables hold lo..hi,
@@ -169,48 +100,7 @@ func (p *Pass) eval(env map[string]int, e gcl.Expr) int {
 		return -x
 	case *gcl.Binary:
 		l, r := p.eval(env, n.L), p.eval(env, n.R)
-		return evalBinary(n.Op, l, r)
-	}
-	return 0
-}
-
-func evalBinary(op gcl.Kind, a, b int) int {
-	b2i := func(v bool) int {
-		if v {
-			return 1
-		}
-		return 0
-	}
-	switch op {
-	case gcl.AND:
-		return b2i(a != 0 && b != 0)
-	case gcl.OR:
-		return b2i(a != 0 || b != 0)
-	case gcl.IMPLIES:
-		return b2i(a == 0 || b != 0)
-	case gcl.EQ:
-		return b2i(a == b)
-	case gcl.NEQ:
-		return b2i(a != b)
-	case gcl.LT:
-		return b2i(a < b)
-	case gcl.LE:
-		return b2i(a <= b)
-	case gcl.GT:
-		return b2i(a > b)
-	case gcl.GE:
-		return b2i(a >= b)
-	case gcl.PLUS:
-		return a + b
-	case gcl.MINUS:
-		return a - b
-	case gcl.STAR:
-		return a * b
-	case gcl.PERCENT:
-		if b == 0 {
-			return 0 // total semantics, mirroring the compiler
-		}
-		return ((a % b) + b) % b
+		return absdom.EvalBinary(n.Op, l, r)
 	}
 	return 0
 }
@@ -338,8 +228,8 @@ func (p *Pass) forEachEnv(vars []string, fn func(env map[string]int) bool) bool 
 // the budget.
 func (p *Pass) decideTruth(e gcl.Expr) (t truth, definite bool) {
 	a := p.absEval(e)
-	if !a.t.canT || !a.t.canF {
-		return a.t, true
+	if !a.T.CanT || !a.T.CanF {
+		return a.T, true
 	}
 	var canT, canF bool
 	ok := p.forEachEnv(p.refVars(e), func(env map[string]int) bool {
@@ -351,9 +241,9 @@ func (p *Pass) decideTruth(e gcl.Expr) (t truth, definite bool) {
 		return !(canT && canF)
 	})
 	if !ok {
-		return a.t, false
+		return a.T, false
 	}
-	return truth{canT, canF}, true
+	return truth{CanT: canT, CanF: canF}, true
 }
 
 // findEnv searches for an assignment satisfying pred. found is nil when
@@ -370,6 +260,15 @@ func (p *Pass) findEnv(vars []string, pred func(env map[string]int) bool) (found
 		return true
 	})
 	return found, ok
+}
+
+// reportBudget emits the DC008 trace when an exact fallback was abandoned
+// because the assignment space over vars exceeds evalBudget; the analyzer
+// degraded to "unknown" and stayed silent about its primary property.
+func (p *Pass) reportBudget(at gcl.Pos, what string, vars []string) {
+	p.Reportf(at, Warning, CodeBudget,
+		"exact analysis of %s abandoned: enumerating %d variables exceeds the %d-assignment budget; result is unknown",
+		what, len(vars), evalBudget)
 }
 
 // envString renders an assignment deterministically, using enum value

@@ -1,6 +1,10 @@
 package lint
 
-import "detcorr/internal/gcl"
+import (
+	"fmt"
+
+	"detcorr/internal/gcl"
+)
 
 // writeConflict (DC004) reports pairs of program actions that can be
 // enabled in the same state and assign the same variable different values.
@@ -86,7 +90,11 @@ func (p *Pass) checkConflict(a, b *gcl.ActionDecl) {
 		}
 		return false
 	})
-	if !ok || witness == nil {
+	if !ok {
+		p.reportBudget(b.At, fmt.Sprintf("the write overlap of actions %q and %q", a.Name, b.Name), vars)
+		return
+	}
+	if witness == nil {
 		return
 	}
 	p.Reportf(b.At, Warning, CodeConflict,
@@ -152,13 +160,14 @@ var vacuousSpec = &Analyzer{
 			}
 			t, definite := p.decideTruth(d.Expr)
 			if !definite {
+				p.reportBudget(d.At, fmt.Sprintf("predicate %q", d.Name), p.predVars(pi))
 				continue
 			}
 			switch {
-			case !t.canF:
+			case !t.CanF:
 				p.Reportf(d.At, Warning, CodeVacuous,
 					"predicate %q is constantly true over the declared domains; checks against it are vacuous", d.Name)
-			case !t.canT:
+			case !t.CanT:
 				p.Reportf(d.At, Warning, CodeVacuous,
 					"predicate %q is constantly false over the declared domains; checks against it are vacuous", d.Name)
 			}

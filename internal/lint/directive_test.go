@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestParseDirectives is the table-driven contract of the '# lint:ignore'
+// parser: which lines end up suppressing which codes, and which directives
+// instead warn. Suppression targets are the directive's own line and the
+// line directly below it, 1-based.
+func TestParseDirectives(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		// want maps "line:code" to expected suppression.
+		want      map[string]bool
+		warnings  int
+		warnSubst string
+	}{
+		{
+			name: "single code with reason",
+			src:  "# lint:ignore DC001 guard kept for the test\naction a",
+			want: map[string]bool{"1:DC001": true, "2:DC001": true, "3:DC001": false, "2:DC002": false},
+		},
+		{
+			name: "comma separated no space",
+			src:  "# lint:ignore DC001,DC004 two findings share this line\n",
+			want: map[string]bool{"2:DC001": true, "2:DC004": true, "2:DC003": false},
+		},
+		{
+			name: "comma separated with space and reason",
+			src:  "# lint:ignore DC001, DC004 reason text here\n",
+			want: map[string]bool{"2:DC001": true, "2:DC004": true},
+		},
+		{
+			name: "reason does not join the code list",
+			src:  "# lint:ignore DC001 DC004 looks like a code but is reason text\n",
+			want: map[string]bool{"2:DC001": true, "2:DC004": false},
+		},
+		{
+			name: "all",
+			src:  "# lint:ignore all generated file\n",
+			want: map[string]bool{"2:DC001": true, "2:DC005": true, "2:DC009": true},
+		},
+		{
+			name: "directive on the last line still parses",
+			src:  "action a\n# lint:ignore DC004",
+			want: map[string]bool{"2:DC004": true, "3:DC004": true},
+		},
+		{
+			name: "trailing and doubled commas are dropped",
+			src:  "# lint:ignore DC001,,DC004, , DC005 reason\n",
+			want: map[string]bool{"2:DC001": true, "2:DC004": true, "2:DC005": true},
+		},
+		{
+			name: "lint:ignored is not a directive",
+			src:  "# lint:ignored DC001 this is prose about the directive\n",
+			want: map[string]bool{"1:DC001": false, "2:DC001": false},
+		},
+		{
+			name: "directive after code on the same line",
+			src:  "action a :: x > 5 -> x := 0  # lint:ignore DC001 intentional\n",
+			want: map[string]bool{"1:DC001": true, "2:DC001": true},
+		},
+		{
+			name:      "unknown code warns",
+			src:       "# lint:ignore DC999 typo\n",
+			want:      map[string]bool{"2:DC999": false},
+			warnings:  1,
+			warnSubst: `unknown code "DC999"`,
+		},
+		{
+			name:      "empty code list warns",
+			src:       "# lint:ignore\n",
+			want:      map[string]bool{"2:DC001": false},
+			warnings:  1,
+			warnSubst: "without a code list",
+		},
+		{
+			name:      "known and unknown codes mix",
+			src:       "# lint:ignore DC001,DC998 half a typo\n",
+			want:      map[string]bool{"2:DC001": true, "2:DC998": false},
+			warnings:  1,
+			warnSubst: `unknown code "DC998"`,
+		},
+		{
+			name: "prove codes are known",
+			src:  "# lint:ignore DC100,DC103 discharged by hand\n",
+			want: map[string]bool{"2:DC100": true, "2:DC103": true},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dirs := parseDirectives("f.gcl", tt.src)
+			for key, want := range tt.want {
+				lineStr, code, _ := strings.Cut(key, ":")
+				line, err := strconv.Atoi(lineStr)
+				if err != nil {
+					t.Fatalf("bad key %q: %v", key, err)
+				}
+				got := dirs.byLine[line] != nil && (dirs.byLine[line][code] || dirs.byLine[line]["all"])
+				if got != want {
+					t.Errorf("suppressed(line %d, %s) = %v, want %v", line, code, got, want)
+				}
+			}
+			if len(dirs.warnings) != tt.warnings {
+				t.Errorf("warnings = %d, want %d: %v", len(dirs.warnings), tt.warnings, dirs.warnings)
+			}
+			for _, w := range dirs.warnings {
+				if w.Code != CodeDirective {
+					t.Errorf("warning carries code %s, want %s", w.Code, CodeDirective)
+				}
+				if tt.warnSubst != "" && !strings.Contains(w.Message, tt.warnSubst) {
+					t.Errorf("warning %q missing %q", w.Message, tt.warnSubst)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectiveApply checks that apply drops exactly the covered findings,
+// including DC009 self-suppression on the directive's own line.
+func TestDirectiveApply(t *testing.T) {
+	src := strings.Join([]string{
+		"# lint:ignore DC001 covers line 2",
+		"guarded line",
+		"unguarded line",
+		"# lint:ignore DC009 silence my own typo warning",
+		"",
+	}, "\n")
+	dirs := parseDirectives("f.gcl", src)
+	diags := []Diagnostic{
+		{File: "f.gcl", Line: 2, Code: CodeDeadGuard}, // suppressed
+		{File: "f.gcl", Line: 3, Code: CodeDeadGuard}, // kept: out of range
+		{File: "f.gcl", Line: 2, Code: CodeConflict},  // kept: wrong code
+		{File: "f.gcl", Line: 4, Code: CodeDirective}, // suppressed by self-directive
+		{File: "f.gcl", Line: 1, Code: CodeDeadGuard}, // suppressed: directive's own line
+	}
+	kept := dirs.apply(diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	for _, d := range kept {
+		if d.Line == 2 && d.Code == CodeDeadGuard || d.Line == 4 || d.Line == 1 {
+			t.Errorf("diagnostic should have been suppressed: %v", d)
+		}
+	}
+}

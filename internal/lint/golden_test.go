@@ -65,6 +65,8 @@ func TestGoldenCoverage(t *testing.T) {
 		"conflict.gcl":     CodeConflict,
 		"vacuous.gcl":      CodeVacuous,
 		"faulthygiene.gcl": CodeFaultHygiene,
+		"budget.gcl":       CodeBudget,
+		"directive.gcl":    CodeDirective,
 	}
 	for file, code := range wants {
 		path := filepath.Join("testdata", file)

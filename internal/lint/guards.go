@@ -1,6 +1,10 @@
 package lint
 
-import "detcorr/internal/gcl"
+import (
+	"fmt"
+
+	"detcorr/internal/gcl"
+)
 
 // deadGuard (DC001) reports actions and faults whose guard is
 // unsatisfiable over the declared domains: the command can never execute,
@@ -18,7 +22,11 @@ var deadGuard = &Analyzer{
 				return
 			}
 			t, definite := p.decideTruth(d.Guard)
-			if definite && !t.canT {
+			if !definite {
+				p.reportBudget(d.At, fmt.Sprintf("the guard of %s %q", kind, d.Name), p.refVars(d.Guard))
+				return
+			}
+			if !t.CanT {
 				p.Reportf(d.At, Warning, CodeDeadGuard,
 					"guard of %s %q is unsatisfiable; it can never execute", kind, d.Name)
 			}
@@ -56,15 +64,15 @@ var domainOverflow = &Analyzer{
 				if v == nil || v.typ != typInt {
 					continue
 				}
-				dom := interval{v.lo, v.hi}
+				dom := interval{Lo: v.lo, Hi: v.hi}
 				r := p.absEval(a.Expr)
-				if r.iv.within(dom) {
+				if r.IV.Within(dom) {
 					continue
 				}
-				if r.iv.hi < dom.lo || r.iv.lo > dom.hi {
+				if r.IV.Hi < dom.Lo || r.IV.Lo > dom.Hi {
 					p.Reportf(a.At, Error, CodeOverflow,
 						"%s %q assigns %q values in %d..%d, entirely outside its domain %d..%d",
-						kind, d.Name, a.Var, r.iv.lo, r.iv.hi, dom.lo, dom.hi)
+						kind, d.Name, a.Var, r.IV.Lo, r.IV.Hi, dom.Lo, dom.Hi)
 					continue
 				}
 				vars := unionVars(p.refVars(d.Guard), p.refVars(a.Expr))
@@ -73,18 +81,18 @@ var domainOverflow = &Analyzer{
 						return false
 					}
 					val := p.eval(env, a.Expr)
-					return val < dom.lo || val > dom.hi
+					return val < dom.Lo || val > dom.Hi
 				})
 				if !ok {
 					p.Reportf(a.At, Warning, CodeOverflow,
 						"%s %q may assign %q values in %d..%d, outside its domain %d..%d (too many states to verify exactly)",
-						kind, d.Name, a.Var, r.iv.lo, r.iv.hi, dom.lo, dom.hi)
+						kind, d.Name, a.Var, r.IV.Lo, r.IV.Hi, dom.Lo, dom.Hi)
 					continue
 				}
 				if witness != nil {
 					p.Reportf(a.At, Error, CodeOverflow,
 						"%s %q assigns %d to %q, outside its domain %d..%d (e.g. when %s)",
-						kind, d.Name, p.eval(witness, a.Expr), a.Var, dom.lo, dom.hi,
+						kind, d.Name, p.eval(witness, a.Expr), a.Var, dom.Lo, dom.Hi,
 						p.envString(witness, vars))
 				}
 			}

@@ -12,11 +12,15 @@
 //	DC005  vacuous predicate: constantly true/false over the declared domains
 //	DC006  fault hygiene: a fault writing a variable no program action reads
 //	DC007  program structure (lint.Check on compiled compositions)
+//	DC008  analysis budget exhausted: the exact fallback was abandoned and the result is unknown
+//	DC009  bad lint:ignore directive: a suppression names an unknown diagnostic code
 //
 // The analyzers decide properties with constant folding and interval
-// analysis over the declared finite domains, falling back to exact
-// enumeration over only the variables an expression references (bounded by
-// evalBudget), so results are definite whenever a finding is reported.
+// analysis over the declared finite domains (the shared lattice in
+// internal/absdom), falling back to exact enumeration over only the
+// variables an expression references (bounded by evalBudget), so results
+// are definite whenever a finding is reported; DC008 traces the cases
+// where the budget forced an analyzer to stay silent.
 //
 // Findings can be suppressed inline with a comment on the finding's line or
 // the line directly above it:
@@ -112,7 +116,23 @@ const (
 	CodeVacuous      = "DC005"
 	CodeFaultHygiene = "DC006"
 	CodeStructure    = "DC007"
+	CodeBudget       = "DC008"
+	CodeDirective    = "DC009"
 )
+
+// knownCodes is every diagnostic code a '# lint:ignore' directive may name:
+// the lint codes above plus the dcprove codes (DC100-DC103, declared in
+// internal/prove, which lint cannot import).
+var knownCodes = map[string]bool{
+	CodeResolve: true, CodeDeadGuard: true, CodeOverflow: true,
+	CodeUnused: true, CodeConflict: true, CodeVacuous: true,
+	CodeFaultHygiene: true, CodeStructure: true, CodeBudget: true,
+	CodeDirective: true,
+	"DC100":       true, // prove.CodeClosure
+	"DC101":       true, // prove.CodeSpanClosure
+	"DC102":       true, // prove.CodeSafeness
+	"DC103":       true, // prove.CodeConvergence
+}
 
 // Analyzer is one named analysis pass, modeled on go/analysis: Run inspects
 // the Pass and reports diagnostics through it.
@@ -154,7 +174,8 @@ func Analyze(filename string, ast *gcl.FileAST, src string) []Diagnostic {
 	}
 	diags := p.diags
 	if src != "" {
-		diags = suppress(diags, src)
+		dirs := parseDirectives(filename, src)
+		diags = dirs.apply(append(diags, dirs.warnings...))
 	}
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -187,12 +208,25 @@ func Errors(diags []Diagnostic) error {
 	return fmt.Errorf("lint: %s", strings.Join(msgs, "; "))
 }
 
-// suppress drops diagnostics covered by '# lint:ignore CODE[,CODE] reason'
+// directives is the parsed suppression state of one file: which codes are
+// suppressed on which lines, plus DC009 warnings for directives naming
+// unknown codes.
+type directives struct {
+	byLine   map[int]map[string]bool
+	warnings []Diagnostic
+}
+
+// parseDirectives scans src for '# lint:ignore CODE[,CODE]... [reason]'
 // directives. A directive suppresses matching codes on its own line and on
-// the line directly below, so it can share the offending line or sit in a
-// comment above it. The code list may be 'all'.
-func suppress(diags []Diagnostic, src string) []Diagnostic {
-	byLine := map[int]map[string]bool{}
+// the line directly below (including when the directive sits on the last
+// line of the file), so it can share the offending line or sit in a
+// comment above it. The code list may be 'all'; codes may be separated by
+// commas with or without spaces ("DC001,DC004" and "DC001, DC004" both
+// work — the list ends at the first token that does not continue it). A
+// code that is not a known DC-code yields a DC009 warning, so typos do not
+// silently suppress nothing.
+func parseDirectives(filename, src string) *directives {
+	dirs := &directives{byLine: map[int]map[string]bool{}}
 	for i, line := range strings.Split(src, "\n") {
 		hash := strings.Index(line, "#")
 		if hash < 0 {
@@ -202,25 +236,71 @@ func suppress(diags []Diagnostic, src string) []Diagnostic {
 		if !strings.HasPrefix(directive, "lint:ignore") {
 			continue
 		}
-		fields := strings.Fields(strings.TrimPrefix(directive, "lint:ignore"))
-		if len(fields) == 0 {
+		rest := strings.TrimPrefix(directive, "lint:ignore")
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			continue // e.g. "lint:ignored", not a directive
+		}
+		fields := strings.Fields(rest)
+		var codes []string
+		// Consume the comma-separated code list: the first token always
+		// belongs to it, and a token ending in ',' pulls in the next one
+		// ("DC001, DC004 reason"). Everything after is the free-form reason.
+		for j, tok := range fields {
+			codes = append(codes, splitCodes(tok)...)
+			if !strings.HasSuffix(tok, ",") || j == len(fields)-1 {
+				break
+			}
+		}
+		if len(codes) == 0 {
+			dirs.warnings = append(dirs.warnings, Diagnostic{
+				File: filename, Line: i + 1, Col: hash + 1,
+				Severity: Warning, Code: CodeDirective,
+				Message: "lint:ignore directive without a code list; use 'lint:ignore CODE[,CODE] reason' or 'lint:ignore all'",
+			})
 			continue
 		}
-		for _, target := range []int{i + 1, i + 2} { // 1-based: this line and the next
-			if byLine[target] == nil {
-				byLine[target] = map[string]bool{}
+		for _, code := range codes {
+			if code != "all" && !knownCodes[code] {
+				dirs.warnings = append(dirs.warnings, Diagnostic{
+					File: filename, Line: i + 1, Col: hash + 1,
+					Severity: Warning, Code: CodeDirective,
+					Message: fmt.Sprintf("lint:ignore directive names unknown code %q; it suppresses nothing", code),
+				})
+				continue
 			}
-			for _, code := range strings.Split(fields[0], ",") {
-				byLine[target][strings.TrimSpace(code)] = true
+			for _, target := range []int{i + 1, i + 2} { // 1-based: this line and the next
+				if dirs.byLine[target] == nil {
+					dirs.byLine[target] = map[string]bool{}
+				}
+				dirs.byLine[target][code] = true
 			}
 		}
 	}
-	if len(byLine) == 0 {
+	return dirs
+}
+
+// splitCodes splits one directive token on commas, dropping empties from
+// trailing or doubled commas.
+func splitCodes(tok string) []string {
+	var out []string
+	for _, c := range strings.Split(tok, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// apply drops the diagnostics covered by a suppression directive
+// (including DC009 warnings themselves, which a 'lint:ignore DC009' on the
+// directive's own line silences).
+func (dirs *directives) apply(diags []Diagnostic) []Diagnostic {
+	if len(dirs.byLine) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if codes := byLine[d.Line]; codes != nil && (codes[d.Code] || codes["all"]) {
+		if codes := dirs.byLine[d.Line]; codes != nil && (codes[d.Code] || codes["all"]) {
 			continue
 		}
 		kept = append(kept, d)

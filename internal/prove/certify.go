@@ -1,0 +1,144 @@
+package prove
+
+import (
+	"sync"
+
+	"detcorr/internal/core"
+	"detcorr/internal/gcl"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// The certification registry connects compiled programs back to their
+// source-level proof systems, so the graph-based checks in spec and core
+// can consult the prover before enumerating states. Registration is keyed
+// by the compiled *guarded.Program pointer — composed programs (e.g. the
+// result of fault.Compose) are distinct values and simply miss the fast
+// path, which is always sound: only a full proof short-circuits anything.
+
+type certEntry struct {
+	mu    sync.Mutex // System is not safe for concurrent use; serialize per program
+	sys   *System
+	cache map[string]bool // obligation key -> proved
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[*guarded.Program]*certEntry{}
+	hookOnce sync.Once
+)
+
+// Certify prepares a compiled file for exploration-free fast paths: its
+// program is registered so that spec.CheckClosed and the core
+// detector/corrector checks consult the prover first. Files compiled
+// before the AST field existed (or assembled by hand) are skipped
+// silently. Certification never changes any verdict — the hooks report
+// success only on a full proof and fall back to exploration otherwise.
+func Certify(f *gcl.File) error {
+	if f == nil || f.AST == nil {
+		return nil
+	}
+	sys, err := NewSystem(f.AST)
+	if err != nil {
+		return err
+	}
+	regMu.Lock()
+	registry[f.Program] = &certEntry{sys: sys, cache: map[string]bool{}}
+	regMu.Unlock()
+	hookOnce.Do(installHooks)
+	return nil
+}
+
+func lookup(p *guarded.Program) *certEntry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[p]
+}
+
+// proved runs one cached proof attempt under the entry's lock.
+func (e *certEntry) proved(key string, attempt func(sys *System) bool) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ok, seen := e.cache[key]; seen {
+		return ok
+	}
+	ok := attempt(e.sys)
+	e.cache[key] = ok
+	return ok
+}
+
+func installHooks() {
+	spec.RegisterClosureProver(func(p *guarded.Program, s state.Predicate) bool {
+		e := lookup(p)
+		if e == nil {
+			return false
+		}
+		return e.proved("closure:"+s.String(), func(sys *System) bool {
+			rep, err := ProveClosure(sys, s.String())
+			return err == nil && rep.Verdict == Proved
+		})
+	})
+	core.RegisterComponentProver(func(kind string, p *guarded.Program, z, x, u state.Predicate) bool {
+		e := lookup(p)
+		if e == nil {
+			return false
+		}
+		key := kind + ":" + z.String() + "|" + x.String() + "|" + u.String()
+		return e.proved(key, func(sys *System) bool {
+			return sys.proveComponent(kind, z.String(), x.String(), u.String())
+		})
+	})
+}
+
+// ProveComponent reports whether the full detector ("detector") or
+// corrector ("corrector") specification "Z kind X from U" is provable for
+// the system without exploration. False means "fall back to the graph
+// checks", never "the component fails".
+func ProveComponent(sys *System, kind, z, x, u string) bool {
+	return sys.proveComponent(kind, z, x, u)
+}
+
+// proveComponent discharges the full detector (or corrector) specification
+// by proof: closure of U, safeness and stability of Z => X within U,
+// progress (convergence of the region U ∧ X ∧ ¬Z to Z ∨ ¬X), and for
+// correctors additionally the closure of X along U-steps and convergence
+// of U to X. Every obligation quantifies over all U-states — a superset of
+// the reachable states the graph checks inspect — so Proved transfers; any
+// weaker verdict reports false and the caller falls back.
+func (sys *System) proveComponent(kind, z, x, u string) bool {
+	U, err := sys.needPred(u)
+	if err != nil {
+		return false
+	}
+	Z, err := sys.needPred(z)
+	if err != nil {
+		return false
+	}
+	X, err := sys.needPred(x)
+	if err != nil {
+		return false
+	}
+	if sys.proveClosureExpr(CodeClosure, "closure", U, sys.actions).Verdict != Proved {
+		return false
+	}
+	if rep, err := ProveSafeness(sys, u, z, x); err != nil || rep.Verdict != Proved {
+		return false
+	}
+	// Progress: from U ∧ X ∧ ¬Z every computation reaches Z ∨ ¬X. Closure
+	// of U is already discharged above.
+	if sys.proveConvergenceExpr("progress", U, disj(Z, neg(X)), nil, nil, false).Verdict != Proved {
+		return false
+	}
+	if kind != "corrector" {
+		return kind == "detector"
+	}
+	// Convergence, closure half: no U-step falsifies X.
+	for i := range sys.actions {
+		if sys.proveAction(&sys.actions[i], []gcl.Expr{U, X}, X).Verdict != Proved {
+			return false
+		}
+	}
+	// Convergence, liveness half: U converges to X.
+	return sys.proveConvergenceExpr("convergence", U, X, nil, nil, false).Verdict == Proved
+}

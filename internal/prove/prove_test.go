@@ -1,0 +1,354 @@
+package prove
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"detcorr/internal/gcl"
+)
+
+// ringSrc generates Dijkstra's K-state token ring with n machines and
+// counters in 0..k-1, in the GCL encoding used across the repo: machine 0
+// is the bottom machine, privileged when x0 == x_{n-1}; machine i>0 is
+// privileged when x_i != x_{i-1}. Legit holds when exactly one machine is
+// privileged.
+func ringSrc(n, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program ring%d\n\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "var x%d : 0..%d\n", i, k-1)
+	}
+	priv := func(i int) string {
+		if i == 0 {
+			return fmt.Sprintf("(x0 == x%d)", n-1)
+		}
+		return fmt.Sprintf("(x%d != x%d)", i, i-1)
+	}
+	b.WriteString("\npred Legit ::\n")
+	for i := 0; i < n; i++ {
+		var terms []string
+		for j := 0; j < n; j++ {
+			if j == i {
+				terms = append(terms, priv(j))
+			} else {
+				terms = append(terms, "!"+priv(j))
+			}
+		}
+		sep := "|"
+		if i == n-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  ( %s ) %s\n", strings.Join(terms, " & "), sep)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "action move0 :: x0 == x%d -> x0 := (x0 + 1) %% %d\n", n-1, k)
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "action move%d :: x%d != x%d -> x%d := x%d\n", i, i, i-1, i, i-1)
+	}
+	b.WriteString("\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "fault corrupt%d :: true -> x%d := ?\n", i, i)
+	}
+	return b.String()
+}
+
+const memaccessSrc = `
+program memaccess
+var present : bool
+var val     : 0..1
+var data    : enum(bot, v0, v1)
+var z1      : bool
+
+pred X1          :: present
+pred U1          :: z1 => present
+pred S           :: present & !((val == 0 & data == v1) | (val == 1 & data == v0))
+pred Z1p         :: z1
+pred DataCorrect :: (val == 0 & data == v0) | (val == 1 & data == v1)
+
+action restore :: !present      -> present := true
+action detect  :: present & !z1 -> z1 := true
+action read0   :: z1 & val == 0 -> data := v0
+action read1   :: z1 & val == 1 -> data := v1
+
+fault pageout  :: present & !z1 -> present := false
+`
+
+func mustSystem(t testing.TB, src string) *System {
+	t.Helper()
+	ast, err := gcl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sys, err := NewSystem(ast)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestClosureRingProved(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		sys := mustSystem(t, ringSrc(n, n))
+		rep, err := ProveClosure(sys, "Legit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != Proved {
+			t.Fatalf("ring%d: closure of Legit = %v, want proved\n%s", n, rep.Verdict, rep)
+		}
+		if len(rep.Actions) != n {
+			t.Fatalf("ring%d: %d per-action results, want %d", n, len(rep.Actions), n)
+		}
+	}
+}
+
+func TestClosureMemaccessProved(t *testing.T) {
+	sys := mustSystem(t, memaccessSrc)
+	for _, pred := range []string{"S", "U1"} {
+		rep, err := ProveClosure(sys, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != Proved {
+			t.Fatalf("closure of %s = %v, want proved\n%s", pred, rep.Verdict, rep)
+		}
+	}
+}
+
+func TestClosureDisprovedWithCounterexample(t *testing.T) {
+	sys := mustSystem(t, `
+program ctr
+var x : 0..4
+pred Low :: x <= 2
+action inc :: x <= 2 -> x := x + 1
+`)
+	rep, err := ProveClosure(sys, "Low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Disproved {
+		t.Fatalf("verdict = %v, want disproved\n%s", rep.Verdict, rep)
+	}
+	got := rep.Actions[0]
+	if got.Verdict != Disproved || !strings.Contains(got.Counterexample, "x=2") {
+		t.Fatalf("want concrete counterexample x=2, got %+v", got)
+	}
+}
+
+// TestClosureWildcard: a '?' assignment quantifies over the target's whole
+// domain, so closure holds exactly when the predicate tolerates any value.
+func TestClosureWildcard(t *testing.T) {
+	sys := mustSystem(t, `
+program wild
+var y : 0..3
+var b : bool
+pred Any  :: y <= 3
+pred Tight :: y <= 2
+action scramble :: b -> y := ?
+`)
+	rep, err := ProveClosure(sys, "Any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("Any should be closed under scramble: %s", rep)
+	}
+	rep, err = ProveClosure(sys, "Tight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Disproved {
+		t.Fatalf("Tight should be violated by scramble picking 3: %s", rep)
+	}
+}
+
+func TestClosureUnknownPredicate(t *testing.T) {
+	sys := mustSystem(t, memaccessSrc)
+	if _, err := ProveClosure(sys, "NoSuch"); err == nil {
+		t.Fatal("want error for unknown predicate")
+	}
+}
+
+// TestSpanClosureDeclared proves the paper's span claim for the memory
+// access program: U1 = (z1 => present) contains S and is closed under the
+// program together with the pageout fault.
+func TestSpanClosureDeclared(t *testing.T) {
+	sys := mustSystem(t, memaccessSrc)
+	rep, err := ProveSpanClosure(sys, "S", "U1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("span U1 = %v, want proved\n%s", rep.Verdict, rep)
+	}
+}
+
+func TestSpanClosureInferred(t *testing.T) {
+	sys := mustSystem(t, `
+program spantest
+var x : 0..7
+var f : bool
+pred Inv :: x <= 2 & !f
+action inc   :: x < 2  -> x := x + 1
+action reset :: x == 2 -> x := 0
+fault hit  :: !f        -> f := true
+fault bump :: f & x < 5 -> x := x + 1
+`)
+	rep, err := ProveSpanClosure(sys, "Inv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("inferred span = %v, want proved\n%s", rep.Verdict, rep)
+	}
+	// The abstract reachability fixpoint should bound x by 5: the faults
+	// only bump x below 5, and no program action exceeds 2.
+	joined := strings.Join(rep.Span, "; ")
+	if !strings.Contains(joined, "x in") || strings.Contains(joined, "6") || strings.Contains(joined, "7") {
+		t.Fatalf("span should constrain x below 6: %q", rep.Span)
+	}
+}
+
+func TestSafenessMemaccess(t *testing.T) {
+	sys := mustSystem(t, memaccessSrc)
+	rep, err := ProveSafeness(sys, "U1", "Z1p", "X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("detector safeness = %v, want proved\n%s", rep.Verdict, rep)
+	}
+
+	// With U = true the witness predicate no longer entails X: z1 can hold
+	// while the page is out.
+	rep, err = ProveSafeness(sys, "true", "Z1p", "X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Disproved {
+		t.Fatalf("safeness without U1 = %v, want disproved\n%s", rep.Verdict, rep)
+	}
+}
+
+func TestConvergenceMemaccess(t *testing.T) {
+	sys := mustSystem(t, memaccessSrc)
+	rep, err := ProveConvergence(sys, "U1", "X1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("convergence U1 -> X1 = %v, want proved\n%s", rep.Verdict, rep)
+	}
+	if len(rep.Rank) == 0 {
+		t.Fatal("expected a synthesized ranking function in the report")
+	}
+}
+
+func TestConvergenceDeadlockDisproved(t *testing.T) {
+	sys := mustSystem(t, `
+program dead
+var x : 0..3
+pred Inv  :: x <= 3
+pred Goal :: x == 3
+action step :: x < 2 -> x := x + 1
+`)
+	rep, err := ProveConvergence(sys, "Inv", "Goal", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Disproved {
+		t.Fatalf("deadlock at x=2 should disprove convergence: %s", rep)
+	}
+	found := false
+	for _, a := range rep.Actions {
+		if a.Verdict == Disproved && strings.Contains(a.Counterexample, "x=2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want deadlock witness x=2 in report:\n%s", rep)
+	}
+}
+
+func TestConvergenceUserRank(t *testing.T) {
+	sys := mustSystem(t, `
+program count
+var x : 0..5
+pred Inv  :: x <= 5
+pred Goal :: x == 5
+action step :: x < 5 -> x := x + 1
+`)
+	rank, err := gcl.ParseExpr("5 - x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProveConvergence(sys, "Inv", "Goal", []gcl.Expr{rank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("convergence with rank 5-x = %v, want proved\n%s", rep.Verdict, rep)
+	}
+}
+
+// TestUnknownOnBudget: domains far beyond the enumeration budgets with an
+// opaque arithmetic predicate must come back Unknown (never a wrong
+// definite verdict), with a budget note.
+func TestUnknownOnBudget(t *testing.T) {
+	sys := mustSystem(t, `
+program wide
+var a : 0..300
+var b : 0..300
+var c : 0..300
+pred Odd :: (a * b + c) % 97 != 5
+action spin :: true -> a := a
+`)
+	rep, err := ProveClosure(sys, "Odd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown\n%s", rep.Verdict, rep)
+	}
+	if !strings.Contains(rep.Actions[0].Note, "budget") {
+		t.Fatalf("want a budget note, got %+v", rep.Actions[0])
+	}
+}
+
+// TestRingClosureScales is the asymptotic claim behind the fast paths: the
+// per-action obligations for ring n are discharged by unit refutation over
+// equality classes, so proof cost must not grow with the k^n state count.
+// Ring 7 with k=8 has 2,097,152 states — far beyond evalBudget — yet the
+// proof must still come back definite.
+func TestRingClosureScales(t *testing.T) {
+	sys := mustSystem(t, ringSrc(7, 8))
+	rep, err := ProveClosure(sys, "Legit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Proved {
+		t.Fatalf("ring7 closure = %v, want proved\n%s", rep.Verdict, rep)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		Code: CodeClosure, Subject: "closure of S", Verdict: Disproved,
+		Actions: []ActionResult{
+			{Action: "ok", Verdict: Proved},
+			{Action: "bad", Verdict: Disproved, Counterexample: "x=2"},
+		},
+		Rank:  []string{"5-x"},
+		Notes: []string{"extra"},
+	}
+	out := rep.String()
+	for _, want := range []string{"[DC100]", "DISPROVED", "action bad", "x=2", "ranking function <5-x>", "note: extra"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "action ok") {
+		t.Fatalf("proved actions should not be listed:\n%s", out)
+	}
+}

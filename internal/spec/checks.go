@@ -22,11 +22,28 @@ func (v *ClosureViolation) Error() string {
 		v.Predicate, v.Action, v.From, v.To)
 }
 
+// ClosureProver is an optional exploration-free fast path for CheckClosed:
+// it reports true only when it has proved that s is closed in p. Anything
+// short of a proof (including a disproof) returns false and CheckClosed
+// falls back to enumeration, so registering a prover can never change a
+// verdict — it only skips work. internal/prove registers one via Certify.
+type ClosureProver func(p *guarded.Program, s state.Predicate) bool
+
+var closureProver ClosureProver
+
+// RegisterClosureProver installs the fast path. Passing nil removes it.
+func RegisterClosureProver(f ClosureProver) { closureProver = f }
+
 // CheckClosed verifies "S is closed in p" (Section 2.2.1): p refines cl(S)
 // from true, i.e. every transition of p from a state satisfying S lands in a
-// state satisfying S. The check enumerates the entire state space, as the
-// definition quantifies over all computations.
+// state satisfying S. When a registered prover discharges the per-action
+// closure obligations the check returns immediately; otherwise it
+// enumerates the entire state space, as the definition quantifies over all
+// computations.
 func CheckClosed(p *guarded.Program, s state.Predicate) error {
+	if closureProver != nil && closureProver(p, s) {
+		return nil
+	}
 	var viol error
 	err := p.Schema().ForEachState(func(st state.State) bool {
 		if !s.Holds(st) {

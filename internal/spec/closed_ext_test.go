@@ -1,0 +1,53 @@
+// The fault package imports spec, so tests that compose faults live in the
+// external test package to break the cycle.
+package spec_test
+
+import (
+	"errors"
+	"testing"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/guarded"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// TestCheckClosedFaultComposed exercises the closure check on a
+// fault-composed program: the predicate is closed in the base program but a
+// fault action breaks it, and the witness must name the fault.
+func TestCheckClosedFaultComposed(t *testing.T) {
+	sch, err := state.NewSchema(state.IntVar("x", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := guarded.Det("inc",
+		state.Pred("x<4", func(s state.State) bool { return s.Get(0) < 4 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)+1) })
+	dec := guarded.Det("dec",
+		state.Pred("x>0", func(s state.State) bool { return s.Get(0) > 0 }),
+		func(s state.State) state.State { return s.With(0, s.Get(0)-1) })
+	p := guarded.MustProgram("counter", sch, inc)
+	atLeast2 := state.Pred("x≥2", func(s state.State) bool { return s.Get(0) >= 2 })
+
+	if err := spec.CheckClosed(p, atLeast2); err != nil {
+		t.Fatalf("x≥2 is closed in the base program: %v", err)
+	}
+	composed, _, err := fault.Compose(p, fault.NewClass("drop", dec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cerr := spec.CheckClosed(composed, atLeast2)
+	if cerr == nil {
+		t.Fatal("the composed program must break closure of x≥2")
+	}
+	var cv *spec.ClosureViolation
+	if !errors.As(cerr, &cv) {
+		t.Fatalf("composed failure is not a ClosureViolation: %v", cerr)
+	}
+	if cv.Action != "dec" {
+		t.Errorf("witness action = %q, want the fault action dec", cv.Action)
+	}
+	if cv.From.Get(0) != 2 || cv.To.Get(0) != 1 {
+		t.Errorf("witness step = %s -> %s, want the boundary step x=2 -> x=1", cv.From, cv.To)
+	}
+}

@@ -1,0 +1,92 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// TestClosureViolationWitness pins the witness a failing CheckClosed
+// returns: the offending action by name and the exact from/to states, which
+// downstream error messages and the dctl output lean on.
+func TestClosureViolationWitness(t *testing.T) {
+	p := counter(t, 5, dec())
+	err := CheckClosed(p, atLeast(2))
+	if err == nil {
+		t.Fatal("x≥2 is not closed under dec")
+	}
+	var cv *ClosureViolation
+	if !errors.As(err, &cv) {
+		t.Fatalf("error is not a ClosureViolation: %v", err)
+	}
+	if cv.Predicate != "x≥k" {
+		t.Errorf("Predicate = %q, want the predicate's name", cv.Predicate)
+	}
+	if cv.Action != "dec" {
+		t.Errorf("Action = %q, want dec", cv.Action)
+	}
+	// The only violating step from x≥2 is the boundary one: 2 -> 1.
+	if got := cv.From.Get(0); got != 2 {
+		t.Errorf("From state has x=%d, want the boundary state x=2", got)
+	}
+	if got := cv.To.Get(0); got != 1 {
+		t.Errorf("To state has x=%d, want x=1", got)
+	}
+}
+
+// TestClosureViolationFormatting pins the rendered message: predicate,
+// action, and both witness states must all appear.
+func TestClosureViolationFormatting(t *testing.T) {
+	sch := counter(t, 3, dec()).Schema()
+	v := &ClosureViolation{
+		Predicate: "S",
+		Action:    "pageout",
+		From:      sch.StateAt(2),
+		To:        sch.StateAt(1),
+	}
+	msg := v.Error()
+	for _, want := range []string{`closure of "S"`, `violated by action "pageout"`, v.From.String(), v.To.String()} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestCheckClosedProverHook checks the fast-path contract: a registered
+// prover that claims a proof short-circuits the check, one that declines
+// leaves the verdict to enumeration, and the hook never runs after
+// deregistration.
+func TestCheckClosedProverHook(t *testing.T) {
+	defer RegisterClosureProver(nil)
+
+	p := counter(t, 5, dec())
+	calls := 0
+	// A prover that declines everything: CheckClosed must still find the
+	// violation by enumeration.
+	RegisterClosureProver(func(_ *guarded.Program, _ state.Predicate) bool {
+		return false
+	})
+	if err := CheckClosed(p, atLeast(2)); err == nil {
+		t.Fatal("a declining prover must not change the verdict")
+	}
+	// A prover that (unsoundly, for the test) claims success: the check
+	// must return immediately with nil. This pins the short-circuit shape;
+	// soundness of the real prover is internal/prove's and difftest's job.
+	RegisterClosureProver(func(_ *guarded.Program, _ state.Predicate) bool {
+		calls++
+		return true
+	})
+	if err := CheckClosed(p, atLeast(2)); err != nil {
+		t.Fatalf("a proving hook must short-circuit: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("hook ran %d times, want 1", calls)
+	}
+	RegisterClosureProver(nil)
+	if err := CheckClosed(p, atLeast(2)); err == nil {
+		t.Fatal("after deregistration the enumeration verdict must return")
+	}
+}
