@@ -43,14 +43,18 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-diff runs the exploration-heavy benchmarks (the E-series graph
-# builds and the kernel step microbenchmarks) with allocation counting and
-# records the result in BENCH_kernel.json, so perf changes land with
-# before/after evidence (compare with `go run golang.org/x/perf/cmd/benchstat`
-# if available, or by eye — the file is plain `go test -json` output).
+# bench-diff runs the exploration-heavy benchmarks with allocation counting
+# and records the results: graph builds and kernel step microbenchmarks in
+# BENCH_kernel.json, graph-cache reuse and streaming-scan benchmarks in
+# BENCH_reuse.json. Perf changes land with before/after evidence (compare
+# with `go run golang.org/x/perf/cmd/benchstat` if available, or by eye —
+# the files are plain `go test -json` output). The reuse benchmarks include
+# the deliberately slow UncachedCheck baseline, so they run at -benchtime=3x.
 bench-diff:
 	$(GO) test -json -run='^$$' -bench='Build|Kernel' -benchmem . > BENCH_kernel.json
 	@grep -o '"Output":"[^"]*"' BENCH_kernel.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+	$(GO) test -json -run='^$$' -bench='CachedReuse|UncachedCheck|Scan' -benchtime=3x -benchmem . > BENCH_reuse.json
+	@grep -o '"Output":"[^"]*"' BENCH_reuse.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
 # profile regenerates the heaviest experiment with pprof instrumentation and
 # drops cpu.pprof/mem.pprof in the working tree for `go tool pprof`.
@@ -58,5 +62,6 @@ profile:
 	$(GO) run ./cmd/dcbench -cpuprofile cpu.pprof -memprofile mem.pprof E4 E9 > /dev/null
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
+# BENCH_*.json are recorded evidence, not build products; clean leaves them.
 clean:
-	rm -f dctl dcbench cpu.pprof mem.pprof BENCH_kernel.json
+	rm -f dctl dcbench cpu.pprof mem.pprof

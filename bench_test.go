@@ -280,6 +280,80 @@ func BenchmarkWeakestDetectionPredicate(b *testing.B) {
 	}
 }
 
+// --- graph reuse and streaming-scan benchmarks ---
+//
+// CachedReuse/UncachedCheck pairs measure the same tolerance verdict with
+// the process-wide graph cache warm and with it dropped before every
+// iteration; the ratio is what the memoized exploration layer buys a
+// checker pipeline that asks repeated questions about one system.
+
+func BenchmarkRing7CachedReuse(b *testing.B) {
+	c := tokenring.MustNew(7, 7).AsCorrector()
+	if err := c.Check(); err != nil { // warm the cache and the per-graph memos
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRing7UncachedCheck(b *testing.B) {
+	c := tokenring.MustNew(7, 7).AsCorrector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		explore.ResetCache()
+		if err := c.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanEarlyExit measures a failing counterexample hunt on the
+// streaming scanner: it stops at the first illegitimate state it visits,
+// long before the 823543-state space is enumerated, with no CSR assembly.
+// BenchmarkScanFullSweep is the bound: the same scan forced to visit
+// everything, still allocation-light compared to a Build.
+func BenchmarkScanEarlyExit(b *testing.B) {
+	sys := tokenring.MustNew(7, 7)
+	bad := state.Not(sys.Legitimate)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var witness state.State
+		stats, err := explore.Scan(sys.Ring, state.True, explore.ScanOptions{}, explore.Scanner{
+			Visit: func(s state.State) bool {
+				if bad.Holds(s) {
+					witness = sys.Ring.Schema().StateAt(s.Index())
+					return false
+				}
+				return true
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.Stopped || witness.IsZero() {
+			b.Fatal("hunt must stop at an illegitimate state")
+		}
+	}
+}
+
+func BenchmarkScanFullSweep(b *testing.B) {
+	sys := tokenring.MustNew(7, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := explore.Scan(sys.Ring, state.True, explore.ScanOptions{}, explore.Scanner{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.States != 823543 {
+			b.Fatalf("unexpected state count %d", stats.States)
+		}
+	}
+}
+
 // --- kernel microbenchmarks ---
 //
 // Step is the exploration hot loop: one call expands one state into its

@@ -6,10 +6,16 @@
 //	dcbench E4 E9      # run selected experiments
 //	dcbench -j 0       # explore state spaces with all CPUs
 //	dcbench -list      # list experiment ids
+//	dcbench -stats     # also print graph-cache counters after the run
 //
 // -j N sets the worker count for state-space exploration and simulation
 // campaigns (0 = all CPUs, default 1 = sequential); the tables are
 // identical at any setting.
+//
+// -stats prints the process-wide exploration cache counters (builds, hits,
+// misses, bypasses, evictions, resident graphs/states) after the selected
+// experiments complete — the observable proof that graph reuse is cutting
+// Build calls.
 //
 // -cpuprofile f and -memprofile f write pprof profiles of the run, so the
 // exploration hot path can be inspected with `go tool pprof` (see
@@ -40,6 +46,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dcbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	jobs := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
+	stats := fs.Bool("stats", false, "print graph-cache counters after the run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +99,11 @@ func run(args []string) error {
 		}
 		fmt.Println(table.Markdown())
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *stats {
+		s := explore.CacheStats()
+		fmt.Printf("graph cache: %d builds, %d hits, %d misses, %d bypasses, %d evictions, %d graphs resident (%d states)\n",
+			s.Builds, s.Hits, s.Misses, s.Bypasses, s.Evictions, s.Resident, s.States)
 	}
 	return nil
 }

@@ -32,7 +32,7 @@ func setParallelism(j int) {
 
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
-		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|simulate> <file.gcl> [flags]")
+		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|deadlock|simulate> <file.gcl> [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
@@ -46,10 +46,12 @@ func run(args []string, out, errOut io.Writer) error {
 		return runCheck(args[1:], out, errOut)
 	case "detects", "corrects":
 		return runComponent(cmd, args[1:], out, errOut)
+	case "deadlock":
+		return runDeadlock(args[1:], out, errOut)
 	case "simulate":
 		return runSimulate(args[1:], out, errOut)
 	default:
-		return usageErrorf("unknown command %q (want info, lint, prove, check, detects, corrects, or simulate)", cmd)
+		return usageErrorf("unknown command %q (want info, lint, prove, check, detects, corrects, deadlock, or simulate)", cmd)
 	}
 }
 
@@ -282,6 +284,46 @@ func runComponent(cmd string, args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(out, "%s %s-tolerant: HOLDS\n", header, kind)
 	}
 	return nil
+}
+
+// runDeadlock hunts for a reachable deadlock — a state with no enabled
+// program action — by streaming over the compiled kernel with early exit:
+// no transition graph is assembled, so the hunt stops the moment a witness
+// is found. With -faults the file's fault class is composed in (fault
+// actions unfair), matching the maximality rule of p ‖ F: fault actions
+// never rescue a deadlocked program.
+func runDeadlock(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("deadlock", flag.ContinueOnError)
+	fromFlag := fs.String("from", "", "initial predicate to search from (default true)")
+	faultsFlag := fs.Bool("faults", false, "compose the file's fault class in")
+	f, err := loadFile(fs, args, errOut)
+	if err != nil {
+		return err
+	}
+	from, err := predOf(f, *fromFlag, "from")
+	if err != nil {
+		return err
+	}
+	prog := f.Program
+	var fairMask []bool
+	if *faultsFlag && !f.Faults.Empty() {
+		if prog, fairMask, err = fault.Compose(f.Program, f.Faults); err != nil {
+			return err
+		}
+	}
+	trace, found, err := explore.FindDeadlock(prog, from, explore.ScanOptions{Fair: fairMask})
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Fprintf(out, "%s: no reachable deadlock\n", prog.Name())
+		return nil
+	}
+	fmt.Fprintf(out, "%s: deadlock reached in %d steps\n", prog.Name(), len(trace)-1)
+	for i, s := range trace {
+		fmt.Fprintf(out, "  %3d %s\n", i, s)
+	}
+	return errors.New("deadlock found")
 }
 
 func runSimulate(args []string, out, errOut io.Writer) error {

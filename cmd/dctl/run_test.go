@@ -133,6 +133,37 @@ func TestSimulate(t *testing.T) {
 	}
 }
 
+func TestDeadlockNone(t *testing.T) {
+	// memaccess always has an enabled action (restore, detect, or a read),
+	// so the hunt exhausts the space and reports no witness.
+	out := runOK(t, "deadlock", file)
+	if !strings.Contains(out, "no reachable deadlock") {
+		t.Errorf("deadlock output:\n%s", out)
+	}
+	out = runOK(t, "deadlock", file, "-faults")
+	if !strings.Contains(out, "no reachable deadlock") {
+		t.Errorf("deadlock -faults output:\n%s", out)
+	}
+}
+
+func TestDeadlockFound(t *testing.T) {
+	const countdown = "testdata/countdown.gcl"
+	// From Top the only run is 3 -> 2 -> 1 -> 0, halting at Zero.
+	out := runErr(t, "deadlock", countdown, "-from", "Top")
+	if !strings.Contains(out, "deadlock reached in 3 steps") {
+		t.Errorf("deadlock trace output:\n%s", out)
+	}
+	if !strings.Contains(out, "(x=0)") {
+		t.Errorf("trace should end at x=0:\n%s", out)
+	}
+	// Fault actions never rescue a deadlocked program (p ‖ F is only
+	// p-maximal), so composing the bump fault keeps the verdict.
+	out = runErr(t, "deadlock", countdown, "-from", "Top", "-faults")
+	if !strings.Contains(out, "deadlock reached in 3 steps") {
+		t.Errorf("deadlock -faults trace output:\n%s", out)
+	}
+}
+
 func TestSimulateBadInit(t *testing.T) {
 	runErr(t, "simulate", file, "-init", "present")
 	runErr(t, "simulate", file, "-init", "present=zzz")

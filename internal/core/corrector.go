@@ -42,12 +42,17 @@ func (c Corrector) Check() error {
 	if componentProver != nil && componentProver("corrector", c.C, c.Z, c.X, c.U) {
 		return nil
 	}
-	if err := spec.CheckClosed(c.C, c.U); err != nil {
-		return &ConditionError{Component: c.String(), Condition: "Closure", Cause: err}
-	}
-	g, err := explore.Build(c.C, c.U, explore.Options{})
+	g, err := explore.Shared(c.C, c.U, explore.Options{})
 	if err != nil {
+		// Historical error precedence: closure (or enumeration) problems
+		// are reported before the build failure.
+		if cerr := spec.CheckClosed(c.C, c.U); cerr != nil {
+			return &ConditionError{Component: c.String(), Condition: "Closure", Cause: cerr}
+		}
 		return err
+	}
+	if cerr := spec.CheckClosedOn(g, c.U); cerr != nil {
+		return &ConditionError{Component: c.String(), Condition: "Closure", Cause: cerr}
 	}
 	reach := g.Reach(g.SetOf(c.U), nil)
 	if err := c.detectorView().checkOn(g, reach, true); err != nil {
@@ -62,17 +67,15 @@ func (c Corrector) Check() error {
 // the reachable set: (a) no reachable step falsifies X (X is closed along
 // every computation), and (b) every fair maximal computation reaches X.
 func (c Corrector) checkConvergence(g *explore.Graph, reach *explore.Bitset) error {
+	xSet := g.SetOf(c.X)
 	var stepErr error
-	reach.ForEach(func(id int) bool {
-		s := g.State(id)
-		if !c.X.Holds(s) {
-			return true
-		}
+	xReach := xSet.Clone()
+	xReach.Intersect(reach)
+	xReach.ForEach(func(id int) bool {
 		for _, e := range g.Out(id) {
-			t := g.State(e.To)
-			if !c.X.Holds(t) {
+			if !xSet.Has(e.To) {
 				stepErr = fmt.Errorf("step %s -> %s (action %s) falsifies X",
-					s, t, g.ActionName(e.Action))
+					g.State(id), g.State(e.To), g.ActionName(e.Action))
 				return false
 			}
 		}
@@ -81,13 +84,8 @@ func (c Corrector) checkConvergence(g *explore.Graph, reach *explore.Bitset) err
 	if stepErr != nil {
 		return &ConditionError{Component: c.String(), Condition: "Convergence", Cause: stepErr}
 	}
-	goal := explore.NewBitset(g.NumNodes())
-	reach.ForEach(func(id int) bool {
-		if c.X.Holds(g.State(id)) {
-			goal.Add(id)
-		}
-		return true
-	})
+	goal := xSet.Clone()
+	goal.Intersect(reach)
 	if v := g.CheckEventually(reach, goal); v != nil {
 		return &ConditionError{Component: c.String(), Condition: "Convergence", Cause: v}
 	}
@@ -136,15 +134,14 @@ func (c Corrector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
 }
 
 func (c Corrector) checkXClosure(g *explore.Graph, reach *explore.Bitset) error {
+	xSet := g.SetOf(c.X)
 	var stepErr error
-	reach.ForEach(func(id int) bool {
-		s := g.State(id)
-		if !c.X.Holds(s) {
-			return true
-		}
+	xReach := xSet.Clone()
+	xReach.Intersect(reach)
+	xReach.ForEach(func(id int) bool {
 		for _, e := range g.Out(id) {
-			if !c.X.Holds(g.State(e.To)) {
-				stepErr = fmt.Errorf("step %s -> %s falsifies X", s, g.State(e.To))
+			if !xSet.Has(e.To) {
+				stepErr = fmt.Errorf("step %s -> %s falsifies X", g.State(id), g.State(e.To))
 				return false
 			}
 		}
@@ -160,7 +157,7 @@ func (c Corrector) checkXClosure(g *explore.Graph, reach *explore.Bitset) error 
 // fault span, converges to the set of states from which the fault-free
 // corrector specification is satisfied.
 func (c Corrector) checkNonmaskingTolerant(span *fault.Span) error {
-	g, err := explore.Build(c.C, span.Predicate, explore.Options{})
+	g, err := explore.Shared(c.C, span.Predicate, explore.Options{})
 	if err != nil {
 		return err
 	}
@@ -178,28 +175,24 @@ func (c Corrector) checkNonmaskingTolerant(span *fault.Span) error {
 // further restricted so that X is never falsified and Convergence holds.
 func (c Corrector) GoodRegion(g *explore.Graph) *explore.Bitset {
 	region := c.detectorView().GoodRegion(g)
+	xSet := g.SetOf(c.X)
 	// Remove states with X-falsifying steps, then re-close.
-	for id := 0; id < g.NumNodes(); id++ {
-		if !region.Has(id) || !c.X.Holds(g.State(id)) {
-			continue
-		}
+	xRegion := xSet.Clone()
+	xRegion.Intersect(region)
+	xRegion.ForEach(func(id int) bool {
 		for _, e := range g.Out(id) {
-			if !c.X.Holds(g.State(e.To)) {
+			if !xSet.Has(e.To) {
 				region.Remove(id)
 				break
 			}
 		}
-	}
+		return true
+	})
 	region = g.LargestClosedSubset(region)
 	// Prune states from which X is not eventually reached, to a fixpoint.
 	for {
-		goal := explore.NewBitset(g.NumNodes())
-		region.ForEach(func(id int) bool {
-			if c.X.Holds(g.State(id)) {
-				goal.Add(id)
-			}
-			return true
-		})
+		goal := xSet.Clone()
+		goal.Intersect(region)
 		violating := -1
 		region.ForEach(func(id int) bool {
 			single := explore.NewBitset(g.NumNodes())

@@ -68,12 +68,18 @@ func (d Detector) Check() error {
 	if componentProver != nil && componentProver("detector", d.D, d.Z, d.X, d.U) {
 		return nil
 	}
-	if err := spec.CheckClosed(d.D, d.U); err != nil {
-		return &ConditionError{Component: d.String(), Condition: "Closure", Cause: err}
-	}
-	g, err := explore.Build(d.D, d.U, explore.Options{})
+	g, err := explore.Shared(d.D, d.U, explore.Options{})
 	if err != nil {
+		// Preserve the historical error precedence: a closure problem (or
+		// the enumeration error explaining why neither scan nor build can
+		// run) is reported before the build failure.
+		if cerr := spec.CheckClosed(d.D, d.U); cerr != nil {
+			return &ConditionError{Component: d.String(), Condition: "Closure", Cause: cerr}
+		}
 		return err
+	}
+	if cerr := spec.CheckClosedOn(g, d.U); cerr != nil {
+		return &ConditionError{Component: d.String(), Condition: "Closure", Cause: cerr}
 	}
 	reach := g.Reach(g.SetOf(d.U), nil)
 	return d.checkOn(g, reach, true)
@@ -82,36 +88,32 @@ func (d Detector) Check() error {
 // checkOn verifies the detector conditions on a prebuilt graph restricted to
 // the given reachable set. When progress is false only the safety conditions
 // (Safeness, Stability) are checked — that is the fail-safe tolerance
-// specification of 'Z detects X'.
+// specification of 'Z detects X'. All three conditions run on the graph's
+// memoized predicate bitsets: repeated checks on one graph cost word-level
+// set operations plus one memoized liveness query, not per-state predicate
+// evaluations.
 func (d Detector) checkOn(g *explore.Graph, reach *explore.Bitset, progress bool) error {
-	// Safeness: Z ⇒ X at every reachable state.
-	var bad state.State
-	found := false
-	reach.ForEach(func(id int) bool {
-		s := g.State(id)
-		if d.Z.Holds(s) && !d.X.Holds(s) {
-			bad, found = s, true
-			return false
-		}
-		return true
-	})
-	if found {
+	zSet := g.SetOf(d.Z)
+	xSet := g.SetOf(d.X)
+	// Safeness: Z ⇒ X at every reachable state. The witness is the lowest-id
+	// violating state, exactly as the previous per-state sweep reported.
+	viol := zSet.Clone()
+	viol.Subtract(xSet)
+	viol.Intersect(reach)
+	if id := viol.Any(); id >= 0 {
 		return &ConditionError{Component: d.String(), Condition: "Safeness",
-			Cause: fmt.Errorf("Z ∧ ¬X at %s", bad)}
+			Cause: fmt.Errorf("Z ∧ ¬X at %s", g.State(id))}
 	}
 	// Stability: every reachable step from a Z-state satisfies Z ∨ ¬X at
 	// the target.
 	var stabErr error
-	reach.ForEach(func(id int) bool {
-		s := g.State(id)
-		if !d.Z.Holds(s) {
-			return true
-		}
+	zReach := zSet.Clone()
+	zReach.Intersect(reach)
+	zReach.ForEach(func(id int) bool {
 		for _, e := range g.Out(id) {
-			t := g.State(e.To)
-			if !d.Z.Holds(t) && d.X.Holds(t) {
+			if !zSet.Has(e.To) && xSet.Has(e.To) {
 				stabErr = fmt.Errorf("step %s -> %s (action %s) falsifies Z while X holds",
-					s, t, g.ActionName(e.Action))
+					g.State(id), g.State(e.To), g.ActionName(e.Action))
 				return false
 			}
 		}
@@ -125,15 +127,11 @@ func (d Detector) checkOn(g *explore.Graph, reach *explore.Bitset, progress bool
 	}
 	// Progress: from every reachable X ∧ ¬Z state, every fair maximal
 	// computation reaches Z ∨ ¬X.
-	start := explore.NewBitset(g.NumNodes())
-	reach.ForEach(func(id int) bool {
-		s := g.State(id)
-		if d.X.Holds(s) && !d.Z.Holds(s) {
-			start.Add(id)
-		}
-		return true
-	})
-	goal := g.SetOf(state.Or(d.Z, state.Not(d.X)))
+	start := xSet.Clone()
+	start.Subtract(zSet)
+	start.Intersect(reach)
+	goal := xSet.Complement()
+	goal.Union(zSet)
 	if v := g.CheckEventually(start, goal); v != nil {
 		return &ConditionError{Component: d.String(), Condition: "Progress", Cause: v}
 	}
@@ -173,7 +171,7 @@ func (d Detector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
 }
 
 func (d Detector) checkNonmaskingTolerant(span *fault.Span) error {
-	g, err := explore.Build(d.D, span.Predicate, explore.Options{})
+	g, err := explore.Shared(d.D, span.Predicate, explore.Options{})
 	if err != nil {
 		return err
 	}
@@ -192,49 +190,38 @@ func (d Detector) checkNonmaskingTolerant(span *fault.Span) error {
 // with a suffix entering G satisfies the detector specification from that
 // point on.
 func (d Detector) GoodRegion(g *explore.Graph) *explore.Bitset {
-	// Locally safe states: Safeness holds.
-	safe := explore.NewBitset(g.NumNodes())
-	for id := 0; id < g.NumNodes(); id++ {
-		s := g.State(id)
-		if !d.Z.Holds(s) || d.X.Holds(s) {
-			safe.Add(id)
-		}
-	}
+	zSet := g.SetOf(d.Z)
+	xSet := g.SetOf(d.X)
+	// Locally safe states: Safeness holds (¬Z ∨ X).
+	safe := zSet.Clone()
+	safe.Subtract(xSet)
+	safe = safe.Complement()
 	// Remove sources of stability-violating steps, then close.
-	for id := 0; id < g.NumNodes(); id++ {
-		if !safe.Has(id) {
-			continue
-		}
-		s := g.State(id)
-		if !d.Z.Holds(s) {
-			continue
-		}
+	badTarget := xSet.Clone()
+	badTarget.Subtract(zSet) // ¬Z ∧ X
+	stabSrc := zSet.Clone()
+	stabSrc.Intersect(safe)
+	stabSrc.ForEach(func(id int) bool {
 		for _, e := range g.Out(id) {
-			t := g.State(e.To)
-			if !d.Z.Holds(t) && d.X.Holds(t) {
+			if badTarget.Has(e.To) {
 				safe.Remove(id)
 				break
 			}
 		}
-	}
+		return true
+	})
 	region := g.LargestClosedSubset(safe)
 	// Prune states where Progress fails, iterating to a fixpoint (removing
 	// a state can only shrink the closed region further).
 	for {
-		goal := explore.NewBitset(g.NumNodes())
-		region.ForEach(func(id int) bool {
-			s := g.State(id)
-			if d.Z.Holds(s) || !d.X.Holds(s) {
-				goal.Add(id)
-			}
-			return true
-		})
+		goal := xSet.Complement()
+		goal.Union(zSet)
+		goal.Intersect(region)
 		violating := -1
-		region.ForEach(func(id int) bool {
-			s := g.State(id)
-			if !d.X.Holds(s) || d.Z.Holds(s) {
-				return true
-			}
+		cand := xSet.Clone()
+		cand.Subtract(zSet)
+		cand.Intersect(region)
+		cand.ForEach(func(id int) bool {
 			single := explore.NewBitset(g.NumNodes())
 			single.Add(id)
 			if v := g.CheckEventually(single, goal); v != nil {

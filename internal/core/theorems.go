@@ -70,7 +70,7 @@ func refinesSafetyFrom(p *guarded.Program, f fault.Class, sspec spec.Safety, fro
 // reaches `goal` ("p refines (true)*(p|goal) from `from`" when goal is
 // closed in p).
 func convergesFrom(p *guarded.Program, from, goal state.Predicate) error {
-	g, err := explore.Build(p, from, explore.Options{})
+	g, err := explore.Shared(p, from, explore.Options{})
 	if err != nil {
 		return err
 	}
@@ -159,7 +159,7 @@ func buildActionDetectors(p, pp *guarded.Program, sspec spec.Safety, s state.Pre
 		}
 		universe = span.Predicate
 	}
-	g, err := explore.Build(pp, universe, explore.Options{})
+	g, err := explore.Shared(pp, universe, explore.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +221,7 @@ func Theorem4_1(p, pp *guarded.Program, prob spec.Problem, s, t state.Predicate)
 	if !res.hypothesis("p' refines (true)*(p'|S) from T", convergesFrom(pp, t, sOnPP)) {
 		return res
 	}
-	g, err := explore.Build(pp, t, explore.Options{})
+	g, err := explore.Shared(pp, t, explore.Options{})
 	if err != nil {
 		res.Err = err
 		return res
@@ -306,7 +306,7 @@ func Theorem5_2(p *guarded.Program, prob spec.Problem, s, t state.Predicate) The
 		return res
 	}
 	// Conclusion: p refines SPEC itself from T.
-	g, err := explore.Build(p, t, explore.Options{})
+	g, err := explore.Shared(p, t, explore.Options{})
 	if err != nil {
 		res.Err = err
 		return res

@@ -93,7 +93,7 @@ func E12Simulation() (Table, error) {
 	}
 	for _, c := range campaigns {
 		c := c
-		res, err := runtime.Campaign{
+		camp := runtime.Campaign{
 			Program: c.prog,
 			Config:  runtime.Config{Seed: 23, MaxSteps: 400, Faults: c.faults, FaultBudget: 2},
 			Initial: func(int) state.State { return c.initial() },
@@ -108,9 +108,23 @@ func E12Simulation() (Table, error) {
 				return ms
 			},
 			Runs: 200,
-		}.Execute()
+		}
+		res, err := camp.Execute()
 		if err != nil {
 			return t, err
+		}
+		// Cross-check observed deadlocks against the model: every halted run
+		// must correspond to a reachable state of p ‖ F with no enabled
+		// program action. The probe over-approximates fault occurrences, so
+		// only this direction is checkable.
+		if res.Deadlocks > 0 {
+			first := c.initial()
+			initPred := state.Pred("init:"+c.name, func(st state.State) bool { return st.Equal(first) })
+			if _, found, perr := camp.ProbeDeadlock(initPred); perr != nil {
+				return t, fmt.Errorf("E12 %s: deadlock probe: %w", c.name, perr)
+			} else if !found {
+				return t, fmt.Errorf("E12 %s: %d simulated deadlocks but the model scan finds none", c.name, res.Deadlocks)
+			}
 		}
 		violCount := 0
 		for name, n := range res.ViolationCounts {

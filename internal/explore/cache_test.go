@@ -1,0 +1,274 @@
+package explore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Counter tests read process-global cache statistics, so they must not run
+// in parallel with each other; none of them calls t.Parallel, and they
+// measure deltas so raw Build calls from other tests can't skew them.
+
+func TestSharedReturnsCachedGraph(t *testing.T) {
+	ResetCache()
+	p := counter(t, 6, inc(6))
+	before := CacheStats()
+	g1, err := Shared(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Shared(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("second Shared must return the cached graph pointer")
+	}
+	after := CacheStats()
+	if d := after.Builds - before.Builds; d != 1 {
+		t.Errorf("builds = %d, want 1", d)
+	}
+	if d := after.Misses - before.Misses; d != 1 {
+		t.Errorf("misses = %d, want 1", d)
+	}
+	if d := after.Hits - before.Hits; d != 1 {
+		t.Errorf("hits = %d, want 1", d)
+	}
+}
+
+func TestSharedKeyDistinguishesRequests(t *testing.T) {
+	ResetCache()
+	p := counter(t, 6, inc(6))
+	full, err := Shared(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge2 := state.Pred("x ge 2", func(s state.State) bool { return s.Get(0) >= 2 })
+	sub, err := Shared(p, ge2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == sub {
+		t.Error("different init predicates must not share a cache entry")
+	}
+	if full.NumNodes() != 6 || sub.NumNodes() != 4 {
+		t.Errorf("nodes = %d, %d; want 6, 4", full.NumNodes(), sub.NumNodes())
+	}
+	// Same program + init with a different fairness mask is a different key.
+	unfair, err := Shared(p, state.True, Options{Fair: []bool{false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfair == full {
+		t.Error("fairness mask must be part of the cache key")
+	}
+	// An all-true mask is semantically nil and must hit the nil-mask entry.
+	allFair, err := Shared(p, state.True, Options{Fair: []bool{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allFair != full {
+		t.Error("all-true fairness mask must normalize to the unmasked key")
+	}
+	// A second program with identical text is a different identity.
+	q := counter(t, 6, inc(6))
+	qg, err := Shared(q, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg == full {
+		t.Error("cache identity must follow the program pointer")
+	}
+}
+
+func TestSharedBypassesUnnamedInit(t *testing.T) {
+	ResetCache()
+	p := counter(t, 5, inc(5))
+	anon := state.Pred("", func(s state.State) bool { return true })
+	before := CacheStats()
+	g1, err := Shared(p, anon, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Shared(p, anon, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Error("unnamed init predicates must bypass the cache (fresh build each call)")
+	}
+	after := CacheStats()
+	if d := after.Bypasses - before.Bypasses; d != 2 {
+		t.Errorf("bypasses = %d, want 2", d)
+	}
+	if d := after.Builds - before.Builds; d != 2 {
+		t.Errorf("builds = %d, want 2", d)
+	}
+	if _, ok := Peek(p, anon, Options{}); ok {
+		t.Error("Peek must miss for unnamed init predicates")
+	}
+}
+
+func TestSharedFailedBuildNotCached(t *testing.T) {
+	ResetCache()
+	p := counter(t, 8, inc(8))
+	before := CacheStats()
+	for i := 0; i < 2; i++ {
+		if _, err := Shared(p, state.True, Options{MaxStates: 3}); !errors.Is(err, ErrStateBound) {
+			t.Fatalf("attempt %d: want ErrStateBound, got %v", i, err)
+		}
+	}
+	after := CacheStats()
+	// Both attempts must miss and rebuild: a failed build never poisons the
+	// cache with either a graph or a sticky error.
+	if d := after.Misses - before.Misses; d != 2 {
+		t.Errorf("misses = %d, want 2", d)
+	}
+	if d := after.Builds - before.Builds; d != 2 {
+		t.Errorf("builds = %d, want 2", d)
+	}
+	if _, ok := Peek(p, state.True, Options{MaxStates: 3}); ok {
+		t.Error("failed build must not be resident")
+	}
+	// The bound is part of the key: the bounded failure must not shadow the
+	// unbounded build, and the unbounded graph must not serve bounded
+	// requests that are required to fail.
+	if _, err := Shared(p, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Shared(p, state.True, Options{MaxStates: 3}); !errors.Is(err, ErrStateBound) {
+		t.Errorf("bounded request after unbounded build: want ErrStateBound, got %v", err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	ResetCache()
+	defer SetCacheBudget(SetCacheBudget(20))
+	a := counter(t, 12, inc(12))
+	b := counter(t, 8, inc(8))
+	if _, err := Shared(a, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Shared(b, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// 12 + 8 = 20 fits exactly; both resident.
+	s := CacheStats()
+	if s.Resident != 2 || s.States != 20 {
+		t.Fatalf("resident = %d (%d states), want 2 (20)", s.Resident, s.States)
+	}
+	// A third graph forces the least-recently-used one (a) out.
+	c := counter(t, 5, inc(5))
+	if _, err := Shared(c, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Peek(a, state.True, Options{}); ok {
+		t.Error("least-recently-used graph must be evicted")
+	}
+	if _, ok := Peek(b, state.True, Options{}); !ok {
+		t.Error("more recently used graph must survive")
+	}
+	s = CacheStats()
+	if s.States > 20 {
+		t.Errorf("resident states = %d exceed the budget", s.States)
+	}
+	if s.Evictions == 0 {
+		t.Error("eviction counter must advance")
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	ResetCache()
+	defer SetCacheBudget(SetCacheBudget(20))
+	a := counter(t, 12, inc(12))
+	b := counter(t, 8, inc(8))
+	if _, err := Shared(a, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Shared(b, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a: now b is least recently used and must be the victim.
+	if _, err := Shared(a, state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Shared(counter(t, 5, inc(5)), state.True, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Peek(a, state.True, Options{}); !ok {
+		t.Error("recently touched graph must survive eviction")
+	}
+	if _, ok := Peek(b, state.True, Options{}); ok {
+		t.Error("untouched graph must be the eviction victim")
+	}
+}
+
+func TestCacheOversizedGraphNotRetained(t *testing.T) {
+	ResetCache()
+	defer SetCacheBudget(SetCacheBudget(4))
+	p := counter(t, 10, inc(10))
+	g, err := Shared(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", g.NumNodes())
+	}
+	if _, ok := Peek(p, state.True, Options{}); ok {
+		t.Error("graph larger than the whole budget must not be retained")
+	}
+}
+
+func TestSharedConcurrent(t *testing.T) {
+	ResetCache()
+	ps := []*guarded.Program{
+		counter(t, 7, inc(7)),
+		counter(t, 9, inc(9)),
+		counter(t, 11, cycle(11)),
+	}
+	before := CacheStats()
+	var wg sync.WaitGroup
+	results := make([][]*Graph, 16)
+	for w := 0; w < 16; w++ {
+		w := w
+		results[w] = make([]*Graph, len(ps))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				for i, pp := range ps {
+					g, err := Shared(pp, state.True, Options{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if results[w][i] == nil {
+						results[w][i] = g
+					} else if results[w][i] != g {
+						t.Errorf("worker %d saw two graphs for program %d", w, i)
+						return
+					}
+					// Exercise the shared per-graph memos under contention.
+					g.Reach(g.All(), nil)
+					g.SetOf(state.True)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	after := CacheStats()
+	if d := after.Builds - before.Builds; d != int64(len(ps)) {
+		t.Errorf("builds = %d, want %d (one per program; concurrent requests must coalesce)", d, len(ps))
+	}
+	for i := range ps {
+		for w := 1; w < 16; w++ {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("workers disagree on the graph for program %d", i)
+			}
+		}
+	}
+}

@@ -81,12 +81,13 @@ func (g *Graph) FairCycle(within *Bitset) []int {
 }
 
 // fairSCCs computes SCCs of the subgraph with only fair-action edges,
-// running Tarjan over a filtered CSR view (no in-lists needed).
+// running Tarjan over a filtered CSR view (no in-lists needed). The view is
+// built once per graph and the decompositions are memoized by `within`.
 func (g *Graph) fairSCCs(within *Bitset) [][]int {
-	filtered := g.filterEdges(func(from int, e Edge) bool {
-		return (within == nil || within.Has(from)) && g.fair[e.Action]
-	}, false)
-	return filtered.SCCs(within)
+	if g.memo != nil {
+		return g.memoFairSCCs(within)
+	}
+	return g.fairEdgeView().SCCs(within)
 }
 
 func (g *Graph) hasInternalFairEdge(member *Bitset, comp []int) bool {
@@ -142,6 +143,13 @@ func (g *Graph) sccAdmitsFairRun(member *Bitset, comp []int) bool {
 // cycle there (reachable via any edges, recurring via fair edges only —
 // unfair fault actions occur finitely often, Assumption 2).
 func (g *Graph) CheckEventually(from, goal *Bitset) *LivenessViolation {
+	if g.memo != nil {
+		return g.memoCheckEventually(from, goal)
+	}
+	return g.computeCheckEventually(from, goal)
+}
+
+func (g *Graph) computeCheckEventually(from, goal *Bitset) *LivenessViolation {
 	avoid := goal
 	start := from.Clone()
 	start.Subtract(avoid)

@@ -6,6 +6,9 @@ package explore
 // that never consult In (the fairness SCC pass) skip it.
 func (g *Graph) filterEdges(keep func(from int, e Edge) bool, withIn bool) *Graph {
 	ng := *g
+	// The view's edge set differs, so none of the parent's memoized
+	// artifacts apply to it; give it a fresh memo rather than an alias.
+	ng.memo = newGraphMemo()
 	off := make([]uint32, g.n+1)
 	total := uint32(0)
 	for v := 0; v < g.n; v++ {
@@ -49,6 +52,9 @@ func (g *Graph) FilterEdges(keep func(from int, e Edge) bool) *Graph {
 // fair action" and the fair set just changed.
 func (g *Graph) RestrictFair(keep func(action int) bool) *Graph {
 	ng := *g
+	// Fairness feeds the deadlock set, fair SCCs, and liveness verdicts;
+	// the view needs its own memo.
+	ng.memo = newGraphMemo()
 	fair := make([]bool, g.numActs)
 	for a := range fair {
 		fair[a] = g.fair[a] && keep(a)

@@ -44,6 +44,13 @@ type Graph struct {
 
 	enabled []*Bitset // enabled[a]: nodes where action a's guard holds
 	dead    *Bitset   // nodes with no enabled fair action
+
+	// memo caches derived artifacts (predicate bitsets, reachability,
+	// liveness verdicts, fair SCCs) so repeated obligations on one graph
+	// stop recomputing them. A pointer so that filtered views — which are
+	// shallow copies with different edges or fairness — can swap in a fresh
+	// one without racing the parent. nil disables memoization.
+	memo *graphMemo
 }
 
 // Options configure graph construction.
@@ -86,6 +93,7 @@ var ErrStateBound = fmt.Errorf("explore: state bound exceeded")
 // others go through the kernel's closure adapter. Both produce exactly the
 // transitions Program.Successors would.
 func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
+	buildCount.Add(1)
 	if err := p.Schema().Indexable(); err != nil {
 		return nil, err
 	}
@@ -99,7 +107,7 @@ func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, erro
 	if len(fair) != p.NumActions() {
 		return nil, fmt.Errorf("explore: fairness mask has %d entries for %d actions", len(fair), p.NumActions())
 	}
-	k := guarded.Compile(p)
+	k := sharedKernel(p)
 	var (
 		exps []expansion
 		err  error
@@ -193,8 +201,17 @@ func (g *Graph) FairAction(a int) bool { return g.fair[a] }
 // ActionName returns the name of action a in the source program.
 func (g *Graph) ActionName(a int) string { return g.prog.Action(a).Name }
 
-// SetOf returns the node set satisfying the predicate.
+// SetOf returns the node set satisfying the predicate. Results for named
+// predicates are memoized per graph (see memoizablePredName for the naming
+// contract); the returned set is always the caller's to mutate.
 func (g *Graph) SetOf(p state.Predicate) *Bitset {
+	if b, ok := g.memoSetOf(p); ok {
+		return b
+	}
+	return g.computeSetOf(p)
+}
+
+func (g *Graph) computeSetOf(p state.Predicate) *Bitset {
 	b := NewBitset(g.n)
 	for id := 0; id < g.n; id++ {
 		if p.Holds(g.State(id)) {
@@ -232,7 +249,17 @@ func (g *Graph) EnabledSet(a int) *Bitset { return g.enabled[a] }
 // Reach returns the set of nodes reachable from `from` (inclusive) along
 // edges whose source and target stay inside `within`; pass nil for within to
 // allow all nodes. Only edges from nodes inside within are followed.
+// Unrestricted queries (within == nil) are memoized per graph — checkers
+// repeat them with the same start set — and the returned set is always the
+// caller's to mutate.
 func (g *Graph) Reach(from *Bitset, within *Bitset) *Bitset {
+	if within == nil && g.memo != nil {
+		return g.memoReach(from)
+	}
+	return g.computeReach(from, within)
+}
+
+func (g *Graph) computeReach(from *Bitset, within *Bitset) *Bitset {
 	seen := NewBitset(g.n)
 	var stack []int
 	from.ForEach(func(id int) bool {
@@ -347,7 +374,7 @@ func csrFromLists(out [][]Edge) ([]uint32, []Edge) {
 // the graph algorithms on arbitrary shapes. Every action is enabled
 // everywhere and nothing is deadlocked.
 func newAdjacencyGraph(out [][]Edge, fair []bool) *Graph {
-	g := &Graph{n: len(out), fair: fair, numActs: len(fair)}
+	g := &Graph{n: len(out), fair: fair, numActs: len(fair), memo: newGraphMemo()}
 	g.outOff, g.outEdges = csrFromLists(out)
 	g.buildIn()
 	g.enabled = make([]*Bitset, g.numActs)

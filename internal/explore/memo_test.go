@@ -1,0 +1,141 @@
+package explore
+
+import (
+	"testing"
+
+	"detcorr/internal/state"
+)
+
+func TestMemoizableName(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"true", true},
+		{"x == 0", true},
+		{"x < 3", true}, // comparison operators are not placeholders
+		{"¬(Z) ∧ X", true},
+		{"", false},
+		{"<anonymous>", false},
+		{"¬(<safety>)", false},
+		{"<problem> ∧ Z", false},
+		{"<faults>", false},
+	}
+	for _, tc := range cases {
+		if got := MemoizableName(tc.name); got != tc.want {
+			t.Errorf("MemoizableName(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSetOfReturnsPrivateClones: SetOf callers routinely mutate their result
+// (Subtract, Union, …); the memo must hand out clones, never the stored set.
+func TestSetOfReturnsPrivateClones(t *testing.T) {
+	p := counter(t, 8, inc(8))
+	g, err := Build(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := state.Pred("x even", func(s state.State) bool { return s.Get(0)%2 == 0 })
+	a := g.SetOf(even)
+	if a.Count() != 4 {
+		t.Fatalf("count = %d, want 4", a.Count())
+	}
+	a.Subtract(a) // caller trashes its copy
+	b := g.SetOf(even)
+	if b.Count() != 4 {
+		t.Errorf("memoized set corrupted by caller mutation: count = %d, want 4", b.Count())
+	}
+	if a == b {
+		t.Error("SetOf must return distinct bitsets per call")
+	}
+}
+
+// TestReachMemoClonesKeysAndResults: both the stored key and the returned set
+// must be clones, so neither input mutation after the call nor result
+// mutation can move a memo entry under later lookups.
+func TestReachMemoClonesKeysAndResults(t *testing.T) {
+	p := counter(t, 8, inc(8))
+	g, err := Build(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := g.SetOf(state.Pred("x ge 5", func(s state.State) bool { return s.Get(0) >= 5 }))
+	r1 := g.Reach(from, nil)
+	if r1.Count() != 3 { // 5, 6, 7
+		t.Fatalf("reach count = %d, want 3", r1.Count())
+	}
+	from.Subtract(from) // mutate the input after the call
+	r1.Subtract(r1)     // and the result
+	from2 := g.SetOf(state.Pred("x ge 5", func(s state.State) bool { return s.Get(0) >= 5 }))
+	r2 := g.Reach(from2, nil)
+	if r2.Count() != 3 {
+		t.Errorf("memoized reach corrupted: count = %d, want 3", r2.Count())
+	}
+	// Restricted (within != nil) queries bypass the memo entirely and still
+	// agree with a fresh unrestricted query over the full set.
+	r3 := g.Reach(from2, g.All())
+	if !bitsetEqual(r2, r3) {
+		t.Error("within-restricted reach over the full set must equal the memoized result")
+	}
+}
+
+func TestMemoizeComputesOnce(t *testing.T) {
+	p := counter(t, 4, inc(4))
+	g, err := Build(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v := g.Memoize("test:answer", func() any {
+			calls++
+			return 42
+		})
+		if v.(int) != 42 {
+			t.Fatalf("value = %v, want 42", v)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	// Distinct keys get distinct slots.
+	v := g.Memoize("test:other", func() any { return "x" })
+	if v.(string) != "x" {
+		t.Errorf("second key returned %v", v)
+	}
+}
+
+// TestFilteredViewsGetFreshMemos: a view with different edges or fairness
+// must not serve the parent's memoized artifacts (and vice versa).
+func TestFilteredViewsGetFreshMemos(t *testing.T) {
+	p := counter(t, 6, inc(6), cycle(6))
+	g, err := Build(p, state.True, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := g.SetOf(state.Pred("x eq 0", func(s state.State) bool { return s.Get(0) == 0 }))
+	full := g.Reach(zero, nil)
+	if full.Count() != 6 {
+		t.Fatalf("full reach = %d, want 6", full.Count())
+	}
+	// A view that cuts every edge out of state 0 makes 0's reach collapse to
+	// itself; serving the parent's memoized full-reach here would be wrong.
+	stuck := g.FilterEdges(func(from int, e Edge) bool { return from != 0 })
+	r := stuck.Reach(zero, nil)
+	if r.Count() != 1 {
+		t.Errorf("filtered reach = %d, want 1 (memo leaked across views?)", r.Count())
+	}
+	// And the parent's memo is untouched by the view's queries.
+	if again := g.Reach(zero, nil); again.Count() != 6 {
+		t.Errorf("parent reach after view query = %d, want 6", again.Count())
+	}
+	// RestrictFair changes the deadlock set without touching edges.
+	noFair := g.RestrictFair(func(action int) bool { return false })
+	if noFair.DeadlockSet().Count() != 6 {
+		t.Errorf("all-unfair view: deadlocks = %d, want 6", noFair.DeadlockSet().Count())
+	}
+	if g.DeadlockSet().Count() != 0 {
+		t.Errorf("parent deadlock set changed: %d, want 0", g.DeadlockSet().Count())
+	}
+}

@@ -385,6 +385,7 @@ func assemble(k *guarded.Kernel, fair []bool, exps []expansion) *Graph {
 		idxs:    make([]uint64, n),
 		fair:    fair,
 		numActs: k.NumActions(),
+		memo:    newGraphMemo(),
 	}
 	for i := range refs {
 		g.idxs[i] = refs[i].idx

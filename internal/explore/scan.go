@@ -1,0 +1,240 @@
+package explore
+
+import (
+	"fmt"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// Scan is the streaming counterpart of Build: a breadth-first sweep over the
+// compiled kernel that reports states and transitions to caller-supplied
+// visitors as they are discovered, without materializing the CSR arenas,
+// in-lists, or enabledness bitsets. Counterexample hunts — safety
+// violations, closure violations, deadlock probes — terminate at the first
+// hit, so they pay for the states visited up to the witness instead of a
+// full graph assembly; memory stays O(visited states).
+
+// ScanOptions configure a streaming scan.
+type ScanOptions struct {
+	// Fair marks program actions, as in Options.Fair: nil means all fair.
+	// Fairness only affects the Deadlock visitor (no enabled fair action).
+	Fair []bool
+	// MaxStates bounds the number of discovered states, exactly as in
+	// Options.MaxStates: the scan fails with ErrStateBound iff the number of
+	// distinct discovered states exceeds the bound.
+	MaxStates int
+	// InitOnly restricts the scan to the states satisfying init (ascending
+	// index order, no successor closure): each init state is visited and its
+	// immediate transitions reported, but targets are not expanded. This is
+	// the shape of closure checks — one pass, O(1) memory.
+	InitOnly bool
+}
+
+// ScanStats summarizes a scan.
+type ScanStats struct {
+	States  int  // states discovered (InitOnly: init states visited)
+	Edges   int  // transitions enumerated
+	Stopped bool // a visitor terminated the scan early
+}
+
+// Scanner bundles the per-discovery visitors. Each is optional; returning
+// false stops the scan (ScanStats.Stopped reports it). The states passed to
+// visitors are views into reusable rows valid only for the duration of the
+// call — retain one with p.Schema().StateAt(s.Index()).
+type Scanner struct {
+	// Visit runs once per discovered state, in BFS order (InitOnly:
+	// ascending index order), before the state's transitions.
+	Visit func(s state.State) bool
+	// Edge runs once per enumerated transition, in kernel (action) order.
+	// fresh reports that to was discovered by this transition (always false
+	// in InitOnly mode).
+	Edge func(from, to state.State, action int, fresh bool) bool
+	// Deadlock runs for each visited state with no enabled fair action,
+	// after Visit and before the state's transitions.
+	Deadlock func(s state.State) bool
+}
+
+// Scan streams the states reachable from init (or, with InitOnly, exactly
+// the init states) through the Scanner. The traversal is deterministic:
+// initial states in ascending index order, then a FIFO frontier expanded in
+// discovery order with each state's transitions in kernel order — the same
+// tie-breaking as the graph path's PathBetween, so first-hit witnesses
+// coincide with the graph-derived ones.
+func Scan(p *guarded.Program, init state.Predicate, opts ScanOptions, v Scanner) (ScanStats, error) {
+	var stats ScanStats
+	if err := p.Schema().Indexable(); err != nil {
+		return stats, err
+	}
+	fair := opts.Fair
+	if fair == nil {
+		fair = make([]bool, p.NumActions())
+		for i := range fair {
+			fair[i] = true
+		}
+	}
+	if len(fair) != p.NumActions() {
+		return stats, fmt.Errorf("explore: fairness mask has %d entries for %d actions", len(fair), p.NumActions())
+	}
+	k := sharedKernel(p)
+	sch := k.Schema()
+	total, _ := sch.NumStates()
+	sc := k.NewScratch()
+	nv := sch.NumVars()
+	rowF := make([]int32, nv)
+	rowT := make([]int32, nv)
+	viewF := sch.ViewState(rowF)
+	viewT := sch.ViewState(rowT)
+	numActs := k.NumActions()
+	var buf []guarded.Succ
+
+	deadlocked := func() bool {
+		for a := 0; a < numActs; a++ {
+			if fair[a] && sc.EnabledOnRow(rowF, a) {
+				return false
+			}
+		}
+		return true
+	}
+	// expand visits one state (already decoded into rowF) and reports its
+	// transitions; claim is nil in InitOnly mode.
+	expand := func(idx uint64, claim func(to uint64) (fresh bool, ok bool)) (cont bool, err error) {
+		stats.States++
+		if v.Visit != nil && !v.Visit(viewF) {
+			return false, nil
+		}
+		if v.Deadlock != nil && deadlocked() && !v.Deadlock(viewF) {
+			return false, nil
+		}
+		if v.Edge == nil && claim == nil {
+			return true, nil
+		}
+		buf = sc.Transitions(idx, buf[:0])
+		for _, tr := range buf {
+			stats.Edges++
+			fresh := false
+			if claim != nil {
+				var ok bool
+				fresh, ok = claim(tr.To)
+				if !ok {
+					return false, boundError(opts.MaxStates)
+				}
+			}
+			if v.Edge != nil {
+				sch.DecodeInto(rowT, tr.To)
+				if !v.Edge(viewF, viewT, int(tr.Action), fresh) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+
+	if opts.InitOnly {
+		var scanErr error
+		count := 0
+		scanInit(sch, init, 0, total, rowF, func(idx uint64) bool {
+			count++
+			if opts.MaxStates > 0 && count > opts.MaxStates {
+				scanErr = boundError(opts.MaxStates)
+				return false
+			}
+			cont, err := expand(idx, nil)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !cont {
+				stats.Stopped = true
+				return false
+			}
+			return true
+		})
+		return stats, scanErr
+	}
+
+	visited := newVisitedSet(total)
+	discovered := 0
+	var queue []uint64
+	claim := func(to uint64) (bool, bool) {
+		if !visited.claim(to) {
+			return false, true
+		}
+		if opts.MaxStates > 0 && discovered >= opts.MaxStates {
+			return true, false
+		}
+		discovered++
+		queue = append(queue, to)
+		return true, true
+	}
+	var seedErr error
+	scanInit(sch, init, 0, total, rowF, func(idx uint64) bool {
+		if fresh, ok := claim(idx); !ok {
+			seedErr = boundError(opts.MaxStates)
+			return false
+		} else if !fresh {
+			return true
+		}
+		return true
+	})
+	if seedErr != nil {
+		return stats, seedErr
+	}
+	for head := 0; head < len(queue); head++ {
+		idx := queue[head]
+		sch.DecodeInto(rowF, idx)
+		cont, err := expand(idx, claim)
+		if err != nil {
+			return stats, err
+		}
+		if !cont {
+			stats.Stopped = true
+			return stats, nil
+		}
+	}
+	return stats, nil
+}
+
+// FindDeadlock searches for a reachable state with no enabled fair action
+// and returns a shortest witness trace from an init state to it (BFS with
+// the same tie-breaking as PathBetween on the built graph, so the witness
+// matches the graph path exactly). It reports false when every reachable
+// state has an enabled fair action. The search streams over the kernel —
+// no graph is assembled — and stops at the first deadlock found.
+func FindDeadlock(p *guarded.Program, init state.Predicate, opts ScanOptions) ([]state.State, bool, error) {
+	opts.InitOnly = false
+	sch := p.Schema()
+	parent := map[uint64]uint64{}
+	var deadIdx uint64
+	found := false
+	_, err := Scan(p, init, opts, Scanner{
+		Deadlock: func(s state.State) bool {
+			deadIdx = s.Index()
+			found = true
+			return false
+		},
+		Edge: func(from, to state.State, action int, fresh bool) bool {
+			if fresh {
+				parent[to.Index()] = from.Index()
+			}
+			return true
+		},
+	})
+	if err != nil || !found {
+		return nil, false, err
+	}
+	var rev []state.State
+	idx := deadIdx
+	for {
+		rev = append(rev, sch.StateAt(idx))
+		p, ok := parent[idx]
+		if !ok {
+			break
+		}
+		idx = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true, nil
+}

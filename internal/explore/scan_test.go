@@ -1,0 +1,232 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// scanLog records everything a Scan reports.
+type scanLog struct {
+	visits    []uint64
+	edges     [][3]uint64 // from, to, action
+	fresh     []bool
+	deadlocks []uint64
+}
+
+func runScan(t *testing.T, p *guarded.Program, init state.Predicate, opts ScanOptions) (ScanStats, *scanLog) {
+	t.Helper()
+	log := &scanLog{}
+	stats, err := Scan(p, init, opts, Scanner{
+		Visit: func(s state.State) bool {
+			log.visits = append(log.visits, s.Index())
+			return true
+		},
+		Edge: func(from, to state.State, action int, fresh bool) bool {
+			log.edges = append(log.edges, [3]uint64{from.Index(), to.Index(), uint64(action)})
+			log.fresh = append(log.fresh, fresh)
+			return true
+		},
+		Deadlock: func(s state.State) bool {
+			log.deadlocks = append(log.deadlocks, s.Index())
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, log
+}
+
+// TestScanMatchesBuild checks the streaming sweep discovers exactly the
+// states, transitions, and deadlocks of the assembled graph.
+func TestScanMatchesBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *guarded.Program
+		init state.Predicate
+	}{
+		{"chain", counter(t, 9, inc(9)), state.True},
+		{"cycle", counter(t, 7, cycle(7)), state.True},
+		{"chain/from-2", counter(t, 9, inc(9)),
+			state.Pred("x ge 2", func(s state.State) bool { return s.Get(0) >= 2 })},
+		{"two-actions", counter(t, 6, inc(6), cycle(6)), state.True},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := Build(tc.prog, tc.init, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, log := runScan(t, tc.prog, tc.init, ScanOptions{})
+			if stats.States != g.NumNodes() || len(log.visits) != g.NumNodes() {
+				t.Errorf("scan visited %d states, graph has %d", stats.States, g.NumNodes())
+			}
+			if stats.Edges != g.NumEdges() || len(log.edges) != g.NumEdges() {
+				t.Errorf("scan saw %d edges, graph has %d", stats.Edges, g.NumEdges())
+			}
+			for _, idx := range log.visits {
+				if _, ok := g.idOf(idx); !ok {
+					t.Errorf("scan visited state %d the graph does not contain", idx)
+				}
+			}
+			// Every scanned edge is a graph edge.
+			for _, e := range log.edges {
+				from, ok := g.idOf(e[0])
+				if !ok {
+					t.Fatalf("edge source %d not in graph", e[0])
+				}
+				found := false
+				for _, ge := range g.Out(from) {
+					if g.idxs[ge.To] == e[1] && uint64(ge.Action) == e[2] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("scan edge %d -[%d]-> %d not in graph", e[0], e[2], e[1])
+				}
+			}
+			// Deadlocks agree.
+			wantDead := map[uint64]bool{}
+			g.DeadlockSet().ForEach(func(id int) bool {
+				wantDead[g.idxs[id]] = true
+				return true
+			})
+			if len(log.deadlocks) != len(wantDead) {
+				t.Errorf("scan found %d deadlocks, graph has %d", len(log.deadlocks), len(wantDead))
+			}
+			for _, idx := range log.deadlocks {
+				if !wantDead[idx] {
+					t.Errorf("scan deadlock %d not deadlocked in graph", idx)
+				}
+			}
+		})
+	}
+}
+
+func TestScanInitOnly(t *testing.T) {
+	p := counter(t, 9, inc(9))
+	from := state.Pred("x ge 6", func(s state.State) bool { return s.Get(0) >= 6 })
+	stats, log := runScan(t, p, from, ScanOptions{InitOnly: true})
+	// States 6, 7, 8 in ascending order; edges 6->7, 7->8 (8 is deadlocked);
+	// no successor closure, so nothing beyond the init states is visited.
+	if stats.States != 3 {
+		t.Errorf("states = %d, want 3", stats.States)
+	}
+	if want := []uint64{6, 7, 8}; len(log.visits) != 3 || log.visits[0] != want[0] ||
+		log.visits[1] != want[1] || log.visits[2] != want[2] {
+		t.Errorf("visits = %v, want %v", log.visits, want)
+	}
+	if stats.Edges != 2 {
+		t.Errorf("edges = %d, want 2", stats.Edges)
+	}
+	for _, fresh := range log.fresh {
+		if fresh {
+			t.Error("InitOnly mode never claims discoveries")
+		}
+	}
+}
+
+func TestScanEarlyExitStops(t *testing.T) {
+	p := counter(t, 100, inc(100))
+	visited := 0
+	stats, err := Scan(p, state.True, ScanOptions{}, Scanner{
+		Visit: func(s state.State) bool {
+			visited++
+			return s.Index() != 4 // stop at the fifth state
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Stopped {
+		t.Error("Stopped must report the early exit")
+	}
+	if visited != 5 || stats.States != 5 {
+		t.Errorf("visited %d states (stats %d), want 5", visited, stats.States)
+	}
+}
+
+func TestScanMaxStates(t *testing.T) {
+	p := counter(t, 10, inc(10))
+	_, err := Scan(p, state.True, ScanOptions{MaxStates: 4}, Scanner{})
+	if !errors.Is(err, ErrStateBound) {
+		t.Errorf("want ErrStateBound, got %v", err)
+	}
+	// The bound is exact: a scan of exactly MaxStates states succeeds.
+	stats, err := Scan(p, state.True, ScanOptions{MaxStates: 10}, Scanner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.States != 10 {
+		t.Errorf("states = %d, want 10", stats.States)
+	}
+}
+
+func TestScanFairnessAffectsDeadlock(t *testing.T) {
+	// One action, marked unfair: with no fair action ever enabled, every
+	// state reports as deadlocked (the p ‖ F maximality rule).
+	p := counter(t, 4, inc(4))
+	_, log := runScan(t, p, state.True, ScanOptions{Fair: []bool{false}})
+	if len(log.deadlocks) != 4 {
+		t.Errorf("deadlocks = %d, want 4 (unfair actions don't count)", len(log.deadlocks))
+	}
+	_, log = runScan(t, p, state.True, ScanOptions{})
+	if len(log.deadlocks) != 1 {
+		t.Errorf("deadlocks = %v, want just the top state", log.deadlocks)
+	}
+}
+
+func TestFindDeadlockWitnessMatchesGraphPath(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *guarded.Program
+		init state.Predicate
+	}{
+		{"chain", counter(t, 9, inc(9)), state.True},
+		{"chain/from-3", counter(t, 9, inc(9)),
+			state.Pred("x ge 3", func(s state.State) bool { return s.Get(0) >= 3 })},
+		{"two-actions", counter(t, 6, inc(6), cycle(6)), state.True},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trace, found, err := FindDeadlock(tc.prog, tc.init, ScanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Build(tc.prog, tc.init, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantFound := g.PathBetween(g.SetOf(tc.init), g.DeadlockSet(), nil)
+			if found != wantFound {
+				t.Fatalf("found = %v, graph says %v", found, wantFound)
+			}
+			if !found {
+				return
+			}
+			if len(trace) != len(want) {
+				t.Fatalf("trace length %d, graph path length %d", len(trace), len(want))
+			}
+			for i := range trace {
+				if !trace[i].Equal(want[i]) {
+					t.Errorf("trace[%d] = %s, graph path has %s", i, trace[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFindDeadlockNone(t *testing.T) {
+	p := counter(t, 5, cycle(5))
+	trace, found, err := FindDeadlock(p, state.True, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found || trace != nil {
+		t.Errorf("cycle has no deadlock, got trace %v", trace)
+	}
+}

@@ -18,6 +18,7 @@ package fault
 
 import (
 	"fmt"
+	"sync"
 
 	"detcorr/internal/explore"
 	"detcorr/internal/guarded"
@@ -50,11 +51,76 @@ func (c Class) String() string {
 	return c.Name
 }
 
+// composeKey identifies a (program, fault class) pair for the composition
+// memo. Class values are copied around by value, but NewClass allocates the
+// Actions slice once, so the backing-array pointer plus length identifies the
+// action set with the same pointer-identity discipline the graph cache uses
+// for programs.
+type composeKey struct {
+	p       *guarded.Program
+	name    string
+	n       int
+	actions *guarded.Action // &f.Actions[0], nil when the class is empty
+}
+
+type composeEntry struct {
+	composed *guarded.Program
+	mask     []bool
+}
+
+var (
+	composeMu   sync.Mutex
+	composeMemo = map[composeKey]composeEntry{}
+)
+
+// composeMemoCap bounds the memo; workloads touch a handful of (program,
+// class) pairs, so on overflow the whole map is dropped rather than tracking
+// recency.
+const composeMemoCap = 256
+
 // Compose returns the program p ‖ F (the union of p's actions and the fault
 // actions, Section 2.3 notation) together with the fairness mask marking
 // fault actions as unfair: computations of p ‖ F are only p-fair and
-// p-maximal.
+// p-maximal. Repeated compositions of the same pair return the same
+// *guarded.Program, which is what lets downstream graph builds for p ‖ F hit
+// the process-wide exploration cache (its key is the program pointer). The
+// returned mask is a fresh copy each call; callers may keep or modify it.
 func Compose(p *guarded.Program, f Class) (*guarded.Program, []bool, error) {
+	var key composeKey
+	memoizable := len(f.Actions) > 0 || f.Name != ""
+	if memoizable {
+		key = composeKey{p: p, name: f.Name, n: len(f.Actions)}
+		if len(f.Actions) > 0 {
+			key.actions = &f.Actions[0]
+		}
+		composeMu.Lock()
+		e, ok := composeMemo[key]
+		composeMu.Unlock()
+		if ok {
+			return e.composed, append([]bool(nil), e.mask...), nil
+		}
+	}
+	composed, mask, err := composeFresh(p, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if memoizable {
+		composeMu.Lock()
+		if e, ok := composeMemo[key]; ok {
+			// Keep the first composition so the program pointer stays canonical.
+			composed, mask = e.composed, e.mask
+		} else {
+			if len(composeMemo) >= composeMemoCap {
+				composeMemo = map[composeKey]composeEntry{}
+			}
+			composeMemo[key] = composeEntry{composed: composed, mask: mask}
+		}
+		composeMu.Unlock()
+	}
+	return composed, append([]bool(nil), mask...), nil
+}
+
+func composeFresh(p *guarded.Program, f Class) (*guarded.Program, []bool, error) {
 	actions := p.Actions()
 	mask := make([]bool, 0, len(actions)+len(f.Actions))
 	for range actions {
@@ -95,7 +161,7 @@ func ComputeSpan(p *guarded.Program, f Class, s state.Predicate) (*Span, error) 
 	if err != nil {
 		return nil, err
 	}
-	g, err := explore.Build(composed, s, explore.Options{Fair: mask})
+	g, err := explore.Shared(composed, s, explore.Options{Fair: mask})
 	if err != nil {
 		return nil, err
 	}

@@ -142,7 +142,7 @@ func convergesWithin(p *guarded.Program, span *Span, r state.Predicate) error {
 	if err := spec.CheckClosed(p, r); err != nil {
 		return fmt.Errorf("recovery predicate not closed: %w", err)
 	}
-	g, err := explore.Build(p, span.Predicate, explore.Options{})
+	g, err := explore.Shared(p, span.Predicate, explore.Options{})
 	if err != nil {
 		return err
 	}

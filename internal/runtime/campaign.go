@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"detcorr/internal/explore"
+	"detcorr/internal/fault"
 	"detcorr/internal/guarded"
 	"detcorr/internal/state"
 )
@@ -99,6 +100,30 @@ func (r *CampaignResult) absorb(run int, out Result, mons []Monitor) {
 			r.RecoverySteps = append(r.RecoverySteps, cm.RecoverySteps...)
 		}
 	}
+}
+
+// ProbeDeadlock cross-checks the campaign's Deadlocks counter against the
+// model: it streams over the composed program ‖ Config.Faults from every
+// state satisfying init (fault actions unfair, exactly the engine's
+// maximality rule) and returns a shortest trace to the first state where no
+// program action is enabled — the states where Engine.Run reports Deadlocked
+// once the fault budget is spent. The scan allows unboundedly many fault
+// occurrences where the campaign is budget-capped, so it over-approximates:
+// a campaign observing deadlocks in a region the probe calls deadlock-free
+// indicates a simulator/model divergence; the converse (probe finds one the
+// runs never hit) is expected for rare schedules. The scan stops at the
+// first hit — no graph is assembled.
+func (c Campaign) ProbeDeadlock(init state.Predicate) ([]state.State, bool, error) {
+	p := c.Program
+	var fairMask []bool
+	if !c.Config.Faults.Empty() {
+		composed, mask, err := fault.Compose(p, c.Config.Faults)
+		if err != nil {
+			return nil, false, err
+		}
+		p, fairMask = composed, mask
+	}
+	return explore.FindDeadlock(p, init, explore.ScanOptions{Fair: fairMask})
 }
 
 // workers resolves the Parallelism field to a worker count.

@@ -36,59 +36,98 @@ func RegisterClosureProver(f ClosureProver) { closureProver = f }
 
 // CheckClosed verifies "S is closed in p" (Section 2.2.1): p refines cl(S)
 // from true, i.e. every transition of p from a state satisfying S lands in a
-// state satisfying S. When a registered prover discharges the per-action
-// closure obligations the check returns immediately; otherwise it
-// enumerates the entire state space, as the definition quantifies over all
-// computations.
+// state satisfying S. The work ladder, cheapest first: a registered prover
+// that discharges the per-action closure obligations returns immediately; a
+// graph already in the process-wide cache (built from S or from true, either
+// of which covers every S-state) answers from its precomputed edges; failing
+// both, a streaming kernel scan enumerates the S-states and their immediate
+// transitions with early exit at the first violation — one pass, no graph
+// assembly.
 func CheckClosed(p *guarded.Program, s state.Predicate) error {
 	if closureProver != nil && closureProver(p, s) {
 		return nil
 	}
-	var viol error
-	err := p.Schema().ForEachState(func(st state.State) bool {
-		if !s.Holds(st) {
-			return true
-		}
-		for _, tr := range p.Successors(st) {
-			if !s.Holds(tr.To) {
-				viol = &ClosureViolation{
-					Predicate: s.String(),
-					Action:    p.Action(tr.Action).Name,
-					From:      st,
-					To:        tr.To,
-				}
-				return false
-			}
-		}
-		return true
-	})
-	if err != nil {
-		return err
+	if g, ok := closureGraph(p, s); ok {
+		return CheckClosedOn(g, s)
 	}
-	return viol
+	return scanPair(p, s, s, s.String())
+}
+
+// closureGraph finds a cached graph that contains every S-state: one built
+// from S itself, or the full-space graph.
+func closureGraph(p *guarded.Program, s state.Predicate) (*explore.Graph, bool) {
+	if g, ok := explore.Peek(p, s, explore.Options{}); ok {
+		return g, true
+	}
+	if g, ok := explore.Peek(p, state.True, explore.Options{}); ok {
+		return g, true
+	}
+	return nil, false
+}
+
+// CheckClosedOn verifies "S is closed in p" on an already-built graph of p.
+// The graph must contain every state satisfying S (built from an init
+// predicate implied by S, typically S itself or true); its edges then cover
+// every transition the definition quantifies over. Verdicts for named
+// predicates are memoized on the graph.
+func CheckClosedOn(g *explore.Graph, s state.Predicate) error {
+	check := func() error {
+		set := g.SetOf(s)
+		var viol error
+		set.ForEach(func(id int) bool {
+			for _, e := range g.Out(id) {
+				if !set.Has(e.To) {
+					viol = &ClosureViolation{
+						Predicate: s.String(),
+						Action:    g.ActionName(e.Action),
+						From:      g.State(id),
+						To:        g.State(e.To),
+					}
+					return false
+				}
+			}
+			return true
+		})
+		return viol
+	}
+	if !explore.MemoizableName(s.String()) {
+		return check()
+	}
+	v := g.Memoize("closed:"+s.String(), func() any { return check() })
+	if v == nil {
+		return nil
+	}
+	return v.(error)
 }
 
 // CheckPair verifies the generalized Hoare-triple {S} p {R} (Section 2.2.1):
 // p refines the generalized pair ({S},{R}) from true — every transition of p
-// from a state satisfying S lands in a state satisfying R.
+// from a state satisfying S lands in a state satisfying R. The check streams
+// over the compiled kernel with early exit at the first violation.
 func CheckPair(p *guarded.Program, s, r state.Predicate) error {
+	return scanPair(p, s, r, fmt.Sprintf("{%s} %s {%s}", s, p.Name(), r))
+}
+
+// scanPair streams the S-states in ascending index order and checks that
+// every transition out of them satisfies r, stopping at the first violation.
+// The enumeration order matches the historical full-space sweep (ascending
+// states, transitions in action order), so the witness is the same one.
+func scanPair(p *guarded.Program, s, r state.Predicate, label string) error {
+	sch := p.Schema()
 	var viol error
-	err := p.Schema().ForEachState(func(st state.State) bool {
-		if !s.Holds(st) {
-			return true
-		}
-		for _, tr := range p.Successors(st) {
-			if !r.Holds(tr.To) {
-				viol = &ClosureViolation{
-					Predicate: fmt.Sprintf("{%s} %s {%s}", s, p.Name(), r),
-					Action:    p.Action(tr.Action).Name,
-					From:      st,
-					To:        tr.To,
-				}
-				return false
+	_, err := explore.Scan(p, s, explore.ScanOptions{InitOnly: true}, explore.Scanner{
+		Edge: func(from, to state.State, action int, fresh bool) bool {
+			if r.Holds(to) {
+				return true
 			}
-		}
-		return true
+			viol = &ClosureViolation{
+				Predicate: label,
+				Action:    p.Action(action).Name,
+				From:      sch.StateAt(from.Index()),
+				To:        sch.StateAt(to.Index()),
+			}
+			return false
+		},
 	})
 	if err != nil {
 		return err
@@ -99,7 +138,9 @@ func CheckPair(p *guarded.Program, s, r state.Predicate) error {
 // CheckConverges verifies "S converges to R in p" (Section 2.2.1): p refines
 // 'S converges to R' from true. Per the definition this requires cl(S),
 // cl(R), and that every (fair, maximal) computation passing through S
-// eventually passes through R.
+// eventually passes through R. The closure obligations stream over the
+// kernel (or hit cached graphs); the liveness obligation costs exactly one
+// graph build through the shared cache.
 func CheckConverges(p *guarded.Program, s, r state.Predicate) error {
 	if err := CheckClosed(p, s); err != nil {
 		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
@@ -107,7 +148,7 @@ func CheckConverges(p *guarded.Program, s, r state.Predicate) error {
 	if err := CheckClosed(p, r); err != nil {
 		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
 	}
-	g, err := explore.Build(p, s, explore.Options{})
+	g, err := explore.Shared(p, s, explore.Options{})
 	if err != nil {
 		return err
 	}
@@ -127,7 +168,10 @@ type LeadsTo struct {
 }
 
 // CheckLeadsTo verifies the obligation for computations of p starting in
-// `from` (the graph must have been built from those states).
+// `from` (the graph must have been built from those states). Callers loop
+// this over many obligations with the same start set; the reachability
+// closure is served from the graph's derived-artifact memo rather than
+// recomputed per call.
 func CheckLeadsTo(g *explore.Graph, from *explore.Bitset, lt LeadsTo) error {
 	reach := g.Reach(from, nil)
 	pSet := g.SetOf(lt.P)

@@ -35,12 +35,27 @@ func (pr Problem) String() string {
 // CheckRefinesFrom verifies "p refines SPEC from S" (Section 2.2.1) for the
 // problem specification: S is closed in p, every computation from S
 // satisfies the safety part, and every computation from S satisfies each
-// liveness obligation.
+// liveness obligation. The graph comes from the process-wide cache; purely
+// state-characterized safety problems with no liveness part and no cached
+// graph are decided by a streaming scan instead — a counterexample hunt that
+// stops at the first bad state without assembling a graph at all.
 func (pr Problem) CheckRefinesFrom(p *guarded.Program, s state.Predicate) error {
 	if err := CheckClosed(p, s); err != nil {
 		return fmt.Errorf("%s: invariant not closed: %w", pr, err)
 	}
-	g, err := explore.Build(p, s, explore.Options{})
+	if len(pr.Live) == 0 && pr.Safety.BadStep == nil && p.Schema().Indexable() == nil {
+		if _, cached := explore.Peek(p, s, explore.Options{}); !cached {
+			v, err := scanBadState(p, s, pr.Safety)
+			if err != nil {
+				return err
+			}
+			if v != nil {
+				return fmt.Errorf("%s: %w", pr, v)
+			}
+			return nil
+		}
+	}
+	g, err := explore.Shared(p, s, explore.Options{})
 	if err != nil {
 		return err
 	}
@@ -54,6 +69,54 @@ func (pr Problem) CheckRefinesFrom(p *guarded.Program, s state.Predicate) error 
 		}
 	}
 	return nil
+}
+
+// scanBadState hunts for a reachable state forbidden by a state-only safety
+// specification, streaming over the compiled kernel with early exit. The BFS
+// uses the same tie-breaking as CheckSafety's PathBetween extraction
+// (ascending seeds, FIFO frontier, transitions in action order, first
+// discoverer as parent), so the returned trace is the identical witness.
+func scanBadState(p *guarded.Program, s state.Predicate, sp Safety) (*SafetyViolation, error) {
+	if sp.BadState == nil {
+		// Nothing is forbidden; any reachable set satisfies the spec.
+		return nil, nil
+	}
+	sch := p.Schema()
+	parent := map[uint64]uint64{}
+	var badIdx uint64
+	found := false
+	_, err := explore.Scan(p, s, explore.ScanOptions{}, explore.Scanner{
+		Visit: func(st state.State) bool {
+			if sp.BadState(st) {
+				badIdx = st.Index()
+				found = true
+				return false
+			}
+			return true
+		},
+		Edge: func(from, to state.State, action int, fresh bool) bool {
+			if fresh {
+				parent[to.Index()] = from.Index()
+			}
+			return true
+		},
+	})
+	if err != nil || !found {
+		return nil, err
+	}
+	var rev []state.State
+	for idx := badIdx; ; {
+		rev = append(rev, sch.StateAt(idx))
+		pidx, ok := parent[idx]
+		if !ok {
+			break
+		}
+		idx = pidx
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return &SafetyViolation{Spec: sp.Name, Trace: rev}, nil
 }
 
 // Violates reports "p violates SPEC from S" (Section 2.2.1): the negation of

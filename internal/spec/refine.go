@@ -51,7 +51,7 @@ func CheckRefines(pp, p *guarded.Program, s state.Predicate) error {
 	if err := CheckClosed(pp, s); err != nil {
 		return fmt.Errorf("refines: invariant not closed in %q: %w", pp.Name(), err)
 	}
-	g, err := explore.Build(pp, s, explore.Options{})
+	g, err := explore.Shared(pp, s, explore.Options{})
 	if err != nil {
 		return err
 	}

@@ -185,7 +185,7 @@ func (sys *System) buildProgram() error {
 // computeU closes Init under the program so the detects relation has a
 // closed "from" predicate, as refinement requires.
 func (sys *System) computeU() error {
-	g, err := explore.Build(sys.Program, sys.Init, explore.Options{})
+	g, err := explore.Shared(sys.Program, sys.Init, explore.Options{})
 	if err != nil {
 		return err
 	}

@@ -223,7 +223,7 @@ func (sys *System) AsCorrector() core.Corrector {
 // counts the legitimate states themselves. It quantifies the recovery time
 // the nonmasking design pays.
 func (sys *System) ConvergenceSteps() ([]int, error) {
-	g, err := explore.Build(sys.Ring, state.True, explore.Options{})
+	g, err := explore.Shared(sys.Ring, state.True, explore.Options{})
 	if err != nil {
 		return nil, err
 	}
