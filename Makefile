@@ -1,13 +1,26 @@
 GO ?= go
 GCL_FILES := $(wildcard cmd/dctl/testdata/*.gcl)
+# The internal/lint fixtures that must lint clean (exit 0): everything except
+# the three whose *processing* is expected to fail (overflow, parseerror,
+# resolve exit 1 by design; their .golden files pin the findings).
+LINT_CLEAN := $(filter-out \
+	internal/lint/testdata/overflow.gcl \
+	internal/lint/testdata/parseerror.gcl \
+	internal/lint/testdata/resolve.gcl, \
+	$(wildcard internal/lint/testdata/*.gcl))
 
-.PHONY: check build vet dccodes test race lint prove fuzz bench bench-diff profile clean
+.PHONY: check build fmt vet dcvet dccodes test race lint prove fuzz bench bench-diff profile clean
 
 # The full local gate: everything CI would run.
-check: build vet dccodes test race lint prove fuzz
+check: build fmt vet dcvet test race lint prove fuzz
 
 build:
 	$(GO) build ./...
+
+# Formatting gate: fails listing the offending files; fix with gofmt -w.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -18,14 +31,20 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# Repo-specific vet pass: the DC-code constants in internal/lint and
-# internal/prove must agree with their package doc-header tables.
+# The repo's own analyzer suite (internal/analyzers) over the whole module:
+# kernel zero-alloc contract, atomics discipline, cache-key completeness,
+# CSR write-once rules, exit-code/DC-code doc agreement, .gitignore shadowing.
+dcvet:
+	$(GO) run ./cmd/dcvet
+
+# Back-compat alias for the DC-code table check, now one dcvet analyzer.
 dccodes:
 	$(GO) run ./cmd/dccodes
 
-# dclint over every shipped GCL program; fails on error-severity findings.
+# dclint over every shipped GCL program and every internal/lint fixture that
+# is expected to pass; fails on error-severity findings.
 lint:
-	$(GO) run ./cmd/dctl lint $(GCL_FILES)
+	$(GO) run ./cmd/dctl lint $(GCL_FILES) $(LINT_CLEAN)
 
 # dcprove over the shipped examples: the paper's closure, safeness, and
 # convergence claims must all discharge without exploration (exit 0).
@@ -64,4 +83,4 @@ profile:
 
 # BENCH_*.json are recorded evidence, not build products; clean leaves them.
 clean:
-	rm -f dctl dcbench cpu.pprof mem.pprof
+	rm -f dctl dcbench dcvet dccodes cpu.pprof mem.pprof

@@ -1,0 +1,118 @@
+// Command dcvet runs the repository's analyzer suite (see
+// internal/analyzers and its subpackages) over the whole module: the
+// zero-allocation kernel contract, atomic-field access discipline, cache
+// key completeness, CSR-arena write-once rules, exit-code and DC-code
+// documentation agreement, and .gitignore/source shadowing. It is built on
+// go/parser and go/types alone, so it runs wherever the go toolchain does
+// — no golang.org/x/tools, no network.
+//
+// Usage:
+//
+//	dcvet [-C dir] [-json] [-<analyzer>=false ...]
+//
+// The suite always analyzes the entire module containing -C (default the
+// current directory); individual analyzers are disabled by name, e.g.
+// -zeroalloc=false. With -json, findings are emitted as a JSON array of
+// {analyzer, file, line, col, message} objects instead of vet-style lines.
+//
+// Exit codes follow the dctl convention: 0 clean; 1 findings;
+// 2 usage error; 3 load or type-check failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"detcorr/internal/analyzers"
+	"detcorr/internal/analyzers/all"
+)
+
+const (
+	exitOK       = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitLoad     = 3
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parse flags, load the module, run the
+// enabled analyzers, print findings, and map the outcome to an exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	dir := fs.String("C", ".", "module root, or any directory beneath it")
+	suite := all.Analyzers()
+	enabled := map[string]*bool{}
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "dcvet: unexpected arguments; the suite always runs over the whole module")
+		return exitUsage
+	}
+	root, err := findRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dcvet: %v\n", err)
+		return exitUsage
+	}
+	m, err := analyzers.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "dcvet: %v\n", err)
+		return exitLoad
+	}
+	var active []*analyzers.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	findings := analyzers.Run(m, active)
+	if *jsonOut {
+		if findings == nil {
+			findings = []analyzers.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "dcvet: %v\n", err)
+			return exitLoad
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		return exitFindings
+	}
+	return exitOK
+}
+
+// findRoot walks up from dir to the nearest directory containing go.mod.
+func findRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for p := abs; ; {
+		if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(p)
+		if parent == p {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		p = parent
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this file's position, so
+// the test is independent of the working directory `go test` chose.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestModuleSelfClean is the live gate the whole suite hangs off: dcvet
+// run over the module that ships it must report nothing. Any analyzer
+// regression, stale annotation, or real invariant violation fails here.
+func TestModuleSelfClean(t *testing.T) {
+	root := moduleRoot(t)
+	var out, errs bytes.Buffer
+	if code := run([]string{"-C", root}, &out, &errs); code != exitOK {
+		t.Fatalf("dcvet over its own module: exit %d\nstdout:\n%sstderr:\n%s",
+			code, out.String(), errs.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", out.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-C", root, "-json"}, &out, &errs); code != exitOK {
+		t.Fatalf("dcvet -json: exit %d\nstderr:\n%s", code, errs.String())
+	}
+	if got := out.String(); got != "[]\n" {
+		t.Errorf("clean -json run should print an empty array, got %q", got)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nosuchflag"},
+		{"stray-argument"},
+		{"-C", t.TempDir()}, // no go.mod anywhere above a fresh temp dir
+	}
+	for _, argv := range cases {
+		var out, errs bytes.Buffer
+		if code := run(argv, &out, &errs); code != exitUsage {
+			t.Errorf("run(%q) = %d, want %d (usage error)", argv, code, exitUsage)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package analyzertest is the golden-test harness for dcvet analyzers.
+// Fixtures are small Go packages under testdata/src/<name>/ whose source
+// carries `// want "regexp"` comments on the lines where findings are
+// expected. RunGolden loads the fixture, runs the analyzer, and fails the
+// test unless findings and expectations match one-to-one: an unmatched
+// finding is a false positive, an unmatched expectation a false negative.
+// Multiple expectations on one line are written as `// want "a" "b"`.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"detcorr/internal/analyzers"
+)
+
+// expectation is one parsed `// want` clause.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+// expectations parses every `// want` comment in the module's files.
+func expectations(m *analyzers.Module) ([]*expectation, error) {
+	var exps []*expectation
+	for _, pkg := range m.Packages {
+		for i, f := range pkg.Files {
+			name := pkg.Filenames[i]
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					got, err := parseWant(m, name, c)
+					if err != nil {
+						return nil, err
+					}
+					exps = append(exps, got...)
+				}
+			}
+		}
+	}
+	return exps, nil
+}
+
+// parseWant extracts the quoted regexps of one `// want` comment. The
+// `// want-file` form matches a finding anywhere in the file — for
+// file-level diagnostics whose position no comment can share a line with.
+func parseWant(m *analyzers.Module, file string, c *ast.Comment) ([]*expectation, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	line := m.Fset.Position(c.Pos()).Line
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		rest, ok = strings.CutPrefix(text, "want-file ")
+		if !ok {
+			return nil, nil
+		}
+		line = -1
+	}
+	var exps []*expectation
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed want comment %q: %v", file, line, c.Text, err)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed want pattern %s: %v", file, line, q, err)
+		}
+		rx, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", file, line, pat, err)
+		}
+		exps = append(exps, &expectation{file: file, line: line, rx: rx})
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return exps, nil
+}
+
+// Problems compares findings against the module's `// want` expectations
+// and returns one human-readable problem per mismatch: an "unexpected
+// finding" for every finding no expectation matches, and a "no finding
+// matched" for every expectation left unsatisfied. An empty result means
+// the golden check passes.
+func Problems(m *analyzers.Module, findings []analyzers.Finding) []string {
+	exps, err := expectations(m)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	for _, f := range findings {
+		matched := false
+		for _, e := range exps {
+			if e.used || e.file != f.File || (e.line != -1 && e.line != f.Line) {
+				continue
+			}
+			if e.rx.MatchString(f.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	for _, e := range exps {
+		if !e.used {
+			problems = append(problems, fmt.Sprintf("%s:%d: no finding matched want %q", e.file, e.line, e.rx))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// RunGolden loads the fixture package in dir, runs the analyzer, and fails
+// the test on any golden mismatch.
+func RunGolden(t *testing.T, a *analyzers.Analyzer, dir string) {
+	t.Helper()
+	m, err := analyzers.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, p := range Problems(m, analyzers.Run(m, []*analyzers.Analyzer{a})) {
+		t.Errorf("%s: %s", dir, p)
+	}
+}

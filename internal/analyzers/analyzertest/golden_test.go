@@ -1,0 +1,117 @@
+package analyzertest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"detcorr/internal/analyzers"
+)
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fixture testdata/h/h.go carries exactly two expectations: a
+// line-anchored `want "boom"` on the const declaration (line 4) and a
+// file-level `want-file "anywhere"`.
+
+func loadFixture(t *testing.T) *analyzers.Module {
+	t.Helper()
+	m, err := analyzers.LoadDir("testdata/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fake(line int, msg string) analyzers.Finding {
+	return analyzers.Finding{Analyzer: "fake", File: "h.go", Line: line, Col: 1, Message: msg}
+}
+
+func TestAllExpectationsMatched(t *testing.T) {
+	m := loadFixture(t)
+	got := Problems(m, []analyzers.Finding{
+		fake(4, "boom goes the invariant"),
+		fake(2, "anywhere in the file works for want-file"),
+	})
+	if len(got) != 0 {
+		t.Errorf("want no problems, got %q", got)
+	}
+}
+
+// TestFalseNegatives: expectations with no matching finding must each
+// surface as a "no finding matched" problem — the failure mode that
+// catches an analyzer silently going blind.
+func TestFalseNegatives(t *testing.T) {
+	m := loadFixture(t)
+	got := Problems(m, nil)
+	if len(got) != 2 {
+		t.Fatalf("want 2 problems for 2 unmatched expectations, got %q", got)
+	}
+	for _, p := range got {
+		if !strings.Contains(p, "no finding matched want") {
+			t.Errorf("problem should report the unmatched expectation: %q", p)
+		}
+	}
+	if !strings.Contains(got[0]+got[1], `"boom"`) || !strings.Contains(got[0]+got[1], `"anywhere"`) {
+		t.Errorf("problems should name both missing patterns: %q", got)
+	}
+}
+
+// TestFalsePositive: a finding no expectation matches is reported even
+// when every expectation is satisfied.
+func TestFalsePositive(t *testing.T) {
+	m := loadFixture(t)
+	got := Problems(m, []analyzers.Finding{
+		fake(4, "boom goes the invariant"),
+		fake(2, "anywhere in the file works"),
+		fake(6, "nobody expected this"),
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "unexpected finding") {
+		t.Fatalf("want one unexpected-finding problem, got %q", got)
+	}
+}
+
+// TestLineAnchoring: a message that matches the regexp on the wrong line
+// is both a false positive and a false negative — `want` is positional.
+func TestLineAnchoring(t *testing.T) {
+	m := loadFixture(t)
+	got := Problems(m, []analyzers.Finding{
+		fake(5, "boom goes the invariant"),
+		fake(2, "anywhere in the file works"),
+	})
+	if len(got) != 2 {
+		t.Fatalf("want 2 problems (wrong-line finding and starved want), got %q", got)
+	}
+}
+
+// TestOneToOneMatching: one expectation cannot absorb two findings.
+func TestOneToOneMatching(t *testing.T) {
+	m := loadFixture(t)
+	got := Problems(m, []analyzers.Finding{
+		fake(4, "boom once"),
+		fake(4, "boom twice"),
+		fake(2, "anywhere"),
+	})
+	if len(got) != 1 || !strings.Contains(got[0], "unexpected finding") {
+		t.Fatalf("second boom should be unexpected, got %q", got)
+	}
+}
+
+func TestMalformedWantIsAProblem(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "bad.go", "package bad\n\nconst y = 1 // want not-quoted\n")
+	m, err := analyzers.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Problems(m, nil)
+	if len(got) != 1 || !strings.Contains(got[0], "malformed want comment") {
+		t.Fatalf("want a malformed-comment problem, got %q", got)
+	}
+}

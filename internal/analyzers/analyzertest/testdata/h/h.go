@@ -1,0 +1,6 @@
+// Package h is the fixture for the harness's own failure-mode tests.
+package h
+
+const x = 1 // want "boom"
+
+// want-file "anywhere"

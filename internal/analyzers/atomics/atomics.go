@@ -1,0 +1,259 @@
+// Package atomics enforces the mixed-access discipline of the parallel
+// exploration engine: once any code in the module accesses a struct field
+// through sync/atomic (atomic.LoadUint64(&x.f), atomic.AddInt64(&x.f[i]),
+// or through a pointer local bound to such an address), every other access
+// to that field anywhere in the module must be atomic too. The PR 2
+// parallel BFS deduplicates through a lock-free bitset whose words are
+// CAS-claimed; one plain read of those words is a data race the race
+// detector only catches when a test happens to interleave it.
+//
+// Construction is exempt: naming the field in a composite literal
+// (&denseVisited{words: make(...)}) happens before the value is shared.
+// Fields of the typed atomic kinds (atomic.Int64, atomic.Bool, ...) are
+// safe by construction and outside this analyzer's scope.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"detcorr/internal/analyzers"
+)
+
+// Analyzer returns the atomics pass.
+func Analyzer() *analyzers.Analyzer {
+	return &analyzers.Analyzer{
+		Name: "atomics",
+		Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+		Run:  run,
+	}
+}
+
+// atomicFns names the sync/atomic functions whose first argument is the
+// address under discipline.
+var atomicFns = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFns[op+ty] = true
+		}
+	}
+}
+
+func run(m *analyzers.Module) []analyzers.Finding {
+	// Pass 1: find every field whose address feeds a sync/atomic call,
+	// either directly (&x.f as the argument) or through a local pointer
+	// (p := &x.f; atomic.LoadUint64(p)). Record the field objects, one
+	// atomic-use position each (for the report), and the AST nodes that
+	// constitute sanctioned atomic access.
+	marked := map[*types.Var]token.Position{}
+	exempt := map[ast.Node]bool{}
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			// Locals assigned from &<field chain> in this file: object -> the
+			// selector node and field it roots at.
+			type binding struct {
+				field *types.Var
+				sel   ast.Node
+			}
+			bound := map[types.Object]binding{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+					for i := range as.Lhs {
+						id, ok := as.Lhs[i].(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj == nil {
+							continue
+						}
+						if f, sel := addressedField(info, as.Rhs[i]); f != nil {
+							bound[obj] = binding{field: f, sel: sel}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !atomicFns[sel.Sel.Name] {
+					return true
+				}
+				obj := info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				arg := call.Args[0]
+				if f, fsel := addressedField(info, arg); f != nil {
+					mark(m, marked, f, arg)
+					exempt[fsel] = true
+				} else if id, ok := unparen(arg).(*ast.Ident); ok {
+					if b, ok := bound[info.Uses[id]]; ok {
+						mark(m, marked, b.field, arg)
+						exempt[b.sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of a marked field is a plain access. Composite
+	// literal keys (construction) are exempt.
+	var out []analyzers.Finding
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			// Collect construction-time field keys.
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							exempt[id] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if exempt[n] {
+						return true
+					}
+					if f, ok := info.Uses[n.Sel].(*types.Var); ok {
+						if at, isMarked := marked[f]; isMarked {
+							out = append(out, m.FindingAt(n.Sel.Pos(),
+								"plain access to field %s, which is accessed atomically at %s:%d",
+								fieldName(f), at.Filename, at.Line))
+						}
+					}
+				case *ast.Ident:
+					// Bare field references (composite-lit keys are exempted
+					// above; selector Sel idents are handled by their parent).
+					if exempt[n] {
+						return true
+					}
+					if f, ok := info.Uses[n].(*types.Var); ok && f.IsField() && !partOfSelector(file, n) {
+						if at, isMarked := marked[f]; isMarked {
+							out = append(out, m.FindingAt(n.Pos(),
+								"plain access to field %s, which is accessed atomically at %s:%d",
+								fieldName(f), at.Filename, at.Line))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func mark(m *analyzers.Module, marked map[*types.Var]token.Position, f *types.Var, at ast.Node) {
+	if _, ok := marked[f]; !ok {
+		marked[f] = m.Fset.Position(at.Pos())
+	}
+}
+
+// addressedField recognizes &x.f, &x.f[i], &x.f[i].g[j] ... expressions and
+// returns the outermost field being addressed plus the selector node that
+// names it.
+func addressedField(info *types.Info, e ast.Expr) (*types.Var, ast.Node) {
+	u, ok := unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, nil
+	}
+	inner := unparen(u.X)
+	for {
+		switch x := inner.(type) {
+		case *ast.IndexExpr:
+			inner = unparen(x.X)
+		case *ast.SelectorExpr:
+			if f, ok := info.Uses[x.Sel].(*types.Var); ok && f.IsField() {
+				return f, x
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// partOfSelector reports whether id is the Sel of some selector expression
+// in the file (those are reported through the SelectorExpr case).
+func partOfSelector(file *ast.File, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel == id {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// fieldName renders a field as Type.field for reports.
+func fieldName(f *types.Var) string {
+	name := f.Name()
+	if owner := fieldOwner(f); owner != "" {
+		return owner + "." + name
+	}
+	return name
+}
+
+// fieldOwner finds the named struct type declaring f, if any, by scanning
+// the field's package scope.
+func fieldOwner(f *types.Var) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,57 @@
+// Package a seeds mixed atomic/plain accesses the analyzer must flag.
+package a
+
+import "sync/atomic"
+
+type visited struct {
+	words []uint64
+	n     int // never atomic: plain access is fine
+}
+
+func newVisited(n int) *visited {
+	return &visited{words: make([]uint64, n), n: n} // construction: exempt
+}
+
+// claim is the sanctioned atomic path: direct and via a local pointer.
+func (v *visited) claim(idx uint64) bool {
+	w := &v.words[idx>>6]
+	bit := uint64(1) << (idx & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			return true
+		}
+	}
+}
+
+// count reads the words plainly: a data race against claim.
+func (v *visited) count() int {
+	c := 0
+	for _, w := range v.words { // want "plain access to field visited.words"
+		if w != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// reset writes the words plainly: same race.
+func (v *visited) reset() {
+	for i := range v.words { // want "plain access to field visited.words"
+		v.words[i] = 0 // want "plain access to field visited.words"
+	}
+	v.n = 0 // fine: n is never accessed atomically
+}
+
+type stats struct{ hits int64 }
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func read(s *stats) int64 {
+	return s.hits // want "plain access to field stats.hits"
+}

@@ -1,0 +1,34 @@
+// Package clean mixes typed atomics, purely-atomic raw fields, and purely
+// plain fields: no findings.
+package clean
+
+import "sync/atomic"
+
+type counters struct {
+	builds atomic.Int64 // typed atomics are safe by construction
+	name   string       // plain everywhere
+}
+
+func (c *counters) record() {
+	c.builds.Add(1)
+	c.name = "build"
+}
+
+type bits struct {
+	words []uint64
+}
+
+func newBits(n int) *bits {
+	return &bits{words: make([]uint64, n)} // construction: exempt
+}
+
+// set only ever touches words atomically.
+func (b *bits) set(i uint64) {
+	w := &b.words[i>>6]
+	for {
+		old := atomic.LoadUint64(w)
+		if atomic.CompareAndSwapUint64(w, old, old|(1<<(i&63))) {
+			return
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package cachekey guards the PR 5 graph-cache identity contract: every
+// build input must be part of the cache key, or two different builds will
+// collide on one cache entry and a checker will get a graph built under the
+// wrong options — a wrong-verdict bug, not a crash. The contract is
+// directive-driven so it survives refactors:
+//
+//   - the struct holding the build inputs (explore.Options) carries
+//     `//dc:cachekey inputs`;
+//   - the function that derives the cache key (explore.sharedKeyOf) carries
+//     `//dc:cachekey builder`;
+//   - a field deliberately excluded from the key carries
+//     `//dc:nokey <reason>` (explore.Options.Parallelism: graphs are
+//     canonical at any worker count).
+//
+// The analyzer then demands, per package: every field of an inputs struct
+// is either read somewhere in a builder function or annotated //dc:nokey;
+// no field is both (a stale exemption); every //dc:nokey has a reason; and
+// an inputs struct without any builder in its package is itself an error.
+// Adding a build-affecting option without extending the key becomes a
+// build failure instead of a latent wrong-verdict bug.
+package cachekey
+
+import (
+	"go/ast"
+	"go/types"
+
+	"detcorr/internal/analyzers"
+)
+
+// Analyzer returns the cachekey pass.
+func Analyzer() *analyzers.Analyzer {
+	return &analyzers.Analyzer{
+		Name: "cachekey",
+		Doc:  "every //dc:cachekey inputs field must feed the key builder or carry //dc:nokey",
+		Run:  run,
+	}
+}
+
+// inputField is one field of an inputs struct with its exemption state.
+type inputField struct {
+	name     string
+	obj      types.Object
+	pos      ast.Node
+	nokey    bool
+	reason   string
+	consumed bool
+}
+
+func run(m *analyzers.Module) []analyzers.Finding {
+	var out []analyzers.Finding
+	for _, pkg := range m.Packages {
+		out = append(out, checkPackage(m, pkg)...)
+	}
+	return out
+}
+
+func checkPackage(m *analyzers.Module, pkg *analyzers.Package) []analyzers.Finding {
+	var fields []*inputField
+	var inputStructs []*ast.TypeSpec
+	var builders []*ast.FuncDecl
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					arg, ok := analyzers.Directive(ts.Doc, "cachekey")
+					if !ok && len(d.Specs) == 1 {
+						arg, ok = analyzers.Directive(d.Doc, "cachekey")
+					}
+					if !ok || arg != "inputs" {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					inputStructs = append(inputStructs, ts)
+					fields = append(fields, collectFields(pkg, st)...)
+				}
+			case *ast.FuncDecl:
+				if arg, ok := analyzers.Directive(d.Doc, "cachekey"); ok && arg == "builder" {
+					builders = append(builders, d)
+				}
+			}
+		}
+	}
+	if len(inputStructs) == 0 && len(builders) == 0 {
+		return nil
+	}
+
+	var out []analyzers.Finding
+	if len(inputStructs) > 0 && len(builders) == 0 {
+		for _, ts := range inputStructs {
+			out = append(out, m.FindingAt(ts.Pos(),
+				"inputs struct %s has no //dc:cachekey builder function in package %s",
+				ts.Name.Name, pkg.Types.Name()))
+		}
+		return out
+	}
+
+	// Which input fields do the builders consult?
+	consulted := map[types.Object]bool{}
+	for _, b := range builders {
+		if b.Body == nil {
+			continue
+		}
+		ast.Inspect(b.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if obj := pkg.Info.Uses[sel.Sel]; obj != nil {
+					consulted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range fields {
+		f.consumed = consulted[f.obj]
+		switch {
+		case f.nokey && f.consumed:
+			out = append(out, m.FindingAt(f.pos.Pos(),
+				"stale //dc:nokey on %s: the key builder consults it", f.name))
+		case f.nokey && f.reason == "":
+			out = append(out, m.FindingAt(f.pos.Pos(),
+				"//dc:nokey on %s needs a reason", f.name))
+		case !f.nokey && !f.consumed:
+			out = append(out, m.FindingAt(f.pos.Pos(),
+				"cache key omits build input %s: extend the key builder or annotate //dc:nokey with a reason", f.name))
+		}
+	}
+	return out
+}
+
+// collectFields gathers the named fields of an inputs struct together with
+// their //dc:nokey exemptions (doc comment or trailing line comment).
+func collectFields(pkg *analyzers.Package, st *ast.StructType) []*inputField {
+	var fields []*inputField
+	for _, fld := range st.Fields.List {
+		reason, nokey := analyzers.Directive(fld.Doc, "nokey")
+		if !nokey {
+			reason, nokey = analyzers.Directive(fld.Comment, "nokey")
+		}
+		for _, name := range fld.Names {
+			fields = append(fields, &inputField{
+				name:   name.Name,
+				obj:    pkg.Info.Defs[name],
+				pos:    name,
+				nokey:  nokey,
+				reason: reason,
+			})
+		}
+	}
+	return fields
+}

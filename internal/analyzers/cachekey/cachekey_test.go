@@ -1,0 +1,19 @@
+package cachekey
+
+import (
+	"testing"
+
+	"detcorr/internal/analyzers/analyzertest"
+)
+
+func TestViolations(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/a")
+}
+
+func TestOrphanInputs(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/orphan")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/clean")
+}

@@ -1,0 +1,43 @@
+// Package a seeds cache-key drift: an unconsulted field, a stale
+// exemption, and a reasonless exemption.
+package a
+
+// Options is the build-input struct under the key contract.
+//
+//dc:cachekey inputs
+type Options struct {
+	Fair      []bool
+	MaxStates int
+	Workers   int // want "cache key omits build input Workers"
+
+	// Seed is exempted but the builder still consults it: stale.
+	//
+	//dc:nokey determinism makes the seed irrelevant
+	Seed int64 // want "stale //dc:nokey on Seed"
+
+	// Trace is exempted without a reason.
+	//
+	//dc:nokey
+	Trace string // want "//dc:nokey on Trace needs a reason"
+}
+
+type key struct {
+	fair string
+	max  int
+	seed int64
+}
+
+// keyOf derives the cache key.
+//
+//dc:cachekey builder
+func keyOf(o Options) key {
+	fair := ""
+	for _, f := range o.Fair {
+		if f {
+			fair += "1"
+		} else {
+			fair += "0"
+		}
+	}
+	return key{fair: fair, max: o.MaxStates, seed: o.Seed}
+}

@@ -1,0 +1,37 @@
+// Package clean is a correctly keyed inputs struct: every field consulted
+// or exempted with a reason.
+package clean
+
+// Options configures a build.
+//
+//dc:cachekey inputs
+type Options struct {
+	Fair      []bool
+	MaxStates int
+
+	// Parallelism stays out of the key: results are canonical at any
+	// worker count.
+	//
+	//dc:nokey results are canonical at any worker count
+	Parallelism int
+}
+
+type key struct {
+	fair string
+	max  int
+}
+
+// keyOf consults every keyed field.
+//
+//dc:cachekey builder
+func keyOf(o Options) key {
+	fair := make([]byte, len(o.Fair))
+	for i, f := range o.Fair {
+		if f {
+			fair[i] = '1'
+		} else {
+			fair[i] = '0'
+		}
+	}
+	return key{fair: string(fair), max: o.MaxStates}
+}

@@ -1,0 +1,9 @@
+// Package orphan declares an inputs struct with no key builder at all.
+package orphan
+
+// Options has the contract but nobody builds a key from it.
+//
+//dc:cachekey inputs
+type Options struct { // want "inputs struct Options has no //dc:cachekey builder function in package orphan"
+	MaxStates int
+}

@@ -5,7 +5,18 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"detcorr/internal/analyzers/analyzertest"
 )
+
+// TestAnalyzerGoldens exercises the dcvet adaptation: both directions of
+// the check on a violating fixture, a clean fixture, and the scoping rule
+// that packages mentioning DC codes without declaring any are skipped.
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, dir := range []string{"testdata/src/a", "testdata/src/clean", "testdata/src/mention"} {
+		analyzertest.RunGolden(t, Analyzer(), dir)
+	}
+}
 
 // TestRepoPackagesAreClean is the live gate: the two packages that declare
 // DC codes must keep their doc-header tables in sync with the constants.

@@ -1,0 +1,13 @@
+// Package a documents one real code and one ghost:
+//
+//	DC800  the documented one
+//	DC801  removed long ago
+package a
+
+// want-file "package doc of a documents DC801 but no exported Code\\* constant declares it"
+
+const (
+	CodeDocumented   = "DC800"
+	CodeUndocumented = "DC802" // want "constant CodeUndocumented = \"DC802\" is not documented in the package doc header of a"
+	CodeDup          = "DC800" // want "diagnostic code DC800 already declared at"
+)

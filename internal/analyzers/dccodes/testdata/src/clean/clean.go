@@ -1,0 +1,10 @@
+// Package clean declares and documents the same codes:
+//
+//	DC810  first
+//	DC811  second
+package clean
+
+const (
+	CodeFirst  = "DC810"
+	CodeSecond = "DC811"
+)

@@ -1,0 +1,7 @@
+// Package mention refers to DC100 and DC103 produced elsewhere; it
+// declares no Code* constants, so the module-wide pass is scoped to skip
+// it rather than flag every mention as a stale table entry.
+package mention
+
+// Describe names codes this package does not own.
+func Describe() string { return "see DC100 and DC103" }

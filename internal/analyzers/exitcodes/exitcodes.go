@@ -1,0 +1,226 @@
+// Package exitcodes keeps the CLI exit-code contract honest in three
+// places at once: the `exit*` constants a command actually returns, the
+// "Exit codes" paragraph of its package documentation, and the command's
+// "`name` exit codes:" table in the repository README. Exit codes are
+// machine interface — scripts and CI gate on them, lint:ignore workflows
+// depend on them — so a constant added without documentation, or a
+// documented code with no backing constant, is an interface bug of exactly
+// the kind the dccodes pass catches for DC diagnostic codes.
+//
+// For every main package declaring integer constants named exit*:
+//
+//   - the package doc must contain an "Exit codes" paragraph whose set of
+//     integers equals the set of constant values;
+//   - README.md at the module root must contain a paragraph introduced by
+//     "`<command>` exit codes:" whose set of backtick-quoted integers
+//     equals the same set;
+//   - no two exit* constants may share a value.
+//
+// Findings anchor at the constant declarations (the Go side of the
+// contract); messages carry the README line numbers where relevant.
+package exitcodes
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"detcorr/internal/analyzers"
+)
+
+// Analyzer returns the exitcodes pass.
+func Analyzer() *analyzers.Analyzer {
+	return &analyzers.Analyzer{
+		Name: "exitcodes",
+		Doc:  "exit* constants, package docs, and README exit-code tables must agree",
+		Run:  run,
+	}
+}
+
+var exitConstRE = regexp.MustCompile(`^exit[A-Z]`)
+
+func run(m *analyzers.Module) []analyzers.Finding {
+	var out []analyzers.Finding
+	readme, readmeErr := os.ReadFile(filepath.Join(m.Root, "README.md"))
+	for _, pkg := range m.Packages {
+		if pkg.Types.Name() != "main" {
+			continue
+		}
+		consts, firstPos := exitConsts(pkg)
+		if len(consts) == 0 {
+			continue
+		}
+		declared := map[int]string{}
+		for _, c := range consts {
+			if prev, dup := declared[c.value]; dup {
+				out = append(out, m.FindingAt(c.pos,
+					"exit code %d declared by both %s and %s", c.value, prev, c.name))
+				continue
+			}
+			declared[c.value] = c.name
+		}
+		cmd := filepath.Base(pkg.Dir)
+
+		// The package doc's "Exit codes" paragraph.
+		docText, docPos := packageDoc(pkg)
+		// The plural "exit codes" is required: command docs legitimately
+		// mention a single "exit code 4" long before the actual table.
+		docCodes, docOK := paragraphInts(docText, regexp.MustCompile(`(?i)exit codes\b`), intRE)
+		if !docOK {
+			out = append(out, m.FindingAt(docPos,
+				"package %s declares exit* constants but its package doc has no \"Exit codes\" paragraph", cmd))
+		} else {
+			out = append(out, compare(m, firstPos, declared, docCodes,
+				fmt.Sprintf("the package doc of %s", cmd))...)
+		}
+
+		// The README table.
+		if readmeErr != nil {
+			out = append(out, m.FindingAt(firstPos,
+				"cannot check %s exit-code table: %v", cmd, readmeErr))
+			continue
+		}
+		marker := regexp.MustCompile("`" + regexp.QuoteMeta(cmd) + "` exit codes?:")
+		mdCodes, line, found := readmeInts(string(readme), marker)
+		if !found {
+			out = append(out, m.FindingAt(firstPos,
+				"README.md has no \"`%s` exit codes:\" table for this command", cmd))
+			continue
+		}
+		out = append(out, compare(m, firstPos, declared, mdCodes,
+			fmt.Sprintf("the README.md table at line %d", line))...)
+	}
+	return out
+}
+
+// exitConst is one declared exit* integer constant.
+type exitConst struct {
+	name  string
+	value int
+	pos   token.Pos
+}
+
+// exitConsts collects the exit* integer constants of a package and the
+// position of the first one (the anchor for package-level findings).
+func exitConsts(pkg *analyzers.Package) ([]exitConst, token.Pos) {
+	var consts []exitConst
+	var first token.Pos
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "const" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !exitConstRE.MatchString(name.Name) {
+						continue
+					}
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.Int {
+						continue
+					}
+					v, ok := constant.Int64Val(c.Val())
+					if !ok {
+						continue
+					}
+					if first == 0 {
+						first = name.Pos()
+					}
+					consts = append(consts, exitConst{name: name.Name, value: int(v), pos: name.Pos()})
+				}
+			}
+		}
+	}
+	return consts, first
+}
+
+// packageDoc returns the package doc text and the position to anchor
+// doc-level findings at (the doc comment, or the package clause).
+func packageDoc(pkg *analyzers.Package) (string, token.Pos) {
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			return f.Doc.Text(), f.Doc.Pos()
+		}
+	}
+	if len(pkg.Files) > 0 {
+		return "", pkg.Files[0].Name.Pos()
+	}
+	return "", token.NoPos
+}
+
+var intRE = regexp.MustCompile(`\b(\d+)\b`)
+var backtickIntRE = regexp.MustCompile("`(\\d+)`")
+
+// paragraphInts finds the paragraph (blank-line-delimited) containing the
+// marker and returns the set of integers matched by rx's first group.
+func paragraphInts(text string, marker, rx *regexp.Regexp) (map[int]bool, bool) {
+	loc := marker.FindStringIndex(text)
+	if loc == nil {
+		return nil, false
+	}
+	rest := text[loc[1]:]
+	if end := strings.Index(rest, "\n\n"); end >= 0 {
+		rest = rest[:end]
+	}
+	codes := map[int]bool{}
+	for _, g := range rx.FindAllStringSubmatch(rest, -1) {
+		if v, err := strconv.Atoi(g[1]); err == nil {
+			codes[v] = true
+		}
+	}
+	return codes, true
+}
+
+// readmeInts locates the marker in the README, collects the backticked
+// integers of its paragraph, and reports the marker's line number.
+func readmeInts(readme string, marker *regexp.Regexp) (map[int]bool, int, bool) {
+	loc := marker.FindStringIndex(readme)
+	if loc == nil {
+		return nil, 0, false
+	}
+	line := 1 + strings.Count(readme[:loc[0]], "\n")
+	codes, _ := paragraphInts(readme, marker, backtickIntRE)
+	return codes, line, true
+}
+
+// compare reports the two-directional set difference between declared
+// constants and documented codes.
+func compare(m *analyzers.Module, pos token.Pos, declared map[int]string, documented map[int]bool, where string) []analyzers.Finding {
+	var out []analyzers.Finding
+	var values []int
+	for v := range declared {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	for _, v := range values {
+		if !documented[v] {
+			out = append(out, m.FindingAt(pos,
+				"exit code %d (%s) is not documented in %s", v, declared[v], where))
+		}
+	}
+	var extra []int
+	for v := range documented {
+		if _, ok := declared[v]; !ok {
+			extra = append(extra, v)
+		}
+	}
+	sort.Ints(extra)
+	for _, v := range extra {
+		out = append(out, m.FindingAt(pos,
+			"%s documents exit code %d but no exit* constant has that value", where, v))
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package exitcodes
+
+import (
+	"testing"
+
+	"detcorr/internal/analyzers/analyzertest"
+)
+
+func TestDrift(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/a")
+}
+
+func TestUndocumented(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/undoc")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/clean")
+}

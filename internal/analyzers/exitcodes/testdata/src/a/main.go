@@ -1,0 +1,14 @@
+// Command a demonstrates exit-code drift in every direction the
+// analyzer reports.
+//
+// Exit codes: 0 success; 1 findings; 9 reserved.
+package main
+
+const (
+	exitOK    = 0 // want "exit code 2 \\(exitUsage\\) is not documented in the package doc of a" "the package doc of a documents exit code 9 but no exit\\* constant has that value" "exit code 2 \\(exitUsage\\) is not documented in the README.md table at line 3" "the README.md table at line 3 documents exit code 7 but no exit\\* constant has that value"
+	exitFail  = 1
+	exitUsage = 2
+	exitAlias = 0 // want "exit code 0 declared by both exitOK and exitAlias"
+)
+
+func main() {}

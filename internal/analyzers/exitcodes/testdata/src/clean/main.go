@@ -1,0 +1,13 @@
+// Command clean keeps its exit-code contract consistent across
+// constants, package doc, and README: no findings.
+//
+// Exit codes: 0 success; 1 findings; 2 usage error.
+package main
+
+const (
+	exitOK    = 0
+	exitFail  = 1
+	exitUsage = 2
+)
+
+func main() {}

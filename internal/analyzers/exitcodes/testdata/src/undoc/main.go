@@ -1,0 +1,9 @@
+// Command undoc declares exit constants but documents none of them.
+package main
+
+// want-file "declares exit\\* constants but its package doc has no \"Exit codes\" paragraph"
+// want-file "README.md has no \"`undoc` exit codes:\" table"
+
+const exitOK = 0
+
+func main() {}

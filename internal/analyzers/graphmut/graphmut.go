@@ -1,0 +1,166 @@
+// Package graphmut enforces the write-once contract of the CSR graph
+// arenas: a `//dc:immutable` struct (explore.Graph, guarded.Kernel) is
+// assembled by its builders and then shared — across the graph cache,
+// across goroutines, across memoized derived artifacts — so any later
+// field assignment is a correctness bug that no test sees until two
+// checkers disagree. The derived-artifact layer (SetOf, Reach, the memos)
+// honors a clone-don't-mutate rule for exactly this reason.
+//
+// Sanctioned builders declare themselves per file with a
+// `//dc:mutates <Type>` comment; field assignments (including writes
+// through index or dereference chains such as g.vals[i] = v) anywhere else
+// are findings. Directive hygiene is checked both ways: a //dc:mutates
+// naming a type that is not //dc:immutable in the same package, and a file
+// declaring //dc:mutates without a single field write, are both stale and
+// flagged.
+//
+// The check is syntactic over typed ASTs: writes through an aliased slice
+// (row := g.vals[:n]; row[0] = v) are invisible to it, as is reflection.
+// It is a discipline gate, not an escape analysis.
+package graphmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"detcorr/internal/analyzers"
+)
+
+// Analyzer returns the graphmut pass.
+func Analyzer() *analyzers.Analyzer {
+	return &analyzers.Analyzer{
+		Name: "graphmut",
+		Doc:  "//dc:immutable struct fields may be assigned only in //dc:mutates files",
+		Run:  run,
+	}
+}
+
+func run(m *analyzers.Module) []analyzers.Finding {
+	var out []analyzers.Finding
+	for _, pkg := range m.Packages {
+		out = append(out, checkPackage(m, pkg)...)
+	}
+	return out
+}
+
+func checkPackage(m *analyzers.Module, pkg *analyzers.Package) []analyzers.Finding {
+	// Immutable types of this package: field object -> type name.
+	immutable := map[string]bool{}
+	fieldOf := map[*types.Var]string{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := analyzers.Directive(ts.Doc, "immutable"); !ok {
+					if _, ok := analyzers.Directive(gd.Doc, "immutable"); !ok || len(gd.Specs) != 1 {
+						continue
+					}
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				immutable[ts.Name.Name] = true
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							fieldOf[v] = ts.Name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(immutable) == 0 {
+		// Still flag //dc:mutates directives pointing at nothing.
+		var out []analyzers.Finding
+		for _, file := range pkg.Files {
+			for _, d := range analyzers.FileDirectives(file, "mutates") {
+				out = append(out, m.FindingAt(d.Pos,
+					"//dc:mutates %s: no //dc:immutable type of that name in package %s",
+					d.Arg, pkg.Types.Name()))
+			}
+		}
+		return out
+	}
+
+	var out []analyzers.Finding
+	for _, file := range pkg.Files {
+		allowed := map[string]bool{}
+		directiveAt := map[string]analyzers.FileDirective{}
+		for _, d := range analyzers.FileDirectives(file, "mutates") {
+			if !immutable[d.Arg] {
+				out = append(out, m.FindingAt(d.Pos,
+					"//dc:mutates %s: no //dc:immutable type of that name in package %s",
+					d.Arg, pkg.Types.Name()))
+				continue
+			}
+			allowed[d.Arg] = true
+			directiveAt[d.Arg] = d
+		}
+		wrote := map[string]bool{}
+		report := func(n ast.Node, lhs ast.Expr) {
+			f := assignedField(pkg.Info, lhs)
+			if f == nil {
+				return
+			}
+			tname, ok := fieldOf[f]
+			if !ok {
+				return
+			}
+			wrote[tname] = true
+			if !allowed[tname] {
+				out = append(out, m.FindingAt(n.Pos(),
+					"write to field %s of immutable type %s outside a //dc:mutates %s file",
+					f.Name(), tname, tname))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					report(lhs, lhs)
+				}
+			case *ast.IncDecStmt:
+				report(n, n.X)
+			}
+			return true
+		})
+		for tname := range allowed {
+			if !wrote[tname] {
+				out = append(out, m.FindingAt(directiveAt[tname].Pos,
+					"stale //dc:mutates %s: file never writes a %s field", tname, tname))
+			}
+		}
+	}
+	return out
+}
+
+// assignedField resolves an assignment target to the immutable-struct field
+// it ultimately writes: x.f, x.f[i], (*p).f[i][j], and chains thereof.
+func assignedField(info *types.Info, lhs ast.Expr) *types.Var {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if f, ok := info.Uses[e.Sel].(*types.Var); ok && f.IsField() {
+				return f
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

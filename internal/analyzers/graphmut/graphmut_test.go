@@ -1,0 +1,19 @@
+package graphmut
+
+import (
+	"testing"
+
+	"detcorr/internal/analyzers/analyzertest"
+)
+
+func TestViolations(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/a")
+}
+
+func TestStaleDirectives(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/stale")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/clean")
+}

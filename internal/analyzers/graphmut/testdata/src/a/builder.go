@@ -1,0 +1,25 @@
+// Package a has an immutable CSR-like struct, a sanctioned builder file,
+// and a file that mutates it illegally.
+//
+//dc:mutates Graph
+package a
+
+// Graph is write-once after build.
+//
+//dc:immutable
+type Graph struct {
+	n     int
+	off   []uint32
+	edges []int
+}
+
+// build is the sanctioned construction path.
+func build(n int) *Graph {
+	g := &Graph{n: n}
+	g.off = make([]uint32, n+1)
+	for i := range g.off {
+		g.off[i] = uint32(i)
+	}
+	g.edges = make([]int, 0, n)
+	return g
+}

@@ -1,0 +1,14 @@
+package a
+
+// trim mutates a shared graph: every write is a finding in this file,
+// which carries no //dc:mutates directive.
+func trim(g *Graph) {
+	g.n = 0      // want "write to field n of immutable type Graph"
+	g.off[0] = 7 // want "write to field off of immutable type Graph"
+	g.n++        // want "write to field n of immutable type Graph"
+}
+
+// read-only use is fine.
+func degree(g *Graph, v int) int {
+	return int(g.off[v+1] - g.off[v])
+}

@@ -1,0 +1,26 @@
+// Package clean builds an immutable struct only inside its sanctioned
+// builder file: no findings.
+//
+//dc:mutates Graph
+package clean
+
+// Graph is write-once after build.
+//
+//dc:immutable
+type Graph struct {
+	n   int
+	off []uint32
+}
+
+func build(n int) *Graph {
+	g := &Graph{n: n}
+	g.off = make([]uint32, n+1)
+	return g
+}
+
+// mutableScratch has no annotation: writes anywhere are fine.
+type mutableScratch struct {
+	buf []int
+}
+
+func (s *mutableScratch) reset() { s.buf = s.buf[:0] }

@@ -1,0 +1,23 @@
+// Package stale has directive-hygiene violations: a //dc:mutates naming an
+// unannotated type and one in a file that never writes.
+//
+//dc:mutates Graph
+//dc:mutates Cache
+package stale
+
+// want-file "stale //dc:mutates Graph: file never writes a Graph field"
+// want-file "//dc:mutates Cache: no //dc:immutable type of that name"
+
+// Graph is immutable but this file never writes it.
+//
+//dc:immutable
+type Graph struct {
+	n int
+}
+
+// Cache is not annotated at all.
+type Cache struct {
+	m map[string]int
+}
+
+func size(g *Graph) int { return g.n }

@@ -1,0 +1,185 @@
+// Package ignored guards against the quiet failure mode where a tracked
+// source file matches a .gitignore pattern: `git add` skips it, the tree
+// builds locally and breaks for everyone else, and nothing complains. The
+// repo hit exactly this when the binary patterns `dctl`/`dcbench` (before
+// they were root-anchored as `/dctl`) shadowed the cmd/dctl and
+// cmd/dcbench source directories.
+//
+// The analyzer evaluates every loaded Go file's module-relative path
+// against the root .gitignore and reports any file that ends up ignored,
+// anchored at the file's package clause. Fixtures name their pattern file
+// `_gitignore` (consulted only when no `.gitignore` exists) so the
+// fixture's own patterns do not un-track the fixture from the real
+// repository.
+//
+// The matcher is a deliberate subset of gitignore semantics: comments,
+// blank lines, `!` negation with last-match-wins, root-anchoring by any
+// inner slash, trailing-slash directory patterns, `*`/`?` within a
+// segment, and `**` across segments. Unsupported corners (character
+// classes, escaped leading `#`/`!`, the re-include-under-excluded-dir
+// rule) err toward silence, never toward false findings.
+package ignored
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"detcorr/internal/analyzers"
+)
+
+// Analyzer returns the ignored pass.
+func Analyzer() *analyzers.Analyzer {
+	return &analyzers.Analyzer{
+		Name: "ignored",
+		Doc:  "tracked Go source files must not match .gitignore patterns",
+		Run:  run,
+	}
+}
+
+func run(m *analyzers.Module) []analyzers.Finding {
+	pats := loadPatterns(m.Root)
+	if len(pats) == 0 {
+		return nil
+	}
+	var out []analyzers.Finding
+	for _, pkg := range m.Packages {
+		for i, file := range pkg.Files {
+			rel := pkg.Filenames[i]
+			if filepath.IsAbs(rel) {
+				continue // outside the module root; not subject to its .gitignore
+			}
+			if p := ignoredBy(pats, rel); p != nil {
+				out = append(out, m.FindingAt(file.Pos(),
+					"tracked Go file %s is matched by .gitignore pattern %q (line %d)",
+					rel, p.raw, p.line))
+			}
+		}
+	}
+	return out
+}
+
+// pattern is one compiled .gitignore line.
+type pattern struct {
+	raw     string
+	line    int
+	negate  bool
+	dirOnly bool
+	inner   bool // contains a non-trailing slash: anchored to the root
+	rx      *regexp.Regexp
+}
+
+// loadPatterns reads the module's .gitignore — or, only when that file
+// does not exist, the fixture spelling _gitignore — and compiles its
+// lines. Lines the subset matcher cannot compile are dropped.
+func loadPatterns(root string) []*pattern {
+	data, err := os.ReadFile(filepath.Join(root, ".gitignore"))
+	if err != nil {
+		data, err = os.ReadFile(filepath.Join(root, "_gitignore"))
+		if err != nil {
+			return nil
+		}
+	}
+	var pats []*pattern
+	for i, line := range strings.Split(string(data), "\n") {
+		raw := strings.TrimSpace(line)
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		p := &pattern{raw: raw, line: i + 1}
+		body := raw
+		if strings.HasPrefix(body, "!") {
+			p.negate = true
+			body = body[1:]
+		}
+		if strings.HasSuffix(body, "/") {
+			p.dirOnly = true
+			body = strings.TrimSuffix(body, "/")
+		}
+		p.inner = strings.Contains(body, "/")
+		body = strings.TrimPrefix(body, "/")
+		rx, err := compile(body)
+		if err != nil {
+			continue
+		}
+		p.rx = rx
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+// compile translates one gitignore glob into an anchored regexp:
+// `**/` crosses directories, `*` and `?` stay within one.
+func compile(glob string) (*regexp.Regexp, error) {
+	var b strings.Builder
+	b.WriteString("^")
+	for i := 0; i < len(glob); {
+		switch {
+		case strings.HasPrefix(glob[i:], "**/"):
+			b.WriteString(`(?:[^/]+/)*`)
+			i += 3
+		case strings.HasPrefix(glob[i:], "**"):
+			b.WriteString(`.*`)
+			i += 2
+		case glob[i] == '*':
+			b.WriteString(`[^/]*`)
+			i++
+		case glob[i] == '?':
+			b.WriteString(`[^/]`)
+			i++
+		default:
+			b.WriteString(regexp.QuoteMeta(glob[i : i+1]))
+			i++
+		}
+	}
+	b.WriteString("$")
+	return regexp.Compile(b.String())
+}
+
+// ignoredBy decides whether the slash-separated module-relative path rel
+// ends up ignored, returning the deciding pattern. A path is ignored if
+// the file itself, or any ancestor directory, is ignored after
+// last-match-wins evaluation.
+func ignoredBy(pats []*pattern, rel string) *pattern {
+	rel = filepath.ToSlash(rel)
+	// Ancestor directories first: an ignored directory ignores everything
+	// beneath it, and (as in git) a file-level negation cannot resurrect it.
+	parts := strings.Split(rel, "/")
+	for i := 1; i < len(parts); i++ {
+		dir := strings.Join(parts[:i], "/")
+		if p := decide(pats, dir, true); p != nil {
+			return p
+		}
+	}
+	return decide(pats, rel, false)
+}
+
+// decide runs last-match-wins over one candidate path and returns the
+// matching pattern if the candidate ends up ignored, nil otherwise.
+func decide(pats []*pattern, candidate string, isDir bool) *pattern {
+	var winner *pattern
+	ignored := false
+	base := candidate
+	if i := strings.LastIndexByte(candidate, '/'); i >= 0 {
+		base = candidate[i+1:]
+	}
+	for _, p := range pats {
+		if p.dirOnly && !isDir {
+			continue
+		}
+		target := base
+		if p.inner {
+			target = candidate
+		}
+		if !p.rx.MatchString(target) {
+			continue
+		}
+		ignored = !p.negate
+		winner = p
+	}
+	if ignored {
+		return winner
+	}
+	return nil
+}

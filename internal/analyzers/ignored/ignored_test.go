@@ -1,0 +1,69 @@
+package ignored
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"detcorr/internal/analyzers/analyzertest"
+)
+
+func TestViolations(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/clean")
+}
+
+// patterns compiles a literal gitignore body through the same loader the
+// analyzer uses.
+func patterns(t *testing.T, body string) []*pattern {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".gitignore"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return loadPatterns(dir)
+}
+
+// TestMatcherSubset pins the corners of the gitignore subset the golden
+// fixtures cannot reach from a single flat directory: directory patterns,
+// basename matching at depth, root anchoring, and ** spans.
+func TestMatcherSubset(t *testing.T) {
+	cases := []struct {
+		gitignore string
+		path      string
+		ignored   bool
+	}{
+		// An unanchored bare name ignores a directory at any depth — the
+		// original incident: `dctl` shadowing cmd/dctl/.
+		{"dctl\n", "cmd/dctl/main.go", true},
+		// Root-anchoring by leading slash: /dctl is the binary at the
+		// root, not the source directory below cmd/.
+		{"/dctl\n", "cmd/dctl/main.go", false},
+		{"/dctl\n", "dctl/main.go", true},
+		// Directory-only patterns never match plain files of that name.
+		{"vendor/\n", "vendor/x/y.go", true},
+		{"vendor/\n", "pkg/vendor", false},
+		// ** crosses directories; * stays within one.
+		{"**/gen.go\n", "a/b/gen.go", true},
+		{"**/gen.go\n", "gen.go", true},
+		{"cmd/*/zz_*.go\n", "cmd/dctl/zz_tab.go", true},
+		{"cmd/*/zz_*.go\n", "cmd/dctl/deep/zz_tab.go", false},
+		// Negation is last-match-wins at the file level...
+		{"*.go\n!keep.go\n", "keep.go", false},
+		{"!keep.go\n*.go\n", "keep.go", true},
+		// ...but cannot resurrect a file under an ignored directory.
+		{"build/\n!build/keep.go\n", "build/keep.go", true},
+		// Comments and blanks are inert.
+		{"# *.go\n\n", "main.go", false},
+	}
+	for _, c := range cases {
+		p := ignoredBy(patterns(t, c.gitignore), c.path)
+		if got := p != nil; got != c.ignored {
+			t.Errorf("gitignore %q, path %q: ignored = %v, want %v (pattern %+v)",
+				c.gitignore, c.path, got, c.ignored, p)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package a tracks Go files that its own ignore patterns shadow.
+package a
+
+// Kept exists so the package has a declaration beyond the clause.
+const Kept = true

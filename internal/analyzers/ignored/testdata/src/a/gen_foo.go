@@ -1,0 +1,3 @@
+package a // want "tracked Go file gen_foo.go is matched by .gitignore pattern \"gen_\\*.go\" \\(line 2\\)"
+
+const genFoo = 1

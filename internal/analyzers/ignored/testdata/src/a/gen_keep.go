@@ -1,0 +1,4 @@
+package a
+
+// genKeep is re-included by the !gen_keep.go negation: no finding.
+const genKeep = 2

@@ -1,0 +1,3 @@
+package a // want "tracked Go file tool.go is matched by .gitignore pattern \"/tool.go\" \\(line 4\\)"
+
+const tool = 3

@@ -1,0 +1,6 @@
+// Package clean has ignore patterns for binaries and scratch files; no
+// tracked Go file matches them.
+package clean
+
+// Live proves the file parses.
+const Live = true

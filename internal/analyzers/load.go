@@ -1,0 +1,237 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadModule parses and type-checks every non-test package under root (the
+// directory containing go.mod) and returns the loaded module. Directories
+// named testdata, hidden directories, and test files are skipped. Standard
+// library imports are type-checked from GOROOT source through one shared
+// importer, so type and object identities agree across the whole module —
+// the cross-package analyzers depend on that.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loadDirs(root, modPath, dirs)
+}
+
+// LoadDir loads a single directory as a one-package module rooted at dir.
+// The golden-test harness uses it on testdata fixture packages.
+func LoadDir(dir string) (*Module, error) {
+	return loadDirs(dir, "fixture", []string{dir})
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analyzers: no module line in %s", gomod)
+}
+
+// parsedPkg is one package between parsing and type-checking.
+type parsedPkg struct {
+	pkg     *Package
+	imports []string // module-internal import paths
+}
+
+func loadDirs(root, modPath string, dirs []string) (*Module, error) {
+	fset := token.NewFileSet()
+	byPath := map[string]*parsedPkg{}
+	var order []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pp, err := parseDir(fset, root, dir, importPath, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pp == nil {
+			continue // only test files
+		}
+		byPath[importPath] = pp
+		order = append(order, importPath)
+	}
+	sort.Strings(order)
+
+	m := &Module{Root: root, PathName: modPath, Fset: fset}
+	typed := map[string]*types.Package{}
+	imp := &moduleImporter{typed: typed, std: importer.ForCompiler(fset, "source", nil)}
+	var visit func(path string, trail []string) error
+	visit = func(path string, trail []string) error {
+		if _, done := typed[path]; done {
+			return nil
+		}
+		for _, t := range trail {
+			if t == path {
+				return fmt.Errorf("analyzers: import cycle through %s", path)
+			}
+		}
+		pp, ok := byPath[path]
+		if !ok {
+			return nil // external or test-only; the importer resolves it
+		}
+		for _, dep := range pp.imports {
+			if err := visit(dep, append(trail, path)); err != nil {
+				return err
+			}
+		}
+		if err := typeCheck(fset, pp.pkg, imp); err != nil {
+			return err
+		}
+		typed[path] = pp.pkg.Types
+		m.Packages = append(m.Packages, pp.pkg)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
+	return m, nil
+}
+
+// parseDir parses the non-test Go files of one directory. Filenames are
+// recorded relative to root so findings and goldens are machine-independent.
+func parseDir(fset *token.FileSet, root, dir, importPath, modPath string) (*parsedPkg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: importPath, Dir: dir}
+	imports := map[string]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		display := full
+		if rel, err := filepath.Rel(root, full); err == nil {
+			display = filepath.ToSlash(rel)
+		}
+		f, err := parser.ParseFile(fset, display, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, display)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err == nil && (p == modPath || strings.HasPrefix(p, modPath+"/")) {
+				imports[p] = true
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pp := &parsedPkg{pkg: pkg}
+	for p := range imports {
+		pp.imports = append(pp.imports, p)
+	}
+	sort.Strings(pp.imports)
+	return pp, nil
+}
+
+// typeCheck runs go/types over one parsed package with full Info maps.
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if firstErr != nil {
+		return fmt.Errorf("analyzers: type-checking %s: %w", pkg.Path, firstErr)
+	}
+	if err != nil {
+		return fmt.Errorf("analyzers: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// set and everything else (the standard library) from GOROOT source.
+type moduleImporter struct {
+	typed map[string]*types.Package
+	std   types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.typed[path]; ok {
+		return p, nil
+	}
+	return mi.std.Import(path)
+}

@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repo root from this file's position, so the tests
+// work regardless of the package the test binary runs in.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	m, err := LoadModule(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(m.Packages) < 20 {
+		t.Fatalf("loaded %d packages, expected the whole module (>= 20)", len(m.Packages))
+	}
+	want := map[string]bool{
+		"detcorr/internal/explore": false,
+		"detcorr/internal/guarded": false,
+		"detcorr/cmd/dctl":         false,
+	}
+	for _, p := range m.Packages {
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s: not type-checked", p.Path)
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package a seeds one violation of every zeroalloc rule.
+package a
+
+import "fmt"
+
+type box struct{ v int }
+
+// hot is annotated, so every allocating construct inside is a finding.
+//
+//dc:zeroalloc
+func hot(buf []int, n int) []int {
+	m := make([]int, n) // want "make allocates"
+	_ = m
+	p := new(box) // want "new allocates"
+	_ = p
+	mp := map[int]int{1: 2} // want "map literal allocates"
+	_ = mp
+	sl := []int{1, 2, 3} // want "slice literal allocates"
+	_ = sl
+	bp := &box{v: 1} // want "escaping composite literal"
+	_ = bp
+	local := []int{}         // want "slice literal allocates"
+	local = append(local, n) // want "append may grow"
+	_ = local
+	fresh := append(buf[:0:0], n) // want "append may grow"
+	_ = fresh
+	var sink any
+	sink = n // want "conversion of int to interface"
+	_ = sink
+	s := fmt.Sprintf("%d", n) // want "call to fmt.Sprintf allocates"
+	t := s + "!"              // want "string concatenation allocates"
+	b := []byte(t)            // want "string conversion allocates"
+	_ = b
+	k := n
+	f := func() int { return k } // want "closure captures k"
+	_ = f
+	return buf
+}
+
+// ret demonstrates the interface-conversion check on returns.
+//
+//dc:zeroalloc
+func ret(n int) any {
+	return n // want "conversion of int to interface"
+}
+
+// cold is not annotated: the same constructs produce no findings.
+func cold(n int) []int {
+	m := make([]int, n)
+	_ = fmt.Sprintf("%d", n)
+	return m
+}

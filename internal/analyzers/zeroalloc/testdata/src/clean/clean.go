@@ -1,0 +1,43 @@
+// Package clean exercises every pattern zeroalloc must accept: the
+// amortized append forms, value composite literals, panic-path exemptions,
+// and plain arithmetic over caller-owned buffers.
+package clean
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type scratch struct {
+	buf  []int
+	rows []pair
+}
+
+// step is the shape of the kernel hot path: caller-owned buffers grown in
+// place, value literals, and a panic guard on the failure path.
+//
+//dc:zeroalloc
+func step(sc *scratch, buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i*2) // amortized: param root, assigned back
+	}
+	sc.buf = sc.buf[:0]
+	sc.buf = append(sc.buf, n)                  // amortized: receiver-rooted buffer
+	sc.rows = append(sc.rows, pair{a: n, b: n}) // value literal into owned buffer
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // exempt: failure path
+	}
+	p := pair{a: 1, b: 2} // value struct literal: stack
+	_ = p
+	return append(buf, n) // amortized: caller receives the grown buffer
+}
+
+// visit calls a caller-supplied visitor without capturing anything.
+//
+//dc:zeroalloc
+func visit(xs []int, fn func(int) bool) {
+	for _, x := range xs {
+		if !fn(x) {
+			return
+		}
+	}
+}

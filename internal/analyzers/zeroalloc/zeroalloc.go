@@ -1,0 +1,424 @@
+// Package zeroalloc enforces the engine's steady-state allocation contract:
+// a function annotated `//dc:zeroalloc` — the compiled successor kernel's
+// step path, the bitset operations, the streaming-scan inner loops — must
+// contain no allocating construct. The PR 3 kernel owes its 0 allocs/op to
+// hand-discipline; this analyzer turns that discipline into a build gate so
+// a stray fmt call or escaping literal in the hot path fails `make check`
+// instead of silently costing 16 million allocations per Ring7 build again.
+//
+// Flagged constructs, with the finding at the allocating expression:
+//
+//   - make and new calls;
+//   - map and slice composite literals, and &T{} literals (which escape);
+//   - append calls whose destination is not a caller-owned buffer — append
+//     is allowed only in the amortized forms `x = append(x, ...)` and
+//     `return append(x, ...)` where x is rooted at a parameter or receiver,
+//     the warm-buffer contract the kernel documents;
+//   - func literals that capture variables of the enclosing function;
+//   - implicit or explicit conversions of concrete values to interface
+//     types (assignments, call arguments, returns);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - any call into package fmt.
+//
+// Arguments of a direct panic(...) call are exempt: a panicking kernel is
+// outside the steady state, and the hot paths guard domain violations with
+// panic(fmt.Sprintf(...)).
+package zeroalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"detcorr/internal/analyzers"
+)
+
+// Analyzer returns the zeroalloc pass.
+func Analyzer() *analyzers.Analyzer {
+	return &analyzers.Analyzer{
+		Name: "zeroalloc",
+		Doc:  "//dc:zeroalloc functions must not contain allocating constructs",
+		Run:  run,
+	}
+}
+
+func run(m *analyzers.Module) []analyzers.Finding {
+	var out []analyzers.Finding
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, ok := analyzers.Directive(fd.Doc, "zeroalloc"); !ok {
+					continue
+				}
+				c := &checker{m: m, info: pkg.Info, owned: ownedObjects(pkg.Info, fd)}
+				sig, _ := pkg.Info.Defs[fd.Name].Type().(*types.Signature)
+				c.walkBody(fd.Body, sig)
+				out = append(out, c.findings...)
+			}
+		}
+	}
+	return out
+}
+
+// checker carries the per-function analysis state.
+type checker struct {
+	m        *analyzers.Module
+	info     *types.Info
+	owned    map[types.Object]bool // parameters and receiver: caller-owned roots
+	findings []analyzers.Finding
+}
+
+func (c *checker) reportf(n ast.Node, format string, args ...any) {
+	c.findings = append(c.findings, c.m.FindingAt(n.Pos(), format, args...))
+}
+
+// ownedObjects collects the receiver and parameter objects of a function:
+// the roots append may amortize into.
+func ownedObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return owned
+}
+
+// walkBody inspects one function (or func literal) body. sig is the
+// enclosing signature, for checking return statements; it is nil when the
+// type checker could not produce one.
+func (c *checker) walkBody(body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.checkCall(n, sig)
+		case *ast.FuncLit:
+			c.checkCapture(n, body)
+			litSig, _ := c.info.TypeOf(n).(*types.Signature)
+			c.walkBody(n.Body, litSig)
+			return false
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n, false)
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				c.checkCompositeLit(lit, true)
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(c.info.TypeOf(n)) {
+				c.reportf(n, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n, sig)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call. It returns false when the subtree must not
+// be descended into further (panic arguments are exempt; flagged calls are
+// reported once).
+func (c *checker) checkCall(call *ast.CallExpr, sig *types.Signature) bool {
+	// Builtins (resolved through the type checker, so shadowing is honored).
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return false // failure path: exempt, including its arguments
+			case "make":
+				c.reportf(call, "make allocates")
+				return false
+			case "new":
+				c.reportf(call, "new allocates")
+				return false
+			case "append":
+				c.checkAppend(call)
+				return true
+			}
+			return true
+		}
+	}
+	// Conversions: T(x).
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(call, tv.Type, c.info.TypeOf(call.Args[0]))
+		return true
+	}
+	// Calls into package fmt.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := c.info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			c.reportf(call, "call to fmt.%s allocates", sel.Sel.Name)
+			return true
+		}
+	}
+	// Interface conversions at argument positions.
+	if csig, ok := c.info.TypeOf(call.Fun).Underlying().(*types.Signature); ok {
+		for i, arg := range call.Args {
+			pt := paramTypeAt(csig, i, call.Ellipsis.IsValid())
+			if pt != nil {
+				c.checkIfaceConv(arg, pt)
+			}
+		}
+	}
+	return true
+}
+
+// paramTypeAt resolves the type of the i-th argument slot, unrolling the
+// variadic tail unless the call spreads a slice with ... .
+func paramTypeAt(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && !ellipsis && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// checkAppend allows only the amortized caller-owned-buffer forms.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := call.Args[0]
+	root, path := exprRoot(dst)
+	if root != nil && c.owned[c.info.Uses[root]] && c.appendResultStaysOwned(call, path) {
+		return
+	}
+	c.reportf(call, "append may grow and reallocate: destination %s is not a caller-owned buffer assigned back in place", exprText(path, root))
+}
+
+// appendResultStaysOwned reports whether the append call's result flows
+// back into the caller-owned destination: either `x = append(x, ...)` with
+// identical x, or `return append(x, ...)` (the caller receives the grown
+// buffer).
+func (c *checker) appendResultStaysOwned(call *ast.CallExpr, dstPath string) bool {
+	parent := c.parentOf(call)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) == 1 && len(p.Rhs) == 1 && p.Rhs[0] == call {
+			root, path := exprRoot(p.Lhs[0])
+			return root != nil && path == dstPath
+		}
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+// parentOf finds the immediate parent node of target within the analyzed
+// forest. Zeroalloc bodies are small, so an on-demand scan is fine.
+func (c *checker) parentOf(target ast.Node) ast.Node {
+	var parent ast.Node
+	for _, pkg := range c.m.Packages {
+		for _, f := range pkg.Files {
+			if f.Pos() <= target.Pos() && target.End() <= f.End() {
+				var stack []ast.Node
+				ast.Inspect(f, func(n ast.Node) bool {
+					if n == nil {
+						stack = stack[:len(stack)-1]
+						return true
+					}
+					if parent != nil {
+						return false // found: skip the rest without pushing
+					}
+					if n == target {
+						if len(stack) > 0 {
+							parent = stack[len(stack)-1]
+						}
+						return false
+					}
+					stack = append(stack, n)
+					return true
+				})
+				return parent
+			}
+		}
+	}
+	return nil
+}
+
+// exprRoot walks a selector/index/paren/star chain down to its root
+// identifier, returning the root and a stable textual path (for comparing
+// append destination against assignment target).
+func exprRoot(e ast.Expr) (*ast.Ident, string) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e, e.Name
+	case *ast.SelectorExpr:
+		root, path := exprRoot(e.X)
+		if root == nil {
+			return nil, ""
+		}
+		return root, path + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprRoot(e.X)
+	case *ast.StarExpr:
+		return exprRoot(e.X)
+	case *ast.SliceExpr:
+		// x[:0] keeps the same backing buffer: same root, same path.
+		return exprRoot(e.X)
+	}
+	return nil, ""
+}
+
+func exprText(path string, root *ast.Ident) string {
+	if root == nil || path == "" {
+		return "expression"
+	}
+	return path
+}
+
+// checkCompositeLit flags literals that always heap-allocate: maps, slices,
+// and literals whose address is taken.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit, addressed bool) {
+	t := c.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.reportf(lit, "map literal allocates")
+	case *types.Slice:
+		c.reportf(lit, "slice literal allocates")
+	default:
+		if addressed {
+			c.reportf(lit, "escaping composite literal (&%s{...}) allocates", types.TypeString(t, types.RelativeTo(nil)))
+		}
+	}
+}
+
+// checkCapture flags func literals that close over variables of the
+// enclosing function: a capturing closure forces its environment (and
+// itself) onto the heap.
+func (c *checker) checkCapture(lit *ast.FuncLit, encl *ast.BlockStmt) {
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing body (or its params) but
+		// outside the literal.
+		if obj.Pos() >= encl.Pos() && obj.Pos() < lit.Pos() {
+			c.reportf(lit, "closure captures %s and allocates", id.Name)
+			reported = true
+			return false
+		}
+		// Parameters and receiver of the annotated function count too.
+		if c.owned[obj] && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+			c.reportf(lit, "closure captures %s and allocates", id.Name)
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) checkAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i := range a.Lhs {
+		if lt := c.info.TypeOf(a.Lhs[i]); lt != nil {
+			c.checkIfaceConv(a.Rhs[i], lt)
+		}
+	}
+}
+
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		if obj := c.info.Defs[name]; obj != nil {
+			c.checkIfaceConv(vs.Values[i], obj.Type())
+		}
+	}
+}
+
+func (c *checker) checkReturn(r *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || len(r.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range r.Results {
+		c.checkIfaceConv(res, sig.Results().At(i).Type())
+	}
+}
+
+// checkIfaceConv flags a concrete value converted to an interface type.
+func (c *checker) checkIfaceConv(val ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	vt := c.info.TypeOf(val)
+	if vt == nil || types.IsInterface(vt) {
+		return
+	}
+	if b, ok := vt.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.reportf(val, "conversion of %s to interface %s allocates", vt, dst)
+}
+
+// checkConversion flags string<->byte/rune-slice conversions.
+func (c *checker) checkConversion(call *ast.CallExpr, dst, src types.Type) {
+	if dst == nil || src == nil {
+		return
+	}
+	if types.IsInterface(dst) {
+		c.checkIfaceConv(call.Args[0], dst)
+		return
+	}
+	dstStr, srcStr := isString(dst), isString(src)
+	if dstStr && isByteOrRuneSlice(src) || srcStr && isByteOrRuneSlice(dst) {
+		c.reportf(call, "string conversion allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

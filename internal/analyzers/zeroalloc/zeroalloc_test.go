@@ -1,0 +1,15 @@
+package zeroalloc
+
+import (
+	"testing"
+
+	"detcorr/internal/analyzers/analyzertest"
+)
+
+func TestViolations(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analyzertest.RunGolden(t, Analyzer(), "testdata/src/clean")
+}

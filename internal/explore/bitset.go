@@ -31,12 +31,18 @@ func NewBitset(n int) *Bitset {
 }
 
 // Len returns the capacity of the set.
+//
+//dc:zeroalloc
 func (b *Bitset) Len() int { return b.n }
 
 // Add inserts id into the set.
+//
+//dc:zeroalloc
 func (b *Bitset) Add(id int) { b.words[id>>6] |= 1 << (uint(id) & 63) }
 
 // Fill inserts every id in [0,n), one word at a time.
+//
+//dc:zeroalloc
 func (b *Bitset) Fill() {
 	for i := range b.words {
 		b.words[i] = ^uint64(0)
@@ -47,12 +53,18 @@ func (b *Bitset) Fill() {
 }
 
 // Remove deletes id from the set.
+//
+//dc:zeroalloc
 func (b *Bitset) Remove(id int) { b.words[id>>6] &^= 1 << (uint(id) & 63) }
 
 // Has reports whether id is in the set.
+//
+//dc:zeroalloc
 func (b *Bitset) Has(id int) bool { return b.words[id>>6]&(1<<(uint(id)&63)) != 0 }
 
 // Count returns the number of ids in the set.
+//
+//dc:zeroalloc
 func (b *Bitset) Count() int {
 	c := 0
 	for _, w := range b.words {
@@ -62,6 +74,8 @@ func (b *Bitset) Count() int {
 }
 
 // Empty reports whether the set has no elements.
+//
+//dc:zeroalloc
 func (b *Bitset) Empty() bool {
 	for _, w := range b.words {
 		if w != 0 {
@@ -77,6 +91,8 @@ func (b *Bitset) Clone() *Bitset {
 }
 
 // Union adds every element of other to b.
+//
+//dc:zeroalloc
 func (b *Bitset) Union(other *Bitset) {
 	for i := range b.words {
 		b.words[i] |= other.words[i]
@@ -84,6 +100,8 @@ func (b *Bitset) Union(other *Bitset) {
 }
 
 // Intersect removes from b every element not in other.
+//
+//dc:zeroalloc
 func (b *Bitset) Intersect(other *Bitset) {
 	for i := range b.words {
 		b.words[i] &= other.words[i]
@@ -92,6 +110,8 @@ func (b *Bitset) Intersect(other *Bitset) {
 
 // IntersectNot intersects b with the complement of other (b ← b ∩ ¬other),
 // in place and one word at a time, without materializing the complement.
+//
+//dc:zeroalloc
 func (b *Bitset) IntersectNot(other *Bitset) {
 	for i := range b.words {
 		b.words[i] &^= other.words[i]
@@ -100,6 +120,8 @@ func (b *Bitset) IntersectNot(other *Bitset) {
 
 // Subtract removes from b every element of other. It is IntersectNot under
 // its set-difference name.
+//
+//dc:zeroalloc
 func (b *Bitset) Subtract(other *Bitset) { b.IntersectNot(other) }
 
 // Complement returns the set of ids in [0,n) not in b.
@@ -116,6 +138,8 @@ func (b *Bitset) Complement() *Bitset {
 }
 
 // SubsetOf reports whether every element of b is in other.
+//
+//dc:zeroalloc
 func (b *Bitset) SubsetOf(other *Bitset) bool {
 	for i := range b.words {
 		if b.words[i]&^other.words[i] != 0 {
@@ -145,6 +169,8 @@ func (b *Bitset) ForEach(fn func(id int) bool) {
 //	for id := b.NextAfter(-1); id >= 0; id = b.NextAfter(id) { ... }
 //
 // visits the set in increasing order without the closure ForEach needs.
+//
+//dc:zeroalloc
 func (b *Bitset) NextAfter(id int) int {
 	next := id + 1
 	if next < 0 {

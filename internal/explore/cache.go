@@ -148,6 +148,8 @@ func fairKeyOf(fair []bool) string {
 
 // sharedKeyOf derives the cache key for a request, reporting false when the
 // request cannot be keyed (the init predicate has no memoizable name).
+//
+//dc:cachekey builder
 func sharedKeyOf(p *guarded.Program, init state.Predicate, opts Options) (cacheKey, bool) {
 	name := init.String()
 	if !memoizablePredName(name) {

@@ -1,5 +1,11 @@
 package explore
 
+// Filtered views are shallow Graph copies whose edge, fairness, and memo
+// fields are rewritten before the view escapes; this file is a sanctioned
+// builder for them.
+//
+//dc:mutates Graph
+
 // filterEdges builds a view of the graph keeping only the out-edges for
 // which keep returns true, sharing the state arena, enabledness bitsets, and
 // fairness mask. The in-edge CSR is rebuilt only when withIn is set; callers

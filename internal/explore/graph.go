@@ -8,6 +8,11 @@ import (
 	"detcorr/internal/state"
 )
 
+// The sequential engine below assembles the Graph arenas in place; this
+// file is a sanctioned builder.
+//
+//dc:mutates Graph
+
 // Edge is a transition to node To produced by the action with index Action
 // in the source program.
 type Edge struct {
@@ -25,6 +30,13 @@ type Edge struct {
 // arrays; and per-action enabledness is precomputed into bitsets during
 // assembly, so Deadlocked, the fairness engine, and the SCC passes never
 // re-evaluate guards.
+//
+// Graphs are write-once: after assembly they are shared across the cache,
+// across goroutines, and across memoized derived artifacts, so field
+// writes are confined to the //dc:mutates builder files (the dcvet
+// graphmut analyzer enforces it).
+//
+//dc:immutable
 type Graph struct {
 	prog   *guarded.Program
 	schema *state.Schema
@@ -53,7 +65,12 @@ type Graph struct {
 	memo *graphMemo
 }
 
-// Options configure graph construction.
+// Options configure graph construction. Every field that influences the
+// built graph must be consulted by sharedKeyOf (the graph-cache key
+// builder) or carry a //dc:nokey exemption; the dcvet cachekey analyzer
+// enforces the invariant.
+//
+//dc:cachekey inputs
 type Options struct {
 	// Fair marks which actions are program actions (weakly fair, counted
 	// for maximality). nil means all actions are fair. Fault actions of a
@@ -72,6 +89,8 @@ type Options struct {
 	// produce identical graphs: node ids are canonically renumbered by
 	// state index, so the result does not depend on worker count or
 	// schedule.
+	//
+	//dc:nokey graphs are canonical — byte-identical at any worker count
 	Parallelism int
 }
 

@@ -1,5 +1,10 @@
 package explore
 
+// The parallel engine assembles the CSR arenas of the Graph it returns;
+// this file is a sanctioned builder.
+//
+//dc:mutates Graph
+
 import (
 	"fmt"
 	"runtime"
@@ -144,6 +149,8 @@ func boundError(maxStates int) error {
 // scanInit calls fn(idx) for every index in [lo, hi) whose state satisfies
 // init, walking the mixed-radix odometer incrementally over a reusable row
 // (no per-state allocation). It stops early, reporting false, when fn does.
+//
+//dc:zeroalloc
 func scanInit(sch *state.Schema, init state.Predicate, lo, hi uint64, row []int32, fn func(idx uint64) bool) bool {
 	if lo >= hi {
 		return true

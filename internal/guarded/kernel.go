@@ -26,6 +26,12 @@ import (
 // (actions in declaration order, each action's nondeterminism in statement
 // order), which is what keeps kernel-built graphs byte-identical to
 // closure-built ones under the canonical-renumbering contract.
+//
+// The hot-path functions below carry //dc:zeroalloc and the Kernel struct
+// //dc:immutable; the dcvet zeroalloc and graphmut analyzers hold this
+// file to both contracts. Compile is the sanctioned Kernel builder:
+//
+//dc:mutates Kernel
 
 // OpCode is a kernel bytecode instruction. The expression machine is a pure
 // stack machine over int operands: leaves push, unary ops rewrite the top of
@@ -94,6 +100,8 @@ type CompiledAction struct {
 
 // evalOps runs the expression machine on a row. stack must have capacity for
 // the expression's maximal depth (Kernel sizes it at Compile time).
+//
+//dc:zeroalloc
 func evalOps(ops []Op, row []int32, stack []int) int {
 	sp := 0
 	for i := range ops {
@@ -153,6 +161,7 @@ func evalOps(ops []Op, row []int32, stack []int) int {
 	return stack[0]
 }
 
+//dc:zeroalloc
 func b2i(b bool) int {
 	if b {
 		return 1
@@ -161,6 +170,8 @@ func b2i(b bool) int {
 }
 
 // opsStackDepth returns the maximal stack depth evalOps needs for ops.
+//
+//dc:zeroalloc
 func opsStackDepth(ops []Op) int {
 	depth, max := 0, 0
 	for _, op := range ops {
@@ -201,6 +212,8 @@ type kact struct {
 // stepping goes through the scratch. The schema must be indexable for the
 // index-addressed methods to be meaningful (internal/explore checks this
 // before compiling).
+//
+//dc:immutable
 type Kernel struct {
 	prog     *Program
 	schema   *state.Schema
@@ -303,6 +316,8 @@ func (k *Kernel) NewScratch() *Scratch {
 
 // Load decodes the state with the given mixed-radix index into the scratch
 // row. Subsequent Enabled calls evaluate against that row.
+//
+//dc:zeroalloc
 func (sc *Scratch) Load(idx uint64) {
 	if sc.hasRow && sc.loaded == idx {
 		return
@@ -320,16 +335,21 @@ func (sc *Scratch) View(idx uint64) state.State {
 }
 
 // Enabled reports whether action a's guard holds at the loaded row.
+//
+//dc:zeroalloc
 func (sc *Scratch) Enabled(a int) bool {
 	return sc.guardHolds(&sc.k.acts[a], sc.row, sc.view)
 }
 
 // EnabledOnRow evaluates action a's guard directly on a caller-owned row
 // (for example a graph arena row) without copying it into the scratch.
+//
+//dc:zeroalloc
 func (sc *Scratch) EnabledOnRow(row []int32, a int) bool {
 	return sc.guardHolds(&sc.k.acts[a], row, sc.k.schema.ViewState(row))
 }
 
+//dc:zeroalloc
 func (sc *Scratch) guardHolds(a *kact, row []int32, view state.State) bool {
 	if a.comp != nil && a.comp.Guard != nil {
 		return evalOps(a.comp.Guard, row, sc.stack) != 0
@@ -341,6 +361,8 @@ func (sc *Scratch) guardHolds(a *kact, row []int32, view state.State) bool {
 // index to buf and returns it, in exactly the order Program.Successors
 // enumerates them. With a buffer of sufficient capacity the native path
 // performs no heap allocations.
+//
+//dc:zeroalloc
 func (sc *Scratch) Transitions(idx uint64, buf []Succ) []Succ {
 	sc.Load(idx)
 	for ai := range sc.k.acts {
@@ -366,6 +388,8 @@ func (sc *Scratch) Transitions(idx uint64, buf []Succ) []Succ {
 // Step appends the mixed-radix indices of all successors of idx to buf and
 // returns it: Transitions stripped of the action labels. It is the
 // allocation-free reachability primitive.
+//
+//dc:zeroalloc
 func (sc *Scratch) Step(idx uint64, buf []uint64) []uint64 {
 	sc.Load(idx)
 	for ai := range sc.k.acts {
@@ -397,6 +421,8 @@ func (sc *Scratch) Step(idx uint64, buf []uint64) []uint64 {
 // into the post row, then wild ('?') variables enumerate their domains
 // lexicographically in declaration order. The emitted index is maintained
 // incrementally over the wild odometer, so each successor costs O(#wild).
+//
+//dc:zeroalloc
 func (sc *Scratch) compiledSucc(ai int32, c *CompiledAction, buf []Succ) []Succ {
 	k := sc.k
 	copy(sc.post, sc.row)

@@ -130,6 +130,8 @@ func (s *Schema) StateAt(idx uint64) State {
 // allocation-free form of StateAt: the compiled transition kernel and the
 // graph's state arena decode into reusable rows with it. The schema must be
 // indexable.
+//
+//dc:zeroalloc
 func (s *Schema) DecodeInto(vals []int32, idx uint64) {
 	if len(vals) != len(s.vars) {
 		panic(fmt.Sprintf("state: DecodeInto %d slots for %d variables", len(vals), len(s.vars)))
@@ -144,6 +146,8 @@ func (s *Schema) DecodeInto(vals []int32, idx uint64) {
 // IndexOfVals returns the canonical mixed-radix index of the raw value
 // vector, the inverse of DecodeInto. Values are not domain-checked; callers
 // (the kernel) guarantee in-domain rows.
+//
+//dc:zeroalloc
 func (s *Schema) IndexOfVals(vals []int32) uint64 {
 	var idx uint64
 	for i, v := range vals {
@@ -155,6 +159,8 @@ func (s *Schema) IndexOfVals(vals []int32) uint64 {
 // Radix returns the mixed-radix weight of variable i: the contribution of
 // one unit of vals[i] to the state index (the product of the domain sizes of
 // the variables after i). Zero when the schema is not indexable.
+//
+//dc:zeroalloc
 func (s *Schema) Radix(i int) uint64 { return s.radix[i] }
 
 // ViewState wraps a caller-owned value vector as a State without copying.
@@ -162,6 +168,8 @@ func (s *Schema) Radix(i int) uint64 { return s.radix[i] }
 // it through Equal/Index/Get) is in use; mutating methods such as With still
 // copy, so views respect the package's immutability contract as long as the
 // backing row is stable. Values are not domain-checked.
+//
+//dc:zeroalloc
 func (s *Schema) ViewState(vals []int32) State {
 	if len(vals) != len(s.vars) {
 		panic(fmt.Sprintf("state: ViewState over %d values for %d variables", len(vals), len(s.vars)))
