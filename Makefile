@@ -9,10 +9,10 @@ LINT_CLEAN := $(filter-out \
 	internal/lint/testdata/resolve.gcl, \
 	$(wildcard internal/lint/testdata/*.gcl))
 
-.PHONY: check build fmt vet dcvet dccodes test race lint prove fuzz bench bench-diff profile clean
+.PHONY: check build fmt vet dcvet dccodes test race serve-test lint prove fuzz bench bench-diff profile clean
 
 # The full local gate: everything CI would run.
-check: build fmt vet dcvet test race lint prove fuzz
+check: build fmt vet dcvet test race serve-test lint prove fuzz
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,15 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+# The dcserved proof-of-correctness suites under the race detector: the
+# synthetic client swarm (dedup + ground-truth verdicts under load), the
+# tenant-quota hammer, the drain/admission end-to-end tests, and the
+# dctl-verdict/dcserved byte-parity difftest. `race` already covers these
+# packages once; this target reruns them shuffled at count=2 so the swarm
+# schedules differ between runs.
+serve-test:
+	$(GO) test -race -shuffle=on -count=2 ./internal/serve/... ./cmd/dcserved ./cmd/dctl
 
 # The repo's own analyzer suite (internal/analyzers) over the whole module:
 # kernel zero-alloc contract, atomics discipline, cache-key completeness,
@@ -65,7 +74,9 @@ bench:
 # bench-diff runs the exploration-heavy benchmarks with allocation counting
 # and records the results: graph builds and kernel step microbenchmarks in
 # BENCH_kernel.json, graph-cache reuse and streaming-scan benchmarks in
-# BENCH_reuse.json. Perf changes land with before/after evidence (compare
+# BENCH_reuse.json, and the dcserved swarm throughput/latency record
+# (req/s, p50/p99) in BENCH_served.json. Perf changes land with before/after
+# evidence (compare
 # with `go run golang.org/x/perf/cmd/benchstat` if available, or by eye —
 # the files are plain `go test -json` output). The reuse benchmarks include
 # the deliberately slow UncachedCheck baseline, so they run at -benchtime=3x.
@@ -74,6 +85,8 @@ bench-diff:
 	@grep -o '"Output":"[^"]*"' BENCH_kernel.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 	$(GO) test -json -run='^$$' -bench='CachedReuse|UncachedCheck|Scan' -benchtime=3x -benchmem . > BENCH_reuse.json
 	@grep -o '"Output":"[^"]*"' BENCH_reuse.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+	$(GO) test -json -run='^$$' -bench='ServedSwarm' ./internal/serve > BENCH_served.json
+	@grep -o '"Output":"[^"]*"' BENCH_served.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
 # profile regenerates the heaviest experiment with pprof instrumentation and
 # drops cpu.pprof/mem.pprof in the working tree for `go tool pprof`.

@@ -7,6 +7,13 @@
 //	dcbench -j 0       # explore state spaces with all CPUs
 //	dcbench -list      # list experiment ids
 //	dcbench -stats     # also print graph-cache counters after the run
+//	dcbench -swarm 64  # drive an in-process dcserved with a client swarm
+//
+// -swarm N boots the dcserved verdict service on a loopback port and
+// replays the deterministic serve corpus from N concurrent clients
+// (-swarm-rounds replays each), printing throughput, p50/p99 latency,
+// refusal counts, and the graph-cache counters. Every response is checked
+// against ground truth; a wrong verdict under load makes the run fail.
 //
 // -j N sets the worker count for state-space exploration and simulation
 // campaigns (0 = all CPUs, default 1 = sequential); the tables are
@@ -47,6 +54,8 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	jobs := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
 	stats := fs.Bool("stats", false, "print graph-cache counters after the run")
+	swarm := fs.Int("swarm", 0, "drive an in-process dcserved with this many concurrent clients instead of running experiments")
+	swarmRounds := fs.Int("swarm-rounds", 3, "corpus replays per swarm client")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +95,9 @@ func run(args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if *swarm > 0 {
+		return runSwarm(*swarm, *swarmRounds)
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {

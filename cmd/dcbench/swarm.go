@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/serve"
+	"detcorr/internal/serve/api"
+	"detcorr/internal/serve/corpus"
+)
+
+// runSwarm boots an in-process dcserved on a loopback port and drives it
+// with the same deterministic client swarm the serve test suite uses:
+// `clients` concurrent clients each replaying the full corpus mix `rounds`
+// times, every response checked against the corpus ground truth. It prints
+// the throughput/latency record plus the cache counters that show how many
+// of those requests collapsed into actual evaluations.
+func runSwarm(clients, rounds int) error {
+	srv := serve.NewServer(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("swarm: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	items := corpus.Items()
+	bodies := make([][]byte, len(items))
+	for i, item := range items {
+		var b bytes.Buffer
+		if err := api.Encode(&b, item.Request); err != nil {
+			return err
+		}
+		bodies[i] = b.Bytes()
+	}
+
+	var (
+		mu       sync.Mutex
+		lat      []time.Duration
+		refused  atomic.Int64
+		failures atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			local := make([]time.Duration, 0, rounds*len(items))
+			for r := 0; r < rounds; r++ {
+				for i := range items {
+					idx := (c + i) % len(items)
+					t0 := time.Now()
+					verdict, retries, err := askOnce(client, base, bodies[idx])
+					local = append(local, time.Since(t0))
+					refused.Add(int64(retries))
+					if err != nil || verdict != items[idx].Verdict {
+						failures.Add(1)
+					}
+				}
+			}
+			mu.Lock()
+			lat = append(lat, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	total := len(lat)
+	fmt.Printf("swarm: %d clients × %d rounds × %d items = %d requests in %s\n",
+		clients, rounds, len(items), total, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput %.0f req/s, p50 %s, p99 %s, %d refusals (429), %d wrong verdicts\n",
+		float64(total)/elapsed.Seconds(),
+		lat[total/2].Round(time.Microsecond),
+		lat[total*99/100].Round(time.Microsecond),
+		refused.Load(), failures.Load())
+	s := explore.CacheStats()
+	fmt.Printf("graph cache: %d builds, %d hits, %d misses, %d bypasses, %d evictions, %d graphs resident (%d states)\n",
+		s.Builds, s.Hits, s.Misses, s.Bypasses, s.Evictions, s.Resident, s.States)
+	if failures.Load() > 0 {
+		return fmt.Errorf("swarm: %d responses carried the wrong verdict", failures.Load())
+	}
+	return nil
+}
+
+// askOnce posts one pre-encoded request, retrying on 429, and returns the
+// verdict string.
+func askOnce(client *http.Client, base string, body []byte) (string, int, error) {
+	retries := 0
+	for {
+		resp, err := client.Post(base+"/v1/verdict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", retries, err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", retries, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retries++
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if after < 1 {
+				after = 1
+			}
+			time.Sleep(time.Duration(after) * 5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", retries, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+		var v api.Response
+		if err := json.Unmarshal(b, &v); err != nil {
+			return "", retries, err
+		}
+		return v.Verdict, retries, nil
+	}
+}

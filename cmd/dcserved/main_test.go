@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"detcorr/internal/serve/api"
+	"detcorr/internal/serve/corpus"
+)
+
+func TestRunUsage(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &errOut); code != exitUsage {
+		t.Errorf("unknown flag: exit %d, want %d", code, exitUsage)
+	}
+	errOut.Reset()
+	if code := run([]string{"stray"}, &errOut); code != exitUsage {
+		t.Errorf("stray argument: exit %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(errOut.String(), "unexpected arguments") {
+		t.Errorf("stray argument message: %q", errOut.String())
+	}
+}
+
+func TestRunListenFailure(t *testing.T) {
+	// Occupy a port, then ask the daemon to bind it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var errOut bytes.Buffer
+	if code := run([]string{"-addr", l.Addr().String(), "-quiet"}, &errOut); code != exitFail {
+		t.Errorf("bind conflict: exit %d, want %d\n%s", code, exitFail, errOut.String())
+	}
+}
+
+// TestRunServesAndDrains boots the real daemon on an ephemeral port, gets a
+// verdict over HTTP, then delivers SIGTERM and requires a clean exit-0
+// drain — the full lifecycle a supervisor sees.
+func TestRunServesAndDrains(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var errOut bytes.Buffer
+	exit := make(chan int, 1)
+	go func() { exit <- run([]string{"-addr", addr, "-inflight", "2"}, &errOut) }()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy:\n%s", errOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var body bytes.Buffer
+	req := api.Request{Program: corpus.Countdown, Check: api.CheckDeadlock, From: "Top"}
+	if err := api.Encode(&body, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/verdict", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdict status = %d body %s", resp.StatusCode, b)
+	}
+	var v api.Response
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != api.VerdictDeadlock {
+		t.Errorf("verdict = %s, want deadlock", v.Verdict)
+	}
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mb), `dcserved_verdicts_total{cache="miss"} 1`) {
+		t.Errorf("metrics missing the served verdict:\n%s", mb)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != exitOK {
+			t.Errorf("drain exit = %d, want %d\n%s", code, exitOK, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never drained:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "drained cleanly") {
+		t.Errorf("log missing clean-drain line:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), fmt.Sprintf("listening on %s", addr)) {
+		t.Errorf("log missing listen line:\n%s", errOut.String())
+	}
+}

@@ -40,6 +40,16 @@
 //	dctl corrects <file.gcl> -z Z -x X -from U [-tolerant kind] [-j N]
 //	    Check 'Z corrects X' likewise.
 //
+//	dctl verdict <file.gcl> -check closure|detects|corrects|convergence|deadlock|prove
+//	    [-invariant S] [-goal R] [-z Z -x X] [-from U] [-span T|auto]
+//	    [-rank "e1,e2"] [-tolerant kind] [-faults] [-max-states N]
+//	    Decide one property and print the verdict in the dcserved wire
+//	    encoding (internal/serve/api). The evaluation and the JSON are
+//	    shared with the dcserved daemon, so stdout is byte-identical to the
+//	    daemon's response body for the same program and property. Lint
+//	    errors exit with code 3 here (the source failed to load), matching
+//	    the daemon's 422.
+//
 //	dctl simulate <file.gcl> -init "a=1,b=2" [-steps N] [-seed S]
 //	    [-faults K] [-goal P] [-never P] [-trace]
 //	    Run one seeded simulation with fault injection and online monitors.

@@ -32,7 +32,7 @@ func setParallelism(j int) {
 
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
-		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|deadlock|simulate> <file.gcl> [flags]")
+		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|deadlock|verdict|simulate> <file.gcl> [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
@@ -48,10 +48,12 @@ func run(args []string, out, errOut io.Writer) error {
 		return runComponent(cmd, args[1:], out, errOut)
 	case "deadlock":
 		return runDeadlock(args[1:], out, errOut)
+	case "verdict":
+		return runVerdict(args[1:], out, errOut)
 	case "simulate":
 		return runSimulate(args[1:], out, errOut)
 	default:
-		return usageErrorf("unknown command %q (want info, lint, prove, check, detects, corrects, deadlock, or simulate)", cmd)
+		return usageErrorf("unknown command %q (want info, lint, prove, check, detects, corrects, deadlock, verdict, or simulate)", cmd)
 	}
 }
 

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"detcorr/internal/serve"
+	"detcorr/internal/serve/api"
+)
+
+// runVerdict is the service protocol at the command line: it builds an
+// api.Request from flags, evaluates it with serve.Eval — the same function
+// behind the dcserved POST /v1/verdict handler — and prints the response in
+// the canonical wire encoding. Its stdout is byte-identical to the daemon's
+// response body for the same program and property; the parity difftest
+// holds the two to that.
+func runVerdict(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("verdict", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	check := fs.String("check", "", "property to decide: closure, detects, corrects, convergence, deadlock, or prove")
+	invariant := fs.String("invariant", "", "invariant predicate S (closure, convergence, prove)")
+	goal := fs.String("goal", "", "goal predicate R (convergence, prove)")
+	z := fs.String("z", "", "witness predicate Z (detects, corrects, prove)")
+	x := fs.String("x", "", "detected/corrected predicate X (detects, corrects, prove)")
+	from := fs.String("from", "", "starting predicate U (default true)")
+	span := fs.String("span", "", "fault-span predicate for prove; auto infers one")
+	rank := fs.String("rank", "", "comma-separated ranking function for prove convergence")
+	tolerant := fs.String("tolerant", "", "also check F-tolerance: failsafe, nonmasking, or masking")
+	faults := fs.Bool("faults", false, "compose the file's fault class into the deadlock hunt")
+	maxStates := fs.Int("max-states", 0, "abort exploration beyond this many states (0 = unbounded)")
+	if err := fs.Parse(argsAfterFile(args)); err != nil {
+		return withCode(exitUsage, err)
+	}
+	if len(args) == 0 || args[0] == "" || args[0][0] == '-' {
+		return usageErrorf("usage: dctl verdict <file.gcl> -check <property> [flags]")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return usageErrorf("%v", err)
+	}
+	req := api.Request{
+		Program:   string(src),
+		Check:     *check,
+		Invariant: *invariant,
+		Goal:      *goal,
+		Z:         *z,
+		X:         *x,
+		From:      *from,
+		Span:      *span,
+		Rank:      *rank,
+		Tolerant:  *tolerant,
+		Faults:    *faults,
+		MaxStates: *maxStates,
+	}
+	f, err := serve.LoadSource(req.Program)
+	if err != nil {
+		// Parse, lint, and compile failures are all "the source did not
+		// load", exactly as the daemon's 422 — including error-severity lint
+		// findings, which other dctl commands report with exit code 1.
+		var le *serve.LoadError
+		if errors.As(err, &le) {
+			return withCode(exitParse, err)
+		}
+		return err
+	}
+	resp, err := serve.Eval(context.Background(), f, req)
+	if err != nil {
+		var ue *serve.UsageError
+		if errors.As(err, &ue) {
+			return withCode(exitUsage, err)
+		}
+		return err
+	}
+	if err := api.Encode(out, resp); err != nil {
+		return err
+	}
+	if code := resp.ExitCode(); code != exitOK {
+		return withCode(code, fmt.Errorf("verdict: %s", resp.Verdict))
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"detcorr/internal/serve"
+	"detcorr/internal/serve/api"
+	"detcorr/internal/serve/corpus"
+)
+
+// verdictArgs rebuilds the dctl verdict command line for a corpus request.
+func verdictArgs(path string, req api.Request) []string {
+	args := []string{"verdict", path, "-check", req.Check}
+	add := func(flag, val string) {
+		if val != "" {
+			args = append(args, "-"+flag, val)
+		}
+	}
+	add("invariant", req.Invariant)
+	add("goal", req.Goal)
+	add("z", req.Z)
+	add("x", req.X)
+	add("from", req.From)
+	add("span", req.Span)
+	add("rank", req.Rank)
+	add("tolerant", req.Tolerant)
+	if req.Faults {
+		args = append(args, "-faults")
+	}
+	if req.MaxStates != 0 {
+		args = append(args, "-max-states", strconv.Itoa(req.MaxStates))
+	}
+	return args
+}
+
+// TestVerdictParity is the transport difftest: for every corpus item, the
+// bytes `dctl verdict` writes to stdout must equal the bytes dcserved sends
+// as the response body, and the process exit code must equal the X-DC-Exit
+// header. One evaluation pipeline, two transports, zero drift.
+func TestVerdictParity(t *testing.T) {
+	srv := serve.NewServer(serve.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	dir := t.TempDir()
+	files := map[string]string{}
+	for name, src := range map[string]string{
+		"ring3": corpus.Ring3, "memaccess": corpus.Memaccess, "countdown": corpus.Countdown,
+	} {
+		path := filepath.Join(dir, name+".gcl")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files[src] = path
+	}
+
+	for _, item := range corpus.Items() {
+		t.Run(item.Name, func(t *testing.T) {
+			path := files[item.Request.Program]
+			if path == "" {
+				t.Fatal("corpus program not in embedded set")
+			}
+			var stdout, stderr bytes.Buffer
+			err := run(verdictArgs(path, item.Request), &stdout, &stderr)
+			cliExit := exitCode(err)
+
+			var body bytes.Buffer
+			if err := api.Encode(&body, item.Request); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/verdict", "application/json", &body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("dcserved status = %d body %s", resp.StatusCode, served)
+			}
+			if !bytes.Equal(stdout.Bytes(), served) {
+				t.Errorf("transports diverged:\ndctl verdict stdout:\n%s\ndcserved body:\n%s", stdout.Bytes(), served)
+			}
+			if hdr := resp.Header.Get("X-DC-Exit"); hdr != strconv.Itoa(cliExit) {
+				t.Errorf("exit codes diverged: dctl %d, X-DC-Exit %s", cliExit, hdr)
+			}
+		})
+	}
+}
+
+func TestVerdictUsageAndLoadErrors(t *testing.T) {
+	// No file.
+	if code, _, _ := runCode(t, "verdict", "-check", "closure"); code != exitUsage {
+		t.Errorf("missing file: exit %d, want %d", code, exitUsage)
+	}
+	// Unknown check.
+	ring := writeGCL(t, corpus.Ring3)
+	if code, _, _ := runCode(t, "verdict", ring, "-check", "frobnicate"); code != exitUsage {
+		t.Errorf("unknown check: exit %d, want %d", code, exitUsage)
+	}
+	// Unknown predicate.
+	if code, _, _ := runCode(t, "verdict", ring, "-check", "closure", "-invariant", "Nope"); code != exitUsage {
+		t.Errorf("unknown predicate: exit %d, want %d", code, exitUsage)
+	}
+	// Unparsable source loads with exit 3, like the daemon's 422.
+	broken := writeGCL(t, "program broken\nvar x")
+	if code, _, _ := runCode(t, "verdict", broken, "-check", "deadlock"); code != exitParse {
+		t.Errorf("parse error: exit %d, want %d", code, exitParse)
+	}
+}
+
+func TestVerdictFailingExitCode(t *testing.T) {
+	ring := writeGCL(t, corpus.Countdown)
+	code, out, _ := runCode(t, "verdict", ring, "-check", "deadlock", "-from", "Top")
+	if code != exitFail {
+		t.Errorf("deadlock verdict: exit %d, want %d", code, exitFail)
+	}
+	if !strings.Contains(out, `"verdict": "deadlock"`) {
+		t.Errorf("stdout missing verdict:\n%s", out)
+	}
+}

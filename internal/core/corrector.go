@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"detcorr/internal/explore"
@@ -39,14 +40,24 @@ func (c Corrector) detectorView() Detector {
 // maximal computation from U reaches the correction predicate X, and X is
 // never falsified once established (along any reachable computation).
 func (c Corrector) Check() error {
+	return c.CheckCtx(context.Background())
+}
+
+// CheckCtx is Check under a context: cancellation aborts the graph build
+// (and the closure scan on the error path) with ctx.Err().
+func (c Corrector) CheckCtx(ctx context.Context) error {
 	if componentProver != nil && componentProver("corrector", c.C, c.Z, c.X, c.U) {
 		return nil
 	}
-	g, err := explore.Shared(c.C, c.U, explore.Options{})
+	g, err := explore.SharedCtx(ctx, c.C, c.U, explore.Options{})
 	if err != nil {
+		// A cancelled build is the caller walking away, not a verdict.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		// Historical error precedence: closure (or enumeration) problems
 		// are reported before the build failure.
-		if cerr := spec.CheckClosed(c.C, c.U); cerr != nil {
+		if cerr := spec.CheckClosedCtx(ctx, c.C, c.U); cerr != nil {
 			return &ConditionError{Component: c.String(), Condition: "Closure", Cause: cerr}
 		}
 		return err
@@ -108,10 +119,17 @@ func (c Corrector) checkConvergence(g *explore.Graph, reach *explore.Bitset) err
 //   - fault.Masking: under faults the full corrector specification holds
 //     over the span.
 func (c Corrector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
-	if err := c.Check(); err != nil {
+	return c.CheckFTolerantCtx(context.Background(), f, kind)
+}
+
+// CheckFTolerantCtx is CheckFTolerant under a context; cancellation aborts
+// the fault-free check, the span exploration, and the convergence build
+// with ctx.Err().
+func (c Corrector) CheckFTolerantCtx(ctx context.Context, f fault.Class, kind fault.Kind) error {
+	if err := c.CheckCtx(ctx); err != nil {
 		return err
 	}
-	span, err := fault.ComputeSpan(c.C, f, c.U)
+	span, err := fault.ComputeSpanCtx(ctx, c.C, f, c.U)
 	if err != nil {
 		return err
 	}
@@ -127,7 +145,7 @@ func (c Corrector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
 		}
 		return c.checkConvergence(span.Graph, span.Reachable)
 	case fault.Nonmasking:
-		return c.checkNonmaskingTolerant(span)
+		return c.checkNonmaskingTolerant(ctx, span)
 	default:
 		return fmt.Errorf("core: unknown tolerance kind %d", int(kind))
 	}
@@ -156,8 +174,8 @@ func (c Corrector) checkXClosure(g *explore.Graph, reach *explore.Bitset) error 
 // checkNonmaskingTolerant verifies that C alone, started anywhere in the
 // fault span, converges to the set of states from which the fault-free
 // corrector specification is satisfied.
-func (c Corrector) checkNonmaskingTolerant(span *fault.Span) error {
-	g, err := explore.Shared(c.C, span.Predicate, explore.Options{})
+func (c Corrector) checkNonmaskingTolerant(ctx context.Context, span *fault.Span) error {
+	g, err := explore.SharedCtx(ctx, c.C, span.Predicate, explore.Options{})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"detcorr/internal/explore"
@@ -65,15 +66,28 @@ func RegisterComponentProver(f ComponentProver) { componentProver = f }
 // over the states reachable from U. A registered prover that discharges
 // the obligations for all U-states short-circuits the graph construction.
 func (d Detector) Check() error {
+	return d.CheckCtx(context.Background())
+}
+
+// CheckCtx is Check under a context: cancellation aborts the graph build
+// (and the closure scan on the error path) with ctx.Err(). The condition
+// checks on the built graph are not interruptible — they are linear set
+// operations on an already-paid-for graph.
+func (d Detector) CheckCtx(ctx context.Context) error {
 	if componentProver != nil && componentProver("detector", d.D, d.Z, d.X, d.U) {
 		return nil
 	}
-	g, err := explore.Shared(d.D, d.U, explore.Options{})
+	g, err := explore.SharedCtx(ctx, d.D, d.U, explore.Options{})
 	if err != nil {
+		// A cancelled build is the caller walking away, not a verdict; do
+		// not mask it with the closure re-check below.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		// Preserve the historical error precedence: a closure problem (or
 		// the enumeration error explaining why neither scan nor build can
 		// run) is reported before the build failure.
-		if cerr := spec.CheckClosed(d.D, d.U); cerr != nil {
+		if cerr := spec.CheckClosedCtx(ctx, d.D, d.U); cerr != nil {
 			return &ConditionError{Component: d.String(), Condition: "Closure", Cause: cerr}
 		}
 		return err
@@ -151,10 +165,17 @@ func (d Detector) checkOn(g *explore.Graph, reach *explore.Bitset, progress bool
 //     checked as convergence of D alone from the span to a region where the
 //     fault-free conditions hold (see GoodRegion).
 func (d Detector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
-	if err := d.Check(); err != nil {
+	return d.CheckFTolerantCtx(context.Background(), f, kind)
+}
+
+// CheckFTolerantCtx is CheckFTolerant under a context; cancellation aborts
+// the fault-free check, the span exploration, and the convergence build
+// with ctx.Err().
+func (d Detector) CheckFTolerantCtx(ctx context.Context, f fault.Class, kind fault.Kind) error {
+	if err := d.CheckCtx(ctx); err != nil {
 		return err
 	}
-	span, err := fault.ComputeSpan(d.D, f, d.U)
+	span, err := fault.ComputeSpanCtx(ctx, d.D, f, d.U)
 	if err != nil {
 		return err
 	}
@@ -164,14 +185,14 @@ func (d Detector) CheckFTolerant(f fault.Class, kind fault.Kind) error {
 	case fault.Masking:
 		return d.checkOn(span.Graph, span.Reachable, true)
 	case fault.Nonmasking:
-		return d.checkNonmaskingTolerant(span)
+		return d.checkNonmaskingTolerant(ctx, span)
 	default:
 		return fmt.Errorf("core: unknown tolerance kind %d", int(kind))
 	}
 }
 
-func (d Detector) checkNonmaskingTolerant(span *fault.Span) error {
-	g, err := explore.Shared(d.D, span.Predicate, explore.Options{})
+func (d Detector) checkNonmaskingTolerant(ctx context.Context, span *fault.Span) error {
+	g, err := explore.SharedCtx(ctx, d.D, span.Predicate, explore.Options{})
 	if err != nil {
 		return err
 	}

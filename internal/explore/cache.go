@@ -2,6 +2,8 @@ package explore
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -170,52 +172,123 @@ func sharedKeyOf(p *guarded.Program, init state.Predicate, opts Options) (cacheK
 // could — the Graph API is read-only — but sets returned by SetOf, Reach,
 // etc. remain private per call).
 func Shared(p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
+	return SharedCtx(context.Background(), p, init, opts)
+}
+
+// SharedCtx is Shared under a context. Cancellation aborts the caller's own
+// build (a cancelled build is never cached) and stops a coalesced wait, so
+// an abandoned request releases its CPU instead of exploring to completion.
+// The singleflight survives cancellation of individual requesters: when the
+// goroutine that was building aborts, waiters whose contexts are still live
+// retry — the next round elects a new builder rather than propagating the
+// stranger's cancellation.
+func SharedCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
 	key, ok := sharedKeyOf(p, init, opts)
 	if !ok {
 		cacheBypasses.Add(1)
-		return Build(p, init, opts)
+		return BuildCtx(ctx, p, init, opts)
 	}
-	cache.mu.Lock()
-	if e, found := cache.entries[key]; found {
-		if e.elem != nil { // resident: done and successful
-			cache.lru.MoveToFront(e.elem)
+	for {
+		cache.mu.Lock()
+		if e, found := cache.entries[key]; found {
+			if e.elem != nil { // resident: done and successful
+				cache.lru.MoveToFront(e.elem)
+				cache.mu.Unlock()
+				cacheHits.Add(1)
+				return e.g, nil
+			}
 			cache.mu.Unlock()
+			select { // in flight: wait for the builder
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil {
+				if isCancellation(e.err) {
+					// The builder's requester walked away; our request is
+					// still live, so contend for the next flight.
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				return nil, e.err
+			}
 			cacheHits.Add(1)
 			return e.g, nil
 		}
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
+		cache.entries[key] = e
 		cache.mu.Unlock()
-		<-e.ready // in flight: wait for the builder
-		if e.err != nil {
-			return nil, e.err
-		}
-		cacheHits.Add(1)
-		return e.g, nil
-	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
-	cache.entries[key] = e
-	cache.mu.Unlock()
-	cacheMisses.Add(1)
+		cacheMisses.Add(1)
 
-	g, err := Build(p, init, opts)
-	cache.mu.Lock()
-	if err != nil {
-		// Never poison the cache: drop the entry so the next request retries.
-		delete(cache.entries, key)
-	} else {
-		e.g = g
-		if g.NumNodes() <= cache.budget {
-			e.elem = cache.lru.PushFront(e)
-			cache.states += g.NumNodes()
-			cache.evictLocked(e)
-		} else {
-			// Oversized graphs are returned but not retained.
+		g, err := BuildCtx(ctx, p, init, opts)
+		cache.mu.Lock()
+		if err != nil {
+			// Never poison the cache: drop the entry so the next request
+			// retries. Cancelled builds take this path too — an aborted
+			// exploration is partial and must never serve later requests.
 			delete(cache.entries, key)
+		} else {
+			e.g = g
+			if g.NumNodes() <= cache.budget {
+				e.elem = cache.lru.PushFront(e)
+				cache.states += g.NumNodes()
+				cache.evictLocked(e)
+			} else {
+				// Oversized graphs are returned but not retained.
+				delete(cache.entries, key)
+			}
+		}
+		cache.mu.Unlock()
+		e.err = err
+		close(e.ready)
+		return g, err
+	}
+}
+
+// isCancellation reports whether err stems from a context ending, directly
+// or wrapped.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ResidentOf returns the total resident states across cached graphs built
+// from p, without touching the LRU or the hit counters. It is the quota
+// accounting hook for services that bill cache residency to tenants (see
+// internal/serve): charge what the tenant's programs actually hold.
+func ResidentOf(p *guarded.Program) int {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	total := 0
+	for key, e := range cache.entries {
+		if key.prog == p && e.elem != nil {
+			total += e.g.NumNodes()
 		}
 	}
-	cache.mu.Unlock()
-	e.err = err
-	close(e.ready)
-	return g, err
+	return total
+}
+
+// EvictProgram drops every resident graph built from p and returns the
+// number of states freed. In-flight builds are unaffected (they complete
+// and cache normally); later requests for the evicted keys rebuild. This is
+// the quota enforcement hook: a tenant over its residency budget gives back
+// its least-recently-used program's graphs wholesale.
+func EvictProgram(p *guarded.Program) int {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	freed := 0
+	for key, e := range cache.entries {
+		if key.prog == p && e.elem != nil {
+			cache.lru.Remove(e.elem)
+			e.elem = nil
+			freed += e.g.NumNodes()
+			cache.states -= e.g.NumNodes()
+			delete(cache.entries, key)
+			cacheEvicts.Add(1)
+		}
+	}
+	return freed
 }
 
 // Peek returns the cached graph for (p, init, opts) without building or

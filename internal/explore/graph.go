@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -112,6 +113,16 @@ var ErrStateBound = fmt.Errorf("explore: state bound exceeded")
 // others go through the kernel's closure adapter. Both produce exactly the
 // transitions Program.Successors would.
 func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
+	return BuildCtx(context.Background(), p, init, opts)
+}
+
+// BuildCtx is Build under a context: cancellation aborts the exploration
+// with ctx.Err() instead of running the state space to completion. Both
+// engines poll the context at expansion granularity (every discovered state
+// costs at least one kernel call, so an abandoned build stops within a few
+// hundred expansions), which keeps the zero-allocation hot path intact.
+// A cancelled build returns no graph and records nothing.
+func BuildCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts Options) (*Graph, error) {
 	buildCount.Add(1)
 	if err := p.Schema().Indexable(); err != nil {
 		return nil, err
@@ -132,9 +143,9 @@ func Build(p *guarded.Program, init state.Predicate, opts Options) (*Graph, erro
 		err  error
 	)
 	if w := opts.workers(); w > 1 {
-		exps, err = exploreParallel(k, init, opts.MaxStates, w)
+		exps, err = exploreParallel(ctx, k, init, opts.MaxStates, w)
 	} else {
-		exps, err = exploreSeq(k, init, opts.MaxStates)
+		exps, err = exploreSeq(ctx, k, init, opts.MaxStates)
 	}
 	if err != nil {
 		return nil, err

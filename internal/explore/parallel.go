@@ -6,6 +6,7 @@ package explore
 //dc:mutates Graph
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -176,12 +177,19 @@ func scanInit(sch *state.Schema, init state.Predicate, lo, hi uint64, row []int3
 	}
 }
 
+// cancelPollMask sets how often the engines poll their context: once per
+// (cancelPollMask+1) expanded or scanned states. Each expansion does real
+// kernel work, so a few hundred states bounds the cancellation latency to
+// microseconds without a per-state Err call on the hot path.
+const cancelPollMask = 255
+
 // exploreSeq is the sequential engine: a scan of the state space for initial
 // states followed by a depth-first expansion on the compiled kernel. The
 // MaxStates bound is exact: it fails if and only if the number of distinct
 // discovered states would exceed the bound, before any extra state or edge
-// is recorded.
-func exploreSeq(k *guarded.Kernel, init state.Predicate, maxStates int) ([]expansion, error) {
+// is recorded. Cancellation is polled every cancelPollMask+1 expansions and
+// every cancelPollMask+1 initial-state candidates.
+func exploreSeq(ctx context.Context, k *guarded.Kernel, init state.Predicate, maxStates int) ([]expansion, error) {
 	sch := k.Schema()
 	total, _ := sch.NumStates()
 	visited := newVisitedSet(total)
@@ -201,11 +209,27 @@ func exploreSeq(k *guarded.Kernel, init state.Predicate, maxStates int) ([]expan
 		return true
 	}
 	row := make([]int32, sch.NumVars())
-	if !scanInit(sch, init, 0, total, row, claim) {
+	seedTick := 0
+	seedCancelled := false
+	if !scanInit(sch, init, 0, total, row, func(idx uint64) bool {
+		if seedTick++; seedTick&cancelPollMask == 0 && ctx.Err() != nil {
+			seedCancelled = true
+			return false
+		}
+		return claim(idx)
+	}) {
+		if seedCancelled {
+			return nil, ctx.Err()
+		}
 		return nil, boundError(maxStates)
 	}
 	sc := k.NewScratch()
-	for len(stack) > 0 {
+	for steps := 0; len(stack) > 0; steps++ {
+		if steps&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ni := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		off := len(ex.edges)
@@ -228,15 +252,28 @@ func exploreSeq(k *guarded.Kernel, init state.Predicate, maxStates int) ([]expan
 // varies with the schedule, but every state is expanded exactly once (by
 // whichever worker claims it) and the kernel is a pure function of the
 // index, so the rawNode set — and after canonical renumbering, the Graph —
-// is schedule-independent.
-func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers int) ([]expansion, error) {
+// is schedule-independent. Cancellation rides the same abort mechanism as
+// the state bound: a watcher goroutine flips a flag all workers poll.
+func exploreParallel(ctx context.Context, k *guarded.Kernel, init state.Predicate, maxStates, workers int) ([]expansion, error) {
 	sch := k.Schema()
 	total, _ := sch.NumStates()
 	visited := newVisitedSet(total)
 	var (
-		count    atomic.Int64
-		exceeded atomic.Bool
+		count     atomic.Int64
+		exceeded  atomic.Bool
+		cancelled atomic.Bool
 	)
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				cancelled.Store(true)
+			case <-stop:
+			}
+		}()
+	}
 	// claim reports whether idx is newly discovered, flipping the abort flag
 	// when the discovery count passes the bound; all workers poll the flag
 	// and wind down, so the bound aborts the whole pool.
@@ -278,8 +315,12 @@ func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers
 					if hi > total {
 						hi = total
 					}
+					tick := 0
 					scanInit(sch, init, lo, hi, row, func(idx uint64) bool {
 						if exceeded.Load() {
+							return false
+						}
+						if tick++; tick&cancelPollMask == 0 && cancelled.Load() {
 							return false
 						}
 						if claim(idx) {
@@ -287,7 +328,7 @@ func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers
 						}
 						return true
 					})
-					if exceeded.Load() {
+					if exceeded.Load() || cancelled.Load() {
 						return
 					}
 				}
@@ -305,7 +346,7 @@ func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers
 	for w := range scratches {
 		scratches[w] = k.NewScratch()
 	}
-	for len(frontier) > 0 && !exceeded.Load() {
+	for len(frontier) > 0 && !exceeded.Load() && !cancelled.Load() {
 		chunkSize := len(frontier)/(workers*4) + 1
 		numChunks := (len(frontier) + chunkSize - 1) / chunkSize
 		var next atomic.Int64
@@ -327,7 +368,7 @@ func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers
 						hi = len(frontier)
 					}
 					for _, idx := range frontier[c*chunkSize : hi] {
-						if exceeded.Load() {
+						if exceeded.Load() || cancelled.Load() {
 							return
 						}
 						off := len(ex.edges)
@@ -347,6 +388,9 @@ func exploreParallel(k *guarded.Kernel, init state.Predicate, maxStates, workers
 		for _, l := range local {
 			frontier = append(frontier, l...)
 		}
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 	if exceeded.Load() {
 		return nil, boundError(maxStates)

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"detcorr/internal/guarded"
@@ -62,6 +63,14 @@ type Scanner struct {
 // tie-breaking as the graph path's PathBetween, so first-hit witnesses
 // coincide with the graph-derived ones.
 func Scan(p *guarded.Program, init state.Predicate, opts ScanOptions, v Scanner) (ScanStats, error) {
+	return ScanCtx(context.Background(), p, init, opts, v)
+}
+
+// ScanCtx is Scan under a context: cancellation stops the sweep with
+// ctx.Err() (not a Stopped stat — the scan did not run to a verdict). The
+// context is polled once per visited state, the same granularity as the
+// engines behind BuildCtx.
+func ScanCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts ScanOptions, v Scanner) (ScanStats, error) {
 	var stats ScanStats
 	if err := p.Schema().Indexable(); err != nil {
 		return stats, err
@@ -99,6 +108,11 @@ func Scan(p *guarded.Program, init state.Predicate, opts ScanOptions, v Scanner)
 	// expand visits one state (already decoded into rowF) and reports its
 	// transitions; claim is nil in InitOnly mode.
 	expand := func(idx uint64, claim func(to uint64) (fresh bool, ok bool)) (cont bool, err error) {
+		if stats.States&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		stats.States++
 		if v.Visit != nil && !v.Visit(viewF) {
 			return false, nil
@@ -168,7 +182,14 @@ func Scan(p *guarded.Program, init state.Predicate, opts ScanOptions, v Scanner)
 		return true, true
 	}
 	var seedErr error
+	seedTick := 0
 	scanInit(sch, init, 0, total, rowF, func(idx uint64) bool {
+		if seedTick++; seedTick&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				seedErr = err
+				return false
+			}
+		}
 		if fresh, ok := claim(idx); !ok {
 			seedErr = boundError(opts.MaxStates)
 			return false
@@ -202,12 +223,18 @@ func Scan(p *guarded.Program, init state.Predicate, opts ScanOptions, v Scanner)
 // state has an enabled fair action. The search streams over the kernel —
 // no graph is assembled — and stops at the first deadlock found.
 func FindDeadlock(p *guarded.Program, init state.Predicate, opts ScanOptions) ([]state.State, bool, error) {
+	return FindDeadlockCtx(context.Background(), p, init, opts)
+}
+
+// FindDeadlockCtx is FindDeadlock under a context; cancellation aborts the
+// streaming hunt with ctx.Err().
+func FindDeadlockCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts ScanOptions) ([]state.State, bool, error) {
 	opts.InitOnly = false
 	sch := p.Schema()
 	parent := map[uint64]uint64{}
 	var deadIdx uint64
 	found := false
-	_, err := Scan(p, init, opts, Scanner{
+	_, err := ScanCtx(ctx, p, init, opts, Scanner{
 		Deadlock: func(s state.State) bool {
 			deadIdx = s.Index()
 			found = true

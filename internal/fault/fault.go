@@ -17,6 +17,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -157,11 +158,17 @@ type Span struct {
 // ComputeSpan explores p ‖ F from every state satisfying s and returns the
 // span.
 func ComputeSpan(p *guarded.Program, f Class, s state.Predicate) (*Span, error) {
+	return ComputeSpanCtx(context.Background(), p, f, s)
+}
+
+// ComputeSpanCtx is ComputeSpan under a context; cancellation aborts the
+// span exploration with ctx.Err().
+func ComputeSpanCtx(ctx context.Context, p *guarded.Program, f Class, s state.Predicate) (*Span, error) {
 	composed, mask, err := Compose(p, f)
 	if err != nil {
 		return nil, err
 	}
-	g, err := explore.Shared(composed, s, explore.Options{Fair: mask})
+	g, err := explore.SharedCtx(ctx, composed, s, explore.Options{Fair: mask})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package prove
 
 import (
+	"context"
 	"sync"
 
 	"detcorr/internal/core"
@@ -119,7 +120,10 @@ func (sys *System) proveComponent(kind, z, x, u string) bool {
 	if err != nil {
 		return false
 	}
-	if sys.proveClosureExpr(CodeClosure, "closure", U, sys.actions).Verdict != Proved {
+	// The hooks run under context.Background(): a prover attempt is never
+	// cancelled mid-way, so the error returns below are unreachable — they
+	// exist for the context-carrying entry points in obligations.go.
+	if rep, err := sys.proveClosureExpr(context.Background(), CodeClosure, "closure", U, sys.actions); err != nil || rep.Verdict != Proved {
 		return false
 	}
 	if rep, err := ProveSafeness(sys, u, z, x); err != nil || rep.Verdict != Proved {
@@ -127,7 +131,7 @@ func (sys *System) proveComponent(kind, z, x, u string) bool {
 	}
 	// Progress: from U ∧ X ∧ ¬Z every computation reaches Z ∨ ¬X. Closure
 	// of U is already discharged above.
-	if sys.proveConvergenceExpr("progress", U, disj(Z, neg(X)), nil, nil, false).Verdict != Proved {
+	if rep, err := sys.proveConvergenceExpr(context.Background(), "progress", U, disj(Z, neg(X)), nil, nil, false); err != nil || rep.Verdict != Proved {
 		return false
 	}
 	if kind != "corrector" {
@@ -140,5 +144,6 @@ func (sys *System) proveComponent(kind, z, x, u string) bool {
 		}
 	}
 	// Convergence, liveness half: U converges to X.
-	return sys.proveConvergenceExpr("convergence", U, X, nil, nil, false).Verdict == Proved
+	rep, err := sys.proveConvergenceExpr(context.Background(), "convergence", U, X, nil, nil, false)
+	return err == nil && rep.Verdict == Proved
 }

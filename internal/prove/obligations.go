@@ -1,6 +1,7 @@
 package prove
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,13 +62,18 @@ func (sys *System) needPred(name string) (gcl.Expr, error) {
 }
 
 // proveClosureExpr discharges {inv ∧ g} a {inv} for every action in acts.
-func (sys *System) proveClosureExpr(code, subject string, inv gcl.Expr, acts []gcl.ActionDecl) *Report {
+// Cancellation is polled between obligations — each obligation is already
+// budget-bounded by the refuter, so the latency is one obligation's worth.
+func (sys *System) proveClosureExpr(ctx context.Context, code, subject string, inv gcl.Expr, acts []gcl.ActionDecl) (*Report, error) {
 	rep := &Report{Code: code, Subject: subject}
 	for i := range acts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rep.Actions = append(rep.Actions, sys.proveAction(&acts[i], []gcl.Expr{inv}, inv))
 	}
 	rep.Verdict = aggregate(rep.Actions)
-	return rep
+	return rep, nil
 }
 
 // ProveClosure (DC100) proves that the named predicate is closed under the
@@ -75,12 +81,18 @@ func (sys *System) proveClosureExpr(code, subject string, inv gcl.Expr, acts []g
 // over every S-state, exactly like spec.CheckClosed, so Proved and
 // Disproved both agree with the graph-based check.
 func ProveClosure(sys *System, inv string) (*Report, error) {
+	return ProveClosureCtx(context.Background(), sys, inv)
+}
+
+// ProveClosureCtx is ProveClosure under a context; cancellation between
+// per-action obligations returns ctx.Err().
+func ProveClosureCtx(ctx context.Context, sys *System, inv string) (*Report, error) {
 	S, err := sys.needPred(inv)
 	if err != nil {
 		return nil, err
 	}
-	return sys.proveClosureExpr(CodeClosure,
-		fmt.Sprintf("closure of %s under the program actions", inv), S, sys.actions), nil
+	return sys.proveClosureExpr(ctx, CodeClosure,
+		fmt.Sprintf("closure of %s under the program actions", inv), S, sys.actions)
 }
 
 // ProveSpanClosure (DC101) proves that a fault span — the named span
@@ -88,6 +100,12 @@ func ProveClosure(sys *System, inv string) (*Report, error) {
 // contains the invariant and is closed under the program and fault actions
 // together, the defining property of a fault span in the paper.
 func ProveSpanClosure(sys *System, inv, span string) (*Report, error) {
+	return ProveSpanClosureCtx(context.Background(), sys, inv, span)
+}
+
+// ProveSpanClosureCtx is ProveSpanClosure under a context; cancellation
+// between per-action obligations returns ctx.Err().
+func ProveSpanClosureCtx(ctx context.Context, sys *System, inv, span string) (*Report, error) {
 	S, err := sys.needPred(inv)
 	if err != nil {
 		return nil, err
@@ -99,13 +117,19 @@ func ProveSpanClosure(sys *System, inv, span string) (*Report, error) {
 		if T, err = sys.needPred(span); err != nil {
 			return nil, err
 		}
-		rep = sys.proveClosureExpr(CodeSpanClosure,
+		rep, err = sys.proveClosureExpr(ctx, CodeSpanClosure,
 			fmt.Sprintf("closure of span %s under program and fault actions", span), T, all)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		box := sys.inferSpan(S)
 		T = sys.boxExpr(box)
-		rep = sys.proveClosureExpr(CodeSpanClosure,
+		rep, err = sys.proveClosureExpr(ctx, CodeSpanClosure,
 			fmt.Sprintf("closure of the inferred span of %s under program and fault actions", inv), T, all)
+		if err != nil {
+			return nil, err
+		}
 		rep.Span = sys.boxStrings(box)
 	}
 	rep.Actions = append(rep.Actions,
@@ -120,6 +144,12 @@ func ProveSpanClosure(sys *System, inv, span string) (*Report, error) {
 // only reachable ones, so only Proved transfers to the graph verdict;
 // a disproof may rest on an unreachable witness.
 func ProveSafeness(sys *System, u, z, x string) (*Report, error) {
+	return ProveSafenessCtx(context.Background(), sys, u, z, x)
+}
+
+// ProveSafenessCtx is ProveSafeness under a context; cancellation between
+// per-action obligations returns ctx.Err().
+func ProveSafenessCtx(ctx context.Context, sys *System, u, z, x string) (*Report, error) {
 	U, err := sys.needPred(u)
 	if err != nil {
 		return nil, err
@@ -138,6 +168,9 @@ func ProveSafeness(sys *System, u, z, x string) (*Report, error) {
 		sys.actionResult(fmt.Sprintf("(safeness: %s & %s => %s)", u, z, x), sys.valid([]gcl.Expr{U, Z}, X, nil)))
 	post := disj(Z, neg(X))
 	for i := range sys.actions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res := sys.proveAction(&sys.actions[i], []gcl.Expr{U, Z}, post)
 		res.Action += " (stability)"
 		rep.Actions = append(rep.Actions, res)
@@ -151,6 +184,13 @@ func ProveSafeness(sys *System, u, z, x string) (*Report, error) {
 // user-supplied lexicographic ranking function (integer-valued components,
 // most significant first); when empty one is synthesized.
 func ProveConvergence(sys *System, u, goal string, rank []gcl.Expr) (*Report, error) {
+	return ProveConvergenceCtx(context.Background(), sys, u, goal, rank)
+}
+
+// ProveConvergenceCtx is ProveConvergence under a context; cancellation
+// between per-action obligations (and between rank-synthesis candidates)
+// returns ctx.Err().
+func ProveConvergenceCtx(ctx context.Context, sys *System, u, goal string, rank []gcl.Expr) (*Report, error) {
 	U, err := sys.needPred(u)
 	if err != nil {
 		return nil, err
@@ -167,8 +207,8 @@ func ProveConvergence(sys *System, u, goal string, rank []gcl.Expr) (*Report, er
 		}
 		desc[i] = exprString(e)
 	}
-	return sys.proveConvergenceExpr(
-		fmt.Sprintf("convergence from %s to %s", u, goal), U, G, inlined, desc, true), nil
+	return sys.proveConvergenceExpr(ctx,
+		fmt.Sprintf("convergence from %s to %s", u, goal), U, G, inlined, desc, true)
 }
 
 // proveConvergenceExpr proves convergence from U to goal: closure of U
@@ -181,10 +221,13 @@ func ProveConvergence(sys *System, u, goal string, rank []gcl.Expr) (*Report, er
 // needs no fairness assumption. A disproof of closure or deadlock-freedom
 // is genuine; a failed descent only faults the ranking function, so it
 // downgrades to Unknown.
-func (sys *System) proveConvergenceExpr(subject string, U, G gcl.Expr, rank []gcl.Expr, rankDesc []string, withClosure bool) *Report {
+func (sys *System) proveConvergenceExpr(ctx context.Context, subject string, U, G gcl.Expr, rank []gcl.Expr, rankDesc []string, withClosure bool) (*Report, error) {
 	rep := &Report{Code: CodeConvergence, Subject: subject}
 	if withClosure {
 		for i := range sys.actions {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res := sys.proveAction(&sys.actions[i], []gcl.Expr{U}, U)
 			res.Action += " (closure)"
 			rep.Actions = append(rep.Actions, res)
@@ -198,20 +241,26 @@ func (sys *System) proveConvergenceExpr(subject string, U, G gcl.Expr, rank []gc
 		sys.valid([]gcl.Expr{U, neg(G)}, disj(guards...), nil)))
 	if aggregate(rep.Actions) == Disproved {
 		rep.Verdict = Disproved
-		return rep
+		return rep, nil
 	}
 	if len(rank) == 0 {
-		synth, sdesc, results, ok := sys.synthesizeRank(U, G)
+		synth, sdesc, results, ok, err := sys.synthesizeRank(ctx, U, G)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			rep.Notes = append(rep.Notes,
 				"no lexicographic ranking function found over predicate indicators and variable values; supply one or fall back to exploration")
 			rep.Verdict = Unknown
-			return rep
+			return rep, nil
 		}
 		rank, rankDesc = synth, sdesc
 		rep.Actions = append(rep.Actions, results...)
 	} else {
 		for i := range sys.actions {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			a := &sys.actions[i]
 			extra := map[string]*VarDom{}
 			sigma := sys.wp(a, extra)
@@ -228,7 +277,7 @@ func (sys *System) proveConvergenceExpr(subject string, U, G gcl.Expr, rank []gc
 	}
 	rep.Rank = rankDesc
 	rep.Verdict = aggregate(rep.Actions)
-	return rep
+	return rep, nil
 }
 
 // lexDec builds the strict lexicographic-decrease predicate
@@ -258,7 +307,7 @@ func lexDec(rank []gcl.Expr, sigma map[string]gcl.Expr) gcl.Expr {
 // decrease at or before k. Failure to cover every action yields no rank —
 // the caller reports Unknown, never Disproved, since candidate exhaustion
 // says nothing about convergence itself.
-func (sys *System) synthesizeRank(U, G gcl.Expr) ([]gcl.Expr, []string, []ActionResult, bool) {
+func (sys *System) synthesizeRank(ctx context.Context, U, G gcl.Expr) ([]gcl.Expr, []string, []ActionResult, bool, error) {
 	type cand struct {
 		e    gcl.Expr
 		desc string
@@ -293,6 +342,9 @@ func (sys *System) synthesizeRank(U, G gcl.Expr) ([]gcl.Expr, []string, []Action
 			if used[ci] {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, false, err
+			}
 			c := cands[ci]
 			ok := true
 			var dec []int
@@ -318,7 +370,7 @@ func (sys *System) synthesizeRank(U, G gcl.Expr) ([]gcl.Expr, []string, []Action
 			}
 		}
 		if bestCand < 0 || len(bestDec) == 0 {
-			return nil, nil, nil, false
+			return nil, nil, nil, false, nil
 		}
 		level := len(rank)
 		rank = append(rank, cands[bestCand].e)
@@ -347,7 +399,7 @@ func (sys *System) synthesizeRank(U, G gcl.Expr) ([]gcl.Expr, []string, []Action
 			ordered = append(ordered, r)
 		}
 	}
-	return rank, desc, ordered, true
+	return rank, desc, ordered, true, nil
 }
 
 // inferSpan computes a Cartesian over-approximation of the states reachable

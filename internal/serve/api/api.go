@@ -1,0 +1,176 @@
+// Package api defines the verdict wire protocol shared by the dcserved
+// daemon, the dctl verdict subcommand, and the dcbench swarm driver. One
+// request names a GCL program and a property; one response carries the
+// verdict with its witness. Keeping the types (and the canonical encoding)
+// in one package is what makes the byte-parity contract checkable: dcserved
+// response bodies and dctl verdict stdout are produced by the same structs
+// through the same encoder, so any drift is a compile error or a golden
+// test failure, never a silent schema fork.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"detcorr/internal/prove"
+)
+
+// Check names for Request.Check, one per property the service decides.
+const (
+	CheckClosure     = "closure"     // invariant closure (spec.CheckClosed)
+	CheckDetects     = "detects"     // detector conditions (core.Detector)
+	CheckCorrects    = "corrects"    // corrector conditions (core.Corrector)
+	CheckConvergence = "convergence" // S converges to R (spec.CheckConverges)
+	CheckDeadlock    = "deadlock"    // reachable-deadlock hunt
+	CheckProve       = "prove"       // exploration-free proof (DC100-DC103)
+)
+
+// Checks lists every valid Request.Check value, in documentation order.
+func Checks() []string {
+	return []string{CheckClosure, CheckDetects, CheckCorrects, CheckConvergence, CheckDeadlock, CheckProve}
+}
+
+// Verdict strings for Response.Verdict.
+const (
+	VerdictHolds        = "holds"         // the property holds
+	VerdictFails        = "fails"         // the property fails (Detail explains)
+	VerdictDeadlockFree = "deadlock-free" // no reachable deadlock
+	VerdictDeadlock     = "deadlock"      // a deadlock was reached (Witness traces it)
+	VerdictProved       = "proved"        // every proof obligation discharged
+	VerdictDisproved    = "disproved"     // some obligation has a concrete violation
+	VerdictUnknown      = "unknown"       // inconclusive: fall back to exploration
+)
+
+// Request asks for one verdict about one program. Predicates are referred
+// to by their declared names in the program source; empty optional
+// predicates default to true, mirroring the dctl flags of the same names.
+// The tenant identity deliberately stays out of the body (dcserved reads it
+// from the X-DC-Tenant header): the request describes the verdict wanted,
+// not who wants it, so identical questions from different tenants hash to
+// the same deduplication key.
+type Request struct {
+	// Program is the full GCL source text.
+	Program string `json:"program"`
+	// Check selects the property: one of the Check* constants.
+	Check string `json:"check"`
+	// Invariant is the predicate S for closure, convergence, and prove.
+	Invariant string `json:"invariant,omitempty"`
+	// Goal is the target predicate: R for convergence, the -converge goal
+	// for prove.
+	Goal string `json:"goal,omitempty"`
+	// Z and X are the witness and detection/correction predicates for
+	// detects, corrects, and prove (DC102).
+	Z string `json:"z,omitempty"`
+	X string `json:"x,omitempty"`
+	// From is the predicate U the relation is refined from (default true).
+	From string `json:"from,omitempty"`
+	// Span names the fault-span predicate for prove (DC101); "auto" infers
+	// one from the invariant.
+	Span string `json:"span,omitempty"`
+	// Rank is a comma-separated lexicographic ranking function for prove
+	// convergence (default: synthesize).
+	Rank string `json:"rank,omitempty"`
+	// Tolerant additionally checks detects/corrects as an F-tolerant
+	// component: "failsafe", "nonmasking", or "masking".
+	Tolerant string `json:"tolerant,omitempty"`
+	// Faults composes the file's fault class into the deadlock hunt.
+	Faults bool `json:"faults,omitempty"`
+	// MaxStates bounds the exploration; 0 means unbounded.
+	MaxStates int `json:"max_states,omitempty"`
+}
+
+// Response is one verdict. Exactly one of the Verdict* constants appears in
+// Verdict; Detail, Witness, and Reports carry the check-specific evidence.
+type Response struct {
+	// Check and Program echo the request (Program is the program's declared
+	// name, not its source).
+	Check   string `json:"check"`
+	Program string `json:"program"`
+	// Verdict is one of the Verdict* constants.
+	Verdict string `json:"verdict"`
+	// Detail explains a fails verdict (the violated condition and witness
+	// states) or annotates a deadlock verdict with the step count.
+	Detail string `json:"detail,omitempty"`
+	// Witness is the deadlock trace, one rendered state per step.
+	Witness []string `json:"witness,omitempty"`
+	// Reports are the prove reports, identical in shape to dctl prove -json.
+	Reports []*prove.Report `json:"reports,omitempty"`
+}
+
+// Error is the JSON body of a non-verdict HTTP error response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// ExitCode maps a verdict to the dctl exit-code convention: 0 for holds,
+// deadlock-free, and proved; 1 for fails, deadlock, and disproved; 4 for
+// unknown (inconclusive — fall back to exploration).
+func (r *Response) ExitCode() int {
+	switch r.Verdict {
+	case VerdictHolds, VerdictDeadlockFree, VerdictProved:
+		return 0
+	case VerdictUnknown:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Encode writes v in the canonical wire encoding: two-space-indented JSON
+// with a trailing newline and no HTML escaping (GCL sources are full of ->
+// and <, which must survive a round trip legibly). Every producer of
+// protocol bytes — the dcserved response body, dctl verdict stdout — must
+// go through this function; the byte-parity tests compare their outputs
+// verbatim.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// Validate checks the request's shape without touching the program source:
+// the check name is known and the check-specific required fields are
+// present. Predicate-name resolution happens later, against the parsed
+// program.
+func (r *Request) Validate() error {
+	if r.Program == "" {
+		return fmt.Errorf("api: empty program")
+	}
+	switch r.Check {
+	case CheckClosure:
+		if r.Invariant == "" {
+			return fmt.Errorf("api: closure requires invariant")
+		}
+	case CheckDetects, CheckCorrects:
+		if r.Z == "" || r.X == "" {
+			return fmt.Errorf("api: %s requires z and x", r.Check)
+		}
+		switch r.Tolerant {
+		case "", "failsafe", "fail-safe", "nonmasking", "masking":
+		default:
+			return fmt.Errorf("api: unknown tolerance kind %q (want failsafe, nonmasking, or masking)", r.Tolerant)
+		}
+	case CheckConvergence:
+		if r.Invariant == "" || r.Goal == "" {
+			return fmt.Errorf("api: convergence requires invariant and goal")
+		}
+	case CheckDeadlock:
+	case CheckProve:
+		if r.Invariant == "" && r.Z == "" && r.Goal == "" {
+			return fmt.Errorf("api: nothing to prove: give invariant, z/x, or goal")
+		}
+		if (r.Z == "") != (r.X == "") {
+			return fmt.Errorf("api: z and x must be given together")
+		}
+		if r.Span != "" && r.Invariant == "" {
+			return fmt.Errorf("api: span requires invariant")
+		}
+	case "":
+		return fmt.Errorf("api: missing check (want one of %v)", Checks())
+	default:
+		return fmt.Errorf("api: unknown check %q (want one of %v)", r.Check, Checks())
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"detcorr/internal/prove"
+)
+
+// The golden strings below pin the wire schema byte-for-byte. A renamed or
+// re-typed field, a changed tag, or a different encoder configuration fails
+// here before it can silently fork the protocol between dcserved and dctl.
+
+const goldenRequest = `{
+  "program": "program p\nvar x: 0..2\ninit Legit: x == 0\naction a: x < 2 -> x = x + 1",
+  "check": "detects",
+  "invariant": "Legit",
+  "goal": "Done",
+  "z": "Z",
+  "x": "X",
+  "from": "U",
+  "span": "T",
+  "rank": "2-x",
+  "tolerant": "masking",
+  "faults": true,
+  "max_states": 4096
+}
+`
+
+const goldenResponse = `{
+  "check": "prove",
+  "program": "ring3",
+  "verdict": "disproved",
+  "detail": "closure of Legit violated",
+  "witness": [
+    "(x=0)",
+    "(x=1)"
+  ],
+  "reports": [
+    {
+      "code": "DC100",
+      "subject": "closure of Legit under the program actions",
+      "verdict": "disproved",
+      "actions": [
+        {
+          "action": "move0",
+          "verdict": "disproved",
+          "counterexample": "x=1",
+          "note": "exact enumeration"
+        }
+      ],
+      "span": [
+        "x in [0..2]"
+      ],
+      "rank": [
+        "2-x"
+      ],
+      "notes": [
+        "a note"
+      ]
+    }
+  ]
+}
+`
+
+func TestRequestGolden(t *testing.T) {
+	req := Request{
+		Program:   "program p\nvar x: 0..2\ninit Legit: x == 0\naction a: x < 2 -> x = x + 1",
+		Check:     CheckDetects,
+		Invariant: "Legit",
+		Goal:      "Done",
+		Z:         "Z",
+		X:         "X",
+		From:      "U",
+		Span:      "T",
+		Rank:      "2-x",
+		Tolerant:  "masking",
+		Faults:    true,
+		MaxStates: 4096,
+	}
+	var b strings.Builder
+	if err := Encode(&b, req); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenRequest {
+		t.Errorf("request wire schema drifted:\ngot:\n%s\nwant:\n%s", b.String(), goldenRequest)
+	}
+	var back Request
+	if err := json.Unmarshal([]byte(goldenRequest), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != req {
+		t.Errorf("request round-trip: got %+v, want %+v", back, req)
+	}
+}
+
+func TestResponseGolden(t *testing.T) {
+	resp := Response{
+		Check:   CheckProve,
+		Program: "ring3",
+		Verdict: VerdictDisproved,
+		Detail:  "closure of Legit violated",
+		Witness: []string{"(x=0)", "(x=1)"},
+		Reports: []*prove.Report{{
+			Code:    prove.CodeClosure,
+			Subject: "closure of Legit under the program actions",
+			Verdict: prove.Disproved,
+			Actions: []prove.ActionResult{{
+				Action:         "move0",
+				Verdict:        prove.Disproved,
+				Counterexample: "x=1",
+				Note:           "exact enumeration",
+			}},
+			Span:  []string{"x in [0..2]"},
+			Rank:  []string{"2-x"},
+			Notes: []string{"a note"},
+		}},
+	}
+	var b strings.Builder
+	if err := Encode(&b, resp); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenResponse {
+		t.Errorf("response wire schema drifted:\ngot:\n%s\nwant:\n%s", b.String(), goldenResponse)
+	}
+}
+
+func TestOptionalFieldsOmitted(t *testing.T) {
+	var b strings.Builder
+	if err := Encode(&b, Request{Program: "p", Check: CheckDeadlock}); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"program\": \"p\",\n  \"check\": \"deadlock\"\n}\n"
+	if b.String() != want {
+		t.Errorf("minimal request: got %q, want %q", b.String(), want)
+	}
+	b.Reset()
+	if err := Encode(&b, Response{Check: CheckClosure, Program: "p", Verdict: VerdictHolds}); err != nil {
+		t.Fatal(err)
+	}
+	want = "{\n  \"check\": \"closure\",\n  \"program\": \"p\",\n  \"verdict\": \"holds\"\n}\n"
+	if b.String() != want {
+		t.Errorf("minimal response: got %q, want %q", b.String(), want)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := map[string]int{
+		VerdictHolds:        0,
+		VerdictDeadlockFree: 0,
+		VerdictProved:       0,
+		VerdictFails:        1,
+		VerdictDeadlock:     1,
+		VerdictDisproved:    1,
+		VerdictUnknown:      4,
+	}
+	for v, want := range cases {
+		if got := (&Response{Verdict: v}).ExitCode(); got != want {
+			t.Errorf("ExitCode(%s) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []Request{
+		{Program: "p", Check: CheckClosure, Invariant: "S"},
+		{Program: "p", Check: CheckDetects, Z: "Z", X: "X"},
+		{Program: "p", Check: CheckCorrects, Z: "Z", X: "X", Tolerant: "masking"},
+		{Program: "p", Check: CheckConvergence, Invariant: "S", Goal: "R"},
+		{Program: "p", Check: CheckDeadlock},
+		{Program: "p", Check: CheckProve, Invariant: "S", Span: "auto"},
+		{Program: "p", Check: CheckProve, Z: "Z", X: "X"},
+		{Program: "p", Check: CheckProve, Goal: "R"},
+	}
+	for _, r := range ok {
+		if err := r.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", r, err)
+		}
+	}
+	bad := []Request{
+		{},
+		{Program: "p"},
+		{Program: "p", Check: "frobnicate"},
+		{Check: CheckDeadlock},
+		{Program: "p", Check: CheckClosure},
+		{Program: "p", Check: CheckDetects, Z: "Z"},
+		{Program: "p", Check: CheckDetects, Z: "Z", X: "X", Tolerant: "sometimes"},
+		{Program: "p", Check: CheckConvergence, Invariant: "S"},
+		{Program: "p", Check: CheckProve},
+		{Program: "p", Check: CheckProve, Invariant: "S", X: "X"},
+		{Program: "p", Check: CheckProve, Span: "T"},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", r)
+		}
+	}
+}

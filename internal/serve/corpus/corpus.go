@@ -1,0 +1,107 @@
+// Package corpus is the shared program-and-request mix behind the dcserved
+// proof-of-correctness suites: the synthetic client swarm, the dctl parity
+// difftest, and the dcbench swarm benchmark all draw from the same embedded
+// sources and the same deterministic request list, so "the swarm passed"
+// always means the same workload.
+package corpus
+
+import (
+	_ "embed"
+
+	"detcorr/internal/serve/api"
+)
+
+// The three paper systems, embedded so the suites run without touching the
+// filesystem. They mirror cmd/dctl/testdata byte-for-byte (the parity
+// difftest depends on it).
+var (
+	//go:embed testdata/ring3.gcl
+	Ring3 string
+	//go:embed testdata/memaccess.gcl
+	Memaccess string
+	//go:embed testdata/countdown.gcl
+	Countdown string
+)
+
+// Item is one request in the mix, with the verdict it must produce. Verdict
+// is ground truth established by the graph checks — the swarm asserts every
+// response against it, so a wrong answer under load is a test failure, not
+// just a latency blip.
+type Item struct {
+	Name    string
+	Request api.Request
+	Verdict string
+}
+
+// Items returns the full deterministic request mix: every check kind, every
+// program, holding and failing verdicts both. Callers index into it with
+// whatever schedule they like; the list itself never changes order.
+func Items() []Item {
+	return []Item{
+		{
+			Name:    "ring3-closure",
+			Request: api.Request{Program: Ring3, Check: api.CheckClosure, Invariant: "Legit"},
+			Verdict: api.VerdictHolds,
+		},
+		{
+			Name:    "ring3-corrects-nonmasking",
+			Request: api.Request{Program: Ring3, Check: api.CheckCorrects, Z: "Legit", X: "Legit", Tolerant: "nonmasking"},
+			Verdict: api.VerdictHolds,
+		},
+		{
+			Name:    "ring3-converges",
+			Request: api.Request{Program: Ring3, Check: api.CheckConvergence, Invariant: "true", Goal: "Legit"},
+			Verdict: api.VerdictHolds,
+		},
+		{
+			Name:    "ring3-prove-closure",
+			Request: api.Request{Program: Ring3, Check: api.CheckProve, Invariant: "Legit", Span: "auto"},
+			Verdict: api.VerdictProved,
+		},
+		{
+			Name:    "ring3-deadlock",
+			Request: api.Request{Program: Ring3, Check: api.CheckDeadlock},
+			Verdict: api.VerdictDeadlockFree,
+		},
+		{
+			Name:    "memaccess-detects-failsafe",
+			Request: api.Request{Program: Memaccess, Check: api.CheckDetects, Z: "Z1p", X: "X1", From: "U1", Tolerant: "failsafe"},
+			Verdict: api.VerdictHolds,
+		},
+		{
+			Name:    "memaccess-detects-fails",
+			Request: api.Request{Program: Memaccess, Check: api.CheckDetects, Z: "Z1p", X: "DataCorrect", From: "U1"},
+			Verdict: api.VerdictFails,
+		},
+		{
+			Name:    "memaccess-corrects",
+			Request: api.Request{Program: Memaccess, Check: api.CheckCorrects, Z: "X1", X: "X1", From: "X1", Tolerant: "nonmasking"},
+			Verdict: api.VerdictHolds,
+		},
+		{
+			Name:    "memaccess-deadlock-faults",
+			Request: api.Request{Program: Memaccess, Check: api.CheckDeadlock, Faults: true},
+			Verdict: api.VerdictDeadlockFree,
+		},
+		{
+			Name:    "countdown-closure",
+			Request: api.Request{Program: Countdown, Check: api.CheckClosure, Invariant: "Zero"},
+			Verdict: api.VerdictHolds,
+		},
+		{
+			Name:    "countdown-deadlock",
+			Request: api.Request{Program: Countdown, Check: api.CheckDeadlock, From: "Top"},
+			Verdict: api.VerdictDeadlock,
+		},
+		{
+			Name:    "countdown-deadlock-faults",
+			Request: api.Request{Program: Countdown, Check: api.CheckDeadlock, From: "Top", Faults: true},
+			Verdict: api.VerdictDeadlock,
+		},
+		{
+			Name:    "countdown-prove-convergence",
+			Request: api.Request{Program: Countdown, Check: api.CheckProve, Goal: "Zero"},
+			Verdict: api.VerdictProved,
+		},
+	}
+}

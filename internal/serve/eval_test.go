@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"detcorr/internal/serve/api"
+	"detcorr/internal/serve/corpus"
+)
+
+// TestEvalCorpus pins the ground-truth verdict of every corpus item: the
+// swarm and parity suites lean on these verdicts, so they are established
+// here first, serially and without any server in the way.
+func TestEvalCorpus(t *testing.T) {
+	for _, item := range corpus.Items() {
+		t.Run(item.Name, func(t *testing.T) {
+			f, err := compile(item.Request.Program)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			resp, err := Eval(context.Background(), f, item.Request)
+			if err != nil {
+				t.Fatalf("Eval: %v", err)
+			}
+			if resp.Verdict != item.Verdict {
+				t.Errorf("verdict = %s (detail %q), want %s", resp.Verdict, resp.Detail, item.Verdict)
+			}
+			if resp.Check != item.Request.Check {
+				t.Errorf("check echo = %q, want %q", resp.Check, item.Request.Check)
+			}
+		})
+	}
+}
+
+func TestEvalDeadlockWitness(t *testing.T) {
+	f, err := compile(corpus.Countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Eval(context.Background(), f, api.Request{Program: corpus.Countdown, Check: api.CheckDeadlock, From: "Top"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Detail != "deadlock reached in 3 steps" {
+		t.Errorf("detail = %q", resp.Detail)
+	}
+	if len(resp.Witness) != 4 || !strings.Contains(resp.Witness[3], "x=0") {
+		t.Errorf("witness = %v, want 4 states ending at x=0", resp.Witness)
+	}
+}
+
+func TestEvalUsageErrors(t *testing.T) {
+	f, err := compile(corpus.Ring3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []api.Request{
+		{Program: corpus.Ring3, Check: "bogus"},
+		{Program: corpus.Ring3, Check: api.CheckClosure},                           // missing invariant
+		{Program: corpus.Ring3, Check: api.CheckClosure, Invariant: "Nope"},        // unknown predicate
+		{Program: corpus.Ring3, Check: api.CheckDetects, Z: "Legit", X: "Missing"}, // unknown x
+		{Program: corpus.Ring3, Check: api.CheckCorrects, Z: "Legit", X: "Legit", Tolerant: "sometimes"},
+	}
+	for _, req := range cases {
+		_, err := Eval(context.Background(), f, req)
+		var ue *UsageError
+		if err == nil || !asUsage(err, &ue) {
+			t.Errorf("Eval(%+v) err = %v, want *UsageError", req, err)
+		}
+	}
+}
+
+func TestEvalCancelled(t *testing.T) {
+	f, err := compile(corpus.Ring3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A deadlock hunt must explore (no proof fast path), so a dead context
+	// is always observed.
+	if _, err := Eval(ctx, f, api.Request{Program: corpus.Ring3, Check: api.CheckDeadlock}); !isCancellation(err) {
+		t.Errorf("Eval under cancelled ctx = %v, want cancellation", err)
+	}
+}
+
+func TestRegistryLoadErrors(t *testing.T) {
+	r := newRegistry(4)
+	if _, err := r.load("program broken\nvar x"); err == nil {
+		t.Error("parse error should fail load")
+	} else if le, ok := err.(*LoadError); !ok || le.Stage != "parse" {
+		t.Errorf("load error = %v, want parse-stage LoadError", err)
+	}
+	if r.resident() != 0 {
+		t.Errorf("failed load cached: resident = %d", r.resident())
+	}
+	f1, err := r.load(corpus.Ring3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := r.load(corpus.Ring3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("identical source compiled twice: registry dedup broken")
+	}
+	if r.resident() != 1 {
+		t.Errorf("resident = %d, want 1", r.resident())
+	}
+}
+
+func asUsage(err error, target **UsageError) bool {
+	for err != nil {
+		if ue, ok := err.(*UsageError); ok {
+			*target = ue
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

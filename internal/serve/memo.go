@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/gcl"
+	"detcorr/internal/serve/api"
+)
+
+// verdictCache memoizes whole verdicts keyed by the full request hash. It
+// sits above the graph cache: a hit here skips not just the state-space
+// build but the check itself. Entries are immutable *api.Response values
+// shared between requesters, so handlers must never mutate a response after
+// publishing it.
+type verdictCache struct {
+	mu  sync.Mutex
+	max int
+	lru *list.List // of *verdictEntry; front = most recently used
+	by  map[[sha256.Size]byte]*list.Element
+}
+
+type verdictEntry struct {
+	key  [sha256.Size]byte
+	resp *api.Response
+}
+
+func newVerdictCache(max int) *verdictCache {
+	return &verdictCache{max: max, lru: list.New(), by: map[[sha256.Size]byte]*list.Element{}}
+}
+
+func (c *verdictCache) get(key [sha256.Size]byte) (*api.Response, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.by[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*verdictEntry).resp, true
+}
+
+func (c *verdictCache) put(key [sha256.Size]byte, resp *api.Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.by[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*verdictEntry).resp = resp
+		return
+	}
+	c.by[key] = c.lru.PushFront(&verdictEntry{key: key, resp: resp})
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.by, back.Value.(*verdictEntry).key)
+	}
+}
+
+// tenantState is one tenant's view of the graph cache: the programs their
+// requests have touched, most recent first.
+type tenantState struct {
+	lru *list.List // of *gcl.File; front = most recently used
+	by  map[*gcl.File]*list.Element
+}
+
+// chargeTenant records that tenant's latest verdict used file, then
+// enforces the per-tenant budget: while the states resident for the
+// tenant's programs exceed it, the tenant's least-recently-used programs
+// are evicted from the exploration cache. The program just used is never
+// the victim — a tenant whose single working set exceeds the budget keeps
+// exactly that working set, and merely loses the benefit of history.
+//
+// Because graphs are shared across tenants, a build for one tenant can
+// re-inflate the resident count of every other tenant holding the same
+// program — after *their* last charge. Enforcing only the charging
+// tenant would therefore leave quiescent tenants over budget. Instead
+// every charge re-enforces every tenant: the final charge necessarily
+// happens after the final build, so at quiescence all tenants are within
+// budget (or down to the one protected program).
+func (s *Server) chargeTenant(tenant string, file *gcl.File) {
+	if s.cfg.TenantBudget <= 0 || file == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[tenant]
+	if t == nil {
+		t = &tenantState{lru: list.New(), by: map[*gcl.File]*list.Element{}}
+		s.tenants[tenant] = t
+	}
+	if el, ok := t.by[file]; ok {
+		t.lru.MoveToFront(el)
+	} else {
+		t.by[file] = t.lru.PushFront(file)
+	}
+	for _, ts := range s.tenants {
+		s.enforceLocked(ts, file)
+	}
+}
+
+// enforceLocked evicts t's least-recently-used programs from the
+// exploration cache until the tenant's resident states fit the budget,
+// sparing the protected (just-used) program so a fresh build is never
+// discarded by its own completion. Caller holds s.mu.
+func (s *Server) enforceLocked(t *tenantState, protect *gcl.File) {
+	usage := 0
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		usage += explore.ResidentOf(el.Value.(*gcl.File).Program)
+	}
+	for usage > s.cfg.TenantBudget && t.lru.Len() > 1 {
+		el := t.lru.Back()
+		if el.Value.(*gcl.File) == protect {
+			el = el.Prev()
+		}
+		if el == nil {
+			break
+		}
+		victim := el.Value.(*gcl.File)
+		usage -= explore.EvictProgram(victim.Program)
+		t.lru.Remove(el)
+		delete(t.by, victim)
+		s.met.tenantEvictions.Add(1)
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"detcorr/internal/serve/api"
+)
+
+// The SSE transport streams one verdict as Server-Sent Events: "progress"
+// events as the request moves through admission, ":keepalive" comments
+// while a long exploration runs, then a final "verdict" event whose data is
+// the api.Response (compact, single line) followed by an "exit" event with
+// the dctl exit code — or an "error" event carrying the HTTP status the
+// plain transport would have used. Clients opt in with
+// Accept: text/event-stream.
+
+func isSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+const sseKeepalive = 5 * time.Second
+
+type sseEvent struct {
+	name string
+	data string
+}
+
+// compactJSON renders v as single-line JSON without HTML escaping — the
+// same bytes api.Encode would produce, minus indentation, so SSE payloads
+// stay field-for-field identical to the plain transport.
+func compactJSON(v any) string {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return `{"error":"encode failure"}`
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, req api.Request, tenant string, start time.Time) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, errors.New("serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// The evaluation runs on its own goroutine and feeds pre-rendered
+	// events through the channel; only this goroutine touches w, so the
+	// keepalive ticker cannot race a progress event.
+	events := make(chan sseEvent, 8)
+	go func() {
+		defer close(events)
+		resp, cacheState, err := s.verdict(r.Context(), req, tenant, func(stage string) {
+			events <- sseEvent{"progress", fmt.Sprintf(`{"stage":%q}`, stage)}
+		})
+		if err != nil {
+			if isCancellation(err) && r.Context().Err() != nil {
+				return // the client is gone; nobody is listening
+			}
+			status := classify(err)
+			s.met.observe(status, "", 0)
+			events <- sseEvent{"error", compactJSON(api.Error{Error: err.Error()})}
+			events <- sseEvent{"status", fmt.Sprintf("%d", status)}
+			return
+		}
+		s.met.observe(http.StatusOK, cacheState, time.Since(start))
+		events <- sseEvent{"verdict", compactJSON(resp)}
+		events <- sseEvent{"exit", fmt.Sprintf(`{"exit":%d,"cache":%q}`, resp.ExitCode(), cacheState)}
+	}()
+
+	ticker := time.NewTicker(sseKeepalive)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			flusher.Flush()
+		case <-ticker.C:
+			fmt.Fprint(w, ":keepalive\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// classify maps a verdict-pipeline error to the HTTP status the plain
+// transport uses: the two transports must agree on the taxonomy.
+func classify(err error) int {
+	var ue *UsageError
+	var le *LoadError
+	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errSaturated):
+		return http.StatusTooManyRequests
+	case errors.As(err, &ue):
+		return http.StatusBadRequest
+	case errors.As(err, &le):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}

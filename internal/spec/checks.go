@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"context"
 	"fmt"
 
 	"detcorr/internal/explore"
@@ -44,13 +45,20 @@ func RegisterClosureProver(f ClosureProver) { closureProver = f }
 // transitions with early exit at the first violation — one pass, no graph
 // assembly.
 func CheckClosed(p *guarded.Program, s state.Predicate) error {
+	return CheckClosedCtx(context.Background(), p, s)
+}
+
+// CheckClosedCtx is CheckClosed under a context: cancellation aborts the
+// fallback kernel scan with ctx.Err(). The prover and cached-graph rungs of
+// the ladder are not interruptible — they are already cheap.
+func CheckClosedCtx(ctx context.Context, p *guarded.Program, s state.Predicate) error {
 	if closureProver != nil && closureProver(p, s) {
 		return nil
 	}
 	if g, ok := closureGraph(p, s); ok {
 		return CheckClosedOn(g, s)
 	}
-	return scanPair(p, s, s, s.String())
+	return scanPair(ctx, p, s, s, s.String())
 }
 
 // closureGraph finds a cached graph that contains every S-state: one built
@@ -105,17 +113,23 @@ func CheckClosedOn(g *explore.Graph, s state.Predicate) error {
 // from a state satisfying S lands in a state satisfying R. The check streams
 // over the compiled kernel with early exit at the first violation.
 func CheckPair(p *guarded.Program, s, r state.Predicate) error {
-	return scanPair(p, s, r, fmt.Sprintf("{%s} %s {%s}", s, p.Name(), r))
+	return CheckPairCtx(context.Background(), p, s, r)
+}
+
+// CheckPairCtx is CheckPair under a context; cancellation aborts the kernel
+// scan with ctx.Err().
+func CheckPairCtx(ctx context.Context, p *guarded.Program, s, r state.Predicate) error {
+	return scanPair(ctx, p, s, r, fmt.Sprintf("{%s} %s {%s}", s, p.Name(), r))
 }
 
 // scanPair streams the S-states in ascending index order and checks that
 // every transition out of them satisfies r, stopping at the first violation.
 // The enumeration order matches the historical full-space sweep (ascending
 // states, transitions in action order), so the witness is the same one.
-func scanPair(p *guarded.Program, s, r state.Predicate, label string) error {
+func scanPair(ctx context.Context, p *guarded.Program, s, r state.Predicate, label string) error {
 	sch := p.Schema()
 	var viol error
-	_, err := explore.Scan(p, s, explore.ScanOptions{InitOnly: true}, explore.Scanner{
+	_, err := explore.ScanCtx(ctx, p, s, explore.ScanOptions{InitOnly: true}, explore.Scanner{
 		Edge: func(from, to state.State, action int, fresh bool) bool {
 			if r.Holds(to) {
 				return true
@@ -142,13 +156,20 @@ func scanPair(p *guarded.Program, s, r state.Predicate, label string) error {
 // kernel (or hit cached graphs); the liveness obligation costs exactly one
 // graph build through the shared cache.
 func CheckConverges(p *guarded.Program, s, r state.Predicate) error {
-	if err := CheckClosed(p, s); err != nil {
+	return CheckConvergesCtx(context.Background(), p, s, r)
+}
+
+// CheckConvergesCtx is CheckConverges under a context: cancellation aborts
+// the closure scans and the graph build with ctx.Err(). The liveness query
+// on the built graph is not interruptible — it is linear in the graph.
+func CheckConvergesCtx(ctx context.Context, p *guarded.Program, s, r state.Predicate) error {
+	if err := CheckClosedCtx(ctx, p, s); err != nil {
 		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
 	}
-	if err := CheckClosed(p, r); err != nil {
+	if err := CheckClosedCtx(ctx, p, r); err != nil {
 		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
 	}
-	g, err := explore.Shared(p, s, explore.Options{})
+	g, err := explore.SharedCtx(ctx, p, s, explore.Options{})
 	if err != nil {
 		return err
 	}
