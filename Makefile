@@ -9,7 +9,7 @@ LINT_CLEAN := $(filter-out \
 	internal/lint/testdata/resolve.gcl, \
 	$(wildcard internal/lint/testdata/*.gcl))
 
-.PHONY: check build fmt vet dcvet dccodes test race serve-test lint prove fuzz bench bench-diff profile clean
+.PHONY: check build fmt vet dcvet dccodes test race serve-test lint prove fuzz bench bench-diff bench-spill profile clean
 
 # The full local gate: everything CI would run.
 check: build fmt vet dcvet test race serve-test lint prove fuzz
@@ -87,6 +87,20 @@ bench-diff:
 	@grep -o '"Output":"[^"]*"' BENCH_reuse.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 	$(GO) test -json -run='^$$' -bench='ServedSwarm' ./internal/serve > BENCH_served.json
 	@grep -o '"Output":"[^"]*"' BENCH_served.json | sed -e 's/^"Output":"//' -e 's/"$$//' | tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# bench-spill records the out-of-core engine's evidence in BENCH_spill.json:
+# one JSON row per run of the full SPILL_RING-process token-ring state
+# space — the unbudgeted in-RAM baseline plus each SPILL_BUDGETS memory
+# budget — with states/sec, peak RSS (VmHWM), bytes spilled, and the Bloom
+# hit rate. The ring-9 default walks 387 million states and takes minutes;
+# CI runs the ring-7 form (SPILL_RING=7 SPILL_BUDGETS=128K,1M), which also
+# exercises the sharded visited set in under a second. Like the other
+# BENCH files, the record survives `make clean`.
+SPILL_RING ?= 9
+SPILL_BUDGETS ?= 128M,256M
+bench-spill:
+	$(GO) run ./cmd/dcbench -spill $(SPILL_RING) -spill-budgets $(SPILL_BUDGETS) > BENCH_spill.json
+	@cat BENCH_spill.json
 
 # profile regenerates the heaviest experiment with pprof instrumentation and
 # drops cpu.pprof/mem.pprof in the working tree for `go tool pprof`.

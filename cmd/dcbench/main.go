@@ -6,14 +6,21 @@
 //	dcbench E4 E9      # run selected experiments
 //	dcbench -j 0       # explore state spaces with all CPUs
 //	dcbench -list      # list experiment ids
-//	dcbench -stats     # also print graph-cache counters after the run
+//	dcbench -stats     # also print graph-cache and spill counters after the run
 //	dcbench -swarm 64  # drive an in-process dcserved with a client swarm
+//	dcbench -spill 8   # sweep the out-of-core engine over the ring-8 state space
 //
 // -swarm N boots the dcserved verdict service on a loopback port and
 // replays the deterministic serve corpus from N concurrent clients
 // (-swarm-rounds replays each), printing throughput, p50/p99 latency,
 // refusal counts, and the graph-cache counters. Every response is checked
 // against ground truth; a wrong verdict under load makes the run fail.
+//
+// -spill n streams the full K^n state space of the n-process token ring
+// through explore.Scan at each -spill-budgets memory budget (plus an
+// unbudgeted in-RAM baseline unless -spill-baseline=false) and prints one
+// JSON line per run: states/sec, peak RSS, bytes spilled, Bloom hit rate.
+// `make bench-spill` records the sweep in BENCH_spill.json.
 //
 // -j N sets the worker count for state-space exploration and simulation
 // campaigns (0 = all CPUs, default 1 = sequential); the tables are
@@ -56,6 +63,10 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "print graph-cache counters after the run")
 	swarm := fs.Int("swarm", 0, "drive an in-process dcserved with this many concurrent clients instead of running experiments")
 	swarmRounds := fs.Int("swarm-rounds", 3, "corpus replays per swarm client")
+	spill := fs.Int("spill", 0, "sweep the out-of-core engine over the full state space of an n-process token ring instead of running experiments")
+	spillBudgets := fs.String("spill-budgets", "16M,64M,256M", "comma-separated memory budgets for the -spill sweep")
+	spillBaseline := fs.Bool("spill-baseline", true, "include the unbudgeted in-RAM scan in the -spill sweep")
+	spillDir := fs.String("spill-dir", "", "directory for the -spill sweep's spill files (default: the OS temp directory)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +110,9 @@ func run(args []string) error {
 	if *swarm > 0 {
 		return runSwarm(*swarm, *swarmRounds)
 	}
+	if *spill > 0 {
+		return runSpill(*spill, *spillBudgets, *spillDir, *spillBaseline)
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()
@@ -116,6 +130,9 @@ func run(args []string) error {
 		s := explore.CacheStats()
 		fmt.Printf("graph cache: %d builds, %d hits, %d misses, %d bypasses, %d evictions, %d graphs resident (%d states)\n",
 			s.Builds, s.Hits, s.Misses, s.Bypasses, s.Evictions, s.Resident, s.States)
+		sp := explore.SpillCounters()
+		fmt.Printf("spill: %d frontier runs, %d bytes spilled, front hit rate %.4f (%d hits, %d misses), %d shard probes, %d merges\n",
+			sp.FrontierRuns, sp.BytesSpilled, sp.BloomHitRate(), sp.FrontHits, sp.FrontMisses, sp.ShardProbes, sp.ShardMerges)
 	}
 	return nil
 }

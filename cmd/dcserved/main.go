@@ -8,7 +8,14 @@
 //
 //	dcserved [-addr :8125] [-inflight N] [-tenant-budget STATES]
 //	    [-cache-budget STATES] [-max-programs N] [-max-body BYTES]
-//	    [-verdict-cache N] [-quiet]
+//	    [-verdict-cache N] [-mem-budget B] [-spill-dir D] [-quiet]
+//
+// -mem-budget B (e.g. 64M, 2G) bounds the memory any one exploration may
+// hold resident: evaluations whose state space would outgrow the budget
+// degrade to the out-of-core engine — spilling the visited set and BFS
+// frontier to files under -spill-dir — instead of being refused or growing
+// without bound. Verdicts are byte-identical either way, and explorations
+// that fit the budget never touch disk.
 //
 // Endpoints:
 //
@@ -78,6 +85,8 @@ func run(args []string, errOut io.Writer) int {
 	maxPrograms := fs.Int("max-programs", 0, "max distinct compiled programs kept resident (0 = default)")
 	maxBody := fs.Int64("max-body", 0, "max request body bytes (0 = default)")
 	verdictCache := fs.Int("verdict-cache", 0, "max memoized verdicts (0 = default, negative disables)")
+	memBudget := fs.String("mem-budget", "", "per-exploration memory budget, e.g. 64M or 2G (empty = in-RAM engines)")
+	spillDir := fs.String("spill-dir", "", "directory for exploration spill files (default: the OS temp directory)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight verdicts on shutdown")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +99,15 @@ func run(args []string, errOut io.Writer) int {
 	if *cacheBudget > 0 {
 		explore.SetCacheBudget(*cacheBudget)
 	}
+	spillBudget := int64(0)
+	if *memBudget != "" {
+		b, err := explore.ParseByteSize(*memBudget)
+		if err != nil {
+			fmt.Fprintf(errOut, "dcserved: -mem-budget: %v\n", err)
+			return exitUsage
+		}
+		spillBudget = b
+	}
 
 	logger := log.New(errOut, "dcserved: ", log.LstdFlags)
 	cfg := serve.Config{
@@ -98,6 +116,8 @@ func run(args []string, errOut io.Writer) int {
 		MaxPrograms:      *maxPrograms,
 		MaxBodyBytes:     *maxBody,
 		VerdictCacheSize: *verdictCache,
+		SpillBudget:      spillBudget,
+		SpillDir:         *spillDir,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

@@ -24,25 +24,31 @@
 //	    exploration-based commands below, which decide everything.
 //
 //	dctl check <file.gcl> -kind failsafe|nonmasking|masking -invariant S
-//	    [-recovery R] [-goal P] [-never P] [-j N]
+//	    [-recovery R] [-goal P] [-never P] [-j N] [-mem-budget B] [-spill-dir D]
 //	    Decide F-tolerance of the program for the specification "never a
 //	    state satisfying P_never (safety), and from anywhere eventually
 //	    P_goal (liveness)", from invariant S. Predicates are named 'pred'
 //	    declarations in the file. -j N explores the state space with N
 //	    worker goroutines (0 = all CPUs); the result is identical at any
-//	    worker count.
+//	    worker count. -mem-budget B (e.g. 64M, 2G) bounds exploration
+//	    memory: past the budget the visited set and BFS frontier spill to
+//	    files under -spill-dir (default: the OS temp directory), with
+//	    byte-identical results.
 //
 //	dctl detects <file.gcl> -z Z -x X -from U [-tolerant kind] [-j N]
+//	    [-mem-budget B] [-spill-dir D]
 //	    Check 'Z detects X' in the program from U, optionally as a
 //	    fail-safe/nonmasking/masking F-tolerant detector for the file's
 //	    fault class.
 //
 //	dctl corrects <file.gcl> -z Z -x X -from U [-tolerant kind] [-j N]
+//	    [-mem-budget B] [-spill-dir D]
 //	    Check 'Z corrects X' likewise.
 //
 //	dctl verdict <file.gcl> -check closure|detects|corrects|convergence|deadlock|prove
 //	    [-invariant S] [-goal R] [-z Z -x X] [-from U] [-span T|auto]
 //	    [-rank "e1,e2"] [-tolerant kind] [-faults] [-max-states N]
+//	    [-mem-budget B] [-spill-dir D]
 //	    Decide one property and print the verdict in the dcserved wire
 //	    encoding (internal/serve/api). The evaluation and the JSON are
 //	    shared with the dcserved daemon, so stdout is byte-identical to the

@@ -30,6 +30,28 @@ func setParallelism(j int) {
 	explore.SetDefaultParallelism(j)
 }
 
+// spillFlags registers the out-of-core exploration flags shared by the
+// exploring subcommands and returns the function that applies them after
+// parsing. A -mem-budget makes every exploration reached through the
+// command spill its visited set and frontier to disk rather than outgrow
+// the budget; explorations that fit never touch disk, so the flag is a
+// ceiling, not a mode switch.
+func spillFlags(fs *flag.FlagSet) func() error {
+	budget := fs.String("mem-budget", "", "exploration memory budget, e.g. 512K, 64M, 2G (empty = in-RAM engines)")
+	dir := fs.String("spill-dir", "", "directory for spill files (default: the OS temp directory)")
+	return func() error {
+		if *budget == "" {
+			return nil
+		}
+		b, err := explore.ParseByteSize(*budget)
+		if err != nil {
+			return usageErrorf("-mem-budget: %v", err)
+		}
+		explore.SetDefaultSpill(b, *dir)
+		return nil
+	}
+}
+
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
 		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|deadlock|verdict|simulate> <file.gcl> [flags]")
@@ -175,11 +197,15 @@ func runCheck(args []string, out, errOut io.Writer) error {
 	goalFlag := fs.String("goal", "", "liveness goal predicate (eventually goal)")
 	neverFlag := fs.String("never", "", "safety predicate: states satisfying it are forbidden")
 	jFlag := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
+	applySpill := spillFlags(fs)
 	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
 	setParallelism(*jFlag)
+	if err := applySpill(); err != nil {
+		return err
+	}
 	kind, err := parseKind(*kindFlag)
 	if err != nil {
 		return err
@@ -235,11 +261,15 @@ func runComponent(cmd string, args []string, out, errOut io.Writer) error {
 	fromFlag := fs.String("from", "", "predicate U the relation is refined from (default true)")
 	tolFlag := fs.String("tolerant", "", "also check as an F-tolerant component: failsafe, nonmasking, or masking")
 	jFlag := fs.Int("j", 1, "exploration workers; 0 means all CPUs")
+	applySpill := spillFlags(fs)
 	f, err := loadFile(fs, args, errOut)
 	if err != nil {
 		return err
 	}
 	setParallelism(*jFlag)
+	if err := applySpill(); err != nil {
+		return err
+	}
 	if *zFlag == "" || *xFlag == "" {
 		return usageErrorf("-z and -x are required")
 	}
@@ -298,8 +328,12 @@ func runDeadlock(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("deadlock", flag.ContinueOnError)
 	fromFlag := fs.String("from", "", "initial predicate to search from (default true)")
 	faultsFlag := fs.Bool("faults", false, "compose the file's fault class in")
+	applySpill := spillFlags(fs)
 	f, err := loadFile(fs, args, errOut)
 	if err != nil {
+		return err
+	}
+	if err := applySpill(); err != nil {
 		return err
 	}
 	from, err := predOf(f, *fromFlag, "from")

@@ -32,8 +32,12 @@ func runVerdict(args []string, out, errOut io.Writer) error {
 	tolerant := fs.String("tolerant", "", "also check F-tolerance: failsafe, nonmasking, or masking")
 	faults := fs.Bool("faults", false, "compose the file's fault class into the deadlock hunt")
 	maxStates := fs.Int("max-states", 0, "abort exploration beyond this many states (0 = unbounded)")
+	applySpill := spillFlags(fs)
 	if err := fs.Parse(argsAfterFile(args)); err != nil {
 		return withCode(exitUsage, err)
+	}
+	if err := applySpill(); err != nil {
+		return err
 	}
 	if len(args) == 0 || args[0] == "" || args[0][0] == '-' {
 		return usageErrorf("usage: dctl verdict <file.gcl> -check <property> [flags]")

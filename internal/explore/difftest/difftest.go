@@ -127,3 +127,37 @@ func Check(p *guarded.Program, init state.Predicate, opts explore.Options, worke
 	}
 	return nil
 }
+
+// CheckSpill is the out-of-core counterpart of Check: it builds the
+// program with the in-RAM sequential engine as the reference, then with
+// the disk-spilled engine at every budget × worker count given — spilled
+// sequential, spilled partitioned-parallel, and an off-default partition
+// count — and returns an error describing the first divergence. Exact
+// graph equality here is the proof that spilling, hash-partitioning the
+// visited set, and routing successors between owners never change what is
+// explored, only where it lives.
+func CheckSpill(p *guarded.Program, init state.Predicate, opts explore.Options, budgets []int64, workerCounts ...int) error {
+	opts.Parallelism = 1
+	opts.MemBudget = -1 // force the in-RAM engine for the reference
+	ref, err := explore.Build(p, init, opts)
+	if err != nil {
+		return fmt.Errorf("in-RAM build: %w", err)
+	}
+	for _, b := range budgets {
+		opts.MemBudget = b
+		for _, w := range append([]int{1}, workerCounts...) {
+			opts.Parallelism = w
+			for _, parts := range []int{0, 5} {
+				opts.Partitions = parts
+				g, err := explore.Build(p, init, opts)
+				if err != nil {
+					return fmt.Errorf("spilled build (budget %d, %d workers, %d partitions): %w", b, w, parts, err)
+				}
+				if err := Diff(ref, g); err != nil {
+					return fmt.Errorf("spilled build (budget %d, %d workers, %d partitions) diverges: %w", b, w, parts, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package difftest
+
+// The out-of-core differential suite: for every example system, the
+// disk-spilled engine — at the minimum budget (everything spills) and a
+// budget that fits (nothing should spill), sequential and partitioned-
+// parallel, default and off-default partition counts — must produce a
+// graph byte-identical to the in-RAM sequential engine's. Combined with
+// explore's own corruption tests (a torn spill file is a clean error),
+// this is the robustness story: spilling can slow a verdict down or fail
+// it loudly, but it can never change it.
+
+import (
+	"runtime"
+	"testing"
+
+	"detcorr/internal/byzagree"
+	"detcorr/internal/explore"
+	"detcorr/internal/guarded"
+	"detcorr/internal/leader"
+	"detcorr/internal/memaccess"
+	"detcorr/internal/mutex"
+	"detcorr/internal/reset"
+	"detcorr/internal/state"
+	"detcorr/internal/termdetect"
+	"detcorr/internal/tmr"
+	"detcorr/internal/tokenring"
+)
+
+// spillBudgets: the floor budget forces the frontier (and, on the larger
+// systems, the visited set) to disk; 16M keeps everything in RAM and pins
+// "a budget you fit under is a no-op".
+var spillBudgets = []int64{1 << 16, 16 << 20}
+
+func TestSpilledEngineAgreesOnExamples(t *testing.T) {
+	mem := memaccess.MustNew(2)
+	byz := byzagree.MustNew()
+	tm := tmr.MustNew(2)
+	ring := tokenring.MustNew(4, 4)
+	mtx := mutex.MustNew(3, 3)
+	td := termdetect.MustNew(3)
+
+	cases := []struct {
+		name string
+		prog *guarded.Program
+		init state.Predicate
+	}{
+		{"memaccess/p", mem.Intolerant, state.True},
+		{"memaccess/pm", mem.Masking, state.True},
+		{"tmr/masking", tm.Masking, state.True},
+		{"tokenring", ring.Ring, state.True},
+		{"tokenring/legitimate", ring.Ring, ring.Legitimate},
+		{"byzagree/masking", byz.Masking, state.True},
+		{"mutex", mtx.Program, state.True},
+		{"leader", leader.MustNew(3).Program, state.True},
+		{"reset", reset.MustNewLine(3).Program, state.True},
+		{"termdetect", td.Program, state.True},
+	}
+	workers := []int{3, runtime.NumCPU()}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckSpill(tc.prog, tc.init, explore.Options{}, spillBudgets, workers...); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSpilledEngineAgreesUnderFairMask pins the p ‖ F shape on the spilled
+// path: fairness masks flow through assembly, not exploration, so the
+// spilled graph must carry the identical mask.
+func TestSpilledEngineAgreesUnderFairMask(t *testing.T) {
+	ring := tokenring.MustNew(3, 3)
+	fair := make([]bool, ring.Ring.NumActions())
+	for i := range fair {
+		fair[i] = i%2 == 0
+	}
+	if err := CheckSpill(ring.Ring, state.True, explore.Options{Fair: fair}, spillBudgets, runtime.NumCPU()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -93,6 +93,31 @@ type Options struct {
 	//
 	//dc:nokey graphs are canonical — byte-identical at any worker count
 	Parallelism int
+	// MemBudget selects the out-of-core engine: a positive byte budget
+	// bounds the exploration's resident set, spilling the visited set and
+	// the BFS frontier to disk past it (see DESIGN §3h). 0 defers to the
+	// process-wide default (SetDefaultSpill; off unless raised); negative
+	// forces the in-RAM engines even when a default is set. The budget
+	// covers the engine's working structures, not the CSR arenas of the
+	// returned graph — verdicts over super-RAM systems stream through Scan
+	// and FindDeadlock instead of Build.
+	//
+	//dc:nokey graphs are canonical — byte-identical spilled or in-RAM
+	MemBudget int64
+	// SpillDir is the parent directory for spill files; "" means the OS
+	// temp directory (or the SetDefaultSpill directory when the budget
+	// came from the process default). Each exploration works in a private
+	// subdirectory removed when it finishes.
+	//
+	//dc:nokey spill placement cannot change the built graph
+	SpillDir string
+	// Partitions is the visited-set partition count of the out-of-core
+	// engine; 0 means a default sized for wide worker pools. Partitions
+	// are assigned to workers by ownership, so the count also caps the
+	// effective spilled parallelism.
+	//
+	//dc:nokey graphs are canonical — byte-identical at any partition count
+	Partitions int
 }
 
 // ErrStateBound is returned when exploration exceeds Options.MaxStates.
@@ -142,7 +167,9 @@ func BuildCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opt
 		exps []expansion
 		err  error
 	)
-	if w := opts.workers(); w > 1 {
+	if cfg, ok := resolveSpill(opts.MemBudget, opts.SpillDir, opts.Partitions); ok {
+		exps, err = exploreSpill(ctx, k, init, opts.MaxStates, opts.workers(), cfg)
+	} else if w := opts.workers(); w > 1 {
 		exps, err = exploreParallel(ctx, k, init, opts.MaxStates, w)
 	} else {
 		exps, err = exploreSeq(ctx, k, init, opts.MaxStates)

@@ -41,11 +41,20 @@ func DefaultParallelism() int { return int(defaultParallelism.Load()) }
 // AutoParallelism is the worker count "use every core" CLI flags resolve to.
 func AutoParallelism() int { return runtime.NumCPU() }
 
-// workers resolves the effective worker count for a Build call.
+// workers resolves the effective worker count for a Build call. A worker
+// count inherited from the process default degrades to sequential on a
+// single-P runtime: the pool cannot overlap work there, so it only adds
+// visited-set contention and scheduling overhead (BENCH_kernel.json: Ring7
+// parallel 737ms vs sequential 636ms on one core). Explicit Parallelism
+// values are honored as written — tests and benchmarks exercise the pool
+// deliberately.
 func (o Options) workers() int {
 	n := o.Parallelism
 	if n == 0 {
 		n = DefaultParallelism()
+		if n > 1 && runtime.GOMAXPROCS(0) == 1 {
+			n = 1
+		}
 	}
 	if n < 1 {
 		n = 1
@@ -182,6 +191,12 @@ func scanInit(sch *state.Schema, init state.Predicate, lo, hi uint64, row []int3
 // kernel work, so a few hundred states bounds the cancellation latency to
 // microseconds without a per-state Err call on the hot path.
 const cancelPollMask = 255
+
+// parallelCrossover is the frontier width below which the parallel engine
+// expands a level inline instead of fanning it out: goroutine spawn plus
+// the level barrier costs on the order of tens of microseconds, which only
+// amortizes once a level carries at least a few hundred expansions.
+const parallelCrossover = 256
 
 // exploreSeq is the sequential engine: a scan of the state space for initial
 // states followed by a depth-first expansion on the compiled kernel. The
@@ -340,13 +355,40 @@ func exploreParallel(ctx context.Context, k *guarded.Kernel, init state.Predicat
 		}
 	}
 
-	// Phase 2: level-synchronous frontier expansion.
+	// Phase 2: level-synchronous frontier expansion. Levels narrower than
+	// the crossover expand inline on the calling goroutine: below it, the
+	// per-level pool spawn and barrier cost more than the expansions they
+	// distribute (measured crossover on this workload is well under 256
+	// states — see EXPERIMENTS.md §parallel). The inline path claims
+	// through the same shared visited set, so it composes freely with
+	// pooled levels; canonical renumbering keeps the graph identical.
 	perWorker := make([]expansion, workers)
 	scratches := make([]*guarded.Scratch, workers)
 	for w := range scratches {
 		scratches[w] = k.NewScratch()
 	}
+	var narrow []uint64
 	for len(frontier) > 0 && !exceeded.Load() && !cancelled.Load() {
+		if len(frontier) < parallelCrossover {
+			ex := &perWorker[0]
+			sc := scratches[0]
+			narrow = narrow[:0]
+			for step, idx := range frontier {
+				if step&cancelPollMask == 0 && (exceeded.Load() || cancelled.Load()) {
+					break
+				}
+				off := len(ex.edges)
+				ex.edges = sc.Transitions(idx, ex.edges)
+				for _, tr := range ex.edges[off:] {
+					if claim(tr.To) {
+						narrow = append(narrow, tr.To)
+					}
+				}
+				ex.nodes = append(ex.nodes, rawNode{idx: idx, off: off, n: int32(len(ex.edges) - off)})
+			}
+			frontier, narrow = narrow, frontier
+			continue
+		}
 		chunkSize := len(frontier)/(workers*4) + 1
 		numChunks := (len(frontier) + chunkSize - 1) / chunkSize
 		var next atomic.Int64

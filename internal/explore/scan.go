@@ -30,6 +30,16 @@ type ScanOptions struct {
 	// immediate transitions reported, but targets are not expanded. This is
 	// the shape of closure checks — one pass, O(1) memory.
 	InitOnly bool
+	// MemBudget, SpillDir, and Partitions select the out-of-core path,
+	// exactly as in Options: a positive budget bounds the scan's resident
+	// set by spilling the visited set and the FIFO frontier to disk, 0
+	// defers to SetDefaultSpill, negative forces in-RAM. The spilled scan
+	// visits states in the identical FIFO order, so verdicts and witnesses
+	// are unchanged. Because a scan never assembles a graph, the budget
+	// bounds the whole verdict — this is the path for super-RAM systems.
+	MemBudget  int64
+	SpillDir   string
+	Partitions int
 }
 
 // ScanStats summarizes a scan.
@@ -106,8 +116,9 @@ func ScanCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts
 		return true
 	}
 	// expand visits one state (already decoded into rowF) and reports its
-	// transitions; claim is nil in InitOnly mode.
-	expand := func(idx uint64, claim func(to uint64) (fresh bool, ok bool)) (cont bool, err error) {
+	// transitions; claim is nil in InitOnly mode. claim errors — the state
+	// bound, spill I/O failure, a corrupt spill file — abort the scan.
+	expand := func(idx uint64, claim func(to uint64) (fresh bool, err error)) (cont bool, err error) {
 		if stats.States&cancelPollMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return false, err
@@ -128,10 +139,10 @@ func ScanCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts
 			stats.Edges++
 			fresh := false
 			if claim != nil {
-				var ok bool
-				fresh, ok = claim(tr.To)
-				if !ok {
-					return false, boundError(opts.MaxStates)
+				var err error
+				fresh, err = claim(tr.To)
+				if err != nil {
+					return false, err
 				}
 			}
 			if v.Edge != nil {
@@ -167,19 +178,59 @@ func ScanCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts
 		return stats, scanErr
 	}
 
-	visited := newVisitedSet(total)
+	// The FIFO frontier and visited set come in two shapes: in-RAM (a slice
+	// and the engines' visitedSet) or disk-spilled under a memory budget.
+	// Both preserve the exact same discovery order, so everything above —
+	// visitors, witnesses, verdicts — is oblivious to the choice.
 	discovered := 0
-	var queue []uint64
-	claim := func(to uint64) (bool, bool) {
-		if !visited.claim(to) {
-			return false, true
+	var (
+		claim func(to uint64) (bool, error)
+		next  func() (uint64, bool, error)
+	)
+	if cfg, ok := resolveSpill(opts.MemBudget, opts.SpillDir, opts.Partitions); ok {
+		run, err := newSpillRun(cfg)
+		if err != nil {
+			return stats, err
 		}
-		if opts.MaxStates > 0 && discovered >= opts.MaxStates {
-			return true, false
+		defer run.finish()
+		visited := run.newVisited(total)
+		frontier := newSpillFrontier(run.dir, int(cfg.budget/4))
+		defer frontier.close()
+		claim = func(to uint64) (bool, error) {
+			fresh, err := visited.claim(to)
+			if err != nil || !fresh {
+				return false, err
+			}
+			if opts.MaxStates > 0 && discovered >= opts.MaxStates {
+				return false, boundError(opts.MaxStates)
+			}
+			discovered++
+			return true, frontier.push(to)
 		}
-		discovered++
-		queue = append(queue, to)
-		return true, true
+		next = frontier.pop
+	} else {
+		visited := newVisitedSet(total)
+		var queue []uint64
+		head := 0
+		claim = func(to uint64) (bool, error) {
+			if !visited.claim(to) {
+				return false, nil
+			}
+			if opts.MaxStates > 0 && discovered >= opts.MaxStates {
+				return false, boundError(opts.MaxStates)
+			}
+			discovered++
+			queue = append(queue, to)
+			return true, nil
+		}
+		next = func() (uint64, bool, error) {
+			if head >= len(queue) {
+				return 0, false, nil
+			}
+			idx := queue[head]
+			head++
+			return idx, true, nil
+		}
 	}
 	var seedErr error
 	seedTick := 0
@@ -190,19 +241,23 @@ func ScanCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts
 				return false
 			}
 		}
-		if fresh, ok := claim(idx); !ok {
-			seedErr = boundError(opts.MaxStates)
+		if _, err := claim(idx); err != nil {
+			seedErr = err
 			return false
-		} else if !fresh {
-			return true
 		}
 		return true
 	})
 	if seedErr != nil {
 		return stats, seedErr
 	}
-	for head := 0; head < len(queue); head++ {
-		idx := queue[head]
+	for {
+		idx, ok, err := next()
+		if err != nil {
+			return stats, err
+		}
+		if !ok {
+			return stats, nil
+		}
 		sch.DecodeInto(rowF, idx)
 		cont, err := expand(idx, claim)
 		if err != nil {
@@ -213,7 +268,6 @@ func ScanCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts
 			return stats, nil
 		}
 	}
-	return stats, nil
 }
 
 // FindDeadlock searches for a reachable state with no enabled fair action
@@ -227,19 +281,62 @@ func FindDeadlock(p *guarded.Program, init state.Predicate, opts ScanOptions) ([
 }
 
 // FindDeadlockCtx is FindDeadlock under a context; cancellation aborts the
-// streaming hunt with ctx.Err().
+// streaming hunt with ctx.Err(). Under a memory budget the BFS parent map
+// — the last O(states) structure of the hunt — is replaced by an on-disk
+// parent log, and the witness chain is reconstructed by a single reverse
+// scan of the log (a parent is always recorded before its children, so one
+// backward pass suffices).
 func FindDeadlockCtx(ctx context.Context, p *guarded.Program, init state.Predicate, opts ScanOptions) ([]state.State, bool, error) {
 	opts.InitOnly = false
 	sch := p.Schema()
-	parent := map[uint64]uint64{}
 	var deadIdx uint64
 	found := false
+	deadlock := func(s state.State) bool {
+		deadIdx = s.Index()
+		found = true
+		return false
+	}
+
+	if cfg, ok := resolveSpill(opts.MemBudget, opts.SpillDir, opts.Partitions); ok {
+		run, err := newSpillRun(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		defer run.finish()
+		log := newParentLog(run.dir, int(cfg.budget/4))
+		defer log.close()
+		var recErr error
+		_, err = ScanCtx(ctx, p, init, opts, Scanner{
+			Deadlock: deadlock,
+			Edge: func(from, to state.State, action int, fresh bool) bool {
+				if fresh {
+					if recErr = log.record(to.Index(), from.Index()); recErr != nil {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		if recErr != nil {
+			return nil, false, recErr
+		}
+		if err != nil || !found {
+			return nil, false, err
+		}
+		chain, err := log.chain(deadIdx)
+		if err != nil {
+			return nil, false, err
+		}
+		states := make([]state.State, len(chain))
+		for i, idx := range chain {
+			states[i] = sch.StateAt(idx)
+		}
+		return states, true, nil
+	}
+
+	parent := map[uint64]uint64{}
 	_, err := ScanCtx(ctx, p, init, opts, Scanner{
-		Deadlock: func(s state.State) bool {
-			deadIdx = s.Index()
-			found = true
-			return false
-		},
+		Deadlock: deadlock,
 		Edge: func(from, to state.State, action int, fresh bool) bool {
 			if fresh {
 				parent[to.Index()] = from.Index()

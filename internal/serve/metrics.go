@@ -124,4 +124,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP dcserved_graph_cache_resident_states States resident in the exploration cache.")
 	fmt.Fprintln(w, "# TYPE dcserved_graph_cache_resident_states gauge")
 	fmt.Fprintf(w, "dcserved_graph_cache_resident_states %d\n", cs.States)
+
+	// The out-of-core engine's counters: nonzero spilled bytes mean some
+	// evaluation outgrew the -mem-budget and degraded to disk instead of
+	// growing the resident set.
+	ss := explore.SpillCounters()
+	fmt.Fprintln(w, "# HELP dcserved_spill_bytes_total Bytes written to exploration spill files (process-wide).")
+	fmt.Fprintln(w, "# TYPE dcserved_spill_bytes_total counter")
+	fmt.Fprintf(w, "dcserved_spill_bytes_total %d\n", ss.BytesSpilled)
+	fmt.Fprintln(w, "# HELP dcserved_spill_events_total Out-of-core engine events (process-wide).")
+	fmt.Fprintln(w, "# TYPE dcserved_spill_events_total counter")
+	fmt.Fprintf(w, "dcserved_spill_events_total{event=\"frontier_run\"} %d\n", ss.FrontierRuns)
+	fmt.Fprintf(w, "dcserved_spill_events_total{event=\"front_hit\"} %d\n", ss.FrontHits)
+	fmt.Fprintf(w, "dcserved_spill_events_total{event=\"front_miss\"} %d\n", ss.FrontMisses)
+	fmt.Fprintf(w, "dcserved_spill_events_total{event=\"shard_probe\"} %d\n", ss.ShardProbes)
+	fmt.Fprintf(w, "dcserved_spill_events_total{event=\"shard_merge\"} %d\n", ss.ShardMerges)
 }

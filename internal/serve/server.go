@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"detcorr/internal/explore"
 	"detcorr/internal/gcl"
 	"detcorr/internal/serve/api"
 )
@@ -37,6 +38,17 @@ type Config struct {
 	// VerdictCacheSize bounds memoized whole verdicts (keyed by the full
 	// request). 0 means defaultVerdictCacheSize; negative disables.
 	VerdictCacheSize int
+	// SpillBudget, when positive, installs a process-wide exploration
+	// memory budget (bytes): evaluations whose state space would outgrow
+	// it degrade to the out-of-core engine — spilling the visited set and
+	// frontier to files under SpillDir — instead of being refused or
+	// growing without bound. Verdicts are byte-identical either way.
+	// Explorations that fit the budget never touch disk. 0 leaves the
+	// in-RAM engines as the default.
+	SpillBudget int64
+	// SpillDir is where spill files are placed; "" means the OS temp
+	// directory. Only consulted when SpillBudget is positive.
+	SpillDir string
 	// Logf receives one line per completed request; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -97,6 +109,11 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.VerdictCacheSize == 0 {
 		cfg.VerdictCacheSize = defaultVerdictCacheSize
+	}
+	if cfg.SpillBudget > 0 {
+		// The default is process-wide, like SetDefaultParallelism: every
+		// exploration the evaluations reach inherits the budget.
+		explore.SetDefaultSpill(cfg.SpillBudget, cfg.SpillDir)
 	}
 	s := &Server{
 		cfg:      cfg,

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"detcorr/internal/explore"
 	"detcorr/internal/serve/api"
 	"detcorr/internal/serve/corpus"
 )
@@ -328,6 +329,55 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 		if !strings.Contains(metricsText, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metricsText)
 		}
+	}
+}
+
+// TestServerSpillBudget configures the server with the minimum exploration
+// memory budget, so evaluations degrade to the out-of-core engine: the
+// verdicts must stay exactly the ground truth (spilling changes where state
+// lives, never what is decided) and the spill counters must show the
+// engine actually ran.
+func TestServerSpillBudget(t *testing.T) {
+	srv := NewServer(Config{SpillBudget: 1 << 16, SpillDir: t.TempDir()})
+	defer explore.SetDefaultSpill(0, "") // the default is process-wide
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	before := explore.SpillCounters()
+	// The deadlock hunt streams over the kernel on every evaluation (no
+	// graph cache in front of it), so it is guaranteed to exercise the
+	// budgeted path regardless of what earlier tests left cached.
+	for _, item := range corpus.Items() {
+		if item.Request.Check != api.CheckDeadlock {
+			continue
+		}
+		resp, body := post(t, ts.URL, item.Request, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", item.Name, resp.StatusCode, body)
+		}
+		var v api.Response
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("%s: decode: %v", item.Name, err)
+		}
+		if v.Verdict != item.Verdict {
+			t.Errorf("%s under spill budget: verdict = %s (detail %q), want %s",
+				item.Name, v.Verdict, v.Detail, item.Verdict)
+		}
+	}
+	after := explore.SpillCounters()
+	if after.FrontHits == before.FrontHits {
+		t.Errorf("spill front saw no claims: counters %+v -> %+v", before, after)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mb), "dcserved_spill_events_total") {
+		t.Errorf("metrics missing spill counters:\n%s", mb)
 	}
 }
 
