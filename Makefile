@@ -9,10 +9,10 @@ LINT_CLEAN := $(filter-out \
 	internal/lint/testdata/resolve.gcl, \
 	$(wildcard internal/lint/testdata/*.gcl))
 
-.PHONY: check build fmt vet dcvet dccodes test race serve-test lint prove fuzz bench bench-diff bench-spill profile clean
+.PHONY: check build fmt vet dcvet dccodes test race serve-test lint prove flow fuzz bench bench-diff bench-spill bench-slice profile clean
 
 # The full local gate: everything CI would run.
-check: build fmt vet dcvet test race serve-test lint prove fuzz
+check: build fmt vet dcvet test race serve-test lint prove flow fuzz
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,16 @@ prove:
 	$(GO) run ./cmd/dctl prove cmd/dctl/testdata/memaccess.gcl -invariant S -span U1 \
 		-z Z1p -x X1 -from U1 -converge X1
 
+# The slicing gate: dctl flow over the shipped examples (the dependence
+# analysis and every per-predicate cone must build without error), then the
+# slice difftest under the race detector — every declared predicate of every
+# example system checked full-width and through the cone-of-influence
+# pre-pass, asserting byte-identical verdicts and witnesses.
+flow:
+	$(GO) run ./cmd/dctl flow cmd/dctl/testdata/ring3.gcl > /dev/null
+	$(GO) run ./cmd/dctl flow cmd/dctl/testdata/memaccess.gcl -json > /dev/null
+	$(GO) test -race -run 'TestSliceDifftest|TestValidateWrites' ./internal/flow
+
 # Short fuzz smoke over the GCL front end ('go test -fuzz' accepts only one
 # target per invocation, hence two runs).
 fuzz:
@@ -101,6 +111,18 @@ SPILL_BUDGETS ?= 128M,256M
 bench-spill:
 	$(GO) run ./cmd/dcbench -spill $(SPILL_RING) -spill-budgets $(SPILL_BUDGETS) > BENCH_spill.json
 	@cat BENCH_spill.json
+
+# bench-slice records the cone-of-influence evidence in BENCH_slice.json:
+# one JSON row per composed benchmark system (the SLICE_RING-machine watched
+# token ring, the paired memory-access systems), each checked once
+# full-width and once through the slicing pre-pass, with state counts, both
+# wall times, and the speedup. Verdict equality is asserted in-bench; a
+# divergence fails the run. Like the other BENCH files, the record survives
+# `make clean`.
+SLICE_RING ?= 7
+bench-slice:
+	$(GO) run ./cmd/dcbench -slice $(SLICE_RING) > BENCH_slice.json
+	@cat BENCH_slice.json
 
 # profile regenerates the heaviest experiment with pprof instrumentation and
 # drops cpu.pprof/mem.pprof in the working tree for `go tool pprof`.

@@ -9,6 +9,7 @@
 //	dcbench -stats     # also print graph-cache and spill counters after the run
 //	dcbench -swarm 64  # drive an in-process dcserved with a client swarm
 //	dcbench -spill 8   # sweep the out-of-core engine over the ring-8 state space
+//	dcbench -slice 7   # measure cone-of-influence slicing on composed systems
 //
 // -swarm N boots the dcserved verdict service on a loopback port and
 // replays the deterministic serve corpus from N concurrent clients
@@ -21,6 +22,12 @@
 // unbudgeted in-RAM baseline unless -spill-baseline=false) and prints one
 // JSON line per run: states/sec, peak RSS, bytes spilled, Bloom hit rate.
 // `make bench-spill` records the sweep in BENCH_spill.json.
+//
+// -slice n runs the composed slicing benchmarks — the n-process watched
+// token ring and the paired memory-access systems — once full-width and
+// once through the cone-of-influence pre-pass, asserting the verdicts are
+// identical and printing one JSON line per system with both wall times.
+// `make bench-slice` records the sweep in BENCH_slice.json.
 //
 // -j N sets the worker count for state-space exploration and simulation
 // campaigns (0 = all CPUs, default 1 = sequential); the tables are
@@ -64,6 +71,7 @@ func run(args []string) error {
 	swarm := fs.Int("swarm", 0, "drive an in-process dcserved with this many concurrent clients instead of running experiments")
 	swarmRounds := fs.Int("swarm-rounds", 3, "corpus replays per swarm client")
 	spill := fs.Int("spill", 0, "sweep the out-of-core engine over the full state space of an n-process token ring instead of running experiments")
+	slice := fs.Int("slice", 0, "measure the cone-of-influence slicing pre-pass on composed systems (n sizes the watched token ring) instead of running experiments")
 	spillBudgets := fs.String("spill-budgets", "16M,64M,256M", "comma-separated memory budgets for the -spill sweep")
 	spillBaseline := fs.Bool("spill-baseline", true, "include the unbudgeted in-RAM scan in the -spill sweep")
 	spillDir := fs.String("spill-dir", "", "directory for the -spill sweep's spill files (default: the OS temp directory)")
@@ -112,6 +120,9 @@ func run(args []string) error {
 	}
 	if *spill > 0 {
 		return runSpill(*spill, *spillBudgets, *spillDir, *spillBaseline)
+	}
+	if *slice > 0 {
+		return runSlice(*slice)
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {

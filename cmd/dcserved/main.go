@@ -8,7 +8,7 @@
 //
 //	dcserved [-addr :8125] [-inflight N] [-tenant-budget STATES]
 //	    [-cache-budget STATES] [-max-programs N] [-max-body BYTES]
-//	    [-verdict-cache N] [-mem-budget B] [-spill-dir D] [-quiet]
+//	    [-verdict-cache N] [-mem-budget B] [-spill-dir D] [-noslice] [-quiet]
 //
 // -mem-budget B (e.g. 64M, 2G) bounds the memory any one exploration may
 // hold resident: evaluations whose state space would outgrow the budget
@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"detcorr/internal/explore"
+	"detcorr/internal/flow"
 	"detcorr/internal/serve"
 )
 
@@ -88,10 +89,12 @@ func run(args []string, errOut io.Writer) int {
 	memBudget := fs.String("mem-budget", "", "per-exploration memory budget, e.g. 64M or 2G (empty = in-RAM engines)")
 	spillDir := fs.String("spill-dir", "", "directory for exploration spill files (default: the OS temp directory)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight verdicts on shutdown")
+	noslice := fs.Bool("noslice", false, "disable the cone-of-influence slicing pre-pass")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
+	flow.SetEnabled(!*noslice)
 	if fs.NArg() != 0 {
 		fmt.Fprintf(errOut, "dcserved: unexpected arguments %v\n", fs.Args())
 		return exitUsage

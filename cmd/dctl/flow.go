@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"detcorr/internal/flow"
+	"detcorr/internal/gcl"
+)
+
+// flowReport is the -json encoding of the dependence analysis: per-action
+// read/write sets, the variable dependence edges, and per-predicate cone
+// and slice sizes. Impact is present only with -against.
+type flowReport struct {
+	Program    string          `json:"program"`
+	Actions    []flowAction    `json:"actions"`
+	Faults     []flowAction    `json:"faults,omitempty"`
+	Components []flowComponent `json:"components,omitempty"`
+	Span       []string        `json:"span,omitempty"`
+	Edges      []flow.DepEdge  `json:"edges"`
+	Preds      []flowPred      `json:"preds"`
+	Impact     *flow.Impact    `json:"impact,omitempty"`
+}
+
+type flowAction struct {
+	Name       string   `json:"name"`
+	Component  string   `json:"component,omitempty"`
+	GuardReads []string `json:"guard_reads"`
+	Reads      []string `json:"reads"`
+	Writes     []string `json:"writes"`
+}
+
+type flowComponent struct {
+	Kind    string   `json:"kind"`
+	Name    string   `json:"name"`
+	Scope   []string `json:"scope,omitempty"`
+	Actions []string `json:"actions"`
+}
+
+type flowPred struct {
+	Name         string   `json:"name"`
+	Reads        []string `json:"reads"`
+	ConeVars     []string `json:"cone_vars"`
+	KeptActions  []string `json:"kept_actions"`
+	FullStates   float64  `json:"full_states"`
+	SlicedStates float64  `json:"sliced_states"`
+	Reduction    float64  `json:"reduction"`
+}
+
+// runFlow implements 'dctl flow': print the dependence analysis of a file,
+// optionally diffed against an older revision (-against).
+func runFlow(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("flow", flag.ContinueOnError)
+	jsonFlag := fs.Bool("json", false, "emit the analysis as JSON")
+	againstFlag := fs.String("against", "", "older revision to diff against: report which predicates are affected")
+	f, err := loadFile(fs, args, errOut)
+	if err != nil {
+		return err
+	}
+	in := flow.Analyze(f.AST)
+	rep := buildFlowReport(f, in)
+	if *againstFlag != "" {
+		oldSrc, err := os.ReadFile(*againstFlag)
+		if err != nil {
+			return usageErrorf("-against: %v", err)
+		}
+		oldAST, err := gcl.Parse(string(oldSrc))
+		if err != nil {
+			return withCode(exitParse, fmt.Errorf("-against %s: %w", *againstFlag, err))
+		}
+		rep.Impact = flow.AffectedBy(oldAST, f.AST)
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printFlowReport(out, rep)
+	return nil
+}
+
+func buildFlowReport(f *gcl.File, in *flow.Info) *flowReport {
+	rep := &flowReport{Program: f.Name, Span: in.Span, Edges: in.DepEdges()}
+	compName := func(i int) string {
+		if i < 0 {
+			return ""
+		}
+		return in.Components[i].Name
+	}
+	for _, af := range in.Actions {
+		rep.Actions = append(rep.Actions, flowAction{
+			Name: af.Name, Component: compName(af.Component),
+			GuardReads: af.GuardReads, Reads: af.Reads, Writes: af.Writes,
+		})
+	}
+	for _, af := range in.Faults {
+		rep.Faults = append(rep.Faults, flowAction{
+			Name: af.Name, GuardReads: af.GuardReads, Reads: af.Reads, Writes: af.Writes,
+		})
+	}
+	for _, c := range in.Components {
+		fc := flowComponent{Kind: c.Kind.String(), Name: c.Name, Scope: c.Scope}
+		for _, ai := range c.Actions {
+			fc.Actions = append(fc.Actions, in.Actions[ai].Name)
+		}
+		rep.Components = append(rep.Components, fc)
+	}
+	for i := range in.Preds {
+		pf := &in.Preds[i]
+		fp := flowPred{Name: pf.Name, Reads: pf.Reads}
+		if sl, err := flow.SliceFile(f, pf.Name); err == nil {
+			fp.ConeVars = sl.ConeVars
+			fp.KeptActions = sl.KeptActions
+			fp.FullStates = sl.FullStates
+			fp.SlicedStates = sl.SlicedStates
+			fp.Reduction = sl.Reduction()
+		}
+		rep.Preds = append(rep.Preds, fp)
+	}
+	return rep
+}
+
+func printFlowReport(out io.Writer, rep *flowReport) {
+	fmt.Fprintf(out, "program %s\n", rep.Program)
+	if len(rep.Components) > 0 {
+		fmt.Fprintf(out, "  components:\n")
+		for _, c := range rep.Components {
+			scope := ""
+			if len(c.Scope) > 0 {
+				scope = " : " + strings.Join(c.Scope, ", ")
+			}
+			fmt.Fprintf(out, "    %s %s%s (%s)\n", c.Kind, c.Name, scope, strings.Join(c.Actions, ", "))
+		}
+	}
+	if len(rep.Span) > 0 {
+		fmt.Fprintf(out, "  span: %s\n", strings.Join(rep.Span, ", "))
+	}
+	fmt.Fprintf(out, "  actions:\n")
+	for _, a := range rep.Actions {
+		fmt.Fprintf(out, "    %-16s reads %-24s writes %s\n",
+			a.Name, setString(a.Reads), setString(a.Writes))
+	}
+	if len(rep.Faults) > 0 {
+		fmt.Fprintf(out, "  faults:\n")
+		for _, a := range rep.Faults {
+			fmt.Fprintf(out, "    %-16s reads %-24s writes %s\n",
+				a.Name, setString(a.Reads), setString(a.Writes))
+		}
+	}
+	fmt.Fprintf(out, "  dependence edges:\n")
+	for _, e := range rep.Edges {
+		fmt.Fprintf(out, "    %s -> %s (%s)\n", e.From, e.To, e.Action)
+	}
+	fmt.Fprintf(out, "  predicates:\n")
+	for _, p := range rep.Preds {
+		fmt.Fprintf(out, "    %-12s reads %s\n", p.Name, setString(p.Reads))
+		if len(p.ConeVars) > 0 {
+			fmt.Fprintf(out, "      cone %s; slice keeps %d action(s), %.0f of %.0f states (%.1fx)\n",
+				setString(p.ConeVars), len(p.KeptActions), p.SlicedStates, p.FullStates, p.Reduction)
+		}
+	}
+	if rep.Impact != nil {
+		fmt.Fprintf(out, "  against older revision:\n")
+		printChanged(out, "vars", rep.Impact.ChangedVars)
+		printChanged(out, "preds", rep.Impact.ChangedPreds)
+		printChanged(out, "actions", rep.Impact.ChangedActions)
+		printChanged(out, "faults", rep.Impact.ChangedFaults)
+		if rep.Impact.Unchanged() {
+			fmt.Fprintf(out, "    affected predicates: none (every verdict carries over)\n")
+		} else {
+			fmt.Fprintf(out, "    affected predicates: %s\n", strings.Join(rep.Impact.AffectedPreds, ", "))
+		}
+	}
+}
+
+func printChanged(out io.Writer, what string, names []string) {
+	if len(names) > 0 {
+		fmt.Fprintf(out, "    changed %s: %s\n", what, strings.Join(names, ", "))
+	}
+}
+
+func setString(names []string) string {
+	if len(names) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(names, " ") + "}"
+}

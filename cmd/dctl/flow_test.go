@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlowHuman(t *testing.T) {
+	out := runOK(t, "flow", file)
+	for _, want := range []string{
+		"program memaccess",
+		"read0",
+		"writes {data}",
+		"val -> data (read0)",
+		"DataCorrect",
+		"cone {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flow output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlowJSON(t *testing.T) {
+	out := runOK(t, "flow", file, "-json")
+	var rep struct {
+		Program string `json:"program"`
+		Actions []struct {
+			Name   string   `json:"name"`
+			Reads  []string `json:"reads"`
+			Writes []string `json:"writes"`
+		} `json:"actions"`
+		Edges []struct {
+			From, To, Action string
+		} `json:"edges"`
+		Preds []struct {
+			Name     string   `json:"name"`
+			ConeVars []string `json:"cone_vars"`
+		} `json:"preds"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Program != "memaccess" || len(rep.Actions) != 4 || len(rep.Edges) == 0 || len(rep.Preds) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, a := range rep.Actions {
+		if a.Name == "detect" {
+			if strings.Join(a.Reads, ",") != "present,z1" || strings.Join(a.Writes, ",") != "z1" {
+				t.Errorf("detect sets wrong: %+v", a)
+			}
+		}
+	}
+}
+
+func TestFlowAgainst(t *testing.T) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An edit to the detect guard: predicates whose cone contains z1 are
+	// affected, the rest carry their verdicts over.
+	edited := strings.Replace(string(src),
+		"action detect  :: present & !z1 -> z1 := true",
+		"action detect  :: present -> z1 := true", 1)
+	if edited == string(src) {
+		t.Fatal("edit did not apply")
+	}
+	dir := t.TempDir()
+	newPath := filepath.Join(dir, "new.gcl")
+	if err := os.WriteFile(newPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "flow", newPath, "-against", file)
+	if !strings.Contains(out, "changed actions: detect") {
+		t.Errorf("missing changed action:\n%s", out)
+	}
+	if !strings.Contains(out, "affected predicates:") {
+		t.Errorf("missing affected predicates:\n%s", out)
+	}
+	// Identity diff: nothing affected.
+	out = runOK(t, "flow", file, "-against", file)
+	if !strings.Contains(out, "affected predicates: none") {
+		t.Errorf("self-diff should affect nothing:\n%s", out)
+	}
+}
+
+func TestFlowNoSliceFlag(t *testing.T) {
+	// -noslice must parse on every loading subcommand; the check results
+	// are identical either way (that equality is pinned by the slice
+	// difftest in internal/flow).
+	out := runOK(t, "detects", file, "-noslice", "-z", "Z1p", "-x", "X1", "-from", "U1")
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("detects -noslice should hold:\n%s", out)
+	}
+}

@@ -13,6 +13,15 @@
 //	    only on error-severity findings. The analyzers also run
 //	    automatically before every other command that loads a file.
 //
+//	dctl flow <file.gcl> [-json] [-against old.gcl]
+//	    Print the whole-program dependence analysis: per-action read/write
+//	    sets, component and span declarations, the variable dependence
+//	    edges, and each predicate's cone of influence with the size of its
+//	    compiled slice (the same slice the checking commands use as a
+//	    sound pre-pass; opt out with -noslice on any checking command).
+//	    With -against, diff against an older revision of the file and
+//	    report which predicates' verdicts the edit can actually reach.
+//
 //	dctl prove <file.gcl> [-invariant S [-span T|auto]] [-z Z -x X] [-from U]
 //	    [-converge G [-rank "e1,e2"]] [-json]
 //	    Discharge the per-action Hoare obligations of the paper's component

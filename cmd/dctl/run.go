@@ -12,6 +12,7 @@ import (
 	"detcorr/internal/core"
 	"detcorr/internal/explore"
 	"detcorr/internal/fault"
+	"detcorr/internal/flow"
 	"detcorr/internal/gcl"
 	"detcorr/internal/prove"
 	"detcorr/internal/runtime"
@@ -54,7 +55,7 @@ func spillFlags(fs *flag.FlagSet) func() error {
 
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
-		return usageErrorf("usage: dctl <info|lint|prove|check|detects|corrects|deadlock|verdict|simulate> <file.gcl> [flags]")
+		return usageErrorf("usage: dctl <info|lint|flow|prove|check|detects|corrects|deadlock|verdict|simulate> <file.gcl> [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
@@ -62,6 +63,8 @@ func run(args []string, out, errOut io.Writer) error {
 		return runInfo(args[1:], out, errOut)
 	case "lint":
 		return runLint(args[1:], out)
+	case "flow":
+		return runFlow(args[1:], out, errOut)
 	case "prove":
 		return runProve(args[1:], out, errOut)
 	case "check":
@@ -75,18 +78,21 @@ func run(args []string, out, errOut io.Writer) error {
 	case "simulate":
 		return runSimulate(args[1:], out, errOut)
 	default:
-		return usageErrorf("unknown command %q (want info, lint, prove, check, detects, corrects, deadlock, verdict, or simulate)", cmd)
+		return usageErrorf("unknown command %q (want info, lint, flow, prove, check, detects, corrects, deadlock, verdict, or simulate)", cmd)
 	}
 }
 
 // loadFile compiles the GCL source at the path given as the flag set's
 // first positional argument. The dclint analyzers run on every loaded
 // file before it is compiled: warnings go to errOut, error-severity
-// findings abort the command.
+// findings abort the command. Every subcommand that loads a file accepts
+// -noslice to disable the cone-of-influence pre-pass.
 func loadFile(fs *flag.FlagSet, args []string, errOut io.Writer) (*gcl.File, error) {
+	noslice := fs.Bool("noslice", false, "disable the cone-of-influence slicing pre-pass")
 	if err := fs.Parse(argsAfterFile(args)); err != nil {
 		return nil, withCode(exitUsage, err)
 	}
+	flow.SetEnabled(!*noslice)
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
 		return nil, usageErrorf("missing <file.gcl> argument")
 	}
@@ -110,6 +116,11 @@ func loadFile(fs *flag.FlagSet, args []string, errOut io.Writer) (*gcl.File, err
 	// before exploring; otherwise they explore as before.
 	if err := prove.Certify(f); err != nil {
 		fmt.Fprintf(errOut, "dctl: prover certification skipped: %v\n", err)
+	}
+	// Same for slicing: a Writes-metadata mismatch only disables the
+	// cone-of-influence pre-pass for this file, never the command.
+	if err := flow.Certify(f); err != nil {
+		fmt.Fprintf(errOut, "dctl: slice certification skipped: %v\n", err)
 	}
 	return f, nil
 }

@@ -49,6 +49,15 @@ func (c Corrector) CheckCtx(ctx context.Context) error {
 	if componentProver != nil && componentProver("corrector", c.C, c.Z, c.X, c.U) {
 		return nil
 	}
+	if componentSlicer != nil {
+		if _, cached := explore.Peek(c.C, c.U, explore.Options{}); !cached {
+			if verdict, ok := componentSlicer(ctx, "corrector", c.C, c.Z, c.X, c.U); ok && verdict == nil {
+				return nil
+			}
+			// A sliced violation proves one exists; fall through so the
+			// full-space check reports full-width witness states.
+		}
+	}
 	g, err := explore.SharedCtx(ctx, c.C, c.U, explore.Options{})
 	if err != nil {
 		// A cancelled build is the caller walking away, not a verdict.

@@ -61,6 +61,21 @@ var componentProver ComponentProver
 // RegisterComponentProver installs the fast path. Passing nil removes it.
 func RegisterComponentProver(f ComponentProver) { componentProver = f }
 
+// ComponentSlicer is an optional cone-of-influence pre-pass for the
+// detector and corrector checks: it runs the component check on a sliced
+// program whose verdicts provably coincide with the full program's,
+// returning (verdict, true) when it decided the check and (_, false) when
+// slicing does not apply. Callers accept a nil verdict directly but
+// re-derive violations full-width, so reported witness states always
+// carry every variable. internal/flow registers one via Certify.
+type ComponentSlicer func(ctx context.Context, kind string, p *guarded.Program, z, x, u state.Predicate) (error, bool)
+
+var componentSlicer ComponentSlicer
+
+// RegisterComponentSlicer installs the slicing pre-pass. Passing nil
+// removes it.
+func RegisterComponentSlicer(f ComponentSlicer) { componentSlicer = f }
+
 // Check decides whether D refines 'Z detects X' from U. Refinement from U
 // requires U closed in D; Safeness, Progress and Stability are then checked
 // over the states reachable from U. A registered prover that discharges
@@ -76,6 +91,15 @@ func (d Detector) Check() error {
 func (d Detector) CheckCtx(ctx context.Context) error {
 	if componentProver != nil && componentProver("detector", d.D, d.Z, d.X, d.U) {
 		return nil
+	}
+	if componentSlicer != nil {
+		if _, cached := explore.Peek(d.D, d.U, explore.Options{}); !cached {
+			if verdict, ok := componentSlicer(ctx, "detector", d.D, d.Z, d.X, d.U); ok && verdict == nil {
+				return nil
+			}
+			// A sliced violation proves one exists; fall through so the
+			// full-space check reports full-width witness states.
+		}
 	}
 	g, err := explore.SharedCtx(ctx, d.D, d.U, explore.Options{})
 	if err != nil {

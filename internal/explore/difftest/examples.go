@@ -147,6 +147,67 @@ fault fy :: x == uncor & z == uncor -> y := ?
 fault fz :: x == uncor & y == uncor -> z := ?
 `
 
+// RingWatchedSource is RingSource with an unrelated watchdog detector
+// composed in parallel: the detector reads the ring's bottom counter and
+// raises an alarm, but never writes a ring variable, so the ring's own
+// predicates (Legit) depend on none of the detector state. It is the
+// slicing benchmark: checks targeting Legit should verify at ring cost,
+// with the watchdog's 2·(wrap) states sliced away.
+func RingWatchedSource(n, k int) string {
+	src := RingSource(n, k)
+	var b strings.Builder
+	b.WriteString(src)
+	b.WriteString(`
+var alarm : bool
+var wt    : 0..3
+
+pred Seen :: alarm
+
+detector mon : alarm, wt
+
+action mon.tick  :: true          -> wt := (wt + 1) % 4
+action mon.watch :: x0 == 0 & !alarm -> alarm := true
+action mon.reset :: alarm & x0 != 0  -> alarm := false
+`)
+	return b.String()
+}
+
+// MemaccessPairSource is memaccess pf ‖ pn over disjoint variable sets
+// (prefixes f. and n.): two independent instances of the paper's running
+// example side by side. Any check targeting one instance's predicates
+// should slice the other instance away entirely.
+const MemaccessPairSource = `program memaccess_pair
+var f.present : bool
+var f.val     : 0..1
+var f.data    : enum(fbot, fv0, fv1)
+var f.z1      : bool
+var n.present : bool
+var n.val     : 0..1
+var n.data    : enum(nbot, nv0, nv1)
+
+pred FX1  :: f.present
+pred FU1  :: f.z1 => f.present
+pred FS   :: f.present & !((f.val == 0 & f.data == fv1) | (f.val == 1 & f.data == fv0))
+pred FZ1p :: f.z1
+pred NX1  :: n.present
+pred NS   :: n.present & !((n.val == 0 & n.data == nv1) | (n.val == 1 & n.data == nv0))
+
+detector fdet : f.z1
+corrector ncor : n.present
+
+action fdet.detect :: f.present & !f.z1    -> f.z1 := true
+action f.read0     :: f.z1 & f.val == 0    -> f.data := fv0
+action f.read1     :: f.z1 & f.val == 1    -> f.data := fv1
+action ncor.restore :: !n.present          -> n.present := true
+action n.read0     :: n.present & n.val == 0 -> n.data := nv0
+action n.read1     :: n.present & n.val == 1 -> n.data := nv1
+
+fault f.pageout :: f.present & !f.z1 -> f.present := false
+fault n.pageout :: n.present         -> n.present := false
+
+span f.present, n.present
+`
+
 // ByzAgreeSource is a Byzantine-agreement system in GCL: a general g with
 // decision dg and three lieutenants copying it (dj = 2 encodes
 // "undecided"). The fault turns the general Byzantine, after which dg is

@@ -1,0 +1,162 @@
+package flow
+
+import (
+	"strings"
+
+	"detcorr/internal/gcl"
+)
+
+// Impact is the result of diffing two revisions of a file: which entities
+// changed syntactically, and which predicates' verdicts the change can
+// actually reach. AffectedPreds is the set watch mode needs: a predicate
+// outside it has, provably, the same closure/detects/corrects verdicts in
+// both revisions, because its entire cone-of-influence slice is unchanged.
+type Impact struct {
+	ChangedVars    []string `json:"changed_vars,omitempty"`
+	ChangedPreds   []string `json:"changed_preds,omitempty"`
+	ChangedActions []string `json:"changed_actions,omitempty"`
+	ChangedFaults  []string `json:"changed_faults,omitempty"`
+	AffectedPreds  []string `json:"affected_preds"`
+}
+
+// Unchanged reports whether no predicate verdict can have changed.
+func (im *Impact) Unchanged() bool { return len(im.AffectedPreds) == 0 }
+
+// AffectedBy diffs two revisions of a file and reports which predicates of
+// the new revision may have different verdicts. A predicate is affected
+// iff its cone-of-influence slice — the cone variables' declarations, the
+// kept actions restricted to cone targets, and the predicates they
+// reference — renders differently in the two revisions (including
+// predicates that did not exist before). The comparison is syntactic on
+// canonical renderings, so it is sound: an unchanged slice means an
+// unchanged verdict, while a changed slice merely licenses a re-check.
+//
+// Fault declarations are diffed for reporting but do not affect
+// AffectedPreds: fault-composed checks run on composed programs that the
+// slicer never serves, so watch mode re-checks those whenever
+// ChangedFaults (or AffectedPreds) is non-empty.
+func AffectedBy(oldAST, newAST *gcl.FileAST) *Impact {
+	oldIn, newIn := Analyze(oldAST), Analyze(newAST)
+	im := &Impact{}
+
+	im.ChangedVars = diffNames(
+		varNames(oldAST.Vars), varNames(newAST.Vars),
+		func(name string) string { return renderVar(oldAST, name) },
+		func(name string) string { return renderVar(newAST, name) },
+	)
+	im.ChangedPreds = diffNames(
+		predNames(oldAST.Preds), predNames(newAST.Preds),
+		func(name string) string { return renderPred(oldAST, name) },
+		func(name string) string { return renderPred(newAST, name) },
+	)
+	im.ChangedActions = diffNames(
+		actionNames(oldAST.Actions), actionNames(newAST.Actions),
+		func(name string) string { return renderAction(oldAST.Actions, name) },
+		func(name string) string { return renderAction(newAST.Actions, name) },
+	)
+	im.ChangedFaults = diffNames(
+		actionNames(oldAST.Faults), actionNames(newAST.Faults),
+		func(name string) string { return renderAction(oldAST.Faults, name) },
+		func(name string) string { return renderAction(newAST.Faults, name) },
+	)
+
+	for i := range newIn.Preds {
+		name := newIn.Preds[i].Name
+		oldSig, oldOK := sliceSignature(oldIn, name)
+		newSig, newOK := sliceSignature(newIn, name)
+		if !oldOK || !newOK || oldSig != newSig {
+			im.AffectedPreds = append(im.AffectedPreds, name)
+		}
+	}
+	return im
+}
+
+// sliceSignature renders the cone-of-influence slice of one predicate.
+func sliceSignature(in *Info, pred string) (string, bool) {
+	if _, ok := in.Pred(pred); !ok {
+		return "", false
+	}
+	cone, err := in.Cone(pred)
+	if err != nil {
+		return "", false
+	}
+	return renderAST(sliceAST(in, cone)), true
+}
+
+// diffNames reports names present in exactly one revision or rendering
+// differently across the two, in new-revision order (removed names last).
+func diffNames(oldNames, newNames []string, oldRender, newRender func(string) string) []string {
+	oldSet := map[string]bool{}
+	for _, n := range oldNames {
+		oldSet[n] = true
+	}
+	newSet := map[string]bool{}
+	var out []string
+	for _, n := range newNames {
+		newSet[n] = true
+		if !oldSet[n] || oldRender(n) != newRender(n) {
+			out = append(out, n)
+		}
+	}
+	for _, n := range oldNames {
+		if !newSet[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func varNames(vars []gcl.VarDecl) []string {
+	out := make([]string, 0, len(vars))
+	for _, d := range vars {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+func predNames(preds []gcl.PredDecl) []string {
+	out := make([]string, 0, len(preds))
+	for _, d := range preds {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+func actionNames(decls []gcl.ActionDecl) []string {
+	out := make([]string, 0, len(decls))
+	for _, d := range decls {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+func renderVar(ast *gcl.FileAST, name string) string {
+	for _, d := range ast.Vars {
+		if d.Name == name {
+			var sb strings.Builder
+			renderType(&sb, d.Type)
+			return sb.String()
+		}
+	}
+	return ""
+}
+
+func renderPred(ast *gcl.FileAST, name string) string {
+	for _, d := range ast.Preds {
+		if d.Name == name {
+			return ExprString(d.Expr)
+		}
+	}
+	return ""
+}
+
+func renderAction(decls []gcl.ActionDecl, name string) string {
+	for i := range decls {
+		if decls[i].Name == name {
+			var sb strings.Builder
+			renderActions(&sb, "", decls[i:i+1])
+			return sb.String()
+		}
+	}
+	return ""
+}

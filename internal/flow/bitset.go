@@ -1,0 +1,57 @@
+package flow
+
+// bitset is a fixed-width bit vector over variable declaration indices.
+// All sets of one Info share a word count, so the binary operations can
+// skip bounds reconciliation.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+//dc:zeroalloc
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+//dc:zeroalloc
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+//dc:zeroalloc
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// orChanged ors o into b and reports whether b grew.
+//
+//dc:zeroalloc
+func (b bitset) orChanged(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+//dc:zeroalloc
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+//dc:zeroalloc
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

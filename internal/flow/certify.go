@@ -1,0 +1,239 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"detcorr/internal/core"
+	"detcorr/internal/explore"
+	"detcorr/internal/gcl"
+	"detcorr/internal/guarded"
+	"detcorr/internal/prove"
+	"detcorr/internal/spec"
+	"detcorr/internal/state"
+)
+
+// The slicing registry connects compiled programs back to their dependence
+// analysis, so the graph-based checks in spec and core can try a sliced
+// kernel before building the full state space. Like prove's certification
+// registry, it is keyed by the *guarded.Program pointer: composed or
+// hand-assembled programs miss the fast path, and sliced programs are
+// never registered, so a sliced check can never recurse into the slicer.
+//
+// The hooks are sound by construction: a sliced PASS is returned directly
+// (the cone projection argument in DESIGN.md §3i shows the verdicts
+// coincide), while a sliced violation is discarded and the full-space
+// check re-runs — the public path therefore always reports the same
+// witness states, full-width, that the unsliced check would have.
+
+type sliceEntry struct {
+	f    *gcl.File
+	info *Info
+
+	mu     sync.Mutex
+	slices map[string]*sliceResult
+}
+
+type sliceResult struct {
+	sl *Slice // nil when slicing does not apply to these targets
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[*guarded.Program]*sliceEntry{}
+	hookOnce sync.Once
+	disabled atomic.Bool
+)
+
+// SetEnabled turns the slicing pre-pass on or off process-wide (it is on
+// once Certify has installed the hooks). Disabling never discards
+// analysis — the registry stays populated — it only makes the hooks
+// decline, so every check runs full-width.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether the slicing pre-pass is active.
+func Enabled() bool { return !disabled.Load() }
+
+// Certify prepares a compiled file for cone-of-influence slicing: the
+// file's dependence analysis is computed, its Writes metadata is
+// cross-checked against the inferred sets (a mismatch is returned as an
+// error and the file is not registered), and the spec/core slicer hooks
+// are installed. Files without an AST are skipped silently. Like prover
+// certification, slicing never changes a verdict — hooks return sliced
+// results only where the cone argument applies and fall back otherwise.
+func Certify(f *gcl.File) error {
+	if f == nil || f.AST == nil || f.Program == nil {
+		return nil
+	}
+	if err := ValidateWrites(f); err != nil {
+		return err
+	}
+	regMu.Lock()
+	if _, ok := registry[f.Program]; !ok {
+		registry[f.Program] = &sliceEntry{f: f, info: Analyze(f.AST), slices: map[string]*sliceResult{}}
+	}
+	regMu.Unlock()
+	hookOnce.Do(installHooks)
+	return nil
+}
+
+func lookup(p *guarded.Program) *sliceEntry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[p]
+}
+
+// sliceFor returns the memoized slice for the given named targets, or nil
+// when slicing does not apply: some target is not a declared predicate,
+// the cone is empty, or the cone covers every variable (no reduction, so
+// the full check is strictly better). The compiled slice is cached so
+// repeated verdicts reuse one program pointer — the process-wide graph
+// cache then makes repeated sliced checks one-build cheap, exactly like
+// full checks.
+func (e *sliceEntry) sliceFor(targets []string) *Slice {
+	names := append([]string(nil), targets...)
+	sort.Strings(names)
+	key := strings.Join(names, ",")
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.slices[key]; ok {
+		return r.sl
+	}
+	r := &sliceResult{}
+	cone, err := e.info.Cone(names...)
+	if err == nil && len(cone.Vars) > 0 && len(cone.Vars) < len(e.info.Vars) {
+		if sl, serr := sliceInfo(e.info, e.f, names...); serr == nil {
+			// The slice is a first-class compiled file: give it the prover
+			// fast path too. It is deliberately NOT flow-certified.
+			_ = prove.Certify(sl.File)
+			r.sl = sl
+		}
+	}
+	e.slices[key] = r
+	return r.sl
+}
+
+// targetNames extracts the declared-predicate names of the given
+// predicates. Trivial predicates (true) contribute no target; ok is false
+// when any non-trivial predicate is not declared in the file, or when no
+// named target remains.
+func (e *sliceEntry) targetNames(preds ...state.Predicate) ([]string, bool) {
+	var names []string
+	for _, p := range preds {
+		if p.IsTrivial() || p.String() == "true" {
+			continue
+		}
+		if _, ok := e.info.Pred(p.String()); !ok {
+			return nil, false
+		}
+		names = append(names, p.String())
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	return names, true
+}
+
+// slicedPred resolves a predicate of the full file onto the slice.
+func slicedPred(sl *Slice, p state.Predicate) (state.Predicate, bool) {
+	if p.IsTrivial() || p.String() == "true" {
+		return state.True, true
+	}
+	sp, ok := sl.File.Pred(p.String())
+	return sp, ok
+}
+
+// isVerdict distinguishes a property violation (a genuine fails verdict)
+// from an operational error. Only violations may be forwarded from a
+// sliced run — and even those are re-derived full-width by the caller —
+// while operational errors make the hook decline so the full check runs.
+func isVerdict(err error) bool {
+	var cv *spec.ClosureViolation
+	var lv *explore.LivenessViolation
+	var ce *core.ConditionError
+	return errors.As(err, &cv) || errors.As(err, &lv) || errors.As(err, &ce)
+}
+
+func installHooks() {
+	spec.RegisterClosedSlicer(func(ctx context.Context, p *guarded.Program, s state.Predicate) (error, bool) {
+		sl, ok := hookSlice(p, s)
+		if !ok {
+			return nil, false
+		}
+		sp, ok := slicedPred(sl, s)
+		if !ok {
+			return nil, false
+		}
+		err := spec.CheckClosedCtx(ctx, sl.File.Program, sp)
+		if err != nil && !isVerdict(err) {
+			return nil, false
+		}
+		return err, true
+	})
+	spec.RegisterConvergesSlicer(func(ctx context.Context, p *guarded.Program, s, r state.Predicate) (error, bool) {
+		sl, ok := hookSlice(p, s, r)
+		if !ok {
+			return nil, false
+		}
+		ss, ok1 := slicedPred(sl, s)
+		sr, ok2 := slicedPred(sl, r)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		err := spec.CheckConvergesCtx(ctx, sl.File.Program, ss, sr)
+		if err != nil && !isVerdict(err) {
+			return nil, false
+		}
+		return err, true
+	})
+	core.RegisterComponentSlicer(func(ctx context.Context, kind string, p *guarded.Program, z, x, u state.Predicate) (error, bool) {
+		sl, ok := hookSlice(p, z, x, u)
+		if !ok {
+			return nil, false
+		}
+		sz, ok1 := slicedPred(sl, z)
+		sx, ok2 := slicedPred(sl, x)
+		su, ok3 := slicedPred(sl, u)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, false
+		}
+		var err error
+		switch kind {
+		case "detector":
+			err = core.Detector{Name: "slice(" + sl.File.Name + ")", D: sl.File.Program, Z: sz, X: sx, U: su}.CheckCtx(ctx)
+		case "corrector":
+			err = core.Corrector{Name: "slice(" + sl.File.Name + ")", C: sl.File.Program, Z: sz, X: sx, U: su}.CheckCtx(ctx)
+		default:
+			return nil, false
+		}
+		if err != nil && !isVerdict(err) {
+			return nil, false
+		}
+		return err, true
+	})
+}
+
+// hookSlice is the common hook front half: look the program up, turn the
+// predicates into named targets, and fetch the memoized slice.
+func hookSlice(p *guarded.Program, preds ...state.Predicate) (*Slice, bool) {
+	if !Enabled() {
+		return nil, false
+	}
+	e := lookup(p)
+	if e == nil {
+		return nil, false
+	}
+	targets, ok := e.targetNames(preds...)
+	if !ok {
+		return nil, false
+	}
+	sl := e.sliceFor(targets)
+	if sl == nil {
+		return nil, false
+	}
+	return sl, true
+}

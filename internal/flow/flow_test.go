@@ -1,0 +1,316 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+
+	"detcorr/internal/gcl"
+)
+
+const ringWatchedSrc = `
+program watched
+
+var x0 : 0..2
+var x1 : 0..2
+var alarm : bool
+var t : 0..3
+
+pred Legit  :: x0 == x1
+pred Seen   :: alarm
+
+detector mon : alarm, t
+
+action move0     :: x0 == x1          -> x0 := (x0 + 1) % 3
+action move1     :: x0 != x1          -> x1 := x0
+action mon.tick  :: true              -> t := (t + 1) % 4
+action mon.watch :: x0 == 0 & !alarm  -> alarm := true
+
+fault corrupt :: true -> x1 := ?
+`
+
+func mustAnalyze(t *testing.T, src string) (*gcl.File, *Info) {
+	t.Helper()
+	f, err := gcl.ParseAndCompile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return f, Analyze(f.AST)
+}
+
+func TestAnalyzeReadWriteSets(t *testing.T) {
+	_, in := mustAnalyze(t, ringWatchedSrc)
+	want := map[string]struct{ guard, reads, writes []string }{
+		"move0":     {[]string{"x0", "x1"}, []string{"x0", "x1"}, []string{"x0"}},
+		"move1":     {[]string{"x0", "x1"}, []string{"x0", "x1"}, []string{"x1"}},
+		"mon.tick":  {[]string{}, []string{"t"}, []string{"t"}},
+		"mon.watch": {[]string{"x0", "alarm"}, []string{"x0", "alarm"}, []string{"alarm"}},
+	}
+	if len(in.Actions) != len(want) {
+		t.Fatalf("actions = %d, want %d", len(in.Actions), len(want))
+	}
+	for _, af := range in.Actions {
+		w, ok := want[af.Name]
+		if !ok {
+			t.Fatalf("unexpected action %q", af.Name)
+		}
+		if !reflect.DeepEqual(af.GuardReads, w.guard) {
+			t.Errorf("%s guard reads = %v, want %v", af.Name, af.GuardReads, w.guard)
+		}
+		if !reflect.DeepEqual(af.Reads, w.reads) {
+			t.Errorf("%s reads = %v, want %v", af.Name, af.Reads, w.reads)
+		}
+		if !reflect.DeepEqual(af.Writes, w.writes) {
+			t.Errorf("%s writes = %v, want %v", af.Name, af.Writes, w.writes)
+		}
+	}
+	if len(in.Faults) != 1 || !reflect.DeepEqual(in.Faults[0].Writes, []string{"x1"}) {
+		t.Fatalf("faults = %+v", in.Faults)
+	}
+	// Predicate reads are transitive through predicate references.
+	legit, _ := in.Pred("Legit")
+	if !reflect.DeepEqual(legit.Reads, []string{"x0", "x1"}) {
+		t.Fatalf("Legit reads = %v", legit.Reads)
+	}
+	// Component membership by name prefix.
+	if len(in.Components) != 1 || !reflect.DeepEqual(in.Components[0].Scope, []string{"alarm", "t"}) {
+		t.Fatalf("components = %+v", in.Components)
+	}
+	var members []string
+	for _, ai := range in.Components[0].Actions {
+		members = append(members, in.Actions[ai].Name)
+	}
+	if !reflect.DeepEqual(members, []string{"mon.tick", "mon.watch"}) {
+		t.Fatalf("component actions = %v", members)
+	}
+}
+
+func TestPredReadsExpandPredRefs(t *testing.T) {
+	_, in := mustAnalyze(t, `
+program p
+var a : bool
+var b : bool
+pred P :: a
+pred Q :: P & b
+action set :: true -> a := b
+`)
+	q, _ := in.Pred("Q")
+	if !reflect.DeepEqual(q.Reads, []string{"a", "b"}) {
+		t.Fatalf("Q reads = %v", q.Reads)
+	}
+	// Direct reads record only syntactic variable references.
+	if len(q.DirectReads) != 1 || q.DirectReads[0].Name != "b" {
+		t.Fatalf("Q direct reads = %+v", q.DirectReads)
+	}
+}
+
+func TestCone(t *testing.T) {
+	_, in := mustAnalyze(t, ringWatchedSrc)
+	cone, err := in.Cone("Legit")
+	if err != nil {
+		t.Fatalf("cone: %v", err)
+	}
+	if !reflect.DeepEqual(cone.Vars, []string{"x0", "x1"}) {
+		t.Fatalf("cone vars = %v", cone.Vars)
+	}
+	var kept []string
+	for _, ai := range cone.Kept {
+		kept = append(kept, in.Actions[ai].Name)
+	}
+	if !reflect.DeepEqual(kept, []string{"move0", "move1"}) {
+		t.Fatalf("kept = %v", kept)
+	}
+	// The detector reads ring variables, so its cone pulls them in — the
+	// dependence is directional.
+	cone, err = in.Cone("Seen")
+	if err != nil {
+		t.Fatalf("cone: %v", err)
+	}
+	if !reflect.DeepEqual(cone.Vars, []string{"x0", "x1", "alarm"}) {
+		t.Fatalf("Seen cone vars = %v", cone.Vars)
+	}
+	if _, err := in.Cone("NoSuch"); err == nil {
+		t.Fatal("unknown predicate: want error")
+	}
+}
+
+func TestDepEdges(t *testing.T) {
+	_, in := mustAnalyze(t, `
+program p
+var a : bool
+var b : bool
+var c : bool
+pred P :: c
+action copy :: a -> b := c
+`)
+	got := in.DepEdges()
+	want := []DepEdge{
+		{From: "a", To: "b", Action: "copy"},
+		{From: "c", To: "b", Action: "copy"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dep edges = %+v, want %+v", got, want)
+	}
+}
+
+func TestSliceFile(t *testing.T) {
+	f, _ := mustAnalyze(t, ringWatchedSrc)
+	sl, err := SliceFile(f, "Legit")
+	if err != nil {
+		t.Fatalf("slice: %v", err)
+	}
+	if !reflect.DeepEqual(sl.ConeVars, []string{"x0", "x1"}) {
+		t.Fatalf("cone vars = %v", sl.ConeVars)
+	}
+	if !reflect.DeepEqual(sl.KeptActions, []string{"move0", "move1"}) {
+		t.Fatalf("kept = %v", sl.KeptActions)
+	}
+	if sl.FullStates != 2*3*3*4 || sl.SlicedStates != 9 {
+		t.Fatalf("states = %v -> %v", sl.FullStates, sl.SlicedStates)
+	}
+	if sl.Reduction() != 8 {
+		t.Fatalf("reduction = %v", sl.Reduction())
+	}
+	if _, ok := sl.File.Pred("Legit"); !ok {
+		t.Fatal("sliced file lost the target predicate")
+	}
+	if n := sl.File.Program.NumActions(); n != 2 {
+		t.Fatalf("sliced actions = %d", n)
+	}
+	if len(sl.File.Faults.Actions) != 0 {
+		t.Fatal("sliced file kept fault actions")
+	}
+}
+
+func TestSliceRewritesDanglingEnumConsts(t *testing.T) {
+	f, _ := mustAnalyze(t, `
+program p
+var mode : enum(off, on)
+var x : 0..1
+pred P :: x == 1
+action bump :: x == 0 -> x := x + 1
+action switch :: true -> mode := on
+`)
+	sl, err := SliceFile(f, "P")
+	if err != nil {
+		t.Fatalf("slice: %v", err)
+	}
+	if !reflect.DeepEqual(sl.ConeVars, []string{"x"}) {
+		t.Fatalf("cone vars = %v", sl.ConeVars)
+	}
+	// A kept predicate referencing a dropped enum's constant still
+	// compiles: the constant is rewritten to its integer value.
+	f2, _ := mustAnalyze(t, `
+program p
+var mode : enum(off, on)
+var x : 0..2
+pred P :: x == on
+action bump :: x == 0 -> x := x + 1
+action switch :: true -> mode := on
+`)
+	sl2, err := SliceFile(f2, "P")
+	if err != nil {
+		t.Fatalf("slice with dangling const: %v", err)
+	}
+	if !reflect.DeepEqual(sl2.ConeVars, []string{"x"}) {
+		t.Fatalf("cone vars = %v", sl2.ConeVars)
+	}
+	if n := sl2.File.Program.NumActions(); n != 1 {
+		t.Fatalf("sliced actions = %d", n)
+	}
+	// A guard read that gates a cone-target assign pulls its variable into
+	// the cone — the dependence is real, not a dangling reference.
+	f3, _ := mustAnalyze(t, `
+program p
+var mode : enum(off, on)
+var x : 0..1
+pred P :: x == 1
+action bump :: x == 0 -> x := x + 1
+action switch :: mode == off -> mode := on, x := 1
+`)
+	sl3, err := SliceFile(f3, "P")
+	if err != nil {
+		t.Fatalf("slice: %v", err)
+	}
+	if !reflect.DeepEqual(sl3.ConeVars, []string{"mode", "x"}) {
+		t.Fatalf("cone vars = %v", sl3.ConeVars)
+	}
+}
+
+func TestValidateWritesCorpus(t *testing.T) {
+	for _, src := range []string{ringWatchedSrc} {
+		f, err := gcl.ParseAndCompile(src)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if err := ValidateWrites(f); err != nil {
+			t.Errorf("validate: %v", err)
+		}
+	}
+}
+
+func TestAffectedBy(t *testing.T) {
+	oldF, _ := mustAnalyze(t, ringWatchedSrc)
+	// An edit confined to the detector: Legit's cone is untouched, Seen's
+	// cone includes the edited action.
+	newSrc := `
+program watched
+
+var x0 : 0..2
+var x1 : 0..2
+var alarm : bool
+var t : 0..3
+
+pred Legit  :: x0 == x1
+pred Seen   :: alarm
+
+detector mon : alarm, t
+
+action move0     :: x0 == x1          -> x0 := (x0 + 1) % 3
+action move1     :: x0 != x1          -> x1 := x0
+action mon.tick  :: true              -> t := (t + 1) % 4
+action mon.watch :: x0 == 1 & !alarm  -> alarm := true
+
+fault corrupt :: true -> x1 := ?
+`
+	newF, _ := mustAnalyze(t, newSrc)
+	im := AffectedBy(oldF.AST, newF.AST)
+	if !reflect.DeepEqual(im.ChangedActions, []string{"mon.watch"}) {
+		t.Fatalf("changed actions = %v", im.ChangedActions)
+	}
+	if !reflect.DeepEqual(im.AffectedPreds, []string{"Seen"}) {
+		t.Fatalf("affected preds = %v", im.AffectedPreds)
+	}
+	if len(im.ChangedVars)+len(im.ChangedPreds)+len(im.ChangedFaults) != 0 {
+		t.Fatalf("spurious changes: %+v", im)
+	}
+	// Identity diff: nothing affected.
+	if im := AffectedBy(oldF.AST, oldF.AST); !im.Unchanged() {
+		t.Fatalf("self-diff affected %v", im.AffectedPreds)
+	}
+	// A base-program edit reaches both predicates (Seen's cone includes
+	// the ring variables the detector guard reads).
+	baseEdit, _ := mustAnalyze(t, `
+program watched
+
+var x0 : 0..2
+var x1 : 0..2
+var alarm : bool
+var t : 0..3
+
+pred Legit  :: x0 == x1
+pred Seen   :: alarm
+
+detector mon : alarm, t
+
+action move0     :: x0 == x1          -> x0 := (x0 + 2) % 3
+action move1     :: x0 != x1          -> x1 := x0
+action mon.tick  :: true              -> t := (t + 1) % 4
+action mon.watch :: x0 == 0 & !alarm  -> alarm := true
+
+fault corrupt :: true -> x1 := ?
+`)
+	im = AffectedBy(oldF.AST, baseEdit.AST)
+	if !reflect.DeepEqual(im.AffectedPreds, []string{"Legit", "Seen"}) {
+		t.Fatalf("affected preds = %v", im.AffectedPreds)
+	}
+}

@@ -1,0 +1,111 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"detcorr/internal/gcl"
+)
+
+var opText = map[gcl.Kind]string{
+	gcl.OR: "|", gcl.AND: "&", gcl.NOT: "!", gcl.IMPLIES: "=>",
+	gcl.EQ: "==", gcl.NEQ: "!=", gcl.LT: "<", gcl.LE: "<=",
+	gcl.GT: ">", gcl.GE: ">=", gcl.PLUS: "+", gcl.MINUS: "-",
+	gcl.STAR: "*", gcl.PERCENT: "%",
+}
+
+// renderExpr writes a fully parenthesized, position-free rendering of the
+// expression: two expressions render equal iff they are structurally
+// identical, which is what the AffectedBy diff compares.
+func renderExpr(sb *strings.Builder, e gcl.Expr) {
+	switch n := e.(type) {
+	case *gcl.BoolLit:
+		fmt.Fprintf(sb, "%v", n.Value)
+	case *gcl.IntLit:
+		fmt.Fprintf(sb, "%d", n.Value)
+	case *gcl.Ref:
+		sb.WriteString(n.Name)
+	case *gcl.Unary:
+		sb.WriteString(opText[n.Op])
+		sb.WriteByte('(')
+		renderExpr(sb, n.X)
+		sb.WriteByte(')')
+	case *gcl.Binary:
+		sb.WriteByte('(')
+		renderExpr(sb, n.L)
+		sb.WriteByte(' ')
+		sb.WriteString(opText[n.Op])
+		sb.WriteByte(' ')
+		renderExpr(sb, n.R)
+		sb.WriteByte(')')
+	}
+}
+
+// ExprString renders an expression canonically (fully parenthesized).
+func ExprString(e gcl.Expr) string {
+	var sb strings.Builder
+	renderExpr(&sb, e)
+	return sb.String()
+}
+
+// renderType writes a canonical rendering of a domain declaration.
+func renderType(sb *strings.Builder, t gcl.TypeExpr) {
+	switch t.Kind {
+	case gcl.TypeBool:
+		sb.WriteString("bool")
+	case gcl.TypeRange:
+		fmt.Fprintf(sb, "%d..%d", t.Lo, t.Hi)
+	case gcl.TypeEnum:
+		sb.WriteString("enum(")
+		sb.WriteString(strings.Join(t.Names, ","))
+		sb.WriteByte(')')
+	}
+}
+
+// renderAST writes a canonical, position-free rendering of a file's
+// semantic content: variables, predicates, program actions, faults. Names
+// and declaration order count; source positions and formatting do not.
+func renderAST(ast *gcl.FileAST) string {
+	var sb strings.Builder
+	for _, d := range ast.Vars {
+		sb.WriteString("var ")
+		sb.WriteString(d.Name)
+		sb.WriteByte(':')
+		renderType(&sb, d.Type)
+		sb.WriteByte('\n')
+	}
+	for _, d := range ast.Preds {
+		sb.WriteString("pred ")
+		sb.WriteString(d.Name)
+		sb.WriteString("::")
+		renderExpr(&sb, d.Expr)
+		sb.WriteByte('\n')
+	}
+	renderActions(&sb, "action ", ast.Actions)
+	renderActions(&sb, "fault ", ast.Faults)
+	return sb.String()
+}
+
+func renderActions(sb *strings.Builder, kw string, decls []gcl.ActionDecl) {
+	for i := range decls {
+		d := &decls[i]
+		sb.WriteString(kw)
+		sb.WriteString(d.Name)
+		sb.WriteString("::")
+		renderExpr(sb, d.Guard)
+		sb.WriteString("->")
+		for j, a := range d.Assigns {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(a.Var)
+			sb.WriteString(":=")
+			if a.Expr == nil {
+				sb.WriteByte('?')
+			} else {
+				renderExpr(sb, a.Expr)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+}

@@ -1,0 +1,115 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"detcorr/internal/gcl"
+	"detcorr/internal/guarded"
+)
+
+// ValidateWrites cross-checks three independent derivations of every
+// action's write set — the guarded.Action.Writes metadata the compiler
+// declared, the set Analyze infers from the AST, and the assignment
+// targets in the kernel bytecode — and, for actions carrying bytecode,
+// checks that the OpVar reads in the bytecode match the reads inferred
+// from the AST. A mismatch means some layer dropped or over-claimed a
+// variable; the differential tests run this over every example system.
+func ValidateWrites(f *gcl.File) error {
+	if f == nil || f.AST == nil {
+		return nil
+	}
+	in := Analyze(f.AST)
+	acts := f.Program.Actions()
+	if len(acts) != len(in.Actions) {
+		return fmt.Errorf("flow: %s: %d compiled actions vs %d declared", f.Name, len(acts), len(in.Actions))
+	}
+	for i := range acts {
+		act := &acts[i]
+		af := &in.Actions[i]
+		if act.Name != af.Name {
+			return fmt.Errorf("flow: %s: action %d is %q compiled but %q declared", f.Name, i, act.Name, af.Name)
+		}
+		if err := validateAction(f, act, af); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateAction(f *gcl.File, act *guarded.Action, af *ActionFlow) error {
+	declared := append([]string(nil), act.Writes...)
+	sort.Strings(declared)
+	inferred := append([]string(nil), af.Writes...)
+	sort.Strings(inferred)
+	if act.Writes == nil {
+		return fmt.Errorf("flow: %s: action %q carries no Writes metadata (inferred %v)", f.Name, act.Name, inferred)
+	}
+	if !equalSets(declared, inferred) {
+		return fmt.Errorf("flow: %s: action %q declares writes %v, inferred %v", f.Name, act.Name, declared, inferred)
+	}
+	if act.Compiled == nil {
+		return nil
+	}
+	var fromOps []string
+	reads := map[string]bool{}
+	opReads(act.Compiled.Guard, f, reads)
+	for _, as := range act.Compiled.Assigns {
+		fromOps = append(fromOps, f.Schema.Var(as.Var).Name)
+		opReads(as.Expr, f, reads)
+	}
+	sort.Strings(fromOps)
+	if !equalSets(dedup(fromOps), dedup(inferred)) {
+		return fmt.Errorf("flow: %s: action %q bytecode writes %v, inferred %v", f.Name, act.Name, fromOps, inferred)
+	}
+	// Bytecode reads can only be checked when every expression lowered;
+	// a nil guard with lowered assigns would under-report.
+	if act.Compiled.Guard == nil && !isTrivialGuard(af) {
+		return nil
+	}
+	var opRead []string
+	for name := range reads {
+		opRead = append(opRead, name)
+	}
+	sort.Strings(opRead)
+	astRead := append([]string(nil), af.Reads...)
+	sort.Strings(astRead)
+	if !equalSets(opRead, astRead) {
+		return fmt.Errorf("flow: %s: action %q bytecode reads %v, inferred %v", f.Name, act.Name, opRead, astRead)
+	}
+	return nil
+}
+
+// isTrivialGuard reports whether the action's guard reads nothing, in
+// which case a nil compiled guard loses no read information.
+func isTrivialGuard(af *ActionFlow) bool { return len(af.GuardReads) == 0 }
+
+func opReads(ops []guarded.Op, f *gcl.File, into map[string]bool) {
+	for i := range ops {
+		if ops[i].Code == guarded.OpVar {
+			into[f.Schema.Var(int(ops[i].A)).Name] = true
+		}
+	}
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

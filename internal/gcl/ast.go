@@ -13,11 +13,66 @@ func (p Pos) IsValid() bool { return p.Line > 0 }
 
 // FileAST is a parsed source file.
 type FileAST struct {
-	Name    string
-	Vars    []VarDecl
-	Preds   []PredDecl
-	Actions []ActionDecl // program actions
-	Faults  []ActionDecl // fault actions
+	Name       string
+	Vars       []VarDecl
+	Preds      []PredDecl
+	Actions    []ActionDecl    // program actions
+	Faults     []ActionDecl    // fault actions
+	Components []ComponentDecl // declared detector/corrector components
+	Spans      []SpanDecl      // declared fault spans (union when several)
+}
+
+// ComponentKind distinguishes the two fault-tolerance component roles of
+// the paper (Section 4): detectors observe, correctors repair.
+type ComponentKind int
+
+// Component roles.
+const (
+	DetectorComponent ComponentKind = iota + 1
+	CorrectorComponent
+)
+
+// String renders the component kind as its keyword.
+func (k ComponentKind) String() string {
+	if k == CorrectorComponent {
+		return "corrector"
+	}
+	return "detector"
+}
+
+// ComponentDecl declares a named detector or corrector component:
+//
+//	detector mon : alarm, t
+//	corrector fix : data
+//
+// An action belongs to the component when its name is prefixed with the
+// component name and a dot (mon.tick, fix.repair). Scope lists the
+// variables the component is allowed to write — the detector's private
+// state, or the corrector's correction scope. Scope is optional for
+// detectors (defaulting to "variables the base program neither reads nor
+// writes") and meaningful for correctors only when declared.
+type ComponentDecl struct {
+	Kind  ComponentKind
+	Name  string
+	Scope []ScopeVar
+	At    Pos
+}
+
+// SpanDecl declares the variables the file's fault actions may write:
+//
+//	span present, z1
+//
+// Fault writes outside the declared span are flagged by dclint (DC203).
+type SpanDecl struct {
+	Vars []ScopeVar
+	At   Pos
+}
+
+// ScopeVar is one variable name in a component scope or fault span, with
+// its own position so diagnostics can point at the exact name.
+type ScopeVar struct {
+	Name string
+	At   Pos
 }
 
 // VarDecl declares a finite-domain variable.

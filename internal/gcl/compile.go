@@ -138,6 +138,28 @@ func Compile(ast *FileAST) (*File, error) {
 			return nil, fmt.Errorf("gcl: name %q is both a variable and an enum value", name)
 		}
 	}
+	// Component and span declarations are static-analysis metadata (no
+	// runtime semantics), but their names must still resolve so that
+	// dcflow and dclint never see dangling declarations.
+	seenComp := map[string]bool{}
+	for _, d := range ast.Components {
+		if seenComp[d.Name] {
+			return nil, errAt(d.At.Line, d.At.Col, "duplicate component %q", d.Name)
+		}
+		seenComp[d.Name] = true
+		for _, sv := range d.Scope {
+			if _, ok := c.varIdx[sv.Name]; !ok {
+				return nil, errAt(sv.At.Line, sv.At.Col, "component %q scope names undeclared variable %q", d.Name, sv.Name)
+			}
+		}
+	}
+	for _, sd := range ast.Spans {
+		for _, sv := range sd.Vars {
+			if _, ok := c.varIdx[sv.Name]; !ok {
+				return nil, errAt(sv.At.Line, sv.At.Col, "span names undeclared variable %q", sv.Name)
+			}
+		}
+	}
 	schema, err := state.NewSchema(vars...)
 	if err != nil {
 		return nil, fmt.Errorf("gcl: %w", err)

@@ -1,0 +1,97 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// The component/span declarations are static-analysis metadata: they must
+// parse, resolve, and round-trip through Compile without changing the
+// program's semantics.
+
+const componentSrc = `
+program watched
+
+var x     : 0..2
+var alarm : bool
+var t     : 0..3
+
+pred Legit :: x == 0
+
+detector mon : alarm, t
+span x
+
+action step      :: x < 2      -> x := x + 1
+action mon.tick  :: true       -> t := (t + 1) % 4
+action mon.watch :: x == 0     -> alarm := true
+
+fault corrupt :: true -> x := ?
+`
+
+func TestComponentDecls(t *testing.T) {
+	f, err := ParseAndCompile(componentSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ast := f.AST
+	if len(ast.Components) != 1 {
+		t.Fatalf("components = %d, want 1", len(ast.Components))
+	}
+	c := ast.Components[0]
+	if c.Kind != DetectorComponent || c.Name != "mon" {
+		t.Fatalf("component = %v %q", c.Kind, c.Name)
+	}
+	if len(c.Scope) != 2 || c.Scope[0].Name != "alarm" || c.Scope[1].Name != "t" {
+		t.Fatalf("scope = %+v", c.Scope)
+	}
+	if !c.At.IsValid() || !c.Scope[0].At.IsValid() {
+		t.Fatalf("component positions not set: %+v", c)
+	}
+	if len(ast.Spans) != 1 || len(ast.Spans[0].Vars) != 1 || ast.Spans[0].Vars[0].Name != "x" {
+		t.Fatalf("spans = %+v", ast.Spans)
+	}
+	// The declarations change nothing about the compiled program.
+	if got := f.Program.NumActions(); got != 3 {
+		t.Fatalf("actions = %d, want 3", got)
+	}
+}
+
+func TestCorrectorDecl(t *testing.T) {
+	src := `
+program fixer
+var data : bool
+corrector fix : data
+action fix.repair :: !data -> data := true
+`
+	f, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	c := f.AST.Components[0]
+	if c.Kind != CorrectorComponent || c.Name != "fix" || len(c.Scope) != 1 {
+		t.Fatalf("component = %+v", c)
+	}
+	// A scopeless component is also legal.
+	if _, err := ParseAndCompile("program p\nvar x : bool\ndetector d\naction d.a :: x -> skip\n"); err != nil {
+		t.Fatalf("scopeless detector: %v", err)
+	}
+}
+
+func TestComponentDeclErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"program p\nvar x : bool\ndetector d : y\n", `undeclared variable "y"`},
+		{"program p\nvar x : bool\nspan y\n", `undeclared variable "y"`},
+		{"program p\nvar x : bool\ndetector d\ncorrector d : x\n", `duplicate component "d"`},
+		{"program p\nvar x : bool\ndetector d :\n", "expected identifier"},
+		{"program p\nvar x : bool\nspan\n", "expected identifier"},
+	}
+	for _, tc := range cases {
+		_, err := ParseAndCompile(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("source %q: error = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}

@@ -106,8 +106,20 @@ func (p *parser) file() (*FileAST, error) {
 				return nil, err
 			}
 			f.Faults = append(f.Faults, d)
+		case KWDETECTOR, KWCORRECTOR:
+			d, err := p.componentDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Components = append(f.Components, d)
+		case KWSPAN:
+			d, err := p.spanDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Spans = append(f.Spans, d)
 		default:
-			return nil, errAt(t.Line, t.Col, "expected declaration ('var', 'pred', 'action', or 'fault'), found %s %q", t.Kind, t.Text)
+			return nil, errAt(t.Line, t.Col, "expected declaration ('var', 'pred', 'action', 'fault', 'detector', 'corrector', or 'span'), found %s %q", t.Kind, t.Text)
 		}
 	}
 	return f, nil
@@ -170,6 +182,53 @@ func (p *parser) typeExpr() (TypeExpr, error) {
 		return TypeExpr{Kind: TypeEnum, Names: names, At: at(t)}, nil
 	default:
 		return TypeExpr{}, errAt(t.Line, t.Col, "expected type ('bool', range, or 'enum'), found %s", t.Kind)
+	}
+}
+
+// componentDecl parses 'detector NAME [: v1, v2, ...]' or
+// 'corrector NAME [: v1, v2, ...]'.
+func (p *parser) componentDecl() (ComponentDecl, error) {
+	kw := p.next() // detector | corrector
+	kind := DetectorComponent
+	if kw.Kind == KWCORRECTOR {
+		kind = CorrectorComponent
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return ComponentDecl{}, err
+	}
+	d := ComponentDecl{Kind: kind, Name: name.Text, At: at(kw)}
+	if p.cur().Kind != COLON {
+		return d, nil
+	}
+	p.pos++
+	d.Scope, err = p.scopeVars()
+	return d, err
+}
+
+// spanDecl parses 'span v1, v2, ...'.
+func (p *parser) spanDecl() (SpanDecl, error) {
+	kw := p.next() // span
+	vars, err := p.scopeVars()
+	if err != nil {
+		return SpanDecl{}, err
+	}
+	return SpanDecl{Vars: vars, At: at(kw)}, nil
+}
+
+// scopeVars parses a comma-separated, non-empty variable name list.
+func (p *parser) scopeVars() ([]ScopeVar, error) {
+	var vars []ScopeVar
+	for {
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, ScopeVar{Name: id.Text, At: at(id)})
+		if p.cur().Kind != COMMA {
+			return vars, nil
+		}
+		p.pos++
 	}
 }
 

@@ -32,39 +32,42 @@ const (
 	EOF Kind = iota + 1
 	IDENT
 	NUMBER
-	KWPROGRAM // program
-	KWVAR     // var
-	KWACTION  // action
-	KWFAULT   // fault
-	KWPRED    // pred
-	KWBOOL    // bool
-	KWENUM    // enum
-	KWTRUE    // true
-	KWFALSE   // false
-	KWSKIP    // skip
-	DCOLON    // ::
-	COLON     // :
-	ARROW     // ->
-	ASSIGN    // :=
-	COMMA     // ,
-	LPAREN    // (
-	RPAREN    // )
-	DOTDOT    // ..
-	OR        // |
-	AND       // &
-	NOT       // !
-	IMPLIES   // =>
-	EQ        // ==
-	NEQ       // !=
-	LT        // <
-	LE        // <=
-	GT        // >
-	GE        // >=
-	PLUS      // +
-	MINUS     // -
-	STAR      // *
-	PERCENT   // %
-	QUESTION  // ?
+	KWPROGRAM   // program
+	KWVAR       // var
+	KWACTION    // action
+	KWFAULT     // fault
+	KWPRED      // pred
+	KWBOOL      // bool
+	KWENUM      // enum
+	KWTRUE      // true
+	KWFALSE     // false
+	KWSKIP      // skip
+	KWDETECTOR  // detector
+	KWCORRECTOR // corrector
+	KWSPAN      // span
+	DCOLON      // ::
+	COLON       // :
+	ARROW       // ->
+	ASSIGN      // :=
+	COMMA       // ,
+	LPAREN      // (
+	RPAREN      // )
+	DOTDOT      // ..
+	OR          // |
+	AND         // &
+	NOT         // !
+	IMPLIES     // =>
+	EQ          // ==
+	NEQ         // !=
+	LT          // <
+	LE          // <=
+	GT          // >
+	GE          // >=
+	PLUS        // +
+	MINUS       // -
+	STAR        // *
+	PERCENT     // %
+	QUESTION    // ?
 )
 
 var kindNames = map[Kind]string{
@@ -72,6 +75,7 @@ var kindNames = map[Kind]string{
 	KWPROGRAM: "'program'", KWVAR: "'var'", KWACTION: "'action'",
 	KWFAULT: "'fault'", KWPRED: "'pred'", KWBOOL: "'bool'", KWENUM: "'enum'",
 	KWTRUE: "'true'", KWFALSE: "'false'", KWSKIP: "'skip'",
+	KWDETECTOR: "'detector'", KWCORRECTOR: "'corrector'", KWSPAN: "'span'",
 	DCOLON: "'::'", COLON: "':'", ARROW: "'->'", ASSIGN: "':='",
 	COMMA: "','", LPAREN: "'('", RPAREN: "')'", DOTDOT: "'..'",
 	OR: "'|'", AND: "'&'", NOT: "'!'", IMPLIES: "'=>'",
@@ -100,6 +104,7 @@ var keywords = map[string]Kind{
 	"program": KWPROGRAM, "var": KWVAR, "action": KWACTION,
 	"fault": KWFAULT, "pred": KWPRED, "bool": KWBOOL, "enum": KWENUM,
 	"true": KWTRUE, "false": KWFALSE, "skip": KWSKIP,
+	"detector": KWDETECTOR, "corrector": KWCORRECTOR, "span": KWSPAN,
 }
 
 // SyntaxError reports a lexing or parsing failure with its position.

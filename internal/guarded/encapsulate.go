@@ -2,6 +2,7 @@ package guarded
 
 import (
 	"fmt"
+	"sort"
 
 	"detcorr/internal/state"
 )
@@ -20,10 +21,17 @@ import (
 // The base action must already be expressed over the full schema (use Lift).
 // extra receives the pre-state and the post-state produced by st, and
 // returns the final state; it should only modify non-base variables of post.
-func EncapsulateAction(base Action, extraGuard state.Predicate, extra func(pre, post state.State) state.State) Action {
+//
+// extraWrites declares the variables st' may assign. The combined action's
+// write-set is the union of the base's declared writes and extraWrites —
+// but only when the base declares one: if base.Writes is nil (unknown), the
+// combined set stays nil too, since claiming exactly extraWrites would
+// silently under-claim whatever the opaque base statement touches.
+func EncapsulateAction(base Action, extraGuard state.Predicate, extra func(pre, post state.State) state.State, extraWrites ...string) Action {
 	return Action{
-		Name:  base.Name,
-		Guard: state.And(base.Guard, extraGuard),
+		Name:   base.Name,
+		Guard:  state.And(base.Guard, extraGuard),
+		Writes: unionWrites(base.Writes, extraWrites),
 		Next: func(s state.State) []state.State {
 			nexts := base.Next(s)
 			out := make([]state.State, len(nexts))
@@ -36,6 +44,30 @@ func EncapsulateAction(base Action, extraGuard state.Predicate, extra func(pre, 
 			return out
 		},
 	}
+}
+
+// unionWrites merges a base write-set with the encapsulation extras,
+// deduplicated and sorted. A nil base means the base statement's writes are
+// unknown, so the union is unknown too.
+func unionWrites(base, extra []string) []string {
+	if base == nil {
+		return nil
+	}
+	if len(extra) == 0 {
+		return base
+	}
+	seen := make(map[string]bool, len(base)+len(extra))
+	out := make([]string, 0, len(base)+len(extra))
+	for _, lst := range [][]string{base, extra} {
+		for _, v := range lst {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // EncapsulationViolation describes a counterexample to "pp encapsulates p".

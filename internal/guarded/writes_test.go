@@ -1,0 +1,165 @@
+package guarded
+
+// Regression tests for Writes-metadata propagation through every composition
+// operator. The declared write-set is advisory, but downstream consumers
+// (internal/lint.Check, the flow certifier) treat a non-nil set as complete,
+// so each operator must either carry an exact set or surrender to nil —
+// never under-claim. Each test compares the declared sets against the
+// semantically observed ones (exhaustive enumeration of the schema).
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"detcorr/internal/state"
+)
+
+// semanticWrites enumerates every state of the schema and records, per
+// action, the variables whose value some enabled transition changes — the
+// ground truth any complete declared write-set must cover.
+func semanticWrites(t *testing.T, p *Program) map[string][]string {
+	t.Helper()
+	sch := p.Schema()
+	touched := make(map[string]map[string]bool, p.NumActions())
+	for _, a := range p.Actions() {
+		touched[a.Name] = map[string]bool{}
+	}
+	err := sch.ForEachState(func(s state.State) bool {
+		for _, a := range p.Actions() {
+			if !a.Enabled(s) {
+				continue
+			}
+			for _, ns := range a.Next(s) {
+				for i := 0; i < sch.NumVars(); i++ {
+					if ns.Get(i) != s.Get(i) {
+						touched[a.Name][sch.Var(i).Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]string, len(touched))
+	for name, vars := range touched {
+		set := make([]string, 0, len(vars))
+		for v := range vars {
+			set = append(set, v)
+		}
+		sort.Strings(set)
+		out[name] = set
+	}
+	return out
+}
+
+// requireCompleteWrites asserts that every action with a declared (non-nil)
+// write-set covers its semantically observed writes.
+func requireCompleteWrites(t *testing.T, p *Program) {
+	t.Helper()
+	observed := semanticWrites(t, p)
+	for _, a := range p.Actions() {
+		if a.Writes == nil {
+			t.Errorf("%s: action %q lost its declared write-set (nil)", p.Name(), a.Name)
+			continue
+		}
+		declared := map[string]bool{}
+		for _, v := range a.Writes {
+			declared[v] = true
+		}
+		for _, v := range observed[a.Name] {
+			if !declared[v] {
+				t.Errorf("%s: action %q writes %q but declares only %v",
+					p.Name(), a.Name, v, a.Writes)
+			}
+		}
+	}
+}
+
+func writesTestSchema(t *testing.T) *state.Schema {
+	t.Helper()
+	return state.MustSchema(state.IntVar("x", 3), state.IntVar("y", 3), state.BoolVar("ok"))
+}
+
+func TestParallelPreservesWrites(t *testing.T) {
+	sch := writesTestSchema(t)
+	p := MustProgram("p", sch, Assign(sch, "setx", state.True, "x", 1))
+	q := MustProgram("q", sch,
+		Assign(sch, "sety", state.True, "y", 2),
+		Assign(sch, "setx", state.True, "x", 2)) // name collision: renamed q.setx
+	r := MustParallel("r", p, q)
+	requireCompleteWrites(t, r)
+	renamed, ok := r.ActionByName("q.setx")
+	if !ok {
+		t.Fatal("collision rename missing")
+	}
+	if !reflect.DeepEqual(renamed.Writes, []string{"x"}) {
+		t.Errorf("renamed action writes = %v, want [x]", renamed.Writes)
+	}
+}
+
+func TestRestrictPreservesWrites(t *testing.T) {
+	sch := writesTestSchema(t)
+	p := MustProgram("p", sch, Assign(sch, "setx", state.True, "x", 1))
+	z := state.Pred("y=0", func(s state.State) bool { return s.GetName("y") == 0 })
+	r := Restrict(z, p)
+	requireCompleteWrites(t, r)
+	if got := r.Action(0).Writes; !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("restricted writes = %v, want [x]", got)
+	}
+}
+
+func TestSequentialPreservesWrites(t *testing.T) {
+	sch := writesTestSchema(t)
+	p := MustProgram("p", sch, Assign(sch, "setx", state.True, "x", 1))
+	q := MustProgram("q", sch, Assign(sch, "sety", state.True, "y", 2))
+	z := state.Pred("x=1", func(s state.State) bool { return s.GetName("x") == 1 })
+	r, err := Sequential("r", p, z, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCompleteWrites(t, r)
+}
+
+func TestLiftPreservesWrites(t *testing.T) {
+	base := state.MustSchema(state.IntVar("x", 3))
+	ext := writesTestSchema(t)
+	p := MustProgram("p", base, Assign(base, "setx", state.True, "x", 1))
+	lifted := MustLift(p, ext)
+	requireCompleteWrites(t, lifted)
+	if got := lifted.Action(0).Writes; !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("lifted writes = %v, want [x]", got)
+	}
+}
+
+func TestEncapsulateActionWrites(t *testing.T) {
+	sch := writesTestSchema(t)
+	okIdx := sch.MustIndexOf("ok")
+	setOK := func(pre, post state.State) state.State { return post.With(okIdx, 1) }
+	base := Assign(sch, "setx", state.True, "x", 1) // declares Writes [x]
+
+	// Declared base + declared extras: the union, deduplicated and sorted.
+	enc := EncapsulateAction(base, state.True, setOK, "ok", "x")
+	if got := enc.Writes; !reflect.DeepEqual(got, []string{"ok", "x"}) {
+		t.Errorf("encapsulated writes = %v, want [ok x]", got)
+	}
+	requireCompleteWrites(t, MustProgram("enc", sch, enc))
+
+	// No declared extras: the base set carries over unchanged (the
+	// pre-fix code dropped it to nil, hiding the base writes from lint).
+	plain := EncapsulateAction(base, state.True, nil)
+	if got := plain.Writes; !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("no-extra encapsulated writes = %v, want [x]", got)
+	}
+
+	// Unknown base: the union must stay unknown even with declared
+	// extras — claiming exactly the extras would under-claim the opaque
+	// base statement.
+	opaque := Det("opaque", state.True, func(s state.State) state.State { return s.With(0, 2) })
+	unk := EncapsulateAction(opaque, state.True, setOK, "ok")
+	if unk.Writes != nil {
+		t.Errorf("unknown-base encapsulated writes = %v, want nil", unk.Writes)
+	}
+}

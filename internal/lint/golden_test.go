@@ -67,6 +67,12 @@ func TestGoldenCoverage(t *testing.T) {
 		"faulthygiene.gcl": CodeFaultHygiene,
 		"budget.gcl":       CodeBudget,
 		"directive.gcl":    CodeDirective,
+
+		"detectorwrite.gcl":  CodeDetectorWrite,
+		"correctorscope.gcl": CodeCorrectorScope,
+		"componentclash.gcl": CodeComponentClash,
+		"faultspan.gcl":      CodeFaultSpan,
+		"unwrittenpred.gcl":  CodeUnwrittenPred,
 	}
 	for file, code := range wants {
 		path := filepath.Join("testdata", file)

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"strings"
+
+	"detcorr/internal/gcl"
+)
+
+// interference (DC200-DC204) checks the component declarations — 'detector
+// NAME [: scope]', 'corrector NAME [: scope]', 'span vars' — against the
+// per-action read/write sets inferred from the AST. An action belongs to
+// component C when its name is prefixed "C."; every other action is base
+// program. The checks are the whole-program halves of the paper's
+// interference-freedom obligations: a detector must be transparent to the
+// base program it watches, a corrector may write only its declared
+// correction scope, composed components must not race on shared state, and
+// faults must stay inside their declared span.
+//
+// DC204 flags predicates reading variables that no action or fault ever
+// writes: such a variable is a constant input fixed by the initial state,
+// which is legitimate for spec-only inputs but frequently a missing
+// action — the finding is Info severity, suppressed per-variable with a
+// lint:ignore directive where intended.
+var interference = &Analyzer{
+	Name: "interference",
+	Code: CodeDetectorWrite,
+	Doc:  "check component scope, span, and write-set interference (DC200-DC204)",
+	Run:  func(p *Pass) { p.runInterference() },
+}
+
+// compInfo is one declared component with its resolved member actions and
+// their write set.
+type compInfo struct {
+	decl   *gcl.ComponentDecl
+	scope  map[string]bool            // nil when no scope was declared
+	writes map[string]*gcl.ActionDecl // var -> first member action writing it
+}
+
+func (p *Pass) runInterference() {
+	comps := make([]*compInfo, 0, len(p.AST.Components))
+	for i := range p.AST.Components {
+		d := &p.AST.Components[i]
+		ci := &compInfo{decl: d, writes: map[string]*gcl.ActionDecl{}}
+		if len(d.Scope) > 0 {
+			ci.scope = map[string]bool{}
+			for _, sv := range d.Scope {
+				ci.scope[sv.Name] = true
+			}
+		}
+		comps = append(comps, ci)
+	}
+
+	// Partition the actions: members go to their component's write set,
+	// the rest form the base program's read/write footprint.
+	baseTouch := map[string]bool{} // vars the base program reads or writes
+	memberOf := func(name string) *compInfo {
+		for _, ci := range comps {
+			if strings.HasPrefix(name, ci.decl.Name+".") {
+				return ci
+			}
+		}
+		return nil
+	}
+	for i := range p.AST.Actions {
+		a := &p.AST.Actions[i]
+		ci := memberOf(a.Name)
+		for _, asg := range a.Assigns {
+			if _, declared := p.vars[asg.Var]; !declared {
+				continue
+			}
+			if ci != nil {
+				if _, seen := ci.writes[asg.Var]; !seen {
+					ci.writes[asg.Var] = a
+				}
+			} else {
+				baseTouch[asg.Var] = true
+			}
+		}
+		if ci == nil {
+			exprs := []gcl.Expr{a.Guard}
+			for _, asg := range a.Assigns {
+				if asg.Expr != nil {
+					exprs = append(exprs, asg.Expr)
+				}
+			}
+			for _, v := range p.refVars(exprs...) {
+				baseTouch[v] = true
+			}
+		}
+	}
+
+	// DC200 / DC201: member writes outside the component's contract.
+	for _, ci := range comps {
+		for _, v := range sortedKeys(boolKeys(ci.writes)) {
+			a := ci.writes[v]
+			switch ci.decl.Kind {
+			case gcl.DetectorComponent:
+				switch {
+				case ci.scope != nil && !ci.scope[v]:
+					p.Reportf(a.At, Warning, CodeDetectorWrite,
+						"detector %q writes %q, outside its declared scope (%s); a detector must not interfere with the program it watches",
+						ci.decl.Name, v, scopeList(ci.decl))
+				case ci.scope == nil && baseTouch[v]:
+					p.Reportf(a.At, Warning, CodeDetectorWrite,
+						"detector %q writes %q, which the base program reads or writes; a detector must be transparent to the base program",
+						ci.decl.Name, v)
+				}
+			case gcl.CorrectorComponent:
+				if ci.scope != nil && !ci.scope[v] {
+					p.Reportf(a.At, Warning, CodeCorrectorScope,
+						"corrector %q writes %q, outside its declared correction scope (%s)",
+						ci.decl.Name, v, scopeList(ci.decl))
+				}
+			}
+		}
+	}
+
+	// DC202: write/write conflicts between two composed components.
+	for i, a := range comps {
+		for _, b := range comps[i+1:] {
+			for _, v := range sortedKeys(boolKeys(b.writes)) {
+				if _, clash := a.writes[v]; clash {
+					p.Reportf(b.writes[v].At, Warning, CodeComponentClash,
+						"components %q and %q both write %q; their '||' composition is not interference-free",
+						a.decl.Name, b.decl.Name, v)
+				}
+			}
+		}
+	}
+
+	// DC203: faults writing outside the declared span.
+	if len(p.AST.Spans) > 0 {
+		span := map[string]bool{}
+		for i := range p.AST.Spans {
+			for _, sv := range p.AST.Spans[i].Vars {
+				span[sv.Name] = true
+			}
+		}
+		for i := range p.AST.Faults {
+			f := &p.AST.Faults[i]
+			for _, asg := range f.Assigns {
+				if _, declared := p.vars[asg.Var]; !declared {
+					continue
+				}
+				if !span[asg.Var] {
+					p.Reportf(f.At, Warning, CodeFaultSpan,
+						"fault %q writes %q, outside the declared span (%s)",
+						f.Name, asg.Var, spanList(p.AST.Spans))
+					break
+				}
+			}
+		}
+	}
+
+	// DC204: predicates over variables nothing ever writes.
+	written := map[string]bool{}
+	for i := range p.AST.Actions {
+		for _, asg := range p.AST.Actions[i].Assigns {
+			written[asg.Var] = true
+		}
+	}
+	for i := range p.AST.Faults {
+		for _, asg := range p.AST.Faults[i].Assigns {
+			written[asg.Var] = true
+		}
+	}
+	for i := range p.AST.Preds {
+		d := &p.AST.Preds[i]
+		pi := p.preds[d.Name]
+		if pi == nil || pi.index != i || !pi.ok {
+			continue
+		}
+		for _, v := range p.predVars(pi) {
+			if !written[v] {
+				p.Reportf(d.At, Info, CodeUnwrittenPred,
+					"predicate %q reads %q, which no action or fault ever writes; the variable is an input fixed by the initial state",
+					d.Name, v)
+			}
+		}
+	}
+}
+
+// boolKeys adapts a map with ActionDecl values for sortedKeys.
+func boolKeys(m map[string]*gcl.ActionDecl) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// scopeList renders a component's declared scope for diagnostics.
+func scopeList(d *gcl.ComponentDecl) string {
+	names := make([]string, 0, len(d.Scope))
+	for _, sv := range d.Scope {
+		names = append(names, sv.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// spanList renders the union of the declared spans for diagnostics.
+func spanList(spans []gcl.SpanDecl) string {
+	set := map[string]bool{}
+	for i := range spans {
+		for _, sv := range spans[i].Vars {
+			set[sv.Name] = true
+		}
+	}
+	return strings.Join(sortedKeys(set), ", ")
+}

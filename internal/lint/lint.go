@@ -14,6 +14,11 @@
 //	DC007  program structure (lint.Check on compiled compositions)
 //	DC008  analysis budget exhausted: the exact fallback was abandoned and the result is unknown
 //	DC009  bad lint:ignore directive: a suppression names an unknown diagnostic code
+//	DC200  detector interference: a detector component writes a base-program variable
+//	DC201  corrector scope: a corrector writes outside its declared correction scope
+//	DC202  component clash: two composed components write the same variable
+//	DC203  fault span: a fault action writes outside the declared span
+//	DC204  unwritten input: a predicate reads a variable no action or fault ever writes
 //
 // The analyzers decide properties with constant folding and interval
 // analysis over the declared finite domains (the shared lattice in
@@ -118,6 +123,13 @@ const (
 	CodeStructure    = "DC007"
 	CodeBudget       = "DC008"
 	CodeDirective    = "DC009"
+
+	// Interference diagnostics (the flow-analysis family).
+	CodeDetectorWrite  = "DC200"
+	CodeCorrectorScope = "DC201"
+	CodeComponentClash = "DC202"
+	CodeFaultSpan      = "DC203"
+	CodeUnwrittenPred  = "DC204"
 )
 
 // knownCodes is every diagnostic code a '# lint:ignore' directive may name:
@@ -127,11 +139,13 @@ var knownCodes = map[string]bool{
 	CodeResolve: true, CodeDeadGuard: true, CodeOverflow: true,
 	CodeUnused: true, CodeConflict: true, CodeVacuous: true,
 	CodeFaultHygiene: true, CodeStructure: true, CodeBudget: true,
-	CodeDirective: true,
-	"DC100":       true, // prove.CodeClosure
-	"DC101":       true, // prove.CodeSpanClosure
-	"DC102":       true, // prove.CodeSafeness
-	"DC103":       true, // prove.CodeConvergence
+	CodeDirective:     true,
+	CodeDetectorWrite: true, CodeCorrectorScope: true,
+	CodeComponentClash: true, CodeFaultSpan: true, CodeUnwrittenPred: true,
+	"DC100": true, // prove.CodeClosure
+	"DC101": true, // prove.CodeSpanClosure
+	"DC102": true, // prove.CodeSafeness
+	"DC103": true, // prove.CodeConvergence
 }
 
 // Analyzer is one named analysis pass, modeled on go/analysis: Run inspects
@@ -145,7 +159,7 @@ type Analyzer struct {
 
 // Analyzers returns the passes in the order they run.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{deadGuard, domainOverflow, unusedDecl, writeConflict, vacuousSpec, faultHygiene}
+	return []*Analyzer{deadGuard, domainOverflow, unusedDecl, writeConflict, vacuousSpec, faultHygiene, interference}
 }
 
 // Lint parses and analyzes GCL source. A parse failure yields a single

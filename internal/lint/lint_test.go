@@ -90,8 +90,8 @@ action c :: x > 7 -> x := 2
 
 func TestAnalyzersRegistry(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 6 {
-		t.Fatalf("expected 6 analyzers, got %d", len(as))
+	if len(as) != 7 {
+		t.Fatalf("expected 7 analyzers, got %d", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"detcorr/internal/explore"
+	"detcorr/internal/flow"
 	"detcorr/internal/gcl"
 	"detcorr/internal/lint"
 	"detcorr/internal/prove"
@@ -139,7 +140,9 @@ func compile(src string) (*gcl.File, error) {
 		return nil, &LoadError{Stage: "compile", Err: err}
 	}
 	// Certification is best-effort, exactly as in dctl: when the prover can
-	// re-derive the system, closure and component checks consult it first.
+	// re-derive the system, closure and component checks consult it first,
+	// and the cone-of-influence slicer gets a shot before any full build.
 	_ = prove.Certify(f)
+	_ = flow.Certify(f)
 	return f, nil
 }

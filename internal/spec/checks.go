@@ -35,6 +35,29 @@ var closureProver ClosureProver
 // RegisterClosureProver installs the fast path. Passing nil removes it.
 func RegisterClosureProver(f ClosureProver) { closureProver = f }
 
+// ClosedSlicer is an optional cone-of-influence pre-pass for CheckClosed:
+// it runs the check on a sliced program whose verdicts provably coincide
+// with the full program's, returning (verdict, true) when it decided the
+// check and (_, false) when slicing does not apply. Callers accept a nil
+// verdict directly but re-derive violations on the full program, so the
+// reported witness states are always full-width. internal/flow registers
+// one via Certify.
+type ClosedSlicer func(ctx context.Context, p *guarded.Program, s state.Predicate) (error, bool)
+
+var closedSlicer ClosedSlicer
+
+// RegisterClosedSlicer installs the slicing pre-pass. Passing nil removes it.
+func RegisterClosedSlicer(f ClosedSlicer) { closedSlicer = f }
+
+// ConvergesSlicer is the CheckConverges form of ClosedSlicer.
+type ConvergesSlicer func(ctx context.Context, p *guarded.Program, s, r state.Predicate) (error, bool)
+
+var convergesSlicer ConvergesSlicer
+
+// RegisterConvergesSlicer installs the slicing pre-pass. Passing nil
+// removes it.
+func RegisterConvergesSlicer(f ConvergesSlicer) { convergesSlicer = f }
+
 // CheckClosed verifies "S is closed in p" (Section 2.2.1): p refines cl(S)
 // from true, i.e. every transition of p from a state satisfying S lands in a
 // state satisfying S. The work ladder, cheapest first: a registered prover
@@ -57,6 +80,13 @@ func CheckClosedCtx(ctx context.Context, p *guarded.Program, s state.Predicate) 
 	}
 	if g, ok := closureGraph(p, s); ok {
 		return CheckClosedOn(g, s)
+	}
+	if closedSlicer != nil {
+		if verdict, ok := closedSlicer(ctx, p, s); ok && verdict == nil {
+			return nil
+		}
+		// A sliced violation proves one exists; fall through so the
+		// full-space scan reports it with full-width witness states.
 	}
 	return scanPair(ctx, p, s, s, s.String())
 }
@@ -163,6 +193,16 @@ func CheckConverges(p *guarded.Program, s, r state.Predicate) error {
 // the closure scans and the graph build with ctx.Err(). The liveness query
 // on the built graph is not interruptible — it is linear in the graph.
 func CheckConvergesCtx(ctx context.Context, p *guarded.Program, s, r state.Predicate) error {
+	// The sliced pre-pass only pays when the liveness graph is not already
+	// cached; a nil sliced verdict is final, a violation is re-derived on
+	// the full program below so the witness carries every variable.
+	if convergesSlicer != nil {
+		if _, cached := explore.Peek(p, s, explore.Options{}); !cached {
+			if verdict, ok := convergesSlicer(ctx, p, s, r); ok && verdict == nil {
+				return nil
+			}
+		}
+	}
 	if err := CheckClosedCtx(ctx, p, s); err != nil {
 		return fmt.Errorf("converges(%s -> %s): %w", s, r, err)
 	}
