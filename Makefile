@@ -9,10 +9,10 @@ LINT_CLEAN := $(filter-out \
 	internal/lint/testdata/resolve.gcl, \
 	$(wildcard internal/lint/testdata/*.gcl))
 
-.PHONY: check build fmt vet dcvet dccodes test race serve-test lint prove flow fuzz bench bench-diff bench-spill bench-slice profile clean
+.PHONY: check build fmt vet dcvet dccodes test race serve-test watch-test lint prove flow fuzz bench bench-diff bench-spill bench-slice bench-incr profile clean
 
 # The full local gate: everything CI would run.
-check: build fmt vet dcvet test race serve-test lint prove flow fuzz
+check: build fmt vet dcvet test race serve-test watch-test lint prove flow fuzz
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,15 @@ race:
 # schedules differ between runs.
 serve-test:
 	$(GO) test -race -shuffle=on -count=2 ./internal/serve/... ./cmd/dcserved ./cmd/dctl
+
+# The incremental re-verification suites under the race detector: the
+# edit-scoped graph-repair difftest (every example system, every scripted
+# edit, byte-identical to a from-scratch build), the revision hammer
+# (program edited mid-swarm, every served verdict checked against ground
+# truth), and the dctl watch edit loop.
+watch-test:
+	$(GO) test -race -run 'TestRepair|TestMigrate|TestRevise|TestWatch|TestPoll|TestAffectedBySoundness|TestPlanRepair' \
+		./internal/explore/... ./internal/flow ./internal/serve ./internal/watch ./cmd/dctl
 
 # The repo's own analyzer suite (internal/analyzers) over the whole module:
 # kernel zero-alloc contract, atomics discipline, cache-key completeness,
@@ -123,6 +132,18 @@ SLICE_RING ?= 7
 bench-slice:
 	$(GO) run ./cmd/dcbench -slice $(SLICE_RING) > BENCH_slice.json
 	@cat BENCH_slice.json
+
+# bench-incr records the incremental re-verification evidence in
+# BENCH_incr.json: one JSON row per scripted edit of the INCR_RING-process
+# token ring (watchdog-guard tweak, ring-guard tweak, assignment change,
+# action add/remove), each racing the incremental pipeline — revision diff,
+# in-place CSR graph repair, verdict preservation — against a from-scratch
+# rebuild. Verdict equality is asserted in-bench; a divergence fails the
+# run. Like the other BENCH files, the record survives `make clean`.
+INCR_RING ?= 7
+bench-incr:
+	$(GO) run ./cmd/dcbench -incr $(INCR_RING) > BENCH_incr.json
+	@cat BENCH_incr.json
 
 # profile regenerates the heaviest experiment with pprof instrumentation and
 # drops cpu.pprof/mem.pprof in the working tree for `go tool pprof`.

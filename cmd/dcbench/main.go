@@ -10,6 +10,7 @@
 //	dcbench -swarm 64  # drive an in-process dcserved with a client swarm
 //	dcbench -spill 8   # sweep the out-of-core engine over the ring-8 state space
 //	dcbench -slice 7   # measure cone-of-influence slicing on composed systems
+//	dcbench -incr 7    # measure incremental re-verification of scripted edits
 //
 // -swarm N boots the dcserved verdict service on a loopback port and
 // replays the deterministic serve corpus from N concurrent clients
@@ -28,6 +29,13 @@
 // once through the cone-of-influence pre-pass, asserting the verdicts are
 // identical and printing one JSON line per system with both wall times.
 // `make bench-slice` records the sweep in BENCH_slice.json.
+//
+// -incr n replays scripted edits (watchdog-guard tweak, ring-guard tweak,
+// assignment change, action add/remove) against the n-process token ring
+// and races the incremental pipeline — revision diff, in-place CSR graph
+// repair, verdict preservation — against a from-scratch rebuild, asserting
+// identical verdicts and printing one JSON line per edit with both wall
+// times. `make bench-incr` records the sweep in BENCH_incr.json.
 //
 // -j N sets the worker count for state-space exploration and simulation
 // campaigns (0 = all CPUs, default 1 = sequential); the tables are
@@ -72,6 +80,7 @@ func run(args []string) error {
 	swarmRounds := fs.Int("swarm-rounds", 3, "corpus replays per swarm client")
 	spill := fs.Int("spill", 0, "sweep the out-of-core engine over the full state space of an n-process token ring instead of running experiments")
 	slice := fs.Int("slice", 0, "measure the cone-of-influence slicing pre-pass on composed systems (n sizes the watched token ring) instead of running experiments")
+	incr := fs.Int("incr", 0, "measure incremental re-verification of scripted edits on an n-process token ring instead of running experiments")
 	spillBudgets := fs.String("spill-budgets", "16M,64M,256M", "comma-separated memory budgets for the -spill sweep")
 	spillBaseline := fs.Bool("spill-baseline", true, "include the unbudgeted in-RAM scan in the -spill sweep")
 	spillDir := fs.String("spill-dir", "", "directory for the -spill sweep's spill files (default: the OS temp directory)")
@@ -123,6 +132,9 @@ func run(args []string) error {
 	}
 	if *slice > 0 {
 		return runSlice(*slice)
+	}
+	if *incr > 0 {
+		return runIncr(*incr)
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {

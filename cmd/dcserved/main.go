@@ -25,12 +25,22 @@
 //	                    was obtained (miss, hit, or join). With
 //	                    Accept: text/event-stream the verdict streams as
 //	                    Server-Sent Events (progress, verdict, exit).
+//	POST /v1/revise     Advance a registered program to a new revision:
+//	                    {"old": src, "new": src}. The daemon diffs the two,
+//	                    repairs the old revision's cached transition graphs
+//	                    in place under the new one, and re-keys every cached
+//	                    verdict the edit provably cannot have changed —
+//	                    instead of flushing. The response reports the
+//	                    impact (changed actions/preds/faults, affected
+//	                    predicates) and the graphs rebound/repaired/rebuilt
+//	                    and verdicts preserved/invalidated.
 //	GET  /healthz       "ok" while serving, 503 "draining" once a shutdown
 //	                    signal has been received.
 //	GET  /metrics       Prometheus text: request counters, verdict cache
 //	                    hit/miss/join, in-flight gauge, evaluation latency
-//	                    histogram, and the process-wide exploration-cache
-//	                    counters.
+//	                    histogram, revision invalidation outcomes
+//	                    (dcserved_invalidate_*), and the process-wide
+//	                    exploration-cache counters.
 //
 // Identical questions asked concurrently coalesce into one evaluation (and
 // one state-space build); repeated questions answer from the verdict cache.

@@ -69,6 +69,17 @@
 //	    [-faults K] [-goal P] [-never P] [-trace]
 //	    Run one seeded simulation with fault injection and online monitors.
 //
+//	dctl watch <file.gcl> [-check ... (the dctl verdict flags)]
+//	    [-interval d] [-max-revisions N]
+//	    Re-verify on every save: poll the file, and on each revision re-lint,
+//	    diff against the previous revision, repair the cached transition
+//	    graphs in place (internal/explore.Repair), and re-check only the
+//	    verdicts the edit can have reached — everything else streams back as
+//	    "preserved" without re-exploration. With -check it watches one
+//	    property (same flags as dctl verdict); without, the closure of every
+//	    declared predicate. Watches until interrupted, or for -max-revisions
+//	    revisions.
+//
 // Diagnostics go to stderr; results go to stdout. Exit codes distinguish
 // failure classes: 0 success; 1 a check, monitor, or lint run found a
 // violation; 2 usage error; 3 the GCL source failed to parse or compile;

@@ -55,7 +55,7 @@ func spillFlags(fs *flag.FlagSet) func() error {
 
 func run(args []string, out, errOut io.Writer) error {
 	if len(args) == 0 {
-		return usageErrorf("usage: dctl <info|lint|flow|prove|check|detects|corrects|deadlock|verdict|simulate> <file.gcl> [flags]")
+		return usageErrorf("usage: dctl <info|lint|flow|prove|check|detects|corrects|deadlock|verdict|simulate|watch> <file.gcl> [flags]")
 	}
 	cmd := args[0]
 	switch cmd {
@@ -77,8 +77,10 @@ func run(args []string, out, errOut io.Writer) error {
 		return runVerdict(args[1:], out, errOut)
 	case "simulate":
 		return runSimulate(args[1:], out, errOut)
+	case "watch":
+		return runWatch(args[1:], out, errOut)
 	default:
-		return usageErrorf("unknown command %q (want info, lint, flow, prove, check, detects, corrects, deadlock, verdict, or simulate)", cmd)
+		return usageErrorf("unknown command %q (want info, lint, flow, prove, check, detects, corrects, deadlock, verdict, simulate, or watch)", cmd)
 	}
 }
 
@@ -111,6 +113,7 @@ func loadFile(fs *flag.FlagSet, args []string, errOut io.Writer) (*gcl.File, err
 	if err != nil {
 		return nil, withCode(exitParse, err)
 	}
+	f.Src = string(src)
 	// Certification is best-effort: when the prover can re-derive the
 	// system from the AST, the closure and component checks consult it
 	// before exploring; otherwise they explore as before.

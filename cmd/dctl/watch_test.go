@@ -1,0 +1,143 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"detcorr/internal/serve/corpus"
+)
+
+// syncBuffer is a strings.Builder safe to read while runWatch writes it
+// from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// writeAtomic replaces path by rename, so the poller can never observe a
+// truncated half-write as its own revision.
+func writeAtomic(t *testing.T, path, data string) {
+	t.Helper()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor blocks until the watch output contains want.
+func waitFor(t *testing.T, out *syncBuffer, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %q in watch output:\n%s", want, out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWatchPreservesAndRechecks drives dctl watch through an edit session:
+// initial verdicts, a broken save (kept watching on the last good revision),
+// a fault-only edit (every closure verdict preserved), and an assignment
+// edit (verdicts re-checked).
+func TestWatchPreservesAndRechecks(t *testing.T) {
+	path := writeGCL(t, corpus.Ring3)
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"watch", path, "-interval", "2ms", "-max-revisions", "4"}, out, io.Discard)
+	}()
+
+	// rev 1: the initial content is checked in full.
+	waitFor(t, out, "+ closure invariant=Legit: holds")
+	waitFor(t, out, "+ closure invariant=Illegit:")
+
+	// rev 2: a broken save must not kill the watch or lose verdicts.
+	writeAtomic(t, path, "program broken\nvar x")
+	waitFor(t, out, "load failed, keeping last good revision")
+
+	// rev 3: editing only a fault guard leaves every closure cone intact,
+	// so the passing verdict streams back preserved, diffed against rev 1.
+	// The Illegit verdict fails — failing verdicts carry witnesses and are
+	// never preserved, so it re-checks even under an unrelated edit.
+	faultEdit := strings.Replace(corpus.Ring3,
+		"fault corrupt0 :: true", "fault corrupt0 :: x0 != x1", 1)
+	writeAtomic(t, path, faultEdit)
+	waitFor(t, out, "= closure invariant=Legit: holds (preserved)")
+	waitFor(t, out, "~ closure invariant=Illegit: fails")
+
+	// rev 4: an assignment edit dirties move0, whose write lands in both
+	// predicates' cones: nothing is preservable.
+	assignEdit := strings.Replace(corpus.Ring3,
+		"x0 := (x0 + 1) % 3", "x0 := (x0 + 2) % 3", 1)
+	writeAtomic(t, path, assignEdit)
+	waitFor(t, out, "~ closure invariant=Legit: holds")
+	waitFor(t, out, "~ closure invariant=Illegit:")
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watch exited with %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("watch did not stop at -max-revisions")
+	}
+	text := out.String()
+	if !strings.Contains(text, "actions: move0") {
+		t.Errorf("rev 4 header should name the changed action:\n%s", text)
+	}
+	if !strings.Contains(text, "affected preds: Legit,Illegit") {
+		t.Errorf("rev 4 header should list the affected predicates:\n%s", text)
+	}
+}
+
+// TestWatchSingleCheck narrows the watch to one property via the verdict
+// flag set.
+func TestWatchSingleCheck(t *testing.T) {
+	path := writeGCL(t, corpus.Ring3)
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"watch", path, "-interval", "2ms", "-max-revisions", "1",
+			"-check", "corrects", "-z", "Legit", "-x", "Legit", "-tolerant", "nonmasking"}, out, io.Discard)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watch exited with %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch did not stop at -max-revisions")
+	}
+	if !strings.Contains(out.String(), "+ corrects z=Legit x=Legit tolerant=nonmasking: holds") {
+		t.Errorf("watch -check output:\n%s", out.String())
+	}
+}
+
+func TestWatchUsage(t *testing.T) {
+	if code, _, _ := runCode(t, "watch"); code != exitUsage {
+		t.Errorf("watch with no file: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCode(t, "watch", "-interval", "2ms"); code != exitUsage {
+		t.Errorf("watch with flags only: exit %d, want %d", code, exitUsage)
+	}
+}

@@ -46,11 +46,14 @@ func (c Corrector) Check() error {
 // CheckCtx is Check under a context: cancellation aborts the graph build
 // (and the closure scan on the error path) with ctx.Err().
 func (c Corrector) CheckCtx(ctx context.Context) error {
-	if componentProver != nil && componentProver("corrector", c.C, c.Z, c.X, c.U) {
-		return nil
-	}
-	if componentSlicer != nil {
-		if _, cached := explore.Peek(c.C, c.U, explore.Options{}); !cached {
+	// Same ordering as Detector.CheckCtx: a cached (or repaired) graph
+	// decides the check in linear set operations, so the prover and slicer
+	// accelerators only run when the graph would have to be built.
+	if _, cached := explore.Peek(c.C, c.U, explore.Options{}); !cached {
+		if componentProver != nil && componentProver("corrector", c.C, c.Z, c.X, c.U) {
+			return nil
+		}
+		if componentSlicer != nil {
 			if verdict, ok := componentSlicer(ctx, "corrector", c.C, c.Z, c.X, c.U); ok && verdict == nil {
 				return nil
 			}

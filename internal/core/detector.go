@@ -89,11 +89,17 @@ func (d Detector) Check() error {
 // checks on the built graph are not interruptible — they are linear set
 // operations on an already-paid-for graph.
 func (d Detector) CheckCtx(ctx context.Context) error {
-	if componentProver != nil && componentProver("detector", d.D, d.Z, d.X, d.U) {
-		return nil
-	}
-	if componentSlicer != nil {
-		if _, cached := explore.Peek(d.D, d.U, explore.Options{}); !cached {
+	// With the graph already cached the conditions cost linear set
+	// operations, cheaper than re-running the prover's abstract
+	// enumeration or the slicer's re-exploration — so both accelerators
+	// only pay for themselves when the graph would have to be built.
+	// Repaired graphs (explore.Repair) land in the cache under the new
+	// program, so incremental re-verification takes this fast path.
+	if _, cached := explore.Peek(d.D, d.U, explore.Options{}); !cached {
+		if componentProver != nil && componentProver("detector", d.D, d.Z, d.X, d.U) {
+			return nil
+		}
+		if componentSlicer != nil {
 			if verdict, ok := componentSlicer(ctx, "detector", d.D, d.Z, d.X, d.U); ok && verdict == nil {
 				return nil
 			}

@@ -1,0 +1,180 @@
+package difftest
+
+import (
+	"fmt"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/flow"
+	"detcorr/internal/gcl"
+	"detcorr/internal/state"
+)
+
+// Edit is a scripted mutation of a parsed file, applied to the AST so the
+// same edit script works across every example system. Apply reports
+// whether the edit is applicable (e.g. it needs an action to exist);
+// CheckRepair treats an inapplicable edit as a harness bug.
+type Edit struct {
+	Name  string
+	Apply func(ast *gcl.FileAST) bool
+}
+
+// StandardEdits is the scripted edit set of the repair acceptance
+// criterion: guard tweaks (semantic no-op, widening, narrowing), an
+// assignment change, and action add/remove, plus the identity edit that
+// must take the zero-cost rebind path. Each is generic over any system
+// with at least one action.
+func StandardEdits() []Edit {
+	return []Edit{
+		{Name: "identity", Apply: func(ast *gcl.FileAST) bool { return true }},
+		{Name: "guard-noop", Apply: func(ast *gcl.FileAST) bool {
+			// g → !(!g): syntactically dirty, semantically identical. The
+			// repair must notice enabledness is unchanged and copy spans.
+			if len(ast.Actions) == 0 {
+				return false
+			}
+			g := ast.Actions[0].Guard
+			ast.Actions[0].Guard = &gcl.Unary{Op: gcl.NOT, X: &gcl.Unary{Op: gcl.NOT, X: g}}
+			return true
+		}},
+		{Name: "guard-widen", Apply: func(ast *gcl.FileAST) bool {
+			// g → g | !g: the action fires everywhere, adding edges and
+			// possibly discovering states the old graph never reached.
+			if len(ast.Actions) == 0 {
+				return false
+			}
+			g := ast.Actions[0].Guard
+			ast.Actions[0].Guard = &gcl.Binary{Op: gcl.OR, L: g, R: &gcl.Unary{Op: gcl.NOT, X: g}}
+			return true
+		}},
+		{Name: "guard-narrow", Apply: func(ast *gcl.FileAST) bool {
+			// g → g & !g: the action never fires, deleting its edges and
+			// possibly shrinking reachability (the renumbering path).
+			if len(ast.Actions) == 0 {
+				return false
+			}
+			i := len(ast.Actions) - 1
+			g := ast.Actions[i].Guard
+			ast.Actions[i].Guard = &gcl.Binary{Op: gcl.AND, L: g, R: &gcl.Unary{Op: gcl.NOT, X: g}}
+			return true
+		}},
+		{Name: "guard-narrow-all", Apply: func(ast *gcl.FileAST) bool {
+			// Disable every action: reachability collapses to the init set
+			// itself, stranding every state the old graph reached only
+			// through program moves — the renumber-with-drops path.
+			if len(ast.Actions) == 0 {
+				return false
+			}
+			for i := range ast.Actions {
+				g := ast.Actions[i].Guard
+				ast.Actions[i].Guard = &gcl.Binary{Op: gcl.AND, L: g, R: &gcl.Unary{Op: gcl.NOT, X: g}}
+			}
+			return true
+		}},
+		{Name: "assign-change", Apply: func(ast *gcl.FileAST) bool {
+			// First deterministic assignment x := e becomes x := x: always
+			// type-correct, always in-domain, and a different transition
+			// function (the action turns into a guarded self-loop on x).
+			for i := range ast.Actions {
+				for j := range ast.Actions[i].Assigns {
+					a := &ast.Actions[i].Assigns[j]
+					if a.Expr != nil {
+						a.Expr = &gcl.Ref{Name: a.Var}
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{Name: "action-add", Apply: func(ast *gcl.FileAST) bool {
+			// Append a fresh action duplicating the first one's behavior
+			// under a new name: new edges with a new action index, and a
+			// Dirt entry with no old counterpart.
+			if len(ast.Actions) == 0 {
+				return false
+			}
+			d := ast.Actions[0]
+			d.Name = "difftest_added"
+			ast.Actions = append(ast.Actions, d)
+			return true
+		}},
+		{Name: "action-remove", Apply: func(ast *gcl.FileAST) bool {
+			// Drop the last action: every surviving action's index may
+			// shift, and the removed edges may strand states.
+			if len(ast.Actions) == 0 {
+				return false
+			}
+			ast.Actions = ast.Actions[:len(ast.Actions)-1]
+			return true
+		}},
+	}
+}
+
+// CheckRepair applies each edit to the source, builds the old graph from
+// the unedited revision, repairs it onto the edited revision with the plan
+// flow.PlanRepair derives, and verifies the result is structurally
+// identical to a from-scratch build of the edited revision — for every
+// init predicate name ("" means true). The edits above never touch
+// variables or predicates, so the init extension is stable across each
+// pair by construction; CheckRepair verifies that with the plan before
+// trusting it.
+func CheckRepair(src string, inits []string, edits ...Edit) error {
+	for _, ed := range edits {
+		oldAST, err := gcl.Parse(src)
+		if err != nil {
+			return fmt.Errorf("%s: parse old: %w", ed.Name, err)
+		}
+		newAST, err := gcl.Parse(src)
+		if err != nil {
+			return fmt.Errorf("%s: parse new: %w", ed.Name, err)
+		}
+		if !ed.Apply(newAST) {
+			return fmt.Errorf("%s: edit not applicable to this system", ed.Name)
+		}
+		oldFile, err := gcl.Compile(oldAST)
+		if err != nil {
+			return fmt.Errorf("%s: compile old: %w", ed.Name, err)
+		}
+		newFile, err := gcl.Compile(newAST)
+		if err != nil {
+			return fmt.Errorf("%s: compile new: %w", ed.Name, err)
+		}
+		plan := flow.PlanRepair(oldAST, newAST)
+		if plan.Graph == nil {
+			return fmt.Errorf("%s: plan has no graph repair component", ed.Name)
+		}
+		if ed.Name == "identity" && !plan.Identity() {
+			return fmt.Errorf("identity: plan did not classify the no-op edit as identity")
+		}
+		for _, initName := range inits {
+			oldInit, newInit := state.True, state.True
+			if initName != "" {
+				if !plan.SamePreds[initName] {
+					return fmt.Errorf("%s: init pred %q not plan-same; harness edits must not touch predicates", ed.Name, initName)
+				}
+				var ok bool
+				if oldInit, ok = oldFile.Pred(initName); !ok {
+					return fmt.Errorf("%s: old file has no pred %q", ed.Name, initName)
+				}
+				if newInit, ok = newFile.Pred(initName); !ok {
+					return fmt.Errorf("%s: new file has no pred %q", ed.Name, initName)
+				}
+			}
+			oldG, err := explore.Build(oldFile.Program, oldInit, explore.Options{})
+			if err != nil {
+				return fmt.Errorf("%s/%q: build old: %w", ed.Name, initName, err)
+			}
+			ref, err := explore.Build(newFile.Program, newInit, explore.Options{})
+			if err != nil {
+				return fmt.Errorf("%s/%q: build reference: %w", ed.Name, initName, err)
+			}
+			repaired, err := explore.Repair(oldG, newFile.Program, plan.Graph, oldInit, explore.Options{})
+			if err != nil {
+				return fmt.Errorf("%s/%q: repair: %w", ed.Name, initName, err)
+			}
+			if err := Diff(ref, repaired); err != nil {
+				return fmt.Errorf("%s/%q: repaired graph differs from rebuild: %w", ed.Name, initName, err)
+			}
+		}
+	}
+	return nil
+}

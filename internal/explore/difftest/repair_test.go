@@ -1,0 +1,39 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestRepairMatchesRebuildOnExamples is the repair acceptance difftest:
+// for every example system and the scripted edit set (guard tweaks, an
+// assignment change, action add/remove), explore.Repair must produce a
+// graph structurally identical to a from-scratch build of the edited
+// revision — under each system's interesting init predicates as well as
+// the full state space.
+func TestRepairMatchesRebuildOnExamples(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		inits []string
+	}{
+		{"ring3", RingSource(3, 3), []string{"", "Legit"}},
+		{"ring4x2", RingSource(4, 2), []string{"", "Legit"}},
+		{"memaccess_pm", MemaccessPM, []string{"", "S", "X1", "NotZ1"}},
+		{"memaccess_pf", MemaccessPF, []string{"", "S"}},
+		{"memaccess_pn", MemaccessPN, []string{"", "X1"}},
+		{"tmr", TMRSource, []string{"", "S", "T"}},
+		{"ring_watched3", RingWatchedSource(3, 3), []string{"", "Legit"}},
+		{"memaccess_pair", MemaccessPairSource, []string{""}},
+		{"byzagree", ByzAgreeSource, []string{"", "S"}},
+	}
+	edits := StandardEdits()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckRepair(tc.src, tc.inits, edits...); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

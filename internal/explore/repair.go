@@ -1,0 +1,550 @@
+package explore
+
+// Edit-scoped CSR repair: given the graph of a program's previous revision
+// and a per-action edit plan, Repair re-derives the new revision's graph by
+// copying every edge owned by an unchanged action and re-expanding only the
+// actions the edit touched, then re-runs canonical renumbering only when
+// reachability actually changed. The result is structurally identical to a
+// from-scratch Build of the new program — the repair difftest
+// (internal/explore/difftest.CheckRepair) holds it to that contract across
+// every example system and a scripted edit set.
+//
+// The soundness argument (DESIGN.md §3j) rests on three facts:
+//
+//  1. Builds seed from *every* state satisfying init, reachable or not, so
+//     when the init predicate's extension is unchanged the new graph's seed
+//     set is exactly the old graph's init set — no index-space scan needed.
+//  2. A candidate superset of the new node set is: old nodes ∪ states newly
+//     reachable through edited actions. Every new-revision edge out of a
+//     candidate lands in a candidate (unchanged actions reproduce old
+//     edges; edited actions are re-expanded and their targets enqueued), so
+//     a forward closure from the seeds inside the candidate set computes
+//     the exact new node set.
+//  3. Out-edges are emitted per node in action-index order and, within one
+//     action, in kernel enumeration order — the same discipline assemble
+//     follows — so after renumbering the arenas match a fresh build's.
+//
+// This file assembles Graph arenas and is a sanctioned builder.
+//
+//dc:mutates Graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"detcorr/internal/guarded"
+	"detcorr/internal/state"
+)
+
+// ActionDirt classifies one new-revision action against its old counterpart
+// for repair purposes. The classification is semantic, not syntactic: the
+// planner (internal/flow.PlanRepair) only marks an action Clean when its
+// guard and assignments — with every referenced predicate expanded — are
+// identical in both revisions.
+type ActionDirt uint8
+
+const (
+	// ActionClean: guard and assignments unchanged; the old edges are
+	// copied verbatim (relabeled to the new action index).
+	ActionClean ActionDirt = iota
+	// ActionGuardDirty: the guard changed but the assignments did not.
+	// Where the action was enabled in both revisions the old targets are
+	// reused; newly enabled states re-expand, newly disabled states drop
+	// their edges.
+	ActionGuardDirty
+	// ActionFullDirty: the assignments changed (or the action is new);
+	// every enabled state re-expands through the new kernel.
+	ActionFullDirty
+)
+
+// RepairPlan maps a new program revision onto an old one action by action.
+// internal/flow.PlanRepair derives plans from the two GCL ASTs; a plan is a
+// promise — Repair trusts its Clean/GuardDirty claims, and a wrong plan
+// yields a wrong graph (the repair difftest is the guard against planner
+// bugs).
+type RepairPlan struct {
+	// OldActions is the old revision's action count (removed actions are
+	// detected by it, not by OldIndex's image).
+	OldActions int
+	// OldIndex[j] is the old index of new action j, or -1 for an added
+	// action.
+	OldIndex []int
+	// Dirt[j] classifies new action j against OldIndex[j]. Entries for
+	// added actions (OldIndex[j] < 0) are ignored and treated as full.
+	Dirt []ActionDirt
+}
+
+// Identity reports whether the plan maps every action to itself unchanged —
+// a whitespace/comment/reordering-free edit whose graphs can be shared
+// outright.
+func (p *RepairPlan) Identity() bool {
+	if p == nil || p.OldActions != len(p.OldIndex) || len(p.OldIndex) != len(p.Dirt) {
+		return false
+	}
+	for j, oj := range p.OldIndex {
+		if oj != j || p.Dirt[j] != ActionClean {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrRepairRebuild reports that an edit is outside repair's scope (schema
+// change, bounded build, no plan) and the caller must fall back to Build.
+var ErrRepairRebuild = errors.New("explore: edit outside repair scope; full rebuild required")
+
+// repairableSchema reports whether the new program's schema lays states out
+// exactly as the old graph's arena does: same variables, same order, same
+// domain sizes. Anything else changes the mixed-radix encoding and repair
+// cannot reuse the arenas.
+func repairableSchema(old *state.Schema, new *state.Schema) bool {
+	if old == nil || new == nil || old.NumVars() != new.NumVars() {
+		return false
+	}
+	for i := 0; i < old.NumVars(); i++ {
+		ov, nv := old.Var(i), new.Var(i)
+		if ov.Name != nv.Name || ov.Domain.Size != nv.Domain.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// Repair derives the transition graph of newProg from the graph of the
+// previous revision, re-expanding only the actions the plan marks dirty.
+// init must have the same extension in both revisions (the planner's
+// SamePreds set certifies this); opts follows Build's contract except that
+// bounded builds (MaxStates != 0) and the engine-selection fields are out
+// of scope — repair is sequential and exact.
+//
+// The returned graph is freshly assembled (or arena-sharing where the node
+// set is unchanged) and carries its own memo; the old graph is not touched.
+// ErrRepairRebuild means the edit cannot be repaired and the caller should
+// Build from scratch.
+func Repair(old *Graph, newProg *guarded.Program, plan *RepairPlan, init state.Predicate, opts Options) (*Graph, error) {
+	if old == nil || old.prog == nil || old.schema == nil || plan == nil || newProg == nil {
+		return nil, ErrRepairRebuild
+	}
+	if opts.MaxStates != 0 {
+		// The MaxStates contract is exact over reachable states; repair's
+		// candidate set over-approximates before the closure, so bounded
+		// requests rebuild.
+		return nil, ErrRepairRebuild
+	}
+	if !repairableSchema(old.schema, newProg.Schema()) {
+		return nil, ErrRepairRebuild
+	}
+	newNA := newProg.NumActions()
+	if len(plan.OldIndex) != newNA || len(plan.Dirt) != newNA || plan.OldActions != old.numActs {
+		return nil, fmt.Errorf("explore: repair plan shape mismatch: %d/%d actions for %d new, %d old",
+			len(plan.OldIndex), len(plan.Dirt), newNA, old.numActs)
+	}
+	for _, oj := range plan.OldIndex {
+		if oj >= old.numActs {
+			return nil, fmt.Errorf("explore: repair plan maps to old action %d of %d", oj, old.numActs)
+		}
+	}
+	fair := opts.Fair
+	if fair == nil {
+		fair = make([]bool, newNA)
+		for i := range fair {
+			fair[i] = true
+		}
+	} else if len(fair) != newNA {
+		return nil, fmt.Errorf("explore: fairness mask has %d entries for %d actions", len(fair), newNA)
+	} else {
+		fair = append([]bool(nil), fair...)
+	}
+	k := sharedKernel(newProg)
+	if plan.Identity() {
+		return old.rebind(k, fair), nil
+	}
+	return repair(old, k, plan, init, fair)
+}
+
+// rebind shares every arena of the old graph under the new program: an
+// identity edit changes no action semantics, so states, edges, enabledness
+// — everything but the program pointer — carry over. The memo starts fresh
+// (predicate extensions may have changed even when actions did not), and
+// the deadlock set is recomputed when the fairness mask differs.
+func (old *Graph) rebind(k *guarded.Kernel, fair []bool) *Graph {
+	g := &Graph{
+		prog:     k.Program(),
+		schema:   k.Schema(),
+		nv:       old.nv,
+		n:        old.n,
+		vals:     old.vals,
+		idxs:     old.idxs,
+		outOff:   old.outOff,
+		outEdges: old.outEdges,
+		inOff:    old.inOff,
+		inEdges:  old.inEdges,
+		fair:     fair,
+		numActs:  old.numActs,
+		enabled:  old.enabled,
+		memo:     newGraphMemo(),
+	}
+	g.dead = g.computeDead(fair)
+	return g
+}
+
+// repair is the non-identity path: per-node edge rewrite, frontier BFS over
+// newly discovered states, forward closure from the (unchanged) seed set,
+// and assembly — arena-sharing when the node set survived intact, canonical
+// merge renumbering when it did not.
+func repair(old *Graph, k *guarded.Kernel, plan *RepairPlan, init state.Predicate, fair []bool) (*Graph, error) {
+	sch := k.Schema()
+	sc := k.NewScratch()
+	nv := old.nv
+	oldN := old.n
+	newNA := k.NumActions()
+
+	// Phase 1: rewrite every old node's out-edge list under the new action
+	// set, in new-action-index order. Targets stay as mixed-radix state
+	// indices until ids are final. removedAny tracks whether any edge that
+	// existed before could have disappeared — only then can reachability
+	// shrink and only then is the forward closure needed.
+	succ := make([]guarded.Succ, 0, len(old.outEdges)+newNA)
+	offs := make([]int, oldN+1)
+	spanStart := make([]int32, old.numActs)
+	spanEnd := make([]int32, old.numActs)
+	// An old action with no clean or guard-dirty image in the plan (removed,
+	// or replaced by a full re-expansion) loses its old edges wholesale;
+	// reachability can only shrink when some edge disappears.
+	removedAny := false
+	imaged := make([]bool, plan.OldActions)
+	for j, oj := range plan.OldIndex {
+		if oj >= 0 && plan.Dirt[j] != ActionFullDirty {
+			imaged[oj] = true
+		}
+	}
+	for a, ok := range imaged {
+		if !ok && !old.enabled[a].Empty() {
+			removedAny = true
+			break
+		}
+	}
+
+	// Newly discovered states: anything an edited action reaches that the
+	// old graph does not contain.
+	newID := map[uint64]int{}
+	var newIdxs []uint64
+	discover := func(to uint64) {
+		if _, ok := old.idOf(to); ok {
+			return
+		}
+		if _, ok := newID[to]; ok {
+			return
+		}
+		newID[to] = len(newIdxs)
+		newIdxs = append(newIdxs, to)
+	}
+
+	for i := 0; i < oldN; i++ {
+		row := old.vals[i*nv : (i+1)*nv]
+		oldOut := old.Out(i)
+		for a := range spanStart {
+			spanStart[a] = -1
+		}
+		for ei := 0; ei < len(oldOut); {
+			a := oldOut[ei].Action
+			j := ei + 1
+			for j < len(oldOut) && oldOut[j].Action == a {
+				j++
+			}
+			spanStart[a], spanEnd[a] = int32(ei), int32(j)
+			ei = j
+		}
+		for j := 0; j < newNA; j++ {
+			oj := plan.OldIndex[j]
+			dirt := ActionFullDirty
+			if oj >= 0 {
+				dirt = plan.Dirt[j]
+			}
+			switch dirt {
+			case ActionClean:
+				if s := spanStart[oj]; s >= 0 {
+					for _, e := range oldOut[s:spanEnd[oj]] {
+						succ = append(succ, guarded.Succ{Action: int32(j), To: old.idxs[e.To]})
+					}
+				}
+			case ActionGuardDirty:
+				enabledNow := sc.EnabledOnRow(row, j)
+				enabledBefore := old.Enabled(i, oj)
+				switch {
+				case enabledNow && enabledBefore:
+					// Same assignments, enabled in both revisions: the
+					// old targets (and their kernel order) carry over.
+					if s := spanStart[oj]; s >= 0 {
+						for _, e := range oldOut[s:spanEnd[oj]] {
+							succ = append(succ, guarded.Succ{Action: int32(j), To: old.idxs[e.To]})
+						}
+					}
+				case enabledNow:
+					pre := len(succ)
+					succ = sc.TransitionsOf(old.idxs[i], j, succ)
+					for _, t := range succ[pre:] {
+						discover(t.To)
+					}
+				case enabledBefore:
+					removedAny = true
+				}
+			default: // ActionFullDirty, or an added action
+				// (Removal accounting: a full-dirty mapped action left
+				// imaged[] false above, so removedAny already covers it.)
+				if sc.EnabledOnRow(row, j) {
+					pre := len(succ)
+					succ = sc.TransitionsOf(old.idxs[i], j, succ)
+					for _, t := range succ[pre:] {
+						discover(t.To)
+					}
+				}
+			}
+		}
+		offs[i+1] = len(succ)
+	}
+
+	// Phase 2: frontier BFS over the newly discovered states with the full
+	// new kernel — these states have no old edges to reuse. newIdxs is the
+	// queue; discover appends to it.
+	var newSucc []guarded.Succ
+	newOffs := make([]int, 1, len(newIdxs)+1)
+	for qi := 0; qi < len(newIdxs); qi++ {
+		pre := len(newSucc)
+		newSucc = sc.Transitions(newIdxs[qi], newSucc)
+		for _, t := range newSucc[pre:] {
+			discover(t.To)
+		}
+		newOffs = append(newOffs, len(newSucc))
+	}
+	m := len(newIdxs)
+
+	// Candidate-space id resolution: old node ids stay put, discovered
+	// states follow at oldN + discovery order. Mirror assemble's LUT
+	// heuristic — when the schema is not much larger than the candidate
+	// set a flat table beats per-edge binary search.
+	cand := oldN + m
+	total, _ := sch.NumStates()
+	var lut []int32
+	if total <= 16*uint64(cand)+(1<<16) {
+		lut = make([]int32, total)
+		for i := range lut {
+			lut[i] = -1
+		}
+		for i, idx := range old.idxs {
+			lut[idx] = int32(i)
+		}
+		for q, idx := range newIdxs {
+			lut[idx] = int32(oldN + q)
+		}
+	}
+	resolve := func(idx uint64) int {
+		if lut != nil {
+			if id := lut[idx]; id >= 0 {
+				return int(id)
+			}
+		} else if id, ok := old.idOf(idx); ok {
+			return id
+		} else if q, ok := newID[idx]; ok {
+			return oldN + q
+		}
+		panic(fmt.Sprintf("explore: repair edge target %d not among candidate states", idx))
+	}
+	edgesOf := func(id int) []guarded.Succ {
+		if id < oldN {
+			return succ[offs[id]:offs[id+1]]
+		}
+		q := id - oldN
+		return newSucc[newOffs[q]:newOffs[q+1]]
+	}
+
+	// Phase 3: forward closure from the seeds. The init extension is
+	// unchanged by contract and old graphs contain every init state, so
+	// the seed set is exactly the old graph's init set — evaluated through
+	// the old graph's (possibly memoized) SetOf, never by scanning the
+	// index space. When no edge was removed, reachability cannot have
+	// shrunk and the closure is skipped: every candidate is reachable.
+	alive := NewBitset(cand)
+	aliveCount := 0
+	if !removedAny {
+		alive.Fill()
+		aliveCount = cand
+	} else {
+		var stack []int
+		old.SetOf(init).ForEach(func(id int) bool {
+			alive.Add(id)
+			stack = append(stack, id)
+			return true
+		})
+		aliveCount = len(stack)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range edgesOf(id) {
+				t := resolve(e.To)
+				if !alive.Has(t) {
+					alive.Add(t)
+					aliveCount++
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+
+	if aliveCount == oldN && m == 0 {
+		return repairInPlace(old, k, plan, fair, succ, offs, resolve), nil
+	}
+	return repairRenumber(old, k, fair, succ, offs, newSucc, newOffs, newIdxs, alive, aliveCount, resolve, edgesOf), nil
+}
+
+// repairInPlace assembles the repaired graph when the node set is exactly
+// the old one: state arenas are shared, clean actions share their enabled
+// bitsets, and only the rewritten edges and the dirty actions' enabledness
+// are recomputed.
+func repairInPlace(old *Graph, k *guarded.Kernel, plan *RepairPlan, fair []bool, succ []guarded.Succ, offs []int, resolve func(uint64) int) *Graph {
+	sch := k.Schema()
+	nv := old.nv
+	n := old.n
+	newNA := k.NumActions()
+	g := &Graph{
+		prog:    k.Program(),
+		schema:  sch,
+		nv:      nv,
+		n:       n,
+		vals:    old.vals,
+		idxs:    old.idxs,
+		fair:    fair,
+		numActs: newNA,
+		memo:    newGraphMemo(),
+	}
+	g.outOff = make([]uint32, n+1)
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] = uint32(offs[i+1])
+	}
+	g.outEdges = make([]Edge, len(succ))
+	for i, tr := range succ {
+		g.outEdges[i] = Edge{Action: int(tr.Action), To: resolve(tr.To)}
+	}
+	g.buildIn()
+	sc := k.NewScratch()
+	g.enabled = make([]*Bitset, newNA)
+	for j := 0; j < newNA; j++ {
+		if oj := plan.OldIndex[j]; oj >= 0 && plan.Dirt[j] == ActionClean {
+			// Unchanged guard over unchanged states: the old bitset is
+			// the answer. Enabled sets are read-only on both graphs.
+			g.enabled[j] = old.enabled[oj]
+			continue
+		}
+		b := NewBitset(n)
+		for i := 0; i < n; i++ {
+			if sc.EnabledOnRow(g.vals[i*nv:(i+1)*nv], j) {
+				b.Add(i)
+			}
+		}
+		g.enabled[j] = b
+	}
+	g.dead = g.computeDead(fair)
+	return g
+}
+
+// repairRenumber assembles the repaired graph when the node set changed:
+// surviving old states and newly discovered states merge into a fresh
+// canonical (index-ascending) numbering, old arena rows are copied, new
+// states are decoded once, and enabledness is recomputed — exactly what a
+// from-scratch assemble would produce.
+func repairRenumber(old *Graph, k *guarded.Kernel, fair []bool, succ []guarded.Succ, offs []int, newSucc []guarded.Succ, newOffs []int, newIdxs []uint64, alive *Bitset, aliveCount int, resolve func(uint64) int, edgesOf func(int) []guarded.Succ) *Graph {
+	sch := k.Schema()
+	nv := old.nv
+	oldN := old.n
+	newNA := k.NumActions()
+
+	// Merge surviving old states (already index-ascending) with surviving
+	// new states (sorted here) into the canonical id order.
+	aliveNew := make([]uint64, 0, len(newIdxs))
+	for q, idx := range newIdxs {
+		if alive.Has(oldN + q) {
+			aliveNew = append(aliveNew, idx)
+		}
+	}
+	sort.Slice(aliveNew, func(i, j int) bool { return aliveNew[i] < aliveNew[j] })
+
+	n := aliveCount
+	g := &Graph{
+		prog:    k.Program(),
+		schema:  sch,
+		nv:      nv,
+		n:       n,
+		vals:    make([]int32, n*nv),
+		idxs:    make([]uint64, n),
+		fair:    fair,
+		numActs: newNA,
+		memo:    newGraphMemo(),
+	}
+	final := make([]int32, oldN+len(newIdxs))
+	for i := range final {
+		final[i] = -1
+	}
+	fi := 0
+	oi, ni := 0, 0
+	for {
+		// Advance past dropped old nodes.
+		for oi < oldN && !alive.Has(oi) {
+			oi++
+		}
+		if oi >= oldN && ni >= len(aliveNew) {
+			break
+		}
+		if oi < oldN && (ni >= len(aliveNew) || old.idxs[oi] < aliveNew[ni]) {
+			g.idxs[fi] = old.idxs[oi]
+			copy(g.vals[fi*nv:(fi+1)*nv], old.vals[oi*nv:(oi+1)*nv])
+			final[oi] = int32(fi)
+			oi++
+		} else {
+			idx := aliveNew[ni]
+			g.idxs[fi] = idx
+			sch.DecodeInto(g.vals[fi*nv:(fi+1)*nv], idx)
+			final[resolve(idx)] = int32(fi)
+			ni++
+		}
+		fi++
+	}
+
+	// Out-edge CSR over the survivors, in final id order.
+	totalE := 0
+	g.outOff = make([]uint32, n+1)
+	order := make([]int, n) // final id -> candidate id
+	for cid := 0; cid < oldN+len(newIdxs); cid++ {
+		if f := final[cid]; f >= 0 {
+			order[f] = cid
+		}
+	}
+	for f := 0; f < n; f++ {
+		totalE += len(edgesOf(order[f]))
+		g.outOff[f+1] = uint32(totalE)
+	}
+	g.outEdges = make([]Edge, totalE)
+	pos := 0
+	for f := 0; f < n; f++ {
+		for _, tr := range edgesOf(order[f]) {
+			g.outEdges[pos] = Edge{Action: int(tr.Action), To: int(final[resolve(tr.To)])}
+			pos++
+		}
+	}
+	g.buildIn()
+	sc := k.NewScratch()
+	g.enabled = make([]*Bitset, newNA)
+	for a := 0; a < newNA; a++ {
+		g.enabled[a] = NewBitset(n)
+	}
+	for i := 0; i < n; i++ {
+		row := g.vals[i*nv : (i+1)*nv]
+		for a := 0; a < newNA; a++ {
+			if sc.EnabledOnRow(row, a) {
+				g.enabled[a].Add(i)
+			}
+		}
+	}
+	g.dead = g.computeDead(fair)
+	return g
+}

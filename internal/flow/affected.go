@@ -60,6 +60,18 @@ func AffectedBy(oldAST, newAST *gcl.FileAST) *Impact {
 		func(name string) string { return renderAction(newAST.Faults, name) },
 	)
 
+	// A variable-declaration change affects every predicate, even those
+	// whose cone never reads it: witness states in verdicts are rendered
+	// full-width, so a renamed (or added, or re-domained) variable changes
+	// the text of any witness-carrying verdict. Slices only bound what a
+	// verdict depends on semantically; the variable section is part of
+	// every verdict's rendering.
+	if len(im.ChangedVars) > 0 {
+		for i := range newIn.Preds {
+			im.AffectedPreds = append(im.AffectedPreds, newIn.Preds[i].Name)
+		}
+		return im
+	}
 	for i := range newIn.Preds {
 		name := newIn.Preds[i].Name
 		oldSig, oldOK := sliceSignature(oldIn, name)

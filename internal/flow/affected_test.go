@@ -1,0 +1,227 @@
+package flow
+
+import (
+	"testing"
+
+	"detcorr/internal/fault"
+	"detcorr/internal/gcl"
+	"detcorr/internal/spec"
+)
+
+// affBase is the soundness-table base system: P's closure holds (ax is a
+// self-loop inside P), Q's fails (ay leaves it), and Both inherits Q's
+// failure; the fault fx is disabled on P-states, so the fault-composed
+// closure of P holds too.
+const affBase = `program aff
+var x : 0..2
+var y : 0..2
+
+pred P    :: x == 0
+pred Q    :: y == 0
+pred Both :: P & Q
+
+action ax :: x == 0 -> x := 0
+action ay :: y == 0 -> y := 1
+
+fault fx :: x == 1 -> x := 2
+`
+
+// closureVerdicts brute-forces every predicate's closure verdict on the
+// program alone and on the fault-composed program. A verdict is the full
+// error text, so any witness change counts as a changed verdict.
+func closureVerdicts(t *testing.T, src string) (prog, composed map[string]string) {
+	t.Helper()
+	f, err := gcl.ParseAndCompile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	comp := f.Program
+	if !f.Faults.Empty() {
+		if comp, _, err = fault.Compose(f.Program, f.Faults); err != nil {
+			t.Fatalf("compose: %v", err)
+		}
+	}
+	verdict := func(err error) string {
+		if err == nil {
+			return "ok"
+		}
+		return err.Error()
+	}
+	prog, composed = map[string]string{}, map[string]string{}
+	for name, pred := range f.Preds {
+		prog[name] = verdict(spec.CheckClosed(f.Program, pred))
+		composed[name] = verdict(spec.CheckClosed(comp, pred))
+	}
+	return prog, composed
+}
+
+// assertAffectedSound checks the Impact soundness contract against the
+// brute force: a predicate whose program-closure verdict changed must be
+// in AffectedPreds; one whose fault-composed verdict changed must be in
+// AffectedPreds or covered by a non-empty ChangedFaults; a predicate new
+// in this revision must always be affected.
+func assertAffectedSound(t *testing.T, oldSrc, newSrc string) *Impact {
+	t.Helper()
+	oldAST, err := gcl.Parse(oldSrc)
+	if err != nil {
+		t.Fatalf("parse old: %v", err)
+	}
+	newAST, err := gcl.Parse(newSrc)
+	if err != nil {
+		t.Fatalf("parse new: %v", err)
+	}
+	im := AffectedBy(oldAST, newAST)
+	affected := map[string]bool{}
+	for _, n := range im.AffectedPreds {
+		affected[n] = true
+	}
+	oldProg, oldComp := closureVerdicts(t, oldSrc)
+	newProg, newComp := closureVerdicts(t, newSrc)
+	for name, nv := range newProg {
+		ov, existed := oldProg[name]
+		if !existed {
+			if !affected[name] {
+				t.Errorf("pred %s is new in this revision and must be affected", name)
+			}
+			continue
+		}
+		if ov != nv && !affected[name] {
+			t.Errorf("pred %s: closure verdict changed (%q -> %q) but not in AffectedPreds %v",
+				name, ov, nv, im.AffectedPreds)
+		}
+		if oldComp[name] != newComp[name] && !affected[name] && len(im.ChangedFaults) == 0 {
+			t.Errorf("pred %s: fault-composed verdict changed but neither AffectedPreds nor ChangedFaults flags it",
+				name)
+		}
+	}
+	return im
+}
+
+// TestAffectedBySoundness is the satellite edge-case table: each entry
+// edits affBase one way and asserts AffectedPreds is a superset of the
+// brute-force verdict diff, plus per-case tightness expectations.
+func TestAffectedBySoundness(t *testing.T) {
+	cases := []struct {
+		name   string
+		newSrc string
+		check  func(t *testing.T, im *Impact)
+	}{
+		{
+			// ay stops leaving Q: Q and Both flip to closed.
+			"action edit flips verdicts",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 0\nfault fx :: x == 1 -> x := 2\n",
+			func(t *testing.T, im *Impact) {
+				for _, p := range im.AffectedPreds {
+					if p == "P" {
+						t.Errorf("ay writes only y, so P must stay unaffected: %v", im.AffectedPreds)
+					}
+				}
+			},
+		},
+		{
+			// A new action leaves P: P and Both flip to failing.
+			"action added",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 1\naction az :: x == 0 -> x := 1\nfault fx :: x == 1 -> x := 2\n",
+			func(t *testing.T, im *Impact) {
+				if len(im.ChangedActions) != 1 || im.ChangedActions[0] != "az" {
+					t.Errorf("changed actions = %v, want [az]", im.ChangedActions)
+				}
+			},
+		},
+		{
+			// Removing ay flips Q and Both back to closed.
+			"action removed",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\nfault fx :: x == 1 -> x := 2\n",
+			nil,
+		},
+		{
+			// Pred rename with the reference updated: R is new by name and
+			// must be affected; Both's slice mentions the renamed pred.
+			"pred rename",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred R :: y == 0\npred Both :: P & R\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 1\nfault fx :: x == 1 -> x := 2\n",
+			func(t *testing.T, im *Impact) {
+				found := false
+				for _, p := range im.AffectedPreds {
+					found = found || p == "R"
+				}
+				if !found {
+					t.Errorf("renamed pred R must be affected: %v", im.AffectedPreds)
+				}
+			},
+		},
+		{
+			// Pred rename that reuses the old name for a different body:
+			// the name Q survives but means something else now.
+			"pred name reused",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 1\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 1\nfault fx :: x == 1 -> x := 2\n",
+			func(t *testing.T, im *Impact) {
+				found := false
+				for _, p := range im.AffectedPreds {
+					found = found || p == "Q"
+				}
+				if !found {
+					t.Errorf("rebound pred Q must be affected: %v", im.AffectedPreds)
+				}
+			},
+		},
+		{
+			// The fault now fires on P-states: only the composed verdict
+			// changes, which ChangedFaults must cover.
+			"fault guard edit",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 1\nfault fx :: x == 0 -> x := 2\n",
+			func(t *testing.T, im *Impact) {
+				if len(im.ChangedFaults) == 0 {
+					t.Error("fault guard edit must report a changed fault")
+				}
+			},
+		},
+		{
+			// A fault added that breaks P's composed closure.
+			"fault added",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 1\nfault fx :: x == 1 -> x := 2\nfault fp :: x == 0 -> x := 1\n",
+			func(t *testing.T, im *Impact) {
+				if len(im.ChangedFaults) == 0 {
+					t.Error("added fault must report a changed fault")
+				}
+			},
+		},
+		{
+			// Fault section emptied.
+			"fault removed",
+			"program aff\nvar x : 0..2\nvar y : 0..2\npred P :: x == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: x == 0 -> x := 0\naction ay :: y == 0 -> y := 1\n",
+			func(t *testing.T, im *Impact) {
+				if len(im.ChangedFaults) != 1 || im.ChangedFaults[0] != "fx" {
+					t.Errorf("changed faults = %v, want [fx]", im.ChangedFaults)
+				}
+			},
+		},
+		{
+			// Variable rename everywhere: every pred reading it is affected.
+			"var rename",
+			"program aff\nvar w : 0..2\nvar y : 0..2\npred P :: w == 0\npred Q :: y == 0\npred Both :: P & Q\naction ax :: w == 0 -> w := 0\naction ay :: y == 0 -> y := 1\nfault fx :: w == 1 -> w := 2\n",
+			func(t *testing.T, im *Impact) {
+				if len(im.ChangedVars) == 0 {
+					t.Error("var rename must report changed vars")
+				}
+				for _, want := range []string{"P", "Both"} {
+					found := false
+					for _, p := range im.AffectedPreds {
+						found = found || p == want
+					}
+					if !found {
+						t.Errorf("pred %s reads the renamed var and must be affected: %v", want, im.AffectedPreds)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			im := assertAffectedSound(t, affBase, tc.newSrc)
+			if tc.check != nil {
+				tc.check(t, im)
+			}
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package flow
+
+import (
+	"sort"
+	"strings"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/gcl"
+)
+
+// Plan is the semantic diff of two revisions of a file, shaped for the
+// incremental re-verification pipeline: a per-action repair plan for
+// explore.Repair, plus the sameness facts the verdict-preservation rules
+// need. Unlike AffectedBy — whose AffectedPreds answers "which predicate
+// verdicts may differ" through slice signatures — Plan answers "which
+// declarations mean the same thing", with every referenced predicate
+// expanded, so a predicate rename that leaves meanings intact still plans
+// as clean.
+//
+// Every sameness fact below is gated on the variable declarations being
+// identical (names, order, domains): a domain change alters the meaning of
+// syntactically unchanged expressions, so nothing is "same" across one.
+type Plan struct {
+	// Graph is the action-level plan for explore.Repair; nil when the edit
+	// changed variable declarations or duplicated action names (graphs
+	// must rebuild from scratch).
+	Graph *explore.RepairPlan
+	// SamePreds holds the new-revision predicates whose extension is
+	// provably the old one's: their expressions, with every referenced
+	// predicate expanded transitively, are structurally identical.
+	SamePreds map[string]bool
+	// AllPredsSame: the two revisions declare the same predicate names and
+	// every one is in SamePreds.
+	AllPredsSame bool
+	// SameFaults: the fault sections are semantically identical (same
+	// names, order, guards, assignments, with predicates expanded).
+	SameFaults bool
+	// SameDecls: component and span declarations render identically.
+	SameDecls bool
+	// SameName: the program declares the same name (responses echo it).
+	SameName bool
+}
+
+// Identity reports whether the program's own transition relation is
+// provably unchanged: every action maps to itself clean.
+func (p *Plan) Identity() bool { return p.Graph.Identity() }
+
+// FileUnchanged reports whether the whole file is semantically the old one
+// — actions, predicates, faults, components, spans, and the declared name.
+// It is the preservation gate for verdicts whose inputs repair cannot
+// decompose (prove obligations, fault-tolerance checks).
+func (p *Plan) FileUnchanged() bool {
+	return p.Identity() && p.AllPredsSame && p.SameFaults && p.SameDecls && p.SameName
+}
+
+// PlanRepair builds the repair plan mapping the old revision onto the new
+// one. It never fails: edits outside repair's scope yield a plan with a nil
+// Graph and empty sameness sets, which downstream consumers treat as
+// "rebuild and re-check everything".
+func PlanRepair(oldAST, newAST *gcl.FileAST) *Plan {
+	oldIn, newIn := Analyze(oldAST), Analyze(newAST)
+	p := &Plan{
+		SamePreds: map[string]bool{},
+		SameName:  oldAST.Name == newAST.Name,
+		SameDecls: renderScopeDecls(oldAST) == renderScopeDecls(newAST),
+	}
+	varsSame := renderVarDecls(oldAST) == renderVarDecls(newAST)
+	if !varsSame {
+		return p
+	}
+
+	for i := range newAST.Preds {
+		name := newAST.Preds[i].Name
+		op, ok := oldIn.Pred(name)
+		if !ok {
+			continue
+		}
+		if semSig(oldIn, op.Decl.Expr) == semSig(newIn, newAST.Preds[i].Expr) {
+			p.SamePreds[name] = true
+		}
+	}
+	p.AllPredsSame = len(oldAST.Preds) == len(newAST.Preds) &&
+		len(p.SamePreds) == len(newAST.Preds) &&
+		uniqueNames(predNames(oldAST.Preds)) && uniqueNames(predNames(newAST.Preds))
+	p.SameFaults = renderActionsSem(oldIn, oldAST.Faults) == renderActionsSem(newIn, newAST.Faults)
+
+	// The action-level graph plan. Action identity is by name, so the
+	// mapping is only well defined when names are unique in both
+	// revisions (dclint flags duplicates; a duplicated name here would
+	// alias two distinct old edge sets).
+	if !uniqueNames(actionNames(oldAST.Actions)) || !uniqueNames(actionNames(newAST.Actions)) {
+		return p
+	}
+	oldByName := make(map[string]int, len(oldAST.Actions))
+	for i := range oldAST.Actions {
+		oldByName[oldAST.Actions[i].Name] = i
+	}
+	gp := &explore.RepairPlan{
+		OldActions: len(oldAST.Actions),
+		OldIndex:   make([]int, len(newAST.Actions)),
+		Dirt:       make([]explore.ActionDirt, len(newAST.Actions)),
+	}
+	for j := range newAST.Actions {
+		d := &newAST.Actions[j]
+		oj, ok := oldByName[d.Name]
+		if !ok {
+			gp.OldIndex[j] = -1
+			gp.Dirt[j] = explore.ActionFullDirty
+			continue
+		}
+		od := &oldAST.Actions[oj]
+		gp.OldIndex[j] = oj
+		switch {
+		case assignsSemSame(oldIn, od, newIn, d) && semSig(oldIn, od.Guard) == semSig(newIn, d.Guard):
+			gp.Dirt[j] = explore.ActionClean
+		case assignsSemSame(oldIn, od, newIn, d):
+			gp.Dirt[j] = explore.ActionGuardDirty
+		default:
+			gp.Dirt[j] = explore.ActionFullDirty
+		}
+	}
+	p.Graph = gp
+	return p
+}
+
+// semSig renders an expression with every referenced predicate expanded
+// (transitively, sorted by name): two expressions with equal signatures
+// over identical variable declarations denote the same state function.
+func semSig(in *Info, e gcl.Expr) string {
+	if e == nil {
+		return ""
+	}
+	var sb strings.Builder
+	renderExpr(&sb, e)
+	refs := map[string]bool{}
+	predRefClosure(in, e, refs)
+	if len(refs) > 0 {
+		names := make([]string, 0, len(refs))
+		for n := range refs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sb.WriteString("\npred ")
+			sb.WriteString(n)
+			sb.WriteString("::")
+			renderExpr(&sb, in.Preds[in.predIdx[n]].Decl.Expr)
+		}
+	}
+	return sb.String()
+}
+
+// predRefClosure collects the predicates an expression references,
+// transitively through predicate bodies. Variable names shadow predicate
+// names, mirroring walkExpr's resolution order.
+func predRefClosure(in *Info, e gcl.Expr, out map[string]bool) {
+	switch n := e.(type) {
+	case *gcl.Ref:
+		if _, isVar := in.varIdx[n.Name]; isVar {
+			return
+		}
+		if pi, ok := in.predIdx[n.Name]; ok && !out[n.Name] {
+			out[n.Name] = true
+			predRefClosure(in, in.Preds[pi].Decl.Expr, out)
+		}
+	case *gcl.Unary:
+		predRefClosure(in, n.X, out)
+	case *gcl.Binary:
+		predRefClosure(in, n.L, out)
+		predRefClosure(in, n.R, out)
+	}
+}
+
+// assignsSemSame reports whether two actions' assignment lists are
+// semantically identical: same targets in the same order, each right-hand
+// side signature-equal (wild '?' matches only wild).
+func assignsSemSame(oldIn *Info, od *gcl.ActionDecl, newIn *Info, nd *gcl.ActionDecl) bool {
+	if len(od.Assigns) != len(nd.Assigns) {
+		return false
+	}
+	for i := range od.Assigns {
+		oa, na := &od.Assigns[i], &nd.Assigns[i]
+		if oa.Var != na.Var || (oa.Expr == nil) != (na.Expr == nil) {
+			return false
+		}
+		if oa.Expr != nil && semSig(oldIn, oa.Expr) != semSig(newIn, na.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderActionsSem renders a declaration list with predicate-expanded
+// guards and right-hand sides, for whole-section sameness checks.
+func renderActionsSem(in *Info, decls []gcl.ActionDecl) string {
+	var sb strings.Builder
+	for i := range decls {
+		d := &decls[i]
+		sb.WriteString(d.Name)
+		sb.WriteString("::")
+		sb.WriteString(semSig(in, d.Guard))
+		sb.WriteString("->")
+		for j, a := range d.Assigns {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(a.Var)
+			sb.WriteString(":=")
+			if a.Expr == nil {
+				sb.WriteByte('?')
+			} else {
+				sb.WriteString(semSig(in, a.Expr))
+			}
+		}
+		sb.WriteByte('\x1e')
+	}
+	return sb.String()
+}
+
+// renderVarDecls renders the variable section: names, order, and domains.
+func renderVarDecls(ast *gcl.FileAST) string {
+	var sb strings.Builder
+	for _, d := range ast.Vars {
+		sb.WriteString(d.Name)
+		sb.WriteByte(':')
+		renderType(&sb, d.Type)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// renderScopeDecls renders the component and span declarations.
+func renderScopeDecls(ast *gcl.FileAST) string {
+	var sb strings.Builder
+	for i := range ast.Components {
+		d := &ast.Components[i]
+		sb.WriteString(d.Kind.String())
+		sb.WriteByte(' ')
+		sb.WriteString(d.Name)
+		sb.WriteByte(':')
+		for _, sv := range d.Scope {
+			sb.WriteString(sv.Name)
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('\n')
+	}
+	for i := range ast.Spans {
+		sb.WriteString("span ")
+		for _, sv := range ast.Spans[i].Vars {
+			sb.WriteString(sv.Name)
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// uniqueNames reports whether every name in the list is distinct.
+func uniqueNames(names []string) bool {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package flow
+
+import (
+	"testing"
+
+	"detcorr/internal/explore"
+	"detcorr/internal/gcl"
+)
+
+const planBase = `program p
+var x : 0..3
+var y : bool
+
+pred P :: x == 0
+pred Q :: y & P
+
+action a :: x < 3  -> x := x + 1
+action b :: P & !y -> y := true
+
+fault f :: true -> x := ?
+`
+
+// planOf parses both sources and plans the old → new edit.
+func planOf(t *testing.T, oldSrc, newSrc string) *Plan {
+	t.Helper()
+	oldAST, err := gcl.Parse(oldSrc)
+	if err != nil {
+		t.Fatalf("parse old: %v", err)
+	}
+	newAST, err := gcl.Parse(newSrc)
+	if err != nil {
+		t.Fatalf("parse new: %v", err)
+	}
+	return PlanRepair(oldAST, newAST)
+}
+
+func TestPlanRepairUnchangedFile(t *testing.T) {
+	p := planOf(t, planBase, planBase)
+	if !p.FileUnchanged() {
+		t.Fatalf("identical sources must plan as unchanged: %+v", p)
+	}
+	if !p.Identity() || !p.AllPredsSame || !p.SameFaults || !p.SameDecls || !p.SameName {
+		t.Errorf("unchanged facts incomplete: %+v", p)
+	}
+}
+
+func TestPlanRepairClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		newSrc string
+		check  func(t *testing.T, p *Plan)
+	}{
+		{
+			// Formatting-only change: same tokens, different whitespace.
+			"whitespace",
+			"program p\nvar x : 0..3\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a :: x < 3 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if !p.FileUnchanged() {
+					t.Errorf("reformatting must plan as unchanged: %+v", p)
+				}
+			},
+		},
+		{
+			// Guard edit on one action: that action alone is guard-dirty.
+			"guard edit",
+			"program p\nvar x : 0..3\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a :: x < 2 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.Graph == nil || p.Identity() {
+					t.Fatalf("guard edit must yield a non-identity plan: %+v", p)
+				}
+				if p.Graph.Dirt[0] != explore.ActionGuardDirty || p.Graph.Dirt[1] != explore.ActionClean {
+					t.Errorf("dirt = %v, want [guard-dirty clean]", p.Graph.Dirt)
+				}
+				if !p.AllPredsSame || !p.SameFaults {
+					t.Errorf("a guard edit must not touch pred/fault sameness: %+v", p)
+				}
+			},
+		},
+		{
+			// Assignment edit: full-dirty.
+			"assign edit",
+			"program p\nvar x : 0..3\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a :: x < 3 -> x := x + 2\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.Graph == nil || p.Graph.Dirt[0] != explore.ActionFullDirty {
+					t.Fatalf("assign edit must be full-dirty: %+v", p)
+				}
+			},
+		},
+		{
+			// Action rename: the new name has no old counterpart (full-dirty,
+			// OldIndex -1) and the old edge set must be detected as orphaned
+			// via OldActions.
+			"action rename",
+			"program p\nvar x : 0..3\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a2 :: x < 3 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.Graph == nil || p.Graph.OldIndex[0] != -1 || p.Graph.Dirt[0] != explore.ActionFullDirty {
+					t.Fatalf("renamed action must map to no old action: %+v", p.Graph)
+				}
+				if p.Graph.OldActions != 2 {
+					t.Errorf("OldActions = %d, want 2", p.Graph.OldActions)
+				}
+			},
+		},
+		{
+			// Predicate rename with references updated: guards expand to the
+			// same signature through the new name, so actions stay clean, but
+			// the pred set itself is not name-stable.
+			"pred rename",
+			"program p\nvar x : 0..3\nvar y : bool\npred R :: x == 0\npred Q :: y & R\naction a :: x < 3 -> x := x + 1\naction b :: R & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.AllPredsSame {
+					t.Errorf("a renamed pred must break AllPredsSame")
+				}
+				if p.SamePreds["R"] {
+					t.Errorf("R has no old counterpart and must not be plan-same")
+				}
+				// The rename flows into b's guard text, so b is (at least)
+				// guard-dirty; the conservative answer is the sound one.
+				if p.Graph == nil || p.Graph.Dirt[0] != explore.ActionClean {
+					t.Errorf("action a does not reference the pred and must stay clean: %+v", p.Graph)
+				}
+			},
+		},
+		{
+			// Predicate body edit: every action and pred referencing it is
+			// dirty through signature expansion.
+			"pred body edit",
+			"program p\nvar x : 0..3\nvar y : bool\npred P :: x == 1\npred Q :: y & P\naction a :: x < 3 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.SamePreds["P"] || p.SamePreds["Q"] {
+					t.Errorf("P and its transitive referrer Q must not be plan-same: %+v", p.SamePreds)
+				}
+				if p.Graph == nil || p.Graph.Dirt[1] != explore.ActionGuardDirty {
+					t.Errorf("b guards on P and must be guard-dirty: %+v", p.Graph)
+				}
+				if p.Graph.Dirt[0] != explore.ActionClean {
+					t.Errorf("a does not reference P and must stay clean: %+v", p.Graph)
+				}
+			},
+		},
+		{
+			// Fault edit: graph plan is identity (program actions untouched)
+			// but fault sameness breaks.
+			"fault edit",
+			"program p\nvar x : 0..3\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a :: x < 3 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: x > 0 -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if !p.Identity() {
+					t.Errorf("fault edits must not dirty the program plan: %+v", p.Graph)
+				}
+				if p.SameFaults {
+					t.Errorf("fault edit must break SameFaults")
+				}
+				if p.FileUnchanged() {
+					t.Errorf("fault edit must break FileUnchanged")
+				}
+			},
+		},
+		{
+			// Variable domain change: nothing survives, no graph plan.
+			"var domain change",
+			"program p\nvar x : 0..4\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a :: x < 3 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.Graph != nil {
+					t.Errorf("a domain change must void the graph plan")
+				}
+				if len(p.SamePreds) != 0 || p.AllPredsSame || p.SameFaults {
+					t.Errorf("no sameness may survive a domain change: %+v", p)
+				}
+			},
+		},
+		{
+			// Program rename: only SameName breaks.
+			"program rename",
+			"program p2\nvar x : 0..3\nvar y : bool\npred P :: x == 0\npred Q :: y & P\naction a :: x < 3 -> x := x + 1\naction b :: P & !y -> y := true\nfault f :: true -> x := ?\n",
+			func(t *testing.T, p *Plan) {
+				if p.SameName {
+					t.Errorf("rename must break SameName")
+				}
+				if !p.Identity() || !p.AllPredsSame || !p.SameFaults {
+					t.Errorf("rename must preserve everything else: %+v", p)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, planOf(t, planBase, tc.newSrc))
+		})
+	}
+}
+
+func TestPlanRepairDuplicateActionNames(t *testing.T) {
+	dup := "program p\nvar x : 0..3\naction a :: x < 3 -> x := x + 1\naction a :: x > 0 -> x := x - 1\n"
+	if p := planOf(t, dup, dup); p.Graph != nil {
+		t.Errorf("duplicate action names must void the graph plan")
+	}
+}

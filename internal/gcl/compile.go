@@ -20,6 +20,10 @@ type File struct {
 	Faults  fault.Class
 	Preds   map[string]state.Predicate
 	AST     *FileAST
+	// Src is the source text the file was compiled from, when the caller
+	// came through ParseAndCompile (or set it after Compile). The revision
+	// pipeline keys verdict migration on it.
+	Src string
 }
 
 // Pred returns a declared predicate by name.
@@ -215,7 +219,12 @@ func ParseAndCompile(src string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Compile(ast)
+	f, err := Compile(ast)
+	if err != nil {
+		return nil, err
+	}
+	f.Src = src
+	return f, nil
 }
 
 func (c *compiler) compileActions(decls []ActionDecl) ([]guarded.Action, error) {

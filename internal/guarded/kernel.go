@@ -385,6 +385,31 @@ func (sc *Scratch) Transitions(idx uint64, buf []Succ) []Succ {
 	return buf
 }
 
+// TransitionsOf appends the transitions of the single action a enabled at
+// the state with the given index to buf and returns it — one iteration of
+// Transitions, in the same emission order. A disabled guard appends nothing.
+// It is the primitive behind edge-scoped CSR repair, which re-expands only
+// the actions an edit touched.
+//
+//dc:zeroalloc
+func (sc *Scratch) TransitionsOf(idx uint64, ai int, buf []Succ) []Succ {
+	sc.Load(idx)
+	a := &sc.k.acts[ai]
+	if !sc.guardHolds(a, sc.row, sc.view) {
+		return buf
+	}
+	if a.comp != nil {
+		return sc.compiledSucc(int32(ai), a.comp, buf)
+	}
+	if a.stmt != nil {
+		return append(buf, Succ{Action: int32(ai), To: a.stmt(sc.view).Index()})
+	}
+	for _, ns := range a.next(sc.view) {
+		buf = append(buf, Succ{Action: int32(ai), To: ns.Index()})
+	}
+	return buf
+}
+
 // Step appends the mixed-radix indices of all successors of idx to buf and
 // returns it: Transitions stripped of the action labels. It is the
 // allocation-free reachability primitive.

@@ -98,6 +98,27 @@ type Response struct {
 	Reports []*prove.Report `json:"reports,omitempty"`
 }
 
+// ReviseRequest submits a source revision to POST /v1/revise: the daemon
+// diffs the two sources, carries every cached graph of the old revision
+// over by rebinding or edge-scoped repair, and re-keys each memoized
+// verdict the edit provably cannot have changed. The response body is the
+// serve.ReviseReport for the migration. Submitting a revision is an
+// optimization, never a requirement: a client that skips it merely pays
+// full rebuilds on its next verdicts.
+type ReviseRequest struct {
+	// Old and New are the full GCL sources of the two revisions.
+	Old string `json:"old"`
+	New string `json:"new"`
+}
+
+// Validate checks the revision's shape.
+func (r *ReviseRequest) Validate() error {
+	if r.Old == "" || r.New == "" {
+		return fmt.Errorf("api: revise requires both old and new sources")
+	}
+	return nil
+}
+
 // Error is the JSON body of a non-verdict HTTP error response.
 type Error struct {
 	Error string `json:"error"`

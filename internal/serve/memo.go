@@ -24,6 +24,7 @@ type verdictCache struct {
 
 type verdictEntry struct {
 	key  [sha256.Size]byte
+	req  api.Request // the question, kept so revisions can re-key survivors
 	resp *api.Response
 }
 
@@ -45,7 +46,7 @@ func (c *verdictCache) get(key [sha256.Size]byte) (*api.Response, bool) {
 	return el.Value.(*verdictEntry).resp, true
 }
 
-func (c *verdictCache) put(key [sha256.Size]byte, resp *api.Response) {
+func (c *verdictCache) put(key [sha256.Size]byte, req api.Request, resp *api.Response) {
 	if c.max <= 0 {
 		return
 	}
@@ -56,12 +57,42 @@ func (c *verdictCache) put(key [sha256.Size]byte, resp *api.Response) {
 		el.Value.(*verdictEntry).resp = resp
 		return
 	}
-	c.by[key] = c.lru.PushFront(&verdictEntry{key: key, resp: resp})
+	c.by[key] = c.lru.PushFront(&verdictEntry{key: key, req: req, resp: resp})
 	for c.lru.Len() > c.max {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.by, back.Value.(*verdictEntry).key)
 	}
+}
+
+// migrate re-keys every cached verdict about oldSrc that keep approves onto
+// the same question about newSrc, leaving the old entries in place (they
+// still answer the old source correctly and age out like any other entry).
+// It reports how many survived and how many the edit invalidated.
+func (c *verdictCache) migrate(oldSrc, newSrc string, keep func(req api.Request, resp *api.Response) bool) (preserved, invalidated int) {
+	if c.max <= 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	var moved []*verdictEntry
+	for _, el := range c.by {
+		e := el.Value.(*verdictEntry)
+		if e.req.Program == oldSrc {
+			moved = append(moved, e)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range moved {
+		if !keep(e.req, e.resp) {
+			invalidated++
+			continue
+		}
+		req := e.req
+		req.Program = newSrc
+		c.put(requestKey(req), req, e.resp)
+		preserved++
+	}
+	return preserved, invalidated
 }
 
 // tenantState is one tenant's view of the graph cache: the programs their

@@ -22,6 +22,13 @@ type metrics struct {
 	inFlight            atomic.Int64
 	tenantEvictions     atomic.Int64
 
+	// Revision-pipeline counters (POST /v1/revise and Advance).
+	verdictsPreserved   atomic.Int64
+	verdictsInvalidated atomic.Int64
+	graphsRebound       atomic.Int64
+	graphsRepaired      atomic.Int64
+	graphsRebuilt       atomic.Int64
+
 	evalCount atomic.Int64
 	evalSumNs atomic.Int64
 	evalBkt   [len(evalBuckets)]atomic.Int64
@@ -101,6 +108,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP dcserved_tenant_evictions_total Programs evicted by per-tenant budgets.")
 	fmt.Fprintln(w, "# TYPE dcserved_tenant_evictions_total counter")
 	fmt.Fprintf(w, "dcserved_tenant_evictions_total %d\n", m.tenantEvictions.Load())
+
+	fmt.Fprintln(w, "# HELP dcserved_invalidate_verdicts_total Memoized verdicts audited by revisions, by outcome.")
+	fmt.Fprintln(w, "# TYPE dcserved_invalidate_verdicts_total counter")
+	fmt.Fprintf(w, "dcserved_invalidate_verdicts_total{outcome=\"preserved\"} %d\n", m.verdictsPreserved.Load())
+	fmt.Fprintf(w, "dcserved_invalidate_verdicts_total{outcome=\"invalidated\"} %d\n", m.verdictsInvalidated.Load())
+
+	fmt.Fprintln(w, "# HELP dcserved_invalidate_graphs_total Cached graphs carried across revisions, by how.")
+	fmt.Fprintln(w, "# TYPE dcserved_invalidate_graphs_total counter")
+	fmt.Fprintf(w, "dcserved_invalidate_graphs_total{outcome=\"rebound\"} %d\n", m.graphsRebound.Load())
+	fmt.Fprintf(w, "dcserved_invalidate_graphs_total{outcome=\"repaired\"} %d\n", m.graphsRepaired.Load())
+	fmt.Fprintf(w, "dcserved_invalidate_graphs_total{outcome=\"rebuilt\"} %d\n", m.graphsRebuilt.Load())
 
 	fmt.Fprintln(w, "# HELP dcserved_eval_seconds Evaluation latency (compile + verdict).")
 	fmt.Fprintln(w, "# TYPE dcserved_eval_seconds histogram")

@@ -139,6 +139,7 @@ func compile(src string) (*gcl.File, error) {
 	if err != nil {
 		return nil, &LoadError{Stage: "compile", Err: err}
 	}
+	f.Src = src
 	// Certification is best-effort, exactly as in dctl: when the prover can
 	// re-derive the system, closure and component checks consult it first,
 	// and the cone-of-influence slicer gets a shot before any full build.

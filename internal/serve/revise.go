@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"detcorr/internal/explore"
+	"detcorr/internal/flow"
+	"detcorr/internal/gcl"
+	"detcorr/internal/serve/api"
+	"detcorr/internal/state"
+)
+
+// ReviseReport is what one revision submission did to the resident caches:
+// the semantic impact of the edit, how each cached graph of the old
+// revision was carried over, and how many memoized verdicts survived.
+type ReviseReport struct {
+	Impact *flow.Impact `json:"impact"`
+	// Graph accounting (the old revision's resident graphs).
+	GraphsRebound  int `json:"graphs_rebound"`
+	GraphsRepaired int `json:"graphs_repaired"`
+	GraphsRebuilt  int `json:"graphs_rebuilt"`
+	// Verdict accounting (the old revision's memoized verdicts).
+	VerdictsPreserved   int `json:"verdicts_preserved"`
+	VerdictsInvalidated int `json:"verdicts_invalidated"`
+}
+
+// Preservable reports whether a memoized verdict for req provably holds
+// verbatim for the edited revision described by plan and im — the keyed
+// invalidation rule shared by the dcserved verdict cache and dctl watch.
+//
+// Only passing verdicts (exit code 0) are preserved: they carry no witness
+// payload, so byte-identity reduces to the verdict being semantically
+// unchanged. Failing verdicts embed witness states and action names whose
+// rendering a re-check must reproduce, so they are always re-checked.
+//
+// The per-check rules lean on two facts. First, a predicate outside
+// im.AffectedPreds has an unchanged cone-of-influence slice, and every
+// per-predicate check (closure, convergence, detects/corrects without
+// fault tolerance) is a function of its predicates' joint slice — which is
+// unchanged when each predicate's slice is (an action in the joint cone
+// writes some single predicate's cone, so any change to it shows in that
+// predicate's slice). Second, checks repair cannot decompose — fault
+// tolerance, prove — are preserved only when the whole file is
+// semantically unchanged. Deadlock hunts read the full graph, so they
+// need the plan to be an identity on actions.
+func Preservable(req api.Request, resp *api.Response, plan *flow.Plan, im *flow.Impact, newFile *gcl.File) bool {
+	if resp == nil || resp.ExitCode() != 0 || plan == nil || im == nil || newFile == nil {
+		return false
+	}
+	// The response echoes the declared program name.
+	if !plan.SameName {
+		return false
+	}
+	affected := map[string]bool{}
+	for _, n := range im.AffectedPreds {
+		affected[n] = true
+	}
+	// predOK: the named predicate's verdict contribution is unchanged — it
+	// is the constant true, or it still exists (AffectedPreds lists only
+	// new-revision predicates, so a removed one is absent, not affected)
+	// and its slice is untouched.
+	predOK := func(name string) bool {
+		if name == "" || name == "true" {
+			return true
+		}
+		if _, ok := newFile.Pred(name); !ok {
+			return false
+		}
+		return !affected[name]
+	}
+	// A bounded exploration passes only if the graph fits the bound, and
+	// slices of an unaffected predicate say nothing about the full graph's
+	// size — only an identity edit keeps the bound's outcome.
+	if req.MaxStates != 0 && !plan.Identity() {
+		return false
+	}
+	switch req.Check {
+	case api.CheckClosure:
+		return predOK(req.Invariant)
+	case api.CheckConvergence:
+		return predOK(req.Invariant) && predOK(req.Goal)
+	case api.CheckDetects, api.CheckCorrects:
+		if req.Tolerant != "" {
+			// Fault-tolerant component checks compose the fault class;
+			// nothing short of a semantically unchanged file preserves them.
+			return plan.FileUnchanged()
+		}
+		return predOK(req.Z) && predOK(req.X) && predOK(req.From)
+	case api.CheckDeadlock:
+		if plan.Graph == nil || !plan.Identity() {
+			return false
+		}
+		if req.Faults && !plan.SameFaults {
+			return false
+		}
+		return req.From == "" || req.From == "true" || plan.SamePreds[req.From]
+	case api.CheckProve:
+		return plan.FileUnchanged()
+	}
+	return false
+}
+
+// Advance migrates every resident artifact of the old revision onto the
+// new one: cached exploration graphs are rebound (identity edits) or
+// repaired in place of rebuilt, and memoized verdicts that Preservable
+// approves are re-keyed under the new source. Both files must already be
+// compiled; the caller decides how they load.
+func (s *Server) Advance(old, new *gcl.File) *ReviseReport {
+	plan := flow.PlanRepair(old.AST, new.AST)
+	im := flow.AffectedBy(old.AST, new.AST)
+	rep := &ReviseReport{Impact: im}
+
+	resolve := func(initName string) (state.Predicate, bool) {
+		if initName == state.True.String() {
+			return state.True, true
+		}
+		if plan.SamePreds[initName] {
+			if p, ok := old.Pred(initName); ok {
+				return p, true
+			}
+		}
+		return state.Predicate{}, false
+	}
+	st := explore.MigrateProgram(old.Program, new.Program, plan.Graph, resolve)
+	rep.GraphsRebound, rep.GraphsRepaired, rep.GraphsRebuilt = st.Rebound, st.Repaired, st.Dropped
+
+	rep.VerdictsPreserved, rep.VerdictsInvalidated = s.verdicts.migrate(
+		old.Src, new.Src,
+		func(req api.Request, resp *api.Response) bool {
+			return Preservable(req, resp, plan, im, new)
+		})
+
+	s.met.graphsRebound.Add(int64(rep.GraphsRebound))
+	s.met.graphsRepaired.Add(int64(rep.GraphsRepaired))
+	s.met.graphsRebuilt.Add(int64(rep.GraphsRebuilt))
+	s.met.verdictsPreserved.Add(int64(rep.VerdictsPreserved))
+	s.met.verdictsInvalidated.Add(int64(rep.VerdictsInvalidated))
+	return rep
+}

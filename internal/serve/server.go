@@ -126,6 +126,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/verdict", s.handleVerdict)
+	s.mux.HandleFunc("POST /v1/revise", s.handleRevise)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -226,6 +227,54 @@ func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	s.logf("verdict check=%s cache=%s verdict=%s dur=%s", req.Check, cacheState, resp.Verdict, time.Since(start))
 }
 
+// handleRevise runs the revision pipeline: compile both sources through
+// the registry (so the new revision is resident, linted, and certified
+// exactly as a verdict request would leave it), then migrate graphs and
+// verdicts. The body limit is doubled because the request carries two full
+// sources.
+func (s *Server) handleRevise(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.isDraining() {
+		s.writeVerdictError(w, r, errDraining)
+		return
+	}
+	var req api.ReviseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 2*s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode revision: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeVerdictError(w, r, &UsageError{Err: err})
+		return
+	}
+	oldFile, err := s.programs.load(req.Old)
+	if err != nil {
+		s.writeVerdictError(w, r, fmt.Errorf("old revision: %w", err))
+		return
+	}
+	newFile, err := s.programs.load(req.New)
+	if err != nil {
+		s.writeVerdictError(w, r, fmt.Errorf("new revision: %w", err))
+		return
+	}
+	rep := s.Advance(oldFile, newFile)
+	w.Header().Set("Content-Type", "application/json")
+	if err := api.Encode(w, rep); err != nil {
+		s.logf("serve: write revise response: %v", err)
+	}
+	s.met.observe(http.StatusOK, "", time.Since(start))
+	s.logf("revise program=%s preserved=%d invalidated=%d rebound=%d repaired=%d rebuilt=%d dur=%s",
+		newFile.Name, rep.VerdictsPreserved, rep.VerdictsInvalidated,
+		rep.GraphsRebound, rep.GraphsRepaired, rep.GraphsRebuilt, time.Since(start))
+}
+
 // verdict runs the admission pipeline: drain check, verdict cache, flight
 // join, slot acquisition, evaluation. progress (may be nil) is told which
 // path the request took before the wait begins.
@@ -305,7 +354,7 @@ func (s *Server) run(ctx context.Context, fl *flight, key [sha256.Size]byte, req
 	delete(s.flights, key)
 	s.mu.Unlock()
 	if fl.err == nil {
-		s.verdicts.put(key, fl.resp)
+		s.verdicts.put(key, req, fl.resp)
 	}
 	close(fl.done)
 }

@@ -1,0 +1,61 @@
+// Package watch is a stdlib-only polling file watcher for the incremental
+// re-verification loop. Polling — not inotify or kqueue — is a deliberate
+// choice: it needs no platform syscalls, it survives editors that replace
+// files by rename (the watched path briefly not existing is just a skipped
+// tick, not a lost watch), and a verification loop's reaction time is
+// bounded by check latency anyway, so sub-interval wakeup buys nothing.
+package watch
+
+import (
+	"context"
+	"crypto/sha256"
+	"os"
+	"time"
+)
+
+// DefaultInterval is the polling cadence when the caller passes 0.
+const DefaultInterval = 200 * time.Millisecond
+
+// Poll reads path every interval and calls fn with the file's content
+// whenever it changes, including once for the initial content. Content
+// identity is a hash, so touching the file without changing bytes does not
+// fire. A read error is a skipped tick: editors that save by
+// rename-and-replace make the path dangle for a moment, and treating that
+// window as "the file is gone" would tear down the loop mid-edit.
+//
+// fn reports whether to keep watching; Poll returns nil when fn stops the
+// loop and ctx.Err() when the context ends it.
+func Poll(ctx context.Context, path string, interval time.Duration, fn func(src string) bool) error {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	var last [sha256.Size]byte
+	seen := false
+	tick := func() bool {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return true
+		}
+		h := sha256.Sum256(b)
+		if seen && h == last {
+			return true
+		}
+		last, seen = h, true
+		return fn(string(b))
+	}
+	if !tick() {
+		return nil
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			if !tick() {
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package watch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPollSeesRevisions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.gcl")
+	if err := os.WriteFile(path, []byte("rev0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 8)
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		done <- Poll(ctx, path, 2*time.Millisecond, func(src string) bool {
+			got <- src
+			return src != "rev2"
+		})
+	}()
+
+	want := func(rev string) {
+		t.Helper()
+		select {
+		case src := <-got:
+			if src != rev {
+				t.Fatalf("saw %q, want %q", src, rev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %q", rev)
+		}
+	}
+	want("rev0")
+	// Write-by-rename, so the poller cannot observe a truncated half-write
+	// as its own revision.
+	if err := os.WriteFile(path+".tmp", []byte("rev1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		t.Fatal(err)
+	}
+	want("rev1")
+	// An editor-style rename save: write a temp file, rename over the
+	// watched path. The dangling window must not kill the watch.
+	tmp := filepath.Join(dir, "f.gcl.tmp")
+	if err := os.WriteFile(tmp, []byte("rev2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	want("rev2")
+	// fn returned false on rev2: Poll exits nil.
+	if err := <-done; err != nil {
+		t.Fatalf("Poll returned %v, want nil after fn stop", err)
+	}
+}
+
+func TestPollUnchangedContentDoesNotFire(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.gcl")
+	if err := os.WriteFile(path, []byte("same"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := Poll(ctx, path, time.Millisecond, func(src string) bool {
+		fired <- struct{}{}
+		// Touch the file: new mtime, same bytes.
+		now := time.Now()
+		os.Chtimes(path, now, now)
+		return true
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Poll returned %v, want deadline", err)
+	}
+	if n := len(fired); n != 1 {
+		t.Fatalf("fired %d times for one revision, want 1", n)
+	}
+}
